@@ -1,0 +1,64 @@
+// Experiment 12 (extension; Section 6 + Section 1 robustness):
+//  (a) conditional re-planning (Section 6's "progressive" schedules): the
+//      adaptive plan must reproduce the static guideline plan under exact p
+//      (Bellman consistency) — and it is the natural host for mid-episode
+//      belief updates;
+//  (b) sensitivity ablation: how precisely must a deployment know c and the
+//      time scale of p before the guidelines stop paying off?
+#include <iostream>
+
+#include "cyclesteal/cyclesteal.hpp"
+#include "numerics/tabulate.hpp"
+
+int main() {
+  using cs::num::Table;
+  std::cout << "exp12: adaptive re-planning and misestimation sensitivity\n\n";
+
+  // (a) adaptive vs static.
+  Table adapt({"family", "c", "static E", "adaptive E", "adaptive/static",
+               "static t0", "adaptive t0"});
+  struct Case {
+    const char* spec;
+    double c;
+  };
+  for (const auto& cse :
+       {Case{"uniform:L=480", 4.0}, Case{"polyrisk:d=3,L=300", 2.0},
+        Case{"geomlife:a=1.02", 1.0}, Case{"geomrisk:L=40", 1.0}}) {
+    const auto p = cs::make_life_function(cse.spec);
+    const auto statics = cs::GuidelineScheduler(*p, cse.c).run();
+    const auto adaptive = cs::adaptive_schedule(*p, cse.c);
+    adapt.add_row({cse.spec, Table::fixed(cse.c, 0),
+                   Table::fixed(statics.expected, 3),
+                   Table::fixed(adaptive.expected, 3),
+                   Table::percent(adaptive.expected / statics.expected, 2),
+                   Table::fixed(statics.schedule[0], 2),
+                   Table::fixed(adaptive.schedule[0], 2)});
+  }
+  std::cout << adapt.render("(a) progressive conditional re-planning "
+                            "(Sec. 6) vs the static plan")
+            << '\n';
+
+  // (b) sensitivity sweeps.
+  const std::vector<double> errs{-0.5, -0.25, -0.1, 0.0, 0.1, 0.25, 0.5,
+                                 1.0};
+  for (const auto& cse :
+       {Case{"uniform:L=480", 4.0}, Case{"geomlife:a=1.02", 1.0}}) {
+    const auto p = cs::make_life_function(cse.spec);
+    const auto c_sens = cs::sensitivity_to_overhead(*p, cse.c, errs);
+    const auto s_sens = cs::sensitivity_to_timescale(*p, cse.c, errs);
+    Table table({"relative error", "efficiency (c misestimated)",
+                 "efficiency (time scale misestimated)"});
+    for (std::size_t i = 0; i < errs.size(); ++i) {
+      table.add_row({Table::percent(errs[i], 0),
+                     Table::percent(c_sens[i].efficiency, 2),
+                     Table::percent(s_sens[i].efficiency, 2)});
+    }
+    std::cout << table.render(std::string("(b) sensitivity, ") + cse.spec +
+                              ", c = " + Table::fixed(cse.c, 0))
+              << '\n';
+  }
+  std::cout << "shape check: adaptive == static to within search tolerance; "
+               "the efficiency plateau around 0% error is wide (the paper's "
+               "guidelines tolerate coarse parameter knowledge).\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Experiment 2 (Section 4.1): the polynomial-risk family p_{d,L} = 1-(t/L)^d.
+//
+// Paper's claim: (c/d)^{1/(d+1)} L^{d/(d+1)}  <=  t0  <=
+//                2 (c/d)^{1/(d+1)} L^{d/(d+1)} + 1,
+// i.e. the bracket scales with the d-th root law and stays within ~2x.
+// We print the measured bracket against the predicted scale for d = 1..8,
+// plus the guideline-vs-DP expected-work ratio.
+#include <cmath>
+#include <iostream>
+
+#include "cyclesteal/cyclesteal.hpp"
+#include "numerics/tabulate.hpp"
+
+int main() {
+  using cs::num::Table;
+  std::cout << "exp2: polynomial risk family p_{d,L} (paper Sec. 4.1)\n\n";
+
+  const double L = 1000.0;
+  const double c = 2.0;
+  Table table({"d", "scale=(c/d)^{1/(d+1)} L^{d/(d+1)}", "lb", "ub",
+               "lb/scale", "ub/scale", "bracket ratio", "t0*", "m",
+               "E guide/DP"});
+  for (int d = 1; d <= 8; ++d) {
+    const cs::PolynomialRisk p(d, L);
+    const cs::GuidelineScheduler sched(p, c);
+    const auto g = sched.run();
+    cs::DpOptions dopt;
+    dopt.grid_points = 4096;
+    const auto dp = cs::dp_reference(p, c, dopt);
+    const double scale = std::pow(c / d, 1.0 / (d + 1)) *
+                         std::pow(L, static_cast<double>(d) / (d + 1));
+    table.add_row({std::to_string(d), Table::fixed(scale, 1),
+                   Table::fixed(g.bracket.lower, 1),
+                   Table::fixed(g.bracket.upper, 1),
+                   Table::fixed(g.bracket.lower / scale, 3),
+                   Table::fixed(g.bracket.upper / scale, 3),
+                   Table::fixed(g.bracket.ratio(), 3),
+                   Table::fixed(g.chosen_t0, 1),
+                   std::to_string(g.schedule.size()),
+                   Table::percent(g.expected / dp.expected, 2)});
+  }
+  std::cout << table.render("d-th root scaling of the t0 bracket (L=1000, c=2)")
+            << '\n';
+  std::cout << "shape check: lb/scale ~ 1, ub/scale <= ~2, E ratio ~ 100%.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment 5 (headline, Sections 2-4): expected work across strategies.
+//
+// For every scenario family and a sweep of overheads c, print E(S;p) of:
+//   guideline (searched t0) | guideline ablations (lower/upper/midpoint t0) |
+//   BCLR closed-form optimum (where it exists) | DP reference | greedy |
+//   best fixed chunk | doubling | all-at-once.
+// Shape target: guideline ~ optimal everywhere; ablations bound the value of
+// closing the paper's "t0 art"; oblivious baselines trail by family-specific
+// margins (the tension of Section 1).
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "cyclesteal/cyclesteal.hpp"
+#include "numerics/tabulate.hpp"
+
+namespace {
+
+double guideline_with_rule(const cs::LifeFunction& p, double c,
+                           cs::T0Rule rule) {
+  cs::GuidelineOptions opt;
+  opt.rule = rule;
+  return cs::GuidelineScheduler(p, c, opt).run().expected;
+}
+
+}  // namespace
+
+int main() {
+  using cs::num::Table;
+  std::cout << "exp5: expected work, all strategies (paper headline)\n\n";
+
+  struct Scenario {
+    const char* label;
+    std::unique_ptr<cs::LifeFunction> p;
+    std::optional<double> bclr;  // closed-form optimum if known
+  };
+
+  for (double c : {1.0, 4.0}) {
+    std::vector<Scenario> scenarios;
+    {
+      auto p = std::make_unique<cs::UniformRisk>(480.0);
+      const double opt = cs::bclr_uniform_optimal(*p, c).expected;
+      scenarios.push_back({"uniform L=480", std::move(p), opt});
+    }
+    {
+      auto p = std::make_unique<cs::PolynomialRisk>(3, 480.0);
+      scenarios.push_back({"polyrisk d=3 L=480", std::move(p), std::nullopt});
+    }
+    {
+      auto p = std::make_unique<cs::GeometricLifespan>(1.02);
+      const double opt = cs::bclr_geometric_lifespan_optimal(*p, c).expected;
+      scenarios.push_back({"geomlife a=1.02", std::move(p), opt});
+    }
+    {
+      auto p = std::make_unique<cs::GeometricRisk>(40.0);
+      const double opt = cs::bclr_geometric_risk_optimal(*p, c).expected;
+      scenarios.push_back({"geomrisk L=40", std::move(p), opt});
+    }
+    {
+      auto p = std::make_unique<cs::Weibull>(1.5, 120.0);
+      scenarios.push_back({"weibull k=1.5 s=120", std::move(p), std::nullopt});
+    }
+
+    Table table({"scenario", "DP ref", "BCLR opt", "guideline", "t0=lb",
+                 "t0=mid", "t0=ub", "greedy", "best-fixed", "doubling",
+                 "all-at-once"});
+    for (const auto& s : scenarios) {
+      cs::DpOptions dopt;
+      dopt.grid_points = 4096;
+      const double dp = cs::dp_reference(*s.p, c, dopt).expected;
+      auto pct = [dp](double e) { return Table::percent(e / dp, 1); };
+      table.add_row(
+          {s.label, Table::fixed(dp, 2),
+           s.bclr ? pct(*s.bclr) : std::string("-"),
+           pct(cs::GuidelineScheduler(*s.p, c).run().expected),
+           pct(guideline_with_rule(*s.p, c, cs::T0Rule::LowerBound)),
+           pct(guideline_with_rule(*s.p, c, cs::T0Rule::Midpoint)),
+           pct(guideline_with_rule(*s.p, c, cs::T0Rule::UpperBound)),
+           pct(cs::greedy_schedule(*s.p, c).expected),
+           pct(cs::best_fixed_chunk(*s.p, c).expected),
+           pct(cs::doubling_chunks(*s.p, c).expected),
+           pct(cs::all_at_once(*s.p, c).expected)});
+    }
+    std::cout << table.render("E(S;p) as % of the DP reference, c = " +
+                              std::to_string(c))
+              << '\n';
+  }
+  std::cout << "shape check: guideline ~100% everywhere; the t0 ablations "
+               "show the residual factor-2 'art' costs a few percent at "
+               "worst; greedy/doubling/all-at-once trail substantially on "
+               "bounded lifespans.\n";
+  return 0;
+}

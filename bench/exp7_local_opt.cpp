@@ -1,0 +1,48 @@
+// Experiment 7 (Section 5.1, Theorem 5.1): local optimality of schedules
+// satisfying system (3.6) under concave life functions.
+//
+// For each concave family we expand (3.6) from the searched t0 and measure
+// the best achievable gain over all [k, ±δ]-perturbations — it must be ~0
+// (no perturbation helps).  As a control, the same probe applied to a
+// deliberately detuned schedule shows large positive gains.
+#include <iostream>
+
+#include "cyclesteal/cyclesteal.hpp"
+#include "numerics/tabulate.hpp"
+
+int main() {
+  using cs::num::Table;
+  std::cout << "exp7: Theorem 5.1 — (3.6)-schedules vs perturbations\n\n";
+
+  const std::vector<double> deltas{1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+  Table table({"family", "c", "m", "best perturbation gain (3.6 schedule)",
+               "best gain (detuned)", "locally optimal"});
+  for (const char* spec :
+       {"uniform:L=480", "polyrisk:d=2,L=480", "polyrisk:d=4,L=480",
+        "geomrisk:L=40", "geomrisk:L=80"}) {
+    const double c = 2.0;
+    const auto p = cs::make_life_function(spec);
+    const auto g = cs::GuidelineScheduler(*p, c).run();
+    const auto ok = cs::check_local_optimality(g.schedule, *p, c, deltas);
+
+    // Control: stretch the first period by 20% and shrink the second.
+    cs::LocalOptimality detuned_result;
+    if (g.schedule.size() >= 2) {
+      const double d = 0.2 * g.schedule[0];
+      if (g.schedule[1] > d) {
+        const cs::Schedule detuned = g.schedule.perturbed(0, d);
+        detuned_result = cs::check_local_optimality(detuned, *p, c, deltas);
+      }
+    }
+    table.add_row({spec, Table::fixed(c, 0), std::to_string(g.schedule.size()),
+                   Table::num(ok.best_gain, 2),
+                   Table::num(detuned_result.best_gain, 2),
+                   ok.locally_optimal ? "yes" : "NO"});
+  }
+  std::cout << table.render("perturbation resistance (gains <= ~0 expected)")
+            << '\n';
+  std::cout << "shape check: (3.6) schedules resist every probed "
+               "perturbation; detuned controls are improvable by visible "
+               "margins.\n";
+  return 0;
+}

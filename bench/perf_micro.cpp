@@ -1,0 +1,146 @@
+// Engineering microbenchmarks (google-benchmark): the hot paths of the
+// library — recurrence expansion, expected-work evaluation, DP reference,
+// greedy, Monte-Carlo episode throughput, reclaim sampling, and the full
+// guideline pipeline.
+#include <benchmark/benchmark.h>
+
+#include "cyclesteal/cyclesteal.hpp"
+
+namespace {
+
+void BM_ExpectedWork(benchmark::State& state) {
+  const cs::UniformRisk p(480.0);
+  const auto g = cs::GuidelineScheduler(p, 4.0).run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::expected_work(g.schedule, p, 4.0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.schedule.size()));
+}
+BENCHMARK(BM_ExpectedWork);
+
+void BM_RecurrenceExpansion(benchmark::State& state) {
+  const cs::UniformRisk p(static_cast<double>(state.range(0)));
+  const cs::RecurrenceEngine eng(p, 2.0);
+  const double t0 = std::sqrt(2.0 * 2.0 * static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.generate(t0));
+  }
+}
+BENCHMARK(BM_RecurrenceExpansion)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GuidelinePipeline(benchmark::State& state) {
+  const cs::UniformRisk p(480.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::GuidelineScheduler(p, 4.0).run().expected);
+  }
+}
+BENCHMARK(BM_GuidelinePipeline);
+
+void BM_GuidelinePipelineGeomlife(benchmark::State& state) {
+  const cs::GeometricLifespan p(1.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::GuidelineScheduler(p, 1.0).run().expected);
+  }
+}
+BENCHMARK(BM_GuidelinePipelineGeomlife);
+
+void BM_DpReference(benchmark::State& state) {
+  const cs::UniformRisk p(480.0);
+  cs::DpOptions opt;
+  opt.grid_points = static_cast<std::size_t>(state.range(0));
+  opt.polish = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::dp_reference(p, 4.0, opt).grid_value);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DpReference)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Greedy(benchmark::State& state) {
+  const cs::UniformRisk p(480.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::greedy_schedule(p, 4.0).expected);
+  }
+}
+BENCHMARK(BM_Greedy);
+
+void BM_ReclaimSampling(benchmark::State& state) {
+  const cs::GeometricLifespan p(1.02);
+  cs::num::RandomStream rng(1);
+  cs::sim::ReclaimSampler sampler(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample());
+  }
+}
+BENCHMARK(BM_ReclaimSampling);
+
+void BM_ReclaimSamplingNumericInverse(benchmark::State& state) {
+  // Empirical life functions invert by bracketed root solve — the slow path.
+  const cs::EmpiricalLifeFunction p({0.0, 10.0, 30.0, 60.0, 100.0},
+                                    {1.0, 0.8, 0.45, 0.15, 0.0});
+  cs::num::RandomStream rng(1);
+  cs::sim::ReclaimSampler sampler(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample());
+  }
+}
+BENCHMARK(BM_ReclaimSamplingNumericInverse);
+
+void BM_MonteCarloEpisodes(benchmark::State& state) {
+  const cs::UniformRisk p(480.0);
+  const auto g = cs::GuidelineScheduler(p, 4.0).run();
+  cs::sim::MonteCarloOptions opt;
+  opt.episodes = static_cast<std::size_t>(state.range(0));
+  opt.parallel = state.range(1) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cs::sim::monte_carlo_episodes(g.schedule, p, 4.0, opt).work.mean());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MonteCarloEpisodes)
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({1000000, 1});
+
+void BM_FarmSimulation(benchmark::State& state) {
+  const cs::UniformRisk life(240.0);
+  const auto policy = cs::sim::make_guideline_policy();
+  for (auto _ : state) {
+    auto stations = cs::sim::homogeneous_farm(8, life, 2.0, 60.0);
+    cs::sim::FarmOptions opt;
+    opt.task_count = static_cast<std::size_t>(state.range(0));
+    opt.profile = {.kind = cs::sim::TaskProfile::Kind::Fixed, .mean = 1.0};
+    benchmark::DoNotOptimize(
+        cs::sim::run_farm(stations, *policy, opt).makespan);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FarmSimulation)->Arg(2000)->Arg(20000);
+
+void BM_TraceEstimation(benchmark::State& state) {
+  cs::num::RandomStream rng(5);
+  const auto trace = cs::trace::generate_poisson_sessions(
+      {.mean_busy = 45.0,
+       .mean_idle = 90.0,
+       .episodes = static_cast<std::size_t>(state.range(0))},
+      rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::trace::estimate_life_function(trace));
+  }
+}
+BENCHMARK(BM_TraceEstimation)->Arg(1000)->Arg(10000);
+
+void BM_T0Bracket(benchmark::State& state) {
+  const cs::PolynomialRisk p(3, 1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs::guideline_t0_bracket(p, 2.0).lower);
+  }
+}
+BENCHMARK(BM_T0Bracket);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Trace-driven scheduling: the full pipeline the paper sketches in
+// Section 1 — owner usage traces -> estimated life function -> guideline
+// schedule — validated against scheduling with the (here known) true law.
+//
+//   $ ./trace_driven_scheduling [episodes] [c]
+#include <cstdlib>
+#include <iostream>
+
+#include "cyclesteal/cyclesteal.hpp"
+#include "numerics/tabulate.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t episodes = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                        : 2000;
+  const double c = argc > 2 ? std::atof(argv[2]) : 2.0;
+
+  std::cout << "Trace-driven scheduling: " << episodes
+            << " logged idle episodes, c = " << c << "\n\n";
+
+  // 1. A week at the (simulated) office: memoryless owner with mean absence
+  //    of 90 minutes.  Ground truth: geometric lifespan a = e^{1/90}.
+  cs::num::RandomStream rng(2026);
+  cs::trace::PoissonSessionsParams params{
+      .mean_busy = 45.0, .mean_idle = 90.0, .episodes = episodes};
+  const cs::trace::OwnerTrace trace =
+      cs::trace::generate_poisson_sessions(params, rng);
+  std::cout << "Trace: " << trace.episode_count() << " idle gaps, idle "
+            << cs::num::Table::percent(trace.idle_fraction()) << " of "
+            << trace.total_time() << " minutes\n\n";
+
+  // 2. Estimate a smooth empirical life function from the gaps.
+  const auto empirical = cs::trace::estimate_life_function(trace);
+  std::cout << "Empirical life function: " << empirical->name() << ", shape "
+            << cs::to_string(empirical->shape()) << ", mean lifespan "
+            << empirical->mean_lifespan() << " (true 90)\n";
+
+  // 3. Try the parametric fitters and pick the best family by KS distance.
+  const auto gaps = trace.idle_gaps();
+  const auto fits = cs::trace::fit_all_families(gaps);
+  cs::num::Table fit_table({"family", "model", "KS distance"});
+  for (const auto& f : fits)
+    fit_table.add_row({f.family, f.model->name(),
+                       cs::num::Table::num(f.ks_distance, 3)});
+  std::cout << '\n' << fit_table.render("Parametric fits (best first)") << '\n';
+
+  // 4. Schedule with (a) the truth, (b) the smoothed empirical curve,
+  //    (c) the best parametric fit — and score all three against the truth.
+  const cs::GeometricLifespan truth(std::exp(1.0 / params.mean_idle));
+  const auto& best_fit = *fits.front().model;
+
+  const auto with_truth = cs::GuidelineScheduler(truth, c).run();
+  const auto with_empirical = cs::GuidelineScheduler(*empirical, c).run();
+  const auto with_fit = cs::GuidelineScheduler(best_fit, c).run();
+
+  cs::num::Table result({"scheduled against", "t0", "periods",
+                         "E under TRUE law", "vs truth-informed"});
+  auto score = [&](const char* label, const cs::GuidelineResult& g) {
+    const double e = cs::expected_work(g.schedule, truth, c);
+    result.add_row({label, cs::num::Table::fixed(g.chosen_t0, 2),
+                    std::to_string(g.schedule.size()),
+                    cs::num::Table::fixed(e, 3),
+                    cs::num::Table::percent(e / cs::expected_work(
+                                                    with_truth.schedule, truth,
+                                                    c))});
+  };
+  score("true law (oracle)", with_truth);
+  score("smoothed empirical", with_empirical);
+  score("best parametric fit", with_fit);
+  std::cout << result.render("Robustness to approximate knowledge of p") << '\n';
+
+  std::cout << "The paper's claim (Sec. 1): guidelines 'extend easily to "
+               "situations wherein this knowledge is approximate'.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "baselines/bclr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+#include "core/structure.hpp"
+#include "numerics/minimize.hpp"
+#include "numerics/roots.hpp"
+
+namespace cs {
+
+BaselineResult bclr_uniform_optimal(const UniformRisk& p, double c) {
+  if (!(c > 0.0) || !(c < p.L()))
+    throw std::invalid_argument("bclr_uniform_optimal: need 0 < c < L");
+  const double L = p.L();
+  // The optimum is arithmetic with decrement c (eq. 4.1); search the two
+  // remaining degrees of freedom (m, t0) exactly.
+  const std::size_t m_cap = cor53_max_periods(L, c) + 2;
+  BaselineResult best;
+  for (std::size_t m = 1; m <= m_cap; ++m) {
+    const double md = static_cast<double>(m);
+    const double lo = md * c * (1.0 + 1e-12);          // keep t_{m-1} > c
+    const double hi = L / md + 0.5 * (md - 1.0) * c;    // keep T_{m-1} <= L
+    if (hi <= lo) continue;
+    auto value = [&](double t0) {
+      return expected_work(Schedule::arithmetic(t0, c, m), p, c);
+    };
+    const auto opt = num::brent_minimize([&](double t0) { return -value(t0); },
+                                         lo, hi, {.x_tol = 1e-12 * L});
+    const double e = -opt.value;
+    if (e > best.expected) {
+      best.expected = e;
+      best.t0 = opt.x;
+      best.periods = m;
+      best.schedule = Schedule::arithmetic(opt.x, c, m);
+    }
+  }
+  return best;
+}
+
+double bclr_geomlife_tstar(const GeometricLifespan& p, double c) {
+  const double ln_a = p.ln_a();
+  // f(t) = t + a^{-t}/ln a - c - 1/ln a is strictly increasing with
+  // f(c) < 0 < f(c + 1/ln a).
+  auto f = [&](double t) {
+    return t + std::exp(-t * ln_a) / ln_a - c - 1.0 / ln_a;
+  };
+  const double lo = c;
+  const double hi = c + 1.0 / ln_a;
+  const auto root = num::monotone_root(f, lo, hi, {.x_tol = 1e-14 * hi});
+  if (!root)
+    throw std::runtime_error("bclr_geomlife_tstar: root bracketing failed");
+  return *root;
+}
+
+BaselineResult bclr_geometric_lifespan_optimal(const GeometricLifespan& p,
+                                               double c, double tail_tol) {
+  if (!(c > 0.0))
+    throw std::invalid_argument("bclr_geometric_lifespan_optimal: c <= 0");
+  const double t_star = bclr_geomlife_tstar(p, c);
+  const double q = p.survival(t_star);
+  BaselineResult out;
+  out.t0 = t_star;
+  out.expected = (t_star - c) * q / (1.0 - q);  // exact geometric series
+  // Truncate the infinite schedule once the tail is negligible:
+  // remaining tail after k periods is E * q^k.
+  std::size_t k = 1;
+  if (out.expected > 0.0) {
+    const double ratio = tail_tol / out.expected;
+    k = static_cast<std::size_t>(
+            std::ceil(std::log(std::max(ratio, 1e-300)) / std::log(q))) +
+        1;
+  }
+  k = std::min<std::size_t>(std::max<std::size_t>(k, 1), 1000000);
+  out.schedule = Schedule::equal_periods(t_star, k);
+  out.periods = k;
+  return out;
+}
+
+Schedule bclr_geomrisk_expand(const GeometricRisk& p, double c, double t0,
+                              std::size_t max_periods) {
+  if (!(t0 > c))
+    throw std::invalid_argument("bclr_geomrisk_expand: t0 must exceed c");
+  Schedule s;
+  double t = t0;
+  double end = 0.0;
+  while (s.size() < max_periods && t > c && end + c < p.L()) {
+    s.append(t);
+    end += t;
+    if (end >= p.L()) break;
+    // [3]'s recurrence: t_{k+1} = log2(t_k - c + 2).
+    t = std::log2(t - c + 2.0);
+  }
+  return s;
+}
+
+BaselineResult bclr_geometric_risk_optimal(const GeometricRisk& p, double c) {
+  if (!(c > 0.0) || !(c < p.L()))
+    throw std::invalid_argument("bclr_geometric_risk_optimal: need 0 < c < L");
+  auto value = [&](double t0) {
+    return expected_work(bclr_geomrisk_expand(p, c, t0), p, c);
+  };
+  const double lo = c * (1.0 + 1e-9);
+  const double hi = p.L();
+  const auto best =
+      num::grid_then_refine_max(value, lo, hi, {.grid_points = 257});
+  BaselineResult out;
+  out.t0 = best.x;
+  out.schedule = bclr_geomrisk_expand(p, c, best.x);
+  out.expected = expected_work(out.schedule, p, c);
+  out.periods = out.schedule.size();
+  return out;
+}
+
+}  // namespace cs

@@ -1,0 +1,53 @@
+// The ad-hoc provably-optimal schedules of Bhatt–Chung–Leighton–Rosenberg
+// ("On optimal strategies for cycle-stealing in networks of workstations",
+// IEEE Trans. Computers 46, 1997 — reference [3] of the paper) for the three
+// scenarios it analyzes.  Section 4 of the paper grades its guidelines
+// against exactly these schedules; they are our ground-truth baselines.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+
+/// A baseline schedule plus its expected work.
+struct BaselineResult {
+  Schedule schedule;
+  double expected = 0.0;
+  double t0 = 0.0;          ///< initial period chosen
+  std::size_t periods = 0;  ///< schedule length (pre-truncation for infinite)
+};
+
+/// Uniform risk p = 1 - t/L ([3], Sec. 4.1 here).  The optimum has the
+/// arithmetic form t_{i+1} = t_i - c (eq. 4.1); we search exactly over the
+/// two free parameters (period count m, initial length t0), which [3] shows
+/// is the full optimal family.  t0* = sqrt(2cL) + low-order terms (eq. 4.5).
+[[nodiscard]] BaselineResult bclr_uniform_optimal(const UniformRisk& p,
+                                                  double c);
+
+/// Geometric lifespan p = a^{-t} ([3], Sec. 4.2 here).  The optimum is an
+/// infinite equal-period schedule whose period t* solves
+///     t + a^{-t} / ln a = c + 1/ln a ;
+/// its exact value is E = (t* - c) a^{-t*} / (1 - a^{-t*}).  The returned
+/// schedule is truncated once the tail contributes < tail_tol, but
+/// `expected` holds the exact closed form.
+[[nodiscard]] BaselineResult bclr_geometric_lifespan_optimal(
+    const GeometricLifespan& p, double c, double tail_tol = 1e-12);
+
+/// The defining equation's root t* alone (for bound-comparison tables).
+[[nodiscard]] double bclr_geomlife_tstar(const GeometricLifespan& p, double c);
+
+/// Geometric risk p = (2^L - 2^t)/(2^L - 1) ([3], Sec. 4.3 here).  [3]
+/// derives the recurrence t_{k+1} = log2(t_k - c + 2) but no closed-form
+/// t0; we expand that recurrence from a numerically optimized t0.
+[[nodiscard]] BaselineResult bclr_geometric_risk_optimal(
+    const GeometricRisk& p, double c);
+
+/// Expand the [3] geometric-risk recurrence t_{k+1} = log2(t_k - c + 2)
+/// from an explicit t0 until the horizon L is filled or the next period
+/// would be unproductive.
+[[nodiscard]] Schedule bclr_geomrisk_expand(const GeometricRisk& p, double c,
+                                            double t0,
+                                            std::size_t max_periods = 100000);
+
+}  // namespace cs

@@ -1,0 +1,65 @@
+#include "baselines/oblivious.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+#include "numerics/minimize.hpp"
+
+namespace cs {
+
+Schedule fixed_chunk_schedule(const LifeFunction& p, double c, double t,
+                              std::size_t max_periods) {
+  if (!(t > 0.0)) throw std::invalid_argument("fixed_chunk_schedule: t <= 0");
+  const double horizon = p.horizon(1e-13);
+  const auto m = std::min<std::size_t>(
+      max_periods,
+      static_cast<std::size_t>(std::ceil(horizon / t)));
+  (void)c;
+  return Schedule::equal_periods(t, std::max<std::size_t>(m, 1));
+}
+
+ObliviousResult best_fixed_chunk(const LifeFunction& p, double c) {
+  if (!(c > 0.0)) throw std::invalid_argument("best_fixed_chunk: c <= 0");
+  const double horizon = p.horizon(1e-13);
+  auto value = [&](double t) {
+    return expected_work(fixed_chunk_schedule(p, c, t), p, c);
+  };
+  const auto best = num::grid_then_refine_max(value, c * (1.0 + 1e-9),
+                                              horizon, {.grid_points = 257});
+  ObliviousResult out;
+  out.parameter = best.x;
+  out.schedule = fixed_chunk_schedule(p, c, best.x);
+  out.expected = expected_work(out.schedule, p, c);
+  return out;
+}
+
+ObliviousResult all_at_once(const LifeFunction& p, double c) {
+  ObliviousResult out;
+  const double t = std::max(p.mean_lifespan(), c * (1.0 + 1e-9));
+  out.parameter = t;
+  out.schedule = Schedule::equal_periods(t, 1);
+  out.expected = expected_work(out.schedule, p, c);
+  return out;
+}
+
+ObliviousResult doubling_chunks(const LifeFunction& p, double c, double base) {
+  if (!(c > 0.0)) throw std::invalid_argument("doubling_chunks: c <= 0");
+  if (base <= 0.0) base = 2.0 * c;
+  const double horizon = p.horizon(1e-13);
+  Schedule s;
+  double t = base;
+  double end = 0.0;
+  while (end < horizon && s.size() < 200) {
+    s.append(t);
+    end += t;
+    t *= 2.0;
+  }
+  ObliviousResult out;
+  out.parameter = base;
+  out.schedule = std::move(s);
+  out.expected = expected_work(out.schedule, p, c);
+  return out;
+}
+
+}  // namespace cs

@@ -1,0 +1,41 @@
+// Risk-structure-oblivious baselines: what a scheduler does without the
+// paper's machinery.  These are the comparison points for experiment exp5:
+//
+//  - FixedChunk: equal periods of a hand-picked length (the common practice
+//    the paper's introduction criticizes); `best_fixed_chunk` gives the
+//    strongest member of the family by optimizing the single length.
+//  - AllAtOnce: one period sized to the mean availability E[R] — "ship all
+//    the work and hope" with an average-case hedge.
+//  - Doubling: periods 2c, 4c, 8c, ... — the classic exponential-backoff
+//    chunking used by risk-oblivious bag-of-task masters (the flavor of the
+//    randomized commitment strategies in reference [2]).
+#pragma once
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// Equal periods of length `t` covering the horizon of `p`.
+[[nodiscard]] Schedule fixed_chunk_schedule(const LifeFunction& p, double c,
+                                            double t,
+                                            std::size_t max_periods = 100000);
+
+/// The best equal-period schedule: optimizes the chunk length for E(S; p).
+struct ObliviousResult {
+  Schedule schedule;
+  double expected = 0.0;
+  double parameter = 0.0;  ///< chunk length (fixed/doubling base) used
+};
+[[nodiscard]] ObliviousResult best_fixed_chunk(const LifeFunction& p,
+                                               double c);
+
+/// One period of length E[R] (mean lifespan).
+[[nodiscard]] ObliviousResult all_at_once(const LifeFunction& p, double c);
+
+/// Doubling periods base, 2*base, 4*base, ... until the horizon; base
+/// defaults to 2c (first period productive).
+[[nodiscard]] ObliviousResult doubling_chunks(const LifeFunction& p, double c,
+                                              double base = 0.0);
+
+}  // namespace cs

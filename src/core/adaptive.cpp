@@ -1,0 +1,78 @@
+#include "core/adaptive.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+
+namespace cs {
+
+ConditionalLifeFunction::ConditionalLifeFunction(const LifeFunction& p,
+                                                 double tau)
+    : inner_(p.clone()), tau_(tau), p_tau_(p.survival(tau)) {
+  if (!(tau >= 0.0)) throw std::invalid_argument("Conditional: tau < 0");
+  if (!(p_tau_ > 0.0))
+    throw std::invalid_argument(
+        "Conditional: p(tau) must be positive (episode already over)");
+}
+
+double ConditionalLifeFunction::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return inner_->survival(tau_ + t) / p_tau_;
+}
+
+double ConditionalLifeFunction::derivative(double t) const {
+  return inner_->derivative(tau_ + t) / p_tau_;
+}
+
+std::optional<double> ConditionalLifeFunction::lifespan() const {
+  if (const auto L = inner_->lifespan()) return *L - tau_;
+  return std::nullopt;
+}
+
+std::string ConditionalLifeFunction::name() const {
+  std::ostringstream os;
+  os << "conditional(" << inner_->name() << "|tau=" << tau_ << ')';
+  return os.str();
+}
+
+std::unique_ptr<LifeFunction> ConditionalLifeFunction::clone() const {
+  return std::make_unique<ConditionalLifeFunction>(*inner_, tau_);
+}
+
+double ConditionalLifeFunction::inverse_survival(double u) const {
+  if (!(u > 0.0 && u <= 1.0))
+    throw std::invalid_argument("inverse_survival: u out of (0,1]");
+  if (u == 1.0) return 0.0;
+  return inner_->inverse_survival(u * p_tau_) - tau_;
+}
+
+AdaptiveResult adaptive_schedule(const LifeFunction& p, double c,
+                                 const AdaptiveOptions& opt) {
+  if (!(c > 0.0)) throw std::invalid_argument("adaptive_schedule: c <= 0");
+  AdaptiveResult out;
+  double tau = 0.0;
+  const double horizon = p.horizon(1e-13);
+  while (out.schedule.size() < opt.max_periods) {
+    const double p_tau = p.survival(tau);
+    if (p_tau <= 1e-12 || tau >= horizon * (1.0 - 1e-12)) break;
+    const ConditionalLifeFunction cond(p, tau);
+    const GuidelineScheduler sched(cond, c, opt.guideline);
+    const GuidelineResult step = sched.run();
+    if (step.schedule.empty()) break;
+    const double t = step.schedule[0];
+    if (!(t > c)) break;
+    // Commit the period only if it still carries expected value under the
+    // unconditional law; a negligible-gain period would just overshoot the
+    // horizon.
+    const double gain = (t - c) * p.survival(tau + t);
+    if (gain < opt.tail_tol) break;
+    out.schedule.append(t);
+    tau += t;
+  }
+  out.expected = expected_work(out.schedule, p, c);
+  return out;
+}
+
+}  // namespace cs

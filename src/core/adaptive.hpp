@@ -1,0 +1,71 @@
+// Adaptive (conditional) re-planning — Section 6 of the paper:
+//
+//   "this 'progressive' feature of the system allows one to determine
+//    t_{i+1} only after period i has ended.  This means that, in principle,
+//    one could use conditional, rather than absolute, probabilities to
+//    determine schedule S progressively, period by period."
+//
+// ConditionalLifeFunction is the survival law given survival to elapsed
+// time tau:  q(t) = p(tau + t) / p(tau).  Conditioning preserves shape
+// (q'' = p''(tau+t)/p(tau) keeps its sign), so all Theorem 3.2/3.3 machinery
+// applies to the residual problem.
+//
+// adaptive_schedule() re-derives the *first* period of the conditional
+// problem after every survived period.  Because optimal schedules have
+// optimal suffixes (Bellman), the adaptive plan should coincide with the
+// static guideline schedule when p is known exactly — a deep consistency
+// check (verified in tests and bench exp12) — while giving the natural
+// hook for plugging in *updated* beliefs about p mid-episode.
+#pragma once
+
+#include <memory>
+
+#include "core/guideline.hpp"
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// The conditional survival law q(t) = p(tau + t) / p(tau).
+class ConditionalLifeFunction final : public LifeFunction {
+ public:
+  /// Requires p(tau) > 0.  Keeps a clone of `p`.
+  ConditionalLifeFunction(const LifeFunction& p, double tau);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return inner_->shape(); }
+  [[nodiscard]] std::optional<double> lifespan() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+  [[nodiscard]] double inverse_survival(double u) const override;
+
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+
+ private:
+  std::unique_ptr<LifeFunction> inner_;
+  double tau_;
+  double p_tau_;
+};
+
+/// Options for the adaptive planner.
+struct AdaptiveOptions {
+  std::size_t max_periods = 10000;
+  double tail_tol = 1e-10;   ///< stop when the next period's conditional
+                             ///< expected gain drops below
+  GuidelineOptions guideline;  ///< per-step scheduler configuration
+};
+
+/// Result of adaptive planning: the realized period sequence (identical in
+/// distribution to a static plan when p is exact) and its E under p.
+struct AdaptiveResult {
+  Schedule schedule;
+  double expected = 0.0;  ///< E(schedule; p) under the unconditional p
+};
+
+/// Plan progressively: at elapsed time tau, derive the guideline schedule
+/// for the conditional law and commit only its first period; repeat.
+[[nodiscard]] AdaptiveResult adaptive_schedule(const LifeFunction& p, double c,
+                                               const AdaptiveOptions& opt = {});
+
+}  // namespace cs

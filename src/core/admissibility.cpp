@@ -1,0 +1,98 @@
+#include "core/admissibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/minimize.hpp"
+#include "numerics/roots.hpp"
+
+namespace cs {
+
+Cor32Result cor32_witness(const LifeFunction& p, double c,
+                          std::optional<double> hi) {
+  Cor32Result out;
+  const double upper = hi.value_or(p.horizon(1e-13));
+  const double lo = c * (1.0 + 1e-9);
+  if (upper <= lo) return out;
+  const auto best = num::grid_then_refine_max(
+      [&](double t) { return p.survival(t) + (t - c) * p.derivative(t); }, lo,
+      upper, {.grid_points = 257});
+  out.sup_margin = best.value;
+  if (best.value > 0.0) {
+    out.witness_exists = true;
+    out.witness_t = best.x;
+  }
+  return out;
+}
+
+StationaryPeriod stationary_period_analysis(const LifeFunction& p, double c,
+                                            int n_probes, double drift_tol) {
+  if (n_probes < 2)
+    throw std::invalid_argument("stationary_period_analysis: n_probes < 2");
+  StationaryPeriod out;
+  const double horizon = p.horizon(1e-12);
+  // Probe taus over the early half of the horizon: late taus sit where p is
+  // numerically negligible and the root solve loses meaning.
+  for (int i = 0; i < n_probes; ++i) {
+    const double tau = 0.5 * horizon * static_cast<double>(i) /
+                       static_cast<double>(n_probes);
+    const double p_tau = p.survival(tau);
+    const double dp_tau = p.derivative(tau);
+    if (p_tau <= 1e-12 || dp_tau >= 0.0) continue;
+    // g(t) = p(tau + t) - p(tau) - (t - c) p'(tau): g(c) < 0, g(+inf) > 0
+    // (the linear term dominates), so a unique crossing exists.
+    auto g = [&](double t) {
+      return p.survival(tau + t) - p_tau - (t - c) * dp_tau;
+    };
+    const auto bracket =
+        num::bracket_right(g, c * (1.0 + 1e-12), std::max(c, 1.0),
+                           horizon + 10.0 * (horizon - tau) + 1e6);
+    if (!bracket) continue;
+    const auto root = num::monotone_root(g, bracket->first, bracket->second,
+                                         {.x_tol = 1e-12 * horizon});
+    if (root) out.probes.push_back(*root);
+  }
+  if (out.probes.size() < 2) {
+    out.stationary = false;
+    return out;
+  }
+  const auto [mn, mx] = std::minmax_element(out.probes.begin(),
+                                            out.probes.end());
+  double mean = 0.0;
+  for (double t : out.probes) mean += t;
+  mean /= static_cast<double>(out.probes.size());
+  out.period = mean;
+  out.relative_drift = (*mx - *mn) / std::max(mean, 1e-300);
+  out.stationary = out.relative_drift < drift_tol;
+  return out;
+}
+
+ExistenceVerdict admits_optimal_schedule(const LifeFunction& p, double c) {
+  ExistenceVerdict v{false, "", cor32_witness(p, c), std::nullopt};
+  if (p.lifespan()) {
+    v.exists = true;
+    v.reason =
+        "bounded lifespan: productive schedules form a compact set and E is "
+        "continuous, so the maximum is attained";
+    return v;
+  }
+  if (!v.cor32.witness_exists) {
+    v.exists = false;
+    v.reason = "Corollary 3.2 witness absent: no t > c with p(t) > -(t-c)p'(t)";
+    return v;
+  }
+  v.stationary = stationary_period_analysis(p, c);
+  v.exists = v.stationary->stationary;
+  v.reason =
+      v.exists
+          ? "unbounded p with a stationary period: the equal-period infinite "
+            "schedule is an exact orbit of system (3.6) and attains sup E"
+          : "unbounded p: no finite schedule is optimal (appending a period "
+            "always strictly gains) and the one-step stationarity root "
+            "drifts with tau, so no infinite orbit of system (3.6) is "
+            "sustainable";
+  return v;
+}
+
+}  // namespace cs

@@ -1,0 +1,73 @@
+// Existence of optimal schedules (Corollary 3.2 and its surroundings).
+//
+// Bounded-lifespan life functions always admit an optimal schedule: by
+// Prop 2.1 the productive period count is at most ~L/c, so schedules form a
+// compact set on which E is continuous and the maximum is attained.
+//
+// For unbounded p the situation is delicate — the paper shows (Cor 3.2)
+// that e.g. p(t) = (t+1)^{-d}, d > 1 admits NO optimal schedule.  Our
+// numerical analysis of that family (see EXPERIMENTS.md, exp10) shows what
+// fails concretely:
+//   (a) p > 0 everywhere, so appending one more productive period strictly
+//       increases E — *no finite schedule can be optimal*;
+//   (b) an infinite optimal schedule would have to be a non-terminating
+//       orbit of the first-order system (3.6); every floating-point orbit
+//       terminates, and the one-step stationarity equation
+//           p(tau + t) = p(tau) + (t - c) p'(tau)
+//       has a root t(tau) that *drifts* with tau — there is no sustainable
+//       stationary period.  Contrast the geometric-lifespan family, whose
+//       memorylessness makes t(tau) identically t* (the BCLR optimum): the
+//       equal-period infinite schedule is an exact orbit and E attains its
+//       supremum.
+//
+// The exported verdict encodes exactly this trichotomy.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/recurrence.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// Outcome of the literal Corollary 3.2 scan: a witness t > c with
+/// p(t) > -(t - c) p'(t).  This necessary condition is cheap but weak (the
+/// Pareto family satisfies it near t = c even though no optimum exists);
+/// it definitively rules out existence only when absent.
+struct Cor32Result {
+  bool witness_exists = false;
+  double witness_t = 0.0;   ///< a t > c with p(t) + (t-c) p'(t) > 0
+  double sup_margin = 0.0;  ///< sup over scanned t of p(t) + (t-c) p'(t)
+};
+
+/// Scan (c, hi] for the Corollary 3.2 witness; hi defaults to the horizon.
+[[nodiscard]] Cor32Result cor32_witness(const LifeFunction& p, double c,
+                                        std::optional<double> hi = {});
+
+/// One-step stationarity analysis: at each probe time tau, the unique
+/// t(tau) > c solving p(tau+t) = p(tau) + (t-c) p'(tau).  An infinite
+/// equal-period orbit of system (3.6) exists iff t(tau) is constant.
+struct StationaryPeriod {
+  bool stationary = false;     ///< t(tau) constant within `drift_tol`
+  double period = 0.0;         ///< mean of the probed t(tau)
+  double relative_drift = 0.0; ///< (max - min) / mean over probes
+  std::vector<double> probes;  ///< the individual t(tau) values
+};
+
+/// Probe `n_probes` times spread over [0, fraction of horizon].
+[[nodiscard]] StationaryPeriod stationary_period_analysis(
+    const LifeFunction& p, double c, int n_probes = 6,
+    double drift_tol = 1e-6);
+
+/// Top-level existence verdict.
+struct ExistenceVerdict {
+  bool exists;         ///< best judgement (see reason)
+  const char* reason;  ///< human-readable justification
+  Cor32Result cor32;
+  std::optional<StationaryPeriod> stationary;  ///< unbounded p only
+};
+[[nodiscard]] ExistenceVerdict admits_optimal_schedule(const LifeFunction& p,
+                                                       double c);
+
+}  // namespace cs

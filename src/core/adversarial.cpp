@@ -1,0 +1,77 @@
+#include "core/adversarial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/worst_case.hpp"
+
+namespace cs {
+
+GameSolution solve_adversarial_game(double T, double c, std::size_t k,
+                                    const GameOptions& opt) {
+  if (!(T > 0.0) || !(c > 0.0))
+    throw std::invalid_argument("solve_adversarial_game: need T, c > 0");
+  if (opt.grid_points < 8)
+    throw std::invalid_argument("solve_adversarial_game: grid too small");
+  const std::size_t n = opt.grid_points;
+  const double h = T / static_cast<double>(n);
+  const auto min_span = static_cast<std::size_t>(std::ceil(c / h)) + 1;
+
+  // w[kk][i] = W(i*h, kk); choice[kk][i] = grid length of the optimal
+  // opening period (0 = concede).
+  std::vector<std::vector<double>> w(k + 1, std::vector<double>(n + 1, 0.0));
+  std::vector<std::vector<std::size_t>> choice(
+      k + 1, std::vector<std::size_t>(n + 1, 0));
+
+  // Base layer: no interruptions left -> one uninterruptible chunk.
+  for (std::size_t i = 0; i <= n; ++i) {
+    const double t = h * static_cast<double>(i);
+    w[0][i] = t > c ? t - c : 0.0;
+    choice[0][i] = t > c ? i : 0;
+  }
+
+  for (std::size_t kk = 1; kk <= k; ++kk) {
+    for (std::size_t i = min_span; i <= n; ++i) {
+      double best = 0.0;
+      std::size_t best_j = 0;
+      for (std::size_t j = min_span; j <= i; ++j) {
+        const double t = h * static_cast<double>(j);
+        const double complete = (t - c) + w[kk][i - j];
+        const double interrupted = w[kk - 1][i - j];
+        const double value = std::min(complete, interrupted);
+        if (value > best) {
+          best = value;
+          best_j = j;
+        }
+      }
+      w[kk][i] = best;
+      choice[kk][i] = best_j;
+    }
+  }
+
+  GameSolution out;
+  out.value = w[k][n];
+  out.loss = T - out.value;
+  // Principal variation: the adversary never spends an interrupt.
+  std::size_t i = n;
+  bool first = true;
+  while (choice[k][i] != 0) {
+    const std::size_t j = choice[k][i];
+    const double t = h * static_cast<double>(j);
+    out.principal.append(t);
+    if (first) {
+      out.first_period = t;
+      first = false;
+    }
+    i -= j;
+    if (out.principal.size() > n) break;  // safety
+  }
+  return out;
+}
+
+double fixed_plan_game_value(const Schedule& s, double c, std::size_t k) {
+  return guaranteed_work(s, c, k);
+}
+
+}  // namespace cs

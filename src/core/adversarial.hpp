@@ -1,0 +1,55 @@
+// The adversarial cycle-stealing *game* — the full model previewed by the
+// paper's announced sequel (Section 1: "optimizing a worst-case, rather
+// than expected, measure"), generalizing the static plan of worst_case.hpp.
+//
+// State: T time units of guaranteed availability remain and the adversary
+// holds k interruptions.  A commits a period of length t (> c).  The
+// adversary either lets the period complete — A banks t − c and the game
+// moves to (T − t, k) — or interrupts; interrupting at the last instant
+// wastes all t time units for no work, moving to (T − t, k − 1).  (Earlier
+// interruptions waste less of A's time, so a worst-case adversary always
+// waits; this is the draconian contract in game form.)  The value function
+//
+//   W(T, k) = max_{c < t <= T} min( (t − c) + W(T − t, k),  W(T − t, k − 1) )
+//   W(T, 0) = T − c   (a single uninterruptible chunk),  W(T, k) = 0 (T <= c)
+//
+// is solved by backward induction on a time grid.  Classic shape results,
+// verified in tests/bench exp14:
+//   - the optimal first period equalizes the two branches;
+//   - the guaranteed loss  T − W(T, k)  grows as Θ(sqrt(k c T)) — the same
+//     sqrt-law the expected-case guidelines produce (Cor 5.3), and the
+//     static equal-period plan of worst_case.hpp is asymptotically optimal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace cs {
+
+/// Options for the game solver.
+struct GameOptions {
+  std::size_t grid_points = 2048;  ///< time-grid resolution over [0, T]
+};
+
+/// Solution of the adversarial game from the initial state (T, k).
+struct GameSolution {
+  double value = 0.0;        ///< W(T, k): guaranteed banked work
+  Schedule principal;        ///< play when the adversary never interrupts
+  double first_period = 0.0; ///< optimal opening commitment
+  double loss = 0.0;         ///< T - value
+};
+
+/// Solve the game by grid DP.  Requires T > 0, c > 0.
+[[nodiscard]] GameSolution solve_adversarial_game(double T, double c,
+                                                  std::size_t k,
+                                                  const GameOptions& opt = {});
+
+/// Guaranteed work of a *fixed* schedule played against the game adversary
+/// (the adversary deletes the k most valuable periods): identical to
+/// guaranteed_work() of worst_case.hpp; re-exported here for symmetry.
+[[nodiscard]] double fixed_plan_game_value(const Schedule& s, double c,
+                                           std::size_t k);
+
+}  // namespace cs

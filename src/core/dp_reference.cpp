@@ -1,0 +1,117 @@
+#include "core/dp_reference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/expected_work.hpp"
+#include "numerics/minimize.hpp"
+
+namespace cs {
+
+DpResult dp_reference(const LifeFunction& p, double c, const DpOptions& opt) {
+  if (!(c > 0.0)) throw std::invalid_argument("dp_reference: c <= 0");
+  if (opt.grid_points < 2)
+    throw std::invalid_argument("dp_reference: grid too small");
+  DpResult result;
+  result.horizon = p.horizon(opt.p_floor);
+  const std::size_t n = opt.grid_points;
+  const double h = result.horizon / static_cast<double>(n);
+
+  // Precompute survival on the grid (the hot data of the O(n^2) sweep).
+  std::vector<double> surv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i)
+    surv[i] = p.survival(h * static_cast<double>(i));
+
+  std::vector<double> w(n + 1, 0.0);
+  std::vector<std::size_t> choice(n + 1, 0);  // 0 = stop, else next index
+  // Backward induction; skip periods of length <= c (never productive).
+  const auto min_span = static_cast<std::size_t>(std::ceil(c / h)) + 1;
+  for (std::size_t i = n; i-- > 0;) {
+    double best = 0.0;
+    std::size_t best_j = 0;
+    const double tau = h * static_cast<double>(i);
+    for (std::size_t j = i + min_span; j <= n; ++j) {
+      const double t = h * static_cast<double>(j) - tau;
+      const double value = (t - c) * surv[j] + w[j];
+      if (value > best) {
+        best = value;
+        best_j = j;
+      }
+    }
+    w[i] = best;
+    choice[i] = best_j;
+  }
+  result.grid_value = w[0];
+
+  // Reconstruct the grid-optimal schedule.
+  std::vector<double> periods;
+  std::size_t i = 0;
+  while (choice[i] != 0) {
+    const std::size_t j = choice[i];
+    periods.push_back(h * static_cast<double>(j - i));
+    i = j;
+    if (i >= n) break;
+  }
+  result.schedule = Schedule(std::move(periods));
+  result.expected = expected_work(result.schedule, p, c);
+
+  if (opt.polish && !result.schedule.empty()) {
+    PolishResult polished = polish_schedule(result.schedule, p, c,
+                                            opt.polish_sweeps, opt.polish_tol);
+    if (polished.expected >= result.expected) {
+      result.schedule = std::move(polished.schedule);
+      result.expected = polished.expected;
+    }
+  }
+  return result;
+}
+
+PolishResult polish_schedule(const Schedule& s, const LifeFunction& p,
+                             double c, int max_sweeps, double tol) {
+  PolishResult out;
+  out.schedule = canonicalize(s, c);
+  if (out.schedule.empty()) return out;
+  const double horizon = p.horizon(1e-13);
+  std::vector<double> periods = out.schedule.periods();
+  double current = expected_work(out.schedule, p, c);
+
+  // Objective restricted to coordinate i: only the suffix of E depends on
+  // t_i, so evaluate the suffix directly.
+  auto suffix_value = [&](std::size_t i, double ti, double start) {
+    double acc = 0.0;
+    double end = start + ti;
+    acc += positive_sub(ti, c) * p.survival(end);
+    for (std::size_t j = i + 1; j < periods.size(); ++j) {
+      end += periods[j];
+      acc += positive_sub(periods[j], c) * p.survival(end);
+    }
+    return acc;
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    ++out.sweeps_used;
+    double improved = 0.0;
+    double start = 0.0;  // T_{i-1}
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      const double hi = horizon - start;
+      if (hi <= c) break;
+      const double before = suffix_value(i, periods[i], start);
+      const auto best = num::grid_then_refine_max(
+          [&](double t) { return suffix_value(i, t, start); },
+          c * (1.0 + 1e-12), hi, {.grid_points = 33});
+      if (best.value > before + 1e-15) {
+        improved += best.value - before;
+        periods[i] = best.x;
+      }
+      start += periods[i];
+    }
+    current += improved;
+    if (improved < tol) break;
+  }
+  out.schedule = canonicalize(Schedule(std::move(periods)), c);
+  out.expected = expected_work(out.schedule, p, c);
+  return out;
+}
+
+}  // namespace cs

@@ -1,0 +1,67 @@
+#include "core/expected_work.hpp"
+
+#include <stdexcept>
+
+namespace cs {
+
+double expected_work(const Schedule& s, const LifeFunction& p, double c) {
+  if (!(c >= 0.0)) throw std::invalid_argument("expected_work: c < 0");
+  double acc = 0.0;
+  double end = 0.0;
+  for (double t : s.periods()) {
+    end += t;
+    const double gain = positive_sub(t, c);
+    if (gain > 0.0) acc += gain * p.survival(end);
+  }
+  return acc;
+}
+
+double work_given_reclaim(const Schedule& s, double c, double reclaim) {
+  double acc = 0.0;
+  double end = 0.0;
+  for (double t : s.periods()) {
+    end += t;
+    if (end >= reclaim) break;  // period interrupted (reclaimed by T_k)
+    acc += positive_sub(t, c);
+  }
+  return acc;
+}
+
+std::vector<double> expected_work_terms(const Schedule& s,
+                                        const LifeFunction& p, double c) {
+  std::vector<double> terms;
+  terms.reserve(s.size());
+  double end = 0.0;
+  for (double t : s.periods()) {
+    end += t;
+    terms.push_back(positive_sub(t, c) * p.survival(end));
+  }
+  return terms;
+}
+
+Schedule canonicalize(const Schedule& s, double c) {
+  std::vector<double> out;
+  out.reserve(s.size());
+  double carry = 0.0;  // accumulated lengths of unproductive periods
+  for (double t : s.periods()) {
+    const double merged = carry + t;
+    if (merged > c) {
+      out.push_back(merged);
+      carry = 0.0;
+    } else {
+      // Fold into the next period: keeps the successor's end time while
+      // strictly enlarging its productive part (proof of Prop 2.1).
+      carry = merged;
+    }
+  }
+  // A trailing unproductive remainder contributes no work; drop it.
+  return Schedule(std::move(out));
+}
+
+bool is_productive(const Schedule& s, double c) {
+  for (double t : s.periods())
+    if (!(t > c)) return false;
+  return true;
+}
+
+}  // namespace cs

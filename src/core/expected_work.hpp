@@ -1,0 +1,38 @@
+// Expected work of a schedule (eq. 2.1) and the Proposition 2.1
+// canonicalization that makes every period productive.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// E(S; p) = Σ_i (t_i ⊖ c) p(T_i)  — the paper's objective (eq. 2.1).
+/// Positive subtraction is applied so arbitrary (possibly unproductive)
+/// schedules are scored exactly as the model defines.
+[[nodiscard]] double expected_work(const Schedule& s, const LifeFunction& p,
+                                   double c);
+
+/// Work actually accomplished when the workstation is reclaimed at time
+/// `reclaim`: periods whose end time strictly precedes the reclaim count
+/// ("not reclaimed by T_k" means reclaim > T_k).
+[[nodiscard]] double work_given_reclaim(const Schedule& s, double c,
+                                        double reclaim);
+
+/// Per-period expected contributions (t_i ⊖ c)·p(T_i); useful for
+/// diagnostics and for deciding truncation of infinite schedules.
+[[nodiscard]] std::vector<double> expected_work_terms(const Schedule& s,
+                                                      const LifeFunction& p,
+                                                      double c);
+
+/// Proposition 2.1: transform S into S' with E(S';p) >= E(S;p) and every
+/// period — save possibly the last — of length > c.  Unproductive periods
+/// are merged forward into their successor (same end time, strictly more
+/// work); a trailing unproductive period is dropped (it contributes 0).
+[[nodiscard]] Schedule canonicalize(const Schedule& s, double c);
+
+/// True iff every period has length > c (the last may be arbitrary only in
+/// the strict reading of Prop 2.1; we require all > c after canonicalize).
+[[nodiscard]] bool is_productive(const Schedule& s, double c);
+
+}  // namespace cs

@@ -1,0 +1,31 @@
+#include "core/greedy.hpp"
+
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+#include "numerics/minimize.hpp"
+
+namespace cs {
+
+GreedyResult greedy_schedule(const LifeFunction& p, double c,
+                             const GreedyOptions& opt) {
+  if (!(c > 0.0)) throw std::invalid_argument("greedy_schedule: c <= 0");
+  const double horizon = p.horizon(1e-13);
+  GreedyResult result;
+  double tau = 0.0;
+  while (result.schedule.size() < opt.max_periods) {
+    const double lo = c * (1.0 + 1e-12);
+    const double hi = horizon - tau;
+    if (hi <= lo) break;
+    const auto best = num::grid_then_refine_max(
+        [&](double t) { return (t - c) * p.survival(tau + t); }, lo, hi,
+        {.grid_points = opt.grid_points});
+    if (!(best.value > opt.gain_tol)) break;
+    result.schedule.append(best.x);
+    result.expected += best.value;
+    tau += best.x;
+  }
+  return result;
+}
+
+}  // namespace cs

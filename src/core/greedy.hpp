@@ -1,0 +1,33 @@
+// Greedy scheduling (Section 6's "natural recipe"): choose each period to
+// maximize its own expected contribution, ignoring the future.
+//
+// At elapsed time tau the next period of length t contributes
+// (t - c) p(tau + t) in expectation; greedy maximizes this marginal gain
+// period by period.  The paper poses "how good are greedy schedules?" as an
+// open question — experiment exp5 measures it against the guideline and the
+// DP reference.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// Options for the greedy scheduler.
+struct GreedyOptions {
+  std::size_t max_periods = 100000;
+  double gain_tol = 1e-12;  ///< stop when the best marginal gain drops below
+  int grid_points = 129;    ///< scan resolution of the per-period maximization
+};
+
+/// Result: the schedule and its expected work.
+struct GreedyResult {
+  Schedule schedule;
+  double expected = 0.0;
+};
+
+/// Build a greedy schedule for life function `p` and overhead `c` (> 0).
+[[nodiscard]] GreedyResult greedy_schedule(const LifeFunction& p, double c,
+                                           const GreedyOptions& opt = {});
+
+}  // namespace cs

@@ -1,0 +1,59 @@
+#include "core/guideline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+#include "numerics/minimize.hpp"
+
+namespace cs {
+
+const char* to_string(T0Rule r) noexcept {
+  switch (r) {
+    case T0Rule::SearchBracket: return "search";
+    case T0Rule::LowerBound: return "lower";
+    case T0Rule::UpperBound: return "upper";
+    case T0Rule::Midpoint: return "midpoint";
+  }
+  return "?";
+}
+
+GuidelineScheduler::GuidelineScheduler(const LifeFunction& p, double c,
+                                       GuidelineOptions opt)
+    : p_(p), c_(c), opt_(opt), bracket_(guideline_t0_bracket(p, c)) {}
+
+GuidelineResult GuidelineScheduler::run_from_t0(double t0) const {
+  if (!(t0 > c_))
+    throw std::invalid_argument("GuidelineScheduler: t0 must exceed c");
+  const RecurrenceEngine engine(p_, c_, opt_.recurrence);
+  RecurrenceResult rec = engine.generate(t0);
+  GuidelineResult result;
+  result.schedule = std::move(rec.schedule);
+  result.stop = rec.stop;
+  result.chosen_t0 = t0;
+  result.expected = expected_work(result.schedule, p_, c_);
+  result.bracket = bracket_;
+  return result;
+}
+
+GuidelineResult GuidelineScheduler::run() const {
+  const double lo = std::max(bracket_.lower, c_ * (1.0 + 1e-9));
+  const double hi = std::max(bracket_.upper, lo);
+  switch (opt_.rule) {
+    case T0Rule::LowerBound:
+      return run_from_t0(lo);
+    case T0Rule::UpperBound:
+      return run_from_t0(hi);
+    case T0Rule::Midpoint:
+      return run_from_t0(0.5 * (lo + hi));
+    case T0Rule::SearchBracket:
+      break;
+  }
+  if (hi <= lo * (1.0 + 1e-12)) return run_from_t0(lo);
+  const auto best = num::grid_then_refine_max(
+      [this](double t0) { return run_from_t0(t0).expected; }, lo, hi,
+      {.grid_points = opt_.t0_grid});
+  return run_from_t0(best.x);
+}
+
+}  // namespace cs

@@ -1,0 +1,70 @@
+// GuidelineScheduler: the paper's prescription turned into an algorithm.
+//
+// Pipeline (Sections 3-4 of the paper):
+//   1. Bracket the optimal initial period t0 with Theorem 3.2 (lower) and
+//      Theorem 3.3 / Lemma 3.1 (upper) — a factor-≈2 window.
+//   2. For any candidate t0 inside the window, system (3.6) determines every
+//      later period progressively; expand it with RecurrenceEngine.
+//   3. Close the paper's remaining "art" (Section 6): pick t0 inside the
+//      bracket.  The default searches the bracket for the t0 whose expanded
+//      schedule maximizes E(S; p); cheaper rules (midpoint, endpoints) are
+//      available for ablation.
+#pragma once
+
+#include "core/recurrence.hpp"
+#include "core/schedule.hpp"
+#include "core/t0_bounds.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// How to choose t0 inside the guideline bracket.
+enum class T0Rule {
+  SearchBracket,  ///< 1-D maximize E(S(t0); p) over [lower, upper] (default)
+  LowerBound,     ///< t0 = bracket lower end (Theorem 3.2)
+  UpperBound,     ///< t0 = bracket upper end (Theorem 3.3 / Lemma 3.1)
+  Midpoint,       ///< t0 = (lower + upper) / 2
+};
+
+[[nodiscard]] const char* to_string(T0Rule r) noexcept;
+
+/// Options for the guideline scheduler.
+struct GuidelineOptions {
+  T0Rule rule = T0Rule::SearchBracket;
+  int t0_grid = 65;              ///< coarse scan size for SearchBracket
+  RecurrenceOptions recurrence;  ///< expansion controls
+};
+
+/// The produced schedule plus full diagnostics.
+struct GuidelineResult {
+  Schedule schedule;
+  double chosen_t0 = 0.0;
+  double expected = 0.0;      ///< E(schedule; p)
+  T0Bracket bracket;          ///< the Theorem 3.2/3.3 window
+  StopReason stop = StopReason::TargetExhausted;
+};
+
+/// Derive a guideline schedule for life function `p` and overhead `c` (> 0).
+class GuidelineScheduler {
+ public:
+  GuidelineScheduler(const LifeFunction& p, double c,
+                     GuidelineOptions opt = {});
+
+  /// Run the full pipeline.
+  [[nodiscard]] GuidelineResult run() const;
+
+  /// Expand system (3.6) from an explicit t0 and score it (used both by the
+  /// internal search and by callers exploring the bracket themselves).
+  [[nodiscard]] GuidelineResult run_from_t0(double t0) const;
+
+  /// The bracket alone (cached at construction).
+  [[nodiscard]] const T0Bracket& bracket() const noexcept { return bracket_; }
+
+ private:
+  const LifeFunction& p_;
+  double c_;
+  GuidelineOptions opt_;
+  T0Bracket bracket_;
+};
+
+}  // namespace cs

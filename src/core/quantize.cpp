@@ -1,0 +1,111 @@
+#include "core/quantize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/expected_work.hpp"
+
+namespace cs {
+
+QuantizedSchedule quantize_schedule(const Schedule& s, const LifeFunction& p,
+                                    double c, double u, QuantizeRule rule) {
+  if (!(u > 0.0)) throw std::invalid_argument("quantize_schedule: u <= 0");
+  if (!(c >= 0.0)) throw std::invalid_argument("quantize_schedule: c < 0");
+  QuantizedSchedule out;
+  double elapsed = 0.0;
+  for (double t : s.periods()) {
+    const double payload = positive_sub(t, c);
+    const double frac = payload / u;
+    long k = 0;
+    switch (rule) {
+      case QuantizeRule::Floor:
+        k = static_cast<long>(std::floor(frac));
+        break;
+      case QuantizeRule::Nearest:
+        k = std::lround(frac);
+        break;
+      case QuantizeRule::Best: {
+        // Greedy-local: pick floor or ceil by the period's own expected
+        // contribution at its would-be end time.
+        const long lo = static_cast<long>(std::floor(frac));
+        const long hi = lo + 1;
+        auto gain = [&](long kk) {
+          if (kk < 1) return 0.0;
+          const double len = c + static_cast<double>(kk) * u;
+          return static_cast<double>(kk) * u * p.survival(elapsed + len);
+        };
+        k = gain(hi) > gain(lo) ? hi : lo;
+        break;
+      }
+    }
+    if (k < 1) continue;  // pure-overhead period: drop, consuming no time
+    const double len = c + static_cast<double>(k) * u;
+    out.schedule.append(len);
+    elapsed += len;
+  }
+  out.expected = expected_work(out.schedule, p, c);
+  const double continuous = expected_work(s, p, c);
+  out.efficiency = continuous > 0.0 ? out.expected / continuous : 0.0;
+  return out;
+}
+
+DiscreteOptimum discrete_optimal_schedule(const LifeFunction& p, double c,
+                                          double u, std::size_t max_tasks) {
+  if (!(u > 0.0) || !(c > 0.0))
+    throw std::invalid_argument("discrete_optimal_schedule: need u, c > 0");
+  const double horizon = p.horizon(1e-12);
+  const auto m_max = static_cast<std::size_t>(std::floor(horizon / c)) + 1;
+  std::size_t n_max = static_cast<std::size_t>(std::floor(horizon / u)) + 1;
+  if (max_tasks > 0) n_max = std::min(n_max, max_tasks + 1);
+  if (m_max * n_max > 8000000)
+    throw std::invalid_argument(
+        "discrete_optimal_schedule: state space too large; raise u or c, or "
+        "cap max_tasks");
+
+  // W(m, n): best future expected work when m periods have been used and n
+  // tasks completed (elapsed = m c + n u).  choice(m, n) = tasks in the next
+  // period (0 = stop).
+  std::vector<double> w(m_max * n_max, 0.0);
+  std::vector<std::size_t> choice(m_max * n_max, 0);
+  auto idx = [n_max](std::size_t m, std::size_t n) { return m * n_max + n; };
+
+  for (std::size_t m = m_max; m-- > 0;) {
+    for (std::size_t n = n_max; n-- > 0;) {
+      const double elapsed =
+          static_cast<double>(m) * c + static_cast<double>(n) * u;
+      if (elapsed >= horizon) continue;
+      if (m + 1 >= m_max) continue;
+      double best = 0.0;
+      std::size_t best_k = 0;
+      for (std::size_t k = 1; n + k < n_max; ++k) {
+        const double len = c + static_cast<double>(k) * u;
+        const double end = elapsed + len;
+        if (end > horizon + len) break;
+        const double value = static_cast<double>(k) * u * p.survival(end) +
+                             w[idx(m + 1, n + k)];
+        if (value > best) {
+          best = value;
+          best_k = k;
+        }
+      }
+      w[idx(m, n)] = best;
+      choice[idx(m, n)] = best_k;
+    }
+  }
+
+  DiscreteOptimum out;
+  out.expected = w[idx(0, 0)];
+  std::size_t m = 0, n = 0;
+  while (m + 1 < m_max) {
+    const std::size_t k = choice[idx(m, n)];
+    if (k == 0) break;
+    out.schedule.append(c + static_cast<double>(k) * u);
+    ++m;
+    n += k;
+    if (n >= n_max) break;
+  }
+  return out;
+}
+
+}  // namespace cs

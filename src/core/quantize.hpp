@@ -1,0 +1,59 @@
+// Discrete (indivisible-task) analogues of the continuous guidelines —
+// the paper's closing open question:
+//
+//   "we have had to translate what is ideally a discrete problem into a
+//    continuous framework in order to derive our guidelines ... Can one
+//    show that our continuous guidelines yield valuable discrete
+//    analogues?"  (Section 6)
+//
+// With indivisible tasks of unit duration u, a period can only take the
+// values c + k·u (setup plus k whole tasks).  quantize_schedule() snaps each
+// continuous period's payload to a whole number of tasks; bench exp13
+// measures the efficiency E(quantized)/E(continuous) as u grows relative to
+// the chunk scale — the answer to the open question is quantitative: the
+// loss is O(u / t0) per period and stays negligible until tasks approach
+// the chunk size.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// How to snap fractional task counts.
+enum class QuantizeRule {
+  Floor,    ///< round the payload down (never exceeds the continuous period)
+  Nearest,  ///< round to the nearest whole task count
+  Best,     ///< per period, keep the better of floor/ceil by E (greedy local)
+};
+
+/// Result of quantization.
+struct QuantizedSchedule {
+  Schedule schedule;        ///< periods of the form c + k·u (k >= 1)
+  double expected = 0.0;    ///< E(schedule; p)
+  double efficiency = 0.0;  ///< expected / E(continuous input; p)
+};
+
+/// Snap `s` to task granularity `u` (> 0) for overhead `c`.
+/// Periods whose payload rounds to zero tasks are dropped (they would be
+/// pure overhead).
+[[nodiscard]] QuantizedSchedule quantize_schedule(const Schedule& s,
+                                                  const LifeFunction& p,
+                                                  double c, double u,
+                                                  QuantizeRule rule =
+                                                      QuantizeRule::Best);
+
+/// Exhaustive discrete reference for small instances: dynamic program over
+/// periods restricted to {c + k·u : k = 1..k_max} on a task-count state —
+/// the true discrete optimum to grade quantization against.
+/// `max_tasks` bounds the total work considered (= horizon/u by default).
+struct DiscreteOptimum {
+  Schedule schedule;
+  double expected = 0.0;
+};
+[[nodiscard]] DiscreteOptimum discrete_optimal_schedule(const LifeFunction& p,
+                                                        double c, double u,
+                                                        std::size_t max_tasks =
+                                                            0);
+
+}  // namespace cs

@@ -1,0 +1,105 @@
+#include "core/recurrence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/roots.hpp"
+
+namespace cs {
+
+const char* to_string(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::TargetExhausted: return "target-exhausted";
+    case StopReason::Unproductive: return "unproductive";
+    case StopReason::HorizonReached: return "horizon-reached";
+    case StopReason::TailNegligible: return "tail-negligible";
+    case StopReason::PeriodCapReached: return "period-cap";
+  }
+  return "?";
+}
+
+RecurrenceEngine::RecurrenceEngine(const LifeFunction& p, double c,
+                                   RecurrenceOptions opt)
+    : p_(p), c_(c), opt_(opt) {
+  if (!(c >= 0.0) || !std::isfinite(c))
+    throw std::invalid_argument("RecurrenceEngine: c must be nonnegative");
+  horizon_ = p_.horizon(opt_.p_floor);
+}
+
+std::optional<double> RecurrenceEngine::next_period(double prev_end,
+                                                    double prev_length) const {
+  // Target survival value: p(T_k) = p(T_{k-1}) + (t_{k-1} - c) p'(T_{k-1}).
+  const double p_prev = p_.survival(prev_end);
+  const double dp_prev = p_.derivative(prev_end);
+  const double target = p_prev + (prev_length - c_) * dp_prev;
+  if (target <= opt_.p_floor) return std::nullopt;
+  if (target >= p_prev) {
+    // p' ~ 0 (flat region): the system prescribes no decrease; treat as
+    // exhausted rather than generate a zero-length period.
+    return std::nullopt;
+  }
+  if (prev_end >= horizon_) return std::nullopt;
+  // Invert p on (prev_end, horizon].
+  auto f = [this, target](double t) { return p_.survival(t) - target; };
+  if (f(horizon_) > 0.0) return std::nullopt;  // target below reachable range
+  const auto root = num::monotone_root(f, prev_end, horizon_,
+                                       {.x_tol = opt_.root_tol *
+                                                 std::max(1.0, horizon_)});
+  if (!root) return std::nullopt;
+  const double t_k = *root - prev_end;
+  if (!(t_k > 0.0)) return std::nullopt;
+  return t_k;
+}
+
+RecurrenceResult RecurrenceEngine::generate(double t0) const {
+  if (!(t0 > c_))
+    throw std::invalid_argument("RecurrenceEngine::generate: t0 must exceed c");
+  RecurrenceResult result;
+  double prev_len = t0;
+  double prev_end = t0;
+  result.schedule.append(t0);
+  for (;;) {
+    if (result.schedule.size() >= opt_.max_periods) {
+      result.stop = StopReason::PeriodCapReached;
+      return result;
+    }
+    if (prev_end >= horizon_ - opt_.root_tol * std::max(1.0, horizon_)) {
+      result.stop = StopReason::HorizonReached;
+      return result;
+    }
+    const auto t_k = next_period(prev_end, prev_len);
+    if (!t_k) {
+      result.stop = StopReason::TargetExhausted;
+      return result;
+    }
+    if (*t_k <= c_) {
+      // An unproductive final period adds nothing (Prop 2.1); drop and stop.
+      result.stop = StopReason::Unproductive;
+      return result;
+    }
+    prev_end += *t_k;
+    prev_len = *t_k;
+    result.schedule.append(*t_k);
+    const double contribution = (*t_k - c_) * p_.survival(prev_end);
+    if (contribution < opt_.tail_tol) {
+      result.stop = StopReason::TailNegligible;
+      return result;
+    }
+  }
+}
+
+std::vector<double> RecurrenceEngine::residuals(const Schedule& s) const {
+  std::vector<double> res;
+  if (s.size() < 2) return res;
+  res.reserve(s.size() - 1);
+  const auto ends = s.end_times();
+  for (std::size_t k = 1; k < s.size(); ++k) {
+    const double lhs = p_.survival(ends[k]);
+    const double rhs = p_.survival(ends[k - 1]) +
+                       (s[k - 1] - c_) * p_.derivative(ends[k - 1]);
+    res.push_back(lhs - rhs);
+  }
+  return res;
+}
+
+}  // namespace cs

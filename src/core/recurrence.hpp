@@ -1,0 +1,77 @@
+// The inductive period-length system of the paper (Theorem 3.1 /
+// Corollary 3.1, eq. 3.6):
+//
+//   p(T_k) = p(T_{k-1}) + (t_{k-1} - c) p'(T_{k-1}),   k >= 1.
+//
+// Given the initial period-length t_0, every later period is determined by
+// inverting the (monotone, decreasing) life function on the right-hand
+// target.  The paper highlights the "progressive" nature of the system: t_k
+// only needs information available when period k-1 ends (Section 6), which
+// is exactly how `RecurrenceEngine::next_period` is shaped.
+#pragma once
+
+#include <optional>
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// Why schedule generation stopped.
+enum class StopReason {
+  TargetExhausted,   ///< RHS target fell to/below p's infimum — no further
+                     ///< period can satisfy (3.6)
+  Unproductive,      ///< next period would have length <= c (dropped per
+                     ///< Prop 2.1)
+  HorizonReached,    ///< end time reached the lifespan/horizon
+  TailNegligible,    ///< infinite schedule truncated: period contribution
+                     ///< fell below tolerance
+  PeriodCapReached,  ///< max_periods safety cap hit
+};
+
+[[nodiscard]] const char* to_string(StopReason r) noexcept;
+
+/// Options controlling recurrence expansion.
+struct RecurrenceOptions {
+  std::size_t max_periods = 100000;  ///< hard cap (safety)
+  double tail_tol = 1e-12;   ///< truncate when (t_k - c) p(T_k) < tail_tol
+  double p_floor = 1e-15;    ///< treat p below this as exhausted
+  double root_tol = 1e-12;   ///< Brent tolerance when inverting p
+};
+
+/// A generated schedule plus the reason expansion stopped.
+struct RecurrenceResult {
+  Schedule schedule;
+  StopReason stop = StopReason::TargetExhausted;
+};
+
+/// Stateful expansion of system (3.6) from a given t0.
+class RecurrenceEngine {
+ public:
+  /// `c` is the communication-overhead parameter; must be >= 0 and t0 > c
+  /// for the first period to be productive.
+  RecurrenceEngine(const LifeFunction& p, double c,
+                   RecurrenceOptions opt = {});
+
+  /// Compute period k's length from the end time and length of period k-1.
+  /// Returns nullopt when no positive solution exists (target exhausted or
+  /// beyond the horizon).
+  [[nodiscard]] std::optional<double> next_period(double prev_end,
+                                                  double prev_length) const;
+
+  /// Expand the full schedule starting from t0 (> c).
+  [[nodiscard]] RecurrenceResult generate(double t0) const;
+
+  /// Residuals of system (3.6) on an existing schedule: element k-1 holds
+  /// p(T_k) - [p(T_{k-1}) + (t_{k-1}-c) p'(T_{k-1})] for k = 1..m-1.
+  /// An optimal schedule satisfies all residuals = 0 (Corollary 3.1).
+  [[nodiscard]] std::vector<double> residuals(const Schedule& s) const;
+
+ private:
+  const LifeFunction& p_;
+  double c_;
+  RecurrenceOptions opt_;
+  double horizon_;
+};
+
+}  // namespace cs

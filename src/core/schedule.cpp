@@ -1,0 +1,104 @@
+#include "core/schedule.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cs {
+
+namespace {
+
+void validate_period(double t) {
+  if (!(t > 0.0) || !std::isfinite(t))
+    throw std::invalid_argument("Schedule: periods must be positive finite");
+}
+
+}  // namespace
+
+Schedule::Schedule(std::vector<double> periods) : periods_(std::move(periods)) {
+  for (double t : periods_) validate_period(t);
+}
+
+Schedule Schedule::equal_periods(double t, std::size_t m) {
+  validate_period(t);
+  return Schedule(std::vector<double>(m, t));
+}
+
+Schedule Schedule::arithmetic(double t0, double step, std::size_t m_max) {
+  std::vector<double> periods;
+  double t = t0;
+  while (periods.size() < m_max && t > 0.0) {
+    periods.push_back(t);
+    t -= step;
+  }
+  return Schedule(std::move(periods));
+}
+
+double Schedule::total_duration() const noexcept {
+  double total = 0.0;
+  for (double t : periods_) total += t;
+  return total;
+}
+
+std::vector<double> Schedule::end_times() const {
+  std::vector<double> ends;
+  ends.reserve(periods_.size());
+  double acc = 0.0;
+  for (double t : periods_) {
+    acc += t;
+    ends.push_back(acc);
+  }
+  return ends;
+}
+
+double Schedule::end_time(std::size_t i) const {
+  if (i >= periods_.size()) throw std::out_of_range("Schedule::end_time");
+  double acc = 0.0;
+  for (std::size_t k = 0; k <= i; ++k) acc += periods_[k];
+  return acc;
+}
+
+void Schedule::append(double t) {
+  validate_period(t);
+  periods_.push_back(t);
+}
+
+Schedule Schedule::shifted(std::size_t k, double delta) const {
+  if (k >= periods_.size()) throw std::out_of_range("Schedule::shifted");
+  std::vector<double> p = periods_;
+  p[k] += delta;
+  validate_period(p[k]);
+  return Schedule(std::move(p));
+}
+
+Schedule Schedule::perturbed(std::size_t k, double delta) const {
+  if (k + 1 >= periods_.size()) throw std::out_of_range("Schedule::perturbed");
+  std::vector<double> p = periods_;
+  p[k] += delta;
+  p[k + 1] -= delta;
+  validate_period(p[k]);
+  validate_period(p[k + 1]);
+  return Schedule(std::move(p));
+}
+
+Schedule Schedule::prefix(std::size_t m) const {
+  if (m >= periods_.size()) return *this;
+  return Schedule(
+      std::vector<double>(periods_.begin(), periods_.begin() + static_cast<std::ptrdiff_t>(m)));
+}
+
+std::string Schedule::to_string(std::size_t max_shown) const {
+  std::ostringstream os;
+  os << '[';
+  const std::size_t shown = std::min(max_shown, periods_.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) os << ", ";
+    os << periods_[i];
+  }
+  if (shown < periods_.size())
+    os << ", ... (" << periods_.size() << " periods)";
+  os << ']';
+  return os.str();
+}
+
+}  // namespace cs

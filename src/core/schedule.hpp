@@ -1,0 +1,77 @@
+// Schedule: a cycle-stealing episode plan (Section 2.1 of the paper).
+//
+// A schedule is the sequence of period-lengths S = t_0, t_1, ...; period k
+// occupies the half-open interval (T_{k-1}, T_k] with T_k = t_0 + ... + t_k.
+// Workstation A sends enough work at the start of period k that sending,
+// computing, and returning results all fit in t_k time units; the period
+// yields (t_k ⊖ c) units of useful work iff B survives past T_k.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cs {
+
+/// Positive subtraction x ⊖ y = max(0, x - y) (paper footnote 2).
+[[nodiscard]] constexpr double positive_sub(double x, double y) noexcept {
+  return x > y ? x - y : 0.0;
+}
+
+/// Value type holding the period-lengths of a (finite prefix of a) schedule.
+/// All periods are strictly positive; an empty schedule does no work.
+class Schedule {
+ public:
+  Schedule() = default;
+  /// Throws std::invalid_argument if any period is <= 0 or non-finite.
+  explicit Schedule(std::vector<double> periods);
+
+  /// m equal periods of length t.
+  static Schedule equal_periods(double t, std::size_t m);
+
+  /// Arithmetic schedule t0, t0 - step, t0 - 2·step, ... while positive,
+  /// capped at m_max periods.  (The uniform-risk optimum has this shape with
+  /// step = c, eq. 4.1.)
+  static Schedule arithmetic(double t0, double step, std::size_t m_max);
+
+  [[nodiscard]] bool empty() const noexcept { return periods_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return periods_.size(); }
+  [[nodiscard]] double operator[](std::size_t i) const { return periods_[i]; }
+  [[nodiscard]] const std::vector<double>& periods() const noexcept {
+    return periods_;
+  }
+
+  /// Σ t_i — total time the schedule occupies.
+  [[nodiscard]] double total_duration() const noexcept;
+
+  /// End times T_0, T_1, ..., T_{m-1}.
+  [[nodiscard]] std::vector<double> end_times() const;
+
+  /// T_{i} for a single index (O(i)).
+  [[nodiscard]] double end_time(std::size_t i) const;
+
+  /// Append one more period (must be > 0).
+  void append(double t);
+
+  /// The <k, ±δ>-shift of Section 3.2: period k's length changed by delta
+  /// (all later periods keep their lengths, so all later end times shift).
+  /// Requires the perturbed period to stay positive.
+  [[nodiscard]] Schedule shifted(std::size_t k, double delta) const;
+
+  /// The [k, ±δ]-perturbation of Section 5.1: t_k += delta, t_{k+1} -= delta
+  /// (end times beyond k+1 are unchanged).  Requires both to stay positive.
+  [[nodiscard]] Schedule perturbed(std::size_t k, double delta) const;
+
+  /// First m periods.
+  [[nodiscard]] Schedule prefix(std::size_t m) const;
+
+  /// "t0=..., t1=..., ..." (first `max_shown` periods) for diagnostics.
+  [[nodiscard]] std::string to_string(std::size_t max_shown = 8) const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::vector<double> periods_;
+};
+
+}  // namespace cs

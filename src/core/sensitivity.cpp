@@ -1,0 +1,59 @@
+#include "core/sensitivity.hpp"
+
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+#include "core/guideline.hpp"
+#include "lifefn/transforms.hpp"
+
+namespace cs {
+
+namespace {
+
+double oracle_expected(const LifeFunction& p, double c) {
+  return GuidelineScheduler(p, c).run().expected;
+}
+
+}  // namespace
+
+std::vector<SensitivityPoint> sensitivity_to_overhead(
+    const LifeFunction& p, double c_true,
+    const std::vector<double>& relative_errors) {
+  if (!(c_true > 0.0))
+    throw std::invalid_argument("sensitivity_to_overhead: c_true <= 0");
+  const double best = oracle_expected(p, c_true);
+  std::vector<SensitivityPoint> out;
+  out.reserve(relative_errors.size());
+  for (double err : relative_errors) {
+    const double c_assumed = c_true * (1.0 + err);
+    SensitivityPoint pt;
+    pt.relative_error = err;
+    if (c_assumed > 0.0) {
+      const auto g = GuidelineScheduler(p, c_assumed).run();
+      pt.efficiency = expected_work(g.schedule, p, c_true) / best;
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<SensitivityPoint> sensitivity_to_timescale(
+    const LifeFunction& p, double c,
+    const std::vector<double>& relative_errors) {
+  const double best = oracle_expected(p, c);
+  std::vector<SensitivityPoint> out;
+  out.reserve(relative_errors.size());
+  for (double err : relative_errors) {
+    SensitivityPoint pt;
+    pt.relative_error = err;
+    if (1.0 + err > 0.0) {
+      const TimeScaled assumed(p.clone(), 1.0 + err);
+      const auto g = GuidelineScheduler(assumed, c).run();
+      pt.efficiency = expected_work(g.schedule, p, c) / best;
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace cs

@@ -1,0 +1,35 @@
+// Sensitivity of the guidelines to parameter misestimation.
+//
+// The paper assumes exact knowledge of c and p; in a deployed system both
+// are estimates (c from ping benchmarks, p from traces).  These routines
+// quantify the efficiency lost when scheduling against perturbed inputs but
+// living under the truth — the engineering companion to the Section 1
+// robustness remark, and the ablation behind bench exp12.
+#pragma once
+
+#include <vector>
+
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// One row of a sensitivity sweep.
+struct SensitivityPoint {
+  double relative_error = 0.0;  ///< (assumed − true) / true
+  double efficiency = 0.0;      ///< E(S_assumed; p_true, c_true) / E(S_true; …)
+};
+
+/// Efficiency when the overhead c is misestimated by each relative error
+/// (schedule derived with c_assumed = c_true·(1+err), scored with c_true).
+[[nodiscard]] std::vector<SensitivityPoint> sensitivity_to_overhead(
+    const LifeFunction& p, double c_true,
+    const std::vector<double>& relative_errors);
+
+/// Efficiency when the lifespan scale is misestimated: the schedule is
+/// derived against a time-scaled copy of p (scale = 1 + err) but scored
+/// under the true p.
+[[nodiscard]] std::vector<SensitivityPoint> sensitivity_to_timescale(
+    const LifeFunction& p, double c,
+    const std::vector<double>& relative_errors);
+
+}  // namespace cs

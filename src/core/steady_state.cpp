@@ -1,0 +1,35 @@
+#include "core/steady_state.hpp"
+
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+
+namespace cs {
+
+SteadyState steady_state(const Schedule& s, const LifeFunction& p, double c,
+                         double mean_gap) {
+  if (!(mean_gap >= 0.0))
+    throw std::invalid_argument("steady_state: mean_gap < 0");
+  SteadyState out;
+  out.work_per_episode = expected_work(s, p, c);
+  out.mean_episode = p.mean_lifespan();
+  out.mean_gap = mean_gap;
+  const double cycle = out.mean_episode + mean_gap;
+  out.work_rate = cycle > 0.0 ? out.work_per_episode / cycle : 0.0;
+  out.utilization = out.mean_episode > 0.0
+                        ? out.work_per_episode / out.mean_episode
+                        : 0.0;
+  return out;
+}
+
+double fluid_completion_time(const SteadyState& ss, double work,
+                             std::size_t n) {
+  if (n == 0) throw std::invalid_argument("fluid_completion_time: n == 0");
+  if (!(work >= 0.0))
+    throw std::invalid_argument("fluid_completion_time: work < 0");
+  if (ss.work_rate <= 0.0)
+    throw std::invalid_argument("fluid_completion_time: zero work rate");
+  return work / (ss.work_rate * static_cast<double>(n));
+}
+
+}  // namespace cs

@@ -1,0 +1,43 @@
+// Long-run (renewal) analysis of repeated cycle-stealing.
+//
+// The paper optimizes one episode; a deployed cycle-stealer faces an endless
+// alternation of owner-present gaps and stealable episodes.  Modelling this
+// as a renewal-reward process (episodes i.i.d. with survival p, gaps with
+// mean E[G]) gives the long-run banked-work rate
+//
+//     rate = E[work per episode] / (E[R] + E[G])
+//
+// where E[R] = ∫ p is the mean episode length and E[work] = E(S; p) —
+// so maximizing the paper's per-episode objective is exactly maximizing the
+// steady-state throughput.  These routines compute the analytic rate and
+// the auxiliary utilization diagnostics; the farm simulator cross-checks
+// them (tests).
+#pragma once
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// Long-run rates of a repeated (schedule, life-function) pair.
+struct SteadyState {
+  double work_per_episode = 0.0;  ///< E(S; p)
+  double mean_episode = 0.0;      ///< E[R] = ∫ p
+  double mean_gap = 0.0;          ///< owner-present gap mean (given)
+  double work_rate = 0.0;         ///< banked work per unit wall-clock time
+  double utilization = 0.0;       ///< banked work per unit of *stealable* time
+};
+
+/// Analytic steady state for replaying `s` every episode, with i.i.d.
+/// owner-present gaps of mean `mean_gap` (>= 0).
+[[nodiscard]] SteadyState steady_state(const Schedule& s,
+                                       const LifeFunction& p, double c,
+                                       double mean_gap);
+
+/// Expected wall-clock time to bank `work` units with `n` identical
+/// workstations running the steady state above (fluid approximation; the
+/// farm DES converges to this as the task count grows).
+[[nodiscard]] double fluid_completion_time(const SteadyState& ss, double work,
+                                           std::size_t n);
+
+}  // namespace cs

@@ -1,0 +1,115 @@
+#include "core/structure.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+
+namespace cs {
+
+StructureCheck check_concave_decrement(const Schedule& s, double c,
+                                       double tol) {
+  StructureCheck out;
+  if (s.size() < 2) return out;
+  for (std::size_t i = 0; i + 2 <= s.size(); ++i) {
+    // Internal periods only: i+1 exists; exempt when i+1 is the last period?
+    // Theorem 5.2 excepts only the final period as *successor*-less; the
+    // inequality is stated for each pair, so check all consecutive pairs
+    // except the one ending at the final (possibly truncated) period when it
+    // is shorter than c (already unproductive).
+    const double excess = s[i + 1] - (s[i] - c);
+    if (excess > tol && excess > out.violation) {
+      out.holds = false;
+      out.violating_index = i;
+      out.violation = excess;
+    }
+  }
+  return out;
+}
+
+StructureCheck check_convex_growth(const Schedule& s, double c, double tol) {
+  StructureCheck out;
+  if (s.size() < 2) return out;
+  for (std::size_t i = 0; i + 2 <= s.size(); ++i) {
+    const double deficit = (s[i] - c) - s[i + 1];
+    if (deficit > tol && deficit > out.violation) {
+      out.holds = false;
+      out.violating_index = i;
+      out.violation = deficit;
+    }
+  }
+  return out;
+}
+
+StructureCheck check_strictly_decreasing(const Schedule& s, double tol) {
+  StructureCheck out;
+  bool first = true;
+  for (std::size_t i = 0; i + 2 <= s.size(); ++i) {
+    const double excess = s[i + 1] - s[i];  // must be negative (decreasing)
+    if (excess >= -tol) {
+      if (first || excess > out.violation) {
+        out.violating_index = i;
+        out.violation = excess;
+        first = false;
+      }
+      out.holds = false;
+    }
+  }
+  return out;
+}
+
+std::size_t cor52_max_periods(double t0, double c) {
+  if (!(c > 0.0)) throw std::invalid_argument("cor52_max_periods: c <= 0");
+  if (!(t0 > 0.0)) return 0;
+  return static_cast<std::size_t>(std::floor(t0 / c));
+}
+
+std::size_t cor53_max_periods(double lifespan, double c) {
+  if (!(c > 0.0) || !(lifespan > 0.0))
+    throw std::invalid_argument("cor53_max_periods: needs positive L and c");
+  const double bound = std::ceil(std::sqrt(2.0 * lifespan / c + 0.25) + 0.5);
+  // The corollary is strict (m < ceil(...)); the max admissible m is one less.
+  return static_cast<std::size_t>(bound) - 1;
+}
+
+double cor54_t0_lower(double lifespan, std::size_t m, double c) {
+  if (m == 0) throw std::invalid_argument("cor54_t0_lower: m == 0");
+  return lifespan / static_cast<double>(m) +
+         0.5 * static_cast<double>(m - 1) * c;
+}
+
+LocalOptimality check_local_optimality(const Schedule& s,
+                                       const LifeFunction& p, double c,
+                                       const std::vector<double>& deltas,
+                                       double tol) {
+  LocalOptimality out;
+  if (s.size() < 2) return out;
+  const double base = expected_work(s, p, c);
+  out.best_gain = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k + 1 < s.size(); ++k) {
+    for (double d : deltas) {
+      for (double sign : {+1.0, -1.0}) {
+        const double delta = sign * d;
+        // Both perturbed periods must stay positive.
+        if (s[k] + delta <= 0.0 || s[k + 1] - delta <= 0.0) continue;
+        const double gain = expected_work(s.perturbed(k, delta), p, c) - base;
+        if (gain > out.best_gain) {
+          out.best_gain = gain;
+          out.index = k;
+          out.delta = delta;
+        }
+        if (gain > tol) out.locally_optimal = false;
+      }
+    }
+  }
+  if (std::isinf(out.best_gain)) out.best_gain = 0.0;
+  return out;
+}
+
+double shift_gain(const Schedule& s, const LifeFunction& p, double c,
+                  std::size_t k, double delta) {
+  return expected_work(s, p, c) - expected_work(s.shifted(k, delta), p, c);
+}
+
+}  // namespace cs

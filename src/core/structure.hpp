@@ -1,0 +1,75 @@
+// Structural properties of optimal schedules (Section 5) as checkable
+// predicates and closed-form bounds.
+//
+//  - Theorem 5.2: concave p  => t_{i+1} <= t_i - c for every internal i;
+//                 convex  p  => t_{i+1} >= t_i - c.
+//  - Corollary 5.1: concave p => strictly decreasing period-lengths.
+//  - Corollary 5.2: concave p => finite schedule with at most t_0 / c periods.
+//  - Corollary 5.3: concave p with lifespan L =>
+//                   m < ceil( sqrt(2L/c + 1/4) + 1/2 ).
+//  - Corollary 5.4: concave p, lifespan L, m periods =>
+//                   t_0 >= L/m + (m-1) c / 2.
+//  - Theorem 5.1: a schedule satisfying system (3.6) under concave p beats
+//                 all its [k, ±δ]-perturbations (local optimality).
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// Verdict of a structural check, with the first violating index for
+/// diagnostics.
+struct StructureCheck {
+  bool holds = true;
+  std::size_t violating_index = 0;  ///< meaningful only when !holds
+  double violation = 0.0;           ///< magnitude of the worst violation
+};
+
+/// Theorem 5.2, concave side: every internal period satisfies
+/// t_{i+1} <= t_i - c (+tol).  The last period is exempt.
+[[nodiscard]] StructureCheck check_concave_decrement(const Schedule& s,
+                                                     double c,
+                                                     double tol = 1e-9);
+
+/// Theorem 5.2, convex side: every internal period satisfies
+/// t_{i+1} >= t_i - c (-tol).
+[[nodiscard]] StructureCheck check_convex_growth(const Schedule& s, double c,
+                                                 double tol = 1e-9);
+
+/// Corollary 5.1: strictly decreasing periods (concave p).
+[[nodiscard]] StructureCheck check_strictly_decreasing(const Schedule& s,
+                                                       double tol = 1e-12);
+
+/// Corollary 5.2 bound: at most t0 / c periods.
+[[nodiscard]] std::size_t cor52_max_periods(double t0, double c);
+
+/// Corollary 5.3 bound: m < ceil(sqrt(2L/c + 1/4) + 1/2).
+[[nodiscard]] std::size_t cor53_max_periods(double lifespan, double c);
+
+/// Corollary 5.4 lower bound on t0 given m periods.
+[[nodiscard]] double cor54_t0_lower(double lifespan, std::size_t m, double c);
+
+/// Theorem 5.1 (numeric form): does `s` beat all its [k, ±δ]-perturbations
+/// for δ in `deltas` at every admissible index?  Returns the worst E-gain a
+/// perturbation achieved (negative or ~0 when locally optimal) and the
+/// perturbation achieving it.
+struct LocalOptimality {
+  bool locally_optimal = true;
+  double best_gain = 0.0;  ///< max over perturbations of E(S') - E(S)
+  std::size_t index = 0;
+  double delta = 0.0;  ///< signed delta of the best perturbation
+};
+[[nodiscard]] LocalOptimality check_local_optimality(
+    const Schedule& s, const LifeFunction& p, double c,
+    const std::vector<double>& deltas = {1e-3, 1e-2, 1e-1},
+    double tol = 1e-10);
+
+/// Shift analysis used in the proof of Theorem 3.1: E(S) - E(S^{<k, d>}).
+/// Positive values mean the shift hurts (consistent with optimality).
+[[nodiscard]] double shift_gain(const Schedule& s, const LifeFunction& p,
+                                double c, std::size_t k, double delta);
+
+}  // namespace cs

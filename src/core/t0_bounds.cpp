@@ -1,0 +1,164 @@
+#include "core/t0_bounds.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/minimize.hpp"
+#include "numerics/roots.hpp"
+
+namespace cs {
+
+namespace {
+
+constexpr int kScanPoints = 2048;
+constexpr double kPFloor = 1e-13;
+
+double effective_horizon(const LifeFunction& p) { return p.horizon(kPFloor); }
+
+/// -c * p(t) / p'(t), guarded: returns +inf where p' is (numerically) zero
+/// while p is positive, and 0 where p itself has vanished.
+double neg_c_p_over_dp(const LifeFunction& p, double c, double t,
+                       double t_deriv) {
+  const double pv = p.survival(t);
+  if (pv <= 0.0) return 0.0;
+  const double dv = p.derivative(t_deriv);
+  if (dv >= -1e-300) return std::numeric_limits<double>::infinity();
+  return -c * pv / dv;
+}
+
+/// g(t) from Theorem 3.2's RHS.
+double thm32_rhs(const LifeFunction& p, double c, double t) {
+  const double q = neg_c_p_over_dp(p, c, t, t);
+  if (std::isinf(q)) return q;
+  return std::sqrt(0.25 * c * c + q) + 0.5 * c;
+}
+
+/// RHS of Theorem 3.3 with the derivative evaluated at `t_deriv`
+/// (= t for convex p, t/2 for concave p).
+double thm33_rhs(const LifeFunction& p, double c, double t, double t_deriv) {
+  const double q = neg_c_p_over_dp(p, c, t, t_deriv);
+  if (std::isinf(q)) return q;
+  return 2.0 * std::sqrt(0.25 * c * c + q) + c;
+}
+
+}  // namespace
+
+double thm32_lower_bound(const LifeFunction& p, double c) {
+  if (!(c > 0.0)) throw std::invalid_argument("thm32_lower_bound: c <= 0");
+  const double hi = effective_horizon(p);
+  auto phi = [&](double t) { return t - thm32_rhs(p, c, t); };
+  // First sign change of phi from negative to nonnegative over (0, hi).
+  double prev_t = hi / static_cast<double>(kScanPoints);
+  double prev_v = phi(prev_t);
+  if (prev_v >= 0.0) return prev_t;  // bound is below scan resolution
+  for (int i = 2; i <= kScanPoints; ++i) {
+    const double t = hi * static_cast<double>(i) / static_cast<double>(kScanPoints);
+    const double v = phi(t);
+    if (std::isfinite(v) && v >= 0.0 && std::isfinite(prev_v)) {
+      const auto root =
+          num::monotone_root(phi, prev_t, t, {.x_tol = 1e-12 * hi});
+      return root.value_or(t);
+    }
+    prev_t = t;
+    prev_v = v;
+  }
+  return hi;  // inequality never satisfied below the horizon
+}
+
+std::optional<double> thm33_upper_bound(const LifeFunction& p, double c) {
+  if (!(c > 0.0)) throw std::invalid_argument("thm33_upper_bound: c <= 0");
+  const Shape shape = p.shape();
+  if (shape == Shape::General) return std::nullopt;
+  const bool concave = (shape == Shape::Concave);
+  const double hi = effective_horizon(p);
+  auto psi = [&](double t) {
+    return t - thm33_rhs(p, c, t, concave ? 0.5 * t : t);
+  };
+  // Greatest t with psi(t) <= 0; scan from the horizon down.
+  double prev_t = hi;
+  double prev_v = psi(prev_t);
+  if (std::isfinite(prev_v) && prev_v <= 0.0)
+    return std::max(prev_t, 2.0 * c);  // bound does not bind below horizon
+  for (int i = kScanPoints - 1; i >= 1; --i) {
+    const double t = hi * static_cast<double>(i) / static_cast<double>(kScanPoints);
+    const double v = psi(t);
+    if (std::isfinite(v) && v <= 0.0) {
+      double crossing = prev_t;
+      if (std::isfinite(prev_v)) {
+        const auto root =
+            num::monotone_root(psi, t, prev_t, {.x_tol = 1e-12 * hi});
+        if (root) crossing = *root;
+      }
+      return std::max(crossing, 2.0 * c);
+    }
+    prev_t = t;
+    prev_v = v;
+  }
+  return 2.0 * c;  // psi > 0 everywhere: only the t0 <= 2c regime remains
+}
+
+double lemma31_upper_bound(const LifeFunction& p, double c) {
+  if (!(c > 0.0)) throw std::invalid_argument("lemma31_upper_bound: c <= 0");
+  const double hi = effective_horizon(p);
+  // Condition (3.10) violated  <=>  exists t in (c, t0 - c) with
+  // (1 - c/t) p(t) > p(t0).  The inner sup is nondecreasing in t0 and p(t0)
+  // nonincreasing, so the violation set is an upper ray: binary search.
+  auto violated = [&](double t0) {
+    if (t0 <= 2.0 * c) return false;  // lemma imposes nothing here
+    const double lo_t = c * (1.0 + 1e-9);
+    const double hi_t = t0 - c;
+    if (hi_t <= lo_t) return false;
+    const double pt0 = p.survival(t0);
+    const auto best = num::grid_then_refine_max(
+        [&](double t) { return (1.0 - c / t) * p.survival(t); }, lo_t, hi_t,
+        {.grid_points = 129});
+    return best.value > pt0 * (1.0 + 1e-12) + 1e-15;
+  };
+  if (!violated(hi)) return hi;
+  double lo = 2.0 * c;
+  double up = hi;
+  for (int i = 0; i < 64 && (up - lo) > 1e-10 * hi; ++i) {
+    const double mid = 0.5 * (lo + up);
+    if (violated(mid)) {
+      up = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<double> cor55_lower_bound(const LifeFunction& p, double c) {
+  if (p.shape() != Shape::Concave && p.shape() != Shape::Linear)
+    return std::nullopt;
+  const auto L = p.lifespan();
+  if (!L) return std::nullopt;
+  return std::sqrt(0.5 * c * *L) + 0.75 * c;
+}
+
+T0Bracket guideline_t0_bracket(const LifeFunction& p, double c) {
+  if (!(c > 0.0))
+    throw std::invalid_argument("guideline_t0_bracket: requires c > 0");
+  T0Bracket b;
+  b.shape = p.shape();
+  b.thm32_lower = thm32_lower_bound(p, c);
+  b.cor55_lower = cor55_lower_bound(p, c);
+  b.thm33_upper = thm33_upper_bound(p, c);
+  b.lemma31_upper = lemma31_upper_bound(p, c);
+
+  // Note: cor55_lower is reported but deliberately NOT used to tighten the
+  // bracket.  Its derivation assumes the optimal schedule spans the full
+  // lifespan (L = Σ t_i in the paper's (5.9)/(5.10)); when L ≲ 6.6 c the
+  // optimum stops short of L and the closed form can exceed the true t0.
+  b.lower = std::max(b.thm32_lower, c * (1.0 + 1e-12));
+
+  b.upper = b.lemma31_upper;
+  if (b.thm33_upper) b.upper = std::min(b.upper, *b.thm33_upper);
+  const double hi = effective_horizon(p);
+  b.upper = std::min(b.upper, hi);
+  if (b.upper < b.lower) b.upper = b.lower;  // numeric safety
+  return b;
+}
+
+}  // namespace cs

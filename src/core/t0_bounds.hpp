@@ -1,0 +1,67 @@
+// Bounds bracketing the optimal initial period-length t0 (Section 3.3).
+//
+// The paper's Theorem 3.2 lower bound and Theorem 3.3 upper bounds are
+// *implicit*: they constrain t0 through inequalities that mention p(t0) and
+// p'(t0) (or p'(t0/2)).  We turn each into an explicit numeric bound by
+// locating the crossing of the corresponding fixed-point inequality:
+//
+//   lower: the least t with  t >= sqrt(c^2/4 - c p(t)/p'(t)) + c/2     (3.7)
+//   upper (convex):  the greatest t with
+//                    t <= 2 sqrt(c^2/4 - c p(t)/p'(t))   + c          (3.13)
+//   upper (concave): the greatest t with
+//                    t <= 2 sqrt(c^2/4 - c p(t)/p'(t/2)) + c          (3.14)
+//
+// Lemma 3.1 supplies a shape-free implicit upper bound — either t0 <= 2c or
+// p(t0) >= max_{t in (c, t0-c)} (1 - c/t) p(t) — which we evaluate by direct
+// search; it is the bound the paper itself uses for the geometric-lifespan
+// family (Section 4.2).  Corollary 5.5 adds a lifespan-based lower bound for
+// concave p.
+#pragma once
+
+#include <optional>
+
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// The assembled bracket for the optimal t0, with each contributing bound
+/// recorded for diagnostics/reporting.
+struct T0Bracket {
+  double lower = 0.0;   ///< best (largest) applicable lower bound
+  double upper = 0.0;   ///< best (smallest) applicable upper bound, >= lower
+  double thm32_lower = 0.0;                 ///< Theorem 3.2 crossing
+  /// Corollary 5.5 (concave, bounded p) — reported for diagnostics only.
+  /// Its derivation assumes the schedule spans the full lifespan, which
+  /// fails when L ≲ 6.6 c, where the closed form can exceed the true
+  /// optimal t0; it therefore never tightens `lower`.
+  std::optional<double> cor55_lower;
+  std::optional<double> thm33_upper;        ///< Theorem 3.3 (shaped p only)
+  double lemma31_upper = 0.0;               ///< Lemma 3.1 numeric bound
+  Shape shape = Shape::General;             ///< shape used for Thm 3.3
+  [[nodiscard]] double width() const noexcept { return upper - lower; }
+  [[nodiscard]] double ratio() const noexcept { return upper / lower; }
+};
+
+/// Theorem 3.2: least t satisfying (3.7).  Valid for any differentiable p.
+[[nodiscard]] double thm32_lower_bound(const LifeFunction& p, double c);
+
+/// Theorem 3.3: greatest t satisfying (3.13)/(3.14) according to p's shape,
+/// floored at 2c (the theorem only constrains t0 > 2c).  nullopt when p is
+/// neither convex nor concave.
+[[nodiscard]] std::optional<double> thm33_upper_bound(const LifeFunction& p,
+                                                      double c);
+
+/// Lemma 3.1: greatest t0 such that t0 <= 2c or condition (3.10) holds.
+/// Shape-free.
+[[nodiscard]] double lemma31_upper_bound(const LifeFunction& p, double c);
+
+/// Corollary 5.5 lower bound sqrt(cL/2) + (3/4)c for concave p with
+/// potential lifespan L; nullopt otherwise.
+[[nodiscard]] std::optional<double> cor55_lower_bound(const LifeFunction& p,
+                                                      double c);
+
+/// Assemble the full bracket.  Requires c > 0 (with c = 0 the model has no
+/// chunking tension and the bracket degenerates).
+[[nodiscard]] T0Bracket guideline_t0_bracket(const LifeFunction& p, double c);
+
+}  // namespace cs

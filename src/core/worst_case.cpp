@@ -1,0 +1,48 @@
+#include "core/worst_case.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cs {
+
+double guaranteed_work(const Schedule& s, double c, std::size_t k) {
+  std::vector<double> gains;
+  gains.reserve(s.size());
+  double total = 0.0;
+  for (double t : s.periods()) {
+    const double g = positive_sub(t, c);
+    gains.push_back(g);
+    total += g;
+  }
+  if (k >= gains.size()) return 0.0;
+  std::partial_sort(gains.begin(),
+                    gains.begin() + static_cast<std::ptrdiff_t>(k),
+                    gains.end(), std::greater<>());
+  for (std::size_t i = 0; i < k; ++i) total -= gains[i];
+  return total;
+}
+
+WorstCasePlan optimal_worst_case_plan(double L, double c, std::size_t k) {
+  if (!(L > 0.0) || !(c > 0.0))
+    throw std::invalid_argument("optimal_worst_case_plan: need L, c > 0");
+  WorstCasePlan best;
+  const auto m_max = static_cast<std::size_t>(std::floor(L / c));
+  for (std::size_t m = k + 1; m <= m_max; ++m) {
+    const double t = L / static_cast<double>(m);
+    const double g = static_cast<double>(m - k) * (t - c);
+    if (g > best.guaranteed) {
+      best.guaranteed = g;
+      best.periods = m;
+      best.period_length = t;
+    }
+  }
+  return best;
+}
+
+double worst_case_m_star(double L, double c, std::size_t k) {
+  return std::sqrt(static_cast<double>(k) * L / c);
+}
+
+}  // namespace cs

@@ -1,0 +1,47 @@
+// Worst-case (adversarial) cycle-stealing — an extension previewing the
+// paper's announced sequel ("a forthcoming sequel ... optimizing a
+// worst-case, rather than expected, measure", Section 1 footnote).
+//
+// Model: the episode is known to last L time units, but an adversary may
+// interrupt up to k times, at moments of its choosing; each interruption
+// kills exactly the work of the period in progress (the draconian contract),
+// after which stealing resumes.  A schedule partitions L into m periods;
+// the adversary deletes the k periods with the largest productive content,
+// so the guaranteed (worst-case) work of S = t_0..t_{m-1} is
+//
+//     G_k(S) = Σ_i (t_i ⊖ c)  −  (sum of the k largest (t_i ⊖ c)).
+//
+// For fixed m the per-period overhead totals m·c, so equal periods maximize
+// G_k (removing the top-k hurts least when all parts are equal), giving
+//     G_k(m) = (m − k) · (L/m − c),
+// maximized near m* = sqrt(k L / c) — the same √(L/c)-type chunking law the
+// expected-work analysis produces (Corollary 5.3).
+#pragma once
+
+#include <cstddef>
+
+#include "core/schedule.hpp"
+
+namespace cs {
+
+/// Guaranteed work of `s` against an adversary with `k` interruptions.
+[[nodiscard]] double guaranteed_work(const Schedule& s, double c,
+                                     std::size_t k);
+
+/// The optimal equal-period worst-case schedule for availability L,
+/// overhead c, and k adversarial interruptions.
+struct WorstCasePlan {
+  std::size_t periods = 0;   ///< m
+  double period_length = 0;  ///< L / m
+  double guaranteed = 0;     ///< G_k = (m - k)(L/m - c)
+};
+
+/// Search all admissible m (k < m <= L/c) exactly; L and c must be > 0 and
+/// k-interrupt adversaries with k >= L/c - 1 get nothing.
+[[nodiscard]] WorstCasePlan optimal_worst_case_plan(double L, double c,
+                                                    std::size_t k);
+
+/// Continuous approximation m* = sqrt(kL/c) (for reporting/validation).
+[[nodiscard]] double worst_case_m_star(double L, double c, std::size_t k);
+
+}  // namespace cs

@@ -1,0 +1,57 @@
+// cyclesteal — umbrella header.
+//
+// Data-parallel cycle-stealing scheduling for networks of workstations,
+// reproducing A. L. Rosenberg, "Guidelines for Data-Parallel Cycle-Stealing
+// in Networks of Workstations, I" (IPPS 1998).
+//
+// Quick tour (see examples/quickstart.cpp):
+//
+//   cs::UniformRisk p(/*lifespan=*/1000.0);        // owner-return law
+//   cs::GuidelineScheduler sched(p, /*c=*/4.0);    // paper's guidelines
+//   auto result = sched.run();                     // bracket t0, expand (3.6)
+//   double ew = result.expected;                   // E(S; p), eq. (2.1)
+#pragma once
+
+// Life functions (Section 2.1 / 3.1)
+#include "lifefn/life_function.hpp"
+#include "lifefn/families.hpp"
+#include "lifefn/transforms.hpp"
+#include "lifefn/shape.hpp"
+#include "lifefn/factory.hpp"
+
+// Core scheduling machinery (Sections 2-5)
+#include "core/schedule.hpp"
+#include "core/expected_work.hpp"
+#include "core/recurrence.hpp"
+#include "core/t0_bounds.hpp"
+#include "core/guideline.hpp"
+#include "core/greedy.hpp"
+#include "core/dp_reference.hpp"
+#include "core/structure.hpp"
+#include "core/adaptive.hpp"
+#include "core/quantize.hpp"
+#include "core/steady_state.hpp"
+#include "core/adversarial.hpp"
+#include "core/sensitivity.hpp"
+#include "core/admissibility.hpp"
+#include "core/worst_case.hpp"
+
+// Baselines ([3] closed forms + oblivious strategies)
+#include "baselines/bclr.hpp"
+#include "baselines/oblivious.hpp"
+
+// NOW simulation substrate
+#include "sim/reclaim.hpp"
+#include "sim/episode.hpp"
+#include "sim/task_bag.hpp"
+#include "sim/policy.hpp"
+#include "sim/farm.hpp"
+#include "sim/network.hpp"
+#include "sim/checkpoint.hpp"
+
+// Trace pipeline (Section 1's "trace data" remark)
+#include "trace/owner_trace.hpp"
+#include "trace/generators.hpp"
+#include "trace/survival_estimator.hpp"
+#include "trace/fitters.hpp"
+#include "trace/bayes.hpp"

@@ -1,0 +1,89 @@
+#include "lifefn/factory.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "lifefn/families.hpp"
+
+namespace cs {
+
+namespace {
+
+std::map<std::string, double> parse_params(const std::string& text) {
+  std::map<std::string, double> params;
+  if (text.empty()) return params;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("life function spec: expected key=value, got '" +
+                                  item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      params[key] = v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("life function spec: bad numeric value '" +
+                                  value + "' for key '" + key + "'");
+    }
+  }
+  return params;
+}
+
+double require(const std::map<std::string, double>& params,
+               const std::string& key, const std::string& family) {
+  const auto it = params.find(key);
+  if (it == params.end())
+    throw std::invalid_argument("life function spec: family '" + family +
+                                "' requires parameter '" + key + "'");
+  return it->second;
+}
+
+}  // namespace
+
+std::unique_ptr<LifeFunction> make_life_function(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  const std::string param_text =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const auto params = parse_params(param_text);
+
+  if (family == "uniform")
+    return std::make_unique<UniformRisk>(require(params, "L", family));
+  if (family == "polyrisk")
+    return std::make_unique<PolynomialRisk>(
+        static_cast<int>(require(params, "d", family)),
+        require(params, "L", family));
+  if (family == "geomlife") {
+    if (params.count("half"))
+      return std::make_unique<GeometricLifespan>(
+          GeometricLifespan::from_half_life(params.at("half")));
+    return std::make_unique<GeometricLifespan>(require(params, "a", family));
+  }
+  if (family == "geomrisk")
+    return std::make_unique<GeometricRisk>(require(params, "L", family));
+  if (family == "weibull")
+    return std::make_unique<Weibull>(require(params, "k", family),
+                                     require(params, "scale", family));
+  if (family == "pareto")
+    return std::make_unique<ParetoTail>(require(params, "d", family));
+  if (family == "lognormal")
+    return std::make_unique<LogNormal>(require(params, "mu", family),
+                                       require(params, "sigma", family));
+
+  throw std::invalid_argument("life function spec: unknown family '" + family +
+                              "'");
+}
+
+std::vector<std::string> known_life_function_families() {
+  return {"uniform",  "polyrisk", "geomlife", "geomrisk",
+          "weibull",  "pareto",   "lognormal"};
+}
+
+}  // namespace cs

@@ -1,0 +1,28 @@
+// String-keyed construction of life functions, for CLI tools, parameterized
+// tests, and experiment configuration files.
+//
+// Spec grammar (whitespace-free):
+//   uniform:L=1000
+//   polyrisk:d=3,L=1000
+//   geomlife:a=1.01            |  geomlife:half=100
+//   geomrisk:L=40
+//   weibull:k=1.5,scale=500
+//   pareto:d=2
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// Parse `spec` and build the corresponding life function.
+/// Throws std::invalid_argument on unknown family or malformed/missing
+/// parameters.
+std::unique_ptr<LifeFunction> make_life_function(const std::string& spec);
+
+/// The list of family keys understood by make_life_function.
+std::vector<std::string> known_life_function_families();
+
+}  // namespace cs

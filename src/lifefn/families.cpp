@@ -1,0 +1,366 @@
+#include "lifefn/families.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "lifefn/shape.hpp"
+
+namespace cs {
+
+namespace {
+
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    throw std::invalid_argument(std::string(what) + " must be positive");
+  }
+}
+
+std::string fmt(const char* family, std::initializer_list<std::pair<const char*, double>> params) {
+  std::ostringstream os;
+  os << family << '(';
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    if (!first) os << ',';
+    os << k << '=' << v;
+    first = false;
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- UniformRisk
+
+UniformRisk::UniformRisk(double lifespan) : L_(lifespan) {
+  require_positive(lifespan, "UniformRisk: lifespan");
+}
+
+double UniformRisk::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (t >= L_) return 0.0;
+  return 1.0 - t / L_;
+}
+
+double UniformRisk::derivative(double t) const {
+  return (t < 0.0 || t > L_) ? 0.0 : -1.0 / L_;
+}
+
+std::string UniformRisk::name() const { return fmt("uniform", {{"L", L_}}); }
+
+std::unique_ptr<LifeFunction> UniformRisk::clone() const {
+  return std::make_unique<UniformRisk>(L_);
+}
+
+double UniformRisk::inverse_survival(double u) const {
+  if (!(u > 0.0 && u <= 1.0))
+    throw std::invalid_argument("inverse_survival: u out of (0,1]");
+  return (1.0 - u) * L_;
+}
+
+// ------------------------------------------------------------- PolynomialRisk
+
+PolynomialRisk::PolynomialRisk(int degree, double lifespan)
+    : d_(degree), L_(lifespan) {
+  if (degree < 1) throw std::invalid_argument("PolynomialRisk: degree < 1");
+  require_positive(lifespan, "PolynomialRisk: lifespan");
+}
+
+double PolynomialRisk::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (t >= L_) return 0.0;
+  return 1.0 - std::pow(t / L_, d_);
+}
+
+double PolynomialRisk::derivative(double t) const {
+  if (t < 0.0 || t > L_) return 0.0;
+  return -static_cast<double>(d_) * std::pow(t / L_, d_ - 1) / L_;
+}
+
+std::string PolynomialRisk::name() const {
+  return fmt("polyrisk", {{"d", static_cast<double>(d_)}, {"L", L_}});
+}
+
+std::unique_ptr<LifeFunction> PolynomialRisk::clone() const {
+  return std::make_unique<PolynomialRisk>(d_, L_);
+}
+
+double PolynomialRisk::inverse_survival(double u) const {
+  if (!(u > 0.0 && u <= 1.0))
+    throw std::invalid_argument("inverse_survival: u out of (0,1]");
+  return L_ * std::pow(1.0 - u, 1.0 / static_cast<double>(d_));
+}
+
+// ---------------------------------------------------------- GeometricLifespan
+
+GeometricLifespan::GeometricLifespan(double a) : a_(a), ln_a_(std::log(a)) {
+  if (!(a > 1.0) || !std::isfinite(a))
+    throw std::invalid_argument("GeometricLifespan: a must exceed 1");
+}
+
+GeometricLifespan GeometricLifespan::from_half_life(double h) {
+  require_positive(h, "GeometricLifespan: half-life");
+  return GeometricLifespan(std::pow(2.0, 1.0 / h));
+}
+
+double GeometricLifespan::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-t * ln_a_);
+}
+
+double GeometricLifespan::derivative(double t) const {
+  if (t < 0.0) return 0.0;
+  return -ln_a_ * std::exp(-t * ln_a_);
+}
+
+std::string GeometricLifespan::name() const {
+  return fmt("geomlife", {{"a", a_}});
+}
+
+std::unique_ptr<LifeFunction> GeometricLifespan::clone() const {
+  return std::make_unique<GeometricLifespan>(a_);
+}
+
+double GeometricLifespan::inverse_survival(double u) const {
+  if (!(u > 0.0 && u <= 1.0))
+    throw std::invalid_argument("inverse_survival: u out of (0,1]");
+  return -std::log(u) / ln_a_;
+}
+
+// -------------------------------------------------------------- GeometricRisk
+
+GeometricRisk::GeometricRisk(double lifespan)
+    : L_(lifespan), inv_pow2L_(std::exp2(-lifespan)) {
+  require_positive(lifespan, "GeometricRisk: lifespan");
+}
+
+double GeometricRisk::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (t >= L_) return 0.0;
+  // (2^L - 2^t)/(2^L - 1) rewritten as (1 - 2^{t-L})/(1 - 2^{-L}).
+  const double v = (1.0 - std::exp2(t - L_)) / (1.0 - inv_pow2L_);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+double GeometricRisk::derivative(double t) const {
+  if (t < 0.0 || t > L_) return 0.0;
+  constexpr double kLn2 = 0.6931471805599453;
+  return -kLn2 * std::exp2(t - L_) / (1.0 - inv_pow2L_);
+}
+
+std::string GeometricRisk::name() const { return fmt("geomrisk", {{"L", L_}}); }
+
+std::unique_ptr<LifeFunction> GeometricRisk::clone() const {
+  return std::make_unique<GeometricRisk>(L_);
+}
+
+double GeometricRisk::inverse_survival(double u) const {
+  if (!(u > 0.0 && u <= 1.0))
+    throw std::invalid_argument("inverse_survival: u out of (0,1]");
+  // Solve (2^L - 2^t)/(2^L - 1) = u  =>  2^{t-L} = 1 - u (1 - 2^{-L}).
+  const double z = 1.0 - u * (1.0 - inv_pow2L_);
+  return std::max(0.0, L_ + std::log2(z));
+}
+
+// -------------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape_k, double scale) : k_(shape_k), scale_(scale) {
+  require_positive(shape_k, "Weibull: shape");
+  require_positive(scale, "Weibull: scale");
+}
+
+double Weibull::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-std::pow(t / scale_, k_));
+}
+
+double Weibull::derivative(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) {
+    // Derivative at 0: -(k/scale) t^{k-1} ... -> 0 for k > 1, -1/scale for
+    // k == 1, unbounded for k < 1 (return a large negative surrogate).
+    if (k_ > 1.0) return 0.0;
+    if (k_ == 1.0) return -1.0 / scale_;
+    return -1e300;
+  }
+  const double z = std::pow(t / scale_, k_);
+  return -k_ / t * z * std::exp(-z);
+}
+
+Shape Weibull::shape() const {
+  // k == 1: exponential, convex.  k != 1: the second derivative changes sign
+  // (inflection at t = scale * ((k-1)/k)^{1/k}), so no global shape.
+  return k_ == 1.0 ? Shape::Convex : Shape::General;
+}
+
+std::string Weibull::name() const {
+  return fmt("weibull", {{"k", k_}, {"scale", scale_}});
+}
+
+std::unique_ptr<LifeFunction> Weibull::clone() const {
+  return std::make_unique<Weibull>(k_, scale_);
+}
+
+double Weibull::inverse_survival(double u) const {
+  if (!(u > 0.0 && u <= 1.0))
+    throw std::invalid_argument("inverse_survival: u out of (0,1]");
+  return scale_ * std::pow(-std::log(u), 1.0 / k_);
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require_positive(sigma, "LogNormal: sigma");
+  if (!std::isfinite(mu)) throw std::invalid_argument("LogNormal: mu");
+}
+
+double LogNormal::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  return 0.5 * std::erfc((std::log(t) - mu_) * kInvSqrt2 / sigma_);
+}
+
+double LogNormal::derivative(double t) const {
+  if (t <= 0.0) return 0.0;
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return -kInvSqrt2Pi / (t * sigma_) * std::exp(-0.5 * z * z);
+}
+
+std::string LogNormal::name() const {
+  return fmt("lognormal", {{"mu", mu_}, {"sigma", sigma_}});
+}
+
+std::unique_ptr<LifeFunction> LogNormal::clone() const {
+  return std::make_unique<LogNormal>(mu_, sigma_);
+}
+
+double LogNormal::median() const noexcept { return std::exp(mu_); }
+
+// ----------------------------------------------------------------- ParetoTail
+
+ParetoTail::ParetoTail(double d) : d_(d) {
+  require_positive(d, "ParetoTail: d");
+}
+
+double ParetoTail::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::pow(1.0 + t, -d_);
+}
+
+double ParetoTail::derivative(double t) const {
+  if (t < 0.0) return 0.0;
+  return -d_ * std::pow(1.0 + t, -d_ - 1.0);
+}
+
+std::string ParetoTail::name() const { return fmt("pareto", {{"d", d_}}); }
+
+std::unique_ptr<LifeFunction> ParetoTail::clone() const {
+  return std::make_unique<ParetoTail>(d_);
+}
+
+double ParetoTail::inverse_survival(double u) const {
+  if (!(u > 0.0 && u <= 1.0))
+    throw std::invalid_argument("inverse_survival: u out of (0,1]");
+  return std::pow(u, -1.0 / d_) - 1.0;
+}
+
+// ------------------------------------------------------------ PiecewiseLinear
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> times,
+                                 std::vector<double> values)
+    : t_(std::move(times)), p_(std::move(values)) {
+  if (t_.size() < 2 || t_.size() != p_.size())
+    throw std::invalid_argument("PiecewiseLinear: need matching knots (>= 2)");
+  if (t_.front() != 0.0 || p_.front() != 1.0)
+    throw std::invalid_argument("PiecewiseLinear: first knot must be (0, 1)");
+  if (p_.back() != 0.0)
+    throw std::invalid_argument("PiecewiseLinear: last knot must reach p = 0");
+  for (std::size_t i = 1; i < t_.size(); ++i) {
+    if (!(t_[i] > t_[i - 1]))
+      throw std::invalid_argument("PiecewiseLinear: times must increase");
+    if (p_[i] > p_[i - 1])
+      throw std::invalid_argument("PiecewiseLinear: values must not increase");
+  }
+  L_ = t_.back();
+  shape_ = detect_shape([this](double x) { return survival(x); }, L_, 256,
+                        1e-7);
+}
+
+double PiecewiseLinear::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (t >= L_) return 0.0;
+  const auto it = std::upper_bound(t_.begin(), t_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - t_.begin()) - 1;
+  const double w = (t - t_[i]) / (t_[i + 1] - t_[i]);
+  return p_[i] + w * (p_[i + 1] - p_[i]);
+}
+
+double PiecewiseLinear::derivative(double t) const {
+  if (t < 0.0 || t >= L_) return 0.0;
+  const auto it = std::upper_bound(t_.begin(), t_.end(), t);
+  const std::size_t i =
+      it == t_.begin() ? 0 : static_cast<std::size_t>(it - t_.begin()) - 1;
+  return (p_[i + 1] - p_[i]) / (t_[i + 1] - t_[i]);
+}
+
+std::string PiecewiseLinear::name() const {
+  std::ostringstream os;
+  os << "piecewise(knots=" << t_.size() << ",L=" << L_ << ')';
+  return os.str();
+}
+
+std::unique_ptr<LifeFunction> PiecewiseLinear::clone() const {
+  return std::make_unique<PiecewiseLinear>(t_, p_);
+}
+
+// ----------------------------------------------------- EmpiricalLifeFunction
+
+EmpiricalLifeFunction::EmpiricalLifeFunction(std::vector<double> times,
+                                             std::vector<double> values,
+                                             std::string label)
+    : label_(std::move(label)) {
+  if (times.size() < 2 || times.size() != values.size())
+    throw std::invalid_argument("Empirical: need matching samples (>= 2)");
+  if (times.front() != 0.0 || values.front() != 1.0)
+    throw std::invalid_argument("Empirical: first sample must be (0, 1)");
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (!(times[i] > times[i - 1]))
+      throw std::invalid_argument("Empirical: times must increase");
+    if (values[i] > values[i - 1] + 1e-12)
+      throw std::invalid_argument("Empirical: values must not increase");
+    values[i] = std::clamp(values[i], 0.0, values[i - 1]);
+  }
+  if (values.back() > 0.0) {
+    // Extend to p = 0 with the last observed decay slope (or a unit fall).
+    const std::size_t n = times.size();
+    double slope = (values[n - 1] - values[n - 2]) / (times[n - 1] - times[n - 2]);
+    if (slope >= 0.0) slope = -values.back() / (0.1 * times.back() + 1.0);
+    const double extra = values.back() / (-slope);
+    times.push_back(times.back() + extra);
+    values.push_back(0.0);
+  }
+  L_ = times.back();
+  interp_ = num::PchipInterp(std::move(times), std::move(values));
+  shape_ = detect_shape([this](double x) { return survival(x); }, L_, 256,
+                        1e-6);
+}
+
+double EmpiricalLifeFunction::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (t >= L_) return 0.0;
+  return std::clamp(interp_(t), 0.0, 1.0);
+}
+
+double EmpiricalLifeFunction::derivative(double t) const {
+  if (t < 0.0 || t > L_) return 0.0;
+  return std::min(interp_.derivative(t), 0.0);
+}
+
+std::unique_ptr<LifeFunction> EmpiricalLifeFunction::clone() const {
+  return std::unique_ptr<LifeFunction>(new EmpiricalLifeFunction(*this));
+}
+
+}  // namespace cs

@@ -1,0 +1,228 @@
+// The concrete life-function families of the paper (Sections 3.1 and 4) plus
+// the standard reliability families used for trace fits and stress tests.
+#pragma once
+
+#include "lifefn/life_function.hpp"
+#include "numerics/interp.hpp"
+
+#include <vector>
+
+namespace cs {
+
+/// Uniform risk (Sec. 3.1 (3), Sec. 4.1 with d = 1): p(t) = 1 - t/L on
+/// [0, L].  Both concave and convex; the unique scenario with a fully known
+/// closed-form optimal schedule in BCLR [3].
+class UniformRisk final : public LifeFunction {
+ public:
+  explicit UniformRisk(double lifespan);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return Shape::Linear; }
+  [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+  [[nodiscard]] double inverse_survival(double u) const override;
+
+  [[nodiscard]] double L() const noexcept { return L_; }
+
+ private:
+  double L_;
+};
+
+/// Polynomial risk family of Sec. 4.1: p_{d,L}(t) = 1 - (t/L)^d on [0, L],
+/// d >= 1.  Concave for every d; reduces to UniformRisk at d = 1.
+class PolynomialRisk final : public LifeFunction {
+ public:
+  PolynomialRisk(int degree, double lifespan);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override {
+    return d_ == 1 ? Shape::Linear : Shape::Concave;
+  }
+  [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+  [[nodiscard]] double inverse_survival(double u) const override;
+
+  [[nodiscard]] int degree() const noexcept { return d_; }
+  [[nodiscard]] double L() const noexcept { return L_; }
+
+ private:
+  int d_;
+  double L_;
+};
+
+/// Geometric lifespan (Sec. 3.1 (2), Sec. 4.2): p_a(t) = a^{-t}, a > 1.
+/// Convex, unbounded; the episode has half-life 1/log2(a).  The BCLR optimum
+/// is an infinite equal-period schedule.
+class GeometricLifespan final : public LifeFunction {
+ public:
+  explicit GeometricLifespan(double a);
+  /// Construct from the half-life h: a = 2^{1/h}.
+  static GeometricLifespan from_half_life(double h);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return Shape::Convex; }
+  [[nodiscard]] std::optional<double> lifespan() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+  [[nodiscard]] double inverse_survival(double u) const override;
+
+  [[nodiscard]] double a() const noexcept { return a_; }
+  [[nodiscard]] double ln_a() const noexcept { return ln_a_; }
+
+ private:
+  double a_;
+  double ln_a_;
+};
+
+/// Geometric(ally increasing) risk (Sec. 3.1 (1), Sec. 4.3):
+/// p(t) = (2^L - 2^t) / (2^L - 1) on [0, L].  Concave; the interruption risk
+/// doubles every time unit ("coffee break" scenario).
+class GeometricRisk final : public LifeFunction {
+ public:
+  explicit GeometricRisk(double lifespan);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return Shape::Concave; }
+  [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+  [[nodiscard]] double inverse_survival(double u) const override;
+
+  [[nodiscard]] double L() const noexcept { return L_; }
+
+ private:
+  double L_;
+  double inv_pow2L_;  // 2^{-L}; all formulas are evaluated in log space so
+                      // large L never overflows
+};
+
+/// Weibull survival p(t) = exp(-(t/scale)^k).  k = 1 is exponential
+/// (convex); k > 1 has an inflection point, so shape() reports General —
+/// a stress case the paper's bounds do not cover, exercised by tests.
+class Weibull final : public LifeFunction {
+ public:
+  Weibull(double shape_k, double scale);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override;
+  [[nodiscard]] std::optional<double> lifespan() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+  [[nodiscard]] double inverse_survival(double u) const override;
+
+  [[nodiscard]] double k() const noexcept { return k_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double k_;
+  double scale_;
+};
+
+/// Log-normal survival p(t) = (1/2) erfc((ln t - mu) / (sigma sqrt(2))).
+/// The classic fit for human session/absence durations; has an inflection,
+/// so shape() is General — exercised as a "no Theorem 3.3" stress case.
+class LogNormal final : public LifeFunction {
+ public:
+  LogNormal(double mu, double sigma);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return Shape::General; }
+  [[nodiscard]] std::optional<double> lifespan() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  /// Median absence duration e^{mu}.
+  [[nodiscard]] double median() const noexcept;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Heavy-tailed p(t) = (t+1)^{-d}.  Convex; for d > 1 this is the paper's
+/// Corollary 3.2 witness of a life function admitting NO optimal schedule.
+class ParetoTail final : public LifeFunction {
+ public:
+  explicit ParetoTail(double d);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return Shape::Convex; }
+  [[nodiscard]] std::optional<double> lifespan() const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+  [[nodiscard]] double inverse_survival(double u) const override;
+
+  [[nodiscard]] double d() const noexcept { return d_; }
+
+ private:
+  double d_;
+};
+
+/// Piecewise-linear survival through user knots ((0,1) .. (L,0)).  Only C^0;
+/// derivative() returns segment slopes, shape() is detected from the data.
+/// Used to encode hand-drawn owner-behaviour curves.
+class PiecewiseLinear final : public LifeFunction {
+ public:
+  /// Knots must start at (0, 1), be strictly increasing in t, nonincreasing
+  /// in p, and end at p = 0.
+  PiecewiseLinear(std::vector<double> times, std::vector<double> values);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return shape_; }
+  [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+
+ private:
+  std::vector<double> t_;
+  std::vector<double> p_;
+  double L_;
+  Shape shape_;
+};
+
+/// Smooth (C^1, monotone) survival built from empirical (t, p̂) samples with
+/// a PCHIP interpolant — the "encapsulate trace data by a well-behaved
+/// curve" step the paper prescribes.  shape() is detected numerically.
+class EmpiricalLifeFunction final : public LifeFunction {
+ public:
+  /// `times` strictly increasing starting at 0 with values[0] == 1; values
+  /// nonincreasing in [0, 1].  If the last value is positive the curve is
+  /// extended linearly to 0 to obtain a bounded lifespan.
+  EmpiricalLifeFunction(std::vector<double> times, std::vector<double> values,
+                        std::string label = "empirical");
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return shape_; }
+  [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+
+ private:
+  num::PchipInterp interp_;
+  double L_;
+  Shape shape_;
+  std::string label_;
+};
+
+}  // namespace cs

@@ -1,0 +1,109 @@
+#include "lifefn/life_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/derivative.hpp"
+#include "numerics/integrate.hpp"
+#include "numerics/roots.hpp"
+
+namespace cs {
+
+const char* to_string(Shape s) noexcept {
+  switch (s) {
+    case Shape::Concave: return "concave";
+    case Shape::Convex: return "convex";
+    case Shape::Linear: return "linear";
+    case Shape::General: return "general";
+  }
+  return "?";
+}
+
+double LifeFunction::derivative(double t) const {
+  auto p = [this](double x) { return survival(x); };
+  const double h = 1e-5 * std::max(1.0, std::abs(t));
+  if (t < 2.0 * h) return num::forward_derivative(p, std::max(0.0, t), h);
+  if (const auto L = lifespan(); L && t > *L - 2.0 * h) {
+    if (t >= *L) return 0.0;
+    return num::backward_derivative(p, t, h);
+  }
+  return num::derivative(p, t, h);
+}
+
+double LifeFunction::horizon(double eps) const {
+  if (eps <= 0.0) throw std::invalid_argument("horizon: eps must be positive");
+  if (const auto L = lifespan()) return *L;
+  // Unbounded: p decreases to 0, so p(t) - eps has a sign change.
+  auto f = [this, eps](double t) { return survival(t) - eps; };
+  const auto bracket = num::bracket_right(f, 0.0, 1.0, 1e18);
+  if (!bracket)
+    throw std::runtime_error("horizon: life function does not decay below eps");
+  const auto root = num::monotone_root(f, bracket->first, bracket->second,
+                                       {.x_tol = 1e-9 * bracket->second});
+  if (!root) throw std::runtime_error("horizon: root bracketing failed");
+  return *root;
+}
+
+double LifeFunction::inverse_survival(double u) const {
+  if (!(u > 0.0 && u <= 1.0))
+    throw std::invalid_argument("inverse_survival: u must be in (0, 1]");
+  if (u == 1.0) return 0.0;
+  const double hi = horizon(std::min(u * 0.5, 1e-12));
+  auto f = [this, u](double t) { return survival(t) - u; };
+  const auto root = num::monotone_root(f, 0.0, hi, {.x_tol = 1e-12 * hi});
+  if (!root) {
+    // p may plateau exactly at u; fall back to bisection on the value.
+    throw std::runtime_error("inverse_survival: no crossing found");
+  }
+  return *root;
+}
+
+double LifeFunction::mean_lifespan() const {
+  auto p = [this](double t) { return survival(t); };
+  if (const auto L = lifespan()) return num::integrate(p, 0.0, *L).value;
+  return num::integrate_to_infinity(p, 0.0).value;
+}
+
+bool LifeFunction::is_monotone_nonincreasing(int samples) const {
+  const double hi = horizon(1e-9);
+  double prev = survival(0.0);
+  for (int i = 1; i <= samples; ++i) {
+    const double t =
+        hi * static_cast<double>(i) / static_cast<double>(samples);
+    const double cur = survival(t);
+    if (cur > prev + 1e-12) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+CallableLifeFunction::CallableLifeFunction(Fn p, Shape shape,
+                                           std::optional<double> lifespan,
+                                           std::string name, Fn dp)
+    : p_(std::move(p)),
+      dp_(std::move(dp)),
+      shape_(shape),
+      lifespan_(lifespan),
+      name_(std::move(name)) {
+  if (!p_) throw std::invalid_argument("CallableLifeFunction: null callable");
+}
+
+double CallableLifeFunction::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (lifespan_ && t >= *lifespan_) return 0.0;
+  const double v = p_(t);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+double CallableLifeFunction::derivative(double t) const {
+  if (dp_) return dp_(t);
+  return LifeFunction::derivative(t);
+}
+
+std::unique_ptr<LifeFunction> CallableLifeFunction::clone() const {
+  return std::make_unique<CallableLifeFunction>(p_, shape_, lifespan_, name_,
+                                                dp_);
+}
+
+}  // namespace cs

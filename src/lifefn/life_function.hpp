@@ -1,0 +1,101 @@
+// LifeFunction: the paper's central modeling object.
+//
+// A life function p gives, for each time t >= 0, the probability that the
+// borrowed workstation has NOT been reclaimed by time t (Section 2.1):
+//   p(0) = 1;  p is monotonically nonincreasing;  p -> 0 (at the potential
+//   lifespan L when one exists, in the limit otherwise).
+//
+// The scheduling guidelines additionally need p' (the paper assumes p is
+// differentiable and flex-free), and the t0 bounds of Theorems 3.2/3.3 need
+// to know whether p is convex or concave.  Subclasses provide analytic
+// derivatives where available; the base class falls back on Richardson
+// numerical differentiation so trace-fitted functions participate fully.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace cs {
+
+/// Shape classification per Section 3.1: concave means p' nonincreasing,
+/// convex means p' nondecreasing; Linear (uniform risk) is both; General
+/// satisfies neither globally (e.g. Weibull with k > 1).
+enum class Shape { Concave, Convex, Linear, General };
+
+/// Printable name of a Shape.
+[[nodiscard]] const char* to_string(Shape s) noexcept;
+
+/// Abstract life function p(t) = Pr[workstation survives past t].
+class LifeFunction {
+ public:
+  virtual ~LifeFunction() = default;
+
+  /// p(t).  Implementations must return 1 at t <= 0, values in [0,1], and be
+  /// nonincreasing; beyond a bounded lifespan they must return 0.
+  [[nodiscard]] virtual double survival(double t) const = 0;
+
+  /// p'(t).  Default implementation differentiates `survival` numerically
+  /// (central + Richardson inside the domain, one-sided at the edges).
+  [[nodiscard]] virtual double derivative(double t) const;
+
+  /// Shape classification used to select the Theorem 3.3 upper bound.
+  [[nodiscard]] virtual Shape shape() const = 0;
+
+  /// The potential lifespan L (time at which p reaches 0), when bounded.
+  [[nodiscard]] virtual std::optional<double> lifespan() const = 0;
+
+  /// Human-readable family name with parameters, e.g. "uniform(L=1000)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Polymorphic copy.
+  [[nodiscard]] virtual std::unique_ptr<LifeFunction> clone() const = 0;
+
+  // ---- Derived conveniences (non-virtual, defined on the interface) ----
+
+  /// Smallest t with p(t) <= eps: L for bounded functions once eps is below
+  /// p(L-); otherwise located by bracketing + Brent.  Used to truncate
+  /// infinite schedules and size DP grids.
+  [[nodiscard]] double horizon(double eps = 1e-9) const;
+
+  /// Inverse survival: the t with p(t) = u for u in (0, 1].  Monotone
+  /// bracketed root; exact inverses are provided by subclasses that can.
+  [[nodiscard]] virtual double inverse_survival(double u) const;
+
+  /// Mean episode lifespan E[R] = ∫_0^∞ p(t) dt.
+  [[nodiscard]] double mean_lifespan() const;
+
+  /// True if p is (numerically) nonincreasing across `samples` points of its
+  /// effective domain; validation helper for user-supplied functions.
+  [[nodiscard]] bool is_monotone_nonincreasing(int samples = 512) const;
+};
+
+/// Adapter: wrap arbitrary callables (used by tests and prototyping).
+/// The caller asserts the shape and lifespan; derivative is numeric unless
+/// an analytic one is supplied.
+class CallableLifeFunction final : public LifeFunction {
+ public:
+  using Fn = std::function<double(double)>;
+
+  CallableLifeFunction(Fn p, Shape shape, std::optional<double> lifespan,
+                       std::string name, Fn dp = nullptr);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return shape_; }
+  [[nodiscard]] std::optional<double> lifespan() const override {
+    return lifespan_;
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+
+ private:
+  Fn p_;
+  Fn dp_;
+  Shape shape_;
+  std::optional<double> lifespan_;
+  std::string name_;
+};
+
+}  // namespace cs

@@ -1,0 +1,38 @@
+#include "lifefn/shape.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cs {
+
+Shape detect_shape(const std::function<double(double)>& p, double hi,
+                   int samples, double tol) {
+  if (hi <= 0.0) throw std::invalid_argument("detect_shape: hi <= 0");
+  if (samples < 3) throw std::invalid_argument("detect_shape: samples < 3");
+  bool can_be_concave = true;
+  bool can_be_convex = true;
+  const double h = hi / static_cast<double>(samples + 1);
+  // Scale the tolerance by the curve's magnitude over a step.
+  const double scaled_tol = tol * std::max(1.0, 1.0 / h);
+  double pm = p(0.0);
+  double p0 = p(h);
+  for (int i = 1; i <= samples; ++i) {
+    const double pp = p(static_cast<double>(i + 1) * h);
+    const double second = (pp - 2.0 * p0 + pm) / (h * h);
+    if (second > scaled_tol) can_be_concave = false;
+    if (second < -scaled_tol) can_be_convex = false;
+    if (!can_be_concave && !can_be_convex) return Shape::General;
+    pm = p0;
+    p0 = pp;
+  }
+  if (can_be_concave && can_be_convex) return Shape::Linear;
+  return can_be_concave ? Shape::Concave : Shape::Convex;
+}
+
+Shape detect_shape(const LifeFunction& fn, int samples, double tol) {
+  const double hi = fn.lifespan().value_or(fn.horizon(1e-6));
+  return detect_shape([&fn](double t) { return fn.survival(t); }, hi, samples,
+                      tol);
+}
+
+}  // namespace cs

@@ -1,0 +1,25 @@
+// Numerical shape detection: classify a decreasing survival curve as concave,
+// convex, linear, or general by sampling its second differences.
+//
+// The Theorem 3.3 upper bounds require knowing the shape; analytic families
+// declare theirs, but trace-fitted and piecewise functions must detect it.
+#pragma once
+
+#include <functional>
+
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// Classify `p` on [0, hi] by sampling second differences at `samples`
+/// interior points.  `tol` absorbs interpolation noise: a curve whose second
+/// differences never exceed +tol is reported concave, never below -tol
+/// convex, both ⇒ linear, neither ⇒ general.
+Shape detect_shape(const std::function<double(double)>& p, double hi,
+                   int samples = 256, double tol = 1e-9);
+
+/// Overload operating on a LifeFunction over its effective horizon.
+Shape detect_shape(const LifeFunction& fn, int samples = 256,
+                   double tol = 1e-9);
+
+}  // namespace cs

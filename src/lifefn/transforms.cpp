@@ -1,0 +1,125 @@
+#include "lifefn/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "lifefn/shape.hpp"
+
+namespace cs {
+
+// ----------------------------------------------------------------- TimeScaled
+
+TimeScaled::TimeScaled(std::unique_ptr<LifeFunction> inner, double scale)
+    : inner_(std::move(inner)), scale_(scale) {
+  if (!inner_) throw std::invalid_argument("TimeScaled: null inner");
+  if (!(scale > 0.0) || !std::isfinite(scale))
+    throw std::invalid_argument("TimeScaled: scale must be positive");
+}
+
+double TimeScaled::survival(double t) const {
+  return inner_->survival(t / scale_);
+}
+
+double TimeScaled::derivative(double t) const {
+  return inner_->derivative(t / scale_) / scale_;
+}
+
+std::optional<double> TimeScaled::lifespan() const {
+  if (const auto L = inner_->lifespan()) return *L * scale_;
+  return std::nullopt;
+}
+
+std::string TimeScaled::name() const {
+  std::ostringstream os;
+  os << "scaled(" << inner_->name() << ",x" << scale_ << ')';
+  return os.str();
+}
+
+std::unique_ptr<LifeFunction> TimeScaled::clone() const {
+  return std::make_unique<TimeScaled>(inner_->clone(), scale_);
+}
+
+double TimeScaled::inverse_survival(double u) const {
+  return inner_->inverse_survival(u) * scale_;
+}
+
+// -------------------------------------------------------------------- Mixture
+
+Mixture::Mixture(std::vector<std::unique_ptr<LifeFunction>> components,
+                 std::vector<double> weights)
+    : components_(std::move(components)), weights_(std::move(weights)) {
+  if (components_.empty() || components_.size() != weights_.size())
+    throw std::invalid_argument("Mixture: component/weight count mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (!components_[i]) throw std::invalid_argument("Mixture: null component");
+    if (!(weights_[i] > 0.0))
+      throw std::invalid_argument("Mixture: weights must be positive");
+    total += weights_[i];
+  }
+  if (std::abs(total - 1.0) > 1e-9)
+    throw std::invalid_argument("Mixture: weights must sum to 1");
+
+  bool all_concave = true, all_convex = true;
+  for (const auto& comp : components_) {
+    const Shape s = comp->shape();
+    if (s != Shape::Concave && s != Shape::Linear) all_concave = false;
+    if (s != Shape::Convex && s != Shape::Linear) all_convex = false;
+  }
+  if (all_concave && all_convex) {
+    shape_ = Shape::Linear;
+  } else if (all_concave) {
+    shape_ = Shape::Concave;
+  } else if (all_convex) {
+    shape_ = Shape::Convex;
+  } else {
+    shape_ = detect_shape(*this, 512, 1e-7);
+  }
+}
+
+double Mixture::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i)
+    acc += weights_[i] * components_[i]->survival(t);
+  return acc;
+}
+
+double Mixture::derivative(double t) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i)
+    acc += weights_[i] * components_[i]->derivative(t);
+  return acc;
+}
+
+std::optional<double> Mixture::lifespan() const {
+  double longest = 0.0;
+  for (const auto& comp : components_) {
+    const auto L = comp->lifespan();
+    if (!L) return std::nullopt;
+    longest = std::max(longest, *L);
+  }
+  return longest;
+}
+
+std::string Mixture::name() const {
+  std::ostringstream os;
+  os << "mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) os << '+';
+    os << weights_[i] << '*' << components_[i]->name();
+  }
+  os << ')';
+  return os.str();
+}
+
+std::unique_ptr<LifeFunction> Mixture::clone() const {
+  std::vector<std::unique_ptr<LifeFunction>> comps;
+  comps.reserve(components_.size());
+  for (const auto& comp : components_) comps.push_back(comp->clone());
+  return std::make_unique<Mixture>(std::move(comps), weights_);
+}
+
+}  // namespace cs

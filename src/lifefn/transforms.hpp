@@ -1,0 +1,61 @@
+// Life-function combinators.
+//
+// TimeScaled re-expresses a life function in different time units (e.g.
+// converting wall-clock seconds to task-time units so the overhead c stays
+// dimensionless).  Mixture models a population of owners: with probability
+// w_i the episode follows component i, giving p(t) = Σ w_i p_i(t) — the
+// standard way to encode multi-modal owner behaviour fitted from traces.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lifefn/life_function.hpp"
+
+namespace cs {
+
+/// p_scaled(t) = p(t / scale): stretches the time axis by `scale` (> 0).
+class TimeScaled final : public LifeFunction {
+ public:
+  TimeScaled(std::unique_ptr<LifeFunction> inner, double scale);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return inner_->shape(); }
+  [[nodiscard]] std::optional<double> lifespan() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+  [[nodiscard]] double inverse_survival(double u) const override;
+
+ private:
+  std::unique_ptr<LifeFunction> inner_;
+  double scale_;
+};
+
+/// Convex combination p(t) = Σ w_i p_i(t), Σ w_i = 1, w_i > 0.
+/// Shape: reported analytically when all components agree, otherwise
+/// detected numerically (a mixture of convex functions is convex; mixtures
+/// of concave functions are concave; mixed shapes are detected).
+class Mixture final : public LifeFunction {
+ public:
+  Mixture(std::vector<std::unique_ptr<LifeFunction>> components,
+          std::vector<double> weights);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return shape_; }
+  [[nodiscard]] std::optional<double> lifespan() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<LifeFunction>> components_;
+  std::vector<double> weights_;
+  Shape shape_;
+};
+
+}  // namespace cs

@@ -1,0 +1,39 @@
+#include "numerics/csv.hpp"
+
+#include <stdexcept>
+
+namespace cs::num {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& headers)
+    : out_(path), columns_(headers.size()) {
+  if (headers.empty()) throw std::invalid_argument("CsvWriter: no headers");
+  emit(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  emit(cells);
+}
+
+std::string CsvWriter::quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << quote(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace cs::num

@@ -1,0 +1,29 @@
+// CSV emission for experiment results (machine-readable companion to Table).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cs::num {
+
+/// Streaming CSV writer with RFC-4180 quoting for cells containing commas,
+/// quotes, or newlines.
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& headers);
+
+  void add_row(const std::vector<std::string>& cells);
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  /// Quote a single cell per RFC 4180.
+  static std::string quote(const std::string& cell);
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace cs::num

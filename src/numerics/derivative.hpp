@@ -1,0 +1,30 @@
+// Numerical differentiation with Richardson extrapolation.
+//
+// Life functions fitted from traces (Empirical) have no analytic derivative;
+// the scheduling guidelines need p' everywhere, so they fall back on these
+// routines.  Shape detection (convex/concave classification) uses the second
+// derivative estimate.
+#pragma once
+
+#include <functional>
+
+namespace cs::num {
+
+/// Central-difference first derivative with one Richardson extrapolation
+/// level: error O(h^4) on C^5 functions.
+double derivative(const std::function<double(double)>& f, double x,
+                  double h = 1e-5);
+
+/// One-sided (forward) derivative for use at a domain's left edge.
+double forward_derivative(const std::function<double(double)>& f, double x,
+                          double h = 1e-6);
+
+/// One-sided (backward) derivative for use at a domain's right edge.
+double backward_derivative(const std::function<double(double)>& f, double x,
+                           double h = 1e-6);
+
+/// Central second derivative, O(h^2).
+double second_derivative(const std::function<double(double)>& f, double x,
+                         double h = 1e-4);
+
+}  // namespace cs::num

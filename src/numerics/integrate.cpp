@@ -1,0 +1,86 @@
+#include "numerics/integrate.hpp"
+
+#include <cmath>
+
+namespace cs::num {
+
+namespace {
+
+struct SimpsonCtx {
+  const std::function<double(double)>* f;
+  int evaluations = 0;
+  int max_depth;
+};
+
+double simpson(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(SimpsonCtx& ctx, double a, double b, double fa, double fm,
+                double fb, double whole, double tol, int depth,
+                double& err_out) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = (*ctx.f)(lm);
+  const double frm = (*ctx.f)(rm);
+  ctx.evaluations += 2;
+  const double left = simpson(fa, flm, fm, a, m);
+  const double right = simpson(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth >= ctx.max_depth || std::abs(delta) <= 15.0 * tol) {
+    err_out += std::abs(delta) / 15.0;
+    return left + right + delta / 15.0;
+  }
+  return adaptive(ctx, a, m, fa, flm, fm, left, 0.5 * tol, depth + 1,
+                  err_out) +
+         adaptive(ctx, m, b, fm, frm, fb, right, 0.5 * tol, depth + 1,
+                  err_out);
+}
+
+}  // namespace
+
+QuadResult integrate(const std::function<double(double)>& f, double a,
+                     double b, double tol, int max_depth) {
+  QuadResult r;
+  if (a == b) {
+    r.converged = true;
+    return r;
+  }
+  const double sign = (b >= a) ? 1.0 : -1.0;
+  if (sign < 0.0) std::swap(a, b);
+  SimpsonCtx ctx{&f, 0, max_depth};
+  const double m = 0.5 * (a + b);
+  const double fa = f(a), fm = f(m), fb = f(b);
+  ctx.evaluations = 3;
+  const double whole = simpson(fa, fm, fb, a, b);
+  double err = 0.0;
+  r.value = sign * adaptive(ctx, a, b, fa, fm, fb, whole, tol, 0, err);
+  r.error_estimate = err;
+  r.evaluations = ctx.evaluations;
+  r.converged = err <= tol * 16.0 + 1e-300;
+  return r;
+}
+
+QuadResult integrate_to_infinity(const std::function<double(double)>& f,
+                                 double a, double tol, double tail_tol) {
+  QuadResult total;
+  double lo = a;
+  double width = 1.0;
+  for (int i = 0; i < 80; ++i) {
+    const QuadResult piece = integrate(f, lo, lo + width, tol);
+    total.value += piece.value;
+    total.error_estimate += piece.error_estimate;
+    total.evaluations += piece.evaluations;
+    if (std::abs(piece.value) < tail_tol) {
+      total.converged = true;
+      return total;
+    }
+    lo += width;
+    width *= 2.0;
+  }
+  total.converged = false;
+  return total;
+}
+
+}  // namespace cs::num

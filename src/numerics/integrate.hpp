@@ -1,0 +1,30 @@
+// Adaptive quadrature.
+//
+// Used for expected-value computations against life functions — e.g. the mean
+// episode lifespan E[R] = ∫ p(t) dt, which calibrates Monte-Carlo horizons —
+// and for checking the survival-function normalization of trace fits.
+#pragma once
+
+#include <functional>
+
+namespace cs::num {
+
+/// Result of a quadrature.
+struct QuadResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Adaptive Simpson's rule on [a, b] with absolute tolerance `tol`.
+QuadResult integrate(const std::function<double(double)>& f, double a,
+                     double b, double tol = 1e-10, int max_depth = 48);
+
+/// Integral of a nonnegative, decreasing f over [a, ∞): integrates in
+/// doubling windows until a window contributes less than `tail_tol`.
+QuadResult integrate_to_infinity(const std::function<double(double)>& f,
+                                 double a, double tol = 1e-10,
+                                 double tail_tol = 1e-12);
+
+}  // namespace cs::num

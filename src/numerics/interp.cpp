@@ -1,0 +1,120 @@
+#include "numerics/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cs::num {
+
+namespace {
+
+void validate_knots(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  if (x.size() < 2) throw std::invalid_argument("interp: need >= 2 knots");
+  if (x.size() != y.size())
+    throw std::invalid_argument("interp: x/y size mismatch");
+  for (std::size_t i = 1; i < x.size(); ++i)
+    if (!(x[i] > x[i - 1]))
+      throw std::invalid_argument("interp: knots must be strictly increasing");
+}
+
+std::size_t find_segment(const std::vector<double>& x, double t) {
+  // Index i such that x[i] <= t < x[i+1]; clamped to [0, n-2].
+  if (t <= x.front()) return 0;
+  if (t >= x[x.size() - 2]) return x.size() - 2;
+  const auto it = std::upper_bound(x.begin(), x.end(), t);
+  return static_cast<std::size_t>(it - x.begin()) - 1;
+}
+
+}  // namespace
+
+LinearInterp::LinearInterp(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  validate_knots(x_, y_);
+}
+
+std::size_t LinearInterp::segment(double t) const { return find_segment(x_, t); }
+
+double LinearInterp::operator()(double t) const {
+  if (t <= x_.front()) return y_.front();
+  if (t >= x_.back()) return y_.back();
+  const std::size_t i = segment(t);
+  const double w = (t - x_[i]) / (x_[i + 1] - x_[i]);
+  return y_[i] + w * (y_[i + 1] - y_[i]);
+}
+
+double LinearInterp::derivative(double t) const {
+  if (t < x_.front() || t > x_.back()) return 0.0;
+  const std::size_t i = segment(t);
+  return (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+}
+
+PchipInterp::PchipInterp(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  validate_knots(x_, y_);
+  const std::size_t n = x_.size();
+  std::vector<double> h(n - 1), delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    h[i] = x_[i + 1] - x_[i];
+    delta[i] = (y_[i + 1] - y_[i]) / h[i];
+  }
+  m_.assign(n, 0.0);
+  if (n == 2) {
+    m_[0] = m_[1] = delta[0];
+  } else {
+    // Interior: Fritsch–Carlson weighted harmonic mean, zero at sign changes.
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      if (delta[i - 1] * delta[i] <= 0.0) {
+        m_[i] = 0.0;
+      } else {
+        const double w1 = 2.0 * h[i] + h[i - 1];
+        const double w2 = h[i] + 2.0 * h[i - 1];
+        m_[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+      }
+    }
+    // Ends: one-sided three-point estimate, limited to preserve shape.
+    auto end_slope = [](double h0, double h1, double d0, double d1) {
+      double m = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+      if (m * d0 <= 0.0)
+        m = 0.0;
+      else if (d0 * d1 <= 0.0 && std::abs(m) > 3.0 * std::abs(d0))
+        m = 3.0 * d0;
+      return m;
+    };
+    m_[0] = end_slope(h[0], h[1], delta[0], delta[1]);
+    m_[n - 1] = end_slope(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+  }
+}
+
+std::size_t PchipInterp::segment(double t) const { return find_segment(x_, t); }
+
+double PchipInterp::operator()(double t) const {
+  if (t <= x_.front()) return y_.front();
+  if (t >= x_.back()) return y_.back();
+  const std::size_t i = segment(t);
+  const double h = x_[i + 1] - x_[i];
+  const double s = (t - x_[i]) / h;
+  const double s2 = s * s;
+  const double s3 = s2 * s;
+  const double h00 = 2.0 * s3 - 3.0 * s2 + 1.0;
+  const double h10 = s3 - 2.0 * s2 + s;
+  const double h01 = -2.0 * s3 + 3.0 * s2;
+  const double h11 = s3 - s2;
+  return h00 * y_[i] + h10 * h * m_[i] + h01 * y_[i + 1] + h11 * h * m_[i + 1];
+}
+
+double PchipInterp::derivative(double t) const {
+  if (t < x_.front() || t > x_.back()) return 0.0;
+  if (t == x_.back()) return m_.back();
+  const std::size_t i = segment(t);
+  const double h = x_[i + 1] - x_[i];
+  const double s = (t - x_[i]) / h;
+  const double s2 = s * s;
+  const double dh00 = (6.0 * s2 - 6.0 * s) / h;
+  const double dh10 = 3.0 * s2 - 4.0 * s + 1.0;
+  const double dh01 = (-6.0 * s2 + 6.0 * s) / h;
+  const double dh11 = 3.0 * s2 - 2.0 * s;
+  return dh00 * y_[i] + dh10 * m_[i] + dh01 * y_[i + 1] + dh11 * m_[i + 1];
+}
+
+}  // namespace cs::num

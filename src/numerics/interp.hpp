@@ -1,0 +1,57 @@
+// Interpolation: piecewise-linear and monotone cubic (PCHIP / Fritsch–Carlson).
+//
+// Trace-estimated survival curves are step functions; the paper's guidelines
+// require a *differentiable* life function, so the trace pipeline smooths the
+// empirical curve with a monotonicity-preserving C^1 interpolant.  PCHIP keeps
+// the fitted p decreasing wherever the data is decreasing — exactly the
+// "well-behaved curve" encapsulation the paper assumes for trace data.
+#pragma once
+
+#include <vector>
+
+namespace cs::num {
+
+/// Piecewise-linear interpolant over strictly increasing knots.  Evaluation
+/// outside the knot range clamps to the end values.
+class LinearInterp {
+ public:
+  LinearInterp() = default;
+  /// Construct from knots `x` (strictly increasing) and values `y`
+  /// (same size, at least 2 points).
+  LinearInterp(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double operator()(double t) const;
+  /// Slope of the segment containing t (right-continuous at knots).
+  [[nodiscard]] double derivative(double t) const;
+  [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
+  [[nodiscard]] double x_front() const { return x_.front(); }
+  [[nodiscard]] double x_back() const { return x_.back(); }
+
+ private:
+  [[nodiscard]] std::size_t segment(double t) const;
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// Monotone cubic Hermite interpolant (Fritsch–Carlson limiter).  C^1, and
+/// monotone on every interval where the data is monotone.  Evaluation outside
+/// the knot range clamps.
+class PchipInterp {
+ public:
+  PchipInterp() = default;
+  PchipInterp(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double operator()(double t) const;
+  [[nodiscard]] double derivative(double t) const;
+  [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
+  [[nodiscard]] double x_front() const { return x_.front(); }
+  [[nodiscard]] double x_back() const { return x_.back(); }
+
+ private:
+  [[nodiscard]] std::size_t segment(double t) const;
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> m_;  // knot derivatives
+};
+
+}  // namespace cs::num

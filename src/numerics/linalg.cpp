@@ -1,0 +1,89 @@
+#include "numerics/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace cs::num {
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve: dimension mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("solve: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c)
+        std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a(ri, c) * x[c];
+    x[ri] = sum / a(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& a,
+                                  const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m)
+    throw std::invalid_argument("least_squares: dimension mismatch");
+  Matrix ata(n, n);
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < m; ++k) s += a(k, i) * a(k, j);
+      ata(i, j) = s;
+    }
+    double s = 0.0;
+    for (std::size_t k = 0; k < m; ++k) s += a(k, i) * b[k];
+    atb[i] = s;
+  }
+  return solve(std::move(ata), std::move(atb));
+}
+
+std::vector<double> polyfit(const std::vector<double>& x,
+                            const std::vector<double>& y, std::size_t degree) {
+  if (x.size() != y.size() || x.size() <= degree)
+    throw std::invalid_argument("polyfit: need more points than degree");
+  Matrix a(x.size(), degree + 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double pw = 1.0;
+    for (std::size_t k = 0; k <= degree; ++k) {
+      a(i, k) = pw;
+      pw *= x[i];
+    }
+  }
+  return least_squares(a, y);
+}
+
+double polyval(const std::vector<double>& coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t k = coeffs.size(); k-- > 0;) acc = acc * x + coeffs[k];
+  return acc;
+}
+
+}  // namespace cs::num

@@ -1,0 +1,52 @@
+// Small dense linear algebra: Gaussian elimination and linear least squares.
+//
+// Used by the trace fitters (polynomial-risk and Weibull regressions) — the
+// systems involved are tiny (2x2 .. 6x6), so a partial-pivot solve is all
+// that is needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cs::num {
+
+/// Dense row-major matrix, minimal interface for the fitters.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error on (numerically) singular A.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Linear least squares: minimize ||A x - b||_2 via the normal equations.
+/// Adequate for the well-conditioned tiny systems produced by the fitters.
+std::vector<double> least_squares(const Matrix& a,
+                                  const std::vector<double>& b);
+
+/// Fit a polynomial of degree `degree` to points (x_i, y_i) by least squares;
+/// returns coefficients c_0..c_degree of Σ c_k x^k.
+std::vector<double> polyfit(const std::vector<double>& x,
+                            const std::vector<double>& y, std::size_t degree);
+
+/// Evaluate Σ c_k x^k with Horner's rule.
+double polyval(const std::vector<double>& coeffs, double x);
+
+}  // namespace cs::num

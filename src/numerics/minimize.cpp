@@ -1,0 +1,165 @@
+#include "numerics/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cs::num {
+
+namespace {
+constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+}
+
+MinResult golden_section(const std::function<double(double)>& f, double lo,
+                         double hi, const MinOptions& opt) {
+  if (!(lo <= hi)) throw std::invalid_argument("golden_section: lo > hi");
+  MinResult r;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int i = 0; i < opt.max_iterations && (b - a) > opt.x_tol; ++i) {
+    ++r.iterations;
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  r.converged = (b - a) <= opt.x_tol * 4.0 || r.iterations < opt.max_iterations;
+  if (f1 < f2) {
+    r.x = x1;
+    r.value = f1;
+  } else {
+    r.x = x2;
+    r.value = f2;
+  }
+  return r;
+}
+
+MinResult brent_minimize(const std::function<double(double)>& f, double lo,
+                         double hi, const MinOptions& opt) {
+  if (!(lo <= hi)) throw std::invalid_argument("brent_minimize: lo > hi");
+  const double golden = 1.0 - kInvPhi;
+  double a = lo, b = hi;
+  double x = a + golden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  MinResult r;
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    ++r.iterations;
+    const double m = 0.5 * (a + b);
+    const double tol = opt.x_tol + 1e-12 * std::abs(x);
+    if (std::abs(x - m) <= 2.0 * tol - 0.5 * (b - a)) {
+      r.converged = true;
+      break;
+    }
+    double u;
+    bool parabolic_ok = false;
+    if (std::abs(e) > tol) {
+      // Fit parabola through (v,fv), (w,fw), (x,fx).
+      const double q0 = (x - w) * (fx - fv);
+      const double q1 = (x - v) * (fx - fw);
+      double p = (x - v) * q1 - (x - w) * q0;
+      double q = 2.0 * (q1 - q0);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_old = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        u = x + d;
+        if (u - a < 2.0 * tol || b - u < 2.0 * tol)
+          d = (x < m) ? tol : -tol;
+        parabolic_ok = true;
+      }
+    }
+    if (!parabolic_ok) {
+      e = (x < m) ? (b - x) : (a - x);
+      d = golden * e;
+    }
+    u = (std::abs(d) >= tol) ? x + d : x + ((d > 0.0) ? tol : -tol);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u < x) b = x; else a = x;
+      v = w; fv = fw;
+      w = x; fw = fx;
+      x = u; fx = fu;
+    } else {
+      if (u < x) a = u; else b = u;
+      if (fu <= fw || w == x) {
+        v = w; fv = fw;
+        w = u; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u; fv = fu;
+      }
+    }
+  }
+  r.x = x;
+  r.value = fx;
+  return r;
+}
+
+MinResult grid_then_refine(const std::function<double(double)>& f, double lo,
+                           double hi, const MinOptions& opt) {
+  if (!(lo <= hi)) throw std::invalid_argument("grid_then_refine: lo > hi");
+  const int n = std::max(3, opt.grid_points);
+  MinResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  int best_i = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    const double fx = f(x);
+    ++best.iterations;
+    if (fx < best.value) {
+      best.value = fx;
+      best.x = x;
+      best_i = i;
+    }
+  }
+  const double h = (hi - lo) / static_cast<double>(n - 1);
+  const double a = std::max(lo, best.x - (best_i > 0 ? h : 0.0));
+  const double b = std::min(hi, best.x + (best_i < n - 1 ? h : 0.0));
+  if (b > a) {
+    MinResult refined = brent_minimize(f, a, b, opt);
+    refined.iterations += best.iterations;
+    if (refined.value <= best.value) return refined;
+    best.converged = true;
+    return best;
+  }
+  best.converged = true;
+  return best;
+}
+
+namespace {
+MinResult negate_result(MinResult r) {
+  r.value = -r.value;
+  return r;
+}
+}  // namespace
+
+MinResult golden_section_max(const std::function<double(double)>& f, double lo,
+                             double hi, const MinOptions& opt) {
+  return negate_result(
+      golden_section([&f](double x) { return -f(x); }, lo, hi, opt));
+}
+
+MinResult grid_then_refine_max(const std::function<double(double)>& f,
+                               double lo, double hi, const MinOptions& opt) {
+  return negate_result(
+      grid_then_refine([&f](double x) { return -f(x); }, lo, hi, opt));
+}
+
+}  // namespace cs::num

@@ -1,0 +1,51 @@
+// One-dimensional minimization/maximization.
+//
+// Used to pick the initial period-length t0 inside the guideline bracket
+// (the "factor-of-2 art" of the paper's Section 6), for the greedy scheduler's
+// per-period gain maximization, and to locate the witness point of the
+// Corollary 3.2 admissibility test.
+#pragma once
+
+#include <functional>
+
+namespace cs::num {
+
+/// Outcome of a 1-D optimization.
+struct MinResult {
+  double x = 0.0;          ///< abscissa of the located extremum
+  double value = 0.0;      ///< f(x)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Options for the 1-D optimizers.
+struct MinOptions {
+  double x_tol = 1e-10;     ///< absolute tolerance on the interval width
+  int max_iterations = 200;
+  int grid_points = 65;     ///< coarse scan resolution for grid_then_refine
+};
+
+/// Golden-section search for the minimum of a unimodal f on [lo, hi].
+MinResult golden_section(const std::function<double(double)>& f, double lo,
+                         double hi, const MinOptions& opt = {});
+
+/// Brent's parabolic-interpolation minimizer on [lo, hi].  Superlinear on
+/// smooth unimodal f; falls back to golden-section steps otherwise.
+MinResult brent_minimize(const std::function<double(double)>& f, double lo,
+                         double hi, const MinOptions& opt = {});
+
+/// Robust global-ish minimizer for possibly multimodal f on [lo, hi]: scans a
+/// uniform grid, then refines around the best grid cell with Brent.  The
+/// expected-work objective E(S(t0); p) can have small plateaus where the
+/// period count changes, so the pure unimodal solvers are not safe alone.
+MinResult grid_then_refine(const std::function<double(double)>& f, double lo,
+                           double hi, const MinOptions& opt = {});
+
+/// Maximization wrappers (negate f).
+MinResult golden_section_max(const std::function<double(double)>& f, double lo,
+                             double hi, const MinOptions& opt = {});
+MinResult grid_then_refine_max(const std::function<double(double)>& f,
+                               double lo, double hi,
+                               const MinOptions& opt = {});
+
+}  // namespace cs::num

@@ -1,0 +1,67 @@
+// Deterministic, stream-splittable random number generation.
+//
+// Monte-Carlo experiments fan out across a thread pool; each logical stream
+// gets an independent engine derived from (seed, stream_id) through SplitMix64
+// so results are reproducible regardless of thread scheduling.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace cs::num {
+
+/// SplitMix64 step; used to whiten (seed, stream) pairs into engine seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// A named random stream: a mt19937_64 engine seeded from (seed, stream_id).
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed, std::uint64_t stream_id = 0) {
+    std::uint64_t s = seed ^ (0xA24BAED4963EE407ULL * (stream_id + 1));
+    std::seed_seq seq{splitmix64(s), splitmix64(s), splitmix64(s),
+                      splitmix64(s)};
+    engine_.seed(seq);
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+  /// U(0,1) variate, never exactly 0 or 1 (safe for inverse-CDF sampling).
+  double uniform01() {
+    constexpr double kScale = 1.0 / 9007199254740992.0;  // 2^-53
+    const std::uint64_t bits = engine_() >> 11;
+    double u = (static_cast<double>(bits) + 0.5) * kScale;
+    return u;
+  }
+
+  /// U(lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Exponential with the given rate.
+  double exponential(double rate) {
+    return -std::log(uniform01()) / rate;
+  }
+
+  /// Standard normal via std::normal_distribution.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    std::uniform_int_distribution<std::uint64_t> d(0, n - 1);
+    return d(engine_);
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cs::num

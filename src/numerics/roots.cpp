@@ -1,0 +1,167 @@
+#include "numerics/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace cs::num {
+
+namespace {
+
+bool opposite_signs(double a, double b) {
+  return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opt) {
+  if (!(lo <= hi)) throw std::invalid_argument("bisect: lo > hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  RootResult r;
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if (!opposite_signs(flo, fhi))
+    throw std::invalid_argument("bisect: no sign change on bracket");
+  double mid = 0.5 * (lo + hi);
+  double fmid = flo;
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    mid = 0.5 * (lo + hi);
+    fmid = f(mid);
+    ++r.iterations;
+    // Absolute tolerance plus a machine-relative term so wide brackets with
+    // large roots still converge.
+    const double tol = opt.x_tol + 4.0 * 2.22e-16 * std::abs(mid);
+    if (std::abs(fmid) <= opt.f_tol || (hi - lo) * 0.5 < tol) {
+      r.root = mid;
+      r.residual = fmid;
+      r.converged = true;
+      return r;
+    }
+    if (opposite_signs(flo, fmid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  r.root = mid;
+  r.residual = fmid;
+  r.converged = (hi - lo) < opt.x_tol * 4.0;
+  return r;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opt) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  RootResult r;
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (!opposite_signs(fa, fb))
+    throw std::invalid_argument("brent: no sign change on bracket");
+
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;      // previous iterate
+  double fc = fa;
+  double d = b - a;  // step taken two iterations ago (for bisection guard)
+  bool used_bisection = true;
+
+  for (int i = 0; i < opt.max_iterations; ++i) {
+    ++r.iterations;
+    const double tol = opt.x_tol + 4.0 * 2.22e-16 * std::abs(b);
+    double s;
+    if (fa != fc && fb != fc) {
+      // inverse quadratic interpolation
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // secant
+      s = b - fb * (b - a) / (fb - fa);
+    }
+
+    const double mid = 0.5 * (a + b);
+    const bool between = (s > std::min(mid, b) && s < std::max(mid, b));
+    const double step_prev = std::abs(b - c);
+    const double step_prev2 = std::abs(d);
+    if (!between ||
+        (used_bisection && std::abs(s - b) >= 0.5 * step_prev) ||
+        (!used_bisection && std::abs(s - b) >= 0.5 * step_prev2) ||
+        (used_bisection && step_prev < tol) ||
+        (!used_bisection && step_prev2 < tol)) {
+      s = mid;
+      used_bisection = true;
+    } else {
+      used_bisection = false;
+    }
+
+    const double fs = f(s);
+    d = c - b;
+    c = b;
+    fc = fb;
+    if (opposite_signs(fa, fs)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+    if (std::abs(fb) <= opt.f_tol || std::abs(b - a) < tol) {
+      r.root = b;
+      r.residual = fb;
+      r.converged = true;
+      return r;
+    }
+  }
+  r.root = b;
+  r.residual = fb;
+  r.converged = false;
+  return r;
+}
+
+std::optional<std::pair<double, double>> bracket_right(
+    const std::function<double(double)>& f, double lo, double step,
+    double hi_limit, int max_doublings) {
+  if (step <= 0.0) throw std::invalid_argument("bracket_right: step <= 0");
+  double a = lo;
+  double fa = f(a);
+  if (fa == 0.0) return std::make_pair(a, a);
+  double width = step;
+  for (int i = 0; i < max_doublings; ++i) {
+    double b = std::min(a + width, hi_limit);
+    double fb = f(b);
+    if (opposite_signs(fa, fb)) return std::make_pair(a, b);
+    if (b >= hi_limit) return std::nullopt;
+    a = b;
+    fa = fb;
+    width *= 2.0;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> monotone_root(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    const RootOptions& opt) {
+  const double flo = f(lo);
+  const double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (!opposite_signs(flo, fhi)) return std::nullopt;
+  const RootResult r = brent(f, lo, hi, opt);
+  if (!r.converged) return std::nullopt;
+  return r.root;
+}
+
+}  // namespace cs::num

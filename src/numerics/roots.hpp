@@ -1,0 +1,56 @@
+// Scalar root finding: bisection, Brent's method, and bracket expansion.
+//
+// The scheduling engine solves many one-dimensional root problems against
+// monotone-decreasing life functions (inverting p, solving the recurrence
+// (3.6) of the paper, locating implicit t0 bounds).  All solvers here take a
+// std::function so any callable — including lambdas closing over a
+// LifeFunction — can be used.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace cs::num {
+
+/// Outcome of a root search.
+struct RootResult {
+  double root = 0.0;        ///< abscissa of the located root
+  double residual = 0.0;    ///< f(root)
+  int iterations = 0;       ///< iterations consumed
+  bool converged = false;   ///< true iff |f(root)| or bracket width met tol
+};
+
+/// Options shared by the bracketing solvers.
+struct RootOptions {
+  double x_tol = 1e-12;     ///< absolute tolerance on the bracket width
+  double f_tol = 0.0;       ///< early-exit tolerance on |f| (0 = bracket only)
+  int max_iterations = 200; ///< hard iteration cap
+};
+
+/// Bisection on a bracket [lo, hi] with f(lo) and f(hi) of opposite sign.
+/// Robust but linear; used as the fallback when Brent's interpolation steps
+/// misbehave on nearly-flat life functions.
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opt = {});
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection) on a
+/// bracket [lo, hi] with sign change.  Superlinear on smooth f, never worse
+/// than bisection.
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opt = {});
+
+/// Expand a bracket to the right of `lo`: starting from width `step`, doubles
+/// until f changes sign or `hi_limit` is reached.  Returns the bracket
+/// [a, b] with f(a)*f(b) <= 0, or nullopt if no sign change was found.
+std::optional<std::pair<double, double>> bracket_right(
+    const std::function<double(double)>& f, double lo, double step,
+    double hi_limit, int max_doublings = 64);
+
+/// Convenience: find the root of f on [lo, hi] where f is known to be
+/// monotone; verifies the sign change and runs Brent.  Returns nullopt when
+/// no sign change exists on the interval.
+std::optional<double> monotone_root(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    const RootOptions& opt = {});
+
+}  // namespace cs::num

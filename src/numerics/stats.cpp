@@ -1,0 +1,114 @@
+#include "numerics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cs::num {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  return n_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+ConfidenceInterval confidence_interval(const RunningStats& s, double z) {
+  const double half = z * s.sem();
+  return {s.mean() - half, s.mean() + half};
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty sample");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of range");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(i);
+  return xs[i] + frac * (xs[i + 1] - xs[i]);
+}
+
+double ks_statistic(std::vector<double> sample,
+                    const std::vector<double>& reference_sorted) {
+  if (sample.empty() || reference_sorted.empty())
+    throw std::invalid_argument("ks_statistic: empty sample");
+  std::sort(sample.begin(), sample.end());
+  const double n1 = static_cast<double>(sample.size());
+  const double n2 = static_cast<double>(reference_sorted.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < sample.size() && j < reference_sorted.size()) {
+    const double x = std::min(sample[i], reference_sorted[j]);
+    while (i < sample.size() && sample[i] <= x) ++i;
+    while (j < reference_sorted.size() && reference_sorted[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / n1 -
+                             static_cast<double>(j) / n2));
+  }
+  return d;
+}
+
+double ks_statistic_cdf(std::vector<double> sample,
+                        const std::function<double(double)>& cdf) {
+  if (sample.empty()) throw std::invalid_argument("ks_statistic_cdf: empty");
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double f = cdf(sample[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+}  // namespace cs::num

@@ -1,0 +1,62 @@
+// Streaming and batch statistics for Monte-Carlo experiment analysis.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cs::num {
+
+/// Welford streaming accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator (parallel reduction of per-thread partials).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided normal-approximation confidence interval for the mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return lo <= x && x <= hi;
+  }
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+};
+
+/// CI at the given z (1.96 ≈ 95%, 2.576 ≈ 99%, 3.29 ≈ 99.9%).
+ConfidenceInterval confidence_interval(const RunningStats& s, double z = 1.96);
+
+/// Batch helpers.
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);
+double quantile(std::vector<double> xs, double q);  // copies and sorts
+
+/// Two-sample Kolmogorov–Smirnov statistic sup_x |F1(x) - F2(x)|; used by
+/// the trace-fit model selection.
+double ks_statistic(std::vector<double> sample,
+                    const std::vector<double>& reference_sorted);
+
+/// One-sample KS statistic against a CDF given as a callable on sample points.
+double ks_statistic_cdf(std::vector<double> sample,
+                        const std::function<double(double)>& cdf);
+
+}  // namespace cs::num

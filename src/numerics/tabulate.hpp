@@ -1,0 +1,37 @@
+// Minimal fixed-width text table builder for the experiment harness.
+//
+// Every bench binary prints paper-shaped rows through this type so the output
+// of `for b in build/bench/*; do $b; done` is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cs::num {
+
+/// A fixed-schema text table.  Columns are set once; rows accumulate.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row of already-formatted cells (must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with the given precision; helper for callers.
+  static std::string num(double v, int precision = 4);
+  /// Format as fixed decimal.
+  static std::string fixed(double v, int precision = 3);
+  /// Format as percent.
+  static std::string percent(double v, int precision = 1);
+
+  /// Render with aligned columns, a header rule, and an optional title.
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cs::num

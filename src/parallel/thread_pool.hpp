@@ -1,0 +1,98 @@
+// Fixed-size thread pool with a shared task queue, plus data-parallel
+// helpers (parallel_for / parallel_reduce) used by the Monte-Carlo sweeps
+// and the dynamic-programming reference optimizer.
+//
+// Design notes (C++ Core Guidelines CP.*):
+//  - RAII: the destructor drains and joins; no detached threads.
+//  - Exceptions thrown inside tasks are captured and rethrown to the waiter.
+//  - The pool is intentionally simple (one mutex, one condvar); task bodies
+//    in this project are coarse (thousands of episodes / grid rows each), so
+//    queue contention is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cs::par {
+
+/// A fixed pool of worker threads executing enqueued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion/exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Process-wide shared pool (lazily constructed, never destroyed before
+  /// main exits).  Benchmarks and the simulator use this by default.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Partition [0, n) into roughly equal chunks and run `body(begin, end)` on
+/// the pool; blocks until all chunks finish.  Rethrows the first task
+/// exception.  With n == 0 this is a no-op; small n degrades gracefully to a
+/// single chunk.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_chunk = 1);
+
+/// Map-reduce over [0, n): each chunk folds into a thread-local accumulator
+/// created by `make_acc`, then `combine` merges partials in chunk order.
+template <typename Acc>
+Acc parallel_reduce(ThreadPool& pool, std::size_t n,
+                    const std::function<Acc()>& make_acc,
+                    const std::function<void(Acc&, std::size_t)>& fold,
+                    const std::function<void(Acc&, const Acc&)>& combine,
+                    std::size_t min_chunk = 1) {
+  const std::size_t threads = pool.size();
+  std::size_t chunks = std::min(n, threads * 4);
+  if (chunks == 0) return make_acc();
+  const std::size_t chunk_size =
+      std::max(min_chunk, (n + chunks - 1) / chunks);
+  chunks = (n + chunk_size - 1) / chunk_size;
+
+  std::vector<Acc> partials;
+  partials.reserve(chunks);
+  for (std::size_t i = 0; i < chunks; ++i) partials.push_back(make_acc());
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t ci = 0; ci < chunks; ++ci) {
+    const std::size_t begin = ci * chunk_size;
+    const std::size_t end = std::min(n, begin + chunk_size);
+    futures.push_back(pool.submit([&fold, &partials, ci, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fold(partials[ci], i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  Acc total = make_acc();
+  for (const Acc& part : partials) combine(total, part);
+  return total;
+}
+
+}  // namespace cs::par

@@ -1,0 +1,61 @@
+#include "sim/checkpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/expected_work.hpp"
+
+namespace cs::sim {
+
+CheckpointPlan plan_saves(const LifeFunction& p, double save_cost,
+                          double work) {
+  if (!(save_cost > 0.0)) throw std::invalid_argument("plan_saves: save_cost <= 0");
+  if (!(work > 0.0)) throw std::invalid_argument("plan_saves: work <= 0");
+
+  const GuidelineScheduler scheduler(p, save_cost);
+  const GuidelineResult g = scheduler.run();
+
+  CheckpointPlan plan;
+  double covered = 0.0;
+  for (double t : g.schedule.periods()) {
+    const double payload = t - save_cost;
+    if (payload <= 0.0) break;
+    if (covered + payload >= work) {
+      // Final interval: shrink to exactly finish the remaining work.
+      const double last = (work - covered) + save_cost;
+      plan.intervals.append(last);
+      covered = work;
+      break;
+    }
+    plan.intervals.append(t);
+    covered += payload;
+  }
+  // If the guideline schedule ends before covering all work (it stops where
+  // expected gain vanishes), keep appending intervals equal to the last one:
+  // beyond the modeled failure horizon every interval is a coin flip anyway.
+  if (covered < work && !plan.intervals.empty()) {
+    const double t_last = plan.intervals[plan.intervals.size() - 1];
+    while (covered < work) {
+      const double payload = t_last - save_cost;
+      const double take = std::min(payload, work - covered);
+      plan.intervals.append(take + save_cost);
+      covered += take;
+    }
+  }
+
+  plan.planned_work = covered;
+  double acc = 0.0;
+  for (double t : plan.intervals.periods()) {
+    acc += t;
+    plan.save_times.push_back(acc);
+  }
+  plan.expected_progress = expected_work(plan.intervals, p, save_cost);
+  return plan;
+}
+
+double progress_at_fault(const CheckpointPlan& plan, double save_cost,
+                         double fault_time) {
+  return work_given_reclaim(plan.intervals, save_cost, fault_time);
+}
+
+}  // namespace cs::sim

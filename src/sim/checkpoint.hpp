@@ -1,0 +1,40 @@
+// Scheduling saves in a fault-prone computation — the paper's Section 1
+// "Remark" application (Coffman–Flatto–Krenin, Acta Informatica 30, 1993).
+//
+// A long computation of duration `work` runs on a machine whose failure
+// behaviour is a survival curve p (probability no fault by time t).  A save
+// (checkpoint) costs `save_cost` time; a fault destroys everything since the
+// last save.  Formally identical to cycle-stealing: periods are the
+// intervals between saves, c is the save cost, and the expected committed
+// progress of a save plan is exactly eq. (2.1).  This adapter reuses the
+// guideline machinery to place the saves.
+#pragma once
+
+#include <vector>
+
+#include "core/guideline.hpp"
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs::sim {
+
+/// A concrete save plan.
+struct CheckpointPlan {
+  Schedule intervals;              ///< inter-save intervals (incl. save cost)
+  std::vector<double> save_times;  ///< absolute times at which saves complete
+  double expected_progress = 0.0;  ///< expected committed work (eq. 2.1)
+  double planned_work = 0.0;       ///< Σ (t_i - c): work covered if no fault
+};
+
+/// Place saves for a computation needing `work` time units on a machine with
+/// failure-survival `p` and save cost `save_cost`.  The guideline schedule
+/// is truncated once it covers `work` (the final interval is shortened to
+/// fit exactly).
+[[nodiscard]] CheckpointPlan plan_saves(const LifeFunction& p,
+                                        double save_cost, double work);
+
+/// Committed progress if a fault occurs at `fault_time` under the plan.
+[[nodiscard]] double progress_at_fault(const CheckpointPlan& plan,
+                                       double save_cost, double fault_time);
+
+}  // namespace cs::sim

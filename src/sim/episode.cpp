@@ -1,0 +1,84 @@
+#include "sim/episode.hpp"
+
+#include <algorithm>
+
+#include "numerics/rng.hpp"
+
+namespace cs::sim {
+
+EpisodeOutcome run_episode(const Schedule& s, double c, double reclaim) {
+  EpisodeOutcome out;
+  out.reclaim_time = reclaim;
+  double end = 0.0;
+  for (double t : s.periods()) {
+    const double start = end;
+    end += t;
+    if (end >= reclaim) {
+      // Interrupted: whatever portion of this period's payload was under way
+      // is destroyed.  The payload is (t - c)+; we count the full payload as
+      // lost if the reclaim hit after the setup completed, prorated during
+      // setup (no work had been shipped yet).
+      const double payload = positive_sub(t, c);
+      if (reclaim > start + c) out.lost = payload;
+      break;
+    }
+    out.work += positive_sub(t, c);
+    out.overhead += std::min(t, c);
+    ++out.completed_periods;
+  }
+  return out;
+}
+
+MonteCarloResult monte_carlo_episodes(const Schedule& s, const LifeFunction& p,
+                                      double c, const MonteCarloOptions& opt) {
+  // Chunk-local RNG streams are derived from (seed, chunk-start), so the
+  // stream layout — and hence the result — is independent of thread count.
+  auto run_range = [&](MonteCarloResult& acc, std::size_t begin,
+                       std::size_t end_idx) {
+    num::RandomStream rng(opt.seed, begin);
+    for (std::size_t i = begin; i < end_idx; ++i) {
+      const double reclaim = p.inverse_survival(rng.uniform01());
+      const EpisodeOutcome ep = run_episode(s, c, reclaim);
+      acc.work.add(ep.work);
+      acc.overhead.add(ep.overhead);
+      acc.lost.add(ep.lost);
+      acc.periods.add(static_cast<double>(ep.completed_periods));
+    }
+  };
+
+  // Fixed-size chunks with per-chunk RNG streams keyed by the chunk's first
+  // episode index: the serial and parallel paths therefore consume identical
+  // random numbers and produce bit-identical results.
+  const std::size_t chunk = 8192;
+
+  if (!opt.parallel) {
+    MonteCarloResult total;
+    for (std::size_t begin = 0; begin < opt.episodes; begin += chunk)
+      run_range(total, begin, std::min(opt.episodes, begin + chunk));
+    return total;
+  }
+
+  auto& pool = par::ThreadPool::shared();
+  const std::size_t chunks = (opt.episodes + chunk - 1) / chunk;
+  std::vector<MonteCarloResult> partials(chunks);
+  par::parallel_for(
+      pool, chunks,
+      [&](std::size_t cb, std::size_t ce) {
+        for (std::size_t ci = cb; ci < ce; ++ci) {
+          const std::size_t begin = ci * chunk;
+          const std::size_t end_idx = std::min(opt.episodes, begin + chunk);
+          run_range(partials[ci], begin, end_idx);
+        }
+      },
+      1);
+  MonteCarloResult total;
+  for (const auto& part : partials) {
+    total.work.merge(part.work);
+    total.overhead.merge(part.overhead);
+    total.lost.merge(part.lost);
+    total.periods.merge(part.periods);
+  }
+  return total;
+}
+
+}  // namespace cs::sim

@@ -1,0 +1,55 @@
+// Monte-Carlo simulation of single cycle-stealing episodes.
+//
+// Realizes the paper's model literally: an episode runs a schedule against a
+// random reclaim time; each period whose end the workstation survives yields
+// (t_k - c) work, an interrupted period yields nothing and ends the episode.
+// The sample mean over many episodes must converge to E(S; p) of eq. (2.1) —
+// experiment exp8's law-of-large-numbers check.
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+#include "numerics/stats.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cs::sim {
+
+/// Detailed outcome of one episode.
+struct EpisodeOutcome {
+  double work = 0.0;              ///< productive work banked
+  double overhead = 0.0;          ///< communication setup time spent (paid
+                                  ///< only for completed periods)
+  double lost = 0.0;              ///< work in progress killed by the reclaim
+  std::size_t completed_periods = 0;
+  double reclaim_time = 0.0;
+};
+
+/// Deterministically replay one episode with a known reclaim time.
+[[nodiscard]] EpisodeOutcome run_episode(const Schedule& s, double c,
+                                         double reclaim);
+
+/// Monte-Carlo aggregate over `n` episodes.
+struct MonteCarloResult {
+  num::RunningStats work;      ///< per-episode banked work
+  num::RunningStats overhead;  ///< per-episode overhead
+  num::RunningStats lost;      ///< per-episode killed work
+  num::RunningStats periods;   ///< completed periods per episode
+};
+
+/// Options for the Monte-Carlo driver.
+struct MonteCarloOptions {
+  std::size_t episodes = 100000;
+  std::uint64_t seed = 0x5EEDCAFE;
+  bool parallel = true;  ///< fan episodes out over ThreadPool::shared()
+};
+
+/// Simulate `opt.episodes` independent episodes of schedule `s` against
+/// life function `p`.  Deterministic for a fixed seed regardless of the
+/// thread count (per-chunk RNG streams).
+[[nodiscard]] MonteCarloResult monte_carlo_episodes(
+    const Schedule& s, const LifeFunction& p, double c,
+    const MonteCarloOptions& opt = {});
+
+}  // namespace cs::sim

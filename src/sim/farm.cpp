@@ -1,0 +1,189 @@
+#include "sim/farm.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace cs::sim {
+
+namespace {
+
+enum class EventKind { StartEpisode, PeriodEnd, Interrupted };
+
+struct Event {
+  double time;
+  std::uint64_t seq;  // tiebreaker: deterministic FIFO among equal times
+  std::size_t ws;
+  EventKind kind;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct WsState {
+  Schedule schedule;
+  num::RandomStream rng{0};
+  double episode_start = 0.0;
+  double reclaim_abs = 0.0;  // absolute owner-return time of this episode
+  std::size_t period = 0;
+  std::vector<double> in_flight;  // tasks currently shipped to this station
+  WorkstationStats stats;
+};
+
+}  // namespace
+
+std::vector<WorkstationConfig> homogeneous_farm(std::size_t n,
+                                                const LifeFunction& life,
+                                                double c,
+                                                double mean_busy_gap) {
+  std::vector<WorkstationConfig> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkstationConfig cfg;
+    cfg.label = "ws" + std::to_string(i);
+    cfg.life = life.clone();
+    cfg.c = c;
+    cfg.mean_busy_gap = mean_busy_gap;
+    out.push_back(std::move(cfg));
+  }
+  return out;
+}
+
+FarmResult run_farm(std::vector<WorkstationConfig>& stations,
+                    const SchedulePolicy& policy, const FarmOptions& opt) {
+  if (stations.empty()) throw std::invalid_argument("run_farm: no stations");
+  FarmResult result;
+  num::RandomStream bag_rng(opt.seed, 0xBA6);
+  TaskBag bag(opt.task_count, opt.profile, bag_rng);
+
+  std::vector<WsState> states(stations.size());
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  std::uint64_t seq = 0;
+
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    auto& st = states[i];
+    st.schedule = policy.make_schedule(*stations[i].life, stations[i].c);
+    st.rng = num::RandomStream(opt.seed, i + 1);
+    st.stats.label = stations[i].label;
+    // Stagger first availability a little so stations do not tick in
+    // lockstep: an initial busy gap.
+    const double first_gap =
+        st.rng.exponential(1.0 / stations[i].mean_busy_gap);
+    queue.push({first_gap, seq++, i, EventKind::StartEpisode});
+  }
+
+  double last_bank_time = 0.0;
+  std::size_t tasks_done = 0;
+
+  // Begin the next launchable period at absolute time `now`; returns true
+  // if a period was launched (events queued), false if the episode ends
+  // here.  Periods whose payload fits no remaining task are skipped — later
+  // (larger) periods of the plan may still accommodate big tasks.
+  auto launch_period = [&](std::size_t i, double now) -> bool {
+    auto& st = states[i];
+    const auto& cfg = stations[i];
+    while (st.period < st.schedule.size() && !bag.empty()) {
+      const double t_k = st.schedule[st.period];
+      const double payload = t_k > cfg.c ? t_k - cfg.c : 0.0;
+      if (payload > 0.0) {
+        std::vector<double> drawn = bag.draw(payload);
+        if (!drawn.empty()) {
+          st.in_flight = std::move(drawn);
+          const double end_time = now + t_k;
+          if (end_time >= st.reclaim_abs) {
+            queue.push({st.reclaim_abs, seq++, i, EventKind::Interrupted});
+          } else {
+            queue.push({end_time, seq++, i, EventKind::PeriodEnd});
+          }
+          return true;
+        }
+      }
+      ++st.period;  // nothing fits this period's payload: try the next
+    }
+    return false;
+  };
+
+  auto schedule_next_episode = [&](std::size_t i) {
+    auto& st = states[i];
+    const auto& cfg = stations[i];
+    const double gap = st.rng.exponential(1.0 / cfg.mean_busy_gap);
+    const double start = st.reclaim_abs + gap;
+    queue.push({start, seq++, i, EventKind::StartEpisode});
+  };
+
+  // Hard event cap: guards against pathological configurations (e.g. a task
+  // longer than every period payload) that would otherwise cycle forever.
+  constexpr std::uint64_t kMaxEvents = 50'000'000;
+  std::uint64_t events_processed = 0;
+
+  while (!queue.empty() && tasks_done < opt.task_count) {
+    if (++events_processed > kMaxEvents) break;
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.time > opt.sim_horizon) break;
+    auto& st = states[ev.ws];
+    const auto& cfg = stations[ev.ws];
+
+    switch (ev.kind) {
+      case EventKind::StartEpisode: {
+        st.episode_start = ev.time;
+        const double r = cfg.life->inverse_survival(st.rng.uniform01());
+        st.reclaim_abs = ev.time + r;
+        st.period = 0;
+        ++st.stats.episodes;
+        if (!launch_period(ev.ws, ev.time)) schedule_next_episode(ev.ws);
+        break;
+      }
+      case EventKind::PeriodEnd: {
+        // Bank the completed period's tasks.
+        double banked = 0.0;
+        for (double d : st.in_flight) banked += d;
+        st.stats.work_done += banked;
+        st.stats.overhead += cfg.c;
+        st.stats.tasks_done += st.in_flight.size();
+        tasks_done += st.in_flight.size();
+        ++st.stats.completed_periods;
+        st.in_flight.clear();
+        last_bank_time = ev.time;
+        if (tasks_done >= opt.task_count) break;
+        ++st.period;
+        if (!launch_period(ev.ws, ev.time)) schedule_next_episode(ev.ws);
+        break;
+      }
+      case EventKind::Interrupted: {
+        // The reclaim killed the period in progress: computation lost, task
+        // identities return to the bag.
+        double killed = 0.0;
+        for (double d : st.in_flight) killed += d;
+        st.stats.lost += killed;
+        ++st.stats.interrupted_periods;
+        bag.put_back(st.in_flight);
+        st.in_flight.clear();
+        schedule_next_episode(ev.ws);
+        break;
+      }
+    }
+  }
+
+  result.completed = tasks_done >= opt.task_count;
+  result.makespan = result.completed
+                        ? last_bank_time
+                        : std::min(opt.sim_horizon,
+                                   queue.empty() ? last_bank_time
+                                                 : queue.top().time);
+  result.tasks_done = tasks_done;
+  for (auto& st : states) {
+    result.work_done += st.stats.work_done;
+    result.overhead += st.stats.overhead;
+    result.lost += st.stats.lost;
+    result.stations.push_back(std::move(st.stats));
+  }
+  return result;
+}
+
+}  // namespace cs::sim

@@ -1,0 +1,80 @@
+// Farm simulation: the data-parallel NOW scenario that motivates the paper.
+//
+// A master workstation A holds a bag of independent tasks and steals cycles
+// from n borrowed workstations.  Each workstation alternates owner-absent
+// *episodes* (during which A runs its chunking schedule against a random
+// reclaim time drawn from that workstation's life function) and owner-present
+// *gaps* (exponential).  At the start of each period A ships a prefix of the
+// bag sized to the period's payload (t_k - c); a completed period banks its
+// tasks, an interrupted period loses the computation and returns the task
+// identities to the bag — the draconian contract.
+//
+// This is a discrete-event simulation: all workstations share the bag, so
+// period boundaries across stations must interleave in global time order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lifefn/life_function.hpp"
+#include "sim/policy.hpp"
+#include "sim/task_bag.hpp"
+
+namespace cs::sim {
+
+/// Per-workstation configuration.
+struct WorkstationConfig {
+  std::string label;
+  std::unique_ptr<LifeFunction> life;  ///< idle-episode survival curve
+  double c = 1.0;                      ///< per-period communication overhead
+  double mean_busy_gap = 50.0;         ///< mean owner-present gap (exponential)
+};
+
+/// Farm-level options.
+struct FarmOptions {
+  std::size_t task_count = 20000;
+  TaskProfile profile;
+  double sim_horizon = 1e18;  ///< absolute simulated-time cap
+  std::uint64_t seed = 0xFA12BEEF;
+};
+
+/// Per-workstation outcome counters.
+struct WorkstationStats {
+  std::string label;
+  std::size_t episodes = 0;
+  std::size_t completed_periods = 0;
+  std::size_t interrupted_periods = 0;
+  std::size_t tasks_done = 0;
+  double work_done = 0.0;  ///< banked task time
+  double overhead = 0.0;   ///< setup time paid on completed periods
+  double lost = 0.0;       ///< task time destroyed by reclaims
+};
+
+/// Aggregate outcome.
+struct FarmResult {
+  bool completed = false;  ///< bag drained before the horizon
+  double makespan = 0.0;   ///< time the last task was banked (or horizon)
+  std::size_t tasks_done = 0;
+  double work_done = 0.0;
+  double overhead = 0.0;
+  double lost = 0.0;
+  std::vector<WorkstationStats> stations;
+  /// Banked work per unit of wall-clock time.
+  [[nodiscard]] double throughput() const {
+    return makespan > 0.0 ? work_done / makespan : 0.0;
+  }
+};
+
+/// Run the farm: every workstation uses `policy` to derive its per-episode
+/// schedule from its own (life, c).
+[[nodiscard]] FarmResult run_farm(std::vector<WorkstationConfig>& stations,
+                                  const SchedulePolicy& policy,
+                                  const FarmOptions& opt);
+
+/// Convenience: n identical workstations.
+[[nodiscard]] std::vector<WorkstationConfig> homogeneous_farm(
+    std::size_t n, const LifeFunction& life, double c, double mean_busy_gap);
+
+}  // namespace cs::sim

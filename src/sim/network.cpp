@@ -1,0 +1,49 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cs::sim {
+
+double effective_overhead(const CommCostModel& model) {
+  if (!(model.setup >= 0.0) || !(model.per_byte >= 0.0))
+    throw std::invalid_argument("CommCostModel: negative costs");
+  return 2.0 * model.setup;  // shipment message + result message
+}
+
+double effective_task_duration(const CommCostModel& model,
+                               const TaskShape& task) {
+  if (!(task.compute >= 0.0) || !(task.bytes_in >= 0.0) ||
+      !(task.bytes_out >= 0.0))
+    throw std::invalid_argument("TaskShape: negative components");
+  return task.compute + model.per_byte * (task.bytes_in + task.bytes_out);
+}
+
+double explicit_period_time(const CommCostModel& model,
+                            const std::vector<TaskShape>& tasks) {
+  double bytes_in = 0.0, bytes_out = 0.0, compute = 0.0;
+  for (const auto& t : tasks) {
+    bytes_in += t.bytes_in;
+    bytes_out += t.bytes_out;
+    compute += t.compute;
+  }
+  const double ship = model.setup + model.per_byte * bytes_in;
+  const double run = compute;
+  const double collect = model.setup + model.per_byte * bytes_out;
+  return ship + run + collect;
+}
+
+double folded_period_time(const CommCostModel& model,
+                          const std::vector<TaskShape>& tasks) {
+  double total = effective_overhead(model);
+  for (const auto& t : tasks) total += effective_task_duration(model, t);
+  return total;
+}
+
+double fold_identity_error(const CommCostModel& model,
+                           const std::vector<TaskShape>& tasks) {
+  return std::abs(explicit_period_time(model, tasks) -
+                  folded_period_time(model, tasks));
+}
+
+}  // namespace cs::sim

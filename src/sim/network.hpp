@@ -1,0 +1,56 @@
+// Communication-cost modeling — the paper's "architecture-independent"
+// reduction made explicit (Section 2.1):
+//
+//   "the cost of inter-workstation communications is characterized by a
+//    single (overhead) parameter c ... the time for a task includes the
+//    marginal cost of transmitting its input and output data (so we may
+//    keep c independent of the sizes of data transmissions)."
+//
+// A real NOW has a message cost alpha + beta * bytes (LogP-style).  This
+// header performs the fold the paper describes: the per-episode-period
+// overhead c absorbs the two message *setups* (work shipment and result
+// return), while each task's duration absorbs its own marginal byte cost.
+// `verify_fold_identity` proves (numerically) that a period executing a set
+// of tasks costs exactly the same time under both accountings.
+#pragma once
+
+#include <vector>
+
+namespace cs::sim {
+
+/// Linear per-message cost model: time(message) = setup + per_byte * bytes.
+struct CommCostModel {
+  double setup = 1e-3;     ///< per-message latency/software overhead
+  double per_byte = 1e-8;  ///< inverse bandwidth
+};
+
+/// A task's resource shape before folding.
+struct TaskShape {
+  double compute = 1.0;    ///< pure computation time on the workstation
+  double bytes_in = 0.0;   ///< input shipped A -> B
+  double bytes_out = 0.0;  ///< results shipped B -> A
+};
+
+/// The paper's overhead parameter: both bracketing message setups.
+[[nodiscard]] double effective_overhead(const CommCostModel& model);
+
+/// A task's duration with its marginal transmission cost folded in.
+[[nodiscard]] double effective_task_duration(const CommCostModel& model,
+                                             const TaskShape& task);
+
+/// Wall-clock time of one period that ships `tasks`, computes them, and
+/// returns the results, accounted explicitly (two messages with all bytes).
+[[nodiscard]] double explicit_period_time(const CommCostModel& model,
+                                          const std::vector<TaskShape>& tasks);
+
+/// Wall-clock time of the same period under the folded (c, durations)
+/// accounting: effective_overhead + sum of effective durations.
+[[nodiscard]] double folded_period_time(const CommCostModel& model,
+                                        const std::vector<TaskShape>& tasks);
+
+/// |explicit − folded| — identically 0 up to floating-point rounding; the
+/// justification for using a byte-independent c throughout the library.
+[[nodiscard]] double fold_identity_error(const CommCostModel& model,
+                                         const std::vector<TaskShape>& tasks);
+
+}  // namespace cs::sim

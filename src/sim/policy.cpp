@@ -1,0 +1,123 @@
+#include "sim/policy.hpp"
+
+#include <stdexcept>
+
+#include "baselines/oblivious.hpp"
+#include "core/dp_reference.hpp"
+#include "core/greedy.hpp"
+#include "core/guideline.hpp"
+
+namespace cs::sim {
+
+namespace {
+
+class GuidelinePolicy final : public SchedulePolicy {
+ public:
+  [[nodiscard]] Schedule make_schedule(const LifeFunction& p,
+                                       double c) const override {
+    return GuidelineScheduler(p, c).run().schedule;
+  }
+  [[nodiscard]] std::string name() const override { return "guideline"; }
+};
+
+class GreedyPolicy final : public SchedulePolicy {
+ public:
+  [[nodiscard]] Schedule make_schedule(const LifeFunction& p,
+                                       double c) const override {
+    return greedy_schedule(p, c).schedule;
+  }
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+};
+
+class BestFixedPolicy final : public SchedulePolicy {
+ public:
+  [[nodiscard]] Schedule make_schedule(const LifeFunction& p,
+                                       double c) const override {
+    return best_fixed_chunk(p, c).schedule;
+  }
+  [[nodiscard]] std::string name() const override { return "best-fixed"; }
+};
+
+class FixedPolicy final : public SchedulePolicy {
+ public:
+  explicit FixedPolicy(double chunk) : chunk_(chunk) {
+    if (!(chunk > 0.0)) throw std::invalid_argument("FixedPolicy: chunk <= 0");
+  }
+  [[nodiscard]] Schedule make_schedule(const LifeFunction& p,
+                                       double c) const override {
+    return fixed_chunk_schedule(p, c, chunk_);
+  }
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  double chunk_;
+};
+
+class DoublingPolicy final : public SchedulePolicy {
+ public:
+  [[nodiscard]] Schedule make_schedule(const LifeFunction& p,
+                                       double c) const override {
+    return doubling_chunks(p, c).schedule;
+  }
+  [[nodiscard]] std::string name() const override { return "doubling"; }
+};
+
+class AllAtOncePolicy final : public SchedulePolicy {
+ public:
+  [[nodiscard]] Schedule make_schedule(const LifeFunction& p,
+                                       double c) const override {
+    return all_at_once(p, c).schedule;
+  }
+  [[nodiscard]] std::string name() const override { return "all-at-once"; }
+};
+
+class DpPolicy final : public SchedulePolicy {
+ public:
+  explicit DpPolicy(std::size_t grid) : grid_(grid) {}
+  [[nodiscard]] Schedule make_schedule(const LifeFunction& p,
+                                       double c) const override {
+    DpOptions opt;
+    opt.grid_points = grid_;
+    return dp_reference(p, c, opt).schedule;
+  }
+  [[nodiscard]] std::string name() const override { return "dp"; }
+
+ private:
+  std::size_t grid_;
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulePolicy> make_guideline_policy() {
+  return std::make_unique<GuidelinePolicy>();
+}
+std::unique_ptr<SchedulePolicy> make_greedy_policy() {
+  return std::make_unique<GreedyPolicy>();
+}
+std::unique_ptr<SchedulePolicy> make_best_fixed_policy() {
+  return std::make_unique<BestFixedPolicy>();
+}
+std::unique_ptr<SchedulePolicy> make_fixed_policy(double chunk) {
+  return std::make_unique<FixedPolicy>(chunk);
+}
+std::unique_ptr<SchedulePolicy> make_doubling_policy() {
+  return std::make_unique<DoublingPolicy>();
+}
+std::unique_ptr<SchedulePolicy> make_all_at_once_policy() {
+  return std::make_unique<AllAtOncePolicy>();
+}
+std::unique_ptr<SchedulePolicy> make_dp_policy(std::size_t grid_points) {
+  return std::make_unique<DpPolicy>(grid_points);
+}
+
+std::unique_ptr<SchedulePolicy> make_policy(const std::string& name) {
+  if (name == "guideline") return make_guideline_policy();
+  if (name == "greedy") return make_greedy_policy();
+  if (name == "best-fixed") return make_best_fixed_policy();
+  if (name == "doubling") return make_doubling_policy();
+  if (name == "all-at-once") return make_all_at_once_policy();
+  if (name == "dp") return make_dp_policy();
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+}  // namespace cs::sim

@@ -1,0 +1,45 @@
+// SchedulePolicy: pluggable chunking strategies for the farm simulator.
+//
+// A policy turns (life function, overhead c) into a schedule once per
+// workstation; the farm then replays that schedule every episode.  This is
+// the seam where the paper's guideline scheduler competes against the
+// oblivious baselines on equal terms.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs::sim {
+
+/// Strategy interface.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  [[nodiscard]] virtual Schedule make_schedule(const LifeFunction& p,
+                                               double c) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's guideline scheduler (Sections 3-4).
+std::unique_ptr<SchedulePolicy> make_guideline_policy();
+/// Greedy marginal-gain scheduler (Section 6's recipe).
+std::unique_ptr<SchedulePolicy> make_greedy_policy();
+/// Best single chunk length (oblivious family's strongest member).
+std::unique_ptr<SchedulePolicy> make_best_fixed_policy();
+/// Fixed chunk of an explicit length.
+std::unique_ptr<SchedulePolicy> make_fixed_policy(double chunk);
+/// Exponentially doubling chunks.
+std::unique_ptr<SchedulePolicy> make_doubling_policy();
+/// Single period sized to the mean availability.
+std::unique_ptr<SchedulePolicy> make_all_at_once_policy();
+/// Grid-DP reference optimum (expensive; for ground-truth comparisons).
+std::unique_ptr<SchedulePolicy> make_dp_policy(std::size_t grid_points = 2048);
+
+/// Build by name: "guideline", "greedy", "best-fixed", "doubling",
+/// "all-at-once", "dp".  Throws std::invalid_argument on unknown names.
+std::unique_ptr<SchedulePolicy> make_policy(const std::string& name);
+
+}  // namespace cs::sim

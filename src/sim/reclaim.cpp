@@ -1,0 +1,3 @@
+// ReclaimSampler is header-only; this TU anchors the target and verifies the
+// header is self-contained.
+#include "sim/reclaim.hpp"

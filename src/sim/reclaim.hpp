@@ -1,0 +1,29 @@
+// Sampling reclaim times from a life function.
+//
+// The life function is a survival curve: Pr[R > t] = p(t).  With U ~ U(0,1),
+// R = p^{-1}(U) has exactly this law (p is decreasing).  Families with a
+// closed-form inverse (all the built-ins) sample in O(1); anything else goes
+// through the bracketed root solve in LifeFunction::inverse_survival.
+#pragma once
+
+#include "lifefn/life_function.hpp"
+#include "numerics/rng.hpp"
+
+namespace cs::sim {
+
+/// Draws i.i.d. reclaim times distributed per the life function.
+class ReclaimSampler {
+ public:
+  /// Keeps a reference to `p`; the life function must outlive the sampler.
+  ReclaimSampler(const LifeFunction& p, num::RandomStream& rng)
+      : p_(p), rng_(rng) {}
+
+  /// One reclaim time R with Pr[R > t] = p(t).
+  [[nodiscard]] double sample() { return p_.inverse_survival(rng_.uniform01()); }
+
+ private:
+  const LifeFunction& p_;
+  num::RandomStream& rng_;
+};
+
+}  // namespace cs::sim

@@ -1,0 +1,78 @@
+#include "sim/task_bag.hpp"
+
+#include <stdexcept>
+
+namespace cs::sim {
+
+std::vector<double> generate_task_durations(std::size_t count,
+                                            const TaskProfile& profile,
+                                            num::RandomStream& rng) {
+  if (!(profile.mean > 0.0))
+    throw std::invalid_argument("TaskProfile: mean must be positive");
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (profile.kind) {
+      case TaskProfile::Kind::Fixed:
+        out.push_back(profile.mean);
+        break;
+      case TaskProfile::Kind::Uniform: {
+        const double lo = profile.mean * (1.0 - profile.spread);
+        const double hi = profile.mean * (1.0 + profile.spread);
+        if (!(lo > 0.0))
+          throw std::invalid_argument("TaskProfile: spread too large");
+        out.push_back(rng.uniform(lo, hi));
+        break;
+      }
+      case TaskProfile::Kind::Bimodal:
+        out.push_back(rng.uniform01() < 0.5 ? 0.5 * profile.mean
+                                            : 2.0 * profile.mean);
+        break;
+    }
+  }
+  return out;
+}
+
+TaskBag::TaskBag(std::size_t count, const TaskProfile& profile,
+                 num::RandomStream& rng) {
+  for (double d : generate_task_durations(count, profile, rng)) {
+    tasks_.push_back(d);
+    remaining_ += d;
+  }
+}
+
+std::vector<double> TaskBag::draw(double budget) {
+  std::vector<double> drawn;
+  // Fast path: consume the fitting prefix without rebuilding.
+  while (!tasks_.empty() && tasks_.front() <= budget) {
+    const double d = tasks_.front();
+    tasks_.pop_front();
+    budget -= d;
+    remaining_ -= d;
+    drawn.push_back(d);
+  }
+  if (tasks_.empty() || budget <= 0.0) return drawn;
+  // A too-large task heads the bag: scan the remainder, skipping tasks that
+  // do not fit, so one oversized task cannot block the whole farm.
+  std::deque<double> kept;
+  for (double d : tasks_) {
+    if (d <= budget) {
+      budget -= d;
+      remaining_ -= d;
+      drawn.push_back(d);
+    } else {
+      kept.push_back(d);
+    }
+  }
+  tasks_ = std::move(kept);
+  return drawn;
+}
+
+void TaskBag::put_back(const std::vector<double>& tasks) {
+  for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+    tasks_.push_front(*it);
+    remaining_ += *it;
+  }
+}
+
+}  // namespace cs::sim

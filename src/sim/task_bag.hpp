@@ -1,0 +1,60 @@
+// The data-parallel workload: a bag of independent tasks of known durations
+// (the computations the paper targets — "a massive number of independent
+// repetitive tasks of known durations", Section 1).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "numerics/rng.hpp"
+
+namespace cs::sim {
+
+/// Generator for task-duration profiles.
+struct TaskProfile {
+  enum class Kind {
+    Fixed,     ///< all tasks take `mean`
+    Uniform,   ///< U(mean * (1 - spread), mean * (1 + spread))
+    Bimodal,   ///< short tasks of mean/2 and long ones of 2*mean, 50/50
+  };
+  Kind kind = Kind::Fixed;
+  double mean = 1.0;
+  double spread = 0.5;  ///< Uniform only
+};
+
+/// FIFO bag of indivisible tasks.  Workstations draw prefixes that fit their
+/// current period's payload budget; interrupted work is returned to the bag
+/// (the draconian contract loses the *computation*, not the task identity).
+class TaskBag {
+ public:
+  TaskBag() = default;
+
+  /// Fill with `count` tasks drawn from `profile`.
+  TaskBag(std::size_t count, const TaskProfile& profile,
+          num::RandomStream& rng);
+
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  /// Total remaining task time.
+  [[nodiscard]] double remaining_work() const noexcept { return remaining_; }
+
+  /// Remove tasks whose durations sum to <= budget, scanning front to back
+  /// and skipping tasks too large for the remaining budget (a too-big task
+  /// must not head-of-line-block the farm).  Returns the drawn durations
+  /// (empty when no remaining task fits the budget at all).
+  [[nodiscard]] std::vector<double> draw(double budget);
+
+  /// Return tasks to the *front* of the bag (interrupted period).
+  void put_back(const std::vector<double>& tasks);
+
+ private:
+  std::deque<double> tasks_;
+  double remaining_ = 0.0;
+};
+
+/// Generate just the durations (used by tests and generators).
+[[nodiscard]] std::vector<double> generate_task_durations(
+    std::size_t count, const TaskProfile& profile, num::RandomStream& rng);
+
+}  // namespace cs::sim

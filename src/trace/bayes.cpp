@@ -1,0 +1,48 @@
+#include "trace/bayes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cs::trace {
+
+GammaExponentialModel::GammaExponentialModel(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  if (!(alpha > 0.0) || !(beta > 0.0))
+    throw std::invalid_argument("GammaExponentialModel: need alpha, beta > 0");
+}
+
+void GammaExponentialModel::observe(double gap) {
+  if (!(gap > 0.0))
+    throw std::invalid_argument("GammaExponentialModel: gap <= 0");
+  alpha_ += 1.0;
+  beta_ += gap;
+  ++events_;
+}
+
+void GammaExponentialModel::observe_censored(double exposure) {
+  if (!(exposure > 0.0))
+    throw std::invalid_argument("GammaExponentialModel: exposure <= 0");
+  beta_ += exposure;  // exposure without an event
+}
+
+double GammaExponentialModel::mean_idle() const {
+  if (!(alpha_ > 1.0))
+    throw std::logic_error(
+        "GammaExponentialModel: mean idle undefined for alpha <= 1");
+  return beta_ / (alpha_ - 1.0);
+}
+
+std::unique_ptr<LifeFunction> GammaExponentialModel::plugin_life_function()
+    const {
+  return std::make_unique<GeometricLifespan>(std::exp(mean_rate()));
+}
+
+std::unique_ptr<LifeFunction>
+GammaExponentialModel::predictive_life_function() const {
+  // (beta/(beta+t))^alpha = (1 + t/beta)^{-alpha}: ParetoTail(alpha)
+  // stretched by beta.
+  return std::make_unique<TimeScaled>(std::make_unique<ParetoTail>(alpha_),
+                                      beta_);
+}
+
+}  // namespace cs::trace

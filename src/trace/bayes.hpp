@@ -1,0 +1,63 @@
+// Bayesian life-function learning for the memoryless owner model.
+//
+// The paper's guidelines consume a *known* p; a deployed cycle-stealer
+// learns it while stealing.  For exponential idle gaps (rate lambda) the
+// conjugate Gamma(alpha, beta) prior updates in O(1) per observed episode —
+// including right-censored ones (episodes still running or cut off by the
+// monitoring window contribute exposure but no event).
+//
+// Two ways to schedule from the posterior:
+//  - plug-in: use the posterior-mean rate in a GeometricLifespan — correct
+//    in the limit, overconfident early;
+//  - predictive: integrate lambda out.  The posterior predictive survival is
+//        Pr(R > t) = (beta / (beta + t))^alpha  —  a Lomax (Pareto-type)
+//    law.  Strikingly, this is exactly the paper's Corollary 3.2 family
+//    p = (1+t)^{-d} (time-scaled): with parameter uncertainty the honest
+//    belief is heavy-tailed and — for alpha > 1 — admits NO optimal
+//    schedule, even though every candidate truth does.  Tests and the
+//    scheduling comparison quantify what this costs.
+#pragma once
+
+#include <memory>
+
+#include "lifefn/families.hpp"
+#include "lifefn/life_function.hpp"
+#include "lifefn/transforms.hpp"
+
+namespace cs::trace {
+
+/// Conjugate Gamma–exponential model of idle-gap durations.
+class GammaExponentialModel {
+ public:
+  /// Prior Gamma(alpha, beta) on the gap rate; defaults are a weak prior
+  /// centred on rate 1/100 (mean idle 100).
+  explicit GammaExponentialModel(double alpha = 1.0, double beta = 100.0);
+
+  /// Observe a completed idle gap of the given duration.
+  void observe(double gap);
+  /// Observe a right-censored gap (episode at least this long).
+  void observe_censored(double exposure);
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] std::size_t events() const noexcept { return events_; }
+
+  /// Posterior mean of the rate lambda.
+  [[nodiscard]] double mean_rate() const noexcept { return alpha_ / beta_; }
+  /// Posterior mean idle duration beta/(alpha-1); requires alpha > 1.
+  [[nodiscard]] double mean_idle() const;
+
+  /// Plug-in law: exponential at the posterior-mean rate.
+  [[nodiscard]] std::unique_ptr<LifeFunction> plugin_life_function() const;
+
+  /// Predictive law: Lomax survival (beta/(beta+t))^alpha, realized as a
+  /// time-scaled ParetoTail.
+  [[nodiscard]] std::unique_ptr<LifeFunction> predictive_life_function() const;
+
+ private:
+  double alpha_;
+  double beta_;
+  std::size_t events_ = 0;
+};
+
+}  // namespace cs::trace

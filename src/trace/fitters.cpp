@@ -1,0 +1,160 @@
+#include "trace/fitters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+#include "numerics/minimize.hpp"
+#include "numerics/stats.hpp"
+
+namespace cs::trace {
+
+namespace {
+
+void require_sample(const std::vector<double>& gaps, std::size_t min_size) {
+  if (gaps.size() < min_size)
+    throw std::invalid_argument("fitter: sample too small");
+  for (double g : gaps)
+    if (!(g > 0.0)) throw std::invalid_argument("fitter: nonpositive gap");
+}
+
+double sample_mean(const std::vector<double>& gaps) {
+  double acc = 0.0;
+  for (double g : gaps) acc += g;
+  return acc / static_cast<double>(gaps.size());
+}
+
+/// KS distance of a candidate life function against the sample (its CDF is
+/// 1 - p).
+double ks_against(const LifeFunction& model, std::vector<double> gaps) {
+  return num::ks_statistic_cdf(
+      std::move(gaps),
+      [&model](double t) { return 1.0 - model.survival(t); });
+}
+
+/// Midpoint empirical survival values at the sorted sample points.
+std::vector<double> midpoint_survival(const std::vector<double>& sorted) {
+  const double n = static_cast<double>(sorted.size());
+  std::vector<double> s(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    s[i] = 1.0 - (static_cast<double>(i) + 0.5) / n;
+  return s;
+}
+
+}  // namespace
+
+FitResult fit_geometric_lifespan(const std::vector<double>& gaps) {
+  require_sample(gaps, 2);
+  const double rate = 1.0 / sample_mean(gaps);  // exponential MLE
+  FitResult out;
+  out.family = "geomlife";
+  out.model = std::make_unique<GeometricLifespan>(std::exp(rate));
+  out.ks_distance = ks_against(*out.model, gaps);
+  return out;
+}
+
+FitResult fit_uniform_risk(const std::vector<double>& gaps) {
+  require_sample(gaps, 2);
+  const double n = static_cast<double>(gaps.size());
+  const double max_gap = *std::max_element(gaps.begin(), gaps.end());
+  FitResult out;
+  out.family = "uniform";
+  out.model = std::make_unique<UniformRisk>(max_gap * (n + 1.0) / n);
+  out.ks_distance = ks_against(*out.model, gaps);
+  return out;
+}
+
+FitResult fit_weibull(const std::vector<double>& gaps) {
+  require_sample(gaps, 4);
+  std::vector<double> sorted = gaps;
+  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double> surv = midpoint_survival(sorted);
+  // Linearize: log(-log S) = k log t - k log(scale).
+  std::vector<double> xs, ys;
+  xs.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (surv[i] <= 0.0 || surv[i] >= 1.0 || sorted[i] <= 0.0) continue;
+    xs.push_back(std::log(sorted[i]));
+    ys.push_back(std::log(-std::log(surv[i])));
+  }
+  if (xs.size() < 3) throw std::invalid_argument("fit_weibull: degenerate");
+  const auto coeffs = num::polyfit(xs, ys, 1);  // ys ≈ c0 + c1 x
+  const double k = std::max(coeffs[1], 1e-3);
+  const double scale = std::exp(-coeffs[0] / k);
+  FitResult out;
+  out.family = "weibull";
+  out.model = std::make_unique<Weibull>(k, scale);
+  out.ks_distance = ks_against(*out.model, gaps);
+  return out;
+}
+
+FitResult fit_polynomial_risk(const std::vector<double>& gaps,
+                              int max_degree) {
+  require_sample(gaps, 4);
+  std::vector<double> sorted = gaps;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  const double L = sorted.back() * (n + 1.0) / n;
+  // For p = 1 - (t/L)^d the CDF is (t/L)^d; fit d by least squares on
+  // log CDF = d log(t/L) at midpoint plotting positions.
+  const std::vector<double> surv = midpoint_survival(sorted);
+  double num_acc = 0.0, den_acc = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = 1.0 - surv[i];
+    const double x = std::log(sorted[i] / L);
+    if (cdf <= 0.0 || cdf >= 1.0 || x >= 0.0) continue;
+    const double y = std::log(cdf);
+    num_acc += x * y;
+    den_acc += x * x;
+  }
+  int d = 1;
+  if (den_acc > 0.0) {
+    d = static_cast<int>(std::lround(num_acc / den_acc));
+    d = std::clamp(d, 1, max_degree);
+  }
+  FitResult out;
+  out.family = "polyrisk";
+  out.model = std::make_unique<PolynomialRisk>(d, L);
+  out.ks_distance = ks_against(*out.model, gaps);
+  return out;
+}
+
+FitResult fit_geometric_risk(const std::vector<double>& gaps) {
+  require_sample(gaps, 4);
+  const double max_gap = *std::max_element(gaps.begin(), gaps.end());
+  // L must be >= max gap; the shape changes materially with L, so run a 1-D
+  // KS minimization over L in [max_gap, 4 * max_gap].
+  auto ks_of = [&](double L) {
+    const GeometricRisk model(L);
+    return ks_against(model, gaps);
+  };
+  const auto best = num::grid_then_refine(
+      ks_of, max_gap * (1.0 + 1e-9), 4.0 * max_gap, {.grid_points = 33});
+  FitResult out;
+  out.family = "geomrisk";
+  out.model = std::make_unique<GeometricRisk>(best.x);
+  out.ks_distance = ks_against(*out.model, gaps);
+  return out;
+}
+
+std::vector<FitResult> fit_all_families(const std::vector<double>& gaps) {
+  std::vector<FitResult> fits;
+  fits.push_back(fit_geometric_lifespan(gaps));
+  fits.push_back(fit_uniform_risk(gaps));
+  fits.push_back(fit_weibull(gaps));
+  fits.push_back(fit_polynomial_risk(gaps));
+  fits.push_back(fit_geometric_risk(gaps));
+  std::sort(fits.begin(), fits.end(),
+            [](const FitResult& a, const FitResult& b) {
+              return a.ks_distance < b.ks_distance;
+            });
+  return fits;
+}
+
+FitResult select_life_function_model(const std::vector<double>& gaps) {
+  auto fits = fit_all_families(gaps);
+  return std::move(fits.front());
+}
+
+}  // namespace cs::trace

@@ -1,0 +1,54 @@
+// Parametric life-function fits and model selection.
+//
+// Scheduling against the raw empirical curve works, but the paper's
+// closed-form machinery (Section 4) applies when the trace is recognized as
+// one of the analyzed families.  Each fitter estimates its family's
+// parameters from an idle-gap sample; `select_life_function_model` fits all
+// families and keeps the one with the smallest Kolmogorov–Smirnov distance
+// to the sample.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lifefn/families.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs::trace {
+
+/// A fitted model with its goodness of fit.
+struct FitResult {
+  std::unique_ptr<LifeFunction> model;
+  double ks_distance = 0.0;   ///< sup |F̂ - F_model| over the sample
+  std::string family;
+};
+
+/// Exponential / geometric-lifespan fit: MLE rate = 1/mean, a = e^{rate}.
+[[nodiscard]] FitResult fit_geometric_lifespan(const std::vector<double>& gaps);
+
+/// Uniform-risk fit: L̂ = max gap · (n+1)/n (unbiased for U(0, L)).
+[[nodiscard]] FitResult fit_uniform_risk(const std::vector<double>& gaps);
+
+/// Weibull fit by least squares on the linearized survival
+/// log(-log S(t)) = k log t - k log λ.
+[[nodiscard]] FitResult fit_weibull(const std::vector<double>& gaps);
+
+/// Polynomial-risk fit p = 1 - (t/L)^d: L̂ from the sample maximum, d by
+/// 1-D least-squares over log-survival.
+[[nodiscard]] FitResult fit_polynomial_risk(const std::vector<double>& gaps,
+                                            int max_degree = 8);
+
+/// Geometric-risk fit p = (2^L - 2^t)/(2^L - 1): L̂ by 1-D KS minimization.
+[[nodiscard]] FitResult fit_geometric_risk(const std::vector<double>& gaps);
+
+/// Fit every family above and return them ordered by ascending KS distance
+/// (best first).
+[[nodiscard]] std::vector<FitResult> fit_all_families(
+    const std::vector<double>& gaps);
+
+/// Convenience: best-fitting parametric model.
+[[nodiscard]] FitResult select_life_function_model(
+    const std::vector<double>& gaps);
+
+}  // namespace cs::trace

@@ -1,0 +1,71 @@
+#include "trace/generators.hpp"
+
+#include <stdexcept>
+
+#include "lifefn/families.hpp"
+
+namespace cs::trace {
+
+namespace {
+
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw std::invalid_argument(std::string(what) + " <= 0");
+}
+
+/// Append `episodes` busy/idle pairs with idle gaps from `draw_idle`.
+template <typename DrawIdle>
+OwnerTrace alternate(double mean_busy, std::size_t episodes,
+                     num::RandomStream& rng, DrawIdle&& draw_idle) {
+  OwnerTrace trace;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    trace.append(rng.exponential(1.0 / mean_busy), /*idle=*/false);
+    trace.append(draw_idle(), /*idle=*/true);
+  }
+  return trace;
+}
+
+}  // namespace
+
+OwnerTrace generate_poisson_sessions(const PoissonSessionsParams& params,
+                                     num::RandomStream& rng) {
+  require_positive(params.mean_busy, "mean_busy");
+  require_positive(params.mean_idle, "mean_idle");
+  return alternate(params.mean_busy, params.episodes, rng, [&] {
+    return rng.exponential(1.0 / params.mean_idle);
+  });
+}
+
+OwnerTrace generate_uniform_absences(const UniformAbsenceParams& params,
+                                     num::RandomStream& rng) {
+  require_positive(params.mean_busy, "mean_busy");
+  require_positive(params.max_gap, "max_gap");
+  return alternate(params.mean_busy, params.episodes, rng, [&] {
+    return rng.uniform(0.0, params.max_gap) + 1e-12;
+  });
+}
+
+OwnerTrace generate_coffee_breaks(const CoffeeBreakParams& params,
+                                  num::RandomStream& rng) {
+  require_positive(params.mean_busy, "mean_busy");
+  require_positive(params.break_lifespan, "break_lifespan");
+  const GeometricRisk law(params.break_lifespan);
+  return alternate(params.mean_busy, params.episodes, rng, [&] {
+    return law.inverse_survival(rng.uniform01());
+  });
+}
+
+OwnerTrace generate_day_night(const DayNightParams& params,
+                              num::RandomStream& rng) {
+  require_positive(params.mean_busy, "mean_busy");
+  require_positive(params.day_mean_idle, "day_mean_idle");
+  require_positive(params.night_max_idle, "night_max_idle");
+  if (params.night_fraction < 0.0 || params.night_fraction > 1.0)
+    throw std::invalid_argument("night_fraction outside [0,1]");
+  return alternate(params.mean_busy, params.episodes, rng, [&] {
+    if (rng.uniform01() < params.night_fraction)
+      return rng.uniform(0.0, params.night_max_idle) + 1e-12;
+    return rng.exponential(1.0 / params.day_mean_idle);
+  });
+}
+
+}  // namespace cs::trace

@@ -1,0 +1,62 @@
+// Synthetic owner-behaviour generators.
+//
+// The paper's NOW is hardware we do not have; these generators produce the
+// owner-activity traces a deployed system would log, with *known* ground
+// truth so the estimate -> fit -> schedule pipeline can be validated end to
+// end (experiment exp9).
+#pragma once
+
+#include <cstdint>
+
+#include "numerics/rng.hpp"
+#include "trace/owner_trace.hpp"
+
+namespace cs::trace {
+
+/// Memoryless owner: busy and idle durations both exponential.  Idle gaps
+/// are exactly the geometric-lifespan scenario (p = a^{-t} with
+/// ln a = 1/mean_idle).
+struct PoissonSessionsParams {
+  double mean_busy = 60.0;
+  double mean_idle = 120.0;
+  std::size_t episodes = 1000;  ///< number of idle gaps to generate
+};
+[[nodiscard]] OwnerTrace generate_poisson_sessions(
+    const PoissonSessionsParams& params, num::RandomStream& rng);
+
+/// Fixed-length absences ("meetings"): idle gaps uniform on (0, max_gap] —
+/// the uniform-risk scenario with potential lifespan L = max_gap.
+struct UniformAbsenceParams {
+  double mean_busy = 60.0;
+  double max_gap = 240.0;
+  std::size_t episodes = 1000;
+};
+[[nodiscard]] OwnerTrace generate_uniform_absences(
+    const UniformAbsenceParams& params, num::RandomStream& rng);
+
+/// "Coffee break" absences: the owner is increasingly likely to return as
+/// the break runs on — idle gaps drawn from the geometric-risk law
+/// p = (2^L - 2^t)/(2^L - 1) (the paper's Section 4.3 scenario).
+struct CoffeeBreakParams {
+  double mean_busy = 60.0;
+  double break_lifespan = 20.0;  ///< L of the geometric-risk law
+  std::size_t episodes = 1000;
+};
+[[nodiscard]] OwnerTrace generate_coffee_breaks(const CoffeeBreakParams& params,
+                                                num::RandomStream& rng);
+
+/// Day/night mixture: short daytime absences (exponential) and long
+/// overnight ones (uniform), mixed by `night_fraction` — produces the
+/// multi-modal gap law that defeats single-family fits and motivates the
+/// Mixture life function.
+struct DayNightParams {
+  double mean_busy = 60.0;
+  double day_mean_idle = 30.0;
+  double night_max_idle = 600.0;
+  double night_fraction = 0.3;
+  std::size_t episodes = 1000;
+};
+[[nodiscard]] OwnerTrace generate_day_night(const DayNightParams& params,
+                                            num::RandomStream& rng);
+
+}  // namespace cs::trace

@@ -1,0 +1,36 @@
+#include "trace/owner_trace.hpp"
+
+#include <stdexcept>
+
+namespace cs::trace {
+
+void OwnerTrace::append(double duration, bool idle) {
+  if (!(duration > 0.0))
+    throw std::invalid_argument("OwnerTrace: duration must be positive");
+  const double begin = total_time();
+  intervals_.push_back({begin, begin + duration, idle});
+}
+
+std::vector<double> OwnerTrace::idle_gaps() const {
+  std::vector<double> gaps;
+  for (const auto& iv : intervals_)
+    if (iv.idle) gaps.push_back(iv.duration());
+  return gaps;
+}
+
+double OwnerTrace::idle_fraction() const {
+  if (intervals_.empty()) return 0.0;
+  double idle = 0.0;
+  for (const auto& iv : intervals_)
+    if (iv.idle) idle += iv.duration();
+  return idle / total_time();
+}
+
+std::size_t OwnerTrace::episode_count() const {
+  std::size_t n = 0;
+  for (const auto& iv : intervals_)
+    if (iv.idle) ++n;
+  return n;
+}
+
+}  // namespace cs::trace

@@ -1,0 +1,52 @@
+// Owner-activity traces: the raw material from which the paper says life
+// functions would be "garnered ... from trace data that exposes B's owner's
+// computer usage patterns" (Section 1).
+//
+// A trace is an alternating sequence of BUSY (owner present) and IDLE
+// (owner absent — a cycle-stealing opportunity) intervals.  The idle-gap
+// durations are the sample from which the survival curve p̂ is estimated.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cs::trace {
+
+/// One interval of an owner trace.
+struct Interval {
+  double begin = 0.0;
+  double end = 0.0;
+  bool idle = false;  ///< true = owner absent (stealable)
+  [[nodiscard]] double duration() const noexcept { return end - begin; }
+};
+
+/// An owner-activity trace: contiguous, non-overlapping intervals.
+class OwnerTrace {
+ public:
+  OwnerTrace() = default;
+
+  /// Append an interval; must start exactly where the previous one ended.
+  void append(double duration, bool idle);
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
+  [[nodiscard]] double total_time() const noexcept {
+    return intervals_.empty() ? 0.0 : intervals_.back().end;
+  }
+
+  /// Durations of all idle gaps — the episode-length sample.
+  [[nodiscard]] std::vector<double> idle_gaps() const;
+
+  /// Fraction of total time the workstation was stealable.
+  [[nodiscard]] double idle_fraction() const;
+
+  /// Number of idle gaps.
+  [[nodiscard]] std::size_t episode_count() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace cs::trace

@@ -1,0 +1,164 @@
+#include "trace/survival_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cs::trace {
+
+double empirical_survival(const std::vector<double>& sorted_gaps, double t) {
+  if (sorted_gaps.empty())
+    throw std::invalid_argument("empirical_survival: empty sample");
+  const auto it =
+      std::upper_bound(sorted_gaps.begin(), sorted_gaps.end(), t);
+  const auto above = static_cast<double>(sorted_gaps.end() - it);
+  return above / static_cast<double>(sorted_gaps.size());
+}
+
+std::unique_ptr<EmpiricalLifeFunction> estimate_life_function_from_gaps(
+    std::vector<double> gaps, const EstimatorOptions& opt) {
+  if (gaps.size() < 8)
+    throw std::invalid_argument(
+        "estimate_life_function: need at least 8 idle gaps");
+  std::sort(gaps.begin(), gaps.end());
+  const std::size_t n = gaps.size();
+  const std::size_t knots = std::max<std::size_t>(8, opt.knots);
+
+  // Quantile knots: times at evenly spaced survival levels.  The midpoint
+  // convention S(x_(k)) = 1 - (k - 0.5)/n keeps the curve strictly inside
+  // (0, 1) at interior knots and unbiased as an estimator of p.
+  std::vector<double> times{0.0};
+  std::vector<double> values{1.0};
+  for (std::size_t j = 1; j <= knots; ++j) {
+    const double q = static_cast<double>(j) / static_cast<double>(knots);
+    const double pos = q * (static_cast<double>(n) - 0.5);
+    const auto idx = std::min<std::size_t>(
+        n - 1, static_cast<std::size_t>(std::floor(pos)));
+    const double t = gaps[idx];
+    const double s =
+        1.0 - (static_cast<double>(idx) + 0.5) / static_cast<double>(n);
+    if (t <= times.back() + 1e-12) continue;  // ties: keep strictly increasing
+    times.push_back(t);
+    values.push_back(std::min(s, values.back()));
+  }
+  // Terminal knot: slightly past the maximum gap, survival 0.
+  const double t_max = gaps.back();
+  if (t_max > times.back() + 1e-12) {
+    times.push_back(t_max);
+    values.push_back(std::min(0.5 / static_cast<double>(n), values.back()));
+  }
+  times.push_back(times.back() * 1.02 + 1e-9);
+  values.push_back(0.0);
+
+  return std::make_unique<EmpiricalLifeFunction>(std::move(times),
+                                                 std::move(values),
+                                                 "empirical(trace)");
+}
+
+std::unique_ptr<EmpiricalLifeFunction> estimate_life_function(
+    const OwnerTrace& trace, const EstimatorOptions& opt) {
+  return estimate_life_function_from_gaps(trace.idle_gaps(), opt);
+}
+
+// ---- Kaplan–Meier ----------------------------------------------------------
+
+std::vector<CensoredGap> idle_gaps_censored(const OwnerTrace& trace) {
+  std::vector<CensoredGap> out;
+  const auto& intervals = trace.intervals();
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (!intervals[i].idle) continue;
+    const bool last = (i + 1 == intervals.size());
+    out.push_back({intervals[i].duration(), last});
+  }
+  return out;
+}
+
+namespace {
+
+/// The KM curve as (event time, survival value) steps; value after the last
+/// event, and a flag telling whether the curve reaches 0 (largest
+/// observation uncensored).
+struct KmCurve {
+  std::vector<double> times;   // distinct uncensored durations, ascending
+  std::vector<double> values;  // S just after each time
+};
+
+KmCurve build_km(std::vector<CensoredGap> sample) {
+  if (sample.empty())
+    throw std::invalid_argument("kaplan_meier: empty sample");
+  std::sort(sample.begin(), sample.end(),
+            [](const CensoredGap& a, const CensoredGap& b) {
+              if (a.duration != b.duration) return a.duration < b.duration;
+              // events before censorings at ties (standard convention)
+              return a.censored < b.censored;
+            });
+  KmCurve curve;
+  double s = 1.0;
+  std::size_t at_risk = sample.size();
+  std::size_t i = 0;
+  while (i < sample.size()) {
+    const double t = sample[i].duration;
+    std::size_t deaths = 0, censored = 0;
+    while (i < sample.size() && sample[i].duration == t) {
+      if (sample[i].censored) {
+        ++censored;
+      } else {
+        ++deaths;
+      }
+      ++i;
+    }
+    if (deaths > 0) {
+      s *= 1.0 - static_cast<double>(deaths) / static_cast<double>(at_risk);
+      curve.times.push_back(t);
+      curve.values.push_back(s);
+    }
+    at_risk -= deaths + censored;
+  }
+  if (curve.times.empty())
+    throw std::invalid_argument("kaplan_meier: no uncensored observations");
+  return curve;
+}
+
+}  // namespace
+
+double kaplan_meier_survival(std::vector<CensoredGap> sample, double t) {
+  const KmCurve curve = build_km(std::move(sample));
+  const auto it =
+      std::upper_bound(curve.times.begin(), curve.times.end(), t);
+  if (it == curve.times.begin()) return 1.0;
+  return curve.values[static_cast<std::size_t>(it - curve.times.begin()) - 1];
+}
+
+std::unique_ptr<EmpiricalLifeFunction> estimate_life_function_km(
+    std::vector<CensoredGap> sample, const EstimatorOptions& opt) {
+  std::size_t uncensored = 0;
+  for (const auto& g : sample)
+    if (!g.censored) ++uncensored;
+  if (uncensored < 8)
+    throw std::invalid_argument(
+        "estimate_life_function_km: need at least 8 uncensored gaps");
+  const KmCurve curve = build_km(std::move(sample));
+
+  // Subsample the KM steps at roughly uniform survival levels.
+  const std::size_t knots =
+      std::min<std::size_t>(std::max<std::size_t>(8, opt.knots),
+                            curve.times.size());
+  std::vector<double> times{0.0};
+  std::vector<double> values{1.0};
+  for (std::size_t j = 0; j < knots; ++j) {
+    const std::size_t idx =
+        (curve.times.size() - 1) * j / std::max<std::size_t>(1, knots - 1);
+    const double t = curve.times[idx];
+    const double s = curve.values[idx];
+    if (t <= times.back() + 1e-12) continue;
+    times.push_back(t);
+    values.push_back(std::min(s, values.back()));
+  }
+  if (times.size() < 2)
+    throw std::invalid_argument("estimate_life_function_km: degenerate curve");
+  return std::make_unique<EmpiricalLifeFunction>(std::move(times),
+                                                 std::move(values),
+                                                 "empirical(km)");
+}
+
+}  // namespace cs::trace

@@ -1,0 +1,66 @@
+// Estimating the life function from an owner trace.
+//
+// The empirical survival of the idle-gap sample is a step function; the
+// paper's guidelines need a differentiable, flex-tamed p, so the estimator
+// reduces the ECDF to quantile knots and hands them to the PCHIP-smoothed
+// EmpiricalLifeFunction — "encapsulating trace data by a well-behaved
+// curve" exactly as Section 1 prescribes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lifefn/families.hpp"
+#include "trace/owner_trace.hpp"
+
+namespace cs::trace {
+
+/// Options for the survival estimator.
+struct EstimatorOptions {
+  std::size_t knots = 48;  ///< quantile knots retained for smoothing
+};
+
+/// Empirical (step) survival values of a sample at given times:
+/// S(t) = #(x_i > t) / n.
+[[nodiscard]] double empirical_survival(const std::vector<double>& sorted_gaps,
+                                        double t);
+
+/// Build a smooth life function from the trace's idle gaps.
+/// Throws std::invalid_argument when the trace has fewer than 8 gaps.
+[[nodiscard]] std::unique_ptr<EmpiricalLifeFunction> estimate_life_function(
+    const OwnerTrace& trace, const EstimatorOptions& opt = {});
+
+/// Same, from a raw duration sample.
+[[nodiscard]] std::unique_ptr<EmpiricalLifeFunction>
+estimate_life_function_from_gaps(std::vector<double> gaps,
+                                 const EstimatorOptions& opt = {});
+
+// ---- Right-censored estimation (Kaplan–Meier) -----------------------------
+//
+// A real monitoring window usually *ends during an idle gap*: that final gap
+// is right-censored — we know only that the episode lasted at least that
+// long.  Dropping or truncating censored gaps biases the survival estimate
+// downward; the Kaplan–Meier product-limit estimator handles them exactly.
+
+/// One (possibly censored) idle-gap observation.
+struct CensoredGap {
+  double duration = 0.0;
+  bool censored = false;  ///< true: episode still running when observed
+};
+
+/// Gaps of a trace with the trailing idle interval (if any) marked censored.
+[[nodiscard]] std::vector<CensoredGap> idle_gaps_censored(
+    const OwnerTrace& trace);
+
+/// Kaplan–Meier survival estimate Ŝ(t) = Π_{t_i <= t} (1 − d_i / n_i) over
+/// the distinct uncensored durations t_i (d_i events among n_i at risk).
+[[nodiscard]] double kaplan_meier_survival(std::vector<CensoredGap> sample,
+                                           double t);
+
+/// Smooth life function from a censored sample (KM curve -> PCHIP knots).
+/// Requires at least 8 uncensored observations.
+[[nodiscard]] std::unique_ptr<EmpiricalLifeFunction>
+estimate_life_function_km(std::vector<CensoredGap> sample,
+                          const EstimatorOptions& opt = {});
+
+}  // namespace cs::trace

@@ -1,0 +1,122 @@
+// Conditional re-planning (Section 6's "progressive" observation).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bclr.hpp"
+#include "core/adaptive.hpp"
+#include "core/expected_work.hpp"
+#include "core/guideline.hpp"
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(ConditionalLifeFunction, BasicLaw) {
+  const UniformRisk p(100.0);
+  const ConditionalLifeFunction q(p, 40.0);
+  // q(t) = p(40+t)/p(40) = (1 - (40+t)/100)/0.6.
+  EXPECT_DOUBLE_EQ(q.survival(0.0), 1.0);
+  EXPECT_NEAR(q.survival(30.0), 0.3 / 0.6, 1e-12);
+  EXPECT_NEAR(q.survival(60.0), 0.0, 1e-12);
+  ASSERT_TRUE(q.lifespan().has_value());
+  EXPECT_DOUBLE_EQ(*q.lifespan(), 60.0);
+}
+
+TEST(ConditionalLifeFunction, UniformConditionsToUniform) {
+  // Conditioning 1 - t/L on survival to tau gives 1 - t/(L - tau).
+  const UniformRisk p(100.0);
+  const ConditionalLifeFunction q(p, 25.0);
+  const UniformRisk expected(75.0);
+  for (double t : {0.0, 10.0, 40.0, 74.0})
+    EXPECT_NEAR(q.survival(t), expected.survival(t), 1e-12) << t;
+  EXPECT_EQ(q.shape(), Shape::Linear);
+}
+
+TEST(ConditionalLifeFunction, MemorylessIsInvariant) {
+  const GeometricLifespan p(1.05);
+  const ConditionalLifeFunction q(p, 123.0);
+  for (double t : {0.0, 5.0, 20.0, 100.0})
+    EXPECT_NEAR(q.survival(t), p.survival(t), 1e-12) << t;
+}
+
+TEST(ConditionalLifeFunction, DerivativeChainsThroughNormalizer) {
+  const PolynomialRisk p(2, 50.0);
+  const ConditionalLifeFunction q(p, 10.0);
+  EXPECT_NEAR(q.derivative(5.0), p.derivative(15.0) / p.survival(10.0),
+              1e-12);
+}
+
+TEST(ConditionalLifeFunction, InverseSurvivalRoundTrip) {
+  const GeometricRisk p(30.0);
+  const ConditionalLifeFunction q(p, 12.0);
+  for (double u : {0.9, 0.5, 0.1})
+    EXPECT_NEAR(q.survival(q.inverse_survival(u)), u, 1e-9) << u;
+}
+
+TEST(ConditionalLifeFunction, RejectsExhaustedTau) {
+  const UniformRisk p(10.0);
+  EXPECT_THROW(ConditionalLifeFunction(p, 10.0), std::invalid_argument);
+  EXPECT_THROW(ConditionalLifeFunction(p, -1.0), std::invalid_argument);
+}
+
+TEST(ConditionalLifeFunction, CloneWorks) {
+  const UniformRisk p(100.0);
+  const ConditionalLifeFunction q(p, 30.0);
+  const auto r = q.clone();
+  EXPECT_DOUBLE_EQ(r->survival(20.0), q.survival(20.0));
+  EXPECT_EQ(r->name(), q.name());
+}
+
+TEST(AdaptiveSchedule, MatchesStaticGuidelineUniform) {
+  // Bellman consistency: with exact p, progressive conditional re-planning
+  // reproduces the static guideline plan.
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto adaptive = adaptive_schedule(p, c);
+  const auto statics = GuidelineScheduler(p, c).run();
+  EXPECT_NEAR(adaptive.expected, statics.expected,
+              2e-3 * statics.expected);
+  ASSERT_GE(adaptive.schedule.size(), 2u);
+  EXPECT_NEAR(adaptive.schedule[0], statics.schedule[0],
+              0.05 * statics.schedule[0]);
+}
+
+TEST(AdaptiveSchedule, MemorylessGivesConstantPeriods) {
+  const GeometricLifespan p(1.02);
+  const double c = 1.0;
+  const auto adaptive = adaptive_schedule(p, c);
+  ASSERT_GE(adaptive.schedule.size(), 3u);
+  const double t_star = bclr_geomlife_tstar(p, c);
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_NEAR(adaptive.schedule[k], t_star, 0.02 * t_star) << k;
+}
+
+TEST(AdaptiveSchedule, NearOptimalAcrossFamilies) {
+  for (const char* spec :
+       {"uniform:L=200", "polyrisk:d=3,L=200", "geomrisk:L=30",
+        "geomlife:a=1.05"}) {
+    const auto p = make_life_function(spec);
+    const double c = 1.5;
+    const auto adaptive = adaptive_schedule(*p, c);
+    const auto statics = GuidelineScheduler(*p, c).run();
+    EXPECT_GE(adaptive.expected, 0.99 * statics.expected) << spec;
+  }
+}
+
+TEST(AdaptiveSchedule, RespectsMaxPeriods) {
+  const GeometricLifespan p(1.02);
+  AdaptiveOptions opt;
+  opt.max_periods = 4;
+  const auto r = adaptive_schedule(p, 1.0, opt);
+  EXPECT_LE(r.schedule.size(), 4u);
+}
+
+TEST(AdaptiveSchedule, RejectsNonpositiveC) {
+  const UniformRisk p(100.0);
+  EXPECT_THROW(adaptive_schedule(p, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,105 @@
+// Existence of optimal schedules (Corollary 3.2 and exp10).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bclr.hpp"
+#include "core/admissibility.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Cor32, WitnessExistsForBoundedFamilies) {
+  EXPECT_TRUE(cor32_witness(UniformRisk(100.0), 2.0).witness_exists);
+  EXPECT_TRUE(cor32_witness(GeometricRisk(30.0), 1.0).witness_exists);
+}
+
+TEST(Cor32, WitnessExistsForGeometricLifespan) {
+  const auto w = cor32_witness(GeometricLifespan(1.05), 1.0);
+  EXPECT_TRUE(w.witness_exists);
+  EXPECT_GT(w.witness_t, 1.0);
+  EXPECT_GT(w.sup_margin, 0.0);
+}
+
+TEST(Cor32, ParetoSatisfiesLiteralCondition) {
+  // The literal Cor 3.2 condition holds near t = c even for Pareto — the
+  // corollary alone cannot certify existence, only rule it out when absent.
+  const auto w = cor32_witness(ParetoTail(2.0), 1.0);
+  EXPECT_TRUE(w.witness_exists);
+  EXPECT_LT(w.witness_t, (1.0 + 2.0 * 1.0) / (2.0 - 1.0) + 1e-6);
+}
+
+TEST(StationaryPeriod, GeometricLifespanIsStationaryAtTStar) {
+  const GeometricLifespan p(1.02);
+  const double c = 1.0;
+  const auto s = stationary_period_analysis(p, c);
+  EXPECT_TRUE(s.stationary);
+  EXPECT_LT(s.relative_drift, 1e-9);
+  // The stationary period IS the BCLR optimal period.
+  EXPECT_NEAR(s.period, bclr_geomlife_tstar(p, c), 1e-6 * s.period);
+}
+
+TEST(StationaryPeriod, ExponentialWeibullStationary) {
+  const Weibull w(1.0, 90.0);
+  const auto s = stationary_period_analysis(w, 1.0);
+  EXPECT_TRUE(s.stationary);
+}
+
+TEST(StationaryPeriod, ParetoDrifts) {
+  const auto s = stationary_period_analysis(ParetoTail(2.0), 1.0);
+  EXPECT_FALSE(s.stationary);
+  EXPECT_GT(s.relative_drift, 0.1);
+  EXPECT_GE(s.probes.size(), 2u);
+}
+
+TEST(StationaryPeriod, IncreasingHazardWeibullDrifts) {
+  const auto s = stationary_period_analysis(Weibull(1.5, 90.0), 1.0);
+  EXPECT_FALSE(s.stationary);
+}
+
+TEST(StationaryPeriod, ValidatesProbes) {
+  EXPECT_THROW(stationary_period_analysis(GeometricLifespan(1.1), 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(AdmitsOptimal, BoundedAlwaysExists) {
+  for (const LifeFunction* p :
+       {static_cast<const LifeFunction*>(new UniformRisk(100.0)),
+        static_cast<const LifeFunction*>(new PolynomialRisk(3, 50.0)),
+        static_cast<const LifeFunction*>(new GeometricRisk(20.0))}) {
+    const auto v = admits_optimal_schedule(*p, 1.0);
+    EXPECT_TRUE(v.exists) << p->name();
+    EXPECT_FALSE(v.stationary.has_value()) << p->name();
+    delete p;
+  }
+}
+
+TEST(AdmitsOptimal, GeometricLifespanExists) {
+  const auto v = admits_optimal_schedule(GeometricLifespan(1.02), 1.0);
+  EXPECT_TRUE(v.exists);
+  ASSERT_TRUE(v.stationary.has_value());
+  EXPECT_TRUE(v.stationary->stationary);
+}
+
+TEST(AdmitsOptimal, ParetoDoesNot) {
+  // The paper's Corollary 3.2 example: p = (t+1)^{-d}, d > 1 admits no
+  // optimal schedule.
+  for (double d : {1.5, 2.0, 3.0}) {
+    const auto v = admits_optimal_schedule(ParetoTail(d), 1.0);
+    EXPECT_FALSE(v.exists) << "d=" << d;
+  }
+}
+
+TEST(AdmitsOptimal, ReasonStringsNonEmpty) {
+  EXPECT_GT(std::string(
+                admits_optimal_schedule(UniformRisk(50.0), 1.0).reason)
+                .size(),
+            10u);
+  EXPECT_GT(
+      std::string(admits_optimal_schedule(ParetoTail(2.0), 1.0).reason).size(),
+      10u);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,103 @@
+// The adversarial cycle-stealing game (sequel preview, full model).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "core/worst_case.hpp"
+
+namespace cs {
+namespace {
+
+TEST(AdversarialGame, ZeroInterruptsIsOneChunk) {
+  const auto sol = solve_adversarial_game(100.0, 2.0, 0);
+  EXPECT_NEAR(sol.value, 98.0, 1e-9);
+  ASSERT_EQ(sol.principal.size(), 1u);
+  EXPECT_NEAR(sol.principal[0], 100.0, 1e-9);
+}
+
+TEST(AdversarialGame, ValueDecreasesWithInterrupts) {
+  double prev = 1e18;
+  for (std::size_t k : {0, 1, 2, 4, 8}) {
+    const auto sol = solve_adversarial_game(400.0, 1.0, k);
+    EXPECT_LT(sol.value, prev) << k;
+    EXPECT_GE(sol.value, 0.0);
+    prev = sol.value;
+  }
+}
+
+TEST(AdversarialGame, OneInterruptHandComputable) {
+  // With k = 1 and grid-free reasoning: A plays t, adversary interrupts iff
+  // the remainder (played as one chunk) is worth less than conceding the
+  // period.  Optimal t equalizes (t - c) + W(T - t, 1) with (T - t - c)+.
+  // For T = 100, c = 2 the equalization yields W ~ T - Theta(sqrt(cT)).
+  const auto sol = solve_adversarial_game(100.0, 2.0, 1, {.grid_points = 4096});
+  EXPECT_GT(sol.value, 100.0 - 2.0 * std::sqrt(2.0 * 100.0) - 4.0);
+  EXPECT_LT(sol.value, 98.0);  // strictly worse than no adversary
+  // Interrupting the first period must not pay for the adversary more than
+  // letting it run (equalization): both branches within grid tolerance.
+  const double t0 = sol.first_period;
+  const double h = 100.0 / 4096.0;
+  const auto rest_k1 = solve_adversarial_game(100.0 - t0, 2.0, 1,
+                                              {.grid_points = 2048});
+  const auto rest_k0 = solve_adversarial_game(100.0 - t0, 2.0, 0,
+                                              {.grid_points = 2048});
+  const double complete = (t0 - 2.0) + rest_k1.value;
+  const double interrupted = rest_k0.value;
+  EXPECT_NEAR(std::min(complete, interrupted), sol.value, 20.0 * h);
+}
+
+TEST(AdversarialGame, SqrtLossLaw) {
+  // loss(T, k) ~ Theta(sqrt(k c T)): ratios within a mild constant band.
+  const double c = 1.0;
+  for (double T : {200.0, 800.0}) {
+    for (std::size_t k : {1, 4}) {
+      const auto sol =
+          solve_adversarial_game(T, c, k, {.grid_points = 4096});
+      const double scale = std::sqrt(static_cast<double>(k) * c * T);
+      EXPECT_GT(sol.loss, 0.8 * scale) << T << " " << k;
+      EXPECT_LT(sol.loss, 3.5 * scale) << T << " " << k;
+    }
+  }
+}
+
+TEST(AdversarialGame, BeatsStaticEqualPeriodPlan) {
+  // The dynamic game value must dominate the static plan of worst_case.hpp
+  // (the game player can adapt after each survived period).
+  const double T = 400.0, c = 1.0;
+  const std::size_t k = 4;
+  const auto game = solve_adversarial_game(T, c, k, {.grid_points = 4096});
+  const auto statics = optimal_worst_case_plan(T, c, k);
+  EXPECT_GE(game.value, statics.guaranteed - T / 4096.0 * 4.0);
+  // ... and the static plan is asymptotically competitive (within ~20%).
+  EXPECT_GT(statics.guaranteed, 0.8 * game.value);
+}
+
+TEST(AdversarialGame, PrincipalVariationNearlyFillsBudget) {
+  // The player concedes only an un-defendable tail: with k interrupts left,
+  // any commitment inside the last stretch can be wiped, so the PV stops
+  // short of T by a small amount (bounded by a few multiples of (k+1)c).
+  const double T = 300.0, c = 2.0;
+  const std::size_t k = 3;
+  const auto sol = solve_adversarial_game(T, c, k);
+  EXPECT_LE(sol.principal.total_duration(), T + 1e-9);
+  EXPECT_GE(sol.principal.total_duration(),
+            T - 2.0 * static_cast<double>(k + 1) * c);
+  for (double t : sol.principal.periods()) EXPECT_GT(t, c);
+}
+
+TEST(AdversarialGame, ValidatesArguments) {
+  EXPECT_THROW(solve_adversarial_game(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(solve_adversarial_game(10.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(solve_adversarial_game(10.0, 1.0, 1, {.grid_points = 2}),
+               std::invalid_argument);
+}
+
+TEST(FixedPlanGameValue, MatchesGuaranteedWork) {
+  const Schedule s({10.0, 8.0, 6.0});
+  EXPECT_DOUBLE_EQ(fixed_plan_game_value(s, 1.0, 1),
+                   guaranteed_work(s, 1.0, 1));
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,201 @@
+// BCLR [3] closed-form optima and the oblivious baselines.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bclr.hpp"
+#include "baselines/oblivious.hpp"
+#include "core/dp_reference.hpp"
+#include "core/expected_work.hpp"
+#include "core/structure.hpp"
+
+namespace cs {
+namespace {
+
+// ------------------------------------------------------------ BCLR uniform
+
+TEST(BclrUniform, T0NearSqrtTwoCL) {
+  // [3] / eq. (4.5): t0* = sqrt(2cL) + low-order terms.
+  for (double L : {120.0, 480.0, 2000.0}) {
+    const double c = 4.0;
+    const auto r = bclr_uniform_optimal(UniformRisk(L), c);
+    EXPECT_NEAR(r.t0, std::sqrt(2.0 * c * L), 0.08 * r.t0) << "L=" << L;
+  }
+}
+
+TEST(BclrUniform, ArithmeticStructure) {
+  const auto r = bclr_uniform_optimal(UniformRisk(480.0), 4.0);
+  for (std::size_t i = 1; i < r.schedule.size(); ++i)
+    EXPECT_NEAR(r.schedule[i], r.schedule[i - 1] - 4.0, 1e-9);
+}
+
+TEST(BclrUniform, PeriodCountNearCorollary53FloorForm) {
+  // The floor form counts trailing ~c-length periods that contribute no
+  // work; the searched optimum drops them and sits slightly below.
+  const double L = 480.0, c = 4.0;
+  const auto r = bclr_uniform_optimal(UniformRisk(L), c);
+  const auto floor_form = static_cast<std::size_t>(
+      std::floor(std::sqrt(2.0 * L / c + 0.25) + 0.5));
+  EXPECT_LE(r.schedule.size(), floor_form);
+  EXPECT_GE(r.schedule.size() + 3, floor_form);
+  EXPECT_LE(r.schedule.size(), cor53_max_periods(L, c));
+}
+
+TEST(BclrUniform, BeatsNeighboringParameterChoices) {
+  const UniformRisk p(300.0);
+  const double c = 2.0;
+  const auto r = bclr_uniform_optimal(p, c);
+  for (double dt : {-1.0, 1.0}) {
+    const Schedule s = Schedule::arithmetic(r.t0 + dt, c, r.periods);
+    EXPECT_GE(r.expected + 1e-9, expected_work(s, p, c)) << "dt=" << dt;
+  }
+  for (int dm : {-1, 1}) {
+    const auto m = static_cast<std::size_t>(
+        std::max<int>(1, static_cast<int>(r.periods) + dm));
+    const Schedule s = Schedule::arithmetic(r.t0, c, m);
+    EXPECT_GE(r.expected + 1e-9, expected_work(s, p, c)) << "dm=" << dm;
+  }
+}
+
+TEST(BclrUniform, ValidatesArguments) {
+  EXPECT_THROW(bclr_uniform_optimal(UniformRisk(10.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(bclr_uniform_optimal(UniformRisk(10.0), 15.0),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- BCLR geomlife
+
+TEST(BclrGeomlife, TStarSolvesDefiningEquation) {
+  for (double a : {1.01, 1.05, 1.3}) {
+    const GeometricLifespan p(a);
+    const double c = 1.0;
+    const double t = bclr_geomlife_tstar(p, c);
+    EXPECT_NEAR(t + std::pow(a, -t) / p.ln_a(), c + 1.0 / p.ln_a(), 1e-10)
+        << "a=" << a;
+    EXPECT_GT(t, c);
+    EXPECT_LT(t, c + 1.0 / p.ln_a());
+  }
+}
+
+TEST(BclrGeomlife, ClosedFormMatchesScheduleSum) {
+  const GeometricLifespan p(1.05);
+  const double c = 1.0;
+  const auto r = bclr_geometric_lifespan_optimal(p, c);
+  EXPECT_NEAR(expected_work(r.schedule, p, c), r.expected,
+              1e-9 * r.expected + 1e-9);
+}
+
+TEST(BclrGeomlife, EqualPeriods) {
+  const auto r = bclr_geometric_lifespan_optimal(GeometricLifespan(1.1), 2.0);
+  ASSERT_GE(r.schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.schedule[0], r.schedule[1]);
+}
+
+TEST(BclrGeomlife, BeatsOtherEqualPeriodChoices) {
+  const GeometricLifespan p(1.02);
+  const double c = 1.0;
+  const auto r = bclr_geometric_lifespan_optimal(p, c);
+  for (double t : {r.t0 * 0.8, r.t0 * 1.2, r.t0 + 5.0}) {
+    const double q = p.survival(t);
+    const double e = (t - c) * q / (1.0 - q);
+    EXPECT_LE(e, r.expected + 1e-9) << "t=" << t;
+  }
+}
+
+// ----------------------------------------------------------- BCLR geomrisk
+
+TEST(BclrGeomrisk, RecurrenceShape) {
+  const GeometricRisk p(40.0);
+  const double c = 1.0;
+  const Schedule s = bclr_geomrisk_expand(p, c, 30.0);
+  ASSERT_GE(s.size(), 2u);
+  for (std::size_t k = 1; k < s.size(); ++k)
+    EXPECT_NEAR(s[k], std::log2(s[k - 1] - c + 2.0), 1e-10);
+}
+
+TEST(BclrGeomrisk, OptimalCloseToDp) {
+  const GeometricRisk p(40.0);
+  const double c = 1.0;
+  const auto r = bclr_geometric_risk_optimal(p, c);
+  DpOptions opt;
+  opt.grid_points = 4096;
+  const auto dp = dp_reference(p, c, opt);
+  EXPECT_GE(r.expected, 0.98 * dp.expected);
+}
+
+TEST(BclrGeomrisk, ValidatesArguments) {
+  const GeometricRisk p(20.0);
+  EXPECT_THROW(bclr_geomrisk_expand(p, 5.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(bclr_geometric_risk_optimal(p, 25.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- oblivious
+
+TEST(FixedChunk, CoversHorizon) {
+  const UniformRisk p(100.0);
+  const Schedule s = fixed_chunk_schedule(p, 1.0, 7.0);
+  EXPECT_GE(s.total_duration(), 100.0 - 1e-9);
+  EXPECT_DOUBLE_EQ(s[0], 7.0);
+  EXPECT_THROW(fixed_chunk_schedule(p, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(BestFixedChunk, BeatsArbitraryFixedChoices) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto best = best_fixed_chunk(p, c);
+  for (double t : {10.0, 30.0, 60.0, 120.0}) {
+    const double e = expected_work(fixed_chunk_schedule(p, c, t), p, c);
+    EXPECT_LE(e, best.expected + 1e-6) << "t=" << t;
+  }
+}
+
+TEST(BestFixedChunk, GeomlifeRecoversEqualPeriodOptimum) {
+  // For memoryless p the best fixed chunk IS the global optimum.
+  const GeometricLifespan p(1.02);
+  const double c = 1.0;
+  const auto best = best_fixed_chunk(p, c);
+  const auto bclr = bclr_geometric_lifespan_optimal(p, c);
+  EXPECT_NEAR(best.expected, bclr.expected, 1e-3 * bclr.expected);
+  EXPECT_NEAR(best.parameter, bclr.t0, 0.02 * bclr.t0);
+}
+
+TEST(AllAtOnce, SinglePeriodSizedToMean) {
+  const UniformRisk p(100.0);
+  const auto r = all_at_once(p, 1.0);
+  EXPECT_EQ(r.schedule.size(), 1u);
+  EXPECT_NEAR(r.schedule[0], 50.0, 1e-6);
+  EXPECT_NEAR(r.expected, 49.0 * 0.5, 1e-6);
+}
+
+TEST(DoublingChunks, GeometricGrowth) {
+  const UniformRisk p(1000.0);
+  const auto r = doubling_chunks(p, 2.0);
+  ASSERT_GE(r.schedule.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.schedule[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.schedule[1], 8.0);
+  EXPECT_DOUBLE_EQ(r.schedule[2], 16.0);
+  EXPECT_GE(r.schedule.total_duration(), 1000.0);
+}
+
+TEST(DoublingChunks, CustomBase) {
+  const UniformRisk p(100.0);
+  const auto r = doubling_chunks(p, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(r.schedule[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.schedule[1], 6.0);
+}
+
+TEST(Oblivious, RankingOnUniformRisk) {
+  // best-fixed > doubling and best-fixed > all-at-once on bounded uniform
+  // risk (the motivating gap of the paper's introduction).
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto fixed = best_fixed_chunk(p, c);
+  const auto dbl = doubling_chunks(p, c);
+  const auto once = all_at_once(p, c);
+  EXPECT_GT(fixed.expected, dbl.expected);
+  EXPECT_GT(fixed.expected, once.expected);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,118 @@
+// Bayesian life-function learning and its surprising tie-in with the
+// paper's Corollary 3.2 family.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/admissibility.hpp"
+#include "core/expected_work.hpp"
+#include "core/greedy.hpp"
+#include "core/guideline.hpp"
+#include "numerics/rng.hpp"
+#include "trace/bayes.hpp"
+
+namespace cs::trace {
+namespace {
+
+TEST(GammaExponential, ConjugateUpdates) {
+  GammaExponentialModel m(2.0, 50.0);
+  m.observe(10.0);
+  m.observe(30.0);
+  EXPECT_DOUBLE_EQ(m.alpha(), 4.0);
+  EXPECT_DOUBLE_EQ(m.beta(), 90.0);
+  EXPECT_EQ(m.events(), 2u);
+  m.observe_censored(25.0);
+  EXPECT_DOUBLE_EQ(m.alpha(), 4.0);  // no event
+  EXPECT_DOUBLE_EQ(m.beta(), 115.0);
+}
+
+TEST(GammaExponential, PosteriorMoments) {
+  GammaExponentialModel m(3.0, 60.0);
+  EXPECT_DOUBLE_EQ(m.mean_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(m.mean_idle(), 30.0);
+  EXPECT_THROW((void)GammaExponentialModel(0.5, 10.0).mean_idle(),
+               std::logic_error);
+}
+
+TEST(GammaExponential, ValidatesInputs) {
+  EXPECT_THROW(GammaExponentialModel(0.0, 1.0), std::invalid_argument);
+  GammaExponentialModel m;
+  EXPECT_THROW(m.observe(0.0), std::invalid_argument);
+  EXPECT_THROW(m.observe_censored(-1.0), std::invalid_argument);
+}
+
+TEST(GammaExponential, ConvergesToTruth) {
+  const double true_mean = 80.0;
+  num::RandomStream rng(60);
+  GammaExponentialModel m;
+  for (int i = 0; i < 20000; ++i) m.observe(rng.exponential(1.0 / true_mean));
+  EXPECT_NEAR(m.mean_idle(), true_mean, 2.0);
+}
+
+TEST(GammaExponential, PredictiveSurvivalFormula) {
+  GammaExponentialModel m(3.0, 60.0);
+  const auto pred = m.predictive_life_function();
+  for (double t : {0.0, 10.0, 50.0, 200.0}) {
+    EXPECT_NEAR(pred->survival(t), std::pow(60.0 / (60.0 + t), 3.0), 1e-12)
+        << t;
+  }
+}
+
+TEST(GammaExponential, PredictiveHeavierThanPlugin) {
+  // Parameter uncertainty fattens the tail: predictive survival dominates
+  // the plug-in exponential at large t.
+  GammaExponentialModel m(4.0, 200.0);
+  const auto pred = m.predictive_life_function();
+  const auto plug = m.plugin_life_function();
+  EXPECT_GT(pred->survival(500.0), plug->survival(500.0));
+  // Both agree near 0.
+  EXPECT_NEAR(pred->survival(1.0), plug->survival(1.0), 1e-3);
+}
+
+TEST(GammaExponential, PredictiveAdmitsNoOptimalSchedule) {
+  // The honest posterior-predictive belief is the paper's Cor 3.2 family:
+  // no optimal schedule exists against it, although every candidate truth
+  // (each exponential) admits one.
+  GammaExponentialModel m(3.0, 120.0);
+  const auto pred = m.predictive_life_function();
+  const auto verdict = admits_optimal_schedule(*pred, 2.0);
+  EXPECT_FALSE(verdict.exists);
+  const auto plug_verdict = admits_optimal_schedule(*m.plugin_life_function(),
+                                                    2.0);
+  EXPECT_TRUE(plug_verdict.exists);
+}
+
+TEST(GammaExponential, PluginSchedulingNearOracleWithData) {
+  // With plenty of data, scheduling from the plug-in law loses little
+  // against the oracle under the true exponential.
+  const double true_mean = 90.0;
+  const double c = 2.0;
+  num::RandomStream rng(61);
+  GammaExponentialModel m;
+  for (int i = 0; i < 3000; ++i) m.observe(rng.exponential(1.0 / true_mean));
+  const GeometricLifespan truth(std::exp(1.0 / true_mean));
+  const auto oracle = GuidelineScheduler(truth, c).run();
+  const auto plugin = GuidelineScheduler(*m.plugin_life_function(), c).run();
+  EXPECT_GT(expected_work(plugin.schedule, truth, c),
+            0.99 * oracle.expected);
+}
+
+TEST(GammaExponential, PredictiveSchedulingIsRobustEarly) {
+  // With only a handful of observations, the greedy schedule against the
+  // predictive law still earns a solid fraction of the oracle — the
+  // heavy-tailed belief hedges against overcommitment.
+  const double true_mean = 90.0;
+  const double c = 2.0;
+  num::RandomStream rng(62);
+  GammaExponentialModel m(1.0, 30.0);  // weak, wrong-ish prior
+  for (int i = 0; i < 10; ++i) m.observe(rng.exponential(1.0 / true_mean));
+  const GeometricLifespan truth(std::exp(1.0 / true_mean));
+  const auto oracle = GuidelineScheduler(truth, c).run();
+  const auto pred = m.predictive_life_function();
+  const auto hedged = greedy_schedule(*pred, c);
+  EXPECT_GT(expected_work(hedged.schedule, truth, c),
+            0.6 * oracle.expected);
+}
+
+}  // namespace
+}  // namespace cs::trace

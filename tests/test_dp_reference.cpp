@@ -1,0 +1,159 @@
+// The grid-DP reference optimizer and the coordinate-ascent polish.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bclr.hpp"
+#include "core/dp_reference.hpp"
+#include "core/expected_work.hpp"
+#include "core/recurrence.hpp"
+#include "core/structure.hpp"
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(DpReference, RecoversBclrUniformOptimum) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  DpOptions opt;
+  opt.grid_points = 4096;
+  const auto dp = dp_reference(p, c, opt);
+  const auto bclr = bclr_uniform_optimal(p, c);
+  EXPECT_NEAR(dp.expected, bclr.expected, 1e-3 * bclr.expected);
+  EXPECT_NEAR(dp.schedule[0], bclr.t0, 0.05 * bclr.t0);
+}
+
+TEST(DpReference, RecoversBclrGeometricLifespanOptimum) {
+  const GeometricLifespan p(1.02);
+  const double c = 1.0;
+  DpOptions opt;
+  opt.grid_points = 8192;
+  const auto dp = dp_reference(p, c, opt);
+  const auto bclr = bclr_geometric_lifespan_optimal(p, c);
+  // DP truncates the infinite tail at p < p_floor; still within 1%.
+  EXPECT_NEAR(dp.expected, bclr.expected, 0.01 * bclr.expected);
+}
+
+TEST(DpReference, GridValueLowerBoundsPolished) {
+  const PolynomialRisk p(2, 300.0);
+  DpOptions opt;
+  opt.grid_points = 1024;
+  const auto dp = dp_reference(p, 2.0, opt);
+  EXPECT_GE(dp.expected, dp.grid_value - 1e-9);
+}
+
+TEST(DpReference, PolishImprovesCoarseGrid) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  DpOptions coarse;
+  coarse.grid_points = 128;
+  coarse.polish = false;
+  DpOptions coarse_polished;
+  coarse_polished.grid_points = 128;
+  coarse_polished.polish = true;
+  const auto raw = dp_reference(p, c, coarse);
+  const auto polished = dp_reference(p, c, coarse_polished);
+  EXPECT_GT(polished.expected, raw.expected);
+  const auto bclr = bclr_uniform_optimal(p, c);
+  EXPECT_NEAR(polished.expected, bclr.expected, 1e-3 * bclr.expected);
+}
+
+TEST(DpReference, OptimalScheduleSatisfiesRecurrence) {
+  // A (continuous) optimum must satisfy system (3.6) — check the polished DP
+  // schedule's residuals are small (Corollary 3.1 as a *diagnostic*).
+  const PolynomialRisk p(3, 400.0);
+  const double c = 2.0;
+  DpOptions opt;
+  opt.grid_points = 4096;
+  const auto dp = dp_reference(p, c, opt);
+  const RecurrenceEngine eng(p, c);
+  const auto res = eng.residuals(dp.schedule);
+  for (std::size_t k = 0; k < res.size(); ++k)
+    EXPECT_NEAR(res[k], 0.0, 5e-3) << "k=" << k;
+}
+
+TEST(DpReference, EmptyWhenOverheadExceedsHorizon) {
+  const UniformRisk p(5.0);
+  const auto dp = dp_reference(p, 10.0, {.grid_points = 256});
+  EXPECT_TRUE(dp.schedule.empty());
+  EXPECT_DOUBLE_EQ(dp.expected, 0.0);
+}
+
+TEST(DpReference, ValidatesArguments) {
+  const UniformRisk p(100.0);
+  EXPECT_THROW(dp_reference(p, 0.0), std::invalid_argument);
+  EXPECT_THROW(dp_reference(p, 1.0, {.grid_points = 1}),
+               std::invalid_argument);
+}
+
+TEST(DpReference, HorizonMatchesLifeFunction) {
+  const UniformRisk p(77.0);
+  const auto dp = dp_reference(p, 1.0, {.grid_points = 256});
+  EXPECT_DOUBLE_EQ(dp.horizon, 77.0);
+}
+
+TEST(PolishSchedule, FixesDeliberatelyBadSchedule) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const Schedule bad = Schedule::equal_periods(120.0, 4);
+  const auto out = polish_schedule(bad, p, c);
+  EXPECT_GT(out.expected, expected_work(bad, p, c));
+  EXPECT_GT(out.sweeps_used, 0);
+}
+
+TEST(PolishSchedule, LeavesOptimumNearlyUnchanged) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto bclr = bclr_uniform_optimal(p, c);
+  const auto out = polish_schedule(bclr.schedule, p, c);
+  EXPECT_NEAR(out.expected, bclr.expected, 1e-6 * bclr.expected);
+}
+
+TEST(PolishSchedule, EmptyInputSafe) {
+  const UniformRisk p(100.0);
+  const auto out = polish_schedule(Schedule(), p, 1.0);
+  EXPECT_TRUE(out.schedule.empty());
+  EXPECT_DOUBLE_EQ(out.expected, 0.0);
+}
+
+// Property: DP (with polish) is a valid upper reference — no other strategy
+// in the library beats it beyond tolerance; and its schedule obeys the
+// Theorem 5.2 structure on shaped families.
+struct DpCase {
+  const char* spec;
+  double c;
+  bool concave;  // true: check decrement; false: check growth (convex)
+};
+
+class DpStructure : public ::testing::TestWithParam<DpCase> {};
+
+TEST_P(DpStructure, Theorem52StructureHolds) {
+  const auto p = make_life_function(GetParam().spec);
+  DpOptions opt;
+  opt.grid_points = 4096;
+  const auto dp = dp_reference(*p, GetParam().c, opt);
+  ASSERT_GE(dp.schedule.size(), 2u);
+  if (GetParam().concave) {
+    const auto chk = check_concave_decrement(dp.schedule, GetParam().c, 1e-2);
+    EXPECT_TRUE(chk.holds) << "violation " << chk.violation << " at "
+                           << chk.violating_index;
+  } else {
+    const auto chk = check_convex_growth(dp.schedule, GetParam().c, 1e-2);
+    EXPECT_TRUE(chk.holds) << "violation " << chk.violation << " at "
+                           << chk.violating_index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DpStructure,
+    ::testing::Values(DpCase{"uniform:L=480", 4.0, true},
+                      DpCase{"polyrisk:d=2,L=300", 2.0, true},
+                      DpCase{"polyrisk:d=4,L=300", 2.0, true},
+                      DpCase{"geomrisk:L=40", 1.0, true},
+                      DpCase{"geomlife:a=1.02", 1.0, false},
+                      DpCase{"geomlife:a=1.1", 1.0, false}));
+
+}  // namespace
+}  // namespace cs

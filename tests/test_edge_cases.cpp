@@ -1,0 +1,171 @@
+// Cross-cutting edge cases and failure injection: degenerate parameters,
+// boundary regimes, and inputs at the edges of each module's contract.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cyclesteal/cyclesteal.hpp"
+
+namespace cs {
+namespace {
+
+// ---- overhead at the edge of feasibility -----------------------------------
+
+TEST(EdgeCases, OverheadNearlyConsumesLifespan) {
+  // c = 0.45 L: at most one productive chunk fits; guideline must still
+  // produce a sane single-period schedule.
+  const UniformRisk p(10.0);
+  const double c = 4.5;
+  const auto g = GuidelineScheduler(p, c).run();
+  ASSERT_EQ(g.schedule.size(), 1u);
+  EXPECT_GT(g.expected, 0.0);
+  const auto dp = dp_reference(p, c, {.grid_points = 2048});
+  EXPECT_GE(g.expected, 0.98 * dp.expected);
+}
+
+TEST(EdgeCases, OverheadExceedsLifespan) {
+  const UniformRisk p(5.0);
+  const auto dp = dp_reference(p, 6.0, {.grid_points = 512});
+  EXPECT_TRUE(dp.schedule.empty());
+  const auto wc = optimal_worst_case_plan(5.0, 6.0, 0);
+  EXPECT_EQ(wc.periods, 0u);
+}
+
+TEST(EdgeCases, TinyOverheadManyPeriods) {
+  const UniformRisk p(100.0);
+  const double c = 0.01;
+  const auto g = GuidelineScheduler(p, c).run();
+  // t0 ~ sqrt(2cL) ~ 1.4, m ~ sqrt(2L/c) ~ 141.
+  EXPECT_GT(g.schedule.size(), 100u);
+  EXPECT_LT(g.schedule.size(), 200u);
+  // E approaches L/2 - overhead costs ~ sqrt(2cL)... at least 0.9 * L/2.
+  EXPECT_GT(g.expected, 0.9 * 50.0);
+}
+
+// ---- extreme life-function parameters --------------------------------------
+
+TEST(EdgeCases, VeryShortLifespan) {
+  const UniformRisk p(0.1);
+  const auto g = GuidelineScheduler(p, 0.01).run();
+  EXPECT_GT(g.expected, 0.0);
+  EXPECT_LE(g.schedule.total_duration(), 0.1 + 1e-9);
+}
+
+TEST(EdgeCases, VeryLargeLifespan) {
+  const UniformRisk p(1e7);
+  const auto g = GuidelineScheduler(p, 1.0).run();
+  EXPECT_NEAR(g.chosen_t0, std::sqrt(2.0 * 1e7), 0.1 * std::sqrt(2.0 * 1e7));
+  EXPECT_GT(g.expected, 0.0);
+}
+
+TEST(EdgeCases, NearlyImmortalWorkstation) {
+  // a barely above 1: essentially no risk over any reasonable span.
+  const GeometricLifespan p(1.0 + 1e-7);
+  const auto bracket = guideline_t0_bracket(p, 1.0);
+  // Optimal chunk ~ sqrt(c/ln a) ~ 3163; bracket must be consistent.
+  EXPECT_GT(bracket.lower, 1000.0);
+  EXPECT_GE(bracket.upper, bracket.lower);
+}
+
+TEST(EdgeCases, ExtremelyRiskyWorkstation) {
+  // Half-life shorter than the overhead: stealing is near-hopeless but must
+  // not crash; E is tiny but nonnegative.
+  const auto p = GeometricLifespan::from_half_life(0.5);
+  const double c = 2.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  EXPECT_GE(g.expected, 0.0);
+  EXPECT_LT(g.expected, 1.0);
+}
+
+// ---- schedules at contract boundaries --------------------------------------
+
+TEST(EdgeCases, ExpectedWorkWithZeroOverhead) {
+  // c = 0 is allowed by expected_work (the model's degenerate frictionless
+  // case): every period contributes fully.
+  const UniformRisk p(10.0);
+  EXPECT_NEAR(expected_work(Schedule({5.0}), p, 0.0), 5.0 * 0.5, 1e-12);
+}
+
+TEST(EdgeCases, SinglePeriodExactlyC) {
+  const UniformRisk p(10.0);
+  EXPECT_DOUBLE_EQ(expected_work(Schedule({2.0}), p, 2.0), 0.0);
+  EXPECT_TRUE(canonicalize(Schedule({2.0}), 2.0).empty());
+}
+
+TEST(EdgeCases, ReclaimSamplerAtDistributionEdges) {
+  const UniformRisk p(50.0);
+  EXPECT_DOUBLE_EQ(p.inverse_survival(1.0), 0.0);
+  EXPECT_NEAR(p.inverse_survival(1e-15), 50.0, 1e-9);
+}
+
+// ---- farm degenerate configurations ----------------------------------------
+
+TEST(EdgeCases, FarmWithZeroTasksCompletesInstantly) {
+  const UniformRisk life(100.0);
+  auto stations = sim::homogeneous_farm(2, life, 1.0, 10.0);
+  sim::FarmOptions opt;
+  opt.task_count = 0;
+  const auto policy = sim::make_guideline_policy();
+  const auto r = sim::run_farm(stations, *policy, opt);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks_done, 0u);
+}
+
+TEST(EdgeCases, FarmSingleStationSingleTask) {
+  const UniformRisk life(100.0);
+  auto stations = sim::homogeneous_farm(1, life, 1.0, 10.0);
+  sim::FarmOptions opt;
+  opt.task_count = 1;
+  opt.profile = {.kind = sim::TaskProfile::Kind::Fixed, .mean = 2.0};
+  opt.seed = 11;
+  const auto policy = sim::make_guideline_policy();
+  const auto r = sim::run_farm(stations, *policy, opt);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks_done, 1u);
+  EXPECT_NEAR(r.work_done, 2.0, 1e-9);
+}
+
+// ---- trace pipeline degenerate samples -------------------------------------
+
+TEST(EdgeCases, EstimatorWithIdenticalGaps) {
+  // All gaps equal: the survival curve is a single cliff; the estimator
+  // must still produce a monotone function with the right median scale.
+  std::vector<double> gaps(64, 10.0);
+  const auto fn = trace::estimate_life_function_from_gaps(gaps);
+  EXPECT_GT(fn->survival(9.0), 0.5);
+  EXPECT_LT(fn->survival(11.0), 0.2);
+  EXPECT_TRUE(fn->is_monotone_nonincreasing());
+}
+
+TEST(EdgeCases, FitterWithTwoDistinctValues) {
+  std::vector<double> gaps;
+  for (int i = 0; i < 50; ++i) gaps.push_back(i % 2 ? 5.0 : 15.0);
+  // All fitters must return finite models without throwing.
+  const auto fits = trace::fit_all_families(gaps);
+  for (const auto& f : fits) {
+    EXPECT_TRUE(std::isfinite(f.ks_distance)) << f.family;
+    EXPECT_LE(f.ks_distance, 1.0) << f.family;
+  }
+}
+
+// ---- quantization extremes --------------------------------------------------
+
+TEST(EdgeCases, QuantizeWithGiantTasks) {
+  // Tasks bigger than any period: everything drops.
+  const UniformRisk p(100.0);
+  const auto g = GuidelineScheduler(p, 2.0).run();
+  const auto q =
+      quantize_schedule(g.schedule, p, 2.0, 500.0, QuantizeRule::Floor);
+  EXPECT_TRUE(q.schedule.empty());
+  EXPECT_DOUBLE_EQ(q.expected, 0.0);
+}
+
+TEST(EdgeCases, AdaptiveOnVeryShortEpisode) {
+  const UniformRisk p(3.0);
+  const auto r = adaptive_schedule(p, 1.0);
+  EXPECT_LE(r.schedule.total_duration(), 3.0 + 1e-9);
+  EXPECT_GE(r.expected, 0.0);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,174 @@
+// The objective E(S; p) of eq. (2.1) and the Prop 2.1 canonicalization.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_work.hpp"
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(ExpectedWork, HandComputedUniform) {
+  // p = 1 - t/10, c = 1, S = {4, 3}.
+  // E = (4-1)p(4) + (3-1)p(7) = 3*0.6 + 2*0.3 = 2.4.
+  const UniformRisk p(10.0);
+  EXPECT_NEAR(expected_work(Schedule({4.0, 3.0}), p, 1.0), 2.4, 1e-12);
+}
+
+TEST(ExpectedWork, EmptyScheduleIsZero) {
+  const UniformRisk p(10.0);
+  EXPECT_DOUBLE_EQ(expected_work(Schedule(), p, 1.0), 0.0);
+}
+
+TEST(ExpectedWork, UnproductivePeriodsContributeNothing) {
+  const UniformRisk p(10.0);
+  // Period 0 shorter than c: contributes 0 but still consumes time.
+  const double e = expected_work(Schedule({0.5, 4.0}), p, 1.0);
+  EXPECT_NEAR(e, 3.0 * p.survival(4.5), 1e-12);
+}
+
+TEST(ExpectedWork, PeriodsBeyondLifespanContributeNothing) {
+  const UniformRisk p(10.0);
+  EXPECT_DOUBLE_EQ(expected_work(Schedule({12.0}), p, 1.0), 0.0);
+  EXPECT_NEAR(expected_work(Schedule({5.0, 20.0}), p, 1.0),
+              4.0 * 0.5, 1e-12);
+}
+
+TEST(ExpectedWork, NegativeCThrows) {
+  const UniformRisk p(10.0);
+  EXPECT_THROW((void)expected_work(Schedule({1.0}), p, -1.0), std::invalid_argument);
+}
+
+TEST(ExpectedWork, MatchesTermSum) {
+  const GeometricLifespan p(1.05);
+  const Schedule s({10.0, 8.0, 6.0});
+  const auto terms = expected_work_terms(s, p, 2.0);
+  ASSERT_EQ(terms.size(), 3u);
+  double total = 0.0;
+  for (double t : terms) total += t;
+  EXPECT_NEAR(expected_work(s, p, 2.0), total, 1e-12);
+}
+
+TEST(ExpectedWork, GeometricSeriesClosedForm) {
+  // Equal periods t against a^{-t}: E = (t-c) q/(1-q) (1 - q^m)/... finite:
+  // sum_{k=1..m} (t-c) q^k.
+  const GeometricLifespan p(1.1);
+  const double t = 5.0, c = 1.0;
+  const double q = p.survival(t);
+  const std::size_t m = 20;
+  double expect = 0.0;
+  for (std::size_t k = 1; k <= m; ++k) expect += (t - c) * std::pow(q, k);
+  EXPECT_NEAR(expected_work(Schedule::equal_periods(t, m), p, c), expect,
+              1e-10);
+}
+
+TEST(WorkGivenReclaim, CountsOnlyCompletedPeriods) {
+  const Schedule s({4.0, 3.0, 2.0});
+  const double c = 1.0;
+  EXPECT_DOUBLE_EQ(work_given_reclaim(s, c, 3.0), 0.0);   // during period 0
+  EXPECT_DOUBLE_EQ(work_given_reclaim(s, c, 4.0), 0.0);   // exactly at T_0
+  EXPECT_DOUBLE_EQ(work_given_reclaim(s, c, 4.5), 3.0);   // period 0 done
+  EXPECT_DOUBLE_EQ(work_given_reclaim(s, c, 7.5), 5.0);
+  EXPECT_DOUBLE_EQ(work_given_reclaim(s, c, 100.0), 6.0);
+}
+
+TEST(WorkGivenReclaim, ReclaimAtEndBoundaryKillsPeriod) {
+  // "If B is reclaimed by time T_k the episode ends" — T_k itself counts as
+  // reclaimed-by.
+  const Schedule s({5.0});
+  EXPECT_DOUBLE_EQ(work_given_reclaim(s, 1.0, 5.0), 0.0);
+}
+
+TEST(ExpectedWork, IsExpectationOfWorkGivenReclaim) {
+  // Check E(S;p) = ∫ work(R) dF(R) by Riemann sum against uniform risk.
+  const UniformRisk p(50.0);
+  const Schedule s({10.0, 8.0, 6.0, 4.0});
+  const double c = 2.0;
+  double riemann = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double r = 50.0 * (i + 0.5) / n;  // density 1/L
+    riemann += work_given_reclaim(s, c, r) / n;
+  }
+  EXPECT_NEAR(expected_work(s, p, c), riemann, 1e-3);
+}
+
+// ----------------------------------------------------------- canonicalize
+
+TEST(Canonicalize, ProductiveScheduleUnchanged) {
+  const Schedule s({5.0, 4.0, 3.0});
+  EXPECT_EQ(canonicalize(s, 1.0), s);
+}
+
+TEST(Canonicalize, MergesUnproductiveForward) {
+  const Schedule s({0.5, 0.4, 5.0});
+  const Schedule out = canonicalize(s, 1.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 5.9);
+}
+
+TEST(Canonicalize, DropsTrailingUnproductive) {
+  const Schedule s({5.0, 0.5});
+  const Schedule out = canonicalize(s, 1.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+}
+
+TEST(Canonicalize, AllUnproductiveMayVanish) {
+  const Schedule s({0.2, 0.3});
+  EXPECT_TRUE(canonicalize(s, 1.0).empty());
+}
+
+TEST(Canonicalize, MergedRunBecomesProductive) {
+  // The first two periods merge into a productive 1.2; the trailing 0.6
+  // cannot reach productivity and is dropped (it contributed nothing).
+  const Schedule s({0.6, 0.6, 0.6});
+  const Schedule out = canonicalize(s, 1.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 1.2, 1e-12);
+}
+
+TEST(IsProductive, Definition) {
+  EXPECT_TRUE(is_productive(Schedule({2.0, 3.0}), 1.0));
+  EXPECT_FALSE(is_productive(Schedule({2.0, 1.0}), 1.0));
+  EXPECT_TRUE(is_productive(Schedule(), 1.0));
+}
+
+// Property: canonicalization never decreases E (Prop 2.1) and always yields
+// a productive schedule — across families and overheads.
+struct CanonCase {
+  const char* spec;
+  double c;
+};
+
+class CanonicalizeProperty : public ::testing::TestWithParam<CanonCase> {};
+
+TEST_P(CanonicalizeProperty, NeverDecreasesExpectedWork) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const std::vector<Schedule> cases = {
+      Schedule({0.5 * c, 3.0 * c, 0.2 * c, 7.0 * c, 0.9 * c}),
+      Schedule({10.0, 0.1, 0.1, 0.1, 8.0}),
+      Schedule::equal_periods(0.8 * c, 10),
+      Schedule({c * 1.5, c * 0.5, c * 1.5, c * 0.5}),
+  };
+  for (const auto& s : cases) {
+    const Schedule out = canonicalize(s, c);
+    EXPECT_GE(expected_work(out, *p, c) + 1e-12, expected_work(s, *p, c))
+        << s.to_string();
+    EXPECT_TRUE(is_productive(out, c)) << out.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CanonicalizeProperty,
+    ::testing::Values(CanonCase{"uniform:L=100", 2.0},
+                      CanonCase{"polyrisk:d=3,L=60", 1.0},
+                      CanonCase{"geomlife:a=1.05", 0.5},
+                      CanonCase{"geomrisk:L=25", 1.5},
+                      CanonCase{"weibull:k=1.3,scale=40", 2.5}));
+
+}  // namespace
+}  // namespace cs

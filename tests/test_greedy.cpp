@@ -1,0 +1,114 @@
+// The greedy recipe of Section 6 and its known strengths/weaknesses.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bclr.hpp"
+#include "core/expected_work.hpp"
+#include "core/greedy.hpp"
+#include "core/guideline.hpp"
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Greedy, RequiresPositiveC) {
+  const UniformRisk p(100.0);
+  EXPECT_THROW(greedy_schedule(p, 0.0), std::invalid_argument);
+}
+
+TEST(Greedy, FirstPeriodMaximizesMarginalGain) {
+  // For a^{-t} the per-period gain (t-c) a^{-t} peaks at t = c + 1/ln a.
+  const GeometricLifespan p(1.05);
+  const double c = 2.0;
+  const auto g = greedy_schedule(p, c);
+  ASSERT_FALSE(g.schedule.empty());
+  EXPECT_NEAR(g.schedule[0], c + 1.0 / p.ln_a(), 1e-3 * g.schedule[0]);
+}
+
+TEST(Greedy, MemorylessGivesEqualPeriods) {
+  const GeometricLifespan p(1.03);
+  const auto g = greedy_schedule(p, 1.0);
+  ASSERT_GE(g.schedule.size(), 3u);
+  EXPECT_NEAR(g.schedule[1], g.schedule[0], 1e-4 * g.schedule[0]);
+  EXPECT_NEAR(g.schedule[2], g.schedule[0], 1e-4 * g.schedule[0]);
+}
+
+TEST(Greedy, SuboptimalOnUniformRisk) {
+  // Section 6: greedy is NOT optimal for the uniform-risk scenario — it
+  // front-loads a huge first chunk.  Measured gap is large (~20%+).
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto g = greedy_schedule(p, c);
+  const auto opt = bclr_uniform_optimal(p, c);
+  EXPECT_LT(g.expected, 0.85 * opt.expected);
+  EXPECT_GT(g.schedule[0], 2.0 * opt.t0);  // over-commits up front
+}
+
+TEST(Greedy, SuboptimalOnGeometricLifespan) {
+  // Greedy's myopic period c + 1/ln a over-commits relative to the BCLR
+  // optimum t* (which solves t + a^{-t}/ln a = c + 1/ln a < greedy period).
+  const GeometricLifespan p(1.02);
+  const double c = 1.0;
+  const auto g = greedy_schedule(p, c);
+  const auto opt = bclr_geometric_lifespan_optimal(p, c);
+  EXPECT_GT(g.schedule[0], opt.t0);
+  EXPECT_LT(g.expected, opt.expected);
+  EXPECT_GT(g.expected, 0.5 * opt.expected);  // but not catastrophic
+}
+
+TEST(Greedy, ExpectedMatchesRecomputation) {
+  const PolynomialRisk p(3, 200.0);
+  const auto g = greedy_schedule(p, 2.0);
+  EXPECT_NEAR(g.expected, expected_work(g.schedule, p, 2.0),
+              1e-9 * std::max(1.0, g.expected));
+}
+
+TEST(Greedy, StopsWhenGainExhausted) {
+  const UniformRisk p(10.0);
+  GreedyOptions opt;
+  opt.gain_tol = 1e-9;
+  const auto g = greedy_schedule(p, 1.0, opt);
+  // Bounded horizon: the schedule must be finite and fit inside L.
+  EXPECT_LE(g.schedule.total_duration(), 10.0 + 1e-6);
+  EXPECT_GT(g.schedule.size(), 0u);
+}
+
+TEST(Greedy, MaxPeriodsHonored) {
+  const GeometricLifespan p(1.001);
+  GreedyOptions opt;
+  opt.max_periods = 3;
+  const auto g = greedy_schedule(p, 0.5, opt);
+  EXPECT_LE(g.schedule.size(), 3u);
+}
+
+// Property: greedy is always feasible and never beats the guideline search
+// (which subsumes better t0 choices), but achieves a nontrivial fraction.
+struct GreedyCase {
+  const char* spec;
+  double c;
+  double min_fraction;
+};
+
+class GreedyVsGuideline : public ::testing::TestWithParam<GreedyCase> {};
+
+TEST_P(GreedyVsGuideline, FractionOfGuideline) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const auto g = greedy_schedule(*p, c);
+  const auto guide = GuidelineScheduler(*p, c).run();
+  EXPECT_LE(g.expected, guide.expected * (1.0 + 1e-6));
+  EXPECT_GE(g.expected, GetParam().min_fraction * guide.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyVsGuideline,
+    ::testing::Values(GreedyCase{"uniform:L=480", 4.0, 0.5},
+                      GreedyCase{"polyrisk:d=3,L=300", 2.0, 0.5},
+                      GreedyCase{"geomlife:a=1.02", 1.0, 0.5},
+                      GreedyCase{"geomrisk:L=40", 1.0, 0.5},
+                      GreedyCase{"weibull:k=1.5,scale=80", 1.0, 0.5}));
+
+}  // namespace
+}  // namespace cs

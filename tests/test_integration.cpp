@@ -1,0 +1,150 @@
+// Cross-module integration: the end-to-end pipelines a user actually runs.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cyclesteal/cyclesteal.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Integration, TraceToScheduleToSimulation) {
+  // 1. Synthesize a memoryless owner trace (ground truth: mean idle 90).
+  num::RandomStream rng(1234);
+  const auto trace = trace::generate_poisson_sessions(
+      {.mean_busy = 45.0, .mean_idle = 90.0, .episodes = 3000}, rng);
+
+  // 2. Estimate a smooth life function from it.
+  const auto fitted = trace::estimate_life_function(trace);
+
+  // 3. Schedule with the estimate; score under the TRUE law.
+  const double c = 2.0;
+  const GeometricLifespan truth(std::exp(1.0 / 90.0));
+  const auto with_fit = GuidelineScheduler(*fitted, c).run();
+  const auto with_truth = GuidelineScheduler(truth, c).run();
+  const double e_fit = expected_work(with_fit.schedule, truth, c);
+  const double e_truth = expected_work(with_truth.schedule, truth, c);
+  // Robustness claim of Section 1: approximate knowledge costs little.
+  EXPECT_GT(e_fit, 0.95 * e_truth);
+
+  // 4. And the simulated mean under the true law agrees with analytics.
+  const auto mc = sim::monte_carlo_episodes(with_fit.schedule, truth, c,
+                                            {.episodes = 120000});
+  const auto ci = num::confidence_interval(mc.work, 3.89);
+  EXPECT_TRUE(ci.contains(e_fit));
+}
+
+TEST(Integration, ParametricFitBeatsRawEmpiricalSlightly) {
+  num::RandomStream rng(77);
+  const auto trace = trace::generate_poisson_sessions(
+      {.mean_busy = 45.0, .mean_idle = 60.0, .episodes = 2000}, rng);
+  const auto gaps = trace.idle_gaps();
+  const auto best = trace::select_life_function_model(gaps);
+  const double c = 1.5;
+  const GeometricLifespan truth(std::exp(1.0 / 60.0));
+  const auto g = GuidelineScheduler(*best.model, c).run();
+  const double e = expected_work(g.schedule, truth, c);
+  const double e_oracle =
+      expected_work(GuidelineScheduler(truth, c).run().schedule, truth, c);
+  EXPECT_GT(e, 0.97 * e_oracle);
+}
+
+TEST(Integration, FarmGuidelineBeatsNaivePolicies) {
+  // The paper's economic argument at system level: better chunking -> the
+  // same NOW drains the bag faster.
+  const UniformRisk life(240.0);
+  sim::FarmOptions opt;
+  opt.task_count = 3000;
+  opt.profile = {.kind = sim::TaskProfile::Kind::Uniform,
+                 .mean = 1.0,
+                 .spread = 0.5};
+  opt.seed = 99;
+
+  auto run_policy = [&](const char* name) {
+    auto stations = sim::homogeneous_farm(6, life, 2.0, 60.0);
+    const auto policy = sim::make_policy(name);
+    return sim::run_farm(stations, *policy, opt);
+  };
+  const auto guide = run_policy("guideline");
+  const auto once = run_policy("all-at-once");
+  const auto doubling = run_policy("doubling");
+  ASSERT_TRUE(guide.completed);
+  EXPECT_LT(guide.makespan, once.makespan);
+  EXPECT_LT(guide.makespan, doubling.makespan);
+}
+
+TEST(Integration, CheckpointPlanConsistentWithGuideline) {
+  // The saves adapter must inherit the guideline structure: for memoryless
+  // failures, equal intervals equal to the BCLR period (+ save cost fit).
+  const GeometricLifespan failures(std::exp(1.0 / 200.0));
+  const double s = 5.0;
+  const auto plan = sim::plan_saves(failures, s, 2000.0);
+  const double t_star = bclr_geomlife_tstar(failures, s);
+  ASSERT_GE(plan.intervals.size(), 3u);
+  EXPECT_NEAR(plan.intervals[0], t_star, 0.05 * t_star);
+}
+
+TEST(Integration, UmbrellaHeaderExposesEverything) {
+  // Compile-time surface check: one object of each major public type.
+  const UniformRisk p(100.0);
+  const GuidelineScheduler sched(p, 2.0);
+  const auto g = sched.run();
+  const auto dp = dp_reference(p, 2.0, {.grid_points = 512});
+  const auto greedy = greedy_schedule(p, 2.0);
+  const auto wc = optimal_worst_case_plan(100.0, 2.0, 1);
+  const auto verdict = admits_optimal_schedule(p, 2.0);
+  EXPECT_GT(g.expected, 0.0);
+  EXPECT_GT(dp.expected, 0.0);
+  EXPECT_GT(greedy.expected, 0.0);
+  EXPECT_GT(wc.guaranteed, 0.0);
+  EXPECT_TRUE(verdict.exists);
+}
+
+TEST(Integration, HeterogeneousFarmAllStationsContribute) {
+  std::vector<sim::WorkstationConfig> stations;
+  {
+    sim::WorkstationConfig ws;
+    ws.label = "uniform";
+    ws.life = std::make_unique<UniformRisk>(200.0);
+    ws.c = 2.0;
+    ws.mean_busy_gap = 40.0;
+    stations.push_back(std::move(ws));
+  }
+  {
+    sim::WorkstationConfig ws;
+    ws.label = "memoryless";
+    ws.life = std::make_unique<GeometricLifespan>(std::exp(1.0 / 120.0));
+    ws.c = 1.0;
+    ws.mean_busy_gap = 40.0;
+    stations.push_back(std::move(ws));
+  }
+  sim::FarmOptions opt;
+  opt.task_count = 2000;
+  opt.profile = {.kind = sim::TaskProfile::Kind::Fixed, .mean = 1.0};
+  opt.seed = 5;
+  const auto policy = sim::make_guideline_policy();
+  const auto r = sim::run_farm(stations, *policy, opt);
+  ASSERT_TRUE(r.completed);
+  for (const auto& ws : r.stations) {
+    EXPECT_GT(ws.tasks_done, 0u) << ws.label;
+    EXPECT_GT(ws.episodes, 0u) << ws.label;
+  }
+}
+
+TEST(Integration, GuidelineRobustToMixtureLifeFunctions) {
+  // Day/night mixture: bimodal gaps; the guideline must still produce a
+  // valid schedule close to the DP reference.
+  std::vector<std::unique_ptr<LifeFunction>> comps;
+  comps.push_back(std::make_unique<GeometricLifespan>(std::exp(1.0 / 30.0)));
+  comps.push_back(std::make_unique<UniformRisk>(600.0));
+  const Mixture mix(std::move(comps), {0.7, 0.3});
+  const double c = 2.0;
+  const auto g = GuidelineScheduler(mix, c).run();
+  DpOptions dopt;
+  dopt.grid_points = 4096;
+  const auto dp = dp_reference(mix, c, dopt);
+  EXPECT_GT(g.expected, 0.95 * dp.expected);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,102 @@
+#include "lifefn/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Factory, BuildsUniform) {
+  const auto p = make_life_function("uniform:L=250");
+  ASSERT_NE(dynamic_cast<UniformRisk*>(p.get()), nullptr);
+  EXPECT_DOUBLE_EQ(*p->lifespan(), 250.0);
+}
+
+TEST(Factory, BuildsPolynomialRisk) {
+  const auto p = make_life_function("polyrisk:d=3,L=100");
+  const auto* poly = dynamic_cast<PolynomialRisk*>(p.get());
+  ASSERT_NE(poly, nullptr);
+  EXPECT_EQ(poly->degree(), 3);
+  EXPECT_DOUBLE_EQ(poly->L(), 100.0);
+}
+
+TEST(Factory, BuildsGeometricLifespanByA) {
+  const auto p = make_life_function("geomlife:a=1.25");
+  const auto* g = dynamic_cast<GeometricLifespan*>(p.get());
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->a(), 1.25);
+}
+
+TEST(Factory, BuildsGeometricLifespanByHalfLife) {
+  const auto p = make_life_function("geomlife:half=100");
+  EXPECT_NEAR(p->survival(100.0), 0.5, 1e-12);
+}
+
+TEST(Factory, BuildsGeometricRisk) {
+  const auto p = make_life_function("geomrisk:L=42");
+  ASSERT_NE(dynamic_cast<GeometricRisk*>(p.get()), nullptr);
+  EXPECT_DOUBLE_EQ(*p->lifespan(), 42.0);
+}
+
+TEST(Factory, BuildsWeibull) {
+  const auto p = make_life_function("weibull:k=1.5,scale=30");
+  const auto* w = dynamic_cast<Weibull*>(p.get());
+  ASSERT_NE(w, nullptr);
+  EXPECT_DOUBLE_EQ(w->k(), 1.5);
+  EXPECT_DOUBLE_EQ(w->scale(), 30.0);
+}
+
+TEST(Factory, BuildsPareto) {
+  const auto p = make_life_function("pareto:d=2");
+  ASSERT_NE(dynamic_cast<ParetoTail*>(p.get()), nullptr);
+}
+
+TEST(Factory, ParameterOrderIrrelevant) {
+  const auto a = make_life_function("weibull:k=2,scale=10");
+  const auto b = make_life_function("weibull:scale=10,k=2");
+  EXPECT_EQ(a->name(), b->name());
+}
+
+TEST(Factory, UnknownFamilyThrows) {
+  EXPECT_THROW(make_life_function("gaussian:mu=1"), std::invalid_argument);
+  EXPECT_THROW(make_life_function(""), std::invalid_argument);
+}
+
+TEST(Factory, MissingParameterThrows) {
+  EXPECT_THROW(make_life_function("uniform"), std::invalid_argument);
+  EXPECT_THROW(make_life_function("polyrisk:d=2"), std::invalid_argument);
+  EXPECT_THROW(make_life_function("geomlife"), std::invalid_argument);
+}
+
+TEST(Factory, MalformedValueThrows) {
+  EXPECT_THROW(make_life_function("uniform:L=abc"), std::invalid_argument);
+  EXPECT_THROW(make_life_function("uniform:L"), std::invalid_argument);
+  EXPECT_THROW(make_life_function("uniform:L=10x"), std::invalid_argument);
+}
+
+TEST(Factory, InvalidParameterValuePropagates) {
+  EXPECT_THROW(make_life_function("uniform:L=-5"), std::invalid_argument);
+  EXPECT_THROW(make_life_function("geomlife:a=0.9"), std::invalid_argument);
+}
+
+TEST(Factory, BuildsLogNormal) {
+  const auto p = make_life_function("lognormal:mu=3,sigma=0.8");
+  const auto* ln = dynamic_cast<LogNormal*>(p.get());
+  ASSERT_NE(ln, nullptr);
+  EXPECT_DOUBLE_EQ(ln->mu(), 3.0);
+  EXPECT_DOUBLE_EQ(ln->sigma(), 0.8);
+}
+
+TEST(Factory, KnownFamiliesListedAndConstructible) {
+  const auto families = known_life_function_families();
+  EXPECT_EQ(families.size(), 7u);
+  // Every listed family has at least one valid spec exercised above.
+  for (const auto& f : families) {
+    SCOPED_TRACE(f);
+    EXPECT_FALSE(f.empty());
+  }
+}
+
+}  // namespace
+}  // namespace cs

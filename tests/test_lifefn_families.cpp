@@ -1,0 +1,313 @@
+// Properties of the concrete life-function families (Sections 2.1 and 3.1).
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+#include "numerics/derivative.hpp"
+
+namespace cs {
+namespace {
+
+// ---------------------------------------------------------------- uniform
+
+TEST(UniformRisk, Values) {
+  const UniformRisk p(100.0);
+  EXPECT_DOUBLE_EQ(p.survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.survival(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.survival(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.survival(150.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.survival(-3.0), 1.0);
+}
+
+TEST(UniformRisk, Derivative) {
+  const UniformRisk p(100.0);
+  EXPECT_DOUBLE_EQ(p.derivative(50.0), -0.01);
+  EXPECT_DOUBLE_EQ(p.derivative(150.0), 0.0);
+}
+
+TEST(UniformRisk, Metadata) {
+  const UniformRisk p(100.0);
+  EXPECT_EQ(p.shape(), Shape::Linear);
+  ASSERT_TRUE(p.lifespan().has_value());
+  EXPECT_DOUBLE_EQ(*p.lifespan(), 100.0);
+  EXPECT_DOUBLE_EQ(p.horizon(), 100.0);
+  EXPECT_NEAR(p.mean_lifespan(), 50.0, 1e-9);
+}
+
+TEST(UniformRisk, RejectsBadLifespan) {
+  EXPECT_THROW(UniformRisk(0.0), std::invalid_argument);
+  EXPECT_THROW(UniformRisk(-5.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- polyrisk
+
+TEST(PolynomialRisk, ReducesToUniformAtD1) {
+  const PolynomialRisk p(1, 80.0);
+  const UniformRisk u(80.0);
+  for (double t : {0.0, 10.0, 40.0, 79.0, 81.0})
+    EXPECT_DOUBLE_EQ(p.survival(t), u.survival(t));
+  EXPECT_EQ(p.shape(), Shape::Linear);
+}
+
+TEST(PolynomialRisk, HigherDegreeConcave) {
+  const PolynomialRisk p(3, 80.0);
+  EXPECT_EQ(p.shape(), Shape::Concave);
+  EXPECT_DOUBLE_EQ(p.survival(40.0), 1.0 - 0.125);
+}
+
+TEST(PolynomialRisk, MeanLifespanClosedForm) {
+  // ∫ (1 - (t/L)^d) dt = L d/(d+1).
+  for (int d : {1, 2, 4}) {
+    const PolynomialRisk p(d, 60.0);
+    EXPECT_NEAR(p.mean_lifespan(), 60.0 * d / (d + 1.0), 1e-8) << "d=" << d;
+  }
+}
+
+TEST(PolynomialRisk, RejectsBadDegree) {
+  EXPECT_THROW(PolynomialRisk(0, 10.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- geomlife
+
+TEST(GeometricLifespan, SurvivalAndHalfLife) {
+  const auto p = GeometricLifespan::from_half_life(50.0);
+  EXPECT_NEAR(p.survival(50.0), 0.5, 1e-12);
+  EXPECT_NEAR(p.survival(100.0), 0.25, 1e-12);
+  EXPECT_EQ(p.shape(), Shape::Convex);
+  EXPECT_FALSE(p.lifespan().has_value());
+}
+
+TEST(GeometricLifespan, MeanLifespanIsInverseLogA) {
+  const GeometricLifespan p(1.05);
+  EXPECT_NEAR(p.mean_lifespan(), 1.0 / std::log(1.05), 1e-6);
+}
+
+TEST(GeometricLifespan, RejectsAAtMostOne) {
+  EXPECT_THROW(GeometricLifespan(1.0), std::invalid_argument);
+  EXPECT_THROW(GeometricLifespan(0.5), std::invalid_argument);
+}
+
+TEST(GeometricLifespan, HorizonDecaysBelowEps) {
+  const GeometricLifespan p(1.1);
+  const double h = p.horizon(1e-6);
+  EXPECT_NEAR(p.survival(h), 1e-6, 1e-9);
+}
+
+// ---------------------------------------------------------------- geomrisk
+
+TEST(GeometricRisk, EndpointValues) {
+  const GeometricRisk p(20.0);
+  EXPECT_DOUBLE_EQ(p.survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.survival(20.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.survival(25.0), 0.0);
+  EXPECT_EQ(p.shape(), Shape::Concave);
+}
+
+TEST(GeometricRisk, MatchesDirectFormulaSmallL) {
+  const GeometricRisk p(10.0);
+  for (double t : {1.0, 3.0, 7.5, 9.9}) {
+    const double direct =
+        (std::exp2(10.0) - std::exp2(t)) / (std::exp2(10.0) - 1.0);
+    EXPECT_NEAR(p.survival(t), direct, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(GeometricRisk, LargeLifespanNoOverflow) {
+  // Regression: 2^L overflowed for L ~ 1100 before the log-space rewrite.
+  const GeometricRisk p(5000.0);
+  EXPECT_GT(p.survival(100.0), 0.999);
+  EXPECT_LT(p.survival(4999.9), 1.0);
+  EXPECT_GT(p.survival(4999.0), 0.0);
+}
+
+// ---------------------------------------------------------------- weibull
+
+TEST(Weibull, K1IsExponential) {
+  const Weibull w(1.0, 90.0);
+  const GeometricLifespan g(std::exp(1.0 / 90.0));
+  for (double t : {0.0, 10.0, 90.0, 300.0})
+    EXPECT_NEAR(w.survival(t), g.survival(t), 1e-12);
+  EXPECT_EQ(w.shape(), Shape::Convex);
+}
+
+TEST(Weibull, KAbove1IsGeneralShape) {
+  EXPECT_EQ(Weibull(2.0, 50.0).shape(), Shape::General);
+}
+
+TEST(Weibull, SurvivalValues) {
+  const Weibull w(2.0, 10.0);
+  EXPECT_NEAR(w.survival(10.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(w.survival(20.0), std::exp(-4.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- pareto
+
+TEST(ParetoTail, SurvivalAndDerivative) {
+  const ParetoTail p(2.0);
+  EXPECT_DOUBLE_EQ(p.survival(0.0), 1.0);
+  EXPECT_NEAR(p.survival(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(p.derivative(1.0), -2.0 * std::pow(2.0, -3.0), 1e-12);
+  EXPECT_EQ(p.shape(), Shape::Convex);
+}
+
+// ------------------------------------------------------------ piecewise
+
+TEST(PiecewiseLinear, InterpolatesAndClamps) {
+  const PiecewiseLinear p({0.0, 10.0, 30.0}, {1.0, 0.4, 0.0});
+  EXPECT_DOUBLE_EQ(p.survival(5.0), 0.7);
+  EXPECT_DOUBLE_EQ(p.survival(20.0), 0.2);
+  EXPECT_DOUBLE_EQ(p.survival(40.0), 0.0);
+  ASSERT_TRUE(p.lifespan().has_value());
+  EXPECT_DOUBLE_EQ(*p.lifespan(), 30.0);
+}
+
+TEST(PiecewiseLinear, DetectsConvexShape) {
+  // Slopes -0.06 then -0.01: increasing derivative = convex.
+  const PiecewiseLinear p({0.0, 10.0, 50.0}, {1.0, 0.4, 0.0});
+  EXPECT_EQ(p.shape(), Shape::Convex);
+}
+
+TEST(PiecewiseLinear, DetectsConcaveShape) {
+  const PiecewiseLinear p({0.0, 40.0, 50.0}, {1.0, 0.6, 0.0});
+  EXPECT_EQ(p.shape(), Shape::Concave);
+}
+
+TEST(PiecewiseLinear, RejectsBadKnots) {
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0}, {0.9, 0.0}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0}, {1.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0, 0.5}, {1.0, 0.5, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0, 2.0}, {1.0, 0.5, 0.6}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- empirical
+
+TEST(EmpiricalLifeFunction, InterpolatesSamples) {
+  const EmpiricalLifeFunction p({0.0, 5.0, 10.0, 20.0},
+                                {1.0, 0.7, 0.3, 0.0});
+  EXPECT_DOUBLE_EQ(p.survival(0.0), 1.0);
+  EXPECT_NEAR(p.survival(5.0), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(p.survival(20.0), 0.0);
+  EXPECT_TRUE(p.is_monotone_nonincreasing());
+}
+
+TEST(EmpiricalLifeFunction, ExtendsToZeroWhenTruncated) {
+  const EmpiricalLifeFunction p({0.0, 5.0, 10.0}, {1.0, 0.6, 0.2});
+  ASSERT_TRUE(p.lifespan().has_value());
+  EXPECT_GT(*p.lifespan(), 10.0);
+  EXPECT_DOUBLE_EQ(p.survival(*p.lifespan()), 0.0);
+}
+
+// --------------------------------------------- cross-family property sweep
+
+struct FamilyCase {
+  const char* spec;
+  bool bounded;
+};
+
+class FamilyProperties : public ::testing::TestWithParam<FamilyCase> {
+ protected:
+  std::unique_ptr<LifeFunction> fn() const {
+    return make_life_function(GetParam().spec);
+  }
+};
+
+TEST_P(FamilyProperties, SurvivalStartsAtOne) {
+  EXPECT_DOUBLE_EQ(fn()->survival(0.0), 1.0);
+}
+
+TEST_P(FamilyProperties, MonotoneNonincreasing) {
+  EXPECT_TRUE(fn()->is_monotone_nonincreasing(1024));
+}
+
+TEST_P(FamilyProperties, ValuesInUnitInterval) {
+  const auto p = fn();
+  const double hi = p->horizon(1e-9);
+  for (int i = 0; i <= 200; ++i) {
+    const double t = hi * i / 200.0;
+    const double v = p->survival(t);
+    EXPECT_GE(v, 0.0) << "t=" << t;
+    EXPECT_LE(v, 1.0) << "t=" << t;
+  }
+}
+
+TEST_P(FamilyProperties, AnalyticDerivativeMatchesNumeric) {
+  const auto p = fn();
+  const double hi = p->horizon(1e-6);
+  for (double frac : {0.1, 0.3, 0.5, 0.7}) {
+    const double t = frac * hi;
+    const double numeric = num::derivative(
+        [&](double x) { return p->survival(x); }, t, 1e-6 * std::max(1.0, t));
+    EXPECT_NEAR(p->derivative(t), numeric,
+                1e-4 * std::max(1.0, std::abs(numeric)))
+        << "t=" << t;
+  }
+}
+
+TEST_P(FamilyProperties, DerivativeNonpositive) {
+  const auto p = fn();
+  const double hi = p->horizon(1e-9);
+  for (int i = 1; i < 100; ++i)
+    EXPECT_LE(p->derivative(hi * i / 100.0), 1e-12);
+}
+
+TEST_P(FamilyProperties, InverseSurvivalRoundTrip) {
+  const auto p = fn();
+  for (double u : {0.95, 0.6, 0.25, 0.03, 1e-4}) {
+    const double t = p->inverse_survival(u);
+    EXPECT_NEAR(p->survival(t), u, 1e-8) << "u=" << u;
+  }
+  EXPECT_DOUBLE_EQ(p->inverse_survival(1.0), 0.0);
+  EXPECT_THROW(p->inverse_survival(0.0), std::invalid_argument);
+  EXPECT_THROW(p->inverse_survival(1.5), std::invalid_argument);
+}
+
+TEST_P(FamilyProperties, BoundednessMatchesFamily) {
+  EXPECT_EQ(fn()->lifespan().has_value(), GetParam().bounded);
+}
+
+TEST_P(FamilyProperties, CloneIsIndistinguishable) {
+  const auto p = fn();
+  const auto q = p->clone();
+  EXPECT_EQ(p->name(), q->name());
+  EXPECT_EQ(p->shape(), q->shape());
+  const double hi = p->horizon(1e-6);
+  for (int i = 0; i <= 50; ++i) {
+    const double t = hi * i / 50.0;
+    EXPECT_DOUBLE_EQ(p->survival(t), q->survival(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyProperties,
+    ::testing::Values(FamilyCase{"uniform:L=100", true},
+                      FamilyCase{"uniform:L=1", true},
+                      FamilyCase{"polyrisk:d=2,L=50", true},
+                      FamilyCase{"polyrisk:d=5,L=500", true},
+                      FamilyCase{"geomlife:a=1.01", false},
+                      FamilyCase{"geomlife:a=2", false},
+                      FamilyCase{"geomrisk:L=12", true},
+                      FamilyCase{"geomrisk:L=60", true},
+                      FamilyCase{"weibull:k=1,scale=40", false},
+                      FamilyCase{"weibull:k=1.7,scale=25", false},
+                      FamilyCase{"pareto:d=2.5", false},
+                      FamilyCase{"lognormal:mu=3,sigma=0.5", false},
+                      FamilyCase{"lognormal:mu=1,sigma=1.2", false}));
+
+TEST(LogNormal, MedianAndSurvival) {
+  const LogNormal p(3.0, 0.7);
+  EXPECT_NEAR(p.median(), std::exp(3.0), 1e-12);
+  EXPECT_NEAR(p.survival(p.median()), 0.5, 1e-12);
+  EXPECT_EQ(p.shape(), Shape::General);
+}
+
+TEST(LogNormal, RejectsBadSigma) {
+  EXPECT_THROW(LogNormal(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,68 @@
+// Numeric shape detection (needed by Theorem 3.3 for fitted curves).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lifefn/families.hpp"
+#include "lifefn/shape.hpp"
+
+namespace cs {
+namespace {
+
+TEST(DetectShape, LinearCurve) {
+  EXPECT_EQ(detect_shape([](double t) { return 1.0 - t / 10.0; }, 10.0),
+            Shape::Linear);
+}
+
+TEST(DetectShape, ConvexExponential) {
+  EXPECT_EQ(detect_shape([](double t) { return std::exp(-t); }, 10.0, 256,
+                         1e-9),
+            Shape::Convex);
+}
+
+TEST(DetectShape, ConcaveQuadratic) {
+  EXPECT_EQ(
+      detect_shape([](double t) { return 1.0 - t * t / 100.0; }, 10.0),
+      Shape::Concave);
+}
+
+TEST(DetectShape, GeneralSigmoid) {
+  // Falling sigmoid has an inflection: neither convex nor concave.
+  EXPECT_EQ(detect_shape(
+                [](double t) { return 1.0 / (1.0 + std::exp(t - 5.0)); },
+                10.0),
+            Shape::General);
+}
+
+TEST(DetectShape, RejectsBadArguments) {
+  EXPECT_THROW(detect_shape([](double) { return 1.0; }, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(detect_shape([](double) { return 1.0; }, 1.0, 2),
+               std::invalid_argument);
+}
+
+TEST(DetectShape, AgreesWithDeclaredShapes) {
+  const UniformRisk uni(100.0);
+  EXPECT_EQ(detect_shape(uni), Shape::Linear);
+  const PolynomialRisk poly(3, 100.0);
+  EXPECT_EQ(detect_shape(poly), Shape::Concave);
+  const GeometricLifespan geo(1.05);
+  EXPECT_EQ(detect_shape(geo), Shape::Convex);
+  const GeometricRisk risk(20.0);
+  EXPECT_EQ(detect_shape(risk), Shape::Concave);
+}
+
+TEST(DetectShape, WeibullAboveOneIsGeneral) {
+  const Weibull w(2.5, 30.0);
+  EXPECT_EQ(detect_shape(w, 512, 1e-8), Shape::General);
+}
+
+TEST(ShapeToString, AllValuesNamed) {
+  EXPECT_STREQ(to_string(Shape::Concave), "concave");
+  EXPECT_STREQ(to_string(Shape::Convex), "convex");
+  EXPECT_STREQ(to_string(Shape::Linear), "linear");
+  EXPECT_STREQ(to_string(Shape::General), "general");
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,113 @@
+#include "lifefn/transforms.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(TimeScaled, StretchesAxis) {
+  TimeScaled p(std::make_unique<UniformRisk>(10.0), 6.0);
+  EXPECT_DOUBLE_EQ(p.survival(30.0), 0.5);  // = inner(5) on L=10
+  ASSERT_TRUE(p.lifespan().has_value());
+  EXPECT_DOUBLE_EQ(*p.lifespan(), 60.0);
+}
+
+TEST(TimeScaled, DerivativeChainRule) {
+  TimeScaled p(std::make_unique<UniformRisk>(10.0), 6.0);
+  EXPECT_NEAR(p.derivative(30.0), -1.0 / 60.0, 1e-12);
+}
+
+TEST(TimeScaled, PreservesShapeAndInverse) {
+  TimeScaled p(std::make_unique<GeometricLifespan>(1.1), 3.0);
+  EXPECT_EQ(p.shape(), Shape::Convex);
+  EXPECT_NEAR(p.survival(p.inverse_survival(0.3)), 0.3, 1e-10);
+}
+
+TEST(TimeScaled, RejectsBadArgs) {
+  EXPECT_THROW(TimeScaled(nullptr, 1.0), std::invalid_argument);
+  EXPECT_THROW(TimeScaled(std::make_unique<UniformRisk>(1.0), 0.0),
+               std::invalid_argument);
+}
+
+std::vector<std::unique_ptr<LifeFunction>> two_uniforms() {
+  std::vector<std::unique_ptr<LifeFunction>> v;
+  v.push_back(std::make_unique<UniformRisk>(10.0));
+  v.push_back(std::make_unique<UniformRisk>(30.0));
+  return v;
+}
+
+TEST(Mixture, ConvexCombinationOfSurvivals) {
+  Mixture mix(two_uniforms(), {0.25, 0.75});
+  EXPECT_DOUBLE_EQ(mix.survival(0.0), 1.0);
+  // At t=5: 0.25*0.5 + 0.75*(5/6 survival of L=30 => 1-1/6).
+  EXPECT_NEAR(mix.survival(5.0), 0.25 * 0.5 + 0.75 * (1.0 - 5.0 / 30.0),
+              1e-12);
+  ASSERT_TRUE(mix.lifespan().has_value());
+  EXPECT_DOUBLE_EQ(*mix.lifespan(), 30.0);
+}
+
+TEST(Mixture, UnboundedComponentMakesUnbounded) {
+  std::vector<std::unique_ptr<LifeFunction>> v;
+  v.push_back(std::make_unique<UniformRisk>(10.0));
+  v.push_back(std::make_unique<GeometricLifespan>(1.1));
+  Mixture mix(std::move(v), {0.5, 0.5});
+  EXPECT_FALSE(mix.lifespan().has_value());
+}
+
+TEST(Mixture, ShapePropagation) {
+  {
+    std::vector<std::unique_ptr<LifeFunction>> v;
+    v.push_back(std::make_unique<GeometricLifespan>(1.05));
+    v.push_back(std::make_unique<GeometricLifespan>(1.2));
+    EXPECT_EQ(Mixture(std::move(v), {0.5, 0.5}).shape(), Shape::Convex);
+  }
+  {
+    std::vector<std::unique_ptr<LifeFunction>> v;
+    v.push_back(std::make_unique<PolynomialRisk>(2, 50.0));
+    v.push_back(std::make_unique<UniformRisk>(40.0));
+    EXPECT_EQ(Mixture(std::move(v), {0.5, 0.5}).shape(), Shape::Concave);
+  }
+  EXPECT_EQ(Mixture(two_uniforms(), {0.5, 0.5}).shape(), Shape::Linear);
+}
+
+TEST(Mixture, MixedShapesDetectedNumerically) {
+  // Uniform (linear) + exponential (convex) = convex mixture; but
+  // concave + convex needs detection and typically lands on General.
+  std::vector<std::unique_ptr<LifeFunction>> v;
+  v.push_back(std::make_unique<PolynomialRisk>(4, 30.0));  // concave
+  v.push_back(std::make_unique<GeometricLifespan>(1.5));   // convex
+  const Mixture mix(std::move(v), {0.5, 0.5});
+  EXPECT_NE(mix.shape(), Shape::Linear);
+}
+
+TEST(Mixture, DerivativeIsWeightedSum) {
+  Mixture mix(two_uniforms(), {0.25, 0.75});
+  EXPECT_NEAR(mix.derivative(5.0), 0.25 * (-0.1) + 0.75 * (-1.0 / 30.0),
+              1e-12);
+}
+
+TEST(Mixture, CloneDeepCopies) {
+  Mixture mix(two_uniforms(), {0.5, 0.5});
+  const auto copy = mix.clone();
+  EXPECT_EQ(copy->name(), mix.name());
+  EXPECT_DOUBLE_EQ(copy->survival(7.0), mix.survival(7.0));
+}
+
+TEST(Mixture, ValidatesWeights) {
+  EXPECT_THROW(Mixture(two_uniforms(), {0.5}), std::invalid_argument);
+  EXPECT_THROW(Mixture(two_uniforms(), {0.7, 0.7}), std::invalid_argument);
+  EXPECT_THROW(Mixture(two_uniforms(), {1.2, -0.2}), std::invalid_argument);
+  EXPECT_THROW(Mixture({}, {}), std::invalid_argument);
+}
+
+TEST(Mixture, MeanLifespanIsWeightedAverage) {
+  Mixture mix(two_uniforms(), {0.5, 0.5});
+  EXPECT_NEAR(mix.mean_lifespan(), 0.5 * 5.0 + 0.5 * 15.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace cs

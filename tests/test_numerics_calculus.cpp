@@ -1,0 +1,117 @@
+// Differentiation and quadrature.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/derivative.hpp"
+#include "numerics/integrate.hpp"
+
+namespace cs::num {
+namespace {
+
+TEST(Derivative, Polynomial) {
+  auto f = [](double x) { return x * x * x - 4.0 * x; };
+  EXPECT_NEAR(derivative(f, 2.0), 8.0, 1e-9);
+  EXPECT_NEAR(derivative(f, 0.0), -4.0, 1e-9);
+}
+
+TEST(Derivative, Exponential) {
+  auto f = [](double x) { return std::exp(-0.05 * x); };
+  EXPECT_NEAR(derivative(f, 10.0), -0.05 * std::exp(-0.5), 1e-10);
+}
+
+TEST(Derivative, RichardsonBeatsPlainCentral) {
+  auto f = [](double x) { return std::sin(x); };
+  const double h = 1e-3;
+  const double plain = (f(1.0 + h) - f(1.0 - h)) / (2.0 * h);
+  const double rich = derivative(f, 1.0, h);
+  EXPECT_LT(std::abs(rich - std::cos(1.0)), std::abs(plain - std::cos(1.0)));
+}
+
+TEST(ForwardDerivative, MatchesAtEdge) {
+  auto f = [](double x) { return 1.0 - x * x; };
+  EXPECT_NEAR(forward_derivative(f, 0.0), 0.0, 1e-6);
+  EXPECT_NEAR(forward_derivative(f, 0.5), -1.0, 1e-6);
+}
+
+TEST(BackwardDerivative, MatchesAtEdge) {
+  auto f = [](double x) { return 1.0 - x * x; };
+  EXPECT_NEAR(backward_derivative(f, 1.0), -2.0, 1e-6);
+}
+
+TEST(SecondDerivative, Quadratic) {
+  auto f = [](double x) { return 3.0 * x * x + x; };
+  EXPECT_NEAR(second_derivative(f, 0.7), 6.0, 1e-5);
+}
+
+TEST(SecondDerivative, SignDetectsShape) {
+  auto concave = [](double x) { return -x * x; };
+  auto convex = [](double x) { return std::exp(x); };
+  EXPECT_LT(second_derivative(concave, 1.0), 0.0);
+  EXPECT_GT(second_derivative(convex, 1.0), 0.0);
+}
+
+TEST(Integrate, Polynomial) {
+  const auto r = integrate([](double x) { return x * x; }, 0.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 9.0, 1e-10);
+}
+
+TEST(Integrate, ReversedLimitsNegate) {
+  const auto fwd = integrate([](double x) { return std::sin(x); }, 0.0, 2.0);
+  const auto rev = integrate([](double x) { return std::sin(x); }, 2.0, 0.0);
+  EXPECT_NEAR(fwd.value, -rev.value, 1e-12);
+}
+
+TEST(Integrate, EmptyInterval) {
+  const auto r = integrate([](double x) { return x; }, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Integrate, SharpPeak) {
+  // Narrow Gaussian: adaptivity must resolve it.
+  auto f = [](double x) {
+    const double d = x - 0.5;
+    return std::exp(-1e4 * d * d);
+  };
+  const auto r = integrate(f, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(r.value, std::sqrt(M_PI / 1e4), 1e-8);
+}
+
+TEST(IntegrateToInfinity, ExponentialTail) {
+  const auto r =
+      integrate_to_infinity([](double x) { return std::exp(-x / 7.0); }, 0.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 7.0, 1e-7);
+}
+
+TEST(IntegrateToInfinity, ParetoTail) {
+  // ∫ (1+t)^{-2} dt = 1.
+  const auto r = integrate_to_infinity(
+      [](double x) { return std::pow(1.0 + x, -2.0); }, 0.0, 1e-11, 1e-13);
+  EXPECT_NEAR(r.value, 1.0, 1e-5);
+}
+
+TEST(IntegrateToInfinity, FromOffset) {
+  const auto r = integrate_to_infinity(
+      [](double x) { return std::exp(-x); }, 2.0);
+  EXPECT_NEAR(r.value, std::exp(-2.0), 1e-9);
+}
+
+// Property: mean lifespan identity ∫ p = E[R] for exponential survival at
+// several rates (the calibration the simulator relies on).
+class MeanLifespan : public ::testing::TestWithParam<double> {};
+
+TEST_P(MeanLifespan, IntegralOfSurvivalIsMean) {
+  const double rate = GetParam();
+  const auto r = integrate_to_infinity(
+      [rate](double t) { return std::exp(-rate * t); }, 0.0);
+  EXPECT_NEAR(r.value, 1.0 / rate, 1e-6 / rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MeanLifespan,
+                         ::testing::Values(0.01, 0.1, 1.0, 5.0));
+
+}  // namespace
+}  // namespace cs::num

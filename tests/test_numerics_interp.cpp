@@ -1,0 +1,120 @@
+#include "numerics/interp.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cs::num {
+namespace {
+
+TEST(LinearInterp, ExactAtKnots) {
+  LinearInterp li({0.0, 1.0, 3.0}, {1.0, 0.5, 0.0});
+  EXPECT_DOUBLE_EQ(li(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(li(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(li(3.0), 0.0);
+}
+
+TEST(LinearInterp, MidpointsLinear) {
+  LinearInterp li({0.0, 2.0}, {0.0, 4.0});
+  EXPECT_DOUBLE_EQ(li(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(li(1.5), 3.0);
+}
+
+TEST(LinearInterp, ClampsOutsideRange) {
+  LinearInterp li({0.0, 1.0}, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(li(-5.0), 2.0);
+  EXPECT_DOUBLE_EQ(li(9.0), 3.0);
+}
+
+TEST(LinearInterp, DerivativeIsSegmentSlope) {
+  LinearInterp li({0.0, 1.0, 3.0}, {0.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(li.derivative(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(li.derivative(2.0), 0.0);
+}
+
+TEST(LinearInterp, RejectsBadKnots) {
+  EXPECT_THROW(LinearInterp({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(LinearInterp({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(LinearInterp({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(PchipInterp, ExactAtKnots) {
+  PchipInterp pi({0.0, 1.0, 2.0, 4.0}, {1.0, 0.8, 0.3, 0.0});
+  EXPECT_DOUBLE_EQ(pi(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pi(1.0), 0.8);
+  EXPECT_DOUBLE_EQ(pi(2.0), 0.3);
+  EXPECT_DOUBLE_EQ(pi(4.0), 0.0);
+}
+
+TEST(PchipInterp, PreservesMonotonicity) {
+  // Decreasing data: the interpolant must never increase (the survival-curve
+  // requirement).
+  PchipInterp pi({0.0, 1.0, 1.5, 4.0, 10.0}, {1.0, 0.9, 0.3, 0.29, 0.0});
+  double prev = pi(0.0);
+  for (int i = 1; i <= 1000; ++i) {
+    const double t = 10.0 * i / 1000.0;
+    const double v = pi(t);
+    EXPECT_LE(v, prev + 1e-12) << "at t=" << t;
+    prev = v;
+  }
+}
+
+TEST(PchipInterp, NoOvershootOnFlatData) {
+  // Classic cubic-spline overshoot scenario: a step-like profile.
+  PchipInterp pi({0.0, 1.0, 2.0, 3.0}, {1.0, 1.0, 0.0, 0.0});
+  for (int i = 0; i <= 300; ++i) {
+    const double t = 3.0 * i / 300.0;
+    const double v = pi(t);
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(PchipInterp, DerivativeMatchesFiniteDifference) {
+  PchipInterp pi({0.0, 1.0, 2.0, 4.0}, {1.0, 0.7, 0.4, 0.0});
+  const double h = 1e-7;
+  for (double t : {0.3, 1.5, 3.2}) {
+    const double fd = (pi(t + h) - pi(t - h)) / (2.0 * h);
+    EXPECT_NEAR(pi.derivative(t), fd, 1e-5) << "t=" << t;
+  }
+}
+
+TEST(PchipInterp, DerivativeNonpositiveOnDecreasingData) {
+  PchipInterp pi({0.0, 2.0, 3.0, 7.0, 9.0}, {1.0, 0.6, 0.55, 0.1, 0.0});
+  for (int i = 0; i <= 500; ++i) {
+    const double t = 9.0 * i / 500.0;
+    EXPECT_LE(pi.derivative(t), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(PchipInterp, TwoPointCaseIsLinear) {
+  PchipInterp pi({0.0, 4.0}, {1.0, 0.0});
+  EXPECT_NEAR(pi(1.0), 0.75, 1e-12);
+  EXPECT_NEAR(pi(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(pi.derivative(2.0), -0.25, 1e-12);
+}
+
+TEST(PchipInterp, ClampsOutsideRange) {
+  PchipInterp pi({0.0, 1.0, 2.0}, {1.0, 0.5, 0.0});
+  EXPECT_DOUBLE_EQ(pi(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pi(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(pi.derivative(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pi.derivative(5.0), 0.0);
+}
+
+TEST(PchipInterp, ReproducesSmoothFunction) {
+  // Dense knots on exp(-t/3): interpolation error should be tiny.
+  std::vector<double> x, y;
+  for (int i = 0; i <= 40; ++i) {
+    x.push_back(0.25 * i);
+    y.push_back(std::exp(-x.back() / 3.0));
+  }
+  PchipInterp pi(x, y);
+  for (double t : {0.1, 1.33, 4.87, 9.99}) {
+    EXPECT_NEAR(pi(t), std::exp(-t / 3.0), 2e-4) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace cs::num

@@ -1,0 +1,117 @@
+#include "numerics/linalg.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cs::num {
+namespace {
+
+Matrix make2x2(double a, double b, double c, double d) {
+  Matrix m(2, 2);
+  m(0, 0) = a;
+  m(0, 1) = b;
+  m(1, 0) = c;
+  m(1, 1) = d;
+  return m;
+}
+
+TEST(Solve, TwoByTwo) {
+  const auto x = solve(make2x2(2.0, 1.0, 1.0, 3.0), {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Zero on the diagonal: naive elimination would divide by zero.
+  const auto x = solve(make2x2(0.0, 1.0, 1.0, 0.0), {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, ThreeByThree) {
+  Matrix a(3, 3);
+  const double data[3][3] = {{4, -2, 1}, {-2, 4, -2}, {1, -2, 4}};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = data[r][c];
+  const std::vector<double> rhs{11.0, -16.0, 17.0};
+  const auto x = solve(a, rhs);
+  // Verify by substitution.
+  for (std::size_t r = 0; r < 3; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) acc += data[r][c] * x[c];
+    EXPECT_NEAR(acc, rhs[r], 1e-10);
+  }
+}
+
+TEST(Solve, SingularThrows) {
+  EXPECT_THROW(solve(make2x2(1.0, 2.0, 2.0, 4.0), {1.0, 2.0}),
+               std::runtime_error);
+}
+
+TEST(Solve, DimensionMismatchThrows) {
+  EXPECT_THROW(solve(make2x2(1, 0, 0, 1), {1.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  // Square consistent system: LSQ = solve.
+  Matrix a = make2x2(1.0, 1.0, 1.0, -1.0);
+  const auto x = least_squares(a, {3.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedLine) {
+  // Fit y = 2x + 1 through noisy-free samples: exact recovery.
+  Matrix a(5, 2);
+  std::vector<double> b(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double x = static_cast<double>(i);
+    a(i, 0) = 1.0;
+    a(i, 1) = x;
+    b[i] = 2.0 * x + 1.0;
+  }
+  const auto coef = least_squares(a, b);
+  EXPECT_NEAR(coef[0], 1.0, 1e-10);
+  EXPECT_NEAR(coef[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidual) {
+  // Inconsistent system: the LSQ solution's residual must not exceed that of
+  // nearby perturbations.
+  Matrix a(3, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  a(2, 0) = 1.0;
+  const std::vector<double> b{1.0, 2.0, 6.0};
+  const auto x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-10);  // mean
+}
+
+TEST(Polyfit, RecoversQuadratic) {
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 - 2.0 * i + 0.5 * i * i);
+  }
+  const auto c = polyfit(xs, ys, 2);
+  EXPECT_NEAR(c[0], 3.0, 1e-9);
+  EXPECT_NEAR(c[1], -2.0, 1e-9);
+  EXPECT_NEAR(c[2], 0.5, 1e-9);
+}
+
+TEST(Polyfit, ThrowsWhenUnderdetermined) {
+  EXPECT_THROW(polyfit({1.0, 2.0}, {1.0, 2.0}, 2), std::invalid_argument);
+}
+
+TEST(Polyval, HornerMatchesDirect) {
+  const std::vector<double> c{1.0, -3.0, 0.0, 2.0};  // 1 - 3x + 2x^3
+  for (double x : {-2.0, 0.0, 0.5, 3.0}) {
+    EXPECT_NEAR(polyval(c, x), 1.0 - 3.0 * x + 2.0 * x * x * x, 1e-12);
+  }
+}
+
+TEST(Polyval, EmptyIsZero) { EXPECT_DOUBLE_EQ(polyval({}, 5.0), 0.0); }
+
+}  // namespace
+}  // namespace cs::num

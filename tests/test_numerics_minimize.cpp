@@ -1,0 +1,115 @@
+#include "numerics/minimize.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cs::num {
+namespace {
+
+TEST(GoldenSection, Parabola) {
+  const auto r = golden_section(
+      [](double x) { return (x - 2.0) * (x - 2.0) + 3.0; }, 0.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-7);
+  EXPECT_NEAR(r.value, 3.0, 1e-12);
+}
+
+TEST(GoldenSection, BoundaryMinimum) {
+  const auto r = golden_section([](double x) { return x; }, 1.0, 4.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+}
+
+TEST(GoldenSection, ThrowsOnInvertedInterval) {
+  EXPECT_THROW(golden_section([](double x) { return x; }, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(BrentMinimize, Parabola) {
+  const auto r = brent_minimize(
+      [](double x) { return (x - 2.0) * (x - 2.0) + 3.0; }, 0.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-8);
+}
+
+TEST(BrentMinimize, AsymmetricSmooth) {
+  // min of x - log(x) at x = 1.
+  const auto r =
+      brent_minimize([](double x) { return x - std::log(x); }, 0.1, 10.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-7);
+  EXPECT_NEAR(r.value, 1.0, 1e-12);
+}
+
+TEST(BrentMinimize, FewerEvalsThanGolden) {
+  int brent_evals = 0, golden_evals = 0;
+  auto fb = [&](double x) {
+    ++brent_evals;
+    return std::cosh(x - 1.3);
+  };
+  auto fg = [&](double x) {
+    ++golden_evals;
+    return std::cosh(x - 1.3);
+  };
+  EXPECT_NEAR(brent_minimize(fb, -5.0, 5.0, {.x_tol = 1e-10}).x, 1.3, 1e-7);
+  EXPECT_NEAR(golden_section(fg, -5.0, 5.0, {.x_tol = 1e-10}).x, 1.3, 1e-7);
+  EXPECT_LT(brent_evals, golden_evals);
+}
+
+TEST(GridThenRefine, EscapesLocalMinimum) {
+  // Two wells: local at x = -1 (depth 1), global at x = 2 (depth 2).
+  auto f = [](double x) {
+    return -1.0 / (1.0 + (x + 1.0) * (x + 1.0)) -
+           2.0 / (1.0 + 4.0 * (x - 2.0) * (x - 2.0));
+  };
+  // The shallow well's tail pulls the global minimum slightly right of 2.
+  const auto r = grid_then_refine(f, -5.0, 5.0, {.grid_points = 101});
+  EXPECT_NEAR(r.x, 2.0, 1e-2);
+}
+
+TEST(GridThenRefine, PlateauWithSpike) {
+  // Flat zero with one narrow dip — a pure unimodal method would miss it.
+  auto f = [](double x) {
+    const double d = x - 0.7321;
+    return -std::exp(-1e4 * d * d);
+  };
+  const auto r = grid_then_refine(f, 0.0, 1.0, {.grid_points = 257});
+  EXPECT_NEAR(r.x, 0.7321, 1e-4);
+  EXPECT_LT(r.value, -0.99);
+}
+
+TEST(GridThenRefineMax, MaximizesGainCurve) {
+  // The greedy scheduler's per-period objective (t - c) p(t).
+  const double c = 2.0;
+  auto gain = [c](double t) { return (t - c) * std::exp(-t / 50.0); };
+  const auto r = grid_then_refine_max(gain, c, 500.0);
+  EXPECT_NEAR(r.x, c + 50.0, 1e-4);  // stationary point t = c + 1/rate
+  EXPECT_NEAR(r.value, gain(c + 50.0), 1e-10);
+}
+
+TEST(GoldenSectionMax, NegatesCorrectly) {
+  const auto r = golden_section_max(
+      [](double x) { return -(x - 1.0) * (x - 1.0) + 7.0; }, -5.0, 5.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+  EXPECT_NEAR(r.value, 7.0, 1e-10);
+}
+
+// Property: for unimodal objectives, all three minimizers agree.
+class UnimodalAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnimodalAgreement, AllMethodsAgree) {
+  const double center = GetParam();
+  auto f = [center](double x) {
+    return std::pow(x - center, 4) + 0.5 * (x - center) * (x - center);
+  };
+  const double lo = center - 10.0, hi = center + 10.0;
+  const auto g = golden_section(f, lo, hi, {.x_tol = 1e-11});
+  const auto b = brent_minimize(f, lo, hi, {.x_tol = 1e-11});
+  const auto gr = grid_then_refine(f, lo, hi, {.x_tol = 1e-11});
+  EXPECT_NEAR(g.x, center, 1e-4);
+  EXPECT_NEAR(b.x, center, 1e-4);
+  EXPECT_NEAR(gr.x, center, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Centers, UnimodalAgreement,
+                         ::testing::Values(-3.7, 0.0, 0.1, 5.5, 42.0));
+
+}  // namespace
+}  // namespace cs::num

@@ -1,0 +1,98 @@
+// Table rendering and CSV emission.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "numerics/csv.hpp"
+#include "numerics/tabulate.hpp"
+
+namespace cs::num {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"30", "40"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| 30 "), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, TitleAppearsFirst) {
+  Table t({"x"});
+  const std::string out = t.render("My Title");
+  EXPECT_EQ(out.rfind("My Title\n", 0), 0u);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"col", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-cell", "2"});
+  std::istringstream is(t.render());
+  std::string line1, line2, line3, line4;
+  std::getline(is, line1);
+  std::getline(is, line2);
+  std::getline(is, line3);
+  std::getline(is, line4);
+  EXPECT_EQ(line1.size(), line3.size());
+  EXPECT_EQ(line3.size(), line4.size());
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableFormat, NumUsesScientificForExtremes) {
+  EXPECT_NE(Table::num(1.5e9).find('e'), std::string::npos);
+  EXPECT_NE(Table::num(2.0e-7).find('e'), std::string::npos);
+  EXPECT_EQ(Table::num(12.5).find('e'), std::string::npos);
+}
+
+TEST(TableFormat, FixedAndPercent) {
+  EXPECT_EQ(Table::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::percent(0.5, 1), "50.0%");
+  EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+TEST(Csv, WritesQuotedCells) {
+  const std::string path = ::testing::TempDir() + "/cs_test.csv";
+  {
+    CsvWriter w(path, {"name", "value"});
+    w.add_row({"plain", "1"});
+    w.add_row({"has,comma", "2"});
+    w.add_row({"has\"quote", "3"});
+    EXPECT_TRUE(w.ok());
+  }
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("name,value\n"), std::string::npos);
+  EXPECT_NE(all.find("\"has,comma\",2"), std::string::npos);
+  EXPECT_NE(all.find("\"has\"\"quote\",3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  const std::string path = ::testing::TempDir() + "/cs_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, QuoteHelper) {
+  EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+  EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::quote("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvWriter::quote("a\nb"), "\"a\nb\"");
+}
+
+}  // namespace
+}  // namespace cs::num

@@ -1,0 +1,147 @@
+#include "numerics/roots.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cs::num {
+namespace {
+
+TEST(Bisect, FindsLinearRoot) {
+  const auto r = bisect([](double x) { return 2.0 * x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 0.5, 1e-10);
+}
+
+TEST(Bisect, FindsTranscendentalRoot) {
+  const auto r = bisect([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 0.7390851332151607, 1e-9);
+}
+
+TEST(Bisect, ExactEndpointRootLo) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.root, 0.0);
+}
+
+TEST(Bisect, ExactEndpointRootHi) {
+  const auto r = bisect([](double x) { return x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.root, 1.0);
+}
+
+TEST(Bisect, ThrowsWithoutSignChange) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, ThrowsOnInvertedBracket) {
+  EXPECT_THROW(bisect([](double x) { return x; }, 1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, FindsPolynomialRoot) {
+  // x^3 - 2x - 5 has its real root at ~2.0945514815.
+  const auto r = brent([](double x) { return x * x * x - 2.0 * x - 5.0; },
+                       2.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 2.0945514815423265, 1e-10);
+}
+
+TEST(Brent, FasterThanBisectOnSmooth) {
+  int brent_evals = 0;
+  int bisect_evals = 0;
+  auto f_b = [&brent_evals](double x) {
+    ++brent_evals;
+    return std::exp(x) - 2.0;
+  };
+  auto f_c = [&bisect_evals](double x) {
+    ++bisect_evals;
+    return std::exp(x) - 2.0;
+  };
+  const auto rb = brent(f_b, 0.0, 2.0, {.x_tol = 1e-13});
+  const auto rc = bisect(f_c, 0.0, 2.0, {.x_tol = 1e-13});
+  EXPECT_NEAR(rb.root, std::log(2.0), 1e-10);
+  EXPECT_NEAR(rc.root, std::log(2.0), 1e-10);
+  EXPECT_LT(brent_evals, bisect_evals);
+}
+
+TEST(Brent, HandlesSteepFunction) {
+  // Survival-like: steep exponential decay crossing 0.5.
+  const auto r = brent([](double x) { return std::exp(-10.0 * x) - 0.5; },
+                       0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::log(2.0) / 10.0, 1e-10);
+}
+
+TEST(Brent, NearlyFlatTail) {
+  // f is almost flat on the right half of the bracket: Brent must not stall.
+  const auto r = brent(
+      [](double x) { return std::tanh(5.0 * (x - 0.3)) + 0.1; }, 0.0, 100.0,
+      {.x_tol = 1e-12});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::tanh(5.0 * (r.root - 0.3)), -0.1, 1e-9);
+}
+
+TEST(BracketRight, ExpandsToFindSignChange) {
+  const auto b = bracket_right([](double x) { return x - 37.0; }, 0.0, 1.0,
+                               1e6);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LE(b->first, 37.0);
+  EXPECT_GE(b->second, 37.0);
+}
+
+TEST(BracketRight, RespectsLimit) {
+  const auto b = bracket_right([](double x) { return x - 37.0; }, 0.0, 1.0,
+                               10.0);
+  EXPECT_FALSE(b.has_value());
+}
+
+TEST(BracketRight, ThrowsOnNonpositiveStep) {
+  EXPECT_THROW(bracket_right([](double x) { return x; }, 0.0, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(MonotoneRoot, FindsRoot) {
+  const auto r = monotone_root([](double x) { return 1.0 - x * x; }, 0.0, 5.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 1.0, 1e-10);
+}
+
+TEST(MonotoneRoot, NulloptWithoutCrossing) {
+  EXPECT_FALSE(
+      monotone_root([](double x) { return x + 1.0; }, 0.0, 5.0).has_value());
+}
+
+TEST(MonotoneRoot, EndpointRoots) {
+  const auto lo = monotone_root([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(lo.has_value());
+  EXPECT_DOUBLE_EQ(*lo, 0.0);
+  const auto hi = monotone_root([](double x) { return x - 1.0; }, 0.0, 1.0);
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_DOUBLE_EQ(*hi, 1.0);
+}
+
+// Property sweep: Brent solves p(t) = u for survival-style curves across a
+// parameter grid (the workload the scheduler actually generates).
+class SurvivalInversion : public ::testing::TestWithParam<double> {};
+
+TEST_P(SurvivalInversion, RoundTrip) {
+  const double rate = GetParam();
+  auto p = [rate](double t) { return std::exp(-rate * t); };
+  for (double u : {0.9, 0.5, 0.1, 0.01, 1e-6}) {
+    auto f = [&](double t) { return p(t) - u; };
+    const auto hi = bracket_right(f, 0.0, 1.0, 1e12);
+    ASSERT_TRUE(hi.has_value()) << "rate=" << rate << " u=" << u;
+    const auto r = brent(f, hi->first, hi->second, {.x_tol = 1e-13});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(p(r.root), u, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SurvivalInversion,
+                         ::testing::Values(0.001, 0.01, 0.1, 1.0, 10.0));
+
+}  // namespace
+}  // namespace cs::num

@@ -1,0 +1,150 @@
+#include "numerics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/rng.hpp"
+
+namespace cs::num {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  RandomStream rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(RunningStats, NumericalStabilityLargeOffset) {
+  // Welford must survive a huge common offset.
+  RunningStats s;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) s.add(offset + x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanUsually) {
+  // 95% CI over repeated experiments: coverage should be near 95%.
+  RandomStream rng(7);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    RunningStats s;
+    for (int i = 0; i < 50; ++i) s.add(rng.normal(10.0, 3.0));
+    if (confidence_interval(s, 1.96).contains(10.0)) ++covered;
+  }
+  EXPECT_GT(covered, trials * 0.90);
+  EXPECT_LT(covered, trials * 0.99);
+}
+
+TEST(BatchHelpers, MeanVarianceQuantile) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(BatchHelpers, EmptyThrows) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 2.0), std::invalid_argument);
+}
+
+TEST(KsStatistic, IdenticalSamplesNearZero) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(ks_statistic(a, a), 0.0, 1e-12);
+}
+
+TEST(KsStatistic, DisjointSamplesNearOne) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{10.0, 11.0, 12.0};
+  EXPECT_NEAR(ks_statistic(a, b), 1.0, 1e-12);
+}
+
+TEST(KsStatisticCdf, UniformSampleAgainstUniformCdf) {
+  RandomStream rng(99);
+  std::vector<double> sample;
+  for (int i = 0; i < 5000; ++i) sample.push_back(rng.uniform01());
+  const double d =
+      ks_statistic_cdf(sample, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_LT(d, 0.03);  // ~1.36/sqrt(n) at 95%
+}
+
+TEST(KsStatisticCdf, DetectsWrongModel) {
+  RandomStream rng(99);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.exponential(1.0));
+  // Compare an exponential sample against a uniform CDF on [0, 5]:
+  const double d = ks_statistic_cdf(
+      sample, [](double x) { return std::clamp(x / 5.0, 0.0, 1.0); });
+  EXPECT_GT(d, 0.2);
+}
+
+TEST(RandomStream, DeterministicPerSeedAndStream) {
+  RandomStream a(123, 5), b(123, 5), c(123, 6);
+  EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  EXPECT_NE(a.uniform01(), c.uniform01());
+}
+
+TEST(RandomStream, Uniform01InOpenInterval) {
+  RandomStream rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomStream, ExponentialMean) {
+  RandomStream rng(5);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(0.25));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace cs::num

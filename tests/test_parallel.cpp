@@ -1,0 +1,121 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cs::par {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultSizePositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      (void)pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+  }  // join here
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SharedSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ParallelFor, CoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 1, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 100,
+                   [](std::size_t b, std::size_t) {
+                     if (b == 0) throw std::logic_error("bad");
+                   }),
+      std::logic_error);
+}
+
+TEST(ParallelReduce, SumsRange) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  const double total = parallel_reduce<double>(
+      pool, n, [] { return 0.0; },
+      [](double& acc, std::size_t i) { acc += static_cast<double>(i); },
+      [](double& into, const double& from) { into += from; });
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ParallelReduce, EmptyRangeGivesIdentity) {
+  ThreadPool pool(2);
+  const double total = parallel_reduce<double>(
+      pool, 0, [] { return 42.0; },
+      [](double&, std::size_t) { FAIL() << "fold must not run"; },
+      [](double& into, const double& from) { into += from; });
+  EXPECT_DOUBLE_EQ(total, 42.0);  // the bare accumulator, no folds
+}
+
+TEST(ParallelReduce, DeterministicCombineOrder) {
+  // Combining in chunk order makes the float sum reproducible run-to-run.
+  ThreadPool pool(8);
+  auto run = [&] {
+    return parallel_reduce<double>(
+        pool, 100000, [] { return 0.0; },
+        [](double& acc, std::size_t i) {
+          acc += 1.0 / (1.0 + static_cast<double>(i));
+        },
+        [](double& into, const double& from) { into += from; });
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace cs::par

@@ -1,0 +1,119 @@
+// Randomized cross-module property tests: dominance and invariance
+// relations that must hold for *every* schedule, probed with thousands of
+// random ones.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dp_reference.hpp"
+#include "core/expected_work.hpp"
+#include "core/guideline.hpp"
+#include "lifefn/factory.hpp"
+#include "numerics/rng.hpp"
+#include "sim/episode.hpp"
+
+namespace cs {
+namespace {
+
+Schedule random_schedule(num::RandomStream& rng, double horizon) {
+  const auto m = 1 + rng.below(12);
+  std::vector<double> periods;
+  for (std::uint64_t i = 0; i < m; ++i)
+    periods.push_back(rng.uniform(0.05, horizon / 2.0));
+  return Schedule(std::move(periods));
+}
+
+struct FuzzCase {
+  const char* spec;
+  double c;
+};
+
+class RandomScheduleProperties : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(RandomScheduleProperties, DpReferenceDominatesEverything) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  DpOptions opt;
+  opt.grid_points = 2048;
+  const double dp = dp_reference(*p, c, opt).expected;
+  const double horizon = p->horizon(1e-9);
+  num::RandomStream rng(0xF00D);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Schedule s = random_schedule(rng, horizon);
+    EXPECT_LE(expected_work(s, *p, c), dp * (1.0 + 1e-6))
+        << s.to_string() << " trial " << trial;
+  }
+}
+
+TEST_P(RandomScheduleProperties, CanonicalizeNeverHurts) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const double horizon = p->horizon(1e-9);
+  num::RandomStream rng(0xBEEF);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Schedule s = random_schedule(rng, horizon);
+    const Schedule canon = canonicalize(s, c);
+    EXPECT_GE(expected_work(canon, *p, c) + 1e-12,
+              expected_work(s, *p, c))
+        << s.to_string();
+    EXPECT_TRUE(is_productive(canon, c));
+  }
+}
+
+TEST_P(RandomScheduleProperties, PolishNeverHurts) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const double horizon = p->horizon(1e-9);
+  num::RandomStream rng(0xCAFE);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Schedule s = random_schedule(rng, horizon);
+    const auto polished = polish_schedule(s, *p, c, 10);
+    EXPECT_GE(polished.expected + 1e-12, expected_work(s, *p, c))
+        << s.to_string();
+  }
+}
+
+TEST_P(RandomScheduleProperties, ExpectedWorkBoundedByMeanLifespan) {
+  // E(S;p) <= E[R]: work cannot exceed the expected availability.
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const double mean = p->mean_lifespan();
+  const double horizon = p->horizon(1e-9);
+  num::RandomStream rng(0xD1CE);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Schedule s = random_schedule(rng, horizon);
+    EXPECT_LE(expected_work(s, *p, c), mean + 1e-9) << s.to_string();
+  }
+}
+
+TEST_P(RandomScheduleProperties, WorkGivenReclaimIsMonotoneStep) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const double horizon = p->horizon(1e-9);
+  num::RandomStream rng(0xABBA);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Schedule s = random_schedule(rng, horizon);
+    double prev = -1.0;
+    for (int i = 0; i <= 60; ++i) {
+      const double r = s.total_duration() * i / 50.0;  // past the end too
+      const double w = work_given_reclaim(s, c, r);
+      EXPECT_GE(w, prev);
+      prev = w;
+    }
+    // Expectation identity against the episode simulator's replay.
+    const double r_mid = 0.5 * s.total_duration();
+    EXPECT_DOUBLE_EQ(work_given_reclaim(s, c, r_mid),
+                     sim::run_episode(s, c, r_mid).work);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomScheduleProperties,
+    ::testing::Values(FuzzCase{"uniform:L=60", 1.0},
+                      FuzzCase{"polyrisk:d=2,L=80", 2.0},
+                      FuzzCase{"geomrisk:L=25", 0.7},
+                      FuzzCase{"geomlife:a=1.1", 0.5},
+                      FuzzCase{"weibull:k=1.5,scale=30", 1.0}));
+
+}  // namespace
+}  // namespace cs

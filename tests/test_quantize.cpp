@@ -1,0 +1,128 @@
+// Discrete (indivisible-task) analogues of the guidelines — the paper's
+// Section 6 open question, quantified.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_work.hpp"
+#include "core/guideline.hpp"
+#include "core/quantize.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Quantize, PeriodsSnapToLattice) {
+  const UniformRisk p(480.0);
+  const double c = 4.0, u = 3.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  const auto q = quantize_schedule(g.schedule, p, c, u);
+  for (double t : q.schedule.periods()) {
+    const double k = (t - c) / u;
+    EXPECT_NEAR(k, std::round(k), 1e-9) << t;
+    EXPECT_GE(k, 1.0 - 1e-9);
+  }
+}
+
+TEST(Quantize, FloorNeverLengthensPeriods) {
+  const UniformRisk p(480.0);
+  const double c = 4.0, u = 7.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  const auto q = quantize_schedule(g.schedule, p, c, u, QuantizeRule::Floor);
+  ASSERT_LE(q.schedule.size(), g.schedule.size());
+  for (std::size_t i = 0; i < q.schedule.size(); ++i)
+    EXPECT_LE(q.schedule[i], g.schedule[i] + 1e-9);
+}
+
+TEST(Quantize, FineTasksLoseAlmostNothing) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  const auto q = quantize_schedule(g.schedule, p, c, 0.5);
+  EXPECT_GT(q.efficiency, 0.995);
+}
+
+TEST(Quantize, EfficiencyDegradesGracefullyWithTaskSize) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  double prev = 1.1;
+  for (double u : {0.5, 2.0, 8.0, 24.0}) {
+    const auto q = quantize_schedule(g.schedule, p, c, u);
+    EXPECT_LE(q.efficiency, 1.0 + 1e-6) << u;
+    EXPECT_GT(q.efficiency, 0.75) << u;
+    EXPECT_LE(q.efficiency, prev + 0.05) << u;  // roughly monotone decay
+    prev = q.efficiency;
+  }
+}
+
+TEST(Quantize, BestRuleAtLeastAsGoodAsFloor) {
+  const PolynomialRisk p(3, 300.0);
+  const double c = 2.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  for (double u : {1.0, 5.0, 11.0}) {
+    const auto floor_q =
+        quantize_schedule(g.schedule, p, c, u, QuantizeRule::Floor);
+    const auto best_q =
+        quantize_schedule(g.schedule, p, c, u, QuantizeRule::Best);
+    EXPECT_GE(best_q.expected, floor_q.expected - 1e-9) << u;
+  }
+}
+
+TEST(Quantize, DropsPureOverheadPeriods) {
+  const UniformRisk p(100.0);
+  // Periods of payload < u round (floor) to nothing and must vanish.
+  const Schedule s({5.0, 4.5});  // payloads 1, 0.5 with c = 4
+  const auto q = quantize_schedule(s, p, 4.0, 2.0, QuantizeRule::Floor);
+  EXPECT_TRUE(q.schedule.empty());
+}
+
+TEST(Quantize, ValidatesArguments) {
+  const UniformRisk p(100.0);
+  EXPECT_THROW(quantize_schedule(Schedule({5.0}), p, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(quantize_schedule(Schedule({5.0}), p, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DiscreteOptimum, MatchesContinuousWhenTasksAreFine) {
+  const UniformRisk p(120.0);
+  const double c = 4.0;
+  const auto cont = GuidelineScheduler(p, c).run();
+  const auto disc = discrete_optimal_schedule(p, c, 1.0);
+  EXPECT_GT(disc.expected, 0.97 * cont.expected);
+  EXPECT_LE(disc.expected, cont.expected * (1.0 + 1e-6));
+}
+
+TEST(DiscreteOptimum, QuantizedGuidelineNearDiscreteOptimum) {
+  // The open question's answer: snapping the continuous guideline loses
+  // little even against the *true* discrete optimum.
+  const UniformRisk p(120.0);
+  const double c = 4.0;
+  for (double u : {2.0, 6.0}) {
+    const auto cont = GuidelineScheduler(p, c).run();
+    const auto snapped = quantize_schedule(cont.schedule, p, c, u);
+    const auto disc = discrete_optimal_schedule(p, c, u);
+    EXPECT_GE(snapped.expected, 0.95 * disc.expected) << u;
+    EXPECT_LE(snapped.expected, disc.expected * (1.0 + 1e-6)) << u;
+  }
+}
+
+TEST(DiscreteOptimum, PeriodsOnLattice) {
+  const UniformRisk p(60.0);
+  const auto disc = discrete_optimal_schedule(p, 2.0, 3.0);
+  for (double t : disc.schedule.periods()) {
+    const double k = (t - 2.0) / 3.0;
+    EXPECT_NEAR(k, std::round(k), 1e-9);
+  }
+  EXPECT_NEAR(disc.expected, expected_work(disc.schedule, p, 2.0), 1e-9);
+}
+
+TEST(DiscreteOptimum, GuardsStateExplosion) {
+  const GeometricLifespan p(1.0005);  // enormous horizon
+  EXPECT_THROW(discrete_optimal_schedule(p, 0.01, 0.01),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,183 @@
+// System (3.6) — the paper's inductive period-length prescription — checked
+// against the closed forms Section 4 derives for each family.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_work.hpp"
+#include "core/recurrence.hpp"
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Recurrence, UniformRiskGivesArithmeticDecrement) {
+  // Section 4.1, eq. (4.1): t_k = t_{k-1} - c for p = 1 - t/L.
+  const UniformRisk p(400.0);
+  const double c = 3.0;
+  const RecurrenceEngine eng(p, c);
+  const auto r = eng.generate(60.0);
+  ASSERT_GE(r.schedule.size(), 5u);
+  for (std::size_t k = 1; k < r.schedule.size(); ++k)
+    EXPECT_NEAR(r.schedule[k], r.schedule[k - 1] - c, 1e-7) << "k=" << k;
+}
+
+TEST(Recurrence, PolynomialRiskClosedForm) {
+  // Section 4.1: t_k = ((1 + d(t_{k-1}-c)/T_{k-1})^{1/d} - 1) T_{k-1}.
+  const int d = 3;
+  const PolynomialRisk p(d, 500.0);
+  const double c = 2.0;
+  const RecurrenceEngine eng(p, c);
+  const auto r = eng.generate(120.0);
+  ASSERT_GE(r.schedule.size(), 3u);
+  const auto ends = r.schedule.end_times();
+  for (std::size_t k = 1; k < r.schedule.size(); ++k) {
+    const double T = ends[k - 1];
+    const double predicted =
+        (std::pow(1.0 + d * (r.schedule[k - 1] - c) / T, 1.0 / d) - 1.0) * T;
+    EXPECT_NEAR(r.schedule[k], predicted, 1e-6 * predicted) << "k=" << k;
+  }
+}
+
+TEST(Recurrence, GeometricLifespanClosedForm) {
+  // Section 4.2, eq. (4.6): a^{-t_k} + t_{k-1} ln a = 1 + c ln a.
+  const GeometricLifespan p(1.03);
+  const double c = 1.0;
+  const RecurrenceEngine eng(p, c);
+  const auto r = eng.generate(12.0);
+  ASSERT_GE(r.schedule.size(), 3u);
+  const double ln_a = p.ln_a();
+  for (std::size_t k = 1; k < r.schedule.size(); ++k) {
+    EXPECT_NEAR(std::pow(p.a(), -r.schedule[k]) + r.schedule[k - 1] * ln_a,
+                1.0 + c * ln_a, 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Recurrence, GeometricLifespanFixedPointIsStationary) {
+  // At the BCLR optimum t* the recurrence must reproduce t* forever
+  // (memorylessness): a^{-t*} = 1 - (t* - c) ln a.
+  const GeometricLifespan p(1.02);
+  const double c = 1.0;
+  // Solve the fixed point directly.
+  const double ln_a = p.ln_a();
+  double t_star = 10.0;
+  for (int i = 0; i < 200; ++i) {
+    t_star = c + (1.0 - std::exp(-t_star * ln_a)) / ln_a;
+  }
+  const RecurrenceEngine eng(p, c);
+  const auto r = eng.generate(t_star);
+  ASSERT_GE(r.schedule.size(), 10u);
+  for (std::size_t k = 0; k < 10; ++k)
+    EXPECT_NEAR(r.schedule[k], t_star, 1e-6) << "k=" << k;
+}
+
+TEST(Recurrence, GeometricRiskClosedForm) {
+  // Section 4.3, eq. (4.7): t_{k+1} = log2((t_k - c) ln 2 + 1).
+  const GeometricRisk p(30.0);
+  const double c = 1.0;
+  const RecurrenceEngine eng(p, c);
+  const auto r = eng.generate(20.0);
+  ASSERT_GE(r.schedule.size(), 2u);
+  constexpr double kLn2 = 0.6931471805599453;
+  for (std::size_t k = 1; k < r.schedule.size(); ++k) {
+    const double predicted = std::log2((r.schedule[k - 1] - c) * kLn2 + 1.0);
+    EXPECT_NEAR(r.schedule[k], predicted, 1e-7) << "k=" << k;
+  }
+}
+
+TEST(Recurrence, RequiresProductiveT0) {
+  const UniformRisk p(100.0);
+  const RecurrenceEngine eng(p, 2.0);
+  EXPECT_THROW(eng.generate(2.0), std::invalid_argument);
+  EXPECT_THROW(eng.generate(1.0), std::invalid_argument);
+}
+
+TEST(Recurrence, RejectsNegativeC) {
+  const UniformRisk p(100.0);
+  EXPECT_THROW(RecurrenceEngine(p, -1.0), std::invalid_argument);
+}
+
+TEST(Recurrence, PeriodCapRespected) {
+  const GeometricLifespan p(1.000001);  // nearly flat: very many periods
+  RecurrenceOptions opt;
+  opt.max_periods = 7;
+  opt.tail_tol = 0.0;
+  const RecurrenceEngine eng(p, 0.001, opt);
+  const auto r = eng.generate(1.0);
+  EXPECT_EQ(r.schedule.size(), 7u);
+  EXPECT_EQ(r.stop, StopReason::PeriodCapReached);
+}
+
+TEST(Recurrence, ResidualsVanishOnGeneratedSchedule) {
+  const PolynomialRisk p(2, 300.0);
+  const RecurrenceEngine eng(p, 2.0);
+  const auto r = eng.generate(80.0);
+  for (double resid : eng.residuals(r.schedule))
+    EXPECT_NEAR(resid, 0.0, 1e-8);
+}
+
+TEST(Recurrence, ResidualsNonzeroOnArbitrarySchedule) {
+  const UniformRisk p(100.0);
+  const RecurrenceEngine eng(p, 2.0);
+  // Equal periods violate t_k = t_{k-1} - c for uniform risk.
+  const auto res = eng.residuals(Schedule::equal_periods(10.0, 4));
+  double max_resid = 0.0;
+  for (double r : res) max_resid = std::max(max_resid, std::abs(r));
+  EXPECT_GT(max_resid, 1e-3);
+}
+
+TEST(Recurrence, NextPeriodMatchesGenerate) {
+  const GeometricRisk p(25.0);
+  const RecurrenceEngine eng(p, 1.5);
+  const auto r = eng.generate(15.0);
+  ASSERT_GE(r.schedule.size(), 2u);
+  const auto t1 = eng.next_period(15.0, 15.0);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_NEAR(*t1, r.schedule[1], 1e-10);
+}
+
+TEST(Recurrence, StopReasonNamesAreDistinct) {
+  EXPECT_STRNE(to_string(StopReason::TargetExhausted),
+               to_string(StopReason::Unproductive));
+  EXPECT_STRNE(to_string(StopReason::HorizonReached),
+               to_string(StopReason::TailNegligible));
+}
+
+// Property sweep: for every family and several t0, the generated schedule is
+// strictly positive, productive except possibly nowhere (all periods > c by
+// construction), ends for a stated reason, and satisfies its own residuals.
+struct GenCase {
+  const char* spec;
+  double c;
+  double t0;
+};
+
+class RecurrenceProperty : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(RecurrenceProperty, GeneratedScheduleWellFormed) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const RecurrenceEngine eng(*p, c);
+  const auto r = eng.generate(GetParam().t0);
+  ASSERT_FALSE(r.schedule.empty());
+  for (double t : r.schedule.periods()) EXPECT_GT(t, c);
+  for (double resid : eng.residuals(r.schedule))
+    EXPECT_NEAR(resid, 0.0, 1e-6);
+  EXPECT_GT(expected_work(r.schedule, *p, c), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecurrenceProperty,
+    ::testing::Values(GenCase{"uniform:L=200", 2.0, 30.0},
+                      GenCase{"uniform:L=200", 2.0, 15.0},
+                      GenCase{"polyrisk:d=2,L=300", 1.0, 60.0},
+                      GenCase{"polyrisk:d=5,L=300", 1.0, 120.0},
+                      GenCase{"geomlife:a=1.05", 0.5, 8.0},
+                      GenCase{"geomrisk:L=40", 1.0, 25.0},
+                      GenCase{"weibull:k=1.4,scale=60", 1.0, 20.0},
+                      GenCase{"pareto:d=2", 1.0, 2.0}));
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,114 @@
+#include "core/schedule.hpp"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace cs {
+namespace {
+
+TEST(PositiveSub, Definition) {
+  EXPECT_DOUBLE_EQ(positive_sub(5.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(positive_sub(3.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(positive_sub(4.0, 4.0), 0.0);
+}
+
+TEST(Schedule, ConstructionAndAccess) {
+  const Schedule s({3.0, 2.0, 1.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[2], 1.0);
+  EXPECT_DOUBLE_EQ(s.total_duration(), 6.0);
+}
+
+TEST(Schedule, EmptySchedule) {
+  const Schedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.total_duration(), 0.0);
+  EXPECT_TRUE(s.end_times().empty());
+}
+
+TEST(Schedule, RejectsNonpositivePeriods) {
+  EXPECT_THROW(Schedule({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Schedule({-1.0}), std::invalid_argument);
+  EXPECT_THROW(Schedule({1.0, std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+  Schedule s({1.0});
+  EXPECT_THROW(s.append(0.0), std::invalid_argument);
+}
+
+TEST(Schedule, EndTimesArePrefixSums) {
+  const Schedule s({4.0, 3.0, 2.0});
+  const auto ends = s.end_times();
+  ASSERT_EQ(ends.size(), 3u);
+  EXPECT_DOUBLE_EQ(ends[0], 4.0);
+  EXPECT_DOUBLE_EQ(ends[1], 7.0);
+  EXPECT_DOUBLE_EQ(ends[2], 9.0);
+  EXPECT_DOUBLE_EQ(s.end_time(1), 7.0);
+  EXPECT_THROW((void)s.end_time(3), std::out_of_range);
+}
+
+TEST(Schedule, EqualPeriodsFactory) {
+  const Schedule s = Schedule::equal_periods(2.5, 4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.total_duration(), 10.0);
+  EXPECT_THROW(Schedule::equal_periods(0.0, 3), std::invalid_argument);
+}
+
+TEST(Schedule, ArithmeticFactoryStopsAtZero) {
+  const Schedule s = Schedule::arithmetic(10.0, 3.0, 100);
+  // 10, 7, 4, 1 — next would be -2.
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[3], 1.0);
+}
+
+TEST(Schedule, ArithmeticFactoryHonorsCap) {
+  const Schedule s = Schedule::arithmetic(10.0, 0.0, 5);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Schedule, ShiftedChangesOnePeriod) {
+  const Schedule s({5.0, 4.0, 3.0});
+  const Schedule t = s.shifted(1, -0.5);
+  EXPECT_DOUBLE_EQ(t[0], 5.0);
+  EXPECT_DOUBLE_EQ(t[1], 3.5);
+  EXPECT_DOUBLE_EQ(t[2], 3.0);
+  // Shift moves all later end times.
+  EXPECT_DOUBLE_EQ(t.end_time(2), 11.5);
+  EXPECT_THROW(s.shifted(3, 1.0), std::out_of_range);
+  EXPECT_THROW(s.shifted(0, -5.0), std::invalid_argument);
+}
+
+TEST(Schedule, PerturbedPreservesLaterEndTimes) {
+  const Schedule s({5.0, 4.0, 3.0});
+  const Schedule t = s.perturbed(0, 1.0);
+  EXPECT_DOUBLE_EQ(t[0], 6.0);
+  EXPECT_DOUBLE_EQ(t[1], 3.0);
+  EXPECT_DOUBLE_EQ(t.end_time(1), s.end_time(1));
+  EXPECT_DOUBLE_EQ(t.end_time(2), s.end_time(2));
+  EXPECT_THROW(s.perturbed(2, 0.1), std::out_of_range);
+  EXPECT_THROW(s.perturbed(0, 4.0), std::invalid_argument);  // t1 -> 0
+}
+
+TEST(Schedule, PrefixTruncates) {
+  const Schedule s({5.0, 4.0, 3.0});
+  const Schedule head = s.prefix(2);
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_DOUBLE_EQ(head.total_duration(), 9.0);
+  EXPECT_EQ(s.prefix(10), s);
+}
+
+TEST(Schedule, ToStringTruncatesLongSchedules) {
+  const Schedule s = Schedule::equal_periods(1.0, 20);
+  const std::string str = s.to_string(3);
+  EXPECT_NE(str.find("(20 periods)"), std::string::npos);
+}
+
+TEST(Schedule, Equality) {
+  EXPECT_EQ(Schedule({1.0, 2.0}), Schedule({1.0, 2.0}));
+  EXPECT_NE(Schedule({1.0, 2.0}), Schedule({1.0, 2.5}));
+}
+
+}  // namespace
+}  // namespace cs

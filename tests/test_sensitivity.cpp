@@ -1,0 +1,82 @@
+// Misestimation sensitivity (exp12's engine).
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(SensitivityToOverhead, ZeroErrorIsUnity) {
+  const UniformRisk p(480.0);
+  const auto pts = sensitivity_to_overhead(p, 4.0, {0.0});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].efficiency, 1.0, 1e-9);
+}
+
+TEST(SensitivityToOverhead, EfficiencyAtMostOne) {
+  const UniformRisk p(480.0);
+  const auto pts =
+      sensitivity_to_overhead(p, 4.0, {-0.5, -0.2, 0.0, 0.2, 0.5, 1.0});
+  for (const auto& pt : pts) {
+    EXPECT_LE(pt.efficiency, 1.0 + 1e-9) << pt.relative_error;
+    EXPECT_GE(pt.efficiency, 0.0) << pt.relative_error;
+  }
+}
+
+TEST(SensitivityToOverhead, GracefulDegradation) {
+  // A 20% error in c must cost little; the guidelines are flat near the
+  // optimum (the factor-2 bracket only costs a few percent, exp5).
+  const UniformRisk p(480.0);
+  const auto pts = sensitivity_to_overhead(p, 4.0, {-0.2, 0.2});
+  for (const auto& pt : pts)
+    EXPECT_GT(pt.efficiency, 0.98) << pt.relative_error;
+}
+
+TEST(SensitivityToOverhead, ExtremeUnderestimateHurtsMore) {
+  const UniformRisk p(480.0);
+  const auto pts = sensitivity_to_overhead(p, 4.0, {-0.9, 0.9});
+  // Underestimating c (too-small chunks: overhead dominates) is worse than
+  // overestimating by the same factor (slightly-too-large chunks).
+  EXPECT_LT(pts[0].efficiency, pts[1].efficiency);
+}
+
+TEST(SensitivityToOverhead, ValidatesArguments) {
+  const UniformRisk p(100.0);
+  EXPECT_THROW(sensitivity_to_overhead(p, 0.0, {0.0}), std::invalid_argument);
+}
+
+TEST(SensitivityToOverhead, NonpositiveAssumedSkipped) {
+  const UniformRisk p(100.0);
+  const auto pts = sensitivity_to_overhead(p, 2.0, {-1.5});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].efficiency, 0.0);  // marked unusable, not crashed
+}
+
+TEST(SensitivityToTimescale, ZeroErrorIsUnity) {
+  const GeometricLifespan p(1.02);
+  const auto pts = sensitivity_to_timescale(p, 1.0, {0.0});
+  EXPECT_NEAR(pts[0].efficiency, 1.0, 1e-9);
+}
+
+TEST(SensitivityToTimescale, MonotoneDegradationAwayFromTruth) {
+  const UniformRisk p(480.0);
+  const auto pts =
+      sensitivity_to_timescale(p, 4.0, {-0.5, -0.25, 0.0, 0.25, 0.5});
+  const double mid = pts[2].efficiency;
+  for (const auto& pt : pts) EXPECT_LE(pt.efficiency, mid + 1e-9);
+  // And large errors cost real work.
+  EXPECT_LT(pts[0].efficiency, 1.0);
+}
+
+TEST(SensitivityToTimescale, MemorylessRobustToScale) {
+  // Scaling a^{-t} in time keeps it memoryless; scheduling with a ±25%
+  // wrong half-life costs only a few percent.
+  const GeometricLifespan p(1.02);
+  const auto pts = sensitivity_to_timescale(p, 1.0, {-0.25, 0.25});
+  for (const auto& pt : pts)
+    EXPECT_GT(pt.efficiency, 0.95) << pt.relative_error;
+}
+
+}  // namespace
+}  // namespace cs

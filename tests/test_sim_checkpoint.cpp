@@ -1,0 +1,104 @@
+// The checkpoint-saves adapter (Section 1 "Remark", Coffman et al. [7]).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_work.hpp"
+#include "lifefn/families.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace cs::sim {
+namespace {
+
+TEST(PlanSaves, CoversRequestedWorkExactly) {
+  const GeometricLifespan failures(std::exp(1.0 / 200.0));
+  const auto plan = plan_saves(failures, 5.0, 600.0);
+  EXPECT_NEAR(plan.planned_work, 600.0, 1e-9);
+  // Payload identity: total duration = work + saves.
+  EXPECT_NEAR(plan.intervals.total_duration(),
+              600.0 + 5.0 * static_cast<double>(plan.intervals.size()), 1e-9);
+}
+
+TEST(PlanSaves, SaveTimesAreEndTimes) {
+  const GeometricLifespan failures(std::exp(1.0 / 100.0));
+  const auto plan = plan_saves(failures, 2.0, 100.0);
+  ASSERT_EQ(plan.save_times.size(), plan.intervals.size());
+  const auto ends = plan.intervals.end_times();
+  for (std::size_t i = 0; i < ends.size(); ++i)
+    EXPECT_DOUBLE_EQ(plan.save_times[i], ends[i]);
+}
+
+TEST(PlanSaves, ExpectedProgressMatchesObjective) {
+  const GeometricLifespan failures(std::exp(1.0 / 150.0));
+  const auto plan = plan_saves(failures, 3.0, 200.0);
+  EXPECT_NEAR(plan.expected_progress,
+              expected_work(plan.intervals, failures, 3.0), 1e-9);
+  EXPECT_GT(plan.expected_progress, 0.0);
+  EXPECT_LT(plan.expected_progress, 200.0);
+}
+
+TEST(PlanSaves, MemorylessGivesEqualIntervals) {
+  const GeometricLifespan failures(std::exp(1.0 / 200.0));
+  const auto plan = plan_saves(failures, 5.0, 1000.0);
+  ASSERT_GE(plan.intervals.size(), 3u);
+  // All intervals but possibly the last (fitted) one are equal.
+  for (std::size_t i = 1; i + 1 < plan.intervals.size(); ++i)
+    EXPECT_NEAR(plan.intervals[i], plan.intervals[0],
+                1e-6 * plan.intervals[0]);
+}
+
+TEST(PlanSaves, ShortWorkSingleInterval) {
+  const GeometricLifespan failures(std::exp(1.0 / 200.0));
+  const auto plan = plan_saves(failures, 5.0, 3.0);
+  ASSERT_EQ(plan.intervals.size(), 1u);
+  EXPECT_NEAR(plan.intervals[0], 8.0, 1e-9);  // 3 work + 5 save
+}
+
+TEST(PlanSaves, ValidatesArguments) {
+  const GeometricLifespan failures(1.01);
+  EXPECT_THROW(plan_saves(failures, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(plan_saves(failures, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ProgressAtFault, StepsAtSaveTimes) {
+  const GeometricLifespan failures(std::exp(1.0 / 100.0));
+  const double s = 2.0;
+  const auto plan = plan_saves(failures, s, 50.0);
+  ASSERT_GE(plan.intervals.size(), 2u);
+  const double first_end = plan.save_times[0];
+  // Fault before the first save completes: nothing committed.
+  EXPECT_DOUBLE_EQ(progress_at_fault(plan, s, first_end * 0.5), 0.0);
+  // Fault just after: the first interval's work is committed.
+  EXPECT_NEAR(progress_at_fault(plan, s, first_end + 1e-9),
+              plan.intervals[0] - s, 1e-9);
+  // Fault after everything: all work committed.
+  EXPECT_NEAR(progress_at_fault(plan, s,
+                                plan.intervals.total_duration() + 1.0),
+              plan.planned_work, 1e-9);
+}
+
+TEST(ProgressAtFault, MonotoneInFaultTime) {
+  const GeometricLifespan failures(std::exp(1.0 / 120.0));
+  const auto plan = plan_saves(failures, 4.0, 300.0);
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = plan.intervals.total_duration() * i / 100.0;
+    const double prog = progress_at_fault(plan, 4.0, t);
+    EXPECT_GE(prog, prev);
+    prev = prog;
+  }
+}
+
+TEST(PlanSaves, BeatsOrTiesNaiveFewSaves) {
+  // Against the same failure law, the guideline-derived plan's expected
+  // committed progress should beat a plan with very few saves (big loss per
+  // fault).
+  const GeometricLifespan failures(std::exp(1.0 / 150.0));
+  const double s = 4.0;
+  const auto plan = plan_saves(failures, s, 400.0);
+  const Schedule naive = Schedule::equal_periods(400.0 / 2.0 + s, 2);
+  EXPECT_GT(plan.expected_progress, expected_work(naive, failures, s));
+}
+
+}  // namespace
+}  // namespace cs::sim

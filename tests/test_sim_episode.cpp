@@ -1,0 +1,134 @@
+// Monte-Carlo episode simulation vs the analytic objective (exp8's core).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_work.hpp"
+#include "core/guideline.hpp"
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+#include "numerics/stats.hpp"
+#include "sim/episode.hpp"
+#include "sim/reclaim.hpp"
+
+namespace cs::sim {
+namespace {
+
+TEST(RunEpisode, DeterministicReplay) {
+  const Schedule s({4.0, 3.0, 2.0});
+  const double c = 1.0;
+  {
+    const auto out = run_episode(s, c, 100.0);  // survives everything
+    EXPECT_DOUBLE_EQ(out.work, 6.0);
+    EXPECT_DOUBLE_EQ(out.overhead, 3.0);
+    EXPECT_DOUBLE_EQ(out.lost, 0.0);
+    EXPECT_EQ(out.completed_periods, 3u);
+  }
+  {
+    const auto out = run_episode(s, c, 5.5);  // dies in period 1
+    EXPECT_DOUBLE_EQ(out.work, 3.0);
+    EXPECT_EQ(out.completed_periods, 1u);
+    EXPECT_DOUBLE_EQ(out.lost, 2.0);  // period 1 payload destroyed
+  }
+  {
+    const auto out = run_episode(s, c, 0.5);  // dies during setup of period 0
+    EXPECT_DOUBLE_EQ(out.work, 0.0);
+    EXPECT_DOUBLE_EQ(out.lost, 0.0);  // nothing shipped yet
+  }
+  {
+    const auto out = run_episode(s, c, 4.0);  // boundary: reclaimed by T_0
+    EXPECT_DOUBLE_EQ(out.work, 0.0);
+    EXPECT_EQ(out.completed_periods, 0u);
+  }
+}
+
+TEST(ReclaimSampler, MatchesSurvivalLaw) {
+  const auto p = cs::make_life_function("uniform:L=100");
+  num::RandomStream rng(11);
+  ReclaimSampler sampler(*p, rng);
+  num::RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(sampler.sample());
+  EXPECT_NEAR(s.mean(), 50.0, 0.5);
+  EXPECT_GE(s.min(), 0.0);
+  EXPECT_LE(s.max(), 100.0);
+}
+
+TEST(MonteCarlo, DeterministicAcrossRuns) {
+  const auto p = cs::make_life_function("uniform:L=100");
+  const Schedule s({20.0, 15.0});
+  MonteCarloOptions opt;
+  opt.episodes = 10000;
+  const auto a = monte_carlo_episodes(s, *p, 2.0, opt);
+  const auto b = monte_carlo_episodes(s, *p, 2.0, opt);
+  EXPECT_DOUBLE_EQ(a.work.mean(), b.work.mean());
+}
+
+TEST(MonteCarlo, SerialMatchesParallel) {
+  const auto p = cs::make_life_function("geomlife:a=1.05");
+  const Schedule s = Schedule::equal_periods(15.0, 10);
+  MonteCarloOptions par_opt;
+  par_opt.episodes = 20000;
+  MonteCarloOptions ser_opt = par_opt;
+  ser_opt.parallel = false;
+  const auto par = monte_carlo_episodes(s, *p, 1.0, par_opt);
+  const auto ser = monte_carlo_episodes(s, *p, 1.0, ser_opt);
+  EXPECT_DOUBLE_EQ(par.work.mean(), ser.work.mean());
+  EXPECT_EQ(par.work.count(), ser.work.count());
+}
+
+TEST(MonteCarlo, SeedChangesResults) {
+  const auto p = cs::make_life_function("uniform:L=100");
+  const Schedule s({20.0, 15.0});
+  MonteCarloOptions a_opt;
+  a_opt.episodes = 5000;
+  MonteCarloOptions b_opt = a_opt;
+  b_opt.seed = a_opt.seed + 1;
+  EXPECT_NE(monte_carlo_episodes(s, *p, 2.0, a_opt).work.mean(),
+            monte_carlo_episodes(s, *p, 2.0, b_opt).work.mean());
+}
+
+TEST(MonteCarlo, OverheadAndPeriodsAccounted) {
+  const auto p = cs::make_life_function("uniform:L=1000");
+  // Tiny risk over the schedule's span: almost every episode completes all
+  // periods.
+  const Schedule s({5.0, 5.0});
+  MonteCarloOptions opt;
+  opt.episodes = 20000;
+  const auto r = monte_carlo_episodes(s, *p, 1.0, opt);
+  EXPECT_NEAR(r.periods.mean(), 2.0, 0.05);
+  EXPECT_NEAR(r.overhead.mean(), 2.0, 0.05);
+}
+
+// The law-of-large-numbers property across families: simulated mean work
+// lands in the 99.9% CI of the analytic E(S;p).
+struct McCase {
+  const char* spec;
+  double c;
+};
+
+class MonteCarloMatchesAnalytic : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(MonteCarloMatchesAnalytic, WithinConfidenceInterval) {
+  const auto p = cs::make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const auto g = cs::GuidelineScheduler(*p, c).run();
+  ASSERT_FALSE(g.schedule.empty());
+  MonteCarloOptions opt;
+  opt.episodes = 150000;
+  const auto mc = monte_carlo_episodes(g.schedule, *p, c, opt);
+  const auto ci = num::confidence_interval(mc.work, 3.89);  // ~99.99%
+  EXPECT_TRUE(ci.contains(g.expected))
+      << "analytic " << g.expected << " vs CI [" << ci.lo << ", " << ci.hi
+      << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MonteCarloMatchesAnalytic,
+    ::testing::Values(McCase{"uniform:L=480", 4.0},
+                      McCase{"polyrisk:d=3,L=300", 2.0},
+                      McCase{"geomlife:a=1.05", 1.0},
+                      McCase{"geomrisk:L=40", 1.0},
+                      McCase{"weibull:k=1.5,scale=60", 1.0}));
+
+}  // namespace
+}  // namespace cs::sim

@@ -1,0 +1,161 @@
+// The farm discrete-event simulation (exp11's engine).
+#include <gtest/gtest.h>
+
+#include "lifefn/families.hpp"
+#include "sim/farm.hpp"
+
+namespace cs::sim {
+namespace {
+
+FarmOptions small_farm_options(std::size_t tasks = 500) {
+  FarmOptions opt;
+  opt.task_count = tasks;
+  opt.profile = {.kind = TaskProfile::Kind::Fixed, .mean = 1.0};
+  opt.seed = 42;
+  return opt;
+}
+
+TEST(Farm, DrainsBagWithGuidelinePolicy) {
+  const UniformRisk life(200.0);
+  auto stations = homogeneous_farm(4, life, 2.0, 50.0);
+  const auto policy = make_guideline_policy();
+  const auto r = run_farm(stations, *policy, small_farm_options());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks_done, 500u);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_NEAR(r.work_done, 500.0, 1e-9);  // fixed task durations of 1.0
+  EXPECT_EQ(r.stations.size(), 4u);
+}
+
+TEST(Farm, DeterministicForFixedSeed) {
+  const UniformRisk life(200.0);
+  const auto policy = make_guideline_policy();
+  auto s1 = homogeneous_farm(3, life, 2.0, 50.0);
+  auto s2 = homogeneous_farm(3, life, 2.0, 50.0);
+  const auto r1 = run_farm(s1, *policy, small_farm_options());
+  const auto r2 = run_farm(s2, *policy, small_farm_options());
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.tasks_done, r2.tasks_done);
+  EXPECT_DOUBLE_EQ(r1.lost, r2.lost);
+}
+
+TEST(Farm, StationStatsSumToTotals) {
+  const GeometricLifespan life(1.02);
+  auto stations = homogeneous_farm(3, life, 1.0, 30.0);
+  const auto policy = make_best_fixed_policy();
+  const auto r = run_farm(stations, *policy, small_farm_options());
+  std::size_t tasks = 0;
+  double work = 0.0, lost = 0.0, overhead = 0.0;
+  for (const auto& ws : r.stations) {
+    tasks += ws.tasks_done;
+    work += ws.work_done;
+    lost += ws.lost;
+    overhead += ws.overhead;
+  }
+  EXPECT_EQ(tasks, r.tasks_done);
+  EXPECT_DOUBLE_EQ(work, r.work_done);
+  EXPECT_DOUBLE_EQ(lost, r.lost);
+  EXPECT_DOUBLE_EQ(overhead, r.overhead);
+}
+
+TEST(Farm, MoreStationsFinishFaster) {
+  const UniformRisk life(200.0);
+  const auto policy = make_guideline_policy();
+  auto few = homogeneous_farm(2, life, 2.0, 50.0);
+  auto many = homogeneous_farm(8, life, 2.0, 50.0);
+  const auto opt = small_farm_options(2000);
+  const auto r_few = run_farm(few, *policy, opt);
+  const auto r_many = run_farm(many, *policy, opt);
+  ASSERT_TRUE(r_few.completed);
+  ASSERT_TRUE(r_many.completed);
+  EXPECT_LT(r_many.makespan, r_few.makespan);
+}
+
+TEST(Farm, HorizonCapStopsSimulation) {
+  const UniformRisk life(200.0);
+  auto stations = homogeneous_farm(1, life, 2.0, 50.0);
+  auto opt = small_farm_options(100000);
+  opt.sim_horizon = 100.0;  // far too short to finish
+  const auto policy = make_guideline_policy();
+  const auto r = run_farm(stations, *policy, opt);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LT(r.tasks_done, 100000u);
+}
+
+TEST(Farm, ImpossibleTaskDoesNotHang) {
+  // A task longer than every period payload: the farm must terminate via
+  // its event cap / horizon, not loop forever.
+  const UniformRisk life(10.0);
+  auto stations = homogeneous_farm(2, life, 2.0, 10.0);
+  FarmOptions opt;
+  opt.task_count = 10;
+  opt.profile = {.kind = TaskProfile::Kind::Fixed, .mean = 50.0};  // > L
+  opt.sim_horizon = 5000.0;
+  opt.seed = 3;
+  const auto policy = make_guideline_policy();
+  const auto r = run_farm(stations, *policy, opt);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.tasks_done, 0u);
+}
+
+TEST(Farm, InterruptedWorkIsReissued) {
+  // Risky stations lose periods, but the bag must still drain completely —
+  // interrupted tasks return and are re-run.
+  const GeometricRisk life(15.0);  // short, increasingly risky episodes
+  auto stations = homogeneous_farm(4, life, 1.0, 10.0);
+  const auto policy = make_best_fixed_policy();
+  const auto r = run_farm(stations, *policy, small_farm_options(300));
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks_done, 300u);
+  std::size_t interrupts = 0;
+  for (const auto& ws : r.stations) interrupts += ws.interrupted_periods;
+  EXPECT_GT(interrupts, 0u);  // the draconian contract did bite
+  EXPECT_GT(r.lost, 0.0);
+}
+
+TEST(Farm, RejectsEmptyStationList) {
+  std::vector<WorkstationConfig> none;
+  const auto policy = make_guideline_policy();
+  EXPECT_THROW(run_farm(none, *policy, small_farm_options()),
+               std::invalid_argument);
+}
+
+TEST(HomogeneousFarm, BuildsLabeledClones) {
+  const UniformRisk life(100.0);
+  const auto stations = homogeneous_farm(3, life, 1.5, 20.0);
+  ASSERT_EQ(stations.size(), 3u);
+  EXPECT_EQ(stations[0].label, "ws0");
+  EXPECT_EQ(stations[2].label, "ws2");
+  for (const auto& ws : stations) {
+    EXPECT_DOUBLE_EQ(ws.c, 1.5);
+    EXPECT_DOUBLE_EQ(ws.life->survival(50.0), 0.5);
+  }
+}
+
+TEST(Policy, FactoryByName) {
+  for (const char* name :
+       {"guideline", "greedy", "best-fixed", "doubling", "all-at-once", "dp"}) {
+    const auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_THROW(make_policy("quantum"), std::invalid_argument);
+}
+
+TEST(Policy, FixedPolicyUsesGivenChunk) {
+  const auto policy = make_fixed_policy(7.0);
+  const UniformRisk life(100.0);
+  const Schedule s = policy->make_schedule(life, 1.0);
+  EXPECT_DOUBLE_EQ(s[0], 7.0);
+  EXPECT_THROW(make_fixed_policy(0.0), std::invalid_argument);
+}
+
+TEST(Policy, SchedulesDifferAcrossPolicies) {
+  const UniformRisk life(480.0);
+  const auto g = make_guideline_policy()->make_schedule(life, 4.0);
+  const auto d = make_doubling_policy()->make_schedule(life, 4.0);
+  EXPECT_NE(g.periods(), d.periods());
+}
+
+}  // namespace
+}  // namespace cs::sim

@@ -1,0 +1,62 @@
+// The explicit -> folded communication-cost reduction (Section 2.1's
+// architecture-independent model).
+#include <gtest/gtest.h>
+
+#include "numerics/rng.hpp"
+#include "sim/network.hpp"
+
+namespace cs::sim {
+namespace {
+
+TEST(Network, EffectiveOverheadIsTwoSetups) {
+  EXPECT_DOUBLE_EQ(effective_overhead({.setup = 3.0, .per_byte = 0.1}), 6.0);
+  EXPECT_DOUBLE_EQ(effective_overhead({.setup = 0.0, .per_byte = 1.0}), 0.0);
+}
+
+TEST(Network, EffectiveTaskDurationFoldsBytes) {
+  const CommCostModel m{.setup = 1.0, .per_byte = 0.01};
+  const TaskShape t{.compute = 5.0, .bytes_in = 100.0, .bytes_out = 50.0};
+  EXPECT_DOUBLE_EQ(effective_task_duration(m, t), 5.0 + 1.5);
+}
+
+TEST(Network, ExplicitPeriodAccountsMessagesOnce) {
+  const CommCostModel m{.setup = 2.0, .per_byte = 0.1};
+  const std::vector<TaskShape> tasks{{1.0, 10.0, 5.0}, {2.0, 20.0, 10.0}};
+  // ship: 2 + 0.1*30 = 5; compute: 3; collect: 2 + 0.1*15 = 3.5.
+  EXPECT_DOUBLE_EQ(explicit_period_time(m, tasks), 11.5);
+}
+
+TEST(Network, FoldIdentityExact) {
+  // The paper's reduction: folding byte costs into task durations and both
+  // setups into c leaves period times unchanged — exactly.
+  const CommCostModel m{.setup = 0.75, .per_byte = 3.2e-6};
+  num::RandomStream rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<TaskShape> tasks;
+    const auto n = 1 + rng.below(20);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      tasks.push_back({rng.uniform(0.1, 5.0), rng.uniform(0.0, 1e6),
+                       rng.uniform(0.0, 1e5)});
+    }
+    EXPECT_LT(fold_identity_error(m, tasks), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Network, EmptyPeriodIsJustOverhead) {
+  const CommCostModel m{.setup = 1.5, .per_byte = 0.1};
+  EXPECT_DOUBLE_EQ(explicit_period_time(m, {}), 3.0);
+  EXPECT_DOUBLE_EQ(folded_period_time(m, {}), 3.0);
+}
+
+TEST(Network, ValidatesInputs) {
+  EXPECT_THROW((void)effective_overhead({.setup = -1.0, .per_byte = 0.0}),
+               std::invalid_argument);
+  const CommCostModel m{};
+  EXPECT_THROW(
+      (void)effective_task_duration(m, {.compute = -1.0, .bytes_in = 0.0,
+                                  .bytes_out = 0.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs::sim

@@ -1,0 +1,102 @@
+#include "sim/task_bag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numerics/stats.hpp"
+
+namespace cs::sim {
+namespace {
+
+TEST(TaskProfile, FixedDurations) {
+  num::RandomStream rng(1);
+  const auto d = generate_task_durations(5, {.kind = TaskProfile::Kind::Fixed,
+                                             .mean = 2.5},
+                                         rng);
+  ASSERT_EQ(d.size(), 5u);
+  for (double x : d) EXPECT_DOUBLE_EQ(x, 2.5);
+}
+
+TEST(TaskProfile, UniformWithinBounds) {
+  num::RandomStream rng(2);
+  const auto d = generate_task_durations(
+      1000, {.kind = TaskProfile::Kind::Uniform, .mean = 4.0, .spread = 0.5},
+      rng);
+  for (double x : d) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 6.0);
+  }
+  num::RunningStats s;
+  for (double x : d) s.add(x);
+  EXPECT_NEAR(s.mean(), 4.0, 0.15);
+}
+
+TEST(TaskProfile, BimodalTwoValues) {
+  num::RandomStream rng(3);
+  const auto d = generate_task_durations(
+      500, {.kind = TaskProfile::Kind::Bimodal, .mean = 2.0}, rng);
+  int shorts = 0, longs = 0;
+  for (double x : d) {
+    if (x == 1.0) ++shorts;
+    else if (x == 4.0) ++longs;
+    else FAIL() << "unexpected duration " << x;
+  }
+  EXPECT_GT(shorts, 150);
+  EXPECT_GT(longs, 150);
+}
+
+TEST(TaskProfile, ValidatesParameters) {
+  num::RandomStream rng(4);
+  EXPECT_THROW(generate_task_durations(
+                   1, {.kind = TaskProfile::Kind::Fixed, .mean = 0.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      generate_task_durations(
+          1, {.kind = TaskProfile::Kind::Uniform, .mean = 1.0, .spread = 1.5},
+          rng),
+      std::invalid_argument);
+}
+
+TEST(TaskBag, DrawRespectsBudget) {
+  num::RandomStream rng(5);
+  TaskBag bag(10, {.kind = TaskProfile::Kind::Fixed, .mean = 2.0}, rng);
+  EXPECT_EQ(bag.size(), 10u);
+  EXPECT_DOUBLE_EQ(bag.remaining_work(), 20.0);
+  const auto drawn = bag.draw(7.0);  // fits 3 tasks of 2.0
+  EXPECT_EQ(drawn.size(), 3u);
+  EXPECT_EQ(bag.size(), 7u);
+  EXPECT_DOUBLE_EQ(bag.remaining_work(), 14.0);
+}
+
+TEST(TaskBag, DrawNothingWhenFirstTaskTooBig) {
+  num::RandomStream rng(6);
+  TaskBag bag(3, {.kind = TaskProfile::Kind::Fixed, .mean = 5.0}, rng);
+  EXPECT_TRUE(bag.draw(4.9).empty());
+  EXPECT_EQ(bag.size(), 3u);
+}
+
+TEST(TaskBag, PutBackRestoresFrontOrder) {
+  num::RandomStream rng(7);
+  TaskBag bag(4, {.kind = TaskProfile::Kind::Fixed, .mean = 1.0}, rng);
+  auto drawn = bag.draw(2.0);
+  ASSERT_EQ(drawn.size(), 2u);
+  bag.put_back(drawn);
+  EXPECT_EQ(bag.size(), 4u);
+  EXPECT_DOUBLE_EQ(bag.remaining_work(), 4.0);
+  // Draw everything: total must be conserved.
+  const auto all = bag.draw(100.0);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_TRUE(bag.empty());
+  EXPECT_DOUBLE_EQ(bag.remaining_work(), 0.0);
+}
+
+TEST(TaskBag, EmptyBagBehaves) {
+  TaskBag bag;
+  EXPECT_TRUE(bag.empty());
+  EXPECT_TRUE(bag.draw(10.0).empty());
+  bag.put_back({1.5});
+  EXPECT_EQ(bag.size(), 1u);
+  EXPECT_DOUBLE_EQ(bag.remaining_work(), 1.5);
+}
+
+}  // namespace
+}  // namespace cs::sim

@@ -1,0 +1,90 @@
+// Renewal-reward steady state, cross-checked against the farm DES.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/guideline.hpp"
+#include "core/steady_state.hpp"
+#include "lifefn/families.hpp"
+#include "sim/farm.hpp"
+
+namespace cs {
+namespace {
+
+TEST(SteadyState, HandComputedUniform) {
+  const UniformRisk p(10.0);
+  const Schedule s({4.0, 3.0});
+  const double c = 1.0;
+  // E(S;p) = 3*0.6 + 2*0.3 = 2.4; E[R] = 5; gap = 5 -> rate = 0.24.
+  const auto ss = steady_state(s, p, c, 5.0);
+  EXPECT_NEAR(ss.work_per_episode, 2.4, 1e-12);
+  EXPECT_NEAR(ss.mean_episode, 5.0, 1e-9);
+  EXPECT_NEAR(ss.work_rate, 0.24, 1e-9);
+  EXPECT_NEAR(ss.utilization, 0.48, 1e-9);
+}
+
+TEST(SteadyState, ZeroGapMaximizesRate) {
+  const UniformRisk p(100.0);
+  const auto g = GuidelineScheduler(p, 2.0).run();
+  const auto busy = steady_state(g.schedule, p, 2.0, 50.0);
+  const auto free = steady_state(g.schedule, p, 2.0, 0.0);
+  EXPECT_GT(free.work_rate, busy.work_rate);
+  EXPECT_DOUBLE_EQ(free.utilization, busy.utilization);
+}
+
+TEST(SteadyState, MaximizingPerEpisodeMaximizesRate) {
+  // The renewal identity: the episode denominator is schedule-independent,
+  // so the E(S;p)-optimal schedule is also rate-optimal.
+  const UniformRisk p(240.0);
+  const double c = 2.0;
+  const auto good = GuidelineScheduler(p, c).run().schedule;
+  const Schedule bad = Schedule::equal_periods(120.0, 2);
+  EXPECT_GT(steady_state(good, p, c, 30.0).work_rate,
+            steady_state(bad, p, c, 30.0).work_rate);
+}
+
+TEST(SteadyState, ValidatesArguments) {
+  const UniformRisk p(10.0);
+  EXPECT_THROW((void)steady_state(Schedule({1.0}), p, 0.5, -1.0),
+               std::invalid_argument);
+}
+
+TEST(FluidCompletionTime, ScalesInverselyWithStations) {
+  const UniformRisk p(240.0);
+  const auto g = GuidelineScheduler(p, 2.0).run();
+  const auto ss = steady_state(g.schedule, p, 2.0, 60.0);
+  const double t1 = fluid_completion_time(ss, 10000.0, 1);
+  const double t4 = fluid_completion_time(ss, 10000.0, 4);
+  EXPECT_NEAR(t1 / 4.0, t4, 1e-9);
+  EXPECT_THROW((void)fluid_completion_time(ss, 100.0, 0), std::invalid_argument);
+}
+
+TEST(FluidCompletionTime, PredictsFarmMakespan) {
+  // The DES farm with many tasks should land near the fluid prediction
+  // (within ~25%: the fluid model ignores end-game and bag-contention
+  // effects).
+  const UniformRisk life(240.0);
+  const double c = 2.0;
+  const double gap = 60.0;
+  const std::size_t n = 8;
+  const std::size_t tasks = 20000;
+
+  const auto g = GuidelineScheduler(life, c).run();
+  const auto ss = steady_state(g.schedule, life, c, gap);
+  const double predicted =
+      fluid_completion_time(ss, static_cast<double>(tasks), n);
+
+  auto stations = sim::homogeneous_farm(n, life, c, gap);
+  const auto policy = sim::make_guideline_policy();
+  sim::FarmOptions opt;
+  opt.task_count = tasks;
+  opt.profile = {.kind = sim::TaskProfile::Kind::Fixed, .mean = 1.0};
+  opt.seed = 77;
+  const auto farm = sim::run_farm(stations, *policy, opt);
+  ASSERT_TRUE(farm.completed);
+  EXPECT_NEAR(farm.makespan, predicted, 0.25 * predicted)
+      << "fluid " << predicted << " vs DES " << farm.makespan;
+}
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,183 @@
+// Section 5: structural properties of optimal schedules.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_work.hpp"
+#include "core/guideline.hpp"
+#include "core/recurrence.hpp"
+#include "core/structure.hpp"
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Theorem52, ConcaveDecrementCheckDetectsViolation) {
+  // 10, 8 with c = 1: 8 > 10 - 1 = 9? no. 10, 9.5: 9.5 > 9 yes -> violation.
+  EXPECT_TRUE(check_concave_decrement(Schedule({10.0, 9.0}), 1.0).holds);
+  const auto bad = check_concave_decrement(Schedule({10.0, 9.5}), 1.0);
+  EXPECT_FALSE(bad.holds);
+  EXPECT_EQ(bad.violating_index, 0u);
+  EXPECT_NEAR(bad.violation, 0.5, 1e-12);
+}
+
+TEST(Theorem52, ConvexGrowthCheckDetectsViolation) {
+  EXPECT_TRUE(check_convex_growth(Schedule({10.0, 9.5}), 1.0).holds);
+  const auto bad = check_convex_growth(Schedule({10.0, 8.0}), 1.0);
+  EXPECT_FALSE(bad.holds);
+  EXPECT_NEAR(bad.violation, 1.0, 1e-12);
+}
+
+TEST(Theorem52, SingleAndEmptySchedulesTriviallyPass) {
+  EXPECT_TRUE(check_concave_decrement(Schedule({5.0}), 1.0).holds);
+  EXPECT_TRUE(check_concave_decrement(Schedule(), 1.0).holds);
+  EXPECT_TRUE(check_convex_growth(Schedule({5.0}), 1.0).holds);
+}
+
+TEST(Corollary51, StrictDecreaseCheck) {
+  EXPECT_TRUE(check_strictly_decreasing(Schedule({5.0, 4.0, 3.0})).holds);
+  EXPECT_FALSE(check_strictly_decreasing(Schedule({5.0, 5.0})).holds);
+  EXPECT_FALSE(check_strictly_decreasing(Schedule({5.0, 6.0})).holds);
+}
+
+TEST(Corollary52, PeriodCountBound) {
+  EXPECT_EQ(cor52_max_periods(10.0, 2.0), 5u);
+  EXPECT_EQ(cor52_max_periods(9.9, 2.0), 4u);
+  EXPECT_EQ(cor52_max_periods(0.0, 2.0), 0u);
+  EXPECT_THROW((void)cor52_max_periods(5.0, 0.0), std::invalid_argument);
+}
+
+TEST(Corollary53, ClosedForm) {
+  // m < ceil(sqrt(2L/c + 1/4) + 1/2); for L=480, c=4: sqrt(240.25)+0.5 =
+  // 16.0 -> ceil 16 -> max m = 15... sqrt(240.25) = 15.5001..., +0.5 =
+  // 16.0001 -> ceil = 17, max admissible 16.
+  const std::size_t m = cor53_max_periods(480.0, 4.0);
+  const double bound = std::ceil(std::sqrt(2.0 * 480.0 / 4.0 + 0.25) + 0.5);
+  EXPECT_EQ(m, static_cast<std::size_t>(bound) - 1);
+  EXPECT_THROW((void)cor53_max_periods(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Corollary53, TightForUniformRisk) {
+  // [3]: for p = 1 - t/L the optimal m equals (5.8) with floors; our
+  // optimal-search period count must be within the corollary bound and
+  // close to it.
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  const std::size_t bound = cor53_max_periods(480.0, 4.0);
+  EXPECT_LE(g.schedule.size(), bound);
+  // The floor form counts marginal trailing periods of length ~c that add no
+  // work; the searched optimum drops them, so it sits a couple below.
+  const auto floor_form = static_cast<std::size_t>(
+      std::floor(std::sqrt(2.0 * 480.0 / 4.0 + 0.25) + 0.5));
+  EXPECT_GE(g.schedule.size() + 3, floor_form);
+}
+
+TEST(Corollary54, T0LowerBoundFormula) {
+  EXPECT_DOUBLE_EQ(cor54_t0_lower(480.0, 15, 4.0), 480.0 / 15.0 + 28.0);
+  EXPECT_THROW((void)cor54_t0_lower(480.0, 0, 4.0), std::invalid_argument);
+}
+
+TEST(Corollary54, HoldsForGuidelineUniformOptimum) {
+  // Cor 5.4's derivation uses the schedule's own span (the optimal schedule
+  // may deliberately stop short of L, Sec. 2.1), so test with the span.
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  EXPECT_GE(g.chosen_t0 + 1e-6,
+            cor54_t0_lower(g.schedule.total_duration(), g.schedule.size(), c));
+}
+
+TEST(Theorem51, RecurrenceScheduleBeatsPerturbationsConcave) {
+  // Theorem 5.1: (3.6)-satisfying schedules beat every [k, ±δ]-perturbation
+  // under concave p.
+  const PolynomialRisk p(2, 400.0);
+  const double c = 2.0;
+  const auto r = RecurrenceEngine(p, c).generate(90.0);
+  ASSERT_GE(r.schedule.size(), 3u);
+  const auto lo = check_local_optimality(r.schedule, p, c,
+                                         {1e-4, 1e-3, 1e-2, 1e-1});
+  EXPECT_TRUE(lo.locally_optimal)
+      << "gain " << lo.best_gain << " at k=" << lo.index
+      << " delta=" << lo.delta;
+}
+
+TEST(Theorem51, DetectsNonOptimalSchedule) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  // Increasing periods grossly violate optimality for concave p.
+  const Schedule bad({40.0, 80.0, 120.0});
+  const auto lo = check_local_optimality(bad, p, c, {1.0, 5.0});
+  EXPECT_FALSE(lo.locally_optimal);
+  EXPECT_GT(lo.best_gain, 0.0);
+}
+
+TEST(LocalOptimality, ShortSchedulesTrivial) {
+  const UniformRisk p(100.0);
+  EXPECT_TRUE(check_local_optimality(Schedule({10.0}), p, 1.0).locally_optimal);
+  EXPECT_TRUE(check_local_optimality(Schedule(), p, 1.0).locally_optimal);
+}
+
+TEST(ShiftGain, OptimalScheduleResistsShifts) {
+  // Theorem 3.1's proof compares S with its shifts: at the optimum every
+  // shift must not help.
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const auto g = GuidelineScheduler(p, c).run();
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}}) {
+    for (double d : {-0.5, 0.5}) {
+      EXPECT_GE(shift_gain(g.schedule, p, c, k, d), -1e-6)
+          << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(ShiftGain, BadScheduleImprovableByShift) {
+  const UniformRisk p(480.0);
+  const double c = 4.0;
+  const Schedule bad({200.0, 100.0});
+  bool improvable = false;
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}})
+    for (double d : {-40.0, -20.0, 20.0, 40.0})
+      if (shift_gain(bad, p, c, k, d) < -1e-9) improvable = true;
+  EXPECT_TRUE(improvable);
+}
+
+// Property sweep: guideline schedules satisfy the Theorem 5.2 bound of
+// their shape class across families/overheads.
+struct StructCase {
+  const char* spec;
+  double c;
+  bool concave;
+};
+
+class GuidelineStructure : public ::testing::TestWithParam<StructCase> {};
+
+TEST_P(GuidelineStructure, Theorem52OnGuidelineSchedules) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const auto g = GuidelineScheduler(*p, c).run();
+  ASSERT_GE(g.schedule.size(), 2u);
+  if (GetParam().concave) {
+    EXPECT_TRUE(check_concave_decrement(g.schedule, c, 1e-6).holds);
+    EXPECT_TRUE(check_strictly_decreasing(g.schedule, 1e-9).holds);
+    // Corollary 5.2: m <= t0 / c.
+    EXPECT_LE(g.schedule.size(), cor52_max_periods(g.chosen_t0, c) + 1);
+  } else {
+    EXPECT_TRUE(check_convex_growth(g.schedule, c, 1e-6).holds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuidelineStructure,
+    ::testing::Values(StructCase{"uniform:L=480", 4.0, true},
+                      StructCase{"uniform:L=120", 1.0, true},
+                      StructCase{"polyrisk:d=2,L=400", 2.0, true},
+                      StructCase{"polyrisk:d=6,L=400", 2.0, true},
+                      StructCase{"geomrisk:L=30", 1.0, true},
+                      StructCase{"geomlife:a=1.02", 1.0, false},
+                      StructCase{"geomlife:a=1.15", 2.0, false}));
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,159 @@
+// Theorems 3.2 / 3.3, Lemma 3.1, Corollary 5.5 — the t0 bracket.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dp_reference.hpp"
+#include "core/t0_bounds.hpp"
+#include "lifefn/factory.hpp"
+#include "lifefn/families.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Thm32Lower, UniformRiskIsSqrtCL) {
+  // Section 4.1 eq. (4.4): lower bound sqrt(cL) exactly.
+  for (double L : {100.0, 480.0, 2000.0}) {
+    for (double c : {1.0, 4.0, 9.0}) {
+      const UniformRisk p(L);
+      EXPECT_NEAR(thm32_lower_bound(p, c), std::sqrt(c * L),
+                  1e-3 * std::sqrt(c * L))
+          << "L=" << L << " c=" << c;
+    }
+  }
+}
+
+TEST(Thm32Lower, GeometricLifespanClosedForm) {
+  // Section 4.2: lower bound sqrt(c^2/4 + c/ln a) + c/2.
+  for (double a : {1.01, 1.05, 1.2}) {
+    const GeometricLifespan p(a);
+    const double c = 1.0;
+    const double expect = std::sqrt(0.25 + 1.0 / p.ln_a()) + 0.5;
+    EXPECT_NEAR(thm32_lower_bound(p, c), expect, 1e-4 * expect) << "a=" << a;
+  }
+}
+
+TEST(Thm32Lower, RejectsNonpositiveC) {
+  const UniformRisk p(100.0);
+  EXPECT_THROW((void)thm32_lower_bound(p, 0.0), std::invalid_argument);
+}
+
+TEST(Thm33Upper, UniformRiskNearTwiceSqrtCL) {
+  // Section 4.1 eq. (4.4): upper bound 2 sqrt(cL) + 1; the exact crossing of
+  // (3.13)/(3.14) is slightly tighter: t^2 + 2ct = 4cL.
+  const double L = 480.0, c = 4.0;
+  const UniformRisk p(L);
+  const auto ub = thm33_upper_bound(p, c);
+  ASSERT_TRUE(ub.has_value());
+  const double exact = -c + std::sqrt(c * c + 4.0 * c * L);
+  EXPECT_NEAR(*ub, exact, 1e-3 * exact);
+  EXPECT_LE(*ub, 2.0 * std::sqrt(c * L) + 1.0 + 1e-6);
+}
+
+TEST(Thm33Upper, GeometricLifespanConstantRhs) {
+  // For convex a^{-t}, -p/p' = 1/ln a everywhere, so the bound is exactly
+  // 2 sqrt(c^2/4 + c/ln a) + c.
+  const GeometricLifespan p(1.02);
+  const double c = 1.0;
+  const auto ub = thm33_upper_bound(p, c);
+  ASSERT_TRUE(ub.has_value());
+  const double expect = 2.0 * std::sqrt(0.25 + 1.0 / p.ln_a()) + 1.0;
+  EXPECT_NEAR(*ub, expect, 1e-4 * expect);
+}
+
+TEST(Thm33Upper, GeneralShapeGivesNullopt) {
+  const Weibull w(1.8, 50.0);
+  EXPECT_FALSE(thm33_upper_bound(w, 1.0).has_value());
+}
+
+TEST(Lemma31Upper, GeometricLifespanMatchesPaper) {
+  // Section 4.2: the Lemma 3.1 route gives t0 <= c + 1/ln a; our numeric
+  // bound is the sharpest instantiation, hence <= the paper's and >= t*.
+  for (double a : {1.01, 1.05}) {
+    const GeometricLifespan p(a);
+    const double c = 1.0;
+    const double ub = lemma31_upper_bound(p, c);
+    EXPECT_LE(ub, c + 1.0 / p.ln_a() + 1e-6) << "a=" << a;
+    EXPECT_GT(ub, c) << "a=" << a;
+  }
+}
+
+TEST(Cor55Lower, OnlyForConcaveBounded) {
+  EXPECT_TRUE(cor55_lower_bound(PolynomialRisk(3, 100.0), 2.0).has_value());
+  EXPECT_TRUE(cor55_lower_bound(UniformRisk(100.0), 2.0).has_value());
+  EXPECT_FALSE(cor55_lower_bound(GeometricLifespan(1.05), 2.0).has_value());
+  EXPECT_FALSE(cor55_lower_bound(Weibull(2.0, 50.0), 2.0).has_value());
+}
+
+TEST(Cor55Lower, ClosedForm) {
+  const auto lb = cor55_lower_bound(UniformRisk(200.0), 4.0);
+  ASSERT_TRUE(lb.has_value());
+  EXPECT_DOUBLE_EQ(*lb, std::sqrt(0.5 * 4.0 * 200.0) + 3.0);
+}
+
+TEST(Bracket, RequiresPositiveC) {
+  const UniformRisk p(100.0);
+  EXPECT_THROW((void)guideline_t0_bracket(p, 0.0), std::invalid_argument);
+}
+
+TEST(Bracket, PolyFamilyScalingLaw) {
+  // Section 4.1: t0 ~ (c/d)^{1/(d+1)} L^{d/(d+1)} with bracket ratio <~ 2.
+  const double L = 1000.0, c = 2.0;
+  for (int d : {1, 2, 3, 4, 6}) {
+    const PolynomialRisk p(d, L);
+    const auto b = guideline_t0_bracket(p, c);
+    const double scale =
+        std::pow(c / d, 1.0 / (d + 1)) * std::pow(L, double(d) / (d + 1));
+    EXPECT_GT(b.lower, 0.8 * scale) << "d=" << d;
+    EXPECT_LT(b.upper, 2.0 * scale + c + 1.0) << "d=" << d;
+    EXPECT_LE(b.ratio(), 2.2) << "d=" << d;
+  }
+}
+
+// Property: the bracket brackets the *true* optimal t0 (from the DP
+// reference) across families — the headline guarantee of Section 3.3.
+struct BracketCase {
+  const char* spec;
+  double c;
+};
+
+class BracketContainsOptimal : public ::testing::TestWithParam<BracketCase> {};
+
+TEST_P(BracketContainsOptimal, DpOptimalT0InsideBracket) {
+  const auto p = make_life_function(GetParam().spec);
+  const double c = GetParam().c;
+  const auto b = guideline_t0_bracket(*p, c);
+  ASSERT_GT(b.upper, 0.0);
+  ASSERT_GE(b.upper, b.lower);
+  DpOptions opt;
+  opt.grid_points = 4096;
+  const auto dp = dp_reference(*p, c, opt);
+  ASSERT_FALSE(dp.schedule.empty());
+  const double t0_star = dp.schedule[0];
+  // Allow a small tolerance for DP discretization.
+  const double tol = 0.05 * (b.upper - b.lower) + 0.05 * t0_star;
+  EXPECT_GE(t0_star, b.lower - tol) << "bracket=[" << b.lower << "," << b.upper << "]";
+  EXPECT_LE(t0_star, b.upper + tol) << "bracket=[" << b.lower << "," << b.upper << "]";
+}
+
+TEST_P(BracketContainsOptimal, BracketWithinFactorTwoPlus) {
+  const auto p = make_life_function(GetParam().spec);
+  const auto b = guideline_t0_bracket(*p, GetParam().c);
+  // The paper: "bracket t0 for many smooth life functions within a factor
+  // of 2" (plus low-order terms).
+  EXPECT_LE(b.ratio(), 2.5) << "[" << b.lower << ", " << b.upper << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BracketContainsOptimal,
+    ::testing::Values(BracketCase{"uniform:L=480", 4.0},
+                      BracketCase{"uniform:L=100", 1.0},
+                      BracketCase{"polyrisk:d=2,L=500", 2.0},
+                      BracketCase{"polyrisk:d=4,L=500", 2.0},
+                      BracketCase{"geomlife:a=1.02", 1.0},
+                      BracketCase{"geomlife:a=1.1", 2.0},
+                      BracketCase{"geomrisk:L=30", 1.0},
+                      BracketCase{"geomrisk:L=60", 2.0}));
+
+}  // namespace
+}  // namespace cs

@@ -1,0 +1,326 @@
+// The trace pipeline: generators -> survival estimation -> parametric fits.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lifefn/families.hpp"
+#include "numerics/rng.hpp"
+#include "trace/fitters.hpp"
+#include "trace/generators.hpp"
+#include "trace/owner_trace.hpp"
+#include "trace/survival_estimator.hpp"
+
+namespace cs::trace {
+namespace {
+
+TEST(OwnerTrace, AppendsContiguousIntervals) {
+  OwnerTrace t;
+  t.append(10.0, false);
+  t.append(5.0, true);
+  t.append(7.0, false);
+  ASSERT_EQ(t.intervals().size(), 3u);
+  EXPECT_DOUBLE_EQ(t.intervals()[1].begin, 10.0);
+  EXPECT_DOUBLE_EQ(t.intervals()[1].end, 15.0);
+  EXPECT_DOUBLE_EQ(t.total_time(), 22.0);
+  EXPECT_EQ(t.episode_count(), 1u);
+  EXPECT_NEAR(t.idle_fraction(), 5.0 / 22.0, 1e-12);
+  const auto gaps = t.idle_gaps();
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(gaps[0], 5.0);
+}
+
+TEST(OwnerTrace, RejectsNonpositiveDurations) {
+  OwnerTrace t;
+  EXPECT_THROW(t.append(0.0, true), std::invalid_argument);
+  EXPECT_THROW(t.append(-1.0, false), std::invalid_argument);
+}
+
+TEST(OwnerTrace, EmptyTraceProperties) {
+  const OwnerTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.total_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t.idle_fraction(), 0.0);
+}
+
+TEST(Generators, PoissonSessionsStatistics) {
+  num::RandomStream rng(21);
+  const auto t = generate_poisson_sessions(
+      {.mean_busy = 30.0, .mean_idle = 60.0, .episodes = 4000}, rng);
+  EXPECT_EQ(t.episode_count(), 4000u);
+  const auto gaps = t.idle_gaps();
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  EXPECT_NEAR(mean, 60.0, 3.0);
+}
+
+TEST(Generators, UniformAbsencesBounded) {
+  num::RandomStream rng(22);
+  const auto t = generate_uniform_absences(
+      {.mean_busy = 30.0, .max_gap = 100.0, .episodes = 2000}, rng);
+  for (double g : t.idle_gaps()) {
+    EXPECT_GT(g, 0.0);
+    EXPECT_LE(g, 100.0 + 1e-9);
+  }
+}
+
+TEST(Generators, CoffeeBreaksBoundedByLifespan) {
+  num::RandomStream rng(23);
+  const auto t = generate_coffee_breaks(
+      {.mean_busy = 30.0, .break_lifespan = 20.0, .episodes = 2000}, rng);
+  for (double g : t.idle_gaps()) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 20.0);
+  }
+  // Geometric-risk gaps concentrate near L (risk doubles): mean > L/2.
+  double mean = 0.0;
+  for (double g : t.idle_gaps()) mean += g;
+  mean /= 2000.0;
+  EXPECT_GT(mean, 10.0);
+}
+
+TEST(Generators, DayNightIsMixture) {
+  num::RandomStream rng(24);
+  const auto t = generate_day_night({.mean_busy = 30.0,
+                                     .day_mean_idle = 20.0,
+                                     .night_max_idle = 500.0,
+                                     .night_fraction = 0.5,
+                                     .episodes = 3000},
+                                    rng);
+  int long_gaps = 0;
+  for (double g : t.idle_gaps())
+    if (g > 100.0) ++long_gaps;
+  EXPECT_GT(long_gaps, 500);  // the night mode is clearly present
+}
+
+TEST(Generators, ValidateParameters) {
+  num::RandomStream rng(25);
+  EXPECT_THROW(generate_poisson_sessions({.mean_busy = 0.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_day_night({.night_fraction = 1.5}, rng),
+               std::invalid_argument);
+}
+
+TEST(SurvivalEstimator, EmpiricalSurvivalStepFunction) {
+  const std::vector<double> gaps{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(empirical_survival(gaps, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(empirical_survival(gaps, 1.0), 0.75);
+  EXPECT_DOUBLE_EQ(empirical_survival(gaps, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(empirical_survival(gaps, 4.0), 0.0);
+  EXPECT_THROW((void)empirical_survival({}, 1.0), std::invalid_argument);
+}
+
+TEST(SurvivalEstimator, RecoversUniformLaw) {
+  num::RandomStream rng(26);
+  const auto t = generate_uniform_absences(
+      {.mean_busy = 10.0, .max_gap = 100.0, .episodes = 4000}, rng);
+  const auto fn = estimate_life_function(t);
+  const UniformRisk truth(100.0);
+  for (double x : {10.0, 30.0, 50.0, 70.0, 90.0}) {
+    EXPECT_NEAR(fn->survival(x), truth.survival(x), 0.04) << "x=" << x;
+  }
+  EXPECT_TRUE(fn->is_monotone_nonincreasing());
+}
+
+TEST(SurvivalEstimator, RecoversExponentialLaw) {
+  num::RandomStream rng(27);
+  const auto t = generate_poisson_sessions(
+      {.mean_busy = 10.0, .mean_idle = 50.0, .episodes = 6000}, rng);
+  const auto fn = estimate_life_function(t);
+  for (double x : {10.0, 50.0, 120.0}) {
+    EXPECT_NEAR(fn->survival(x), std::exp(-x / 50.0), 0.04) << "x=" << x;
+  }
+}
+
+TEST(SurvivalEstimator, RequiresEnoughGaps) {
+  OwnerTrace t;
+  t.append(1.0, false);
+  t.append(2.0, true);
+  EXPECT_THROW(estimate_life_function(t), std::invalid_argument);
+}
+
+TEST(Fitters, ExponentialRecoversRate) {
+  num::RandomStream rng(28);
+  std::vector<double> gaps;
+  for (int i = 0; i < 5000; ++i) gaps.push_back(rng.exponential(1.0 / 80.0));
+  const auto fit = fit_geometric_lifespan(gaps);
+  const auto* g = dynamic_cast<GeometricLifespan*>(fit.model.get());
+  ASSERT_NE(g, nullptr);
+  EXPECT_NEAR(1.0 / g->ln_a(), 80.0, 4.0);
+  EXPECT_LT(fit.ks_distance, 0.03);
+}
+
+TEST(Fitters, UniformRecoversL) {
+  num::RandomStream rng(29);
+  std::vector<double> gaps;
+  for (int i = 0; i < 5000; ++i) gaps.push_back(rng.uniform(0.0, 64.0));
+  const auto fit = fit_uniform_risk(gaps);
+  const auto* u = dynamic_cast<UniformRisk*>(fit.model.get());
+  ASSERT_NE(u, nullptr);
+  EXPECT_NEAR(u->L(), 64.0, 1.0);
+  EXPECT_LT(fit.ks_distance, 0.03);
+}
+
+TEST(Fitters, WeibullRecoversShape) {
+  num::RandomStream rng(30);
+  const Weibull truth(1.8, 40.0);
+  std::vector<double> gaps;
+  for (int i = 0; i < 5000; ++i)
+    gaps.push_back(truth.inverse_survival(rng.uniform01()));
+  const auto fit = fit_weibull(gaps);
+  const auto* w = dynamic_cast<Weibull*>(fit.model.get());
+  ASSERT_NE(w, nullptr);
+  EXPECT_NEAR(w->k(), 1.8, 0.15);
+  EXPECT_NEAR(w->scale(), 40.0, 3.0);
+}
+
+TEST(Fitters, ModelSelectionPicksTrueFamily) {
+  num::RandomStream rng(31);
+  {
+    std::vector<double> gaps;
+    for (int i = 0; i < 4000; ++i) gaps.push_back(rng.exponential(1.0 / 50.0));
+    const auto best = select_life_function_model(gaps);
+    // Exponential data: geomlife or weibull-with-k~1 both legitimate.
+    EXPECT_TRUE(best.family == "geomlife" || best.family == "weibull")
+        << best.family;
+    if (best.family == "weibull") {
+      EXPECT_NEAR(dynamic_cast<Weibull*>(best.model.get())->k(), 1.0, 0.1);
+    }
+  }
+  {
+    std::vector<double> gaps;
+    for (int i = 0; i < 4000; ++i) gaps.push_back(rng.uniform(0.0, 30.0));
+    const auto best = select_life_function_model(gaps);
+    EXPECT_TRUE(best.family == "uniform" || best.family == "polyrisk")
+        << best.family;
+  }
+}
+
+TEST(Fitters, GeomriskFitOnCoffeeBreaks) {
+  num::RandomStream rng(32);
+  const GeometricRisk truth(25.0);
+  std::vector<double> gaps;
+  for (int i = 0; i < 4000; ++i)
+    gaps.push_back(truth.inverse_survival(rng.uniform01()));
+  const auto fit = fit_geometric_risk(gaps);
+  const auto* g = dynamic_cast<GeometricRisk*>(fit.model.get());
+  ASSERT_NE(g, nullptr);
+  EXPECT_NEAR(g->L(), 25.0, 1.5);
+  EXPECT_LT(fit.ks_distance, 0.05);
+  // And model selection should prefer geomrisk over the others here.
+  const auto best = select_life_function_model(gaps);
+  EXPECT_EQ(best.family, "geomrisk");
+}
+
+TEST(Fitters, AllFamiliesSortedByKs) {
+  num::RandomStream rng(33);
+  std::vector<double> gaps;
+  for (int i = 0; i < 1000; ++i) gaps.push_back(rng.exponential(0.05));
+  const auto fits = fit_all_families(gaps);
+  ASSERT_EQ(fits.size(), 5u);
+  for (std::size_t i = 1; i < fits.size(); ++i)
+    EXPECT_LE(fits[i - 1].ks_distance, fits[i].ks_distance);
+}
+
+// ---- Kaplan–Meier ----------------------------------------------------------
+
+TEST(KaplanMeier, NoCensoringMatchesEcdf) {
+  std::vector<CensoredGap> sample;
+  const std::vector<double> gaps{1.0, 2.0, 3.0, 4.0};
+  for (double g : gaps) sample.push_back({g, false});
+  for (double t : {0.5, 1.0, 2.5, 3.5, 4.0}) {
+    EXPECT_NEAR(kaplan_meier_survival(sample, t),
+                empirical_survival(gaps, t), 1e-12)
+        << "t=" << t;
+  }
+}
+
+TEST(KaplanMeier, TextbookCensoredExample) {
+  // Events at 1, 3; censored at 2. n=3.
+  // S(1) = 2/3; after censoring at 2 only one at risk; S(3) = 2/3 * 0 = 0.
+  const std::vector<CensoredGap> sample{{1.0, false}, {2.0, true},
+                                        {3.0, false}};
+  EXPECT_NEAR(kaplan_meier_survival(sample, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(kaplan_meier_survival(sample, 1.5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(kaplan_meier_survival(sample, 2.5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(kaplan_meier_survival(sample, 3.5), 0.0, 1e-12);
+}
+
+TEST(KaplanMeier, CensoringCorrectsDownwardBias) {
+  // Exponential gaps, heavily right-censored at a fixed cutoff.  Naively
+  // treating censor times as events biases survival down; KM does not.
+  num::RandomStream rng(40);
+  const double mean = 50.0;
+  const double cutoff = 40.0;
+  std::vector<CensoredGap> censored;
+  std::vector<double> naive;
+  for (int i = 0; i < 8000; ++i) {
+    const double g = rng.exponential(1.0 / mean);
+    if (g > cutoff) {
+      censored.push_back({cutoff, true});
+      naive.push_back(cutoff);
+    } else {
+      censored.push_back({g, false});
+      naive.push_back(g);
+    }
+  }
+  const double truth = std::exp(-30.0 / mean);
+  EXPECT_NEAR(kaplan_meier_survival(censored, 30.0), truth, 0.02);
+  // Naive treatment collapses all censored mass at the cutoff: its survival
+  // estimate crashes to ~0 there, while the true survival is still ~0.45.
+  std::sort(naive.begin(), naive.end());
+  EXPECT_LT(empirical_survival(naive, 40.0), 0.01);
+  EXPECT_GT(std::exp(-40.0 / mean), 0.4);
+}
+
+TEST(KaplanMeier, ThrowsWithoutUncensoredEvents) {
+  EXPECT_THROW((void)kaplan_meier_survival({{1.0, true}, {2.0, true}}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)kaplan_meier_survival({}, 0.5), std::invalid_argument);
+}
+
+TEST(KaplanMeier, IdleGapsCensoredMarksTrailingIdle) {
+  OwnerTrace t;
+  t.append(5.0, false);
+  t.append(3.0, true);
+  t.append(4.0, false);
+  t.append(7.0, true);  // trace ends mid-idle
+  const auto gaps = idle_gaps_censored(t);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_FALSE(gaps[0].censored);
+  EXPECT_TRUE(gaps[1].censored);
+  EXPECT_DOUBLE_EQ(gaps[1].duration, 7.0);
+}
+
+TEST(KaplanMeier, LifeFunctionFromCensoredSample) {
+  num::RandomStream rng(41);
+  const double mean = 60.0;
+  std::vector<CensoredGap> sample;
+  for (int i = 0; i < 5000; ++i) {
+    const double g = rng.exponential(1.0 / mean);
+    // Independent censoring at exponential observation windows.
+    const double w = rng.exponential(1.0 / 150.0);
+    sample.push_back(g <= w ? CensoredGap{g, false} : CensoredGap{w, true});
+  }
+  const auto fn = estimate_life_function_km(sample);
+  for (double x : {20.0, 60.0, 120.0}) {
+    EXPECT_NEAR(fn->survival(x), std::exp(-x / mean), 0.05) << "x=" << x;
+  }
+  EXPECT_TRUE(fn->is_monotone_nonincreasing());
+}
+
+TEST(KaplanMeier, EstimatorRequiresEnoughUncensored) {
+  std::vector<CensoredGap> sample;
+  for (int i = 0; i < 20; ++i) sample.push_back({1.0 + i, true});
+  sample.push_back({5.0, false});
+  EXPECT_THROW(estimate_life_function_km(sample), std::invalid_argument);
+}
+
+TEST(Fitters, RejectTinySamples) {
+  EXPECT_THROW(fit_geometric_lifespan({1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_weibull({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_uniform_risk({1.0, -2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs::trace

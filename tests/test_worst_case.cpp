@@ -1,0 +1,101 @@
+// Worst-case (adversarial) extension — preview of the paper's sequel.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/worst_case.hpp"
+
+namespace cs {
+namespace {
+
+TEST(GuaranteedWork, AdversaryRemovesLargestPeriods) {
+  const Schedule s({10.0, 6.0, 4.0});
+  const double c = 1.0;
+  // Gains: 9, 5, 3 — total 17.
+  EXPECT_DOUBLE_EQ(guaranteed_work(s, c, 0), 17.0);
+  EXPECT_DOUBLE_EQ(guaranteed_work(s, c, 1), 8.0);   // loses the 9
+  EXPECT_DOUBLE_EQ(guaranteed_work(s, c, 2), 3.0);
+  EXPECT_DOUBLE_EQ(guaranteed_work(s, c, 3), 0.0);
+  EXPECT_DOUBLE_EQ(guaranteed_work(s, c, 5), 0.0);
+}
+
+TEST(GuaranteedWork, UnproductivePeriodsCostAdversaryNothing) {
+  const Schedule s({0.5, 10.0});
+  EXPECT_DOUBLE_EQ(guaranteed_work(s, 1.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(guaranteed_work(s, 1.0, 0), 9.0);
+}
+
+TEST(GuaranteedWork, EmptySchedule) {
+  EXPECT_DOUBLE_EQ(guaranteed_work(Schedule(), 1.0, 0), 0.0);
+}
+
+TEST(OptimalWorstCasePlan, ClosedFormStructure) {
+  const double L = 400.0, c = 1.0;
+  const std::size_t k = 4;
+  const auto plan = optimal_worst_case_plan(L, c, k);
+  ASSERT_GT(plan.periods, k);
+  EXPECT_NEAR(plan.period_length * static_cast<double>(plan.periods), L,
+              1e-9);
+  EXPECT_NEAR(plan.guaranteed,
+              static_cast<double>(plan.periods - k) * (plan.period_length - c),
+              1e-9);
+  // Continuous optimum m* = sqrt(kL/c) = 40: integer optimum nearby.
+  EXPECT_NEAR(static_cast<double>(plan.periods), worst_case_m_star(L, c, k),
+              2.0);
+}
+
+TEST(OptimalWorstCasePlan, ExactlyOptimalOverIntegers) {
+  const double L = 400.0, c = 1.0;
+  const std::size_t k = 4;
+  const auto plan = optimal_worst_case_plan(L, c, k);
+  for (std::size_t m = k + 1; m <= 400; ++m) {
+    const double g = static_cast<double>(m - k) * (L / static_cast<double>(m) - c);
+    EXPECT_LE(g, plan.guaranteed + 1e-9) << "m=" << m;
+  }
+}
+
+TEST(OptimalWorstCasePlan, EqualPeriodsBeatUnequal) {
+  // Property: for fixed m and duration, equal periods maximize G_k.
+  const double L = 100.0, c = 1.0;
+  const std::size_t k = 2;
+  const auto plan = optimal_worst_case_plan(L, c, k);
+  const Schedule equal =
+      Schedule::equal_periods(plan.period_length, plan.periods);
+  EXPECT_NEAR(guaranteed_work(equal, c, k), plan.guaranteed, 1e-9);
+  // Skew one pair of periods: guaranteed work cannot rise.
+  if (plan.periods >= 2) {
+    std::vector<double> skew = equal.periods();
+    skew[0] += 3.0;
+    skew[1] -= 3.0;
+    EXPECT_LE(guaranteed_work(Schedule(skew), c, k),
+              plan.guaranteed + 1e-9);
+  }
+}
+
+TEST(OptimalWorstCasePlan, TooManyInterruptsGiveNothing) {
+  // If the adversary can kill every admissible period, nothing is
+  // guaranteed.
+  const auto plan = optimal_worst_case_plan(10.0, 2.0, 5);
+  EXPECT_EQ(plan.periods, 0u);
+  EXPECT_DOUBLE_EQ(plan.guaranteed, 0.0);
+}
+
+TEST(OptimalWorstCasePlan, ZeroInterruptsOnePeriod) {
+  // With no interruptions the best plan is a single full-length period.
+  const auto plan = optimal_worst_case_plan(100.0, 1.0, 0);
+  EXPECT_EQ(plan.periods, 1u);
+  EXPECT_DOUBLE_EQ(plan.guaranteed, 99.0);
+}
+
+TEST(OptimalWorstCasePlan, ValidatesArguments) {
+  EXPECT_THROW((void)optimal_worst_case_plan(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)optimal_worst_case_plan(10.0, 0.0, 1), std::invalid_argument);
+}
+
+TEST(WorstCaseMStar, SqrtLaw) {
+  EXPECT_DOUBLE_EQ(worst_case_m_star(400.0, 1.0, 4), 40.0);
+  EXPECT_DOUBLE_EQ(worst_case_m_star(100.0, 4.0, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace cs
