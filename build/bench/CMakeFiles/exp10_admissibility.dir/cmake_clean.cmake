@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_admissibility.dir/exp10_admissibility.cpp.o"
+  "CMakeFiles/exp10_admissibility.dir/exp10_admissibility.cpp.o.d"
+  "exp10_admissibility"
+  "exp10_admissibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_admissibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_farm.dir/exp11_farm.cpp.o"
+  "CMakeFiles/exp11_farm.dir/exp11_farm.cpp.o.d"
+  "exp11_farm"
+  "exp11_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

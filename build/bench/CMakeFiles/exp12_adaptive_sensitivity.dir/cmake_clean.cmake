@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_adaptive_sensitivity.dir/exp12_adaptive_sensitivity.cpp.o"
+  "CMakeFiles/exp12_adaptive_sensitivity.dir/exp12_adaptive_sensitivity.cpp.o.d"
+  "exp12_adaptive_sensitivity"
+  "exp12_adaptive_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_adaptive_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

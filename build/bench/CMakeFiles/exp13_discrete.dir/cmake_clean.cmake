@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_discrete.dir/exp13_discrete.cpp.o"
+  "CMakeFiles/exp13_discrete.dir/exp13_discrete.cpp.o.d"
+  "exp13_discrete"
+  "exp13_discrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_worst_case.dir/exp14_worst_case.cpp.o"
+  "CMakeFiles/exp14_worst_case.dir/exp14_worst_case.cpp.o.d"
+  "exp14_worst_case"
+  "exp14_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

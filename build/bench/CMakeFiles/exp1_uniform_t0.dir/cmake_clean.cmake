@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_uniform_t0.dir/exp1_uniform_t0.cpp.o"
+  "CMakeFiles/exp1_uniform_t0.dir/exp1_uniform_t0.cpp.o.d"
+  "exp1_uniform_t0"
+  "exp1_uniform_t0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_uniform_t0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

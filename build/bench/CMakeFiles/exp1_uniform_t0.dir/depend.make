@@ -1,0 +1,2 @@
+# Empty dependencies file for exp1_uniform_t0.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_poly_family.dir/exp2_poly_family.cpp.o"
+  "CMakeFiles/exp2_poly_family.dir/exp2_poly_family.cpp.o.d"
+  "exp2_poly_family"
+  "exp2_poly_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_poly_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

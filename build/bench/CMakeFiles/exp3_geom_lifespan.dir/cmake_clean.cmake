@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_geom_lifespan.dir/exp3_geom_lifespan.cpp.o"
+  "CMakeFiles/exp3_geom_lifespan.dir/exp3_geom_lifespan.cpp.o.d"
+  "exp3_geom_lifespan"
+  "exp3_geom_lifespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_geom_lifespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

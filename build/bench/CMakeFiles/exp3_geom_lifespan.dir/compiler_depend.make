@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp3_geom_lifespan.
+# This may be replaced when dependencies are built.

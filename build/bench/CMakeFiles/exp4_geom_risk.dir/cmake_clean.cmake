@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_geom_risk.dir/exp4_geom_risk.cpp.o"
+  "CMakeFiles/exp4_geom_risk.dir/exp4_geom_risk.cpp.o.d"
+  "exp4_geom_risk"
+  "exp4_geom_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_geom_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

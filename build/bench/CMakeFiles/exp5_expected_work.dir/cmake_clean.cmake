@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_expected_work.dir/exp5_expected_work.cpp.o"
+  "CMakeFiles/exp5_expected_work.dir/exp5_expected_work.cpp.o.d"
+  "exp5_expected_work"
+  "exp5_expected_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_expected_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_period_counts.dir/exp6_period_counts.cpp.o"
+  "CMakeFiles/exp6_period_counts.dir/exp6_period_counts.cpp.o.d"
+  "exp6_period_counts"
+  "exp6_period_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_period_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

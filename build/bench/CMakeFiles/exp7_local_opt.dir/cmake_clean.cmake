@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp7_local_opt.dir/exp7_local_opt.cpp.o"
+  "CMakeFiles/exp7_local_opt.dir/exp7_local_opt.cpp.o.d"
+  "exp7_local_opt"
+  "exp7_local_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp7_local_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp8_monte_carlo.dir/exp8_monte_carlo.cpp.o"
+  "CMakeFiles/exp8_monte_carlo.dir/exp8_monte_carlo.cpp.o.d"
+  "exp8_monte_carlo"
+  "exp8_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp8_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

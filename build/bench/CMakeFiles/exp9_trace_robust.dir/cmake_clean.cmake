@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp9_trace_robust.dir/exp9_trace_robust.cpp.o"
+  "CMakeFiles/exp9_trace_robust.dir/exp9_trace_robust.cpp.o.d"
+  "exp9_trace_robust"
+  "exp9_trace_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp9_trace_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

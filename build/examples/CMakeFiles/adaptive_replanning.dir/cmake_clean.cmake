@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_replanning.dir/adaptive_replanning.cpp.o"
+  "CMakeFiles/adaptive_replanning.dir/adaptive_replanning.cpp.o.d"
+  "adaptive_replanning"
+  "adaptive_replanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_replanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

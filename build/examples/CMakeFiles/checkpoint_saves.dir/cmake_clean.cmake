@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_saves.dir/checkpoint_saves.cpp.o"
+  "CMakeFiles/checkpoint_saves.dir/checkpoint_saves.cpp.o.d"
+  "checkpoint_saves"
+  "checkpoint_saves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_saves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

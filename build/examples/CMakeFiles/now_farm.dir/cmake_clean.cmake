@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/now_farm.dir/now_farm.cpp.o"
+  "CMakeFiles/now_farm.dir/now_farm.cpp.o.d"
+  "now_farm"
+  "now_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/now_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_driven_scheduling.dir/trace_driven_scheduling.cpp.o"
+  "CMakeFiles/trace_driven_scheduling.dir/trace_driven_scheduling.cpp.o.d"
+  "trace_driven_scheduling"
+  "trace_driven_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_driven_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

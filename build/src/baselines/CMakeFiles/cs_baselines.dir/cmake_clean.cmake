@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_baselines.dir/bclr.cpp.o"
+  "CMakeFiles/cs_baselines.dir/bclr.cpp.o.d"
+  "CMakeFiles/cs_baselines.dir/oblivious.cpp.o"
+  "CMakeFiles/cs_baselines.dir/oblivious.cpp.o.d"
+  "libcs_baselines.a"
+  "libcs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

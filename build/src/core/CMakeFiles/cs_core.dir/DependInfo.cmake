@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/cs_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/admissibility.cpp" "src/core/CMakeFiles/cs_core.dir/admissibility.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/admissibility.cpp.o.d"
+  "/root/repo/src/core/adversarial.cpp" "src/core/CMakeFiles/cs_core.dir/adversarial.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/adversarial.cpp.o.d"
+  "/root/repo/src/core/dp_reference.cpp" "src/core/CMakeFiles/cs_core.dir/dp_reference.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/dp_reference.cpp.o.d"
+  "/root/repo/src/core/expected_work.cpp" "src/core/CMakeFiles/cs_core.dir/expected_work.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/expected_work.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/cs_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/guideline.cpp" "src/core/CMakeFiles/cs_core.dir/guideline.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/guideline.cpp.o.d"
+  "/root/repo/src/core/quantize.cpp" "src/core/CMakeFiles/cs_core.dir/quantize.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/quantize.cpp.o.d"
+  "/root/repo/src/core/recurrence.cpp" "src/core/CMakeFiles/cs_core.dir/recurrence.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/recurrence.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/cs_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/cs_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/steady_state.cpp" "src/core/CMakeFiles/cs_core.dir/steady_state.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/steady_state.cpp.o.d"
+  "/root/repo/src/core/structure.cpp" "src/core/CMakeFiles/cs_core.dir/structure.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/structure.cpp.o.d"
+  "/root/repo/src/core/t0_bounds.cpp" "src/core/CMakeFiles/cs_core.dir/t0_bounds.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/t0_bounds.cpp.o.d"
+  "/root/repo/src/core/worst_case.cpp" "src/core/CMakeFiles/cs_core.dir/worst_case.cpp.o" "gcc" "src/core/CMakeFiles/cs_core.dir/worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lifefn/CMakeFiles/cs_lifefn.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cs_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/cs_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_core.dir/adaptive.cpp.o"
+  "CMakeFiles/cs_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/cs_core.dir/admissibility.cpp.o"
+  "CMakeFiles/cs_core.dir/admissibility.cpp.o.d"
+  "CMakeFiles/cs_core.dir/adversarial.cpp.o"
+  "CMakeFiles/cs_core.dir/adversarial.cpp.o.d"
+  "CMakeFiles/cs_core.dir/dp_reference.cpp.o"
+  "CMakeFiles/cs_core.dir/dp_reference.cpp.o.d"
+  "CMakeFiles/cs_core.dir/expected_work.cpp.o"
+  "CMakeFiles/cs_core.dir/expected_work.cpp.o.d"
+  "CMakeFiles/cs_core.dir/greedy.cpp.o"
+  "CMakeFiles/cs_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/cs_core.dir/guideline.cpp.o"
+  "CMakeFiles/cs_core.dir/guideline.cpp.o.d"
+  "CMakeFiles/cs_core.dir/quantize.cpp.o"
+  "CMakeFiles/cs_core.dir/quantize.cpp.o.d"
+  "CMakeFiles/cs_core.dir/recurrence.cpp.o"
+  "CMakeFiles/cs_core.dir/recurrence.cpp.o.d"
+  "CMakeFiles/cs_core.dir/schedule.cpp.o"
+  "CMakeFiles/cs_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/cs_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/cs_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/cs_core.dir/steady_state.cpp.o"
+  "CMakeFiles/cs_core.dir/steady_state.cpp.o.d"
+  "CMakeFiles/cs_core.dir/structure.cpp.o"
+  "CMakeFiles/cs_core.dir/structure.cpp.o.d"
+  "CMakeFiles/cs_core.dir/t0_bounds.cpp.o"
+  "CMakeFiles/cs_core.dir/t0_bounds.cpp.o.d"
+  "CMakeFiles/cs_core.dir/worst_case.cpp.o"
+  "CMakeFiles/cs_core.dir/worst_case.cpp.o.d"
+  "libcs_core.a"
+  "libcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

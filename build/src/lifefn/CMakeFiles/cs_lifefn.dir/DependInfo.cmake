@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lifefn/factory.cpp" "src/lifefn/CMakeFiles/cs_lifefn.dir/factory.cpp.o" "gcc" "src/lifefn/CMakeFiles/cs_lifefn.dir/factory.cpp.o.d"
+  "/root/repo/src/lifefn/families.cpp" "src/lifefn/CMakeFiles/cs_lifefn.dir/families.cpp.o" "gcc" "src/lifefn/CMakeFiles/cs_lifefn.dir/families.cpp.o.d"
+  "/root/repo/src/lifefn/life_function.cpp" "src/lifefn/CMakeFiles/cs_lifefn.dir/life_function.cpp.o" "gcc" "src/lifefn/CMakeFiles/cs_lifefn.dir/life_function.cpp.o.d"
+  "/root/repo/src/lifefn/shape.cpp" "src/lifefn/CMakeFiles/cs_lifefn.dir/shape.cpp.o" "gcc" "src/lifefn/CMakeFiles/cs_lifefn.dir/shape.cpp.o.d"
+  "/root/repo/src/lifefn/transforms.cpp" "src/lifefn/CMakeFiles/cs_lifefn.dir/transforms.cpp.o" "gcc" "src/lifefn/CMakeFiles/cs_lifefn.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/cs_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

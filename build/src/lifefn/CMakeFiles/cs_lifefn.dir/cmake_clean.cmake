@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_lifefn.dir/factory.cpp.o"
+  "CMakeFiles/cs_lifefn.dir/factory.cpp.o.d"
+  "CMakeFiles/cs_lifefn.dir/families.cpp.o"
+  "CMakeFiles/cs_lifefn.dir/families.cpp.o.d"
+  "CMakeFiles/cs_lifefn.dir/life_function.cpp.o"
+  "CMakeFiles/cs_lifefn.dir/life_function.cpp.o.d"
+  "CMakeFiles/cs_lifefn.dir/shape.cpp.o"
+  "CMakeFiles/cs_lifefn.dir/shape.cpp.o.d"
+  "CMakeFiles/cs_lifefn.dir/transforms.cpp.o"
+  "CMakeFiles/cs_lifefn.dir/transforms.cpp.o.d"
+  "libcs_lifefn.a"
+  "libcs_lifefn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_lifefn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/csv.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/csv.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/csv.cpp.o.d"
+  "/root/repo/src/numerics/derivative.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/derivative.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/derivative.cpp.o.d"
+  "/root/repo/src/numerics/integrate.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/integrate.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/integrate.cpp.o.d"
+  "/root/repo/src/numerics/interp.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/interp.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/interp.cpp.o.d"
+  "/root/repo/src/numerics/linalg.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/linalg.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/linalg.cpp.o.d"
+  "/root/repo/src/numerics/minimize.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/minimize.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/minimize.cpp.o.d"
+  "/root/repo/src/numerics/roots.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/roots.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/roots.cpp.o.d"
+  "/root/repo/src/numerics/stats.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/stats.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/stats.cpp.o.d"
+  "/root/repo/src/numerics/tabulate.cpp" "src/numerics/CMakeFiles/cs_numerics.dir/tabulate.cpp.o" "gcc" "src/numerics/CMakeFiles/cs_numerics.dir/tabulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

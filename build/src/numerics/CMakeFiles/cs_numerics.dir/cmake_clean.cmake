@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_numerics.dir/csv.cpp.o"
+  "CMakeFiles/cs_numerics.dir/csv.cpp.o.d"
+  "CMakeFiles/cs_numerics.dir/derivative.cpp.o"
+  "CMakeFiles/cs_numerics.dir/derivative.cpp.o.d"
+  "CMakeFiles/cs_numerics.dir/integrate.cpp.o"
+  "CMakeFiles/cs_numerics.dir/integrate.cpp.o.d"
+  "CMakeFiles/cs_numerics.dir/interp.cpp.o"
+  "CMakeFiles/cs_numerics.dir/interp.cpp.o.d"
+  "CMakeFiles/cs_numerics.dir/linalg.cpp.o"
+  "CMakeFiles/cs_numerics.dir/linalg.cpp.o.d"
+  "CMakeFiles/cs_numerics.dir/minimize.cpp.o"
+  "CMakeFiles/cs_numerics.dir/minimize.cpp.o.d"
+  "CMakeFiles/cs_numerics.dir/roots.cpp.o"
+  "CMakeFiles/cs_numerics.dir/roots.cpp.o.d"
+  "CMakeFiles/cs_numerics.dir/stats.cpp.o"
+  "CMakeFiles/cs_numerics.dir/stats.cpp.o.d"
+  "CMakeFiles/cs_numerics.dir/tabulate.cpp.o"
+  "CMakeFiles/cs_numerics.dir/tabulate.cpp.o.d"
+  "libcs_numerics.a"
+  "libcs_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

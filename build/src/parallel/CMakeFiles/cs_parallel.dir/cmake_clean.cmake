@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/cs_parallel.dir/thread_pool.cpp.o.d"
+  "libcs_parallel.a"
+  "libcs_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

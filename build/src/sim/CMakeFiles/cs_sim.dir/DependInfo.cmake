@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/checkpoint.cpp" "src/sim/CMakeFiles/cs_sim.dir/checkpoint.cpp.o" "gcc" "src/sim/CMakeFiles/cs_sim.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/sim/episode.cpp" "src/sim/CMakeFiles/cs_sim.dir/episode.cpp.o" "gcc" "src/sim/CMakeFiles/cs_sim.dir/episode.cpp.o.d"
+  "/root/repo/src/sim/farm.cpp" "src/sim/CMakeFiles/cs_sim.dir/farm.cpp.o" "gcc" "src/sim/CMakeFiles/cs_sim.dir/farm.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/cs_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/cs_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/sim/CMakeFiles/cs_sim.dir/policy.cpp.o" "gcc" "src/sim/CMakeFiles/cs_sim.dir/policy.cpp.o.d"
+  "/root/repo/src/sim/reclaim.cpp" "src/sim/CMakeFiles/cs_sim.dir/reclaim.cpp.o" "gcc" "src/sim/CMakeFiles/cs_sim.dir/reclaim.cpp.o.d"
+  "/root/repo/src/sim/task_bag.cpp" "src/sim/CMakeFiles/cs_sim.dir/task_bag.cpp.o" "gcc" "src/sim/CMakeFiles/cs_sim.dir/task_bag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/lifefn/CMakeFiles/cs_lifefn.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cs_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/cs_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_sim.dir/checkpoint.cpp.o"
+  "CMakeFiles/cs_sim.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/episode.cpp.o"
+  "CMakeFiles/cs_sim.dir/episode.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/farm.cpp.o"
+  "CMakeFiles/cs_sim.dir/farm.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/network.cpp.o"
+  "CMakeFiles/cs_sim.dir/network.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/policy.cpp.o"
+  "CMakeFiles/cs_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/reclaim.cpp.o"
+  "CMakeFiles/cs_sim.dir/reclaim.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/task_bag.cpp.o"
+  "CMakeFiles/cs_sim.dir/task_bag.cpp.o.d"
+  "libcs_sim.a"
+  "libcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/bayes.cpp" "src/trace/CMakeFiles/cs_trace.dir/bayes.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/bayes.cpp.o.d"
+  "/root/repo/src/trace/fitters.cpp" "src/trace/CMakeFiles/cs_trace.dir/fitters.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/fitters.cpp.o.d"
+  "/root/repo/src/trace/generators.cpp" "src/trace/CMakeFiles/cs_trace.dir/generators.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/trace/owner_trace.cpp" "src/trace/CMakeFiles/cs_trace.dir/owner_trace.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/owner_trace.cpp.o.d"
+  "/root/repo/src/trace/survival_estimator.cpp" "src/trace/CMakeFiles/cs_trace.dir/survival_estimator.cpp.o" "gcc" "src/trace/CMakeFiles/cs_trace.dir/survival_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lifefn/CMakeFiles/cs_lifefn.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/cs_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

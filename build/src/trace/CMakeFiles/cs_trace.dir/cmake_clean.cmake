@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_trace.dir/bayes.cpp.o"
+  "CMakeFiles/cs_trace.dir/bayes.cpp.o.d"
+  "CMakeFiles/cs_trace.dir/fitters.cpp.o"
+  "CMakeFiles/cs_trace.dir/fitters.cpp.o.d"
+  "CMakeFiles/cs_trace.dir/generators.cpp.o"
+  "CMakeFiles/cs_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/cs_trace.dir/owner_trace.cpp.o"
+  "CMakeFiles/cs_trace.dir/owner_trace.cpp.o.d"
+  "CMakeFiles/cs_trace.dir/survival_estimator.cpp.o"
+  "CMakeFiles/cs_trace.dir/survival_estimator.cpp.o.d"
+  "libcs_trace.a"
+  "libcs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admissibility.dir/test_admissibility.cpp.o"
+  "CMakeFiles/test_admissibility.dir/test_admissibility.cpp.o.d"
+  "test_admissibility"
+  "test_admissibility.pdb"
+  "test_admissibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admissibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

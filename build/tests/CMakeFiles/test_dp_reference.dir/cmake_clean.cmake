@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_reference.dir/test_dp_reference.cpp.o"
+  "CMakeFiles/test_dp_reference.dir/test_dp_reference.cpp.o.d"
+  "test_dp_reference"
+  "test_dp_reference.pdb"
+  "test_dp_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expected_work.dir/test_expected_work.cpp.o"
+  "CMakeFiles/test_expected_work.dir/test_expected_work.cpp.o.d"
+  "test_expected_work"
+  "test_expected_work.pdb"
+  "test_expected_work[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expected_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guideline.dir/test_guideline.cpp.o"
+  "CMakeFiles/test_guideline.dir/test_guideline.cpp.o.d"
+  "test_guideline"
+  "test_guideline.pdb"
+  "test_guideline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guideline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifefn_factory.dir/test_lifefn_factory.cpp.o"
+  "CMakeFiles/test_lifefn_factory.dir/test_lifefn_factory.cpp.o.d"
+  "test_lifefn_factory"
+  "test_lifefn_factory.pdb"
+  "test_lifefn_factory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifefn_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

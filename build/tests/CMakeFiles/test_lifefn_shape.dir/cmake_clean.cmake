@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifefn_shape.dir/test_lifefn_shape.cpp.o"
+  "CMakeFiles/test_lifefn_shape.dir/test_lifefn_shape.cpp.o.d"
+  "test_lifefn_shape"
+  "test_lifefn_shape.pdb"
+  "test_lifefn_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifefn_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifefn_transforms.dir/test_lifefn_transforms.cpp.o"
+  "CMakeFiles/test_lifefn_transforms.dir/test_lifefn_transforms.cpp.o.d"
+  "test_lifefn_transforms"
+  "test_lifefn_transforms.pdb"
+  "test_lifefn_transforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifefn_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_calculus.dir/test_numerics_calculus.cpp.o"
+  "CMakeFiles/test_numerics_calculus.dir/test_numerics_calculus.cpp.o.d"
+  "test_numerics_calculus"
+  "test_numerics_calculus.pdb"
+  "test_numerics_calculus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_interp.dir/test_numerics_interp.cpp.o"
+  "CMakeFiles/test_numerics_interp.dir/test_numerics_interp.cpp.o.d"
+  "test_numerics_interp"
+  "test_numerics_interp.pdb"
+  "test_numerics_interp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_linalg.dir/test_numerics_linalg.cpp.o"
+  "CMakeFiles/test_numerics_linalg.dir/test_numerics_linalg.cpp.o.d"
+  "test_numerics_linalg"
+  "test_numerics_linalg.pdb"
+  "test_numerics_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numerics_output.dir/test_numerics_output.cpp.o"
+  "CMakeFiles/test_numerics_output.dir/test_numerics_output.cpp.o.d"
+  "test_numerics_output"
+  "test_numerics_output.pdb"
+  "test_numerics_output[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numerics_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

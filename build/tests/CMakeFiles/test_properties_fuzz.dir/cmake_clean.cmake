@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_fuzz.dir/test_properties_fuzz.cpp.o"
+  "CMakeFiles/test_properties_fuzz.dir/test_properties_fuzz.cpp.o.d"
+  "test_properties_fuzz"
+  "test_properties_fuzz.pdb"
+  "test_properties_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

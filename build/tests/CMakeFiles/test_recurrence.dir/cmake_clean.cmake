@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recurrence.dir/test_recurrence.cpp.o"
+  "CMakeFiles/test_recurrence.dir/test_recurrence.cpp.o.d"
+  "test_recurrence"
+  "test_recurrence.pdb"
+  "test_recurrence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

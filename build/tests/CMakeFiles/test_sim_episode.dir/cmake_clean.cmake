@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_episode.dir/test_sim_episode.cpp.o"
+  "CMakeFiles/test_sim_episode.dir/test_sim_episode.cpp.o.d"
+  "test_sim_episode"
+  "test_sim_episode.pdb"
+  "test_sim_episode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_episode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

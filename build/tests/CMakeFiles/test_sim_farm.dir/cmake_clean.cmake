@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_farm.dir/test_sim_farm.cpp.o"
+  "CMakeFiles/test_sim_farm.dir/test_sim_farm.cpp.o.d"
+  "test_sim_farm"
+  "test_sim_farm.pdb"
+  "test_sim_farm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

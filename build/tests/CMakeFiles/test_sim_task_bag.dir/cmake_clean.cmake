@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_task_bag.dir/test_sim_task_bag.cpp.o"
+  "CMakeFiles/test_sim_task_bag.dir/test_sim_task_bag.cpp.o.d"
+  "test_sim_task_bag"
+  "test_sim_task_bag.pdb"
+  "test_sim_task_bag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_task_bag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steady_state.dir/test_steady_state.cpp.o"
+  "CMakeFiles/test_steady_state.dir/test_steady_state.cpp.o.d"
+  "test_steady_state"
+  "test_steady_state.pdb"
+  "test_steady_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

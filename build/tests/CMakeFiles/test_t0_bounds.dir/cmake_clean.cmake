@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_t0_bounds.dir/test_t0_bounds.cpp.o"
+  "CMakeFiles/test_t0_bounds.dir/test_t0_bounds.cpp.o.d"
+  "test_t0_bounds"
+  "test_t0_bounds.pdb"
+  "test_t0_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_t0_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worst_case.dir/test_worst_case.cpp.o"
+  "CMakeFiles/test_worst_case.dir/test_worst_case.cpp.o.d"
+  "test_worst_case"
+  "test_worst_case.pdb"
+  "test_worst_case[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

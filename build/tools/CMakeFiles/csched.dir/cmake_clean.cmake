@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csched.dir/csched.cpp.o"
+  "CMakeFiles/csched.dir/csched.cpp.o.d"
+  "csched"
+  "csched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
