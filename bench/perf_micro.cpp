@@ -2,7 +2,19 @@
 // library — recurrence expansion, expected-work evaluation, DP reference,
 // greedy, Monte-Carlo episode throughput, reclaim sampling, and the full
 // guideline pipeline.
+//
+// `--json=FILE` additionally writes one JSON object per benchmark
+// (`{"name":...,"iterations":N,"ns_per_op":X,...}`, JSONL) so a perf
+// trajectory can be recorded from PR to PR:
+//
+//   perf_micro --json=BENCH_$(git rev-parse --short HEAD).json
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "cyclesteal/cyclesteal.hpp"
 
@@ -143,4 +155,84 @@ void BM_T0Bracket(benchmark::State& state) {
 }
 BENCHMARK(BM_T0Bracket);
 
+/// Machine-readable sink: one flat JSON object per benchmark run (JSONL),
+/// stable keys, ns/op normalized from the run's real time.
+class JsonLinesReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonLinesReporter(std::ostream& os) : os_(os) {}
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      const double iters = static_cast<double>(run.iterations);
+      const double ns_per_op =
+          iters > 0.0 ? run.real_accumulated_time * 1e9 / iters : 0.0;
+      const double cpu_ns_per_op =
+          iters > 0.0 ? run.cpu_accumulated_time * 1e9 / iters : 0.0;
+      os_ << "{\"name\":\"" << run.benchmark_name()
+          << "\",\"iterations\":" << run.iterations
+          << ",\"ns_per_op\":" << ns_per_op
+          << ",\"cpu_ns_per_op\":" << cpu_ns_per_op;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end())
+        os_ << ",\"items_per_second\":" << items->second.value;
+      os_ << "}\n";
+    }
+  }
+
+ private:
+  std::ostream& os_;
+};
+
+/// Console display + JSONL side channel in one display reporter.  (The
+/// library's separate file-reporter slot insists on --benchmark_out, so the
+/// JSONL sink rides along with the console reporter instead.)
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TeeReporter(std::ostream& json_os) : json_(json_os) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    json_.ReportRuns(runs);
+  }
+
+ private:
+  JsonLinesReporter json_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Extract our --json flag before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    std::ofstream json_os(json_path);
+    if (!json_os) {
+      std::cerr << "perf_micro: cannot open " << json_path << '\n';
+      return 1;
+    }
+    TeeReporter display(json_os);
+    benchmark::RunSpecifiedBenchmarks(&display);
+    std::cerr << "perf_micro: wrote JSONL results to " << json_path << '\n';
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build + full test suite, then an ASan/UBSan pass
+# over the observability and parallelism tests (the suite's concurrent code).
+#
+#   ./ci.sh            # full gate
+#   ./ci.sh --fast     # skip the sanitizer pass
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== configure + build (preset: default) =="
+cmake --preset default
+cmake --build --preset default
+
+echo "== ctest (full suite) =="
+ctest --preset default
+
+if [[ "$fast" == "0" ]]; then
+  echo "== configure + build (preset: asan) =="
+  cmake --preset asan
+  cmake --build --preset asan
+
+  echo "== ASan/UBSan pass (obs + parallel + sim concurrency) =="
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1"
+  for t in test_obs test_parallel test_sim_farm test_sim_episode; do
+    echo "-- $t"
+    ./build-asan/tests/"$t"
+  done
+fi
+
+echo "== ci.sh: all green =="

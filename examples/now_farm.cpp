@@ -3,18 +3,39 @@
 // independent tasks and steals cycles from a heterogeneous pool; we measure
 // how long each chunking policy takes to drain the bag.
 //
-//   $ ./now_farm [tasks] [stations]
+//   $ ./now_farm [tasks] [stations] [--trace-out F] [--metrics-out F]
+//
+// `--trace-out F` records the guideline-policy run's full event stream
+// (episodes, reclaims, shipped/banked/lost batches) as JSONL; summarize it
+// with `cstrace F`.  `--metrics-out F` dumps the metrics registry as JSON.
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "cyclesteal/cyclesteal.hpp"
 #include "numerics/tabulate.hpp"
 
 int main(int argc, char** argv) {
-  const std::size_t tasks =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
-  const std::size_t n_each =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+  std::size_t positional[2] = {5000, 4};
+  int n_positional = 0;
+  std::string trace_out, metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (n_positional < 2) {
+      positional[n_positional++] = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  const std::size_t tasks = positional[0];
+  const std::size_t n_each = positional[1];
+  if (!trace_out.empty() || !metrics_out.empty()) cs::obs::set_enabled(true);
+  std::unique_ptr<cs::obs::EventTracer> tracer;
+  if (!trace_out.empty()) tracer = std::make_unique<cs::obs::EventTracer>();
 
   std::cout << "NOW farm: " << tasks << " tasks, " << 3 * n_each
             << " heterogeneous workstations\n\n";
@@ -58,6 +79,10 @@ int main(int argc, char** argv) {
        {"guideline", "greedy", "best-fixed", "doubling", "all-at-once"}) {
     const auto policy = cs::sim::make_policy(name);
     auto stations = build_stations();
+    // Trace the guideline run only: one policy per trace file keeps the
+    // cstrace summary 1:1 with a single FarmResult.
+    opt.tracer =
+        std::strcmp(name, "guideline") == 0 ? tracer.get() : nullptr;
     const cs::sim::FarmResult r = cs::sim::run_farm(stations, *policy, opt);
     std::size_t interrupts = 0;
     for (const auto& ws : r.stations) interrupts += ws.interrupted_periods;
@@ -71,5 +96,30 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render("Draining the task bag (lower makespan is better)")
             << '\n';
+
+  if (tracer) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::cerr << "now_farm: cannot open " << trace_out << '\n';
+      return 1;
+    }
+    tracer->write_jsonl(tracer->drain(), os);
+    std::cerr << "now_farm: wrote guideline-policy event trace to "
+              << trace_out << " (summarize with: cstrace " << trace_out
+              << ")\n";
+    if (tracer->dropped() > 0)
+      std::cerr << "now_farm: trace ring overflowed; " << tracer->dropped()
+                << " oldest events dropped\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::cerr << "now_farm: cannot open " << metrics_out << '\n';
+      return 1;
+    }
+    cs::obs::Registry::global().write_json(os);
+    std::cerr << "now_farm: wrote metrics registry to " << metrics_out
+              << '\n';
+  }
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "core/expected_work.hpp"
 #include "numerics/minimize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
 
 namespace cs {
 
@@ -13,6 +15,7 @@ DpResult dp_reference(const LifeFunction& p, double c, const DpOptions& opt) {
   if (!(c > 0.0)) throw std::invalid_argument("dp_reference: c <= 0");
   if (opt.grid_points < 2)
     throw std::invalid_argument("dp_reference: grid too small");
+  CS_OBS_SCOPE("dp_reference.solve");
   DpResult result;
   result.horizon = p.horizon(opt.p_floor);
   const std::size_t n = opt.grid_points;
@@ -27,6 +30,13 @@ DpResult dp_reference(const LifeFunction& p, double c, const DpOptions& opt) {
   std::vector<std::size_t> choice(n + 1, 0);  // 0 = stop, else next index
   // Backward induction; skip periods of length <= c (never productive).
   const auto min_span = static_cast<std::size_t>(std::ceil(c / h)) + 1;
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("core.dp.solves").inc();
+    // Cells = candidate (i, j) splits swept by the O(n^2) induction.
+    reg.counter("core.dp.cells")
+        .inc(n > min_span ? (n - min_span) * (n - min_span + 1) / 2 : 0);
+  }
   for (std::size_t i = n; i-- > 0;) {
     double best = 0.0;
     std::size_t best_j = 0;
@@ -69,6 +79,7 @@ DpResult dp_reference(const LifeFunction& p, double c, const DpOptions& opt) {
 
 PolishResult polish_schedule(const Schedule& s, const LifeFunction& p,
                              double c, int max_sweeps, double tol) {
+  CS_OBS_SCOPE("dp_reference.polish");
   PolishResult out;
   out.schedule = canonicalize(s, c);
   if (out.schedule.empty()) return out;
@@ -111,6 +122,14 @@ PolishResult polish_schedule(const Schedule& s, const LifeFunction& p,
   }
   out.schedule = canonicalize(Schedule(std::move(periods)), c);
   out.expected = expected_work(out.schedule, p, c);
+  if (obs::enabled()) {
+    auto& reg = obs::Registry::global();
+    reg.counter("core.dp.polish_sweeps")
+        .inc(static_cast<std::uint64_t>(out.sweeps_used));
+    // Drift between the sweeps' incremental accounting and the final
+    // re-evaluated E: a convergence/robustness residual, ~0 when healthy.
+    reg.gauge("core.dp.polish_residual").set(current - out.expected);
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "numerics/roots.hpp"
+#include "obs/metrics.hpp"
 
 namespace cs {
 
@@ -54,10 +55,20 @@ std::optional<double> RecurrenceEngine::next_period(double prev_end,
 RecurrenceResult RecurrenceEngine::generate(double t0) const {
   if (!(t0 > c_))
     throw std::invalid_argument("RecurrenceEngine::generate: t0 must exceed c");
+  struct Metrics {
+    obs::Counter& expansions;
+    obs::Counter& periods;
+  };
+  static Metrics metrics{
+      obs::Registry::global().counter("core.recurrence.expansions"),
+      obs::Registry::global().counter("core.recurrence.periods")};
+  const bool observed = obs::enabled();
+  if (observed) metrics.expansions.inc();
   RecurrenceResult result;
   double prev_len = t0;
   double prev_end = t0;
   result.schedule.append(t0);
+  if (observed) metrics.periods.inc();  // t0
   for (;;) {
     if (result.schedule.size() >= opt_.max_periods) {
       result.stop = StopReason::PeriodCapReached;
@@ -80,6 +91,7 @@ RecurrenceResult RecurrenceEngine::generate(double t0) const {
     prev_end += *t_k;
     prev_len = *t_k;
     result.schedule.append(*t_k);
+    if (observed) metrics.periods.inc();
     const double contribution = (*t_k - c_) * p_.survival(prev_end);
     if (contribution < opt_.tail_tol) {
       result.stop = StopReason::TailNegligible;

@@ -12,6 +12,11 @@
 //   double ew = result.expected;                   // E(S; p), eq. (2.1)
 #pragma once
 
+// Observability: metrics registry, event tracing, profiling scopes
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/scope_timer.hpp"
+
 // Life functions (Section 2.1 / 3.1)
 #include "lifefn/life_function.hpp"
 #include "lifefn/families.hpp"

@@ -4,11 +4,49 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace cs::num {
 
 namespace {
 constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
-}
+
+// Solver telemetry: calls / iterations / objective evaluations per optimizer,
+// and the width of the last converged bracket (a convergence-quality gauge).
+struct MinimizeMetrics {
+  obs::Counter& calls;
+  obs::Counter& iterations;
+  obs::Counter& evaluations;
+  obs::Gauge& last_width;
+  static MinimizeMetrics& get(const char* solver) {
+    auto& reg = obs::Registry::global();
+    const std::string prefix = std::string("numerics.minimize.") + solver;
+    // One static per solver name would need a map; the three call sites below
+    // each cache their own reference, so this runs once per solver.
+    static std::mutex mu;
+    static std::map<std::string, std::unique_ptr<MinimizeMetrics>> all;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = all.find(prefix);
+    if (it == all.end()) {
+      it = all.emplace(prefix,
+                       std::unique_ptr<MinimizeMetrics>(new MinimizeMetrics{
+                           reg.counter(prefix + ".calls"),
+                           reg.counter(prefix + ".iterations"),
+                           reg.counter(prefix + ".evaluations"),
+                           reg.gauge(prefix + ".last_bracket_width")}))
+               .first;
+    }
+    return *it->second;
+  }
+  void record(const MinResult& r, std::uint64_t evals, double width) {
+    calls.inc();
+    iterations.inc(static_cast<std::uint64_t>(r.iterations));
+    evaluations.inc(evals);
+    last_width.set(width);
+  }
+};
+
+}  // namespace
 
 MinResult golden_section(const std::function<double(double)>& f, double lo,
                          double hi, const MinOptions& opt) {
@@ -42,6 +80,10 @@ MinResult golden_section(const std::function<double(double)>& f, double lo,
   } else {
     r.x = x2;
     r.value = f2;
+  }
+  if (obs::enabled()) {
+    MinimizeMetrics::get("golden_section")
+        .record(r, 2 + static_cast<std::uint64_t>(r.iterations), b - a);
   }
   return r;
 }
@@ -108,6 +150,10 @@ MinResult brent_minimize(const std::function<double(double)>& f, double lo,
   }
   r.x = x;
   r.value = fx;
+  if (obs::enabled()) {
+    MinimizeMetrics::get("brent")
+        .record(r, 1 + static_cast<std::uint64_t>(r.iterations), b - a);
+  }
   return r;
 }
 
@@ -132,15 +178,25 @@ MinResult grid_then_refine(const std::function<double(double)>& f, double lo,
   const double h = (hi - lo) / static_cast<double>(n - 1);
   const double a = std::max(lo, best.x - (best_i > 0 ? h : 0.0));
   const double b = std::min(hi, best.x + (best_i < n - 1 ? h : 0.0));
+  MinResult out;
   if (b > a) {
     MinResult refined = brent_minimize(f, a, b, opt);
     refined.iterations += best.iterations;
-    if (refined.value <= best.value) return refined;
+    if (refined.value <= best.value) {
+      out = refined;
+    } else {
+      best.converged = true;
+      out = best;
+    }
+  } else {
     best.converged = true;
-    return best;
+    out = best;
   }
-  best.converged = true;
-  return best;
+  if (obs::enabled()) {
+    MinimizeMetrics::get("grid_then_refine")
+        .record(out, static_cast<std::uint64_t>(n), b - a);
+  }
+  return out;
 }
 
 namespace {

@@ -1,0 +1,324 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cs::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("CS_OBS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+
+void atomic_add_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string make_key(std::string_view name, std::string_view labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  return key;
+}
+
+/// Minimal JSON string escaping for metric keys (we never emit control
+/// characters ourselves, but keys may contain user-supplied labels).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+const char* kind_name(MetricSample::Kind k) {
+  switch (k) {
+    case MetricSample::Kind::Counter: return "counter";
+    case MetricSample::Kind::Gauge: return "gauge";
+    case MetricSample::Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+double HistogramLayout::upper_bound(std::size_t i) const {
+  // Bucket 0 is the underflow bucket (< min_value); bucket i >= 1 covers
+  // [min_value * base^(i-1), min_value * base^i); the last bucket is open.
+  if (i + 1 >= buckets) return std::numeric_limits<double>::infinity();
+  return min_value * std::pow(base, static_cast<double>(i));
+}
+
+Histogram::Histogram(HistogramLayout layout)
+    : layout_(layout),
+      counts_(std::max<std::size_t>(2, layout.buckets)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (!(layout_.base > 1.0) || !(layout_.min_value > 0.0))
+    throw std::invalid_argument("Histogram: base must be > 1, min_value > 0");
+  layout_.buckets = counts_.size();
+}
+
+std::size_t Histogram::bucket_index(double v) const noexcept {
+  if (!(v >= layout_.min_value)) return 0;  // underflow and NaN
+  const auto i = static_cast<std::size_t>(
+      std::log(v / layout_.min_value) / std::log(layout_.base) + 1.0);
+  return std::min(i, layout_.buckets - 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::min() const noexcept {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < layout_.buckets; ++i) {
+    const auto c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const double next = cum + static_cast<double>(c);
+    if (next >= target) {
+      const double lo = i == 0 ? 0.0 : layout_.upper_bound(i - 1);
+      double hi = layout_.upper_bound(i);
+      if (std::isinf(hi)) hi = std::max(max(), lo);  // clamp open top bucket
+      const double frac = (target - cum) / static_cast<double>(c);
+      // Bucket interpolation can overshoot the true extremes; clamp to the
+      // exactly-tracked min/max.
+      return std::clamp(lo + frac * (hi - lo), min(), max());
+    }
+    cum = next;
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(layout_.buckets);
+  for (std::size_t i = 0; i < layout_.buckets; ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry;  // never destroyed: references from
+  return *reg;                          // static caches outlive main's end
+}
+
+Registry::Entry& Registry::find_or_create(std::string_view name,
+                                          std::string_view labels,
+                                          MetricSample::Kind kind,
+                                          const HistogramLayout* layout) {
+  const std::string key = make_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind)
+      throw std::invalid_argument("Registry: metric '" + key +
+                                  "' already registered with another kind");
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case MetricSample::Kind::Counter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricSample::Kind::Gauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricSample::Kind::Histogram:
+      e.histogram = std::make_unique<Histogram>(layout ? *layout
+                                                       : HistogramLayout{});
+      break;
+  }
+  return entries_.emplace(key, std::move(e)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels) {
+  return *find_or_create(name, labels, MetricSample::Kind::Counter, nullptr)
+              .counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels) {
+  return *find_or_create(name, labels, MetricSample::Kind::Gauge, nullptr)
+              .gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view labels,
+                               HistogramLayout layout) {
+  return *find_or_create(name, labels, MetricSample::Kind::Histogram, &layout)
+              .histogram;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.kind = e.kind;
+    s.name = key;
+    switch (e.kind) {
+      case MetricSample::Kind::Counter:
+        s.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricSample::Kind::Gauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricSample::Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        s.value = h.sum();
+        s.count = h.count();
+        s.buckets = h.bucket_counts();
+        s.bucket_bounds.reserve(s.buckets.size());
+        for (std::size_t i = 0; i < s.buckets.size(); ++i)
+          s.bucket_bounds.push_back(h.layout().upper_bound(i));
+        s.min = h.count() ? h.min() : 0.0;
+        s.max = h.count() ? h.max() : 0.0;
+        s.p50 = h.quantile(0.50);
+        s.p99 = h.quantile(0.99);
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, e] : entries_) {
+    (void)key;
+    switch (e.kind) {
+      case MetricSample::Kind::Counter: e.counter->reset(); break;
+      case MetricSample::Kind::Gauge: e.gauge->reset(); break;
+      case MetricSample::Kind::Histogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  const auto samples = snapshot();
+  os << "[\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    os << "  {\"name\":\"" << json_escape(s.name) << "\",\"kind\":\""
+       << kind_name(s.kind) << "\"";
+    if (s.kind == MetricSample::Kind::Histogram) {
+      os << ",\"count\":" << s.count << ",\"sum\":" << s.value
+         << ",\"min\":" << s.min << ",\"max\":" << s.max << ",\"p50\":" << s.p50
+         << ",\"p99\":" << s.p99 << ",\"buckets\":[";
+      // Omit the empty tail: every histogram has a long run of zero buckets.
+      std::size_t last = 0;
+      for (std::size_t b = 0; b < s.buckets.size(); ++b)
+        if (s.buckets[b] > 0) last = b + 1;
+      for (std::size_t b = 0; b < last; ++b) {
+        if (b) os << ',';
+        const double ub = s.bucket_bounds[b];
+        os << "[";
+        if (std::isinf(ub)) {
+          os << "null";
+        } else {
+          os << ub;
+        }
+        os << "," << s.buckets[b] << "]";
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << s.value;
+    }
+    os << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  os << "name,kind,value,count,min,max,p50,p99\n";
+  for (const MetricSample& s : snapshot()) {
+    os << '"' << s.name << "\"," << kind_name(s.kind) << ',' << s.value << ','
+       << s.count << ',' << s.min << ',' << s.max << ',' << s.p50 << ','
+       << s.p99 << '\n';
+  }
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::string Registry::to_csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+}  // namespace cs::obs

@@ -1,0 +1,173 @@
+// Thread-safe metrics registry: counters, gauges, and log-bucketed
+// histograms with labeled lookup and JSON/CSV snapshot export.
+//
+// Design notes:
+//  - Metric objects are owned by a Registry and never deallocated while the
+//    registry lives, so `Counter&` references obtained once (e.g. cached in a
+//    function-local static) stay valid forever; `Registry::reset()` zeroes
+//    values without invalidating references.
+//  - Hot-path operations (`Counter::inc`, `Histogram::observe`) are lock-free
+//    relaxed atomics; only name→metric lookup takes a mutex.
+//  - A process-global enable flag (`cs::obs::enabled()`) lets instrumented
+//    code skip clock reads and metric updates entirely: the disabled cost of
+//    an instrumentation site is one relaxed atomic load and a branch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs::obs {
+
+/// Process-global observability switch.  Default off: instrumented binaries
+/// opt in (e.g. when `--metrics-out` is passed) or via environment variable
+/// `CS_OBS=1`, read once at first query.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written double value (queue depths, residuals, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram bucket layout: geometric (log-scale) buckets
+///   bucket i  covers  [min_value * base^i, min_value * base^(i+1))
+/// with an underflow bucket 0 (v < min_value falls in bucket 0 as well) and
+/// values beyond the top boundary clamped into the last bucket.
+struct HistogramLayout {
+  double min_value = 1.0;     ///< lower bound of bucket 1
+  double base = 2.0;          ///< geometric growth factor (> 1)
+  std::size_t buckets = 48;   ///< total bucket count (>= 2)
+  /// Upper boundary of bucket `i` (inclusive range end of the layout for the
+  /// last bucket is +inf).
+  [[nodiscard]] double upper_bound(std::size_t i) const;
+};
+
+/// Lock-free log-bucketed histogram with sum/count/min/max.
+class Histogram {
+ public:
+  explicit Histogram(HistogramLayout layout = {});
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;  ///< +inf when empty
+  [[nodiscard]] double max() const noexcept;  ///< -inf when empty
+  /// Quantile estimate by linear interpolation inside the located bucket.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] const HistogramLayout& layout() const noexcept {
+    return layout_;
+  }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double v) const noexcept;
+
+  HistogramLayout layout_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Point-in-time copy of one metric, for export.
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind kind = Kind::Counter;
+  std::string name;    ///< full key: "name" or "name{labels}"
+  double value = 0.0;  ///< counter value / gauge value / histogram sum
+  std::uint64_t count = 0;              ///< histogram observation count
+  std::vector<double> bucket_bounds;    ///< histogram upper bounds
+  std::vector<std::uint64_t> buckets;   ///< histogram bucket counts
+  double min = 0.0, max = 0.0, p50 = 0.0, p99 = 0.0;  ///< histogram extras
+};
+
+/// Name→metric map.  Lookup is mutex-protected; returned references are
+/// stable for the registry's lifetime.
+class Registry {
+ public:
+  /// Process-wide registry used by all built-in instrumentation.
+  static Registry& global();
+
+  /// Find-or-create.  `labels` (optional, preformatted "k=v,k=v") is folded
+  /// into the key as `name{labels}`.  Re-registering an existing key with a
+  /// different metric kind throws std::invalid_argument.
+  Counter& counter(std::string_view name, std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view labels = {});
+  Histogram& histogram(std::string_view name, std::string_view labels = {},
+                       HistogramLayout layout = {});
+
+  /// Snapshot of every registered metric, sorted by key.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Zero all values.  References stay valid (objects are kept).
+  void reset();
+
+  /// Export the snapshot.  JSON: one top-level array of metric objects.
+  /// CSV: `name,kind,value,count,min,max,p50,p99` rows.
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(std::string_view name, std::string_view labels,
+                        MetricSample::Kind kind, const HistogramLayout* layout);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace cs::obs

@@ -1,0 +1,18 @@
+#include "obs/scope_timer.hpp"
+
+#include <string>
+
+namespace cs::obs {
+
+HistogramLayout timer_layout() noexcept {
+  // 100ns * 1.5^42 ≈ 2.5e10 ns: covers sub-µs leaf calls to ~25s solves.
+  return HistogramLayout{.min_value = 100.0, .base = 1.5, .buckets = 42};
+}
+
+Histogram& timer_histogram(std::string_view name) {
+  std::string key = "timer.";
+  key += name;
+  return Registry::global().histogram(key, {}, timer_layout());
+}
+
+}  // namespace cs::obs

@@ -1,0 +1,276 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+
+namespace cs::obs {
+
+namespace {
+
+struct TypeName {
+  EventType type;
+  const char* name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {EventType::EpisodeStart, "episode_start"},
+    {EventType::EpisodeEnd, "episode_end"},
+    {EventType::PeriodCompleted, "period_completed"},
+    {EventType::PeriodInterrupted, "period_interrupted"},
+    {EventType::Reclaim, "reclaim"},
+    {EventType::TaskBatchShipped, "batch_shipped"},
+    {EventType::TaskBatchLost, "batch_lost"},
+};
+
+/// Shortest round-trip decimal for a double (printf %.17g round-trips).
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Locate `"key":` in a flat one-level JSON object and return the value
+/// substring (unquoted for strings), or nullopt.
+std::optional<std::string_view> find_value(std::string_view line,
+                                           std::string_view key) {
+  std::string pat = "\"";
+  pat += key;
+  pat += "\":";
+  const auto pos = line.find(pat);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t i = pos + pat.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {
+    const auto end = line.find('"', i + 1);
+    if (end == std::string_view::npos) return std::nullopt;
+    return line.substr(i + 1, end - i - 1);
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(i, end - i);
+}
+
+std::optional<double> find_number(std::string_view line,
+                                  std::string_view key) {
+  const auto v = find_value(line, key);
+  if (!v) return std::nullopt;
+  double out = 0.0;
+  const auto res = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (res.ec != std::errc{}) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(EventType t) noexcept {
+  for (const auto& tn : kTypeNames)
+    if (tn.type == t) return tn.name;
+  return "?";
+}
+
+std::optional<EventType> parse_event_type(std::string_view s) noexcept {
+  for (const auto& tn : kTypeNames)
+    if (s == tn.name) return tn.type;
+  return std::nullopt;
+}
+
+std::optional<TraceRecord> parse_jsonl(std::string_view line) {
+  const auto first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return std::nullopt;
+  if (line[first] != '{') return std::nullopt;
+
+  const auto type_str = find_value(line, "type");
+  if (!type_str) return std::nullopt;
+  const auto type = parse_event_type(*type_str);
+  if (!type) return std::nullopt;
+
+  TraceRecord rec;
+  rec.event.type = *type;
+  const auto seq = find_number(line, "seq");
+  const auto t = find_number(line, "t");
+  if (!seq || !t) return std::nullopt;
+  rec.event.seq = static_cast<std::uint64_t>(*seq);
+  rec.event.time = *t;
+  rec.event.station =
+      static_cast<std::int32_t>(find_number(line, "ws").value_or(-1.0));
+  rec.event.episode =
+      static_cast<std::uint32_t>(find_number(line, "ep").value_or(0.0));
+  rec.event.period =
+      static_cast<std::uint32_t>(find_number(line, "per").value_or(0.0));
+  rec.event.work = find_number(line, "work").value_or(0.0);
+  rec.event.tasks = find_number(line, "tasks").value_or(0.0);
+  rec.event.aux = find_number(line, "aux").value_or(0.0);
+  if (const auto label = find_value(line, "label"))
+    rec.station_label = std::string(*label);
+  return rec;
+}
+
+EventTracer::EventTracer(std::size_t shard_capacity, std::size_t shards)
+    : shard_capacity_(std::max<std::size_t>(1, shard_capacity)) {
+  shards = std::max<std::size_t>(1, shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->ring.resize(shard_capacity_);
+    shards_.push_back(std::move(s));
+  }
+}
+
+void EventTracer::record(Event e) noexcept {
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Shard by sequence number: spreads lock contention AND fills all shards
+  // uniformly, so per-shard drop-oldest approximates global drop-oldest
+  // (thread-id sharding would strand capacity when few threads produce).
+  const std::size_t si = static_cast<std::size_t>(e.seq) % shards_.size();
+  Shard& shard = *shards_[si];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.size == shard_capacity_) {
+    // Ring full: overwrite the oldest event in this shard.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++shard.size;
+  }
+  shard.ring[shard.head] = e;
+  shard.head = (shard.head + 1) % shard_capacity_;
+}
+
+void EventTracer::set_station_labels(std::vector<std::string> labels) {
+  std::lock_guard<std::mutex> lock(labels_mutex_);
+  labels_ = std::move(labels);
+}
+
+std::string EventTracer::station_label(std::int32_t station) const {
+  std::lock_guard<std::mutex> lock(labels_mutex_);
+  if (station >= 0 && static_cast<std::size_t>(station) < labels_.size())
+    return labels_[static_cast<std::size_t>(station)];
+  return "ws" + std::to_string(station);
+}
+
+std::vector<Event> EventTracer::drain() {
+  std::vector<Event> out;
+  for (auto& sp : shards_) {
+    Shard& shard = *sp;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Oldest-first: the ring's oldest live slot is `head` when full, else 0.
+    const std::size_t start =
+        shard.size == shard_capacity_ ? shard.head : 0;
+    for (std::size_t k = 0; k < shard.size; ++k)
+      out.push_back(shard.ring[(start + k) % shard_capacity_]);
+    shard.size = 0;
+    shard.head = 0;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::uint64_t EventTracer::recorded() const noexcept {
+  return next_seq_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EventTracer::dropped() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::size_t EventTracer::capacity() const noexcept {
+  return shard_capacity_ * shards_.size();
+}
+
+void EventTracer::write_jsonl(const std::vector<Event>& events,
+                              std::ostream& os) const {
+  std::string line;
+  for (const Event& e : events) {
+    line.clear();
+    line += "{\"seq\":";
+    line += std::to_string(e.seq);
+    line += ",\"type\":\"";
+    line += to_string(e.type);
+    line += "\",\"t\":";
+    append_double(line, e.time);
+    if (e.station >= 0) {
+      line += ",\"ws\":";
+      line += std::to_string(e.station);
+      line += ",\"label\":\"";
+      line += station_label(e.station);
+      line += "\"";
+    }
+    line += ",\"ep\":";
+    line += std::to_string(e.episode);
+    line += ",\"per\":";
+    line += std::to_string(e.period);
+    if (e.work != 0.0) {
+      line += ",\"work\":";
+      append_double(line, e.work);
+    }
+    if (e.tasks != 0.0) {
+      line += ",\"tasks\":";
+      append_double(line, e.tasks);
+    }
+    if (e.aux != 0.0) {
+      line += ",\"aux\":";
+      append_double(line, e.aux);
+    }
+    line += "}\n";
+    os << line;
+  }
+}
+
+void EventTracer::write_chrome_trace(const std::vector<Event>& events,
+                                     std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  std::string line;
+  auto emit_line = [&](const std::string& body) {
+    if (!first) os << ",\n";
+    first = false;
+    os << body;
+  };
+  // Name the per-station tracks once.
+  std::vector<std::int32_t> seen;
+  for (const Event& e : events) {
+    if (e.station < 0) continue;
+    if (std::find(seen.begin(), seen.end(), e.station) != seen.end()) continue;
+    seen.push_back(e.station);
+    emit_line("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+              std::to_string(e.station) + ",\"args\":{\"name\":\"" +
+              station_label(e.station) + "\"}}");
+  }
+  for (const Event& e : events) {
+    line.clear();
+    const auto tid = std::to_string(e.station < 0 ? 9999 : e.station);
+    if (e.type == EventType::PeriodCompleted) {
+      // Completed period as a duration slice: length = payload + overhead.
+      const double dur = e.work + e.aux;
+      line += "{\"name\":\"period\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+      line += tid;
+      line += ",\"ts\":";
+      append_double(line, e.time - dur);
+      line += ",\"dur\":";
+      append_double(line, dur);
+      line += ",\"args\":{\"work\":";
+      append_double(line, e.work);
+      line += ",\"tasks\":";
+      append_double(line, e.tasks);
+      line += "}}";
+    } else {
+      line += "{\"name\":\"";
+      line += to_string(e.type);
+      line += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
+      line += tid;
+      line += ",\"ts\":";
+      append_double(line, e.time);
+      line += ",\"args\":{\"work\":";
+      append_double(line, e.work);
+      line += ",\"aux\":";
+      append_double(line, e.aux);
+      line += "}}";
+    }
+    emit_line(line);
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace cs::obs

@@ -1,0 +1,138 @@
+// Structured event tracing for the NOW simulator.
+//
+// A lock-sharded ring buffer of typed simulation events.  Producers (the
+// farm's event loop, Monte-Carlo episode chunks on pool threads) append to
+// the shard owned by their thread; each shard is a fixed-capacity ring with
+// overwrite-oldest overflow semantics and a dropped-event counter, so tracing
+// can never grow unboundedly or stall the simulation.  `drain()` merges the
+// shards back into global order by sequence number.
+//
+// Two export sinks:
+//  - JSONL: one flat JSON object per event — the format `tools/cstrace`
+//    summarizes and `parse_jsonl` round-trips;
+//  - Chrome trace_event JSON: loadable in chrome://tracing / Perfetto, with
+//    one timeline row per workstation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs::obs {
+
+/// Simulation event vocabulary (the farm + episode lifecycle).
+enum class EventType : std::uint8_t {
+  EpisodeStart,       ///< owner left; a stealing episode begins
+  EpisodeEnd,         ///< episode over (schedule exhausted or interrupted)
+  PeriodCompleted,    ///< a period's end was survived; its payload banked
+  PeriodInterrupted,  ///< the owner reclaimed mid-period; payload destroyed
+  Reclaim,            ///< owner-return time drawn for the episode
+  TaskBatchShipped,   ///< a prefix of the task bag shipped to a station
+  TaskBatchLost,      ///< shipped tasks returned to the bag after a reclaim
+};
+
+[[nodiscard]] const char* to_string(EventType t) noexcept;
+/// Inverse of to_string; nullopt on unknown names.
+[[nodiscard]] std::optional<EventType> parse_event_type(
+    std::string_view s) noexcept;
+
+/// One simulation event.  `work`/`tasks`/`aux` are type-specific:
+///   EpisodeStart     aux   = absolute scheduled owner-return time
+///   EpisodeEnd       work  = work banked this episode, tasks = completed
+///                    periods
+///   PeriodCompleted  work  = payload banked, tasks = task count,
+///                    aux   = communication overhead paid (c)
+///   PeriodInterrupted work = payload destroyed, tasks = tasks returned,
+///                    aux   = time into the period when reclaimed
+///   Reclaim          aux   = reclaim delay relative to episode start
+///   TaskBatchShipped work  = payload shipped, tasks = task count
+///   TaskBatchLost    work  = payload lost,    tasks = task count
+struct Event {
+  EventType type = EventType::EpisodeStart;
+  double time = 0.0;         ///< simulation time of the event
+  std::int32_t station = -1; ///< workstation index (-1: not station-bound)
+  std::uint32_t episode = 0; ///< episode ordinal on that station
+  std::uint32_t period = 0;  ///< period index within the episode
+  double work = 0.0;
+  double tasks = 0.0;
+  double aux = 0.0;
+  std::uint64_t seq = 0;     ///< global record order (assigned by the tracer)
+};
+
+/// Event + the station label resolved from the JSONL line (export carries
+/// labels so summaries are human-readable without the original configs).
+struct TraceRecord {
+  Event event;
+  std::string station_label;
+};
+
+/// Parse one JSONL line produced by `EventTracer::write_jsonl`.  Tolerant of
+/// key order; returns nullopt for blank/malformed lines.
+[[nodiscard]] std::optional<TraceRecord> parse_jsonl(std::string_view line);
+
+/// Lock-sharded bounded event collector.
+class EventTracer {
+ public:
+  /// `shard_capacity` events per shard; total capacity = shards * capacity.
+  explicit EventTracer(std::size_t shard_capacity = 1 << 15,
+                       std::size_t shards = 8);
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// Append an event (thread-safe).  `e.seq` is overwritten with the global
+  /// sequence number.  When the target shard is full the oldest event in that
+  /// shard is overwritten and `dropped()` incremented.
+  void record(Event e) noexcept;
+
+  /// Convenience builder used by instrumentation sites.
+  void emit(EventType type, double time, std::int32_t station,
+            std::uint32_t episode, std::uint32_t period, double work = 0.0,
+            double tasks = 0.0, double aux = 0.0) noexcept {
+    record(Event{type, time, station, episode, period, work, tasks, aux, 0});
+  }
+
+  /// Human-readable names for the station indices in emitted events; used by
+  /// the JSONL sink.  Indices without a label are exported as "ws<i>".
+  void set_station_labels(std::vector<std::string> labels);
+  [[nodiscard]] std::string station_label(std::int32_t station) const;
+
+  /// Move all buffered events out, merged in sequence order.  Dropped and
+  /// recorded counters are preserved (they describe the tracer's lifetime).
+  [[nodiscard]] std::vector<Event> drain();
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+  /// Serialize events as JSONL (one object per line).
+  void write_jsonl(const std::vector<Event>& events, std::ostream& os) const;
+  /// Serialize events in Chrome trace_event format ("traceEvents" array):
+  /// completed periods become duration slices on a per-station track, all
+  /// other events become instants.  1 simulated time unit = 1 µs.
+  void write_chrome_trace(const std::vector<Event>& events,
+                          std::ostream& os) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Event> ring;
+    std::size_t head = 0;   ///< next write slot
+    std::size_t size = 0;   ///< live events (<= capacity)
+  };
+
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex labels_mutex_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace cs::obs

@@ -1,8 +1,32 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
 
 namespace cs::par {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter& submitted;
+  obs::Counter& executed;
+  obs::Gauge& queue_depth;
+  obs::Histogram& queue_wait;
+  static PoolMetrics& instance() {
+    static PoolMetrics m{
+        obs::Registry::global().counter("parallel.pool.submitted"),
+        obs::Registry::global().counter("parallel.pool.executed"),
+        obs::Registry::global().gauge("parallel.pool.queue_depth"),
+        obs::Registry::global().histogram("parallel.pool.queue_wait_ns", {},
+                                          obs::timer_layout())};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -13,24 +37,49 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+bool ThreadPool::stopped() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void ThreadPool::enqueue(std::packaged_task<void()> task) {
+  const bool observed = obs::enabled();
+  QueuedTask item{std::move(task), observed ? obs::now_ns() : 0};
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(packaged));
+    if (stopping_) {
+      throw std::runtime_error(
+          "ThreadPool::submit: pool is stopped; the task would never run");
+    }
+    tasks_.push(std::move(item));
+    depth = tasks_.size();
   }
   cv_.notify_one();
-  return future;
+  if (observed) {
+    auto& m = PoolMetrics::instance();
+    m.submitted.inc();
+    m.queue_depth.set(static_cast<double>(depth));
+  }
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -40,15 +89,23 @@ ThreadPool& ThreadPool::shared() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask item;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      if (tasks_.empty()) return;  // stopping_ && drained
+      item = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
     }
-    task();  // exceptions propagate through the packaged_task's future
+    if (item.submit_ns != 0 && obs::enabled()) {
+      auto& m = PoolMetrics::instance();
+      m.queue_wait.observe(static_cast<double>(obs::now_ns() - item.submit_ns));
+      m.queue_depth.set(static_cast<double>(depth));
+      m.executed.inc();
+    }
+    item.task();  // exceptions propagate through the packaged_task's future
   }
 }
 

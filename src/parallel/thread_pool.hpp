@@ -5,19 +5,31 @@
 // Design notes (C++ Core Guidelines CP.*):
 //  - RAII: the destructor drains and joins; no detached threads.
 //  - Exceptions thrown inside tasks are captured and rethrown to the waiter.
+//  - Submitting to a stopped pool throws std::runtime_error instead of
+//    enqueueing a task that would never run (a silent deadlock for waiters).
+//  - `submit` constructs the packaged_task directly from the caller's
+//    callable — no intermediate std::function wrapper, so a lambda pays one
+//    type erasure, not two.
 //  - The pool is intentionally simple (one mutex, one condvar); task bodies
 //    in this project are coarse (thousands of episodes / grid rows each), so
 //    queue contention is negligible.
+//
+// Observability (when cs::obs::enabled()): counters
+// `parallel.pool.submitted` / `parallel.pool.executed`, gauge
+// `parallel.pool.queue_depth`, and histogram `parallel.pool.queue_wait_ns`
+// (submit→dequeue latency) in the global registry.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace cs::par {
@@ -35,19 +47,55 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its completion/exception.
-  std::future<void> submit(std::function<void()> task);
+  /// Enqueue a callable; returns a future for its result (or exception).
+  /// Move-only callables are accepted.  Throws std::runtime_error if the
+  /// pool has been shut down.
+  template <typename F, typename = std::enable_if_t<std::is_invocable_v<F&>>>
+  auto submit(F&& task) {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    if constexpr (std::is_void_v<R>) {
+      // The common case pays exactly one type erasure.
+      std::packaged_task<void()> packaged(std::forward<F>(task));
+      std::future<void> future = packaged.get_future();
+      enqueue(std::move(packaged));
+      return future;
+    } else {
+      // Value-returning tasks: the inner packaged_task owns the result
+      // channel; invoking it from the queue's void() wrapper is itself a
+      // void call, and any exception lands in the inner shared state.
+      std::packaged_task<R()> inner(std::forward<F>(task));
+      std::future<R> future = inner.get_future();
+      enqueue(std::packaged_task<void()>(std::move(inner)));
+      return future;
+    }
+  }
+
+  /// Stop accepting tasks, drain the queue, and join the workers.  Idempotent;
+  /// called by the destructor.  After shutdown `submit` throws.
+  void shutdown();
+
+  /// True once shutdown has begun; tasks submitted from here on throw.
+  [[nodiscard]] bool stopped() const noexcept;
+
+  /// Tasks currently waiting in the queue (diagnostic snapshot).
+  [[nodiscard]] std::size_t queue_depth() const;
 
   /// Process-wide shared pool (lazily constructed, never destroyed before
   /// main exits).  Benchmarks and the simulator use this by default.
   static ThreadPool& shared();
 
  private:
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::uint64_t submit_ns = 0;  ///< 0 when observability is disabled
+  };
+
+  void enqueue(std::packaged_task<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
+  std::queue<QueuedTask> tasks_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "numerics/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
 
 namespace cs::sim {
 
@@ -31,6 +33,7 @@ EpisodeOutcome run_episode(const Schedule& s, double c, double reclaim) {
 
 MonteCarloResult monte_carlo_episodes(const Schedule& s, const LifeFunction& p,
                                       double c, const MonteCarloOptions& opt) {
+  CS_OBS_SCOPE("sim.monte_carlo");
   // Chunk-local RNG streams are derived from (seed, chunk-start), so the
   // stream layout — and hence the result — is independent of thread count.
   auto run_range = [&](MonteCarloResult& acc, std::size_t begin,
@@ -43,6 +46,20 @@ MonteCarloResult monte_carlo_episodes(const Schedule& s, const LifeFunction& p,
       acc.overhead.add(ep.overhead);
       acc.lost.add(ep.lost);
       acc.periods.add(static_cast<double>(ep.completed_periods));
+      if (opt.tracer != nullptr) {
+        const auto idx = static_cast<std::uint32_t>(i);
+        opt.tracer->emit(obs::EventType::Reclaim, 0.0, 0, idx, 0, 0.0, 0.0,
+                         reclaim);
+        opt.tracer->emit(obs::EventType::EpisodeEnd,
+                         std::min(reclaim, s.total_duration()), 0, idx, 0,
+                         ep.work,
+                         static_cast<double>(ep.completed_periods));
+      }
+    }
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .counter("sim.mc.episodes")
+          .inc(end_idx - begin);
     }
   };
 

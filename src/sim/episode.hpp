@@ -12,6 +12,7 @@
 #include "core/schedule.hpp"
 #include "lifefn/life_function.hpp"
 #include "numerics/stats.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace cs::sim {
@@ -43,6 +44,12 @@ struct MonteCarloOptions {
   std::size_t episodes = 100000;
   std::uint64_t seed = 0x5EEDCAFE;
   bool parallel = true;  ///< fan episodes out over ThreadPool::shared()
+  /// Optional event sink (non-owning).  When set, each simulated episode
+  /// emits a Reclaim and an EpisodeEnd event (work, completed periods); the
+  /// episode ordinal is the event's `episode` field, so traces from the
+  /// parallel path are identical to the serial path up to record order.
+  /// Attaching a tracer never changes the sampled RNG streams or the result.
+  obs::EventTracer* tracer = nullptr;
 };
 
 /// Simulate `opt.episodes` independent episodes of schedule `s` against

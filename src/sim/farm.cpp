@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "numerics/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
 
 namespace cs::sim {
 
@@ -31,8 +33,32 @@ struct WsState {
   double episode_start = 0.0;
   double reclaim_abs = 0.0;  // absolute owner-return time of this episode
   std::size_t period = 0;
+  double period_start = 0.0;      // ship time of the in-flight period
   std::vector<double> in_flight;  // tasks currently shipped to this station
+  double episode_work = 0.0;      // banked this episode (tracing only)
+  std::size_t episode_periods = 0;
   WorkstationStats stats;
+};
+
+// Aggregate farm metrics in the global registry (label-free: a farm run is
+// one logical workload; per-station detail lives in the event trace).
+struct FarmMetrics {
+  obs::Counter& episodes;
+  obs::Counter& periods_completed;
+  obs::Counter& periods_interrupted;
+  obs::Counter& tasks_banked;
+  obs::Gauge& work_banked;
+  obs::Gauge& work_lost;
+  static FarmMetrics& instance() {
+    auto& reg = obs::Registry::global();
+    static FarmMetrics m{reg.counter("sim.farm.episodes"),
+                         reg.counter("sim.farm.periods_completed"),
+                         reg.counter("sim.farm.periods_interrupted"),
+                         reg.counter("sim.farm.tasks_banked"),
+                         reg.gauge("sim.farm.work_banked"),
+                         reg.gauge("sim.farm.work_lost")};
+    return m;
+  }
 };
 
 }  // namespace
@@ -57,6 +83,14 @@ std::vector<WorkstationConfig> homogeneous_farm(std::size_t n,
 FarmResult run_farm(std::vector<WorkstationConfig>& stations,
                     const SchedulePolicy& policy, const FarmOptions& opt) {
   if (stations.empty()) throw std::invalid_argument("run_farm: no stations");
+  CS_OBS_SCOPE("sim.run_farm");
+  obs::EventTracer* const tracer = opt.tracer;
+  if (tracer != nullptr) {
+    std::vector<std::string> labels;
+    labels.reserve(stations.size());
+    for (const auto& cfg : stations) labels.push_back(cfg.label);
+    tracer->set_station_labels(std::move(labels));
+  }
   FarmResult result;
   num::RandomStream bag_rng(opt.seed, 0xBA6);
   TaskBag bag(opt.task_count, opt.profile, bag_rng);
@@ -94,6 +128,16 @@ FarmResult run_farm(std::vector<WorkstationConfig>& stations,
         std::vector<double> drawn = bag.draw(payload);
         if (!drawn.empty()) {
           st.in_flight = std::move(drawn);
+          st.period_start = now;
+          if (tracer != nullptr) {
+            double shipped = 0.0;
+            for (double d : st.in_flight) shipped += d;
+            tracer->emit(obs::EventType::TaskBatchShipped, now,
+                         static_cast<std::int32_t>(i),
+                         static_cast<std::uint32_t>(st.stats.episodes - 1),
+                         static_cast<std::uint32_t>(st.period), shipped,
+                         static_cast<double>(st.in_flight.size()));
+          }
           const double end_time = now + t_k;
           if (end_time >= st.reclaim_abs) {
             queue.push({st.reclaim_abs, seq++, i, EventKind::Interrupted});
@@ -108,9 +152,19 @@ FarmResult run_farm(std::vector<WorkstationConfig>& stations,
     return false;
   };
 
-  auto schedule_next_episode = [&](std::size_t i) {
+  // The episode on station `i` is over (schedule exhausted, bag empty, or
+  // owner reclaim at `end_time`): trace the end and queue the next episode
+  // start after the owner-present gap.
+  auto schedule_next_episode = [&](std::size_t i, double end_time) {
     auto& st = states[i];
     const auto& cfg = stations[i];
+    if (tracer != nullptr) {
+      tracer->emit(obs::EventType::EpisodeEnd, end_time,
+                   static_cast<std::int32_t>(i),
+                   static_cast<std::uint32_t>(st.stats.episodes - 1), 0,
+                   st.episode_work,
+                   static_cast<double>(st.episode_periods));
+    }
     const double gap = st.rng.exponential(1.0 / cfg.mean_busy_gap);
     const double start = st.reclaim_abs + gap;
     queue.push({start, seq++, i, EventKind::StartEpisode});
@@ -135,8 +189,20 @@ FarmResult run_farm(std::vector<WorkstationConfig>& stations,
         const double r = cfg.life->inverse_survival(st.rng.uniform01());
         st.reclaim_abs = ev.time + r;
         st.period = 0;
+        st.episode_work = 0.0;
+        st.episode_periods = 0;
         ++st.stats.episodes;
-        if (!launch_period(ev.ws, ev.time)) schedule_next_episode(ev.ws);
+        if (obs::enabled()) FarmMetrics::instance().episodes.inc();
+        if (tracer != nullptr) {
+          const auto ep = static_cast<std::uint32_t>(st.stats.episodes - 1);
+          const auto ws = static_cast<std::int32_t>(ev.ws);
+          tracer->emit(obs::EventType::EpisodeStart, ev.time, ws, ep, 0, 0.0,
+                       0.0, st.reclaim_abs);
+          tracer->emit(obs::EventType::Reclaim, ev.time, ws, ep, 0, 0.0, 0.0,
+                       r);
+        }
+        if (!launch_period(ev.ws, ev.time))
+          schedule_next_episode(ev.ws, ev.time);
         break;
       }
       case EventKind::PeriodEnd: {
@@ -148,11 +214,27 @@ FarmResult run_farm(std::vector<WorkstationConfig>& stations,
         st.stats.tasks_done += st.in_flight.size();
         tasks_done += st.in_flight.size();
         ++st.stats.completed_periods;
+        st.episode_work += banked;
+        ++st.episode_periods;
+        if (obs::enabled()) {
+          auto& m = FarmMetrics::instance();
+          m.periods_completed.inc();
+          m.tasks_banked.inc(st.in_flight.size());
+          m.work_banked.add(banked);
+        }
+        if (tracer != nullptr) {
+          tracer->emit(obs::EventType::PeriodCompleted, ev.time,
+                       static_cast<std::int32_t>(ev.ws),
+                       static_cast<std::uint32_t>(st.stats.episodes - 1),
+                       static_cast<std::uint32_t>(st.period), banked,
+                       static_cast<double>(st.in_flight.size()), cfg.c);
+        }
         st.in_flight.clear();
         last_bank_time = ev.time;
         if (tasks_done >= opt.task_count) break;
         ++st.period;
-        if (!launch_period(ev.ws, ev.time)) schedule_next_episode(ev.ws);
+        if (!launch_period(ev.ws, ev.time))
+          schedule_next_episode(ev.ws, ev.time);
         break;
       }
       case EventKind::Interrupted: {
@@ -162,9 +244,24 @@ FarmResult run_farm(std::vector<WorkstationConfig>& stations,
         for (double d : st.in_flight) killed += d;
         st.stats.lost += killed;
         ++st.stats.interrupted_periods;
+        if (obs::enabled()) {
+          auto& m = FarmMetrics::instance();
+          m.periods_interrupted.inc();
+          m.work_lost.add(killed);
+        }
+        if (tracer != nullptr) {
+          const auto ws = static_cast<std::int32_t>(ev.ws);
+          const auto ep = static_cast<std::uint32_t>(st.stats.episodes - 1);
+          const auto per = static_cast<std::uint32_t>(st.period);
+          tracer->emit(obs::EventType::PeriodInterrupted, ev.time, ws, ep, per,
+                       killed, static_cast<double>(st.in_flight.size()),
+                       ev.time - st.period_start);
+          tracer->emit(obs::EventType::TaskBatchLost, ev.time, ws, ep, per,
+                       killed, static_cast<double>(st.in_flight.size()));
+        }
         bag.put_back(st.in_flight);
         st.in_flight.clear();
-        schedule_next_episode(ev.ws);
+        schedule_next_episode(ev.ws, ev.time);
         break;
       }
     }

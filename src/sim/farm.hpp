@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lifefn/life_function.hpp"
+#include "obs/trace.hpp"
 #include "sim/policy.hpp"
 #include "sim/task_bag.hpp"
 
@@ -38,6 +39,12 @@ struct FarmOptions {
   TaskProfile profile;
   double sim_horizon = 1e18;  ///< absolute simulated-time cap
   std::uint64_t seed = 0xFA12BEEF;
+  /// Optional event sink (non-owning).  When set, the farm emits the full
+  /// per-workstation lifecycle — EpisodeStart/End, Reclaim, TaskBatchShipped,
+  /// PeriodCompleted, PeriodInterrupted, TaskBatchLost — and registers the
+  /// station labels with the tracer.  Pure observation: attaching a tracer
+  /// never changes the simulation's random streams or its FarmResult.
+  obs::EventTracer* tracer = nullptr;
 };
 
 /// Per-workstation outcome counters.

@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "lifefn/families.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
+#include "obs/trace.hpp"
+#include "sim/farm.hpp"
+#include "sim/policy.hpp"
+
+namespace cs::obs {
+namespace {
+
+/// Save/restore the global observability flag around a test.
+class EnabledGuard {
+ public:
+  explicit EnabledGuard(bool on) : saved_(enabled()) { set_enabled(on); }
+  ~EnabledGuard() { set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(CounterConcurrency, TotalsExactUnderHammering) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, BucketsSumAndExtremes) {
+  Histogram h(HistogramLayout{.min_value = 1.0, .base = 2.0, .buckets = 10});
+  for (double v : {0.5, 1.0, 3.0, 100.0, 1e9}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 3.0 + 100.0 + 1e9, 1e-6);
+  const auto buckets = h.bucket_counts();
+  std::uint64_t total = 0;
+  for (auto b : buckets) total += b;
+  EXPECT_EQ(total, 5u);
+  EXPECT_GE(buckets[0], 1u);            // 0.5 underflows into bucket 0
+  EXPECT_GE(buckets.back(), 1u);        // 1e9 clamps into the top bucket
+}
+
+TEST(Histogram, QuantilesMonotoneAndClamped) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const double p10 = h.quantile(0.10);
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p10, h.min());
+  EXPECT_LE(p99, h.max());
+  // Log-bucket estimates are coarse but must land in the right decade.
+  EXPECT_GT(p50, 100.0);
+  EXPECT_LT(p50, 1000.0);
+}
+
+TEST(HistogramConcurrency, CountAndSumExact) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(2.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Every observation is exactly 2.0, so the CAS-accumulated sum is exact.
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0 * kThreads * kPerThread);
+}
+
+TEST(Registry, LabeledLookupReturnsStableObjects) {
+  Registry reg;
+  Counter& a = reg.counter("requests", "policy=guideline");
+  Counter& b = reg.counter("requests", "policy=greedy");
+  Counter& a2 = reg.counter("requests", "policy=guideline");
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&a, &a2);
+  a.inc(3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "requests{policy=greedy}");
+  EXPECT_EQ(snap[1].name, "requests{policy=guideline}");
+  EXPECT_DOUBLE_EQ(snap[1].value, 3.0);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x"), std::invalid_argument);
+}
+
+TEST(Registry, ResetZeroesButKeepsReferences) {
+  Registry reg;
+  Counter& c = reg.counter("n");
+  Histogram& h = reg.histogram("h");
+  c.inc(7);
+  h.observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();  // the same object is still live and registered
+  EXPECT_DOUBLE_EQ(reg.snapshot()[1].value, 1.0);
+}
+
+TEST(Registry, JsonAndCsvExportContainMetrics) {
+  Registry reg;
+  reg.counter("a.count").inc(5);
+  reg.gauge("b.gauge").set(1.25);
+  reg.histogram("c.hist").observe(3.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"name\":\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"b.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("name,kind,value"), std::string::npos);
+  EXPECT_NE(csv.find("\"a.count\",counter,5"), std::string::npos);
+}
+
+TEST(EventRing, OverflowDropsOldestKeepsNewest) {
+  EventTracer tracer(/*shard_capacity=*/16, /*shards=*/4);  // capacity 64
+  constexpr std::uint64_t kEvents = 200;
+  for (std::uint64_t i = 0; i < kEvents; ++i)
+    tracer.emit(EventType::Reclaim, static_cast<double>(i), 0, 0, 0);
+  EXPECT_EQ(tracer.recorded(), kEvents);
+  EXPECT_EQ(tracer.dropped(), kEvents - tracer.capacity());
+  const auto events = tracer.drain();
+  ASSERT_EQ(events.size(), tracer.capacity());
+  // Sequence-sharded rings drop the globally oldest events: the survivors
+  // are exactly the last `capacity` sequence numbers, in order.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, kEvents - tracer.capacity() + i);
+}
+
+TEST(EventRing, ConcurrentRecordLosesNothingBelowCapacity) {
+  EventTracer tracer(/*shard_capacity=*/1 << 12, /*shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        tracer.emit(EventType::PeriodCompleted, static_cast<double>(i), t,
+                    0, 0, 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const auto events = tracer.drain();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  // All sequence numbers distinct and returned sorted.
+  std::set<std::uint64_t> seqs;
+  for (const auto& e : events) seqs.insert(e.seq);
+  EXPECT_EQ(seqs.size(), events.size());
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const Event& x, const Event& y) {
+                               return x.seq < y.seq;
+                             }));
+}
+
+TEST(TraceJsonl, RoundTripPreservesEveryField) {
+  EventTracer tracer(64, 1);
+  tracer.set_station_labels({"alpha", "beta"});
+  tracer.emit(EventType::PeriodCompleted, 123.456789012345, 1, 7, 3,
+              58.25, 12.0, 2.0);
+  tracer.emit(EventType::EpisodeStart, 0.125, 0, 0, 0, 0.0, 0.0, 99.5);
+  tracer.emit(EventType::Reclaim, 1e-9, -1, 2, 0, 0.0, 0.0, 42.0);
+  const auto events = tracer.drain();
+  std::ostringstream os;
+  tracer.write_jsonl(events, os);
+
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<TraceRecord> parsed;
+  while (std::getline(is, line)) {
+    const auto rec = parse_jsonl(line);
+    ASSERT_TRUE(rec.has_value()) << line;
+    parsed.push_back(*rec);
+  }
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& a = events[i];
+    const Event& b = parsed[i].event;
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_DOUBLE_EQ(a.time, b.time);
+    EXPECT_EQ(a.station, b.station);
+    EXPECT_EQ(a.episode, b.episode);
+    EXPECT_EQ(a.period, b.period);
+    EXPECT_DOUBLE_EQ(a.work, b.work);
+    EXPECT_DOUBLE_EQ(a.tasks, b.tasks);
+    EXPECT_DOUBLE_EQ(a.aux, b.aux);
+  }
+  EXPECT_EQ(parsed[0].station_label, "beta");
+  EXPECT_EQ(parsed[1].station_label, "alpha");
+  EXPECT_TRUE(parsed[2].station_label.empty());  // station -1: no label
+}
+
+TEST(TraceJsonl, MalformedLinesRejected) {
+  EXPECT_FALSE(parse_jsonl("").has_value());
+  EXPECT_FALSE(parse_jsonl("   ").has_value());
+  EXPECT_FALSE(parse_jsonl("not json").has_value());
+  EXPECT_FALSE(parse_jsonl("{\"type\":\"no_such_event\",\"seq\":1,\"t\":0}")
+                   .has_value());
+  EXPECT_FALSE(parse_jsonl("{\"seq\":1,\"t\":0}").has_value());  // no type
+}
+
+TEST(ScopeTimer, RecordsWhenEnabledOnly) {
+  EnabledGuard guard(true);
+  Histogram& h = timer_histogram("test_obs.scope_probe");
+  h.reset();
+  {
+    CS_OBS_SCOPE("test_obs.scope_probe");
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0.0);  // some nanoseconds elapsed
+
+  set_enabled(false);
+  {
+    CS_OBS_SCOPE("test_obs.scope_probe");
+  }
+  EXPECT_EQ(h.count(), 1u);  // disabled scope observed nothing
+}
+
+// ---------------------------------------------------------------------------
+// Simulator integration
+
+sim::FarmOptions small_farm_options() {
+  sim::FarmOptions opt;
+  opt.task_count = 500;
+  opt.profile = {.kind = sim::TaskProfile::Kind::Uniform,
+                 .mean = 1.0,
+                 .spread = 0.5};
+  opt.seed = 20260806;
+  return opt;
+}
+
+std::vector<sim::WorkstationConfig> small_farm_stations() {
+  const UniformRisk life(240.0);
+  return sim::homogeneous_farm(3, life, 2.0, 60.0);
+}
+
+TEST(FarmTrace, JsonlRoundTripMatchesWorkstationStats) {
+  EnabledGuard guard(true);
+  EventTracer tracer;
+  auto opt = small_farm_options();
+  opt.tracer = &tracer;
+  auto stations = small_farm_stations();
+  const auto policy = sim::make_policy("guideline");
+  const sim::FarmResult result = sim::run_farm(stations, *policy, opt);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  // Serialize and re-parse the full event log.
+  const auto events = tracer.drain();
+  std::ostringstream os;
+  tracer.write_jsonl(events, os);
+  struct Agg {
+    std::size_t episodes = 0, completed = 0, interrupted = 0, tasks = 0;
+    double work = 0.0, overhead = 0.0, lost = 0.0;
+    std::string label;
+  };
+  std::vector<Agg> agg(result.stations.size());
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto rec = parse_jsonl(line);
+    ASSERT_TRUE(rec.has_value()) << line;
+    const Event& e = rec->event;
+    ASSERT_GE(e.station, 0);
+    ASSERT_LT(static_cast<std::size_t>(e.station), agg.size());
+    Agg& a = agg[static_cast<std::size_t>(e.station)];
+    a.label = rec->station_label;
+    switch (e.type) {
+      case EventType::EpisodeStart: ++a.episodes; break;
+      case EventType::PeriodCompleted:
+        ++a.completed;
+        a.tasks += static_cast<std::size_t>(e.tasks);
+        a.work += e.work;
+        a.overhead += e.aux;
+        break;
+      case EventType::PeriodInterrupted:
+        ++a.interrupted;
+        a.lost += e.work;
+        break;
+      default: break;
+    }
+  }
+
+  // The trace-derived summary must match the simulator's own counters.
+  for (std::size_t i = 0; i < result.stations.size(); ++i) {
+    const sim::WorkstationStats& ws = result.stations[i];
+    EXPECT_EQ(agg[i].label, ws.label);
+    EXPECT_EQ(agg[i].episodes, ws.episodes);
+    EXPECT_EQ(agg[i].completed, ws.completed_periods);
+    EXPECT_EQ(agg[i].interrupted, ws.interrupted_periods);
+    EXPECT_EQ(agg[i].tasks, ws.tasks_done);
+    EXPECT_DOUBLE_EQ(agg[i].work, ws.work_done);
+    EXPECT_DOUBLE_EQ(agg[i].overhead, ws.overhead);
+    EXPECT_DOUBLE_EQ(agg[i].lost, ws.lost);
+  }
+}
+
+TEST(FarmTrace, InstrumentationDoesNotChangeFarmResult) {
+  const auto policy = sim::make_policy("guideline");
+
+  set_enabled(false);
+  auto stations_plain = small_farm_stations();
+  const sim::FarmResult plain =
+      sim::run_farm(stations_plain, *policy, small_farm_options());
+
+  sim::FarmResult traced;
+  {
+    EnabledGuard guard(true);
+    EventTracer tracer;
+    auto opt = small_farm_options();
+    opt.tracer = &tracer;
+    auto stations_traced = small_farm_stations();
+    traced = sim::run_farm(stations_traced, *policy, opt);
+  }
+
+  // Tracing and metrics are pure observation: bit-identical outcomes.
+  EXPECT_EQ(plain.completed, traced.completed);
+  EXPECT_EQ(plain.tasks_done, traced.tasks_done);
+  EXPECT_EQ(plain.makespan, traced.makespan);
+  EXPECT_EQ(plain.work_done, traced.work_done);
+  EXPECT_EQ(plain.overhead, traced.overhead);
+  EXPECT_EQ(plain.lost, traced.lost);
+  ASSERT_EQ(plain.stations.size(), traced.stations.size());
+  for (std::size_t i = 0; i < plain.stations.size(); ++i) {
+    EXPECT_EQ(plain.stations[i].episodes, traced.stations[i].episodes);
+    EXPECT_EQ(plain.stations[i].completed_periods,
+              traced.stations[i].completed_periods);
+    EXPECT_EQ(plain.stations[i].interrupted_periods,
+              traced.stations[i].interrupted_periods);
+    EXPECT_EQ(plain.stations[i].work_done, traced.stations[i].work_done);
+    EXPECT_EQ(plain.stations[i].lost, traced.stations[i].lost);
+  }
+}
+
+TEST(FarmMetrics, GlobalCountersTrackFarmTotals) {
+  EnabledGuard guard(true);
+  auto& reg = Registry::global();
+  Counter& completed = reg.counter("sim.farm.periods_completed");
+  Counter& interrupted = reg.counter("sim.farm.periods_interrupted");
+  Counter& tasks = reg.counter("sim.farm.tasks_banked");
+  const std::uint64_t completed0 = completed.value();
+  const std::uint64_t interrupted0 = interrupted.value();
+  const std::uint64_t tasks0 = tasks.value();
+
+  const auto policy = sim::make_policy("guideline");
+  auto stations = small_farm_stations();
+  const sim::FarmResult r =
+      sim::run_farm(stations, *policy, small_farm_options());
+
+  std::size_t want_completed = 0, want_interrupted = 0;
+  for (const auto& ws : r.stations) {
+    want_completed += ws.completed_periods;
+    want_interrupted += ws.interrupted_periods;
+  }
+  EXPECT_EQ(completed.value() - completed0, want_completed);
+  EXPECT_EQ(interrupted.value() - interrupted0, want_interrupted);
+  EXPECT_EQ(tasks.value() - tasks0, r.tasks_done);
+}
+
+}  // namespace
+}  // namespace cs::obs

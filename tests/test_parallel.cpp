@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -47,6 +49,39 @@ TEST(ThreadPool, DestructorDrainsQueue) {
 
 TEST(ThreadPool, SharedSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto f = pool.submit([&counter] { ++counter; });
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a crash
+  f.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, AcceptsMoveOnlyCallables) {
+  // submit() builds the packaged_task directly from the callable, so a
+  // move-only closure (impossible with a std::function detour) must work.
+  ThreadPool pool(2);
+  auto payload = std::make_unique<int>(41);
+  auto f = pool.submit(
+      [p = std::move(payload)]() mutable { return ++*p; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(f.get(), "done");
 }
 
 TEST(ParallelFor, CoversAllIndices) {

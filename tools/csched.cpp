@@ -14,10 +14,17 @@
 //   --quantize U      snap periods to indivisible tasks of duration U
 //   --simulate N      Monte-Carlo check with N episodes
 //   --max-periods M   print at most M periods (default 12)
+//   --metrics-out F   enable observability; write the metrics registry as
+//                     JSON to F ("-" = stdout) on exit
+//   --trace-out F     enable observability; with --simulate, write per-episode
+//                     JSONL events to F (summarize with `cstrace F`)
 //   --list-families   print the known life-function families and exit
 #include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "cyclesteal/cyclesteal.hpp"
@@ -63,8 +70,23 @@ Args parse(int argc, char** argv) {
 int usage() {
   std::cout <<
       "usage: csched --life SPEC --c X [--policy NAME] [--quantize U]\n"
-      "              [--simulate N] [--max-periods M] [--list-families]\n";
+      "              [--simulate N] [--max-periods M] [--metrics-out F]\n"
+      "              [--trace-out F] [--list-families]\n";
   return 2;
+}
+
+/// Write to the named file, or stdout for "-".
+void write_output(const std::string& path,
+                  const std::function<void(std::ostream&)>& writer,
+                  const char* what) {
+  if (path == "-") {
+    writer(std::cout);
+    return;
+  }
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error(std::string("cannot open ") + path);
+  writer(os);
+  std::cerr << "csched: wrote " << what << " to " << path << '\n';
 }
 
 }  // namespace
@@ -80,6 +102,14 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!args.has("life") || !args.has("c")) return usage();
+
+    // Observability: either output flag turns the global instrumentation on.
+    const std::string metrics_out = args.get("metrics-out");
+    const std::string trace_out = args.get("trace-out");
+    if (!metrics_out.empty() || !trace_out.empty())
+      cs::obs::set_enabled(true);
+    std::unique_ptr<cs::obs::EventTracer> tracer;
+    if (!trace_out.empty()) tracer = std::make_unique<cs::obs::EventTracer>();
 
     const auto p = cs::make_life_function(args.get("life"));
     const double c = args.number("c", 0.0);
@@ -117,6 +147,7 @@ int main(int argc, char** argv) {
     if (args.has("simulate")) {
       cs::sim::MonteCarloOptions opt;
       opt.episodes = static_cast<std::size_t>(args.number("simulate", 1e5));
+      opt.tracer = tracer.get();
       const auto mc = cs::sim::monte_carlo_episodes(schedule, *p, c, opt);
       const auto ci = cs::num::confidence_interval(mc.work, 3.29);
       std::cout << "simulated     : " << mc.work.mean() << "  (99.9% CI ["
@@ -124,6 +155,21 @@ int main(int argc, char** argv) {
                 << " episodes)\n"
                 << "lost / ep     : " << mc.lost.mean() << '\n'
                 << "overhead / ep : " << mc.overhead.mean() << '\n';
+    }
+
+    if (tracer) {
+      const auto events = tracer->drain();
+      write_output(trace_out, [&](std::ostream& os) {
+        tracer->write_jsonl(events, os);
+      }, "event trace (JSONL)");
+      if (tracer->dropped() > 0)
+        std::cerr << "csched: trace ring overflowed; " << tracer->dropped()
+                  << " oldest events dropped\n";
+    }
+    if (!metrics_out.empty()) {
+      write_output(metrics_out, [](std::ostream& os) {
+        cs::obs::Registry::global().write_json(os);
+      }, "metrics registry (JSON)");
     }
     return 0;
   } catch (const std::exception& err) {

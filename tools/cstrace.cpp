@@ -1,0 +1,205 @@
+// cstrace — summarize a cyclesteal JSONL event trace.
+//
+//   cstrace farm.trace.jsonl
+//   now_farm 5000 4 --trace-out farm.trace.jsonl && cstrace farm.trace.jsonl
+//   cstrace farm.trace.jsonl --chrome farm.chrome.json   # chrome://tracing
+//
+// Reads the event log produced by `--trace-out` (csched, now_farm, or any
+// cs::obs::EventTracer::write_jsonl sink) and prints a per-workstation
+// report: episodes, completed/interrupted periods, banked / lost work,
+// overhead, and utilization (banked work per unit of trace wall-clock).
+// The aggregation mirrors cs::sim::WorkstationStats exactly, so the report
+// matches the simulator's own counters for a farm trace.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "numerics/tabulate.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+struct StationSummary {
+  std::string label;
+  std::size_t episodes = 0;
+  std::size_t completed = 0;
+  std::size_t interrupted = 0;
+  std::size_t episode_ends = 0;
+  double tasks = 0.0;
+  double work = 0.0;
+  double overhead = 0.0;
+  double lost = 0.0;
+};
+
+int usage() {
+  std::cout << "usage: cstrace TRACE.jsonl [--chrome OUT.json] [--csv]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cs::num::Table;
+  std::string in_path;
+  std::string chrome_out;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chrome" && i + 1 < argc) {
+      chrome_out = argv[++i];
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      in_path = arg;
+    }
+  }
+  if (in_path.empty()) return usage();
+
+  std::ifstream is(in_path);
+  if (!is) {
+    std::cerr << "cstrace: cannot open " << in_path << '\n';
+    return 1;
+  }
+
+  std::map<std::int32_t, StationSummary> stations;
+  std::vector<cs::obs::Event> events;
+  std::map<std::int32_t, std::string> labels;
+  double makespan = 0.0;
+  std::size_t lines = 0, bad = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto rec = cs::obs::parse_jsonl(line);
+    if (!rec) {
+      ++bad;
+      continue;
+    }
+    const cs::obs::Event& e = rec->event;
+    events.push_back(e);
+    makespan = std::max(makespan, e.time);
+    auto& s = stations[e.station];
+    if (!rec->station_label.empty()) {
+      s.label = rec->station_label;
+      labels[e.station] = rec->station_label;
+    }
+    switch (e.type) {
+      case cs::obs::EventType::EpisodeStart: ++s.episodes; break;
+      case cs::obs::EventType::EpisodeEnd: ++s.episode_ends; break;
+      case cs::obs::EventType::PeriodCompleted:
+        ++s.completed;
+        s.tasks += e.tasks;
+        s.work += e.work;
+        s.overhead += e.aux;
+        break;
+      case cs::obs::EventType::PeriodInterrupted:
+        ++s.interrupted;
+        s.lost += e.work;
+        break;
+      case cs::obs::EventType::Reclaim:
+      case cs::obs::EventType::TaskBatchShipped:
+      case cs::obs::EventType::TaskBatchLost:
+        break;
+    }
+  }
+  if (lines == 0) {
+    std::cerr << "cstrace: " << in_path << " is empty\n";
+    return 1;
+  }
+
+  // Monte-Carlo episode traces carry EpisodeEnd but no EpisodeStart.
+  for (auto& [idx, s] : stations) {
+    (void)idx;
+    s.episodes = std::max(s.episodes, s.episode_ends);
+  }
+
+  if (!chrome_out.empty()) {
+    cs::obs::EventTracer tracer(1, 1);  // only needed for its label table
+    if (!labels.empty()) {
+      std::vector<std::string> label_vec;
+      for (const auto& [idx, label] : labels) {
+        if (idx < 0) continue;
+        if (static_cast<std::size_t>(idx) >= label_vec.size())
+          label_vec.resize(static_cast<std::size_t>(idx) + 1);
+        label_vec[static_cast<std::size_t>(idx)] = label;
+      }
+      tracer.set_station_labels(std::move(label_vec));
+    }
+    std::ofstream os(chrome_out);
+    if (!os) {
+      std::cerr << "cstrace: cannot open " << chrome_out << '\n';
+      return 1;
+    }
+    tracer.write_chrome_trace(events, os);
+    std::cerr << "cstrace: wrote Chrome trace_event JSON to " << chrome_out
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+
+  double total_work = 0.0, total_lost = 0.0, total_overhead = 0.0;
+  double total_tasks = 0.0;
+  std::size_t total_completed = 0, total_interrupted = 0, total_episodes = 0;
+
+  Table table({"workstation", "episodes", "completed", "interrupted",
+               "interrupt %", "tasks", "work banked", "work lost", "overhead",
+               "utilization"});
+  for (const auto& [idx, s] : stations) {
+    const std::size_t periods = s.completed + s.interrupted;
+    const double irate =
+        periods > 0
+            ? static_cast<double>(s.interrupted) / static_cast<double>(periods)
+            : 0.0;
+    const double util = makespan > 0.0 ? s.work / makespan : 0.0;
+    table.add_row({s.label.empty() ? "ws" + std::to_string(idx) : s.label,
+                   std::to_string(s.episodes), std::to_string(s.completed),
+                   std::to_string(s.interrupted), Table::percent(irate, 1),
+                   Table::fixed(s.tasks, 0), Table::fixed(s.work, 2),
+                   Table::fixed(s.lost, 2), Table::fixed(s.overhead, 2),
+                   Table::percent(util, 2)});
+    total_work += s.work;
+    total_tasks += s.tasks;
+    total_lost += s.lost;
+    total_overhead += s.overhead;
+    total_completed += s.completed;
+    total_interrupted += s.interrupted;
+    total_episodes += s.episodes;
+  }
+  const std::size_t total_periods = total_completed + total_interrupted;
+  table.add_row(
+      {"TOTAL", std::to_string(total_episodes),
+       std::to_string(total_completed), std::to_string(total_interrupted),
+       Table::percent(total_periods > 0
+                          ? static_cast<double>(total_interrupted) /
+                                static_cast<double>(total_periods)
+                          : 0.0,
+                      1),
+       Table::fixed(total_tasks, 0), Table::fixed(total_work, 2),
+       Table::fixed(total_lost, 2),
+       Table::fixed(total_overhead, 2),
+       Table::percent(makespan > 0.0 ? total_work / makespan : 0.0, 2)});
+
+  if (csv) {
+    std::cout << "workstation,episodes,completed,interrupted,tasks,work,lost,"
+                 "overhead\n";
+    for (const auto& [idx, s] : stations) {
+      std::cout << '"' << (s.label.empty() ? "ws" + std::to_string(idx)
+                                           : s.label)
+                << "\"," << s.episodes << ',' << s.completed << ','
+                << s.interrupted << ',' << s.tasks << ',' << s.work << ','
+                << s.lost << ',' << s.overhead << '\n';
+    }
+    return 0;
+  }
+
+  std::cout << "trace: " << in_path << "  (" << lines << " events";
+  if (bad > 0) std::cout << ", " << bad << " unparsable";
+  std::cout << ", trace span " << Table::fixed(makespan, 1) << ")\n\n"
+            << table.render("per-workstation episode/interrupt/utilization "
+                            "summary")
+            << '\n';
+  return 0;
+}
