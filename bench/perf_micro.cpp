@@ -155,6 +155,66 @@ void BM_T0Bracket(benchmark::State& state) {
 }
 BENCHMARK(BM_T0Bracket);
 
+// --- serving engine -------------------------------------------------------
+
+cs::engine::SolveRequest engine_request(const std::string& life) {
+  cs::engine::SolveRequest req;
+  req.life = life;
+  req.c = 4.0;
+  return req;
+}
+
+void BM_EngineCacheHit(benchmark::State& state) {
+  // Shared warmed engine: measures the full serve path (canonicalize + key
+  // build + sharded lookup) when the solver never runs.  The threaded
+  // variants expose shard-mutex contention.
+  static cs::engine::Engine engine;
+  const auto req = engine_request("uniform:L=480");
+  (void)engine.solve(req);  // warm (idempotent across threads)
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.solve(req)->expected);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineCacheHit)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_EngineColdSolve(benchmark::State& state) {
+  // Capacity-1 single-shard cache with two alternating keys: every request
+  // misses, evicts, and runs the guideline solver — the cold-path cost a
+  // cache hit saves.
+  cs::engine::EngineOptions opt;
+  opt.cache_capacity = 1;
+  opt.cache_shards = 1;
+  cs::engine::Engine engine(opt);
+  const auto a = engine_request("uniform:L=480");
+  const auto b = engine_request("uniform:L=960");
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.solve(flip ? a : b)->expected);
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_EngineColdSolve);
+
+void BM_EngineSingleFlightBurst(benchmark::State& state) {
+  // A burst of identical requests for a never-seen key: one leader solves,
+  // the rest coalesce.  Reported per-burst, so compare against one
+  // BM_GuidelinePipeline run plus scheduling overhead.
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  cs::engine::Engine engine;
+  long serial = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<cs::engine::SolveRequest> reqs(
+        burst, engine_request("uniform:L=" + std::to_string(10000 + ++serial)));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.solve_many(reqs).size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(burst));
+}
+BENCHMARK(BM_EngineSingleFlightBurst)->Arg(8)->Arg(32);
+
 /// Machine-readable sink: one flat JSON object per benchmark run (JSONL),
 /// stable keys, ns/op normalized from the run's real time.
 class JsonLinesReporter : public benchmark::BenchmarkReporter {

@@ -17,15 +17,33 @@ cmake --build --preset default
 echo "== ctest (full suite) =="
 ctest --preset default
 
+echo "== csserve smoke (loopback solve via csload) =="
+serve_log="$(mktemp)"
+./build/tools/csserve --port 0 2>"$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 50); do
+  port="$(grep -oE 'listening on [0-9.]+:[0-9]+' "$serve_log" \
+          | grep -oE '[0-9]+$' || true)"
+  [[ -n "$port" ]] && break
+  sleep 0.1
+done
+[[ -n "${port:-}" ]] || { echo "csserve failed to start"; cat "$serve_log"; exit 1; }
+./build/tools/csload --port "$port" --requests 2000 --threads 4 \
+  --life uniform:L=1000 --life geomlife:half=100 --c 4 --warm
+kill -INT "$serve_pid"
+wait "$serve_pid"
+rm -f "$serve_log"
+
 if [[ "$fast" == "0" ]]; then
   echo "== configure + build (preset: asan) =="
   cmake --preset asan
   cmake --build --preset asan
 
-  echo "== ASan/UBSan pass (obs + parallel + sim concurrency) =="
+  echo "== ASan/UBSan pass (obs + parallel + sim + engine concurrency) =="
   export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
   export UBSAN_OPTIONS="print_stacktrace=1"
-  for t in test_obs test_parallel test_sim_farm test_sim_episode; do
+  for t in test_obs test_parallel test_sim_farm test_sim_episode \
+           test_engine test_csserve; do
     echo "-- $t"
     ./build-asan/tests/"$t"
   done

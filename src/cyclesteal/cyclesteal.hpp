@@ -41,6 +41,14 @@
 #include "core/admissibility.hpp"
 #include "core/worst_case.hpp"
 
+// Serving engine (sharded LRU cache, single-flight solves, csserve protocol)
+#include "engine/request.hpp"
+#include "engine/lru_cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/protocol.hpp"
+#include "engine/server.hpp"
+#include "engine/client.hpp"
+
 // Baselines ([3] closed forms + oblivious strategies)
 #include "baselines/bclr.hpp"
 #include "baselines/oblivious.hpp"

@@ -1,0 +1,38 @@
+// Minimal blocking client for the csserve line protocol — one TCP
+// connection, request-line out, response-line back.  Used by the csload
+// load generator and the loopback end-to-end tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cs::engine {
+
+class Client {
+ public:
+  /// Connect to host:port.  Throws std::runtime_error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Send one request line (newline appended if missing) and block for the
+  /// one-line response (trailing newline stripped).  Throws
+  /// std::runtime_error if the connection drops.
+  [[nodiscard]] std::string request(std::string_view line);
+
+  /// Close the connection early (destructor does this too).
+  void close();
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received beyond the last returned line
+};
+
+}  // namespace cs::engine

@@ -1,0 +1,196 @@
+#include "engine/engine.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "core/quantize.hpp"
+#include "core/t0_bounds.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
+
+namespace cs::engine {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Counter& hit;
+  obs::Counter& miss;
+  obs::Counter& eviction;
+  obs::Counter& solve_count;
+  obs::Counter& coalesced;
+  obs::Histogram& request_ns;
+  obs::Histogram& solve_ns;
+  static EngineMetrics& instance() {
+    auto& reg = obs::Registry::global();
+    static EngineMetrics m{reg.counter("engine.cache.hit"),
+                           reg.counter("engine.cache.miss"),
+                           reg.counter("engine.cache.eviction"),
+                           reg.counter("engine.solve.count"),
+                           reg.counter("engine.singleflight.coalesced"),
+                           reg.histogram("engine.request_ns", {},
+                                         obs::timer_layout()),
+                           reg.histogram("engine.solve_ns", {},
+                                         obs::timer_layout())};
+    return m;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(EngineOptions opt)
+    : opt_(opt), cache_(opt.cache_capacity, opt.cache_shards) {
+  cache_.set_eviction_hook([] {
+    if (obs::enabled()) EngineMetrics::instance().eviction.inc();
+  });
+}
+
+cs::par::ThreadPool& Engine::pool() const noexcept {
+  return opt_.pool != nullptr ? *opt_.pool : cs::par::ThreadPool::shared();
+}
+
+ResultPtr Engine::run_solver(const CanonicalRequest& creq) {
+  const std::uint64_t start_ns = obs::now_ns();
+  auto res = std::make_shared<ScheduleResult>();
+  res->canonical_life = creq.canonical_life;
+  res->solver = creq.request.solver;
+  res->c = creq.request.c;
+  res->quantize = creq.request.quantize;
+
+  const LifeFunction& p = *creq.life;
+  const double c = creq.request.c;
+  switch (creq.request.solver) {
+    case SolverKind::Guideline: {
+      const auto g = GuidelineScheduler(p, c, opt_.guideline).run();
+      res->schedule = g.schedule;
+      res->expected = g.expected;
+      res->has_bracket = true;
+      res->bracket_lo = g.bracket.lower;
+      res->bracket_hi = g.bracket.upper;
+      res->chosen_t0 = g.chosen_t0;
+      res->stop = to_string(g.stop);
+      break;
+    }
+    case SolverKind::Greedy: {
+      const auto g = greedy_schedule(p, c, opt_.greedy);
+      res->schedule = g.schedule;
+      res->expected = g.expected;
+      break;
+    }
+    case SolverKind::Dp: {
+      const auto d = dp_reference(p, c, opt_.dp);
+      res->schedule = d.schedule;
+      res->expected = d.expected;
+      break;
+    }
+    case SolverKind::Bounds: {
+      const auto b = guideline_t0_bracket(p, c);
+      res->has_bracket = true;
+      res->bracket_lo = b.lower;
+      res->bracket_hi = b.upper;
+      break;
+    }
+  }
+  if (creq.request.quantize && !res->schedule.empty()) {
+    const auto q =
+        quantize_schedule(res->schedule, p, c, *creq.request.quantize);
+    res->schedule = q.schedule;
+    res->expected = q.expected;
+  }
+  res->solve_ns = static_cast<double>(obs::now_ns() - start_ns);
+
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    auto& m = EngineMetrics::instance();
+    m.solve_count.inc();
+    m.solve_ns.observe(res->solve_ns);
+  }
+  return res;
+}
+
+ResultPtr Engine::solve(const SolveRequest& req, bool* cache_hit) {
+  const bool observed = obs::enabled();
+  const std::uint64_t start_ns = observed ? obs::now_ns() : 0;
+  const auto finish = [this, observed, start_ns, cache_hit](ResultPtr r,
+                                                            bool hit) {
+    if (cache_hit != nullptr) *cache_hit = hit;
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    if (observed) {
+      auto& m = EngineMetrics::instance();
+      (hit ? m.hit : m.miss).inc();
+      m.request_ns.observe(static_cast<double>(obs::now_ns() - start_ns));
+    }
+    return r;
+  };
+
+  const CanonicalRequest creq = canonicalize(req);
+  if (auto hit = cache_.get(creq.key)) return finish(std::move(*hit), true);
+
+  // Single-flight: register as leader or adopt the in-flight future.
+  std::promise<ResultPtr> promise;
+  std::shared_future<ResultPtr> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto it = inflight_.find(creq.key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (observed) EngineMetrics::instance().coalesced.inc();
+    } else {
+      // The leader publishes to the cache before erasing its slot, so a
+      // vacant slot means either "nobody solved this yet" or "it is already
+      // cached" — re-check the cache before claiming leadership.
+      if (auto hit = cache_.get(creq.key)) return finish(std::move(*hit), true);
+      flight = promise.get_future().share();
+      inflight_.emplace(creq.key, flight);
+      leader = true;
+    }
+  }
+
+  if (!leader) return finish(flight.get(), false);
+
+  try {
+    ResultPtr result = run_solver(creq);
+    cache_.put(creq.key, result);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(creq.key);
+    }
+    promise.set_value(result);
+    return finish(std::move(result), false);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(creq.key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::shared_future<ResultPtr> Engine::solve_async(const SolveRequest& req) {
+  return pool().submit([this, req] { return solve(req); }).share();
+}
+
+std::vector<ResultPtr> Engine::solve_many(
+    const std::vector<SolveRequest>& reqs) {
+  std::vector<std::shared_future<ResultPtr>> futures;
+  futures.reserve(reqs.size());
+  for (const SolveRequest& req : reqs) futures.push_back(solve_async(req));
+  std::vector<ResultPtr> results;
+  results.reserve(reqs.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+EngineStats Engine::stats() const noexcept {
+  EngineStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = cache_.evictions();
+  s.solves = solves_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cs::engine

@@ -1,0 +1,120 @@
+// Engine: the schedule-serving facade — canonical keys, a sharded LRU
+// result cache, and single-flight deduplication of concurrent solves.
+//
+// Request flow:
+//   1. canonicalize(request) — parse the life-function spec once and build
+//      the canonical cache key (equivalent parameterizations coalesce).
+//   2. Cache lookup.  A hit returns the shared immutable result without
+//      touching any solver.
+//   3. Miss: single-flight.  The first thread to register the key (the
+//      *leader*) runs the solver inline and publishes the result; every
+//      concurrent requester for the same key (a *follower*) waits on the
+//      leader's shared_future instead of re-solving.  A burst of N identical
+//      requests therefore costs exactly one DP/recurrence run.
+//
+// Publication order matters: the leader inserts into the cache *before*
+// erasing its in-flight slot, and a follower that misses both re-checks the
+// cache while holding the in-flight lock — so there is no window in which a
+// second solve for the same key can start.
+//
+// Observability (when cs::obs::enabled()): counters `engine.cache.hit`,
+// `engine.cache.miss`, `engine.cache.eviction`, `engine.solve.count`,
+// `engine.singleflight.coalesced`; histograms `engine.request_ns` (every
+// request, the serving latency) and `engine.solve_ns` (actual solver runs).
+// The same tallies are always available via stats(), obs on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dp_reference.hpp"
+#include "core/greedy.hpp"
+#include "core/guideline.hpp"
+#include "engine/lru_cache.hpp"
+#include "engine/request.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace cs::engine {
+
+/// Tuning knobs for the engine.
+struct EngineOptions {
+  std::size_t cache_capacity = 4096;  ///< total cached results
+  std::size_t cache_shards = 16;      ///< LRU shards (mutex granularity)
+  /// Pool used by solve_async/solve_many; nullptr = ThreadPool::shared().
+  cs::par::ThreadPool* pool = nullptr;
+  /// Solver options, forwarded verbatim so engine results are bit-identical
+  /// to direct solver calls with the same options.
+  GuidelineOptions guideline;
+  GreedyOptions greedy;
+  DpOptions dp;
+};
+
+/// Monotone tallies of engine activity (cheap snapshot of relaxed atomics).
+struct EngineStats {
+  std::uint64_t hits = 0;       ///< requests served from cache
+  std::uint64_t misses = 0;     ///< requests that found no cached result
+  std::uint64_t evictions = 0;  ///< cache entries displaced by capacity
+  std::uint64_t solves = 0;     ///< actual solver runs (== unique cold keys)
+  std::uint64_t coalesced = 0;  ///< misses that waited on another in-flight solve
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opt = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Solve synchronously.  Served from cache when possible; otherwise runs
+  /// the solver on the calling thread (leader) or waits for the identical
+  /// in-flight solve (follower).  Throws std::invalid_argument on malformed
+  /// requests; solver exceptions propagate to every coalesced waiter.
+  /// `cache_hit`, when non-null, reports whether this request was served
+  /// straight from the cache (coalesced waits count as misses).
+  [[nodiscard]] ResultPtr solve(const SolveRequest& req,
+                                bool* cache_hit = nullptr);
+
+  /// Dispatch onto the pool; the future resolves to the same shared result
+  /// solve() would return (or its exception).
+  [[nodiscard]] std::shared_future<ResultPtr> solve_async(
+      const SolveRequest& req);
+
+  /// Solve a batch concurrently on the pool.  Duplicate requests coalesce
+  /// through single-flight; results come back in request order.
+  [[nodiscard]] std::vector<ResultPtr> solve_many(
+      const std::vector<SolveRequest>& reqs);
+
+  [[nodiscard]] EngineStats stats() const noexcept;
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return opt_; }
+
+  /// Drop every cached result (tallies are kept; in-flight solves finish).
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  [[nodiscard]] cs::par::ThreadPool& pool() const noexcept;
+  /// Run the actual solver for a canonicalized request (the leader's job).
+  [[nodiscard]] ResultPtr run_solver(const CanonicalRequest& creq);
+
+  EngineOptions opt_;
+  ShardedLruCache<ResultPtr> cache_;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_future<ResultPtr>> inflight_;
+
+  // Engine-level request accounting: every solve() resolves as exactly one
+  // hit or one miss (the cache's own tallies also count the single-flight
+  // double-check, so they are not used here).
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace cs::engine

@@ -1,0 +1,146 @@
+// Sharded, thread-safe LRU cache with string keys.
+//
+// Design notes:
+//  - N independent shards, each a (hash map, intrusive recency list) pair
+//    behind its own mutex; a key's shard is fixed by its hash, so two
+//    requests contend only when they land on the same shard.  With the
+//    default 16 shards the cache-hit path is effectively uncontended at the
+//    request rates the serving engine targets.
+//  - Capacity is split evenly across shards (ceiling division, min 1 per
+//    shard); eviction is strictly least-recently-used *within a shard*,
+//    which is the standard approximation sharded caches make.
+//  - `get` refreshes recency; `put` inserts or overwrites and evicts from
+//    the back of the shard's list when over capacity.
+//  - Values are returned by copy — use a shared_ptr value type for large
+//    payloads (the engine stores shared_ptr<const ScheduleResult>).
+//  - Hit/miss/eviction tallies are relaxed atomics, readable concurrently.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace cs::engine {
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  /// `capacity` total entries (>= 1 enforced), split over `shards` (>= 1).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 16)
+      : shards_(std::max<std::size_t>(shards, 1)),
+        per_shard_capacity_(std::max<std::size_t>(
+            (std::max<std::size_t>(capacity, 1) + shards_ - 1) / shards_, 1)),
+        shard_data_(shards_) {}
+
+  /// Look up `key`; refreshes its recency on a hit.
+  [[nodiscard]] std::optional<Value> get(std::string_view key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Insert or overwrite `key`; the entry becomes most-recently-used.
+  void put(std::string_view key, Value value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    shard.order.emplace_front(std::string(key), std::move(value));
+    shard.index.emplace(shard.order.front().first, shard.order.begin());
+    if (shard.order.size() > per_shard_capacity_) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (eviction_hook_) eviction_hook_();
+    }
+  }
+
+  /// Remove every entry (tallies are kept).
+  void clear() {
+    for (Shard& shard : shard_data_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.index.clear();
+      shard.order.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shard_data_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.order.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return per_shard_capacity_ * shards_;
+  }
+  /// Which shard `key` lands on (exposed so tests can pin distribution).
+  [[nodiscard]] std::size_t shard_of(std::string_view key) const noexcept {
+    return std::hash<std::string_view>{}(key) % shards_;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Invoked once per eviction, while the evicting shard's lock is held —
+  /// keep it O(1) and non-blocking (the engine bridges it to a cs::obs
+  /// counter).  Set before the cache is shared across threads.
+  void set_eviction_hook(std::function<void()> hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Most-recent at the front; entries own the key string.
+    std::list<std::pair<std::string, Value>> order;
+    /// string_view keys point into `order` nodes (stable addresses).
+    std::unordered_map<std::string_view, typename std::list<
+        std::pair<std::string, Value>>::iterator> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key) noexcept {
+    return shard_data_[shard_of(key)];
+  }
+
+  std::size_t shards_;
+  std::size_t per_shard_capacity_;
+  std::function<void()> eviction_hook_;
+  std::vector<Shard> shard_data_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace cs::engine

@@ -1,0 +1,369 @@
+#include "engine/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+#include "lifefn/life_function.hpp"  // spec_number
+
+namespace cs::engine {
+
+namespace json {
+
+namespace {
+
+/// Cursor over the input with the shared "unexpected character" error.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " +
+                                std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0)
+      ++pos;
+  }
+  [[nodiscard]] char peek() const {
+    if (pos >= text.size()) throw std::invalid_argument("json: truncated");
+    return text[pos];
+  }
+  char take() {
+    const char c = peek();
+    ++pos;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) {
+      --pos;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // The protocol never emits non-ASCII; accept \u00XX only.
+            if (pos + 4 > text.size()) fail("truncated \\u escape");
+            const std::string hex(text.substr(pos, 4));
+            pos += 4;
+            const int code = std::stoi(hex, nullptr, 16);
+            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+      ++pos;
+    const std::string num(text.substr(start, pos - start));
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(num, &consumed);
+      if (consumed != num.size()) fail("bad number '" + num + "'");
+      return v;
+    } catch (const std::invalid_argument&) {
+      fail("bad number '" + num + "'");
+    } catch (const std::out_of_range&) {
+      fail("number out of range '" + num + "'");
+    }
+  }
+
+  Value parse_value() {
+    skip_ws();
+    Value v;
+    const char c = peek();
+    if (c == '"') {
+      v.type = Value::Type::String;
+      v.string = parse_string();
+    } else if (c == '[') {
+      ++pos;
+      v.type = Value::Type::NumArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        v.array.push_back(parse_number());
+        skip_ws();
+        const char sep = take();
+        if (sep == ']') break;
+        if (sep != ',') {
+          --pos;
+          fail("expected ',' or ']'");
+        }
+      }
+    } else if (consume_literal("true")) {
+      v.type = Value::Type::Bool;
+      v.boolean = true;
+    } else if (consume_literal("false")) {
+      v.type = Value::Type::Bool;
+      v.boolean = false;
+    } else if (consume_literal("null")) {
+      v.type = Value::Type::Null;
+    } else if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      v.type = Value::Type::Number;
+      v.number = parse_number();
+    } else if (c == '{') {
+      fail("nested objects unsupported");
+    } else {
+      fail("unexpected character");
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+std::map<std::string, Value> parse_object(std::string_view text) {
+  Parser p{text};
+  p.skip_ws();
+  p.expect('{');
+  std::map<std::string, Value> out;
+  p.skip_ws();
+  if (p.peek() == '}') {
+    p.take();
+  } else {
+    while (true) {
+      p.skip_ws();
+      std::string key = p.parse_string();
+      p.skip_ws();
+      p.expect(':');
+      out[std::move(key)] = p.parse_value();
+      p.skip_ws();
+      const char sep = p.take();
+      if (sep == '}') break;
+      if (sep != ',') {
+        --p.pos;
+        p.fail("expected ',' or '}'");
+      }
+    }
+  }
+  p.skip_ws();
+  if (p.pos != p.text.size()) p.fail("trailing content");
+  return out;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace json
+
+namespace {
+
+using json::Value;
+
+const Value* find(const std::map<std::string, Value>& obj,
+                  const std::string& key, Value::Type type,
+                  const char* type_name) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return nullptr;
+  if (it->second.type != type)
+    throw std::invalid_argument("request field '" + key + "' must be a " +
+                                type_name);
+  return &it->second;
+}
+
+void append_field(std::string& out, const char* key, double v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += spec_number(v);
+}
+
+void append_field(std::string& out, const char* key, std::string_view v) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json::escape(v);
+  out += '"';
+}
+
+std::string response_head(std::optional<std::int64_t> id, bool ok) {
+  std::string out = "{";
+  if (id) {
+    out += "\"id\":";
+    out += std::to_string(*id);
+    out += ',';
+  }
+  out += ok ? "\"ok\":true" : "\"ok\":false";
+  return out;
+}
+
+}  // namespace
+
+WireRequest parse_request_line(std::string_view line) {
+  const auto obj = json::parse_object(line);
+  WireRequest req;
+
+  if (const Value* id = find(obj, "id", Value::Type::Number, "number"))
+    req.id = static_cast<std::int64_t>(id->number);
+
+  if (const Value* cmd = find(obj, "cmd", Value::Type::String, "string")) {
+    if (cmd->string == "ping") {
+      req.cmd = WireCommand::Ping;
+      return req;
+    }
+    if (cmd->string == "stats") {
+      req.cmd = WireCommand::Stats;
+      return req;
+    }
+    if (cmd->string != "solve")
+      throw std::invalid_argument("unknown cmd '" + cmd->string +
+                                  "' (want solve|ping|stats)");
+  }
+
+  const Value* life = find(obj, "life", Value::Type::String, "string");
+  if (life == nullptr)
+    throw std::invalid_argument("solve request requires a \"life\" spec");
+  req.solve.life = life->string;
+
+  const Value* c = find(obj, "c", Value::Type::Number, "number");
+  if (c == nullptr)
+    throw std::invalid_argument("solve request requires overhead \"c\"");
+  req.solve.c = c->number;
+
+  if (const Value* solver = find(obj, "solver", Value::Type::String, "string"))
+    req.solve.solver = parse_solver_kind(solver->string);
+  if (const Value* u = find(obj, "quantize", Value::Type::Number, "number"))
+    req.solve.quantize = u->number;
+  if (const Value* mp =
+          find(obj, "max_periods", Value::Type::Number, "number")) {
+    if (mp->number < 0)
+      throw std::invalid_argument("max_periods must be nonnegative");
+    req.max_periods = static_cast<std::size_t>(mp->number);
+  }
+  return req;
+}
+
+std::string make_solve_response(const WireRequest& req,
+                                const ScheduleResult& result, bool cached) {
+  std::string out = response_head(req.id, true);
+  out += cached ? ",\"cached\":true," : ",\"cached\":false,";
+  append_field(out, "solver", to_string(result.solver));
+  out += ',';
+  append_field(out, "life", result.canonical_life);
+  out += ',';
+  append_field(out, "c", result.c);
+  if (result.quantize) {
+    out += ',';
+    append_field(out, "quantize", *result.quantize);
+  }
+  out += ',';
+  append_field(out, "expected", result.expected);
+  out += ",\"num_periods\":";
+  out += std::to_string(result.schedule.size());
+  if (!result.schedule.empty()) {
+    out += ",\"periods\":[";
+    const std::size_t shown =
+        std::min(req.max_periods, result.schedule.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i != 0) out += ',';
+      out += spec_number(result.schedule[i]);
+    }
+    out += "],";
+    append_field(out, "span", result.schedule.total_duration());
+  }
+  if (result.has_bracket) {
+    out += ',';
+    append_field(out, "bracket_lo", result.bracket_lo);
+    out += ',';
+    append_field(out, "bracket_hi", result.bracket_hi);
+  }
+  if (result.solver == SolverKind::Guideline) {
+    out += ',';
+    append_field(out, "t0", result.chosen_t0);
+    out += ',';
+    append_field(out, "stop", result.stop);
+  }
+  out += '}';
+  return out;
+}
+
+std::string make_error_response(std::optional<std::int64_t> id,
+                                std::string_view error) {
+  std::string out = response_head(id, false);
+  out += ',';
+  append_field(out, "error", error);
+  out += '}';
+  return out;
+}
+
+std::string make_pong_response(std::optional<std::int64_t> id) {
+  std::string out = response_head(id, true);
+  out += ",\"pong\":true}";
+  return out;
+}
+
+std::string make_stats_response(std::optional<std::int64_t> id,
+                                const EngineStats& stats,
+                                std::size_t cache_size) {
+  std::string out = response_head(id, true);
+  out += ",\"hits\":" + std::to_string(stats.hits);
+  out += ",\"misses\":" + std::to_string(stats.misses);
+  out += ",\"evictions\":" + std::to_string(stats.evictions);
+  out += ",\"solves\":" + std::to_string(stats.solves);
+  out += ",\"coalesced\":" + std::to_string(stats.coalesced);
+  out += ",\"cache_size\":" + std::to_string(cache_size);
+  out += '}';
+  return out;
+}
+
+}  // namespace cs::engine

@@ -1,0 +1,86 @@
+// csserve wire protocol: newline-delimited JSON, one object per line.
+//
+// Request grammar (flat object; unknown fields are ignored):
+//   {"id":7,"life":"uniform:L=1000","c":4}                    -> solve
+//   {"id":8,"life":"geomlife:half=100","c":2,"solver":"greedy",
+//    "quantize":0.5,"max_periods":4}                          -> solve
+//   {"cmd":"ping"}                                            -> liveness
+//   {"cmd":"stats"}                                           -> engine stats
+//
+// Response grammar:
+//   solve ok:   {"id":7,"ok":true,"cached":false,"solver":"guideline",
+//                "life":"uniform:L=1000","c":4,"expected":...,
+//                "num_periods":12,"periods":[...first max_periods...],
+//                "span":...,"t0":...,"bracket_lo":...,"bracket_hi":...,
+//                "stop":"..."}
+//   bounds ok:  same, without t0/periods (num_periods = 0)
+//   error:      {"id":7,"ok":false,"error":"..."}
+//   ping:       {"ok":true,"pong":true}
+//   stats:      {"ok":true,"hits":...,"misses":...,"evictions":...,
+//                "solves":...,"coalesced":...,"cache_size":...}
+//
+// The parser is a deliberately small JSON subset — flat objects whose values
+// are strings, numbers, booleans, null, or arrays of numbers — which is
+// exactly the closure of both grammars.  No external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/request.hpp"
+
+namespace cs::engine {
+
+namespace json {
+
+/// One parsed JSON value of the subset.
+struct Value {
+  enum class Type { Null, Bool, Number, String, NumArray };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<double> array;
+};
+
+/// Parse one flat JSON object.  Throws std::invalid_argument on anything
+/// outside the subset (nested objects, arrays of non-numbers, bad syntax).
+[[nodiscard]] std::map<std::string, Value> parse_object(std::string_view text);
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace json
+
+/// What kind of line arrived.
+enum class WireCommand { Solve, Ping, Stats };
+
+/// A parsed request line.
+struct WireRequest {
+  WireCommand cmd = WireCommand::Solve;
+  std::optional<std::int64_t> id;  ///< echoed in the response when present
+  SolveRequest solve;              ///< valid when cmd == Solve
+  std::size_t max_periods = 16;    ///< periods echoed back in the response
+};
+
+/// Parse one request line.  Throws std::invalid_argument with a message
+/// suitable for an error response.
+[[nodiscard]] WireRequest parse_request_line(std::string_view line);
+
+/// Serialize responses (no trailing newline; the server appends '\n').
+[[nodiscard]] std::string make_solve_response(const WireRequest& req,
+                                              const ScheduleResult& result,
+                                              bool cached);
+[[nodiscard]] std::string make_error_response(std::optional<std::int64_t> id,
+                                              std::string_view error);
+[[nodiscard]] std::string make_pong_response(std::optional<std::int64_t> id);
+[[nodiscard]] std::string make_stats_response(std::optional<std::int64_t> id,
+                                              const EngineStats& stats,
+                                              std::size_t cache_size);
+
+}  // namespace cs::engine

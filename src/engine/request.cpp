@@ -1,0 +1,56 @@
+#include "engine/request.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "lifefn/factory.hpp"
+
+namespace cs::engine {
+
+const char* to_string(SolverKind k) noexcept {
+  switch (k) {
+    case SolverKind::Guideline: return "guideline";
+    case SolverKind::Greedy: return "greedy";
+    case SolverKind::Dp: return "dp";
+    case SolverKind::Bounds: return "bounds";
+  }
+  return "?";
+}
+
+SolverKind parse_solver_kind(const std::string& text) {
+  if (text == "guideline") return SolverKind::Guideline;
+  if (text == "greedy") return SolverKind::Greedy;
+  if (text == "dp") return SolverKind::Dp;
+  if (text == "bounds") return SolverKind::Bounds;
+  throw std::invalid_argument("unknown solver '" + text +
+                              "' (want guideline|greedy|dp|bounds)");
+}
+
+CanonicalRequest canonicalize(const SolveRequest& req) {
+  if (!(req.c > 0.0) || !std::isfinite(req.c))
+    throw std::invalid_argument("solve request: overhead c must be positive");
+  if (req.quantize && (!(*req.quantize > 0.0) || !std::isfinite(*req.quantize)))
+    throw std::invalid_argument("solve request: quantize unit must be positive");
+
+  CanonicalRequest out;
+  out.life = make_life_function(req.life);
+  out.canonical_life = out.life->spec();
+  out.request = req;
+  out.request.life = out.canonical_life;
+
+  out.key = to_string(req.solver);
+  out.key += "|c=";
+  out.key += spec_number(req.c);
+  out.key += "|u=";
+  out.key += req.quantize ? spec_number(*req.quantize) : "-";
+  out.key += '|';
+  out.key += out.canonical_life;
+  return out;
+}
+
+std::string canonical_key(const SolveRequest& req) {
+  return canonicalize(req).key;
+}
+
+}  // namespace cs::engine

@@ -1,0 +1,85 @@
+// Request/result value types of the serving engine.
+//
+// A SolveRequest is the engine's unit of work: derive the (near-)optimal
+// cycle-stealing schedule for one `(life function, overhead c, solver,
+// quantization)` configuration.  Because eq. 3.6 determines the whole
+// schedule from t0, results are small and immutable — ideal cache values —
+// so the engine shares them as shared_ptr<const ScheduleResult>.
+//
+// Requests are keyed *canonically*: the life-function spec is round-tripped
+// through the factory (make_life_function(spec)->spec()), so equivalent
+// parameterizations — e.g. `geomlife:half=100` and the `geomlife:a=...` it
+// denotes — coalesce onto one cache entry.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs::engine {
+
+/// Which solver pipeline to run.
+enum class SolverKind {
+  Guideline,  ///< Theorem 3.2/3.3 bracket + system (3.6) expansion (default)
+  Greedy,     ///< marginal-gain per-period recipe (Section 6)
+  Dp,         ///< grid DP reference optimum + polish (expensive)
+  Bounds,     ///< the t0 bracket only — no schedule is produced
+};
+
+[[nodiscard]] const char* to_string(SolverKind k) noexcept;
+
+/// Parse "guideline" | "greedy" | "dp" | "bounds"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] SolverKind parse_solver_kind(const std::string& text);
+
+/// One schedule-serving request.
+struct SolveRequest {
+  std::string life;        ///< factory spec (see lifefn/factory.hpp)
+  double c = 0.0;          ///< communication overhead per period (> 0)
+  SolverKind solver = SolverKind::Guideline;
+  std::optional<double> quantize;  ///< snap periods to tasks of this unit
+};
+
+/// The immutable result served for a request.
+struct ScheduleResult {
+  std::string canonical_life;  ///< round-tripped spec (the cache identity)
+  SolverKind solver = SolverKind::Guideline;
+  double c = 0.0;
+  std::optional<double> quantize;
+
+  Schedule schedule;      ///< empty for SolverKind::Bounds
+  double expected = 0.0;  ///< E(schedule; p) (0 for Bounds)
+
+  bool has_bracket = false;  ///< bracket fields valid (Guideline / Bounds)
+  double bracket_lo = 0.0;   ///< Theorem 3.2 side
+  double bracket_hi = 0.0;   ///< Theorem 3.3 / Lemma 3.1 side
+  double chosen_t0 = 0.0;    ///< Guideline's pick inside the bracket
+  std::string stop;          ///< recurrence StopReason (Guideline only)
+
+  double solve_ns = 0.0;  ///< wall time of the underlying solver run
+};
+
+using ResultPtr = std::shared_ptr<const ScheduleResult>;
+
+/// A request parsed and canonicalized: the built life function plus the
+/// cache key.  Parsing happens exactly once per request, on both the hit and
+/// the miss path.
+struct CanonicalRequest {
+  std::string key;             ///< "<solver>|c=<c>|u=<u or ->|<canonical spec>"
+  std::string canonical_life;  ///< make_life_function(life)->spec()
+  std::unique_ptr<LifeFunction> life;
+  SolveRequest request;  ///< original request with `life` canonicalized
+};
+
+/// Validate and canonicalize.  Throws std::invalid_argument on malformed
+/// specs, c <= 0, quantize <= 0, or a life function without a canonical
+/// spec.
+[[nodiscard]] CanonicalRequest canonicalize(const SolveRequest& req);
+
+/// The cache key alone (convenience over canonicalize().key).
+[[nodiscard]] std::string canonical_key(const SolveRequest& req);
+
+}  // namespace cs::engine

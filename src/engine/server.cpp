@@ -1,0 +1,218 @@
+#include "engine/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "engine/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace cs::engine {
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Write the whole buffer, retrying on short writes / EINTR.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opt)
+    : opt_(std::move(opt)), engine_(std::make_unique<Engine>(opt_.engine)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel))
+    throw std::runtime_error("csserve: server already started");
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("csserve: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("csserve: bad host '" + opt_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("csserve: bind/listen " + opt_.host + ":" +
+                             std::to_string(opt_.port) + ": " + err);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  const std::size_t threads = std::max<std::size_t>(opt_.threads, 1);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] {
+      while (true) {
+        int fd = -1;
+        {
+          std::unique_lock<std::mutex> lock(conn_mutex_);
+          conn_cv_.wait(lock, [this] {
+            return !pending_.empty() ||
+                   stopping_.load(std::memory_order_acquire);
+          });
+          if (pending_.empty()) return;  // stopping and drained
+          fd = pending_.back();
+          pending_.pop_back();
+          active_.insert(fd);
+        }
+        serve_connection(fd);
+        {
+          std::lock_guard<std::mutex> lock(conn_mutex_);
+          active_.erase(fd);
+        }
+        close_quietly(fd);
+      }
+    });
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // The listener is closed/shut down during stop(); anything else while
+      // not stopping is a transient accept failure worth retrying.
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      pending_.push_back(fd);
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+std::string Server::handle_line(const std::string& line) {
+  std::optional<std::int64_t> id;
+  try {
+    const WireRequest req = parse_request_line(line);
+    id = req.id;
+    switch (req.cmd) {
+      case WireCommand::Ping:
+        return make_pong_response(req.id);
+      case WireCommand::Stats:
+        return make_stats_response(req.id, engine_->stats(),
+                                   engine_->cache_size());
+      case WireCommand::Solve: {
+        bool cached = false;
+        const ResultPtr result = engine_->solve(req.solve, &cached);
+        return make_solve_response(req, *result, cached);
+      }
+    }
+    return make_error_response(id, "unreachable");
+  } catch (const std::exception& err) {
+    return make_error_response(id, err.what());
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      std::string response = handle_line(line);
+      response += '\n';
+      if (!write_all(fd, response)) return;
+      continue;
+    }
+    if (buffer.size() > opt_.max_line) {
+      write_all(fd, make_error_response(std::nullopt, "request line too long") +
+                        "\n");
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF or error: client done (or stop() drained us)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Server::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  // 1. Stop accepting: shutdown(2) wakes the blocked accept; the fd is only
+  //    closed after the acceptor has joined (no fd-reuse race).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // 2. Drain: discard never-served pending connections, and shut down
+  //    reading on active ones — each worker finishes the request it already
+  //    read, sees EOF, and exits.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : pending_) close_quietly(fd);
+    pending_.clear();
+    for (const int fd : active_) ::shutdown(fd, SHUT_RD);
+  }
+  conn_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::wait() const {
+  while (running_.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace cs::engine

@@ -1,0 +1,103 @@
+// Blocking TCP front-end for the serving engine.
+//
+// One acceptor thread hands each accepted connection to a fixed pool of
+// connection workers; every worker runs its connection's request loop to
+// completion (read line -> Engine::solve -> write response line).  Solves
+// run inline on the connection worker, so the engine's single-flight layer
+// naturally coalesces identical requests arriving on different connections.
+//
+// The server owns a *dedicated* connection pool — deliberately not the
+// process-shared cs::par::ThreadPool — because connection handlers block on
+// socket reads and must never starve solver-side parallel_for work.
+//
+// Shutdown (`stop()`, wired to SIGINT by csserve) is graceful: the listener
+// closes first (no new connections), then open connections are shut down
+// for reading — each worker finishes writing the response for any request
+// already received, observes EOF, and exits its loop — and finally the
+// workers are joined.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace cs::engine {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;      ///< 0 = ephemeral (query with port())
+  std::size_t threads = 4;     ///< connection worker threads
+  std::size_t max_line = 1 << 16;  ///< per-request line-length limit (bytes)
+  EngineOptions engine;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the acceptor + worker threads.  Throws
+  /// std::runtime_error on socket failures.  After start(), port() reports
+  /// the bound port (resolving an ephemeral request).
+  void start();
+
+  /// Graceful drain; see file header.  Idempotent, called by the destructor.
+  void stop();
+
+  /// Block until stop() has been called (csserve parks its main thread
+  /// here while the SIGINT handler flips the flag).
+  void wait() const;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] Engine& engine() noexcept { return *engine_; }
+
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Handle one request line; returns the response to write back.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  ServerOptions opt_;
+  std::unique_ptr<Engine> engine_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Pending connections handed from the acceptor to the workers, plus the
+  // set of fds currently being served (so stop() can shut them down).
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::vector<int> pending_;
+  std::unordered_set<int> active_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace cs::engine

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "lifefn/families.hpp"
@@ -45,6 +46,36 @@ double require(const std::map<std::string, double>& params,
   return it->second;
 }
 
+/// Parse the knot grammar "t:p;t:p;..." shared by pwl and empirical.
+std::pair<std::vector<double>, std::vector<double>> parse_knots(
+    const std::string& text, const std::string& family) {
+  std::vector<double> times, values;
+  std::stringstream ss(text);
+  std::string pair_text;
+  while (std::getline(ss, pair_text, ';')) {
+    const auto colon = pair_text.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("life function spec: family '" + family +
+                                  "' expects t:p knots, got '" + pair_text +
+                                  "'");
+    try {
+      std::size_t consumed = 0;
+      const std::string t_text = pair_text.substr(0, colon);
+      const std::string p_text = pair_text.substr(colon + 1);
+      const double t = std::stod(t_text, &consumed);
+      if (consumed != t_text.size()) throw std::invalid_argument(t_text);
+      const double p = std::stod(p_text, &consumed);
+      if (consumed != p_text.size()) throw std::invalid_argument(p_text);
+      times.push_back(t);
+      values.push_back(p);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("life function spec: bad knot '" +
+                                  pair_text + "' for family '" + family + "'");
+    }
+  }
+  return {std::move(times), std::move(values)};
+}
+
 }  // namespace
 
 std::unique_ptr<LifeFunction> make_life_function(const std::string& spec) {
@@ -52,6 +83,18 @@ std::unique_ptr<LifeFunction> make_life_function(const std::string& spec) {
   const std::string family = spec.substr(0, colon);
   const std::string param_text =
       colon == std::string::npos ? "" : spec.substr(colon + 1);
+
+  if (family == "pwl") {
+    auto [times, values] = parse_knots(param_text, family);
+    return std::make_unique<PiecewiseLinear>(std::move(times),
+                                             std::move(values));
+  }
+  if (family == "empirical") {
+    auto [times, values] = parse_knots(param_text, family);
+    return std::make_unique<EmpiricalLifeFunction>(std::move(times),
+                                                   std::move(values));
+  }
+
   const auto params = parse_params(param_text);
 
   if (family == "uniform")
@@ -82,8 +125,8 @@ std::unique_ptr<LifeFunction> make_life_function(const std::string& spec) {
 }
 
 std::vector<std::string> known_life_function_families() {
-  return {"uniform",  "polyrisk", "geomlife", "geomrisk",
-          "weibull",  "pareto",   "lognormal"};
+  return {"uniform", "polyrisk", "geomlife",  "geomrisk", "weibull",
+          "pareto",  "lognormal", "pwl",      "empirical"};
 }
 
 }  // namespace cs

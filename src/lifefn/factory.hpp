@@ -8,10 +8,19 @@
 //   geomrisk:L=40
 //   weibull:k=1.5,scale=500
 //   pareto:d=2
+//   lognormal:mu=3,sigma=1
+//   pwl:0:1;50:0.4;100:0         (piecewise-linear knots t:p, ';'-separated)
+//   empirical:0:1;10:0.7;40:0    (PCHIP through samples, same knot grammar)
+//
+// Every family also serializes back: LifeFunction::spec() returns a canonical
+// string s with make_life_function(s) reproducing the function exactly and
+// make_life_function(s)->spec() == s (the fixed point the engine cache keys
+// rely on).
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "lifefn/life_function.hpp"
 

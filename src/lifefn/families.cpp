@@ -30,6 +30,37 @@ std::string fmt(const char* family, std::initializer_list<std::pair<const char*,
   return os.str();
 }
 
+
+/// Canonical spec assembly: family ':' k '=' shortest-round-trip number list.
+std::string spec_fmt(const char* family,
+                     std::initializer_list<std::pair<const char*, double>> params) {
+  std::string out = family;
+  char sep = ':';
+  for (const auto& [k, v] : params) {
+    out += sep;
+    out += k;
+    out += '=';
+    out += spec_number(v);
+    sep = ',';
+  }
+  return out;
+}
+
+/// Knot-list spec for the sampled families: family ':' t ':' p (';'-joined).
+std::string spec_knots(const char* family, const std::vector<double>& t,
+                       const std::vector<double>& p) {
+  std::string out = family;
+  char sep = ':';
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out += sep;
+    out += spec_number(t[i]);
+    out += ':';
+    out += spec_number(p[i]);
+    sep = ';';
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- UniformRisk
@@ -49,6 +80,8 @@ double UniformRisk::derivative(double t) const {
 }
 
 std::string UniformRisk::name() const { return fmt("uniform", {{"L", L_}}); }
+
+std::string UniformRisk::spec() const { return spec_fmt("uniform", {{"L", L_}}); }
 
 std::unique_ptr<LifeFunction> UniformRisk::clone() const {
   return std::make_unique<UniformRisk>(L_);
@@ -81,6 +114,10 @@ double PolynomialRisk::derivative(double t) const {
 
 std::string PolynomialRisk::name() const {
   return fmt("polyrisk", {{"d", static_cast<double>(d_)}, {"L", L_}});
+}
+
+std::string PolynomialRisk::spec() const {
+  return spec_fmt("polyrisk", {{"d", static_cast<double>(d_)}, {"L", L_}});
 }
 
 std::unique_ptr<LifeFunction> PolynomialRisk::clone() const {
@@ -119,6 +156,10 @@ std::string GeometricLifespan::name() const {
   return fmt("geomlife", {{"a", a_}});
 }
 
+std::string GeometricLifespan::spec() const {
+  return spec_fmt("geomlife", {{"a", a_}});
+}
+
 std::unique_ptr<LifeFunction> GeometricLifespan::clone() const {
   return std::make_unique<GeometricLifespan>(a_);
 }
@@ -151,6 +192,10 @@ double GeometricRisk::derivative(double t) const {
 }
 
 std::string GeometricRisk::name() const { return fmt("geomrisk", {{"L", L_}}); }
+
+std::string GeometricRisk::spec() const {
+  return spec_fmt("geomrisk", {{"L", L_}});
+}
 
 std::unique_ptr<LifeFunction> GeometricRisk::clone() const {
   return std::make_unique<GeometricRisk>(L_);
@@ -199,6 +244,10 @@ std::string Weibull::name() const {
   return fmt("weibull", {{"k", k_}, {"scale", scale_}});
 }
 
+std::string Weibull::spec() const {
+  return spec_fmt("weibull", {{"k", k_}, {"scale", scale_}});
+}
+
 std::unique_ptr<LifeFunction> Weibull::clone() const {
   return std::make_unique<Weibull>(k_, scale_);
 }
@@ -233,6 +282,10 @@ std::string LogNormal::name() const {
   return fmt("lognormal", {{"mu", mu_}, {"sigma", sigma_}});
 }
 
+std::string LogNormal::spec() const {
+  return spec_fmt("lognormal", {{"mu", mu_}, {"sigma", sigma_}});
+}
+
 std::unique_ptr<LifeFunction> LogNormal::clone() const {
   return std::make_unique<LogNormal>(mu_, sigma_);
 }
@@ -256,6 +309,8 @@ double ParetoTail::derivative(double t) const {
 }
 
 std::string ParetoTail::name() const { return fmt("pareto", {{"d", d_}}); }
+
+std::string ParetoTail::spec() const { return spec_fmt("pareto", {{"d", d_}}); }
 
 std::unique_ptr<LifeFunction> ParetoTail::clone() const {
   return std::make_unique<ParetoTail>(d_);
@@ -316,6 +371,8 @@ std::unique_ptr<LifeFunction> PiecewiseLinear::clone() const {
   return std::make_unique<PiecewiseLinear>(t_, p_);
 }
 
+std::string PiecewiseLinear::spec() const { return spec_knots("pwl", t_, p_); }
+
 // ----------------------------------------------------- EmpiricalLifeFunction
 
 EmpiricalLifeFunction::EmpiricalLifeFunction(std::vector<double> times,
@@ -361,6 +418,13 @@ double EmpiricalLifeFunction::derivative(double t) const {
 
 std::unique_ptr<LifeFunction> EmpiricalLifeFunction::clone() const {
   return std::unique_ptr<LifeFunction>(new EmpiricalLifeFunction(*this));
+}
+
+std::string EmpiricalLifeFunction::spec() const {
+  // The interpolation knots are emitted post-extension (the constructor
+  // already appended the p = 0 endpoint), so rebuilding from the spec yields
+  // the exact same PCHIP interpolant: spec() is a fixed point.
+  return spec_knots("empirical", interp_.xs(), interp_.ys());
 }
 
 }  // namespace cs

@@ -21,6 +21,7 @@ class UniformRisk final : public LifeFunction {
   [[nodiscard]] Shape shape() const override { return Shape::Linear; }
   [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
@@ -43,6 +44,7 @@ class PolynomialRisk final : public LifeFunction {
   }
   [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
@@ -70,6 +72,7 @@ class GeometricLifespan final : public LifeFunction {
     return std::nullopt;
   }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
@@ -93,6 +96,7 @@ class GeometricRisk final : public LifeFunction {
   [[nodiscard]] Shape shape() const override { return Shape::Concave; }
   [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
@@ -118,6 +122,7 @@ class Weibull final : public LifeFunction {
     return std::nullopt;
   }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
@@ -143,6 +148,7 @@ class LogNormal final : public LifeFunction {
     return std::nullopt;
   }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
 
   [[nodiscard]] double mu() const noexcept { return mu_; }
@@ -168,6 +174,7 @@ class ParetoTail final : public LifeFunction {
     return std::nullopt;
   }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
@@ -191,6 +198,7 @@ class PiecewiseLinear final : public LifeFunction {
   [[nodiscard]] Shape shape() const override { return shape_; }
   [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
 
  private:
@@ -216,6 +224,7 @@ class EmpiricalLifeFunction final : public LifeFunction {
   [[nodiscard]] Shape shape() const override { return shape_; }
   [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
   [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
 
  private:

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "numerics/derivative.hpp"
@@ -9,6 +12,24 @@
 #include "numerics/roots.hpp"
 
 namespace cs {
+
+std::string spec_number(double v) {
+  // Shortest exact decimal: among every precision whose rendering strtod's
+  // back to the same double, keep the fewest characters ("480" beats the
+  // lower-precision but longer "4.8e+02").
+  char buf[40];
+  std::string best;
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) != v) continue;
+    if (best.empty() || std::strlen(buf) < best.size()) best = buf;
+  }
+  return best.empty() ? buf : best;
+}
+
+std::string LifeFunction::spec() const {
+  throw std::logic_error(name() + ": no canonical factory spec");
+}
 
 const char* to_string(Shape s) noexcept {
   switch (s) {

@@ -49,6 +49,14 @@ class LifeFunction {
   /// Human-readable family name with parameters, e.g. "uniform(L=1000)".
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Canonical factory spec: a string `s` with make_life_function(s)
+  /// rebuilding a function identical to this one, and spec() a fixed point
+  /// (make_life_function(lf->spec())->spec() == lf->spec()).  Used as the
+  /// life-function component of engine cache keys.  The default throws
+  /// std::logic_error; wrappers without a factory grammar (callables,
+  /// transforms) are not spec-serializable.
+  [[nodiscard]] virtual std::string spec() const;
+
   /// Polymorphic copy.
   [[nodiscard]] virtual std::unique_ptr<LifeFunction> clone() const = 0;
 
@@ -70,6 +78,11 @@ class LifeFunction {
   /// effective domain; validation helper for user-supplied functions.
   [[nodiscard]] bool is_monotone_nonincreasing(int samples = 512) const;
 };
+
+/// Shortest decimal representation of `v` that parses back (via strtod) to
+/// exactly the same double.  Keeps canonical specs both exact and readable:
+/// spec_number(0.5) == "0.5", not "0.50000000000000000".
+[[nodiscard]] std::string spec_number(double v);
 
 /// Adapter: wrap arbitrary callables (used by tests and prototyping).
 /// The caller asserts the shape and lifespan; derivative is numeric unless

@@ -46,6 +46,9 @@ class PchipInterp {
   [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
   [[nodiscard]] double x_front() const { return x_.front(); }
   [[nodiscard]] double x_back() const { return x_.back(); }
+  /// The interpolation knots (needed to serialize a fitted curve).
+  [[nodiscard]] const std::vector<double>& xs() const noexcept { return x_; }
+  [[nodiscard]] const std::vector<double>& ys() const noexcept { return y_; }
 
  private:
   [[nodiscard]] std::size_t segment(double t) const;

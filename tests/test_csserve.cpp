@@ -1,0 +1,225 @@
+// Loopback end-to-end tests for the csserve TCP front-end: protocol
+// round-trips, caching across connections, graceful error handling, and the
+// wire-format parser itself.
+#include "engine/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/client.hpp"
+#include "engine/protocol.hpp"
+
+namespace cs::engine {
+namespace {
+
+// ------------------------------------------------------------- JSON subset
+
+TEST(WireJson, ParsesFlatObject) {
+  const auto obj = json::parse_object(
+      R"({"life":"uniform:L=480","c":4,"deep":null,"on":true,"xs":[1,2.5]})");
+  EXPECT_EQ(obj.at("life").string, "uniform:L=480");
+  EXPECT_DOUBLE_EQ(obj.at("c").number, 4.0);
+  EXPECT_EQ(obj.at("deep").type, json::Value::Type::Null);
+  EXPECT_TRUE(obj.at("on").boolean);
+  ASSERT_EQ(obj.at("xs").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(obj.at("xs").array[1], 2.5);
+}
+
+TEST(WireJson, RejectsOutsideTheSubset) {
+  EXPECT_THROW((void)json::parse_object(R"({"a":{"nested":1}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)json::parse_object(R"({"a":["strings"]})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)json::parse_object(R"({"a":1)"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse_object("not json"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse_object(R"({"a":1} trailing)"),
+               std::invalid_argument);
+}
+
+TEST(WireJson, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "a\"b\\c\nd\te";
+  const std::string line = "{\"s\":\"" + json::escape(nasty) + "\"}";
+  EXPECT_EQ(json::parse_object(line).at("s").string, nasty);
+}
+
+TEST(WireRequestParse, SolveDefaultsAndOverrides) {
+  const auto req = parse_request_line(
+      R"({"id":7,"life":"uniform:L=480","c":4})");
+  EXPECT_EQ(req.cmd, WireCommand::Solve);
+  ASSERT_TRUE(req.id.has_value());
+  EXPECT_EQ(*req.id, 7);
+  EXPECT_EQ(req.solve.life, "uniform:L=480");
+  EXPECT_EQ(req.solve.solver, SolverKind::Guideline);
+  EXPECT_FALSE(req.solve.quantize.has_value());
+
+  const auto full = parse_request_line(
+      R"({"life":"x","c":2,"solver":"dp","quantize":0.5,"max_periods":3})");
+  EXPECT_EQ(full.solve.solver, SolverKind::Dp);
+  ASSERT_TRUE(full.solve.quantize.has_value());
+  EXPECT_DOUBLE_EQ(*full.solve.quantize, 0.5);
+  EXPECT_EQ(full.max_periods, 3u);
+}
+
+TEST(WireRequestParse, MissingFieldsThrow) {
+  EXPECT_THROW((void)parse_request_line(R"({"c":4})"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line(R"({"life":"uniform:L=480"})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line(R"({"cmd":"reboot"})"),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- loopback
+
+ServerOptions loopback_options(std::size_t threads = 2) {
+  ServerOptions opt;
+  opt.port = 0;  // ephemeral
+  opt.threads = threads;
+  return opt;
+}
+
+TEST(Csserve, StartsOnEphemeralPortAndStops) {
+  Server server(loopback_options());
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(Csserve, PingPong) {
+  Server server(loopback_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const std::string reply = client.request(R"({"cmd":"ping","id":3})");
+  EXPECT_NE(reply.find("\"pong\":true"), std::string::npos);
+  EXPECT_NE(reply.find("\"id\":3"), std::string::npos);
+  server.stop();
+}
+
+TEST(Csserve, SolveRoundTripCachesAcrossConnections) {
+  Server server(loopback_options());
+  server.start();
+  const std::string line = R"({"id":1,"life":"uniform:L=480","c":4})";
+
+  Client first("127.0.0.1", server.port());
+  const std::string cold = first.request(line);
+  EXPECT_NE(cold.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(cold.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(cold.find("\"solver\":\"guideline\""), std::string::npos);
+  EXPECT_NE(cold.find("\"periods\":["), std::string::npos);
+
+  // A different connection hits the same engine cache.
+  Client second("127.0.0.1", server.port());
+  const std::string warm = second.request(line);
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos);
+
+  EXPECT_EQ(server.engine().stats().solves, 1u);
+  EXPECT_EQ(server.connections_accepted(), 2u);
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+}
+
+TEST(Csserve, ErrorResponseKeepsConnectionUsable) {
+  Server server(loopback_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  const std::string bad = client.request(R"({"id":9,"life":"bogus:x=1","c":4})");
+  EXPECT_NE(bad.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(bad.find("\"id\":9"), std::string::npos);
+  EXPECT_NE(bad.find("\"error\":"), std::string::npos);
+
+  const std::string malformed = client.request("{{{");
+  EXPECT_NE(malformed.find("\"ok\":false"), std::string::npos);
+
+  // Same connection still serves good requests afterwards.
+  const std::string good = client.request(R"({"life":"uniform:L=480","c":4})");
+  EXPECT_NE(good.find("\"ok\":true"), std::string::npos);
+  server.stop();
+}
+
+TEST(Csserve, StatsCommandReflectsEngineActivity) {
+  Server server(loopback_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  (void)client.request(R"({"life":"uniform:L=480","c":4})");
+  (void)client.request(R"({"life":"uniform:L=480","c":4})");
+  const std::string stats = client.request(R"({"cmd":"stats"})");
+  EXPECT_NE(stats.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"misses\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"solves\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"cache_size\":1"), std::string::npos);
+  server.stop();
+}
+
+TEST(Csserve, MaxPeriodsTruncatesEchoOnly) {
+  Server server(loopback_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const std::string reply = client.request(
+      R"({"life":"uniform:L=480","c":4,"max_periods":2})");
+  const auto obj = json::parse_object(reply);
+  EXPECT_EQ(obj.at("periods").array.size(), 2u);
+  // num_periods still reports the full schedule length.
+  EXPECT_GT(obj.at("num_periods").number, 2.0);
+  server.stop();
+}
+
+TEST(Csserve, ConcurrentClientsCoalesceToOneSolve) {
+  Server server(loopback_options(/*threads=*/4));
+  server.start();
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port());
+      for (int r = 0; r < 16; ++r) {
+        const std::string reply = client.request(
+            R"({"id":)" + std::to_string(i * 100 + r) +
+            R"(,"life":"geomlife:half=100","c":2})");
+        if (reply.find("\"ok\":true") != std::string::npos) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * 16);
+  EXPECT_EQ(server.engine().stats().solves, 1u);
+  EXPECT_EQ(server.requests_served(),
+            static_cast<std::uint64_t>(kClients) * 16);
+  server.stop();
+}
+
+TEST(Csserve, StopDrainsWhileClientsConnected) {
+  Server server(loopback_options());
+  server.start();
+  Client idle("127.0.0.1", server.port());
+  (void)idle.request(R"({"cmd":"ping"})");  // ensure it was accepted
+  server.stop();  // must not hang on the still-open connection
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Csserve, OverlongLineIsRejected) {
+  ServerOptions opt = loopback_options();
+  opt.max_line = 64;
+  Server server(opt);
+  server.start();
+  Client client("127.0.0.1", server.port());
+  // Longer than one 4096-byte read chunk, so the length guard trips before
+  // a newline ever arrives.
+  const std::string reply =
+      client.request(R"({"life":")" + std::string(5000, 'x') + R"(","c":4})");
+  EXPECT_NE(reply.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(reply.find("too long"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace cs::engine

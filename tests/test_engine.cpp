@@ -1,0 +1,409 @@
+// Serving-engine tests: sharded LRU semantics, canonical keys, cache-hit
+// short-circuiting, bit-identical parity with direct solver calls, and the
+// single-flight guarantee (N concurrent identical requests -> 1 solve).
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dp_reference.hpp"
+#include "core/greedy.hpp"
+#include "core/guideline.hpp"
+#include "core/quantize.hpp"
+#include "engine/lru_cache.hpp"
+#include "engine/request.hpp"
+#include "lifefn/factory.hpp"
+
+namespace cs::engine {
+namespace {
+
+// ---------------------------------------------------------------- LRU cache
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  ShardedLruCache<int> cache(/*capacity=*/3, /*shards=*/1);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("c", 3);
+  cache.put("d", 4);  // evicts "a", the oldest
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCache, GetRefreshesRecency) {
+  ShardedLruCache<int> cache(3, 1);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("c", 3);
+  EXPECT_TRUE(cache.get("a").has_value());  // "a" becomes most recent
+  cache.put("d", 4);                        // so "b" is evicted instead
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+}
+
+TEST(LruCache, PutOverwritesInPlace) {
+  ShardedLruCache<int> cache(2, 1);
+  cache.put("a", 1);
+  cache.put("a", 10);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("a").value(), 10);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCache, EvictionIsPerShard) {
+  // Two shards of capacity 1 each: keys on different shards never displace
+  // each other, keys on the same shard do.
+  ShardedLruCache<int> cache(/*capacity=*/2, /*shards=*/2);
+  std::string first = "k0";
+  std::string same_shard;
+  std::string other_shard;
+  for (int i = 1; i < 64 && (same_shard.empty() || other_shard.empty()); ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (cache.shard_of(key) == cache.shard_of(first)) {
+      if (same_shard.empty()) same_shard = key;
+    } else if (other_shard.empty()) {
+      other_shard = key;
+    }
+  }
+  ASSERT_FALSE(same_shard.empty());
+  ASSERT_FALSE(other_shard.empty());
+
+  cache.put(first, 1);
+  cache.put(other_shard, 2);  // different shard: no displacement
+  EXPECT_TRUE(cache.get(first).has_value());
+  cache.put(same_shard, 3);  // same shard, capacity 1: evicts `first`
+  EXPECT_FALSE(cache.get(first).has_value());
+  EXPECT_TRUE(cache.get(other_shard).has_value());
+}
+
+TEST(LruCache, ShardOfIsStableAndSpreads) {
+  ShardedLruCache<int> cache(1024, 16);
+  std::set<std::size_t> used;
+  for (int i = 0; i < 256; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::size_t s = cache.shard_of(key);
+    EXPECT_LT(s, cache.shard_count());
+    EXPECT_EQ(s, cache.shard_of(key));  // deterministic
+    used.insert(s);
+  }
+  // 256 distinct keys over 16 shards: a hash that used only a couple of
+  // shards would defeat the sharding; demand at least half in play.
+  EXPECT_GE(used.size(), 8u);
+}
+
+TEST(LruCache, ClearKeepsTallies) {
+  ShardedLruCache<int> cache(4, 2);
+  cache.put("a", 1);
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, EvictionHookFires) {
+  ShardedLruCache<int> cache(1, 1);
+  int fired = 0;
+  cache.set_eviction_hook([&] { ++fired; });
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("c", 3);
+  EXPECT_EQ(fired, 2);
+}
+
+// ----------------------------------------------------------- canonical keys
+
+TEST(CanonicalKey, EquivalentSpecsCoalesce) {
+  SolveRequest half;
+  half.life = "geomlife:half=100";
+  half.c = 2.0;
+  SolveRequest a;
+  a.life = make_life_function("geomlife:half=100")->spec();
+  a.c = 2.0;
+  EXPECT_EQ(canonical_key(half), canonical_key(a));
+}
+
+TEST(CanonicalKey, DistinguishesSolverOverheadAndQuantization) {
+  SolveRequest base;
+  base.life = "uniform:L=480";
+  base.c = 4.0;
+
+  SolveRequest other_solver = base;
+  other_solver.solver = SolverKind::Greedy;
+  SolveRequest other_c = base;
+  other_c.c = 5.0;
+  SolveRequest quantized = base;
+  quantized.quantize = 2.0;
+
+  EXPECT_NE(canonical_key(base), canonical_key(other_solver));
+  EXPECT_NE(canonical_key(base), canonical_key(other_c));
+  EXPECT_NE(canonical_key(base), canonical_key(quantized));
+}
+
+TEST(CanonicalKey, RejectsMalformedRequests) {
+  SolveRequest req;
+  req.life = "uniform:L=480";
+  req.c = 0.0;  // c must be positive
+  EXPECT_THROW((void)canonical_key(req), std::invalid_argument);
+  req.c = 4.0;
+  req.quantize = -1.0;
+  EXPECT_THROW((void)canonical_key(req), std::invalid_argument);
+  req.quantize.reset();
+  req.life = "no-such-family:x=1";
+  EXPECT_THROW((void)canonical_key(req), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ engine
+
+SolveRequest uniform_request(double c = 4.0,
+                             SolverKind solver = SolverKind::Guideline) {
+  SolveRequest req;
+  req.life = "uniform:L=480";
+  req.c = c;
+  req.solver = solver;
+  return req;
+}
+
+TEST(Engine, CacheHitReturnsSharedResultWithoutSolving) {
+  Engine engine;
+  bool hit = true;
+  const ResultPtr first = engine.solve(uniform_request(), &hit);
+  EXPECT_FALSE(hit);
+  const ResultPtr second = engine.solve(uniform_request(), &hit);
+  EXPECT_TRUE(hit);
+  // Same immutable object, not a re-computation.
+  EXPECT_EQ(first.get(), second.get());
+  const auto s = engine.stats();
+  EXPECT_EQ(s.solves, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(engine.cache_size(), 1u);
+}
+
+TEST(Engine, EquivalentSpecsShareOneCacheEntry) {
+  Engine engine;
+  SolveRequest by_half;
+  by_half.life = "geomlife:half=100";
+  by_half.c = 2.0;
+  SolveRequest by_a;
+  by_a.life = make_life_function("geomlife:half=100")->spec();
+  by_a.c = 2.0;
+
+  const ResultPtr r1 = engine.solve(by_half);
+  bool hit = false;
+  const ResultPtr r2 = engine.solve(by_a, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(r1.get(), r2.get());
+  EXPECT_EQ(engine.stats().solves, 1u);
+}
+
+TEST(Engine, GuidelineResultMatchesDirectCall) {
+  Engine engine;
+  const ResultPtr r = engine.solve(uniform_request());
+
+  const auto p = make_life_function("uniform:L=480");
+  const auto direct = GuidelineScheduler(*p, 4.0, GuidelineOptions{}).run();
+  EXPECT_EQ(r->schedule, direct.schedule);
+  EXPECT_EQ(r->expected, direct.expected);
+  EXPECT_EQ(r->chosen_t0, direct.chosen_t0);
+  EXPECT_EQ(r->bracket_lo, direct.bracket.lower);
+  EXPECT_EQ(r->bracket_hi, direct.bracket.upper);
+  EXPECT_TRUE(r->has_bracket);
+}
+
+TEST(Engine, GreedyResultMatchesDirectCall) {
+  Engine engine;
+  const ResultPtr r = engine.solve(uniform_request(4.0, SolverKind::Greedy));
+
+  const auto p = make_life_function("uniform:L=480");
+  const auto direct = greedy_schedule(*p, 4.0, GreedyOptions{});
+  EXPECT_EQ(r->schedule, direct.schedule);
+  EXPECT_EQ(r->expected, direct.expected);
+}
+
+TEST(Engine, DpResultMatchesDirectCall) {
+  Engine engine;
+  const ResultPtr r = engine.solve(uniform_request(8.0, SolverKind::Dp));
+
+  const auto p = make_life_function("uniform:L=480");
+  const auto direct = dp_reference(*p, 8.0, DpOptions{});
+  EXPECT_EQ(r->schedule, direct.schedule);
+  EXPECT_EQ(r->expected, direct.expected);
+}
+
+TEST(Engine, QuantizedResultMatchesDirectPipeline) {
+  SolveRequest req = uniform_request();
+  req.quantize = 2.0;
+  Engine engine;
+  const ResultPtr r = engine.solve(req);
+
+  const auto p = make_life_function("uniform:L=480");
+  const auto g = GuidelineScheduler(*p, 4.0, GuidelineOptions{}).run();
+  const auto q = quantize_schedule(g.schedule, *p, 4.0, 2.0);
+  EXPECT_EQ(r->schedule, q.schedule);
+  EXPECT_EQ(r->expected, q.expected);
+}
+
+TEST(Engine, BoundsSolverProducesBracketOnly) {
+  Engine engine;
+  const ResultPtr r = engine.solve(uniform_request(4.0, SolverKind::Bounds));
+  EXPECT_TRUE(r->schedule.empty());
+  EXPECT_TRUE(r->has_bracket);
+  EXPECT_GT(r->bracket_lo, 0.0);
+  EXPECT_GE(r->bracket_hi, r->bracket_lo);
+
+  const auto p = make_life_function("uniform:L=480");
+  const auto direct = guideline_t0_bracket(*p, 4.0);
+  EXPECT_EQ(r->bracket_lo, direct.lower);
+  EXPECT_EQ(r->bracket_hi, direct.upper);
+}
+
+TEST(Engine, MalformedRequestThrowsAndCachesNothing) {
+  Engine engine;
+  SolveRequest bad;
+  bad.life = "uniform:L=480";
+  bad.c = -1.0;
+  EXPECT_THROW((void)engine.solve(bad), std::invalid_argument);
+  bad.c = 4.0;
+  bad.life = "gaussian:mu=1";
+  EXPECT_THROW((void)engine.solve(bad), std::invalid_argument);
+  EXPECT_EQ(engine.cache_size(), 0u);
+  EXPECT_EQ(engine.stats().solves, 0u);
+}
+
+TEST(Engine, EvictionKeepsCacheAtCapacityAndCountsEvictions) {
+  EngineOptions opt;
+  opt.cache_capacity = 1;
+  opt.cache_shards = 1;
+  Engine engine(opt);
+  for (int i = 1; i <= 4; ++i) {
+    SolveRequest req;
+    req.life = "uniform:L=" + std::to_string(100 * i);
+    req.c = 4.0;
+    (void)engine.solve(req);
+  }
+  EXPECT_EQ(engine.cache_size(), 1u);
+  EXPECT_EQ(engine.stats().evictions, 3u);
+  EXPECT_EQ(engine.stats().solves, 4u);
+}
+
+TEST(Engine, ClearCacheForcesResolve) {
+  Engine engine;
+  (void)engine.solve(uniform_request());
+  engine.clear_cache();
+  bool hit = true;
+  (void)engine.solve(uniform_request(), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(engine.stats().solves, 2u);
+}
+
+// ------------------------------------------------------------ single-flight
+
+TEST(Engine, SingleFlightHammerSolvesEachKeyOnce) {
+  // Many threads, each issuing every key several times, released together:
+  // the engine must run the solver exactly once per unique key.
+  constexpr int kThreads = 16;
+  constexpr int kRepeats = 8;
+  const std::vector<std::string> specs = {
+      "uniform:L=480", "uniform:L=960", "geomlife:half=100",
+      "weibull:k=1.5,scale=60"};
+
+  Engine engine;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (int r = 0; r < kRepeats; ++r) {
+        for (const auto& spec : specs) {
+          SolveRequest req;
+          req.life = spec;
+          req.c = 4.0;
+          const ResultPtr res = engine.solve(req);
+          if (res == nullptr || res->schedule.empty()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.solves, specs.size());
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * kRepeats * specs.size());
+  EXPECT_EQ(engine.cache_size(), specs.size());
+}
+
+TEST(Engine, SolveManyCoalescesDuplicatesAndPreservesOrder) {
+  Engine engine;
+  std::vector<SolveRequest> reqs;
+  for (int i = 0; i < 12; ++i) {
+    SolveRequest req;
+    req.life = (i % 2 == 0) ? "uniform:L=480" : "geomlife:half=100";
+    req.c = 4.0;
+    reqs.push_back(req);
+  }
+  const auto results = engine.solve_many(reqs);
+  ASSERT_EQ(results.size(), reqs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_NE(results[i], nullptr);
+    EXPECT_EQ(results[i]->canonical_life,
+              make_life_function(reqs[i].life)->spec());
+    // All requests for the same key resolve to the one shared result.
+    EXPECT_EQ(results[i].get(), results[i % 2].get());
+  }
+  EXPECT_EQ(engine.stats().solves, 2u);
+}
+
+TEST(Engine, SolveAsyncDeliversSameSharedResult) {
+  Engine engine;
+  auto f1 = engine.solve_async(uniform_request());
+  auto f2 = engine.solve_async(uniform_request());
+  const ResultPtr r1 = f1.get();
+  const ResultPtr r2 = f2.get();
+  EXPECT_EQ(r1.get(), r2.get());
+  EXPECT_EQ(engine.stats().solves, 1u);
+}
+
+TEST(Engine, ConcurrentFailuresPropagateToEveryWaiter) {
+  // A spec that parses but cannot be canonicalized into a solvable request
+  // throws on every call, concurrent or not, and poisons nothing.
+  Engine engine;
+  std::atomic<int> thrown{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      SolveRequest bad;
+      bad.life = "uniform:L=nope";
+      bad.c = 4.0;
+      try {
+        (void)engine.solve(bad);
+      } catch (const std::invalid_argument&) {
+        thrown.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(thrown.load(), 8);
+  // The engine still works afterwards.
+  EXPECT_NE(engine.solve(uniform_request()), nullptr);
+}
+
+}  // namespace
+}  // namespace cs::engine

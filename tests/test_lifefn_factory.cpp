@@ -90,12 +90,73 @@ TEST(Factory, BuildsLogNormal) {
 
 TEST(Factory, KnownFamiliesListedAndConstructible) {
   const auto families = known_life_function_families();
-  EXPECT_EQ(families.size(), 7u);
+  EXPECT_EQ(families.size(), 9u);
   // Every listed family has at least one valid spec exercised above.
   for (const auto& f : families) {
     SCOPED_TRACE(f);
     EXPECT_FALSE(f.empty());
   }
+}
+
+TEST(Factory, BuildsPiecewiseLinear) {
+  const auto p = make_life_function("pwl:0:1;50:0.5;100:0");
+  ASSERT_NE(dynamic_cast<PiecewiseLinear*>(p.get()), nullptr);
+  EXPECT_NEAR(p->survival(25.0), 0.75, 1e-12);
+}
+
+TEST(Factory, BuildsEmpirical) {
+  const auto p = make_life_function("empirical:0:1;10:0.9;40:0.3;60:0");
+  ASSERT_NE(dynamic_cast<EmpiricalLifeFunction*>(p.get()), nullptr);
+  EXPECT_NEAR(p->survival(10.0), 0.9, 1e-12);
+}
+
+TEST(Factory, MalformedKnotsThrow) {
+  EXPECT_THROW(make_life_function("pwl:"), std::invalid_argument);
+  EXPECT_THROW(make_life_function("pwl:0:1;50"), std::invalid_argument);
+  EXPECT_THROW(make_life_function("pwl:0:1;abc:0"), std::invalid_argument);
+}
+
+// spec() must be a fixed point of the factory: make_life_function(spec())
+// reconstructs the same function, and its spec() is byte-identical.
+TEST(FactorySpec, RoundTripIsAFixedPoint) {
+  const std::vector<std::string> specs = {
+      "uniform:L=480",
+      "polyrisk:d=3,L=100",
+      "geomlife:a=1.25",
+      "geomlife:half=100",
+      "geomrisk:L=42",
+      "weibull:k=1.5,scale=30",
+      "lognormal:mu=3,sigma=0.8",
+      "pareto:d=2",
+      "pwl:0:1;50:0.5;100:0",
+      "empirical:0:1;10:0.9;40:0.3;60:0",
+  };
+  for (const auto& s : specs) {
+    SCOPED_TRACE(s);
+    const auto p = make_life_function(s);
+    const std::string canon = p->spec();
+    const auto q = make_life_function(canon);
+    EXPECT_EQ(q->spec(), canon);  // fixed point
+    // And the reconstructed function is the same function.
+    for (const double t : {0.5, 1.0, 7.0, 25.0, 90.0}) {
+      EXPECT_DOUBLE_EQ(p->survival(t), q->survival(t));
+    }
+  }
+}
+
+TEST(FactorySpec, EquivalentParameterizationsShareOneSpec) {
+  const auto by_half = make_life_function("geomlife:half=100");
+  const auto by_a = make_life_function(by_half->spec());
+  EXPECT_EQ(by_half->spec(), by_a->spec());
+}
+
+TEST(FactorySpec, SpecNumberIsShortestExactDecimal) {
+  EXPECT_EQ(spec_number(480.0), "480");
+  EXPECT_EQ(spec_number(0.5), "0.5");
+  EXPECT_EQ(spec_number(1.0 / 3.0), "0.3333333333333333");
+  // Round-trips exactly for awkward doubles.
+  const double v = 1.0069555500567189;
+  EXPECT_DOUBLE_EQ(std::stod(spec_number(v)), v);
 }
 
 }  // namespace

@@ -6,8 +6,17 @@
 //   csched --life geomlife:half=100 --c 2 --policy greedy
 //   csched --life weibull:k=1.5,scale=60 --c 1 --quantize 2 --simulate 100000
 //
+// Batch mode: repeated --spec values are routed through the serving engine
+// (cs::engine::Engine::solve_many), so duplicate and equivalent specs are
+// solved once and served from cache thereafter:
+//
+//   csched --c 4 --spec uniform:L=480 --spec geomlife:half=100
+//          --spec uniform:L=480 --metrics-out -
+//
 // Options:
 //   --life SPEC       life-function spec (see `--list-families`)
+//   --spec SPEC       batch mode; repeatable — all specs solved via the
+//                     engine with shared --c/--policy, results cached
 //   --c X             communication overhead per period (required, > 0)
 //   --policy NAME     guideline | greedy | best-fixed | doubling |
 //                     all-at-once | dp        (default: guideline)
@@ -34,6 +43,7 @@ namespace {
 
 struct Args {
   std::map<std::string, std::string> values;
+  std::vector<std::string> specs;  ///< repeated --spec values, in order
   [[nodiscard]] bool has(const std::string& key) const {
     return values.count(key) > 0;
   }
@@ -62,6 +72,10 @@ Args parse(int argc, char** argv) {
     }
     if (i + 1 >= argc)
       throw std::invalid_argument("missing value for --" + key);
+    if (key == "spec") {
+      args.specs.emplace_back(argv[++i]);
+      continue;
+    }
     args.values[key] = argv[++i];
   }
   return args;
@@ -71,7 +85,9 @@ int usage() {
   std::cout <<
       "usage: csched --life SPEC --c X [--policy NAME] [--quantize U]\n"
       "              [--simulate N] [--max-periods M] [--metrics-out F]\n"
-      "              [--trace-out F] [--list-families]\n";
+      "              [--trace-out F] [--list-families]\n"
+      "       csched --spec SPEC [--spec SPEC]... --c X [--policy NAME]\n"
+      "              [--quantize U] [--max-periods M] [--metrics-out F]\n";
   return 2;
 }
 
@@ -89,6 +105,53 @@ void write_output(const std::string& path,
   std::cerr << "csched: wrote " << what << " to " << path << '\n';
 }
 
+/// Batch mode: solve every --spec through the serving engine; duplicate or
+/// equivalent specs hit the cache instead of re-running the solver.
+int run_batch(const Args& args, const std::string& metrics_out) {
+  const double c = args.number("c", 0.0);
+  const std::string policy_name = args.get("policy", "guideline");
+  const auto max_shown =
+      static_cast<std::size_t>(args.number("max-periods", 12.0));
+
+  cs::engine::SolveRequest base;
+  base.c = c;
+  base.solver = cs::engine::parse_solver_kind(policy_name);
+  if (args.has("quantize")) base.quantize = args.number("quantize", 1.0);
+
+  std::vector<cs::engine::SolveRequest> requests;
+  requests.reserve(args.specs.size());
+  for (const auto& spec : args.specs) {
+    cs::engine::SolveRequest req = base;
+    req.life = spec;
+    requests.push_back(std::move(req));
+  }
+
+  cs::engine::Engine engine;
+  const auto results = engine.solve_many(requests);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = *results[i];
+    std::cout << args.specs[i] << " -> " << r.canonical_life << '\n'
+              << "  periods  : " << r.schedule.size() << ' '
+              << r.schedule.to_string(max_shown) << '\n'
+              << "  expected : " << r.expected << '\n';
+    if (r.has_bracket)
+      std::cout << "  bracket  : [" << r.bracket_lo << ", " << r.bracket_hi
+                << "]\n";
+  }
+
+  if (!metrics_out.empty()) {
+    const auto stats = engine.stats();
+    std::cout << "engine        : " << requests.size() << " requests, "
+              << stats.hits << " cache hits, " << stats.misses << " misses, "
+              << stats.solves << " solves, " << stats.coalesced
+              << " coalesced\n";
+    write_output(metrics_out, [](std::ostream& os) {
+      cs::obs::Registry::global().write_json(os);
+    }, "metrics registry (JSON)");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,13 +164,16 @@ int main(int argc, char** argv) {
         std::cout << f << '\n';
       return 0;
     }
-    if (!args.has("life") || !args.has("c")) return usage();
+    if ((args.specs.empty() && !args.has("life")) || !args.has("c"))
+      return usage();
 
     // Observability: either output flag turns the global instrumentation on.
     const std::string metrics_out = args.get("metrics-out");
     const std::string trace_out = args.get("trace-out");
     if (!metrics_out.empty() || !trace_out.empty())
       cs::obs::set_enabled(true);
+
+    if (!args.specs.empty()) return run_batch(args, metrics_out);
     std::unique_ptr<cs::obs::EventTracer> tracer;
     if (!trace_out.empty()) tracer = std::make_unique<cs::obs::EventTracer>();
 

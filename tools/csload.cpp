@@ -1,0 +1,177 @@
+// csload — load generator for csserve.
+//
+// Replays a mix of solve requests over N concurrent connections and reports
+// throughput plus latency percentiles (measured client-side, per request):
+//
+//   csload --port 7070 --requests 100000 --threads 8 --c 4
+//          --life uniform:L=1000 --life geomlife:half=100
+//
+// Options:
+//   --host H        server address (default 127.0.0.1)
+//   --port P        server port (required)
+//   --requests N    total requests across all connections (default 10000)
+//   --threads T     concurrent connections (default 4)
+//   --life SPEC     life-function spec; repeatable — requests round-robin
+//                   over the mix (default uniform:L=1000)
+//   --c X           overhead used for every request (default 4)
+//   --solver NAME   guideline | greedy | dp | bounds (default guideline)
+//   --warm          pre-issue one request per unique spec before timing, so
+//                   the measured run exercises the cache-hit path only
+//
+// Latency is recorded in a cs::obs histogram (log-bucketed nanoseconds), so
+// the reported p50/p90/p99 match the server-side engine.request_ns export.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/client.hpp"
+#include "engine/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> lives;
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values.count(key) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected argument '" + key + "'");
+    key = key.substr(2);
+    if (key == "help" || key == "warm") {
+      args.values[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc)
+      throw std::invalid_argument("missing value for --" + key);
+    if (key == "life") {
+      args.lives.emplace_back(argv[++i]);
+      continue;
+    }
+    args.values[key] = argv[++i];
+  }
+  return args;
+}
+
+int usage() {
+  std::cout
+      << "usage: csload --port P [--host H] [--requests N] [--threads T]\n"
+         "              [--life SPEC]... [--c X] [--solver NAME] [--warm]\n";
+  return 2;
+}
+
+std::string request_line(const std::string& life, const std::string& c,
+                         const std::string& solver) {
+  std::string line = "{\"life\":\"";
+  line += cs::engine::json::escape(life);
+  line += "\",\"c\":";
+  line += c;
+  line += ",\"solver\":\"";
+  line += solver;
+  line += "\",\"max_periods\":0}";
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.has("help") || !args.has("port")) return usage();
+
+    const std::string host = args.get("host", "127.0.0.1");
+    const auto port = static_cast<std::uint16_t>(args.number("port", 0.0));
+    const auto total =
+        static_cast<std::size_t>(args.number("requests", 10000.0));
+    const auto threads =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     args.number("threads", 4.0)));
+    const std::string c = args.get("c", "4");
+    const std::string solver = args.get("solver", "guideline");
+    std::vector<std::string> lives = args.lives;
+    if (lives.empty()) lives.emplace_back("uniform:L=1000");
+
+    // Pre-render the request lines for the mix (the generator should spend
+    // its cycles on the wire, not on string assembly).
+    std::vector<std::string> mix;
+    mix.reserve(lives.size());
+    for (const auto& life : lives)
+      mix.push_back(request_line(life, c, solver));
+
+    if (args.has("warm")) {
+      cs::engine::Client warmer(host, port);
+      for (const auto& line : mix) {
+        const std::string response = warmer.request(line);
+        if (response.find("\"ok\":true") == std::string::npos)
+          throw std::runtime_error("warmup request failed: " + response);
+      }
+    }
+
+    cs::obs::Histogram latency(cs::obs::timer_layout());
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::size_t> next{0};
+
+    const auto t_start = cs::obs::now_ns();
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&] {
+        cs::engine::Client client(host, port);
+        while (true) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= total) return;
+          const std::string& line = mix[i % mix.size()];
+          const std::uint64_t t0 = cs::obs::now_ns();
+          const std::string response = client.request(line);
+          latency.observe(static_cast<double>(cs::obs::now_ns() - t0));
+          if (response.find("\"ok\":true") == std::string::npos)
+            errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double elapsed_s =
+        static_cast<double>(cs::obs::now_ns() - t_start) * 1e-9;
+
+    const double done = static_cast<double>(latency.count());
+    std::cout << "requests      : " << latency.count() << "  ("
+              << errors.load() << " errors)\n"
+              << "connections   : " << threads << '\n'
+              << "mix           : " << lives.size() << " unique spec(s), "
+              << solver << ", c=" << c << '\n'
+              << "elapsed       : " << elapsed_s << " s\n"
+              << "throughput    : " << done / elapsed_s << " req/s\n"
+              << "latency p50   : " << latency.quantile(0.50) * 1e-3
+              << " us\n"
+              << "latency p90   : " << latency.quantile(0.90) * 1e-3
+              << " us\n"
+              << "latency p99   : " << latency.quantile(0.99) * 1e-3
+              << " us\n"
+              << "latency max   : " << latency.max() * 1e-3 << " us\n";
+    return errors.load() == 0 ? 0 : 1;
+  } catch (const std::exception& err) {
+    std::cerr << "csload: " << err.what() << '\n';
+    return 1;
+  }
+}

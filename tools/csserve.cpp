@@ -1,0 +1,132 @@
+// csserve — TCP schedule-serving daemon.
+//
+// Serves cached optimal cycle-stealing schedules over a newline-delimited
+// JSON protocol (see src/engine/protocol.hpp for the grammar):
+//
+//   csserve --port 7070
+//   csserve --port 7070 --threads 8 --cache 65536 --metrics-out metrics.json
+//
+//   $ printf '{"id":1,"life":"uniform:L=1000","c":4}\n' | nc localhost 7070
+//   {"id":1,"ok":true,"cached":false,"solver":"guideline",...}
+//
+// Options:
+//   --host H          bind address (default 127.0.0.1)
+//   --port P          listen port (default 7070; 0 = ephemeral, printed)
+//   --threads N       connection worker threads (default 4)
+//   --cache N         schedule cache capacity (default 4096 entries)
+//   --shards N        cache shard count (default 16)
+//   --metrics-out F   enable observability; write the metrics registry as
+//                     JSON to F ("-" = stdout) on shutdown
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests are answered, open
+// connections closed, then metrics are flushed.
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "engine/server.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
+
+struct Args {
+  std::map<std::string, std::string> values;
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values.count(key) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected argument '" + key + "'");
+    key = key.substr(2);
+    if (key == "help") {
+      args.values[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc)
+      throw std::invalid_argument("missing value for --" + key);
+    args.values[key] = argv[++i];
+  }
+  return args;
+}
+
+int usage() {
+  std::cout << "usage: csserve [--host H] [--port P] [--threads N]\n"
+               "               [--cache N] [--shards N] [--metrics-out F]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.has("help")) return usage();
+
+    const std::string metrics_out = args.get("metrics-out");
+    if (!metrics_out.empty()) cs::obs::set_enabled(true);
+
+    cs::engine::ServerOptions opt;
+    opt.host = args.get("host", "127.0.0.1");
+    opt.port = static_cast<std::uint16_t>(args.number("port", 7070.0));
+    opt.threads = static_cast<std::size_t>(args.number("threads", 4.0));
+    opt.engine.cache_capacity =
+        static_cast<std::size_t>(args.number("cache", 4096.0));
+    opt.engine.cache_shards =
+        static_cast<std::size_t>(args.number("shards", 16.0));
+
+    cs::engine::Server server(opt);
+    server.start();
+    std::cerr << "csserve: listening on " << opt.host << ":" << server.port()
+              << " (" << opt.threads << " workers, cache "
+              << opt.engine.cache_capacity << " x " << opt.engine.cache_shards
+              << " shards)\n";
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (!g_interrupted.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    std::cerr << "csserve: draining (" << server.requests_served()
+              << " requests served over " << server.connections_accepted()
+              << " connections)\n";
+    server.stop();
+
+    if (!metrics_out.empty()) {
+      if (metrics_out == "-") {
+        cs::obs::Registry::global().write_json(std::cout);
+      } else {
+        std::ofstream os(metrics_out);
+        if (!os) throw std::runtime_error("cannot open " + metrics_out);
+        cs::obs::Registry::global().write_json(os);
+        std::cerr << "csserve: wrote metrics to " << metrics_out << '\n';
+      }
+    }
+    return 0;
+  } catch (const std::exception& err) {
+    std::cerr << "csserve: " << err.what() << '\n';
+    return 1;
+  }
+}
