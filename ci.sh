@@ -1,52 +1,150 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: build + full test suite, then an ASan/UBSan pass
-# over the observability and parallelism tests (the suite's concurrent code).
+# Tier-1 verification gate.
 #
-#   ./ci.sh            # full gate
-#   ./ci.sh --fast     # skip the sanitizer pass
-set -euo pipefail
+#   ./ci.sh            # full gate: build, ctest, smoke, cslint, format,
+#                      #   clang-tidy wall, ASan/UBSan pass, TSan pass
+#   ./ci.sh --fast     # build, ctest, smoke, cslint, format only
+#
+# Stages that need a tool the host lacks (clang-tidy, clang-format) are
+# SKIPPED with a warning rather than failed — the sanitizers and cslint are
+# the hard gates everywhere; the clang stages harden CI hosts that have
+# them.  A per-stage summary table is printed at the end either way.
+set -uo pipefail
 cd "$(dirname "$0")"
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "== configure + build (preset: default) =="
-cmake --preset default
-cmake --build --preset default
+# ------------------------------------------------------------ stage driver
+stage_names=()
+stage_results=()
 
-echo "== ctest (full suite) =="
-ctest --preset default
+note() { printf '\n== %s ==\n' "$1"; }
 
-echo "== csserve smoke (loopback solve via csload) =="
-serve_log="$(mktemp)"
-./build/tools/csserve --port 0 2>"$serve_log" &
-serve_pid=$!
-for _ in $(seq 1 50); do
-  port="$(grep -oE 'listening on [0-9.]+:[0-9]+' "$serve_log" \
-          | grep -oE '[0-9]+$' || true)"
-  [[ -n "$port" ]] && break
-  sleep 0.1
-done
-[[ -n "${port:-}" ]] || { echo "csserve failed to start"; cat "$serve_log"; exit 1; }
-./build/tools/csload --port "$port" --requests 2000 --threads 4 \
-  --life uniform:L=1000 --life geomlife:half=100 --c 4 --warm
-kill -INT "$serve_pid"
-wait "$serve_pid"
-rm -f "$serve_log"
+# record <name> <PASS|FAIL|SKIP>
+record() {
+  stage_names+=("$1")
+  stage_results+=("$2")
+}
 
-if [[ "$fast" == "0" ]]; then
-  echo "== configure + build (preset: asan) =="
-  cmake --preset asan
-  cmake --build --preset asan
+# run_stage <name> <fn> — runs fn, records PASS/FAIL, exits early on FAIL.
+run_stage() {
+  local name="$1" fn="$2"
+  note "$name"
+  if "$fn"; then
+    record "$name" PASS
+  else
+    record "$name" FAIL
+    summarize
+    echo "ci.sh: stage '$name' FAILED"
+    exit 1
+  fi
+}
 
-  echo "== ASan/UBSan pass (obs + parallel + sim + engine concurrency) =="
+skip_stage() {
+  local name="$1" why="$2"
+  note "$name"
+  echo "WARNING: skipping — $why"
+  record "$name" SKIP
+}
+
+summarize() {
+  printf '\n== ci.sh stage summary ==\n'
+  printf '%-28s %s\n' "stage" "result"
+  printf '%-28s %s\n' "-----" "------"
+  local i
+  for i in "${!stage_names[@]}"; do
+    printf '%-28s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+  done
+}
+
+# ----------------------------------------------------------------- stages
+stage_build() {
+  cmake --preset default && cmake --build --preset default
+}
+
+stage_ctest() {
+  ctest --preset default
+}
+
+stage_smoke() {
+  local serve_log port=""
+  serve_log="$(mktemp)"
+  ./build/tools/csserve --port 0 2>"$serve_log" &
+  local serve_pid=$!
+  for _ in $(seq 1 50); do
+    port="$(grep -oE 'listening on [0-9.]+:[0-9]+' "$serve_log" \
+            | grep -oE '[0-9]+$' || true)"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "csserve failed to start"; cat "$serve_log"; return 1
+  fi
+  ./build/tools/csload --port "$port" --requests 2000 --threads 4 \
+    --life uniform:L=1000 --life geomlife:half=100 --c 4 --warm || return 1
+  kill -INT "$serve_pid"
+  wait "$serve_pid"
+  rm -f "$serve_log"
+}
+
+stage_cslint() {
+  ./build/tools/cslint src/
+}
+
+stage_format() {
+  # --dry-run -Werror: nonzero when any file would be reformatted.
+  git ls-files '*.cpp' '*.hpp' | xargs clang-format --dry-run -Werror
+}
+
+stage_clang_tidy() {
+  cmake --preset lint && cmake --build --preset lint
+}
+
+stage_asan() {
+  cmake --preset asan && cmake --build --preset asan || return 1
   export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
   export UBSAN_OPTIONS="print_stacktrace=1"
+  local t
   for t in test_obs test_parallel test_sim_farm test_sim_episode \
-           test_engine test_csserve; do
+           test_engine test_csserve test_race_stress; do
     echo "-- $t"
-    ./build-asan/tests/"$t"
+    ./build-asan/tests/"$t" || return 1
   done
+}
+
+stage_tsan() {
+  cmake --preset tsan && cmake --build --preset tsan || return 1
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  local t
+  for t in test_engine test_csserve test_parallel test_obs test_sim_farm \
+           test_race_stress; do
+    echo "-- $t"
+    ./build-tsan/tests/"$t" || return 1
+  done
+}
+
+# ------------------------------------------------------------------- plan
+run_stage "build (default)" stage_build
+run_stage "ctest (full suite)" stage_ctest
+run_stage "csserve smoke" stage_smoke
+run_stage "cslint (src/)" stage_cslint
+
+if command -v clang-format >/dev/null 2>&1; then
+  run_stage "format check" stage_format
+else
+  skip_stage "format check" "clang-format not installed on this host"
 fi
 
-echo "== ci.sh: all green =="
+if [[ "$fast" == "0" ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    run_stage "clang-tidy wall (lint)" stage_clang_tidy
+  else
+    skip_stage "clang-tidy wall (lint)" "clang-tidy not installed on this host"
+  fi
+  run_stage "ASan/UBSan pass" stage_asan
+  run_stage "TSan pass" stage_tsan
+fi
+
+summarize
+echo "ci.sh: all green"

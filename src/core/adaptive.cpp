@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/expected_work.hpp"
+#include "numerics/approx.hpp"
 
 namespace cs {
 
@@ -44,7 +45,7 @@ std::unique_ptr<LifeFunction> ConditionalLifeFunction::clone() const {
 double ConditionalLifeFunction::inverse_survival(double u) const {
   if (!(u > 0.0 && u <= 1.0))
     throw std::invalid_argument("inverse_survival: u out of (0,1]");
-  if (u == 1.0) return 0.0;
+  if (num::approx_eq(u, 1.0)) return 0.0;
   return inner_->inverse_survival(u * p_tau_) - tau_;
 }
 
@@ -66,7 +67,7 @@ AdaptiveResult adaptive_schedule(const LifeFunction& p, double c,
     // Commit the period only if it still carries expected value under the
     // unconditional law; a negligible-gain period would just overshoot the
     // horizon.
-    const double gain = (t - c) * p.survival(tau + t);
+    const double gain = positive_sub(t, c) * p.survival(tau + t);
     if (gain < opt.tail_tol) break;
     out.schedule.append(t);
     tau += t;

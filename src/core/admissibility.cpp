@@ -16,6 +16,8 @@ Cor32Result cor32_witness(const LifeFunction& p, double c,
   const double lo = c * (1.0 + 1e-9);
   if (upper <= lo) return out;
   const auto best = num::grid_then_refine_max(
+      // d/dt [(t-c) p(t)] — an analytic identity, not payload arithmetic.
+      // cslint: allow(positive-sub) derivative of the gain integrand
       [&](double t) { return p.survival(t) + (t - c) * p.derivative(t); }, lo,
       upper, {.grid_points = 257});
   out.sup_margin = best.value;
@@ -43,6 +45,7 @@ StationaryPeriod stationary_period_analysis(const LifeFunction& p, double c,
     // g(t) = p(tau + t) - p(tau) - (t - c) p'(tau): g(c) < 0, g(+inf) > 0
     // (the linear term dominates), so a unique crossing exists.
     auto g = [&](double t) {
+      // cslint: allow(positive-sub) analytic root function, signed by design
       return p.survival(tau + t) - p_tau - (t - c) * dp_tau;
     };
     const auto bracket =

@@ -27,7 +27,7 @@ GameSolution solve_adversarial_game(double T, double c, std::size_t k,
   // Base layer: no interruptions left -> one uninterruptible chunk.
   for (std::size_t i = 0; i <= n; ++i) {
     const double t = h * static_cast<double>(i);
-    w[0][i] = t > c ? t - c : 0.0;
+    w[0][i] = positive_sub(t, c);
     choice[0][i] = t > c ? i : 0;
   }
 
@@ -37,7 +37,7 @@ GameSolution solve_adversarial_game(double T, double c, std::size_t k,
       std::size_t best_j = 0;
       for (std::size_t j = min_span; j <= i; ++j) {
         const double t = h * static_cast<double>(j);
-        const double complete = (t - c) + w[kk][i - j];
+        const double complete = positive_sub(t, c) + w[kk][i - j];
         const double interrupted = w[kk - 1][i - j];
         const double value = std::min(complete, interrupted);
         if (value > best) {

@@ -43,7 +43,7 @@ DpResult dp_reference(const LifeFunction& p, double c, const DpOptions& opt) {
     const double tau = h * static_cast<double>(i);
     for (std::size_t j = i + min_span; j <= n; ++j) {
       const double t = h * static_cast<double>(j) - tau;
-      const double value = (t - c) * surv[j] + w[j];
+      const double value = positive_sub(t, c) * surv[j] + w[j];
       if (value > best) {
         best = value;
         best_j = j;

@@ -18,7 +18,8 @@ GreedyResult greedy_schedule(const LifeFunction& p, double c,
     const double hi = horizon - tau;
     if (hi <= lo) break;
     const auto best = num::grid_then_refine_max(
-        [&](double t) { return (t - c) * p.survival(tau + t); }, lo, hi,
+        [&](double t) { return positive_sub(t, c) * p.survival(tau + t); },
+        lo, hi,
         {.grid_points = opt.grid_points});
     if (!(best.value > opt.gain_tol)) break;
     result.schedule.append(best.x);

@@ -18,6 +18,9 @@ StructureCheck check_concave_decrement(const Schedule& s, double c,
     // inequality is stated for each pair, so check all consecutive pairs
     // except the one ending at the final (possibly truncated) period when it
     // is shorter than c (already unproductive).
+    // The 5.2 inequality compares the *raw* decrement, which is
+    // legitimately negative when violated.
+    // cslint: allow(positive-sub) signed slack
     const double excess = s[i + 1] - (s[i] - c);
     if (excess > tol && excess > out.violation) {
       out.holds = false;
@@ -32,6 +35,7 @@ StructureCheck check_convex_growth(const Schedule& s, double c, double tol) {
   StructureCheck out;
   if (s.size() < 2) return out;
   for (std::size_t i = 0; i + 2 <= s.size(); ++i) {
+    // cslint: allow(positive-sub) signed slack as in check_concave_decrement
     const double deficit = (s[i] - c) - s[i + 1];
     if (deficit > tol && deficit > out.violation) {
       out.holds = false;

@@ -107,6 +107,7 @@ double lemma31_upper_bound(const LifeFunction& p, double c) {
   auto violated = [&](double t0) {
     if (t0 <= 2.0 * c) return false;  // lemma imposes nothing here
     const double lo_t = c * (1.0 + 1e-9);
+    // cslint: allow(positive-sub) bracket endpoint; t0 > 2c guarantees > c
     const double hi_t = t0 - c;
     if (hi_t <= lo_t) return false;
     const double pt0 = p.survival(t0);

@@ -31,7 +31,7 @@ WorstCasePlan optimal_worst_case_plan(double L, double c, std::size_t k) {
   const auto m_max = static_cast<std::size_t>(std::floor(L / c));
   for (std::size_t m = k + 1; m <= m_max; ++m) {
     const double t = L / static_cast<double>(m);
-    const double g = static_cast<double>(m - k) * (t - c);
+    const double g = static_cast<double>(m - k) * positive_sub(t, c);
     if (g > best.guaranteed) {
       best.guaranteed = g;
       best.periods = m;

@@ -58,22 +58,28 @@ class ShardedLruCache {
 
   /// Insert or overwrite `key`; the entry becomes most-recently-used.
   void put(std::string_view key, Value value) {
-    Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      it->second->second = std::move(value);
-      shard.order.splice(shard.order.begin(), shard.order, it->second);
-      return;
+    bool evicted = false;
+    {
+      Shard& shard = shard_for(key);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        it->second->second = std::move(value);
+        shard.order.splice(shard.order.begin(), shard.order, it->second);
+        return;
+      }
+      shard.order.emplace_front(std::string(key), std::move(value));
+      shard.index.emplace(shard.order.front().first, shard.order.begin());
+      if (shard.order.size() > per_shard_capacity_) {
+        shard.index.erase(shard.order.back().first);
+        shard.order.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        evicted = true;
+      }
     }
-    shard.order.emplace_front(std::string(key), std::move(value));
-    shard.index.emplace(shard.order.front().first, shard.order.begin());
-    if (shard.order.size() > per_shard_capacity_) {
-      shard.index.erase(shard.order.back().first);
-      shard.order.pop_back();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-      if (eviction_hook_) eviction_hook_();
-    }
+    // Invoked after the shard lock is released so the hook may safely
+    // reenter the cache (get/put/size on any key, including this shard).
+    if (evicted && eviction_hook_) eviction_hook_();
   }
 
   /// Remove every entry (tallies are kept).
@@ -113,9 +119,10 @@ class ShardedLruCache {
     return evictions_.load(std::memory_order_relaxed);
   }
 
-  /// Invoked once per eviction, while the evicting shard's lock is held —
-  /// keep it O(1) and non-blocking (the engine bridges it to a cs::obs
-  /// counter).  Set before the cache is shared across threads.
+  /// Invoked once per eviction, *after* the evicting shard's lock has been
+  /// released — the hook may reenter the cache (the engine bridges it to a
+  /// cs::obs counter; tests call size()/put() from it).  Set before the
+  /// cache is shared across threads: the pointer itself is unsynchronized.
   void set_eviction_hook(std::function<void()> hook) {
     eviction_hook_ = std::move(hook);
   }

@@ -181,6 +181,10 @@ void Server::serve_connection(int fd) {
 }
 
 void Server::stop() {
+  // The SIGINT thread and the destructor may call stop() concurrently; the
+  // mutex picks one drainer and parks the others until the drain is done
+  // (so a caller returning from stop() can rely on the workers being gone).
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
   // 1. Stop accepting: shutdown(2) wakes the blocked accept; the fd is only
@@ -205,7 +209,20 @@ void Server::stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // 3. Flush: every worker has finished writing, so the tallies are final;
+  //    publish them before declaring the server stopped.
+  flush_metrics();
   running_.store(false, std::memory_order_release);
+}
+
+void Server::flush_metrics() const {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  reg.gauge("server.connections").set(
+      static_cast<double>(connections_.load(std::memory_order_relaxed)));
+  reg.gauge("server.requests").set(
+      static_cast<double>(requests_.load(std::memory_order_relaxed)));
+  reg.gauge("server.drained").set(1.0);
 }
 
 void Server::wait() const {

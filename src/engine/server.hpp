@@ -10,11 +10,14 @@
 // process-shared cs::par::ThreadPool — because connection handlers block on
 // socket reads and must never starve solver-side parallel_for work.
 //
-// Shutdown (`stop()`, wired to SIGINT by csserve) is graceful: the listener
-// closes first (no new connections), then open connections are shut down
-// for reading — each worker finishes writing the response for any request
-// already received, observes EOF, and exits its loop — and finally the
-// workers are joined.
+// Shutdown (`stop()`, wired to SIGINT by csserve) is graceful and strictly
+// ordered: (1) the listener closes first (no new connections), then (2) open
+// connections are shut down for reading — each worker finishes writing the
+// response for any request already received, observes EOF, and exits its
+// loop — and the workers are joined, then (3) final tallies are flushed to
+// the metrics registry.  stop() is idempotent AND safe under concurrent
+// callers (the SIGINT thread and the destructor may race): a mutex
+// serializes stoppers, and late callers return after the drain completes.
 #pragma once
 
 #include <atomic>
@@ -52,7 +55,9 @@ class Server {
   /// the bound port (resolving an ephemeral request).
   void start();
 
-  /// Graceful drain; see file header.  Idempotent, called by the destructor.
+  /// Graceful drain; see file header.  Idempotent, called by the destructor,
+  /// and safe to call from several threads at once (stoppers serialize; every
+  /// caller returns only after the drain has completed).
   void stop();
 
   /// Block until stop() has been called (csserve parks its main thread
@@ -78,8 +83,14 @@ class Server {
   /// Handle one request line; returns the response to write back.
   [[nodiscard]] std::string handle_line(const std::string& line);
 
+  /// Publish final tallies to the cs::obs registry (stage 3 of stop()).
+  void flush_metrics() const;
+
   ServerOptions opt_;
   std::unique_ptr<Engine> engine_;
+
+  /// Serializes concurrent stop() callers; taken for the whole drain.
+  std::mutex stop_mutex_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

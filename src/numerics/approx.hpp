@@ -1,0 +1,31 @@
+// Tolerant floating-point comparison.
+//
+// The repo-wide lint rule `float-eq` (tools/cslint) bans raw ==/!= against
+// floating literals in src/core and src/numerics; this is the sanctioned
+// replacement.  With the default tolerances (rel = 1e-12, abs = 0) the
+// predicate degenerates to *exact* equality — |a-b| <= 1e-12·max(|a|,|b|)
+// holds for a != b only when they differ in the last couple of ulps of a
+// huge magnitude — so call sites that previously meant "exactly zero"
+// (root-finder early exits, pivot checks) keep their semantics while
+// becoming grep-ably intentional.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace cs::num {
+
+/// True when |a - b| <= max(abs_tol, rel * max(|a|, |b|)).  Exact matches
+/// (including equal infinities) are always true; NaN never compares equal,
+/// and a non-finite operand is equal only to its exact self (an infinite
+/// scale would otherwise absorb every finite difference).
+[[nodiscard]] inline bool approx_eq(double a, double b, double rel = 1e-12,
+                                    double abs_tol = 0.0) noexcept {
+  if (a == b) return true;  // exact hit, covers equal infinities
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol || diff <= rel * scale;
+}
+
+}  // namespace cs::num

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "numerics/approx.hpp"
+
 namespace cs::num {
 
 std::vector<double> solve(Matrix a, std::vector<double> b) {
@@ -29,7 +31,7 @@ std::vector<double> solve(Matrix a, std::vector<double> b) {
     // Eliminate below.
     for (std::size_t r = col + 1; r < n; ++r) {
       const double factor = a(r, col) / a(col, col);
-      if (factor == 0.0) continue;
+      if (approx_eq(factor, 0.0)) continue;
       for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
       b[r] -= factor * b[col];
     }

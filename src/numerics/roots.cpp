@@ -1,5 +1,7 @@
 #include "numerics/roots.hpp"
 
+#include "numerics/approx.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -21,8 +23,8 @@ RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
   double flo = f(lo);
   double fhi = f(hi);
   RootResult r;
-  if (flo == 0.0) return {lo, 0.0, 0, true};
-  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if (approx_eq(flo, 0.0)) return {lo, 0.0, 0, true};
+  if (approx_eq(fhi, 0.0)) return {hi, 0.0, 0, true};
   if (!opposite_signs(flo, fhi))
     throw std::invalid_argument("bisect: no sign change on bracket");
   double mid = 0.5 * (lo + hi);
@@ -60,8 +62,8 @@ RootResult brent(const std::function<double(double)>& f, double lo, double hi,
   double fa = f(a);
   double fb = f(b);
   RootResult r;
-  if (fa == 0.0) return {a, 0.0, 0, true};
-  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (approx_eq(fa, 0.0)) return {a, 0.0, 0, true};
+  if (approx_eq(fb, 0.0)) return {b, 0.0, 0, true};
   if (!opposite_signs(fa, fb))
     throw std::invalid_argument("brent: no sign change on bracket");
 
@@ -137,7 +139,7 @@ std::optional<std::pair<double, double>> bracket_right(
   if (step <= 0.0) throw std::invalid_argument("bracket_right: step <= 0");
   double a = lo;
   double fa = f(a);
-  if (fa == 0.0) return std::make_pair(a, a);
+  if (approx_eq(fa, 0.0)) return std::make_pair(a, a);
   double width = step;
   for (int i = 0; i < max_doublings; ++i) {
     double b = std::min(a + width, hi_limit);
@@ -156,8 +158,8 @@ std::optional<double> monotone_root(const std::function<double(double)>& f,
                                     const RootOptions& opt) {
   const double flo = f(lo);
   const double fhi = f(hi);
-  if (flo == 0.0) return lo;
-  if (fhi == 0.0) return hi;
+  if (approx_eq(flo, 0.0)) return lo;
+  if (approx_eq(fhi, 0.0)) return hi;
   if (!opposite_signs(flo, fhi)) return std::nullopt;
   const RootResult r = brent(f, lo, hi, opt);
   if (!r.converged) return std::nullopt;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "numerics/approx.hpp"
+
 namespace cs::num {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
@@ -19,7 +21,7 @@ void Table::add_row(std::vector<std::string> cells) {
 
 std::string Table::num(double v, int precision) {
   std::ostringstream os;
-  if (std::abs(v) != 0.0 && (std::abs(v) >= 1e6 || std::abs(v) < 1e-4)) {
+  if (!approx_eq(v, 0.0) && (std::abs(v) >= 1e6 || std::abs(v) < 1e-4)) {
     os.setf(std::ios::scientific);
   }
   os.precision(precision);

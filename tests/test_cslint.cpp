@@ -1,0 +1,312 @@
+// Unit tests for the cslint rule engine (tools/cslint).  Every rule gets at
+// least one positive (fires) and one negative (stays quiet) case, plus the
+// comment/string stripper and the allow-annotation mechanism the rules sit
+// on.
+#include "cslint.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using cs::lint::lint_source;
+using cs::lint::Violation;
+
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Violation>& vs) {
+  std::vector<std::string> out;
+  out.reserve(vs.size());
+  for (const auto& v : vs) out.push_back(v.rule);
+  return out;
+}
+
+bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  for (const auto& v : vs)
+    if (v.rule == rule) return true;
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// strip_comments_and_strings
+// ---------------------------------------------------------------------------
+
+TEST(Strip, LineCommentBlanked) {
+  const std::string out =
+      cs::lint::strip_comments_and_strings("int x; // x == 1.0\nint y;");
+  EXPECT_EQ(out.find("=="), std::string::npos);
+  EXPECT_NE(out.find("int y;"), std::string::npos);
+}
+
+TEST(Strip, BlockCommentKeepsNewlines) {
+  const std::string src = "a /* one\ntwo\nthree */ b";
+  const std::string out = cs::lint::strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_EQ(out.find("two"), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(Strip, StringAndCharContentsBlanked) {
+  const std::string out = cs::lint::strip_comments_and_strings(
+      "auto s = \"std::rand()\"; char c = '\\''; auto t = 'x';");
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  // Quotes themselves survive so the line structure stays recognizable.
+  EXPECT_NE(out.find('"'), std::string::npos);
+}
+
+TEST(Strip, RawStringBlanked) {
+  const std::string out = cs::lint::strip_comments_and_strings(
+      "auto re = R\"(a == 1.0)\"; int k;");
+  EXPECT_EQ(out.find("=="), std::string::npos);
+  EXPECT_NE(out.find("int k;"), std::string::npos);
+}
+
+TEST(Strip, EscapedQuoteDoesNotEndString) {
+  const std::string out = cs::lint::strip_comments_and_strings(
+      "auto s = \"a\\\"b == 1.0\"; int m;");
+  EXPECT_EQ(out.find("=="), std::string::npos);
+  EXPECT_NE(out.find("int m;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// allow annotations
+// ---------------------------------------------------------------------------
+
+TEST(Allow, MatchesNamedRule) {
+  EXPECT_TRUE(cs::lint::line_allows("x; // cslint: allow(float-eq)",
+                                    "float-eq"));
+  EXPECT_TRUE(cs::lint::line_allows(
+      "x; // cslint: allow(raw-lock, float-eq) reason", "float-eq"));
+  EXPECT_FALSE(cs::lint::line_allows("x; // cslint: allow(raw-lock)",
+                                     "float-eq"));
+  EXPECT_FALSE(cs::lint::line_allows("plain line", "float-eq"));
+}
+
+TEST(Allow, SuppressesOnSameLine) {
+  const auto vs = lint_source(
+      "src/core/x.cpp",
+      "bool f(double a) { return a == 1.0; }  // cslint: allow(float-eq)\n");
+  EXPECT_FALSE(has_rule(vs, "float-eq")) << ::testing::PrintToString(
+      rules_of(vs));
+}
+
+TEST(Allow, SuppressesFromPrecedingLine) {
+  const auto vs = lint_source("src/core/x.cpp",
+                              "// cslint: allow(float-eq) legacy exact check\n"
+                              "bool f(double a) { return a == 1.0; }\n");
+  EXPECT_FALSE(has_rule(vs, "float-eq"));
+}
+
+// ---------------------------------------------------------------------------
+// raw-lock
+// ---------------------------------------------------------------------------
+
+TEST(RawLock, FlagsBareMutexLockUnlock) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/obs/x.cpp", "void f() { mutex_.lock(); }\n"),
+      "raw-lock"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/obs/x.cpp", "void f() { shard->mutex.unlock(); }\n"),
+      "raw-lock"));
+}
+
+TEST(RawLock, AllowsRaiiGuardsAndWeakPtr) {
+  EXPECT_FALSE(has_rule(
+      lint_source("src/obs/x.cpp",
+                  "void f() { std::lock_guard<std::mutex> lock(mutex_); }\n"),
+      "raw-lock"));
+  // Relocking a std::unique_lock by its conventional name is RAII-managed.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/obs/x.cpp", "void f() { lock.lock(); lk.unlock(); }\n"),
+      "raw-lock"));
+  // std::weak_ptr::lock() is not a mutex operation.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/obs/x.cpp", "auto sp = weak_self.lock();\n"),
+      "raw-lock"));
+}
+
+// ---------------------------------------------------------------------------
+// float-eq
+// ---------------------------------------------------------------------------
+
+TEST(FloatEq, FlagsLiteralComparisonsInScope) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp", "if (u == 1.0) return 0.0;\n"),
+      "float-eq"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/numerics/y.cpp", "bool b = v != .5;\n"), "float-eq"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/numerics/y.cpp", "bool b = 1e-9 == eps;\n"),
+      "float-eq"));
+}
+
+TEST(FloatEq, IgnoresIntegersVariablesAndOutOfScope) {
+  // Integer literal: not a float comparison.
+  EXPECT_FALSE(has_rule(lint_source("src/core/x.cpp", "if (n == 0) f();\n"),
+                        "float-eq"));
+  // Two variables: the text rule cannot judge types, stays quiet.
+  EXPECT_FALSE(has_rule(lint_source("src/core/x.cpp", "if (a == b) f();\n"),
+                        "float-eq"));
+  // Same code outside src/core + src/numerics is out of scope.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/obs/x.cpp", "if (u == 1.0) return 0.0;\n"),
+      "float-eq"));
+  // Comments never fire.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp", "int n;  // tolerance == 1.0 here\n"),
+      "float-eq"));
+}
+
+// ---------------------------------------------------------------------------
+// std-rand
+// ---------------------------------------------------------------------------
+
+TEST(StdRand, FlagsBannedSources) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/sim/x.cpp", "int r = std::rand();\n"), "std-rand"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/sim/x.cpp", "srand(42);\n"), "std-rand"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/sim/x.cpp", "auto now = time(nullptr);\n"),
+      "std-rand"));
+}
+
+TEST(StdRand, IgnoresLookalikes) {
+  EXPECT_FALSE(has_rule(
+      lint_source("src/sim/x.cpp", "num::RandomStream rng(seed, stream);\n"),
+      "std-rand"));
+  EXPECT_FALSE(has_rule(
+      lint_source("src/sim/x.cpp", "auto s = strand(io);\n"), "std-rand"));
+  EXPECT_FALSE(has_rule(
+      lint_source("src/sim/x.cpp", "double t = sim_time(nullptr_state);\n"),
+      "std-rand"));
+}
+
+// ---------------------------------------------------------------------------
+// positive-sub
+// ---------------------------------------------------------------------------
+
+TEST(PositiveSub, FlagsBarePeriodArithmeticInScope) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/sim/x.cpp", "out.work += t - c;\n"), "positive-sub"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp", "double g = (s[i] - c) * surv;\n"),
+      "positive-sub"));
+}
+
+TEST(PositiveSub, IgnoresSanctionedAndOutOfScopeForms) {
+  EXPECT_FALSE(has_rule(
+      lint_source("src/sim/x.cpp", "out.work += positive_sub(t, c);\n"),
+      "positive-sub"));
+  // Unary minus after a keyword is not a subtraction.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp", "return -c * pv / dv;\n"),
+      "positive-sub"));
+  // Scalar algebra with a numeric LHS is not period arithmetic.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp", "double f = 1.0 - c / t;\n"),
+      "positive-sub"));
+  // Other identifiers are untouched.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp", "double d = total - cost;\n"),
+      "positive-sub"));
+  // Out of scope directory.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/engine/x.cpp", "double w = t - c;\n"), "positive-sub"));
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+// ---------------------------------------------------------------------------
+
+TEST(PragmaOnce, FlagsHeaderWithoutGuard) {
+  const auto vs = lint_source("src/core/x.hpp", "int f();\n");
+  EXPECT_TRUE(has_rule(vs, "pragma-once"));
+}
+
+TEST(PragmaOnce, AcceptsGuardAfterComments) {
+  const auto vs = lint_source("src/core/x.hpp",
+                              "// file comment\n#pragma once\nint f();\n");
+  EXPECT_FALSE(has_rule(vs, "pragma-once"));
+  // .cpp files are exempt.
+  EXPECT_FALSE(has_rule(lint_source("src/core/x.cpp", "int f() { return 1; }"),
+                        "pragma-once"));
+}
+
+// ---------------------------------------------------------------------------
+// header-standalone (needs a real compiler; uses the same default the CLI
+// falls back to when --compiler is not given)
+// ---------------------------------------------------------------------------
+
+class HeaderStandalone : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cslint-test-" + std::to_string(::getpid()));
+    fs::create_directories(dir_ / "src" / "demo");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path write(const std::string& rel, const std::string& body) {
+    const fs::path p = dir_ / rel;
+    std::ofstream(p) << body;
+    return p;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(HeaderStandalone, GoodHeaderPassesBadHeaderFails) {
+  const fs::path good = write("src/demo/good.hpp",
+                              "#pragma once\n#include <vector>\n"
+                              "inline std::vector<int> v() { return {}; }\n");
+  // Uses std::vector without including it: not self-contained.
+  const fs::path bad = write("src/demo/bad.hpp",
+                             "#pragma once\n"
+                             "inline std::vector<int> v() { return {}; }\n");
+  cs::lint::HeaderCheckOptions opt;
+  if (const char* cxx = std::getenv("CXX"); cxx != nullptr && *cxx != '\0')
+    opt.compiler = cxx;
+
+  const auto good_vs = cs::lint::check_headers_standalone({good}, opt);
+  EXPECT_TRUE(good_vs.empty()) << good_vs.front().message;
+
+  const auto bad_vs = cs::lint::check_headers_standalone({bad}, opt);
+  ASSERT_EQ(bad_vs.size(), 1u);
+  EXPECT_EQ(bad_vs.front().rule, "header-standalone");
+}
+
+// ---------------------------------------------------------------------------
+// whole-file integration: one source with several violations reports each
+// with the right line number
+// ---------------------------------------------------------------------------
+
+TEST(LintSource, ReportsLinesAndExcerpts) {
+  const std::string src =
+      "#include <mutex>\n"            // 1
+      "void f(std::mutex& m) {\n"     // 2
+      "  m.lock();\n"                 // 3
+      "  int r = std::rand();\n"      // 4
+      "  m.unlock();\n"               // 5
+      "}\n";
+  const auto vs = lint_source("src/parallel/x.cpp", src);
+  ASSERT_EQ(vs.size(), 3u) << ::testing::PrintToString(rules_of(vs));
+  EXPECT_EQ(vs[0].line, 3u);
+  EXPECT_EQ(vs[0].rule, "raw-lock");
+  EXPECT_EQ(vs[1].line, 4u);
+  EXPECT_EQ(vs[1].rule, "std-rand");
+  EXPECT_EQ(vs[2].line, 5u);
+  EXPECT_EQ(vs[2].rule, "raw-lock");
+  EXPECT_EQ(vs[0].excerpt, "m.lock();");
+}

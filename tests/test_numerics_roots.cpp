@@ -1,8 +1,11 @@
 #include "numerics/roots.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
+
+#include "numerics/approx.hpp"
 
 namespace cs::num {
 namespace {
@@ -142,6 +145,45 @@ TEST_P(SurvivalInversion, RoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, SurvivalInversion,
                          ::testing::Values(0.001, 0.01, 0.1, 1.0, 10.0));
+
+
+// ----------------------------------------------------------------- approx_eq
+// The comparator the float-eq lint rule routes code through; its defaults
+// (rel=1e-12, abs_tol=0) must preserve exact-zero tests at the root-finder
+// call sites that used to write `f == 0.0`.
+
+TEST(ApproxEq, ExactValuesAndZeroDefault) {
+  EXPECT_TRUE(approx_eq(1.5, 1.5));
+  EXPECT_TRUE(approx_eq(0.0, 0.0));
+  EXPECT_TRUE(approx_eq(0.0, -0.0));
+  // With abs_tol = 0, comparison against zero is an *exact* zero test.
+  EXPECT_FALSE(approx_eq(1e-300, 0.0));
+  EXPECT_FALSE(approx_eq(std::numeric_limits<double>::denorm_min(), 0.0));
+}
+
+TEST(ApproxEq, RelativeTolerance) {
+  EXPECT_TRUE(approx_eq(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(approx_eq(1.0, 1.0 + 1e-9));
+  // Relative: scales with magnitude.
+  EXPECT_TRUE(approx_eq(1e12, 1e12 + 0.1));
+  EXPECT_FALSE(approx_eq(1e12, 1e12 + 10.0));
+  EXPECT_TRUE(approx_eq(1.0, 1.1, /*rel=*/0.2));
+}
+
+TEST(ApproxEq, AbsoluteTolerance) {
+  EXPECT_TRUE(approx_eq(1e-300, 0.0, 1e-12, /*abs_tol=*/1e-200));
+  EXPECT_TRUE(approx_eq(0.5, 0.4, 0.0, /*abs_tol=*/0.2));
+  EXPECT_FALSE(approx_eq(0.5, 0.1, 0.0, /*abs_tol=*/0.2));
+}
+
+TEST(ApproxEq, NonFiniteInputs) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(approx_eq(inf, inf));     // exact-hit branch
+  EXPECT_FALSE(approx_eq(inf, -inf));
+  EXPECT_FALSE(approx_eq(nan, nan));
+  EXPECT_FALSE(approx_eq(nan, 1.0));
+}
 
 }  // namespace
 }  // namespace cs::num

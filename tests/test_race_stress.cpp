@@ -1,0 +1,276 @@
+// Multi-threaded stress cases whose only job is to give ThreadSanitizer
+// real interleavings over the concurrent subsystems: Engine single-flight,
+// ShardedLruCache eviction (including hook reentrancy), the metrics
+// registry, tracer sinks, solve_many with duplicate keys, and the server's
+// ordered shutdown.  The assertions are deliberately loose — invariants
+// that must hold under any interleaving — because the point of this binary
+// is to run green under `-fsanitize=thread` (ci.sh's tsan stage), not to
+// pin exact schedules.
+//
+// Iteration counts are sized for a small CI box where TSan multiplies
+// runtime by 5-15x; bump CS_STRESS_SCALE in the environment to hammer
+// harder on bigger machines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/client.hpp"
+#include "engine/engine.hpp"
+#include "engine/lru_cache.hpp"
+#include "engine/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using cs::engine::Engine;
+using cs::engine::EngineOptions;
+using cs::engine::ResultPtr;
+using cs::engine::ShardedLruCache;
+using cs::engine::SolveRequest;
+
+/// Multiplier for iteration counts; CS_STRESS_SCALE=10 for a long soak.
+std::size_t stress_scale() {
+  if (const char* env = std::getenv("CS_STRESS_SCALE")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
+void run_threads(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads.emplace_back([&body, i] { body(i); });
+  for (auto& t : threads) t.join();
+}
+
+// ----------------------------------------------------------------- engine
+
+// Many threads race solve() on a handful of keys; single-flight must keep
+// solver runs == unique keys while every caller gets a usable result.
+TEST(RaceStress, EngineSingleFlightHammer) {
+  EngineOptions opt;
+  opt.cache_capacity = 64;
+  Engine engine(opt);
+
+  const std::vector<std::string> specs = {
+      "uniform:L=480", "geomlife:half=100", "uniform:L=960"};
+  const std::size_t rounds = 40 * stress_scale();
+  std::atomic<std::uint64_t> served{0};
+
+  run_threads(4, [&](std::size_t tid) {
+    for (std::size_t i = 0; i < rounds; ++i) {
+      SolveRequest req;
+      req.life = specs[(tid + i) % specs.size()];
+      req.c = 4.0;
+      const ResultPtr result = engine.solve(req);
+      ASSERT_NE(result, nullptr);
+      ASSERT_FALSE(result->schedule.periods().empty());
+      served.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(served.load(), 4 * rounds);
+  EXPECT_EQ(stats.hits + stats.misses, 4 * rounds);
+  // Single-flight + cache: each unique key is solved exactly once.
+  EXPECT_EQ(stats.solves, specs.size());
+}
+
+// solve_many with duplicate keys inside one batch, issued from several
+// threads at once: results must be non-null, in order, and key-consistent.
+TEST(RaceStress, SolveManyDuplicateKeysConcurrent) {
+  Engine engine;
+
+  std::vector<SolveRequest> batch;
+  for (int i = 0; i < 12; ++i) {
+    SolveRequest req;
+    req.life = (i % 2 == 0) ? "uniform:L=480" : "geomlife:half=100";
+    req.c = 4.0;
+    batch.push_back(req);
+  }
+
+  const std::size_t rounds = 5 * stress_scale();
+  run_threads(3, [&](std::size_t) {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const std::vector<ResultPtr> results = engine.solve_many(batch);
+      ASSERT_EQ(results.size(), batch.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_NE(results[i], nullptr);
+        EXPECT_EQ(results[i]->canonical_life,
+                  results[i % 2]->canonical_life);
+      }
+    }
+  });
+
+  // Two unique keys across every batch from every thread.
+  EXPECT_EQ(engine.stats().solves, 2u);
+}
+
+// ------------------------------------------------------------------ cache
+
+// Tiny capacity + many distinct keys = constant eviction under contention.
+TEST(RaceStress, CacheEvictionHammer) {
+  ShardedLruCache<int> cache(/*capacity=*/8, /*shards=*/4);
+  const std::size_t rounds = 400 * stress_scale();
+
+  run_threads(4, [&](std::size_t tid) {
+    for (std::size_t i = 0; i < rounds; ++i) {
+      const std::string key =
+          "k" + std::to_string(tid) + "-" + std::to_string(i % 37);
+      cache.put(key, static_cast<int>(i));
+      (void)cache.get(key);
+      (void)cache.get("k0-0");
+    }
+  });
+
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+// The eviction hook must be able to reenter the cache (the shard lock is
+// released before the hook runs).  Every thread's hook calls size() and
+// put() back into the same cache that is evicting.
+TEST(RaceStress, EvictionHookReentrancy) {
+  ShardedLruCache<int> cache(/*capacity=*/4, /*shards=*/2);
+  std::atomic<std::uint64_t> hook_runs{0};
+  cache.set_eviction_hook([&cache, &hook_runs] {
+    hook_runs.fetch_add(1, std::memory_order_relaxed);
+    (void)cache.size();              // reenters every shard's lock
+    (void)cache.get("hook-probe");   // reenters one shard's lock
+  });
+
+  const std::size_t rounds = 200 * stress_scale();
+  run_threads(4, [&](std::size_t tid) {
+    for (std::size_t i = 0; i < rounds; ++i)
+      cache.put("r" + std::to_string(tid) + "-" + std::to_string(i),
+                static_cast<int>(i));
+  });
+
+  EXPECT_GT(hook_runs.load(), 0u);
+  EXPECT_EQ(hook_runs.load(), cache.evictions());
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+// -------------------------------------------------------------------- obs
+
+// Writers on counters/gauges/histograms racing a reader thread that
+// snapshots and serializes the registry.
+TEST(RaceStress, MetricsRegistryHammer) {
+  cs::obs::Registry registry;
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = registry.snapshot();
+      (void)snap;
+      std::ostringstream os;
+      registry.write_json(os);
+    }
+  });
+
+  const std::size_t rounds = 300 * stress_scale();
+  run_threads(4, [&](std::size_t tid) {
+    auto& counter = registry.counter("stress.count");
+    auto& gauge = registry.gauge("stress.gauge");
+    for (std::size_t i = 0; i < rounds; ++i) {
+      counter.inc();
+      gauge.add(1.0);
+      registry.histogram("stress.hist").observe(static_cast<double>(i + 1));
+      registry.counter("stress.labeled",
+                       "tid=" + std::to_string(tid)).inc();
+    }
+  });
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(registry.counter("stress.count").value(), 4 * rounds);
+  EXPECT_EQ(registry.histogram("stress.hist").count(), 4 * rounds);
+}
+
+// Emitters racing drain() and set_station_labels(); the recorded/dropped
+// tallies must balance what the drains actually saw.
+TEST(RaceStress, TracerEmitWhileDraining) {
+  cs::obs::EventTracer tracer(/*shard_capacity=*/64, /*shards=*/4);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> drained{0};
+
+  std::thread drainer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto events = tracer.drain();
+      drained.fetch_add(events.size(), std::memory_order_relaxed);
+      tracer.set_station_labels({"ws0", "ws1", "ws2", "ws3"});
+      (void)tracer.station_label(1);
+    }
+    drained.fetch_add(tracer.drain().size(), std::memory_order_relaxed);
+  });
+
+  const std::size_t rounds = 500 * stress_scale();
+  run_threads(4, [&](std::size_t tid) {
+    for (std::size_t i = 0; i < rounds; ++i)
+      tracer.emit(cs::obs::EventType::PeriodCompleted,
+                  static_cast<double>(i), static_cast<std::int32_t>(tid),
+                  /*episode=*/0, /*period=*/static_cast<std::uint32_t>(i),
+                  /*work=*/1.0);
+  });
+  done.store(true, std::memory_order_release);
+  drainer.join();
+
+  EXPECT_EQ(tracer.recorded(), 4 * rounds);
+  EXPECT_EQ(drained.load() + tracer.dropped(), tracer.recorded());
+}
+
+// ----------------------------------------------------------------- server
+
+// Clients hammer the server while several threads call stop() at once; the
+// drain must be ordered (no worker writes after stop() returns) and every
+// stopper must observe the fully-stopped state.
+TEST(RaceStress, ServerShutdownConcurrentStoppers) {
+  const std::size_t rounds = 3 * stress_scale();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    cs::engine::ServerOptions opt;
+    opt.port = 0;
+    opt.threads = 2;
+    cs::engine::Server server(opt);
+    server.start();
+    const std::uint16_t port = server.port();
+
+    std::atomic<bool> quit{false};
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 2; ++i)
+      clients.emplace_back([&quit, port] {
+        while (!quit.load(std::memory_order_acquire)) {
+          try {
+            cs::engine::Client client("127.0.0.1", port);
+            (void)client.request(R"({"cmd":"ping"})");
+            (void)client.request(R"({"life":"uniform:L=480","c":4})");
+          } catch (const std::exception&) {
+            return;  // server went away mid-request: expected during stop
+          }
+        }
+      });
+
+    // Let some traffic through, then race three stoppers (mimicking the
+    // SIGINT thread, the destructor, and an operator-initiated stop).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    run_threads(3, [&server](std::size_t) { server.stop(); });
+    EXPECT_FALSE(server.running());
+
+    quit.store(true, std::memory_order_release);
+    for (auto& c : clients) c.join();
+
+    // Post-drain tallies are stable: re-reading them races nothing.
+    EXPECT_EQ(server.requests_served(), server.requests_served());
+  }
+}
+
+}  // namespace

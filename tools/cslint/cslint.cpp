@@ -1,0 +1,424 @@
+#include "cslint.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace cs::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// '/'-normalized path for substring scoping (works on absolute paths too).
+std::string generic(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool path_in(std::string_view display_path,
+             std::initializer_list<const char*> dirs) {
+  const std::string p = generic(display_path);
+  for (const char* dir : dirs) {
+    if (p.find(dir) != std::string::npos) return true;
+    // Repo-relative invocations may drop the leading "src/".
+    if (p.rfind(std::string_view(dir).substr(4), 0) == 0) return true;
+  }
+  return false;
+}
+
+bool is_header(std::string_view display_path) {
+  const std::string p = generic(display_path);
+  return p.size() >= 4 && p.compare(p.size() - 4, 4, ".hpp") == 0;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(pos));
+      break;
+    }
+    lines.emplace_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Text rules.  Each receives the stripped line (comments/strings blanked) and
+// appends violations; the caller handles allow-annotations and excerpts.
+// ---------------------------------------------------------------------------
+
+// RAII guard receivers whose .lock()/.unlock() is legitimate:
+// std::unique_lock conventionally named lock/lk/guard/ul, and
+// std::weak_ptr::lock() (receiver names containing "weak" or ending in _wp).
+const std::regex kRawLockRe(
+    R"(([A-Za-z_][A-Za-z0-9_]*)\s*(?:\.|->)\s*(?:un)?lock\s*\(\s*\))");
+const std::regex kGuardReceiverRe(
+    R"(^(lock|lk|guard|ul|l)$|weak|_wp$|wp_$)");
+
+// Floating literal adjacent to ==/!= (either side).
+const std::regex kFloatEqRe(
+    R"((\d+\.\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|\d+[eE][+-]?\d+)[fF]?\s*(==|!=)|(==|!=)\s*[-+]?(\d+\.\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|\d+[eE][+-]?\d+))");
+
+const std::regex kStdRandRe(
+    R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|\brand\s*\(\s*\)|\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
+
+// `<ident|)|]> - c` where c is the whole word "c" (the communication
+// overhead in period arithmetic).  The captured left token lets the rule
+// drop keyword-led unary minus ("return -c * ...").
+const std::regex kPositiveSubRe(R"(([A-Za-z0-9_]+|\)|\])\s*-\s*c\b)");
+const std::regex kKeywordLhsRe(R"(^(return|else|case|co_return|goto)$)");
+
+void rule_raw_lock(std::string_view stripped, std::size_t /*lineno*/,
+                   std::vector<std::string>& hits) {
+  const std::string line(stripped);
+  auto begin = std::sregex_iterator(line.begin(), line.end(), kRawLockRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string receiver = (*it)[1].str();
+    if (std::regex_search(receiver, kGuardReceiverRe)) continue;
+    hits.push_back("raw '" + it->str() +
+                   "': acquire mutexes through std::lock_guard / "
+                   "std::unique_lock (RAII), never bare lock()/unlock()");
+  }
+}
+
+void rule_float_eq(std::string_view stripped,
+                   std::vector<std::string>& hits) {
+  const std::string line(stripped);
+  if (std::regex_search(line, kFloatEqRe)) {
+    hits.push_back(
+        "floating-point ==/!= against a literal: use "
+        "cs::num::approx_eq (numerics/approx.hpp); with default tolerances "
+        "approx_eq(x, 0.0) is still an exact-zero test");
+  }
+}
+
+void rule_std_rand(std::string_view stripped,
+                   std::vector<std::string>& hits) {
+  const std::string line(stripped);
+  if (std::regex_search(line, kStdRandRe)) {
+    hits.push_back(
+        "banned randomness/time source (std::rand / srand / time(nullptr)): "
+        "use cs::num::RandomStream (numerics/rng.hpp) so runs stay "
+        "deterministic and stream-splittable");
+  }
+}
+
+void rule_positive_sub(std::string_view stripped,
+                       std::vector<std::string>& hits) {
+  const std::string line(stripped);
+  if (line.find("positive_sub") != std::string::npos) return;
+  auto begin = std::sregex_iterator(line.begin(), line.end(), kPositiveSubRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string lhs = (*it)[1].str();
+    if (std::regex_match(lhs, kKeywordLhsRe)) continue;
+    // Numeric LHS ("1.0 - c") is scalar algebra, not period arithmetic.
+    if (std::all_of(lhs.begin(), lhs.end(), [](unsigned char ch) {
+          return std::isdigit(ch) != 0;
+        }))
+      continue;
+    hits.push_back(
+        "bare '<expr> - c' period arithmetic: payloads are (t - c)+ — use "
+        "positive_sub(expr, c) (core/schedule.hpp), or annotate "
+        "'cslint: allow(positive-sub)' when signed slack is intentional");
+    return;  // one finding per line is enough
+  }
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { Code, Line, Block, Str, Chr, Raw } state = State::Code;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char ch = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (ch == '/' && next == '/') {
+          state = State::Line;
+          out += "  ";
+          ++i;
+        } else if (ch == '/' && next == '*') {
+          state = State::Block;
+          out += "  ";
+          ++i;
+        } else if (ch == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // R"delim( — capture the delimiter up to '('.
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < src.size() && src[j] != '(' && src[j] != '\n')
+            raw_delim += src[j++];
+          if (j < src.size() && src[j] == '(') {
+            out += "R\"";
+            out.append(raw_delim.size() + 1, ' ');
+            i = j;
+            state = State::Raw;
+          } else {
+            out += ch;  // not actually a raw string
+          }
+        } else if (ch == '"') {
+          state = State::Str;
+          out += ch;
+        } else if (ch == '\'') {
+          state = State::Chr;
+          out += ch;
+        } else {
+          out += ch;
+        }
+        break;
+      case State::Line:
+        if (ch == '\n') {
+          state = State::Code;
+          out += ch;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::Block:
+        if (ch == '*' && next == '/') {
+          state = State::Code;
+          out += "  ";
+          ++i;
+        } else {
+          out += ch == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::Str:
+        if (ch == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (ch == '"') {
+          state = State::Code;
+          out += ch;
+        } else {
+          out += ch == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::Chr:
+        if (ch == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (ch == '\'') {
+          state = State::Code;
+          out += ch;
+        } else {
+          out += ch == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::Raw: {
+        // Close on )delim"
+        if (ch == ')' &&
+            src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < src.size() &&
+            src[i + 1 + raw_delim.size()] == '"') {
+          out += ')';
+          out.append(raw_delim.size(), ' ');
+          out += '"';
+          i += raw_delim.size() + 1;
+          state = State::Code;
+        } else {
+          out += ch == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool line_allows(std::string_view raw_line, std::string_view rule) {
+  const std::size_t tag = raw_line.find("cslint:");
+  if (tag == std::string_view::npos) return false;
+  const std::size_t open = raw_line.find("allow(", tag);
+  if (open == std::string_view::npos) return false;
+  const std::size_t close = raw_line.find(')', open);
+  if (close == std::string_view::npos) return false;
+  std::string list(raw_line.substr(open + 6, close - open - 6));
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (trim(item) == rule) return true;
+  }
+  return false;
+}
+
+std::vector<Violation> lint_source(std::string_view display_path,
+                                   std::string_view content) {
+  std::vector<Violation> out;
+  const std::string stripped = strip_comments_and_strings(content);
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<std::string> code_lines = split_lines(stripped);
+
+  const bool float_eq_scope =
+      path_in(display_path, {"src/core/", "src/numerics/"});
+  const bool positive_sub_scope =
+      path_in(display_path, {"src/core/", "src/sim/"});
+
+  auto report = [&](std::size_t lineno, const char* rule,
+                    const std::string& message) {
+    const std::string& raw =
+        lineno >= 1 && lineno <= raw_lines.size() ? raw_lines[lineno - 1] : "";
+    // The annotation may sit on the offending line or the one above it
+    // (common when the code line is already at the column limit).
+    if (line_allows(raw, rule)) return;
+    if (lineno >= 2 && line_allows(raw_lines[lineno - 2], rule)) return;
+    out.push_back(Violation{std::string(display_path), lineno, rule, message,
+                            trim(raw)});
+  };
+
+  if (is_header(display_path)) {
+    // pragma-once: the first non-blank code line must be the guard.
+    bool found = false;
+    for (const std::string& line : code_lines) {
+      const std::string t = trim(line);
+      if (t.empty()) continue;
+      found = t.rfind("#pragma once", 0) == 0;
+      break;
+    }
+    if (!found) {
+      report(1, "pragma-once",
+             "header must start with #pragma once (before any declaration)");
+    }
+  }
+
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::size_t lineno = i + 1;
+    std::vector<std::string> hits;
+
+    rule_raw_lock(code_lines[i], lineno, hits);
+    for (const std::string& m : hits) report(lineno, "raw-lock", m);
+    hits.clear();
+
+    rule_std_rand(code_lines[i], hits);
+    for (const std::string& m : hits) report(lineno, "std-rand", m);
+    hits.clear();
+
+    if (float_eq_scope) {
+      rule_float_eq(code_lines[i], hits);
+      for (const std::string& m : hits) report(lineno, "float-eq", m);
+      hits.clear();
+    }
+
+    if (positive_sub_scope) {
+      rule_positive_sub(code_lines[i], hits);
+      for (const std::string& m : hits) report(lineno, "positive-sub", m);
+      hits.clear();
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> lint_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Violation{path.generic_string(), 0, "io",
+                      "cannot open file for reading", ""}};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(path.generic_string(), ss.str());
+}
+
+std::vector<std::filesystem::path> collect_sources(
+    const std::filesystem::path& root) {
+  std::vector<fs::path> out;
+  auto want = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".cpp";
+  };
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (want(root)) out.push_back(root);
+    return out;
+  }
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file(ec) && want(it->path())) out.push_back(it->path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Violation> check_headers_standalone(
+    const std::vector<std::filesystem::path>& headers,
+    const HeaderCheckOptions& opt) {
+  std::vector<Violation> out;
+  std::error_code ec;
+  const fs::path tmpdir =
+      fs::temp_directory_path(ec) / ("cslint-" + std::to_string(::getpid()));
+  fs::create_directories(tmpdir, ec);
+  const fs::path tu = tmpdir / "standalone_tu.cpp";
+  const fs::path log = tmpdir / "standalone_tu.log";
+
+  for (const fs::path& header : headers) {
+    if (header.extension() != ".hpp") continue;
+    // Include dir + repo-style include spelling: ".../src/engine/x.hpp"
+    // becomes -I".../src" + #include "engine/x.hpp".  Absolutize first so
+    // relative invocations ("cslint src/") still find the src root.
+    const std::string display = header.generic_string();
+    const std::string gen = fs::absolute(header, ec).generic_string();
+    const std::size_t src_at = gen.rfind("/src/");
+    std::string include_dir;
+    std::string spelling;
+    if (src_at != std::string::npos) {
+      include_dir = gen.substr(0, src_at + 4);
+      spelling = gen.substr(src_at + 5);
+    } else {
+      include_dir = header.parent_path().generic_string();
+      spelling = header.filename().generic_string();
+    }
+
+    {
+      std::ofstream tu_out(tu, std::ios::trunc);
+      tu_out << "#include \"" << spelling << "\"\n";
+    }
+    std::string cmd = opt.compiler + " " + opt.std_flag + " -fsyntax-only";
+    cmd += " -I\"" + include_dir + "\"";
+    for (const std::string& dir : opt.include_dirs) cmd += " -I\"" + dir + "\"";
+    cmd += " \"" + tu.generic_string() + "\" > \"" + log.generic_string() +
+           "\" 2>&1";
+    if (std::system(cmd.c_str()) != 0) {
+      std::string detail;
+      std::ifstream log_in(log);
+      std::string line;
+      for (int n = 0; n < 3 && std::getline(log_in, line); ++n) {
+        if (!detail.empty()) detail += " | ";
+        detail += trim(line);
+      }
+      out.push_back(Violation{
+          display, 0, "header-standalone",
+          "header does not compile as a standalone TU (missing includes?): " +
+              detail,
+          ""});
+    }
+  }
+  fs::remove_all(tmpdir, ec);
+  return out;
+}
+
+}  // namespace cs::lint

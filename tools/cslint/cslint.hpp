@@ -1,0 +1,84 @@
+// cslint — repo-specific invariant linter for the cyclesteal tree.
+//
+// Generic tools (clang-tidy, sanitizers) cannot see project conventions, so
+// this small dependency-free linter enforces them with token/regex rules over
+// comment- and string-stripped source:
+//
+//   raw-lock          no `.lock()` / `.unlock()` outside RAII guards
+//   float-eq          no `==` / `!=` against floating literals in
+//                     src/core + src/numerics (use cs::num::approx_eq)
+//   std-rand          no std::rand / srand / time(nullptr) anywhere in src/
+//                     (use cs::num::RandomStream)
+//   positive-sub      no bare `<expr> - c` period arithmetic in
+//                     src/core + src/sim outside positive_sub()
+//   pragma-once       every header starts with #pragma once
+//   header-standalone every header compiles as its own translation unit
+//                     (catches missing includes; needs a compiler, see
+//                     HeaderCheckOptions)
+//
+// A violation is suppressed by an annotation naming the rule on the
+// offending line or the line directly above it, e.g.
+//   `// cslint: allow(positive-sub) signed slack is intentional`.
+//
+// The rule engine is a library (linted and unit-tested like any other code);
+// main.cpp wraps it in a CLI that ci.sh and a ctest case invoke.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs::lint {
+
+struct Violation {
+  std::string file;     ///< display path (as passed in / discovered)
+  std::size_t line = 0; ///< 1-based; 0 = whole-file finding
+  std::string rule;     ///< rule id, e.g. "float-eq"
+  std::string message;  ///< human-readable explanation + suggested fix
+  std::string excerpt;  ///< offending source line, trimmed
+};
+
+/// Replace the *contents* of comments, string literals, and char literals
+/// with spaces (newlines preserved), so rules never fire on prose or quoted
+/// text.  Handles //, /*...*/, "...", '...', and R"delim(...)delim".
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view src);
+
+/// True when `rule` is suppressed on this raw source line via
+/// `cslint: allow(rule[, rule...])`.
+[[nodiscard]] bool line_allows(std::string_view raw_line,
+                               std::string_view rule);
+
+/// Run every text rule over one in-memory source.  `display_path` selects
+/// path-scoped rules (float-eq, positive-sub) by substring match on its
+/// '/'-normalized form, so both repo-relative and absolute paths work.
+[[nodiscard]] std::vector<Violation> lint_source(std::string_view display_path,
+                                                 std::string_view content);
+
+/// lint_source over a file on disk (returns a read-error violation if the
+/// file cannot be opened).
+[[nodiscard]] std::vector<Violation> lint_file(
+    const std::filesystem::path& path);
+
+/// Recursively collect .hpp/.cpp files under `root` (or `root` itself when it
+/// is a regular file), sorted for deterministic output.
+[[nodiscard]] std::vector<std::filesystem::path> collect_sources(
+    const std::filesystem::path& root);
+
+struct HeaderCheckOptions {
+  std::string compiler = "c++";   ///< compiler driver for -fsyntax-only
+  std::string std_flag = "-std=c++20";
+  std::vector<std::string> include_dirs;  ///< extra -I directories
+};
+
+/// Compile each header as a standalone TU (`#include "<header>"` only) with
+/// `-fsyntax-only`; a failure means the header is not self-contained.  The
+/// include path is the header's enclosing `src/` directory when one exists
+/// (matching the repo's `#include "core/x.hpp"` convention) plus
+/// `opt.include_dirs`.
+[[nodiscard]] std::vector<Violation> check_headers_standalone(
+    const std::vector<std::filesystem::path>& headers,
+    const HeaderCheckOptions& opt);
+
+}  // namespace cs::lint

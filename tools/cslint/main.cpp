@@ -1,0 +1,81 @@
+// cslint CLI — lint one or more files/directories against the repo's
+// invariant rules (see cslint.hpp for the rule list).
+//
+//   cslint src/                          # text rules + header standalone
+//   cslint --no-headers src/engine/      # text rules only
+//   cslint --compiler g++ -I src src/    # explicit compiler / include dirs
+//
+// Exit status: 0 = clean, 1 = violations found, 2 = usage error.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cslint.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: cslint [--no-headers] [--compiler PATH] [--std FLAG]\n"
+               "              [-I DIR]... PATH...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_headers = true;
+  cs::lint::HeaderCheckOptions hdr;
+  if (const char* cxx = std::getenv("CXX"); cxx != nullptr && *cxx != '\0')
+    hdr.compiler = cxx;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-headers") {
+      check_headers = false;
+    } else if (arg == "--compiler" && i + 1 < argc) {
+      hdr.compiler = argv[++i];
+    } else if (arg == "--std" && i + 1 < argc) {
+      hdr.std_flag = "-std=" + std::string(argv[++i]);
+    } else if (arg == "-I" && i + 1 < argc) {
+      hdr.include_dirs.emplace_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h" || arg.rfind('-', 0) == 0) {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<cs::lint::Violation> violations;
+  std::size_t files = 0;
+  std::vector<std::filesystem::path> all_sources;
+  for (const std::string& root : roots) {
+    const auto sources = cs::lint::collect_sources(root);
+    if (sources.empty()) {
+      std::cerr << "cslint: no .hpp/.cpp sources under '" << root << "'\n";
+      return 2;
+    }
+    for (const auto& path : sources) {
+      ++files;
+      auto v = cs::lint::lint_file(path);
+      violations.insert(violations.end(), v.begin(), v.end());
+    }
+    all_sources.insert(all_sources.end(), sources.begin(), sources.end());
+  }
+  if (check_headers) {
+    auto v = cs::lint::check_headers_standalone(all_sources, hdr);
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+
+  for (const auto& v : violations) {
+    std::cout << v.file << ':' << v.line << ": [" << v.rule << "] "
+              << v.message << '\n';
+    if (!v.excerpt.empty()) std::cout << "    " << v.excerpt << '\n';
+  }
+  std::cout << "cslint: " << violations.size() << " violation(s) across "
+            << files << " file(s)"
+            << (check_headers ? " (header standalone check on)" : "") << '\n';
+  return violations.empty() ? 0 : 1;
+}
