@@ -172,7 +172,7 @@ void BM_EngineCacheHit(benchmark::State& state) {
   const auto req = engine_request("uniform:L=480");
   (void)engine.solve(req);  // warm (idempotent across threads)
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.solve(req)->expected);
+    benchmark::DoNotOptimize(engine.solve(req).value()->expected);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
@@ -190,7 +190,7 @@ void BM_EngineColdSolve(benchmark::State& state) {
   const auto b = engine_request("uniform:L=960");
   bool flip = false;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.solve(flip ? a : b)->expected);
+    benchmark::DoNotOptimize(engine.solve(flip ? a : b).value()->expected);
     flip = !flip;
   }
 }

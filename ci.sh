@@ -2,7 +2,8 @@
 # Tier-1 verification gate.
 #
 #   ./ci.sh            # full gate: build, ctest, smoke, cslint, format,
-#                      #   clang-tidy wall, ASan/UBSan pass, TSan pass
+#                      #   clang-tidy wall, ASan/UBSan pass, TSan pass,
+#                      #   csserve soak (sanitized load burst + SIGINT drain)
 #   ./ci.sh --fast     # build, ctest, smoke, cslint, format only
 #
 # Stages that need a tool the host lacks (clang-tidy, clang-format) are
@@ -107,7 +108,7 @@ stage_asan() {
   export UBSAN_OPTIONS="print_stacktrace=1"
   local t
   for t in test_obs test_parallel test_sim_farm test_sim_episode \
-           test_engine test_csserve test_race_stress; do
+           test_engine test_net test_csserve test_race_stress; do
     echo "-- $t"
     ./build-asan/tests/"$t" || return 1
   done
@@ -117,11 +118,48 @@ stage_tsan() {
   cmake --preset tsan && cmake --build --preset tsan || return 1
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
   local t
-  for t in test_engine test_csserve test_parallel test_obs test_sim_farm \
-           test_race_stress; do
+  for t in test_engine test_net test_csserve test_parallel test_obs \
+           test_sim_farm test_race_stress; do
     echo "-- $t"
     ./build-tsan/tests/"$t" || return 1
   done
+}
+
+# soak_one <builddir> — a csload burst against that build's csserve, then a
+# SIGINT drain; fails on request errors, a non-zero server exit, or a hang
+# (timeout bounds the wall-clock).
+soak_one() {
+  local bindir="$1" serve_log port="" rc
+  serve_log="$(mktemp)"
+  "$bindir"/tools/csserve --port 0 --loops 2 --threads 4 \
+    --max-inflight 256 2>"$serve_log" &
+  local serve_pid=$!
+  for _ in $(seq 1 100); do
+    port="$(grep -oE 'listening on [0-9.]+:[0-9]+' "$serve_log" \
+            | grep -oE '[0-9]+$' || true)"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "csserve ($bindir) failed to start"; cat "$serve_log"; return 1
+  fi
+  timeout 180 "$bindir"/tools/csload --port "$port" --requests 20000 \
+    --threads 32 --life uniform:L=1000 --life geomlife:half=100 --c 4 \
+    --warm --v2 --retries 3 || { kill -9 "$serve_pid"; return 1; }
+  kill -INT "$serve_pid"
+  wait "$serve_pid"; rc=$?
+  rm -f "$serve_log"
+  if [[ "$rc" != "0" ]]; then
+    echo "csserve ($bindir) exited $rc after SIGINT drain"; return 1
+  fi
+}
+
+stage_soak() {
+  # Sanitizer binaries already built by the asan/tsan stages.
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  echo "-- soak: asan build" && soak_one build-asan || return 1
+  echo "-- soak: tsan build" && soak_one build-tsan || return 1
 }
 
 # ------------------------------------------------------------------- plan
@@ -144,6 +182,7 @@ if [[ "$fast" == "0" ]]; then
   fi
   run_stage "ASan/UBSan pass" stage_asan
   run_stage "TSan pass" stage_tsan
+  run_stage "csserve soak (asan+tsan)" stage_soak
 fi
 
 summarize

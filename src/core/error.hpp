@@ -1,0 +1,86 @@
+// cs::Error — the project-wide error taxonomy shared by the serving stack.
+//
+// Every fallible serving-path operation (Engine::solve*, Client::request,
+// the csserve wire protocol) classifies its failure into one of a small,
+// closed set of codes, carries a human-readable message, and states whether
+// the *same* request could plausibly succeed if retried:
+//
+//   code        wire string   retryable   meaning
+//   BadSpec     bad_spec      no          malformed request (spec, c, ...)
+//   Timeout     timeout       yes         per-request deadline exceeded
+//   Overloaded  overloaded    yes         server shed the request under load
+//   Network     network       yes         transport failure (client-side
+//                                         only; never sent on the wire)
+//   Internal    internal      no          unexpected solver/server failure
+//
+// The protocol-v2 error frame serializes exactly this triple (see
+// engine/protocol.hpp); Client's retry loop keys off `retryable` alone, so
+// new codes stay forward-compatible for old clients.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cs {
+
+/// Closed error classification; `to_string` gives the wire spelling.
+enum class ErrorCode { BadSpec, Timeout, Overloaded, Network, Internal };
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::BadSpec: return "bad_spec";
+    case ErrorCode::Timeout: return "timeout";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::Network: return "network";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+/// Whether a code is retryable by default (a server may still override the
+/// flag per error on the wire).
+[[nodiscard]] constexpr bool default_retryable(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Timeout:
+    case ErrorCode::Overloaded:
+    case ErrorCode::Network:
+      return true;
+    case ErrorCode::BadSpec:
+    case ErrorCode::Internal:
+      return false;
+  }
+  return false;
+}
+
+/// Parse a wire code string; unknown strings classify as Internal so that a
+/// v2 client keeps working when a newer server grows the taxonomy.
+[[nodiscard]] inline ErrorCode parse_error_code(std::string_view text) noexcept {
+  if (text == "bad_spec") return ErrorCode::BadSpec;
+  if (text == "timeout") return ErrorCode::Timeout;
+  if (text == "overloaded") return ErrorCode::Overloaded;
+  if (text == "network") return ErrorCode::Network;
+  return ErrorCode::Internal;
+}
+
+/// One classified failure: code + message + retryability.
+struct Error {
+  ErrorCode code = ErrorCode::Internal;
+  std::string message;
+  bool retryable = false;
+
+  Error() = default;
+  Error(ErrorCode c, std::string msg)
+      : code(c), message(std::move(msg)), retryable(default_retryable(c)) {}
+  Error(ErrorCode c, std::string msg, bool retry)
+      : code(c), message(std::move(msg)), retryable(retry) {}
+
+  [[nodiscard]] const char* code_name() const noexcept {
+    return to_string(code);
+  }
+  /// "code: message" — for logs and exception texts.
+  [[nodiscard]] std::string describe() const {
+    return std::string(code_name()) + ": " + message;
+  }
+};
+
+}  // namespace cs

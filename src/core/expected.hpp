@@ -1,0 +1,107 @@
+// cs::Expected<T, E> — the value-or-error result type of the serving API.
+//
+// The engine and client used to mix reporting styles (throwing on malformed
+// requests, bool returns on transport failures); Expected replaces both with
+// one explicit channel: a successful call returns the value, a failed call
+// returns a classified cs::Error (see core/error.hpp) that the caller must
+// inspect.  This is deliberately a small subset of std::expected (C++23):
+// no monadic combinators, just construction, queries, and checked access.
+//
+//   cs::Expected<int> r = parse(s);
+//   if (!r.ok()) return r.error();       // propagate
+//   use(r.value());                      // or *r
+//
+// `value()` on an error aborts the program via std::logic_error — calls must
+// check `ok()` first; the error text embeds the carried message so a missed
+// check fails loudly and descriptively.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "core/error.hpp"
+
+namespace cs {
+
+/// Wrapper that disambiguates "construct the error alternative" when T and E
+/// could overlap; `fail(...)` is the usual way to make one.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+[[nodiscard]] Unexpected<std::decay_t<E>> fail(E&& error) {
+  return Unexpected<std::decay_t<E>>{std::forward<E>(error)};
+}
+
+/// Convenience: build the common Unexpected<cs::Error> from code + message.
+[[nodiscard]] inline Unexpected<Error> fail(ErrorCode code,
+                                            std::string message) {
+  return Unexpected<Error>{Error(code, std::move(message))};
+}
+
+namespace detail {
+template <typename E>
+[[noreturn]] void throw_bad_access(const E&) {
+  throw std::logic_error("Expected::value() called on an error result");
+}
+[[noreturn]] inline void throw_bad_access(const Error& e) {
+  throw std::logic_error("Expected::value() called on an error result (" +
+                         e.describe() + ")");
+}
+}  // namespace detail
+
+template <typename T, typename E = Error>
+class Expected {
+ public:
+  using value_type = T;
+  using error_type = E;
+
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> unexpected)
+      : state_(std::in_place_index<1>, std::move(unexpected.error)) {}
+  Expected(E error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    check();
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    check();
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    check();
+    return std::get<0>(std::move(state_));
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return ok() ? std::get<0>(state_)
+                : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  /// Checked error access: only valid when !ok() (std::get enforces it).
+  [[nodiscard]] E& error() { return std::get<1>(state_); }
+  [[nodiscard]] const E& error() const { return std::get<1>(state_); }
+
+ private:
+  void check() const {
+    if (!ok()) detail::throw_bad_access(std::get<1>(state_));
+  }
+
+  std::variant<T, E> state_;
+};
+
+}  // namespace cs

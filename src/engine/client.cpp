@@ -1,51 +1,45 @@
 #include "engine/client.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
-#include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "engine/protocol.hpp"
+#include "net/socket.hpp"
 
 namespace cs::engine {
 
-Client::Client(const std::string& host, std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0)
-    throw std::runtime_error(std::string("csload: socket: ") +
-                             std::strerror(errno));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("csload: bad host '" + host + "'");
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("csload: connect " + host + ":" +
-                             std::to_string(port) + ": " + err);
-  }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+Client::Client(std::string host, std::uint16_t port, ClientOptions opt)
+    : host_(std::move(host)),
+      port_(port),
+      opt_(opt),
+      jitter_(opt.jitter_seed) {
+  auto conn = net::connect_tcp(host_, port_);
+  if (conn.ok()) fd_ = conn.value();
 }
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      opt_(other.opt_),
+      jitter_(std::move(other.jitter_)),
+      fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    opt_ = other.opt_;
+    jitter_ = std::move(other.jitter_);
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
   }
@@ -53,15 +47,68 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 void Client::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  net::close_quietly(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+void Client::backoff_sleep(std::size_t attempt) {
+  const double base = static_cast<double>(opt_.backoff_base.count()) *
+                      std::pow(2.0, static_cast<double>(attempt - 1));
+  const double capped =
+      std::min(base, static_cast<double>(opt_.backoff_max.count()));
+  // Jitter in [capped/2, capped): retrying clients decorrelate instead of
+  // re-stampeding the server in lockstep.
+  const double ms = capped * jitter_.uniform(0.5, 1.0);
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
   }
 }
 
-std::string Client::request(std::string_view line) {
-  if (fd_ < 0) throw std::runtime_error("csload: connection closed");
+cs::Expected<std::string> Client::request(std::string_view line) {
+  cs::Error last(cs::ErrorCode::Network, "no attempt made");
+  for (std::size_t attempt = 0; attempt <= opt_.max_retries; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt);
+    if (fd_ < 0) {
+      auto conn = net::connect_tcp(host_, port_);
+      if (!conn.ok()) {
+        last = conn.error();
+        continue;
+      }
+      fd_ = conn.value();
+      buffer_.clear();
+    }
 
+    auto response = attempt_once(line);
+    if (!response.ok()) {
+      // Transport failure: the connection state is indeterminate (a late
+      // response would desync request/response pairing) — re-dial.
+      last = response.error();
+      close();
+      if (!last.retryable) break;
+      continue;
+    }
+
+    // A response arrived.  Resend only if the server itself marked the
+    // error retryable (overloaded / timed out under load) and budget remains.
+    if (attempt < opt_.max_retries) {
+      try {
+        const WireResponse parsed = parse_response_line(response.value());
+        if (!parsed.ok && parsed.error && parsed.error->retryable) {
+          last = *parsed.error;
+          continue;
+        }
+      } catch (const std::exception&) {
+        // Unparseable line: hand it to the caller unchanged.
+      }
+    }
+    return response;
+  }
+  return cs::fail(std::move(last));
+}
+
+cs::Expected<std::string> Client::attempt_once(std::string_view line) {
   std::string out(line);
   if (out.empty() || out.back() != '\n') out += '\n';
   std::size_t off = 0;
@@ -70,12 +117,13 @@ std::string Client::request(std::string_view line) {
         ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("csload: send: ") +
-                               std::strerror(errno));
+      return cs::fail(cs::ErrorCode::Network,
+                      std::string("send: ") + std::strerror(errno));
     }
     off += static_cast<std::size_t>(n);
   }
 
+  const auto start = std::chrono::steady_clock::now();
   char chunk[4096];
   while (true) {
     const std::size_t newline = buffer_.find('\n');
@@ -85,10 +133,34 @@ std::string Client::request(std::string_view line) {
       if (!response.empty() && response.back() == '\r') response.pop_back();
       return response;
     }
+
+    if (opt_.deadline.count() > 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start);
+      const auto left = opt_.deadline - elapsed;
+      if (left.count() <= 0)
+        return cs::fail(cs::ErrorCode::Timeout, "request deadline exceeded");
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return cs::fail(cs::ErrorCode::Network,
+                        std::string("poll: ") + std::strerror(errno));
+      }
+      if (ready == 0)
+        return cs::fail(cs::ErrorCode::Timeout, "request deadline exceeded");
+    }
+
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0)
-      throw std::runtime_error("csload: server closed the connection");
+    if (n < 0)
+      return cs::fail(cs::ErrorCode::Network,
+                      std::string("recv: ") + std::strerror(errno));
+    if (n == 0)
+      return cs::fail(cs::ErrorCode::Network, "server closed the connection");
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

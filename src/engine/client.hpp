@@ -1,18 +1,50 @@
-// Minimal blocking client for the csserve line protocol — one TCP
-// connection, request-line out, response-line back.  Used by the csload
-// load generator and the loopback end-to-end tests.
+// Blocking client for the csserve line protocol — one TCP connection,
+// request-line out, response-line back — with production-client behaviors:
+//
+//  - Per-request deadline: the wait for a response line is bounded
+//    (poll(2)); an expired deadline reports cs::ErrorCode::Timeout.
+//  - Bounded retry with exponential backoff: transport failures (Timeout /
+//    Network) and server errors the server itself marked `"retryable":true`
+//    (overloaded, deadline sheds) are retried up to max_retries times with
+//    backoff_base * 2^k capped at backoff_max.  Non-retryable errors
+//    (bad_spec, internal) are never resent.
+//  - Jittered backoff from a caller-seeded cs::num::RandomStream, so a
+//    thundering herd of clients decorrelates deterministically per seed.
+//  - After a transport failure the connection is torn down and re-dialed
+//    before the retry: a late response from the broken attempt must never be
+//    mis-paired with the next request.
+//
+// Failures come back as cs::Expected, not exceptions: a returned string is
+// the raw response line (which may itself be a protocol error frame — parse
+// with parse_response_line); a cs::Error means no usable response arrived.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "core/expected.hpp"
+#include "numerics/rng.hpp"
+
 namespace cs::engine {
+
+struct ClientOptions {
+  /// Per-attempt response deadline; 0 = wait forever.
+  std::chrono::milliseconds deadline{5000};
+  /// Extra attempts after the first, for retryable failures only.
+  std::size_t max_retries = 0;
+  std::chrono::milliseconds backoff_base{10};
+  std::chrono::milliseconds backoff_max{1000};
+  /// Seed for backoff jitter (deterministic per client).
+  std::uint64_t jitter_seed = 1;
+};
 
 class Client {
  public:
-  /// Connect to host:port.  Throws std::runtime_error on failure.
-  Client(const std::string& host, std::uint16_t port);
+  /// Remembers host:port and dials eagerly (best effort — a failed dial here
+  /// is retried by the first request()).
+  Client(std::string host, std::uint16_t port, ClientOptions opt = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -20,17 +52,27 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Send one request line (newline appended if missing) and block for the
-  /// one-line response (trailing newline stripped).  Throws
-  /// std::runtime_error if the connection drops.
-  [[nodiscard]] std::string request(std::string_view line);
+  /// Send one request line (newline appended if missing) and wait for the
+  /// one-line response (trailing newline stripped), retrying per
+  /// ClientOptions.  See the file header for the error contract.
+  [[nodiscard]] cs::Expected<std::string> request(std::string_view line);
 
-  /// Close the connection early (destructor does this too).
+  /// Close the connection early (destructor does this too).  The next
+  /// request() re-dials.
   void close();
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const ClientOptions& options() const noexcept { return opt_; }
 
  private:
+  /// One send+receive cycle on the current connection.
+  [[nodiscard]] cs::Expected<std::string> attempt_once(std::string_view line);
+  void backoff_sleep(std::size_t attempt);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions opt_;
+  cs::num::RandomStream jitter_;
   int fd_ = -1;
   std::string buffer_;  ///< bytes received beyond the last returned line
 };

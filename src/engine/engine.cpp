@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "core/quantize.hpp"
@@ -107,7 +108,7 @@ ResultPtr Engine::run_solver(const CanonicalRequest& creq) {
   return res;
 }
 
-ResultPtr Engine::solve(const SolveRequest& req, bool* cache_hit) {
+ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit) {
   const bool observed = obs::enabled();
   const std::uint64_t start_ns = observed ? obs::now_ns() : 0;
   const auto finish = [this, observed, start_ns, cache_hit](ResultPtr r,
@@ -168,16 +169,37 @@ ResultPtr Engine::solve(const SolveRequest& req, bool* cache_hit) {
   }
 }
 
-std::shared_future<ResultPtr> Engine::solve_async(const SolveRequest& req) {
+cs::Expected<ResultPtr> Engine::solve(const SolveRequest& req,
+                                      bool* cache_hit) {
+  try {
+    return solve_impl(req, cache_hit);
+  } catch (const std::invalid_argument& err) {
+    return cs::fail(cs::ErrorCode::BadSpec, err.what());
+  } catch (const std::exception& err) {
+    return cs::fail(cs::ErrorCode::Internal, err.what());
+  }
+}
+
+std::optional<ResultPtr> Engine::cached(std::string_view key) {
+  auto hit = cache_.get(key);
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) EngineMetrics::instance().hit.inc();
+  }
+  return hit;
+}
+
+std::shared_future<cs::Expected<ResultPtr>> Engine::solve_async(
+    const SolveRequest& req) {
   return pool().submit([this, req] { return solve(req); }).share();
 }
 
-std::vector<ResultPtr> Engine::solve_many(
+std::vector<cs::Expected<ResultPtr>> Engine::solve_many(
     const std::vector<SolveRequest>& reqs) {
-  std::vector<std::shared_future<ResultPtr>> futures;
+  std::vector<std::shared_future<cs::Expected<ResultPtr>>> futures;
   futures.reserve(reqs.size());
   for (const SolveRequest& req : reqs) futures.push_back(solve_async(req));
-  std::vector<ResultPtr> results;
+  std::vector<cs::Expected<ResultPtr>> results;
   results.reserve(reqs.size());
   for (auto& f : futures) results.push_back(f.get());
   return results;

@@ -29,11 +29,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/dp_reference.hpp"
+#include "core/expected.hpp"
 #include "core/greedy.hpp"
 #include "core/guideline.hpp"
 #include "engine/lru_cache.hpp"
@@ -73,22 +76,31 @@ class Engine {
 
   /// Solve synchronously.  Served from cache when possible; otherwise runs
   /// the solver on the calling thread (leader) or waits for the identical
-  /// in-flight solve (follower).  Throws std::invalid_argument on malformed
-  /// requests; solver exceptions propagate to every coalesced waiter.
-  /// `cache_hit`, when non-null, reports whether this request was served
-  /// straight from the cache (coalesced waits count as misses).
-  [[nodiscard]] ResultPtr solve(const SolveRequest& req,
-                                bool* cache_hit = nullptr);
+  /// in-flight solve (follower).  Failures come back as a classified
+  /// cs::Error instead of an exception: malformed requests are BadSpec,
+  /// unexpected solver failures are Internal, and a coalesced waiter
+  /// receives the same error its leader produced.  `cache_hit`, when
+  /// non-null, reports whether this request was served straight from the
+  /// cache (coalesced waits count as misses).
+  [[nodiscard]] cs::Expected<ResultPtr> solve(const SolveRequest& req,
+                                              bool* cache_hit = nullptr);
 
-  /// Dispatch onto the pool; the future resolves to the same shared result
-  /// solve() would return (or its exception).
-  [[nodiscard]] std::shared_future<ResultPtr> solve_async(
+  /// Dispatch onto the pool; the future resolves to the same value solve()
+  /// would return.
+  [[nodiscard]] std::shared_future<cs::Expected<ResultPtr>> solve_async(
       const SolveRequest& req);
 
   /// Solve a batch concurrently on the pool.  Duplicate requests coalesce
-  /// through single-flight; results come back in request order.
-  [[nodiscard]] std::vector<ResultPtr> solve_many(
+  /// through single-flight; results come back in request order, each
+  /// independently value-or-error (one bad spec fails only its own slot).
+  [[nodiscard]] std::vector<cs::Expected<ResultPtr>> solve_many(
       const std::vector<SolveRequest>& reqs);
+
+  /// Cache-only probe by canonical key (see canonicalize()); never solves.
+  /// A hit is tallied exactly like a solve() hit, so front-ends that probe
+  /// before dispatching cold work keep the hit/miss accounting coherent; a
+  /// miss here tallies nothing (the follow-up solve records it).
+  [[nodiscard]] std::optional<ResultPtr> cached(std::string_view key);
 
   [[nodiscard]] EngineStats stats() const noexcept;
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
@@ -99,6 +111,10 @@ class Engine {
 
  private:
   [[nodiscard]] cs::par::ThreadPool& pool() const noexcept;
+  /// Exception-based core of solve(); the public surface converts throws
+  /// into cs::Error (single-flight keeps propagating leader exceptions to
+  /// every coalesced waiter internally).
+  [[nodiscard]] ResultPtr solve_impl(const SolveRequest& req, bool* cache_hit);
   /// Run the actual solver for a canonicalized request (the leader's job).
   [[nodiscard]] ResultPtr run_solver(const CanonicalRequest& creq);
 

@@ -11,6 +11,13 @@ namespace cs::engine {
 
 namespace json {
 
+const Value* Value::get(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
 namespace {
 
 /// Cursor over the input with the shared "unexpected character" error.
@@ -104,7 +111,33 @@ struct Parser {
     }
   }
 
-  Value parse_value() {
+  /// Members of one {...}, cursor positioned at '{'.
+  std::vector<std::pair<std::string, Value>> parse_members(int depth) {
+    expect('{');
+    std::vector<std::pair<std::string, Value>> out;
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.emplace_back(std::move(key), parse_value(depth));
+      skip_ws();
+      const char sep = take();
+      if (sep == '}') break;
+      if (sep != ',') {
+        --pos;
+        fail("expected ',' or '}'");
+      }
+    }
+    return out;
+  }
+
+  Value parse_value(int depth) {
     skip_ws();
     Value v;
     const char c = peek();
@@ -142,7 +175,11 @@ struct Parser {
       v.type = Value::Type::Number;
       v.number = parse_number();
     } else if (c == '{') {
-      fail("nested objects unsupported");
+      // One nested level covers the v2 error object; deeper nesting is
+      // outside the protocol's closure and stays rejected.
+      if (depth >= 1) fail("objects nested deeper than one level unsupported");
+      v.type = Value::Type::Object;
+      v.object = parse_members(depth + 1);
     } else {
       fail("unexpected character");
     }
@@ -155,27 +192,9 @@ struct Parser {
 std::map<std::string, Value> parse_object(std::string_view text) {
   Parser p{text};
   p.skip_ws();
-  p.expect('{');
   std::map<std::string, Value> out;
-  p.skip_ws();
-  if (p.peek() == '}') {
-    p.take();
-  } else {
-    while (true) {
-      p.skip_ws();
-      std::string key = p.parse_string();
-      p.skip_ws();
-      p.expect(':');
-      out[std::move(key)] = p.parse_value();
-      p.skip_ws();
-      const char sep = p.take();
-      if (sep == '}') break;
-      if (sep != ',') {
-        --p.pos;
-        p.fail("expected ',' or '}'");
-      }
-    }
-  }
+  for (auto& [key, value] : p.parse_members(0))
+    out[std::move(key)] = std::move(value);
   p.skip_ws();
   if (p.pos != p.text.size()) p.fail("trailing content");
   return out;
@@ -236,8 +255,10 @@ void append_field(std::string& out, const char* key, std::string_view v) {
   out += '"';
 }
 
-std::string response_head(std::optional<std::int64_t> id, bool ok) {
+std::string response_head(int version, std::optional<std::int64_t> id,
+                          bool ok) {
   std::string out = "{";
+  if (version >= kProtocolV2) out += "\"v\":2,";
   if (id) {
     out += "\"id\":";
     out += std::to_string(*id);
@@ -252,6 +273,14 @@ std::string response_head(std::optional<std::int64_t> id, bool ok) {
 WireRequest parse_request_line(std::string_view line) {
   const auto obj = json::parse_object(line);
   WireRequest req;
+
+  if (const Value* v = find(obj, "v", Value::Type::Number, "number")) {
+    const int version = static_cast<int>(v->number);
+    if (version != kProtocolV1 && version != kProtocolV2)
+      throw std::invalid_argument("unsupported protocol version " +
+                                  std::to_string(version) + " (want 1 or 2)");
+    req.version = version;
+  }
 
   if (const Value* id = find(obj, "id", Value::Type::Number, "number"))
     req.id = static_cast<std::int64_t>(id->number);
@@ -293,10 +322,14 @@ WireRequest parse_request_line(std::string_view line) {
   return req;
 }
 
-std::string make_solve_response(const WireRequest& req,
-                                const ScheduleResult& result, bool cached) {
-  std::string out = response_head(req.id, true);
-  out += cached ? ",\"cached\":true," : ",\"cached\":false,";
+std::string make_response_head(int version, std::optional<std::int64_t> id,
+                               bool ok) {
+  return response_head(version, id, ok);
+}
+
+std::string make_solve_response_tail(const ScheduleResult& result, bool cached,
+                                     std::size_t max_periods) {
+  std::string out = cached ? ",\"cached\":true," : ",\"cached\":false,";
   append_field(out, "solver", to_string(result.solver));
   out += ',';
   append_field(out, "life", result.canonical_life);
@@ -312,8 +345,7 @@ std::string make_solve_response(const WireRequest& req,
   out += std::to_string(result.schedule.size());
   if (!result.schedule.empty()) {
     out += ",\"periods\":[";
-    const std::size_t shown =
-        std::min(req.max_periods, result.schedule.size());
+    const std::size_t shown = std::min(max_periods, result.schedule.size());
     for (std::size_t i = 0; i < shown; ++i) {
       if (i != 0) out += ',';
       out += spec_number(result.schedule[i]);
@@ -337,25 +369,39 @@ std::string make_solve_response(const WireRequest& req,
   return out;
 }
 
-std::string make_error_response(std::optional<std::int64_t> id,
-                                std::string_view error) {
-  std::string out = response_head(id, false);
-  out += ',';
-  append_field(out, "error", error);
+std::string make_solve_response(const WireRequest& req,
+                                const ScheduleResult& result, bool cached) {
+  return response_head(req.version, req.id, true) +
+         make_solve_response_tail(result, cached, req.max_periods);
+}
+
+std::string make_error_response(int version, std::optional<std::int64_t> id,
+                                const cs::Error& error) {
+  std::string out = response_head(version, id, false);
+  if (version >= kProtocolV2) {
+    out += ",\"error\":{";
+    append_field(out, "code", error.code_name());
+    out += ',';
+    append_field(out, "message", error.message);
+    out += error.retryable ? ",\"retryable\":true}" : ",\"retryable\":false}";
+  } else {
+    out += ',';
+    append_field(out, "error", error.message);
+  }
   out += '}';
   return out;
 }
 
-std::string make_pong_response(std::optional<std::int64_t> id) {
-  std::string out = response_head(id, true);
+std::string make_pong_response(int version, std::optional<std::int64_t> id) {
+  std::string out = response_head(version, id, true);
   out += ",\"pong\":true}";
   return out;
 }
 
-std::string make_stats_response(std::optional<std::int64_t> id,
+std::string make_stats_response(int version, std::optional<std::int64_t> id,
                                 const EngineStats& stats,
                                 std::size_t cache_size) {
-  std::string out = response_head(id, true);
+  std::string out = response_head(version, id, true);
   out += ",\"hits\":" + std::to_string(stats.hits);
   out += ",\"misses\":" + std::to_string(stats.misses);
   out += ",\"evictions\":" + std::to_string(stats.evictions);
@@ -364,6 +410,46 @@ std::string make_stats_response(std::optional<std::int64_t> id,
   out += ",\"cache_size\":" + std::to_string(cache_size);
   out += '}';
   return out;
+}
+
+WireResponse parse_response_line(std::string_view line) {
+  WireResponse res;
+  res.fields = json::parse_object(line);
+  const auto& obj = res.fields;
+
+  if (const Value* v = find(obj, "v", Value::Type::Number, "number"))
+    res.version = static_cast<int>(v->number);
+  if (const Value* id = find(obj, "id", Value::Type::Number, "number"))
+    res.id = static_cast<std::int64_t>(id->number);
+  if (const Value* ok = find(obj, "ok", Value::Type::Bool, "boolean"))
+    res.ok = ok->boolean;
+
+  if (!res.ok) {
+    const auto it = obj.find("error");
+    if (it != obj.end() && it->second.type == Value::Type::Object) {
+      // v2 structured error.
+      cs::Error err;
+      if (const Value* code = it->second.get("code");
+          code != nullptr && code->type == Value::Type::String)
+        err.code = cs::parse_error_code(code->string);
+      if (const Value* msg = it->second.get("message");
+          msg != nullptr && msg->type == Value::Type::String)
+        err.message = msg->string;
+      if (const Value* retry = it->second.get("retryable");
+          retry != nullptr && retry->type == Value::Type::Bool)
+        err.retryable = retry->boolean;
+      else
+        err.retryable = cs::default_retryable(err.code);
+      res.error = std::move(err);
+    } else if (it != obj.end() && it->second.type == Value::Type::String) {
+      // v1 bare-string error: no taxonomy on the wire.
+      res.error = cs::Error(cs::ErrorCode::Internal, it->second.string, false);
+    } else {
+      res.error = cs::Error(cs::ErrorCode::Internal,
+                            "malformed error response", false);
+    }
+  }
+  return res;
 }
 
 }  // namespace cs::engine

@@ -1,27 +1,40 @@
 // csserve wire protocol: newline-delimited JSON, one object per line.
 //
+// Two protocol versions share the connection.  A request opts into v2 with
+// `"v":2`; a request without the field (or with `"v":1`) is v1, and its
+// responses keep the exact v1 shape — old clients never see a v2 frame.
+//
 // Request grammar (flat object; unknown fields are ignored):
-//   {"id":7,"life":"uniform:L=1000","c":4}                    -> solve
-//   {"id":8,"life":"geomlife:half=100","c":2,"solver":"greedy",
+//   {"id":7,"life":"uniform:L=1000","c":4}                    -> solve (v1)
+//   {"v":2,"id":7,"life":"uniform:L=1000","c":4}              -> solve (v2)
+//   {"v":2,"id":8,"life":"geomlife:half=100","c":2,"solver":"greedy",
 //    "quantize":0.5,"max_periods":4}                          -> solve
 //   {"cmd":"ping"}                                            -> liveness
-//   {"cmd":"stats"}                                           -> engine stats
+//   {"v":2,"cmd":"stats"}                                     -> engine stats
 //
-// Response grammar:
-//   solve ok:   {"id":7,"ok":true,"cached":false,"solver":"guideline",
-//                "life":"uniform:L=1000","c":4,"expected":...,
-//                "num_periods":12,"periods":[...first max_periods...],
-//                "span":...,"t0":...,"bracket_lo":...,"bracket_hi":...,
-//                "stop":"..."}
+// Response grammar (v2 responses carry "v":2 as the first field):
+//   solve ok:   {"v":2,"id":7,"ok":true,"cached":false,
+//                "solver":"guideline","life":"uniform:L=1000","c":4,
+//                "expected":...,"num_periods":12,
+//                "periods":[...first max_periods...],"span":...,
+//                "t0":...,"bracket_lo":...,"bracket_hi":...,"stop":"..."}
 //   bounds ok:  same, without t0/periods (num_periods = 0)
-//   error:      {"id":7,"ok":false,"error":"..."}
-//   ping:       {"ok":true,"pong":true}
+//   error v1:   {"id":7,"ok":false,"error":"..."}
+//   error v2:   {"v":2,"id":7,"ok":false,"error":{"code":
+//                "bad_spec|timeout|overloaded|internal","message":"...",
+//                "retryable":false}}
+//   ping:       {"ok":true,"pong":true}            (+"v":2 in v2)
 //   stats:      {"ok":true,"hits":...,"misses":...,"evictions":...,
 //                "solves":...,"coalesced":...,"cache_size":...}
 //
-// The parser is a deliberately small JSON subset — flat objects whose values
-// are strings, numbers, booleans, null, or arrays of numbers — which is
-// exactly the closure of both grammars.  No external JSON dependency.
+// The error taxonomy is cs::ErrorCode (core/error.hpp); `retryable` tells a
+// client whether resending the identical request can succeed (timeouts and
+// load sheds: yes; malformed specs: no).
+//
+// The parser is a deliberately small JSON subset — objects whose values are
+// strings, numbers, booleans, null, arrays of numbers, or (one level of)
+// nested objects — which is exactly the closure of both grammars.  No
+// external JSON dependency.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +42,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "core/error.hpp"
 #include "engine/engine.hpp"
 #include "engine/request.hpp"
 
@@ -40,16 +55,22 @@ namespace json {
 
 /// One parsed JSON value of the subset.
 struct Value {
-  enum class Type { Null, Bool, Number, String, NumArray };
+  enum class Type { Null, Bool, Number, String, NumArray, Object };
   Type type = Type::Null;
   bool boolean = false;
   double number = 0.0;
   std::string string;
   std::vector<double> array;
+  /// Object members in source order (vector: Value is incomplete here).
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// Member lookup for Type::Object values; nullptr when absent.
+  [[nodiscard]] const Value* get(std::string_view key) const;
 };
 
-/// Parse one flat JSON object.  Throws std::invalid_argument on anything
-/// outside the subset (nested objects, arrays of non-numbers, bad syntax).
+/// Parse one JSON object.  Throws std::invalid_argument on anything outside
+/// the subset (arrays of non-numbers, objects nested deeper than one level,
+/// bad syntax).
 [[nodiscard]] std::map<std::string, Value> parse_object(std::string_view text);
 
 /// JSON string escaping (quotes, backslash, control characters).
@@ -57,12 +78,17 @@ struct Value {
 
 }  // namespace json
 
+/// Protocol versions a request line may select.
+inline constexpr int kProtocolV1 = 1;
+inline constexpr int kProtocolV2 = 2;
+
 /// What kind of line arrived.
 enum class WireCommand { Solve, Ping, Stats };
 
 /// A parsed request line.
 struct WireRequest {
   WireCommand cmd = WireCommand::Solve;
+  int version = kProtocolV1;       ///< response shape to produce
   std::optional<std::int64_t> id;  ///< echoed in the response when present
   SolveRequest solve;              ///< valid when cmd == Solve
   std::size_t max_periods = 16;    ///< periods echoed back in the response
@@ -76,11 +102,41 @@ struct WireRequest {
 [[nodiscard]] std::string make_solve_response(const WireRequest& req,
                                               const ScheduleResult& result,
                                               bool cached);
-[[nodiscard]] std::string make_error_response(std::optional<std::int64_t> id,
-                                              std::string_view error);
-[[nodiscard]] std::string make_pong_response(std::optional<std::int64_t> id);
-[[nodiscard]] std::string make_stats_response(std::optional<std::int64_t> id,
+/// The `{"v":2,"id":7,"ok":true` prefix every response starts with.
+[[nodiscard]] std::string make_response_head(int version,
+                                             std::optional<std::int64_t> id,
+                                             bool ok);
+/// Everything of a solve response after the head (leading comma included).
+/// A pure function of (result, cached, max_periods) — the server memoizes
+/// it per canonical key so cache hits skip the double formatting entirely.
+[[nodiscard]] std::string make_solve_response_tail(const ScheduleResult& result,
+                                                   bool cached,
+                                                   std::size_t max_periods);
+/// v1 serializes `error.message` as the bare string; v2 emits the nested
+/// {"code","message","retryable"} object.
+[[nodiscard]] std::string make_error_response(int version,
+                                              std::optional<std::int64_t> id,
+                                              const cs::Error& error);
+[[nodiscard]] std::string make_pong_response(int version,
+                                             std::optional<std::int64_t> id);
+[[nodiscard]] std::string make_stats_response(int version,
+                                              std::optional<std::int64_t> id,
                                               const EngineStats& stats,
                                               std::size_t cache_size);
+
+/// A parsed response line, as seen by a client.
+struct WireResponse {
+  int version = kProtocolV1;
+  std::optional<std::int64_t> id;
+  bool ok = false;
+  /// Set when ok == false.  v1 errors carry code Internal / retryable false
+  /// (the v1 wire has no taxonomy); v2 errors carry the server's triple.
+  std::optional<cs::Error> error;
+  /// Every top-level field, for callers that need result values.
+  std::map<std::string, json::Value> fields;
+};
+
+/// Parse one response line.  Throws std::invalid_argument on malformed JSON.
+[[nodiscard]] WireResponse parse_response_line(std::string_view line);
 
 }  // namespace cs::engine

@@ -1,44 +1,115 @@
 #include "engine/server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
-#include <cstring>
+#include <cstdio>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "engine/protocol.hpp"
+#include "net/socket.hpp"
 #include "obs/metrics.hpp"
 
 namespace cs::engine {
 
 namespace {
 
-void close_quietly(int fd) {
-  if (fd >= 0) ::close(fd);
-}
-
-/// Write the whole buffer, retrying on short writes / EINTR.
-bool write_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
+struct NetMetrics {
+  obs::Counter& accepted;
+  obs::Counter& requests;
+  obs::Counter& shed;
+  obs::Counter& reaped;
+  obs::Counter& timeout;
+  obs::Gauge& open;
+  obs::Gauge& inflight;
+  obs::Histogram& batch_size;
+  static NetMetrics& instance() {
+    auto& reg = obs::Registry::global();
+    static NetMetrics m{reg.counter("net.accepted"),
+                        reg.counter("net.requests"),
+                        reg.counter("net.shed"),
+                        reg.counter("net.reaped"),
+                        reg.counter("net.timeout"),
+                        reg.gauge("net.connections.open"),
+                        reg.gauge("net.inflight"),
+                        reg.histogram("net.batch_size")};
+    return m;
   }
-  return true;
-}
+};
 
 }  // namespace
+
+// One event-loop shard: a loop, its thread, and the sessions it owns.  Every
+// field except `loop` and `thread` is touched only from the loop thread.
+struct Server::Shard {
+  /// Memoized hot path for one request fingerprint: the canonical engine key
+  /// (skips re-canonicalizing the life spec) and, once rendered, the response
+  /// tail (skips re-formatting a dozen doubles per hit).  The tail is a pure
+  /// function of the key + max_periods, so eviction from the engine cache
+  /// never invalidates it.  Loop-thread only: no locks.
+  struct HotEntry {
+    std::string key;
+    std::string tail;
+  };
+
+  std::size_t index = 0;
+  std::unique_ptr<net::EventLoop> loop;
+  std::thread thread;
+  std::unordered_map<Session*, std::shared_ptr<Session>> sessions;
+  std::unordered_map<std::string, HotEntry> hot;
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_start{};
+};
+
+namespace {
+
+/// Cheap exact fingerprint of a solve request as received (pre-
+/// canonicalization): distinct inputs never collide, equivalent spellings
+/// simply occupy separate memo slots until canonicalized once each.
+std::string solve_fingerprint(const WireRequest& req) {
+  char num[32];
+  std::string fp;
+  fp.reserve(req.solve.life.size() + 48);
+  fp += to_string(req.solve.solver);
+  fp += '|';
+  std::snprintf(num, sizeof num, "%.17g", req.solve.c);
+  fp += num;
+  fp += '|';
+  if (req.solve.quantize) {
+    std::snprintf(num, sizeof num, "%.17g", *req.solve.quantize);
+    fp += num;
+  } else {
+    fp += '-';
+  }
+  fp += '|';
+  fp += std::to_string(req.max_periods);
+  fp += '|';
+  fp += req.solve.life;
+  return fp;
+}
+
+/// Bound on per-shard memo entries; blown away wholesale when exceeded (a
+/// hostile mix of unique specs must not grow server memory without bound).
+constexpr std::size_t kHotEntries = 8192;
+
+}  // namespace
+
+// Per-connection serving state on top of net::Conn.  Owned by exactly one
+// shard; worker completions reach it through a weak_ptr posted to the loop.
+struct Server::Session {
+  std::unique_ptr<net::Conn> conn;
+  /// Cold requests handed to the worker pool whose responses have not been
+  /// queued yet; the drain sweep and EOF close both wait for zero.
+  std::size_t outstanding = 0;
+  /// Protocol version of the last parsed frame — the best available shape
+  /// for errors on frames too broken to carry their own version.
+  int last_version = kProtocolV1;
+  bool eof = false;  ///< peer half-closed; close once outstanding drains
+};
 
 Server::Server(ServerOptions opt)
     : opt_(std::move(opt)), engine_(std::make_unique<Engine>(opt_.engine)) {}
@@ -46,183 +117,379 @@ Server::Server(ServerOptions opt)
 Server::~Server() { stop(); }
 
 void Server::start() {
-  if (running_.exchange(true, std::memory_order_acq_rel))
-    throw std::runtime_error("csserve: server already started");
+  if (running_.load(std::memory_order_acquire)) return;
+
+  auto listener = net::listen_tcp(opt_.host, opt_.port);
+  if (!listener.ok()) throw std::runtime_error(listener.error().message);
+  listen_fd_ = listener.value();
+  port_ = net::local_port(listen_fd_);
+
+  workers_ = std::make_unique<cs::par::ThreadPool>(
+      std::max<std::size_t>(1, opt_.threads));
+
+  const std::size_t nloops = std::max<std::size_t>(1, opt_.loops);
+  shards_.clear();
+  for (std::size_t i = 0; i < nloops; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->loop = std::make_unique<net::EventLoop>();
+    Shard* raw = shard.get();
+    raw->loop->set_tick(opt_.tick, [this, raw] { shard_tick(*raw); });
+    shards_.push_back(std::move(shard));
+  }
+  // The listener lives on shard 0; registered before run() so no loop-thread
+  // restriction applies yet.
+  shards_[0]->loop->add(listen_fd_, EPOLLIN,
+                        [this](std::uint32_t) { accept_ready(); });
+
   stopping_.store(false, std::memory_order_release);
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0)
-    throw std::runtime_error(std::string("csserve: socket: ") +
-                             std::strerror(errno));
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opt_.port);
-  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
-    close_quietly(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("csserve: bad host '" + opt_.host + "'");
+  running_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    net::EventLoop* loop = shard->loop.get();
+    shard->thread = std::thread([loop] { loop->run(); });
   }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listen_fd_, 128) != 0) {
-    const std::string err = std::strerror(errno);
-    close_quietly(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("csserve: bind/listen " + opt_.host + ":" +
-                             std::to_string(opt_.port) + ": " + err);
-  }
-
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-  port_ = ntohs(bound.sin_port);
-
-  const std::size_t threads = std::max<std::size_t>(opt_.threads, 1);
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] {
-      while (true) {
-        int fd = -1;
-        {
-          std::unique_lock<std::mutex> lock(conn_mutex_);
-          conn_cv_.wait(lock, [this] {
-            return !pending_.empty() ||
-                   stopping_.load(std::memory_order_acquire);
-          });
-          if (pending_.empty()) return;  // stopping and drained
-          fd = pending_.back();
-          pending_.pop_back();
-          active_.insert(fd);
-        }
-        serve_connection(fd);
-        {
-          std::lock_guard<std::mutex> lock(conn_mutex_);
-          active_.erase(fd);
-        }
-        close_quietly(fd);
-      }
-    });
-  acceptor_ = std::thread([this] { accept_loop(); });
 }
 
-void Server::accept_loop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+void Server::accept_ready() {
+  // Accept until EAGAIN: level-triggered epoll would re-wake us anyway, but
+  // draining the backlog in one wakeup keeps accept latency flat under
+  // connection bursts.
+  while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      // The listener is closed/shut down during stop(); anything else while
-      // not stopping is a transient accept failure worth retrying.
-      if (stopping_.load(std::memory_order_acquire)) break;
-      continue;
+      break;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    net::set_nodelay(fd);
     connections_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      pending_.push_back(fd);
+    if (obs::enabled()) NetMetrics::instance().accepted.inc();
+    Shard& target = *shards_[accept_rr_++ % shards_.size()];
+    if (target.index == 0) {
+      adopt(target, fd);  // already on shard 0's loop thread
+    } else {
+      target.loop->post([this, &target, fd] { adopt(target, fd); });
     }
-    conn_cv_.notify_one();
   }
 }
 
-std::string Server::handle_line(const std::string& line) {
-  std::optional<std::int64_t> id;
+void Server::adopt(Shard& shard, int fd) {
+  if (shard.draining || stopping_.load(std::memory_order_acquire)) {
+    net::close_quietly(fd);
+    return;
+  }
+  auto session = std::make_shared<Session>();
+  Session* raw = session.get();
+
+  net::ConnLimits limits;
+  limits.max_frame = opt_.max_line;
+  limits.max_write_queue = opt_.max_write_buffer;
+
+  net::Conn::Handlers handlers;
+  handlers.on_frames = [this, &shard, raw](std::vector<std::string>&& frames) {
+    process_frames(shard, *raw, std::move(frames));
+  };
+  handlers.on_overflow = [this, raw] {
+    raw->conn->send(make_error_response(
+        raw->last_version, std::nullopt,
+        cs::Error(cs::ErrorCode::BadSpec, "request line too long")));
+    raw->conn->close_after_flush();
+  };
+  handlers.on_eof = [raw] {
+    raw->eof = true;
+    if (raw->outstanding == 0) raw->conn->close_after_flush();
+  };
+  handlers.on_closed = [this, &shard, raw] {
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      NetMetrics::instance().open.set(
+          static_cast<double>(open_conns_.load(std::memory_order_relaxed)));
+    }
+    // Defer destruction: on_closed can fire from deep inside a Conn member
+    // function, so the Session (and its Conn) must outlive this stack frame.
+    shard.loop->post([this, &shard, raw] {
+      shard.sessions.erase(raw);
+      if (shard.draining && shard.sessions.empty()) shard.loop->stop();
+    });
+  };
+
+  session->conn =
+      std::make_unique<net::Conn>(*shard.loop, fd, limits, std::move(handlers));
+  shard.sessions.emplace(raw, std::move(session));
+  open_conns_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    NetMetrics::instance().open.set(
+        static_cast<double>(open_conns_.load(std::memory_order_relaxed)));
+  }
+}
+
+void Server::process_frames(Shard& shard, Session& session,
+                            std::vector<std::string>&& frames) {
+  requests_.fetch_add(frames.size(), std::memory_order_relaxed);
+  if (obs::enabled()) {
+    auto& m = NetMetrics::instance();
+    m.requests.inc(frames.size());
+    m.batch_size.observe(static_cast<double>(frames.size()));
+  }
+
+  const auto enqueued = std::chrono::steady_clock::now();
+  std::vector<PendingRequest> pending;
+  for (std::string& frame : frames) {
+    if (session.conn->closed()) return;  // write error mid-batch tore it down
+    WireRequest req;
+    try {
+      req = parse_request_line(frame);
+    } catch (const std::exception& err) {
+      // Best-effort recovery of "v"/"id" so even a malformed request gets an
+      // error frame in the shape its sender expects.
+      int version = session.last_version;
+      std::optional<std::int64_t> id;
+      try {
+        const auto obj = json::parse_object(frame);
+        const auto vit = obj.find("v");
+        if (vit != obj.end() && vit->second.type == json::Value::Type::Number) {
+          version = static_cast<int>(vit->second.number) == kProtocolV2
+                        ? kProtocolV2
+                        : kProtocolV1;
+        }
+        const auto iit = obj.find("id");
+        if (iit != obj.end() && iit->second.type == json::Value::Type::Number)
+          id = static_cast<std::int64_t>(iit->second.number);
+      } catch (...) {
+        // Not even a JSON object; session.last_version stands.
+      }
+      session.conn->send(make_error_response(
+          version, id, cs::Error(cs::ErrorCode::BadSpec, err.what())));
+      continue;
+    }
+    session.last_version = req.version;
+
+    if (req.cmd == WireCommand::Ping) {
+      session.conn->send(make_pong_response(req.version, req.id));
+      continue;
+    }
+    if (req.cmd == WireCommand::Stats) {
+      session.conn->send(make_stats_response(
+          req.version, req.id, engine_->stats(), engine_->cache_size()));
+      continue;
+    }
+
+    // Loop-thread fast path: cached results are answered without leaving the
+    // shard (no worker handoff, no in-flight slot).  The shard memo maps the
+    // request fingerprint straight to the canonical key and rendered tail,
+    // so a warm hit costs two hash lookups and the send — no life-spec
+    // re-parse, no double formatting.
+    try {
+      const std::string fp = solve_fingerprint(req);
+      auto memo = shard.hot.find(fp);
+      if (memo == shard.hot.end()) {
+        const CanonicalRequest creq = canonicalize(req.solve);
+        if (shard.hot.size() >= kHotEntries) shard.hot.clear();
+        memo = shard.hot.emplace(fp, Shard::HotEntry{creq.key, {}}).first;
+      }
+      if (auto hit = engine_->cached(memo->second.key)) {
+        if (memo->second.tail.empty()) {
+          memo->second.tail =
+              make_solve_response_tail(**hit, true, req.max_periods);
+        }
+        session.conn->send(make_response_head(req.version, req.id, true) +
+                           memo->second.tail);
+        continue;
+      }
+    } catch (const std::exception& err) {
+      session.conn->send(make_error_response(
+          req.version, req.id, cs::Error(cs::ErrorCode::BadSpec, err.what())));
+      continue;
+    }
+    pending.push_back(PendingRequest{std::move(req), enqueued});
+  }
+
+  if (!pending.empty() && !session.conn->closed())
+    dispatch(shard, session, std::move(pending));
+}
+
+void Server::dispatch(Shard& shard, Session& session,
+                      std::vector<PendingRequest>&& pending) {
+  // Claim an in-flight slot per request; shed what does not fit with a
+  // retryable `overloaded` error instead of queueing without bound.
+  std::vector<PendingRequest> kept;
+  kept.reserve(pending.size());
+  for (PendingRequest& p : pending) {
+    const std::int64_t now_inflight =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (opt_.max_inflight > 0 &&
+        now_inflight > static_cast<std::int64_t>(opt_.max_inflight)) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) NetMetrics::instance().shed.inc();
+      session.conn->send(make_error_response(
+          p.req.version, p.req.id,
+          cs::Error(cs::ErrorCode::Overloaded,
+                    "server overloaded: in-flight request cap reached")));
+      continue;
+    }
+    kept.push_back(std::move(p));
+  }
+  if (kept.empty()) return;
+  if (obs::enabled()) {
+    NetMetrics::instance().inflight.set(
+        static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+  }
+
+  const std::size_t n = kept.size();
+  session.outstanding += n;
+  std::weak_ptr<Session> weak = shard.sessions.at(&session);
   try {
-    const WireRequest req = parse_request_line(line);
-    id = req.id;
-    switch (req.cmd) {
-      case WireCommand::Ping:
-        return make_pong_response(req.id);
-      case WireCommand::Stats:
-        return make_stats_response(req.id, engine_->stats(),
-                                   engine_->cache_size());
-      case WireCommand::Solve: {
-        bool cached = false;
-        const ResultPtr result = engine_->solve(req.solve, &cached);
-        return make_solve_response(req, *result, cached);
+    workers_->submit([this, &shard, weak = std::move(weak),
+                      items = std::move(kept)]() mutable {
+      run_batch(shard, weak, std::move(items));
+    });
+  } catch (const std::exception&) {
+    // Worker pool already shut down (a stop raced the last batch): undo the
+    // claim and drop the connection rather than strand its requests.
+    inflight_.fetch_sub(static_cast<std::int64_t>(n),
+                        std::memory_order_relaxed);
+    session.outstanding -= n;
+    session.conn->close();
+  }
+}
+
+void Server::run_batch(Shard& shard, const std::weak_ptr<Session>& weak,
+                       std::vector<PendingRequest>&& items) {
+  // Test hook: hold the in-flight slot (shed tests) / age the batch past its
+  // deadline (timeout tests) deterministically.
+  if (opt_.solve_delay_for_test.count() > 0)
+    std::this_thread::sleep_for(opt_.solve_delay_for_test);
+
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::string> responses(items.size());
+  std::vector<SolveRequest> to_solve;
+  std::vector<std::size_t> slot;
+  to_solve.reserve(items.size());
+  slot.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (opt_.request_deadline.count() > 0 &&
+        now - items[i].enqueued > opt_.request_deadline) {
+      if (obs::enabled()) NetMetrics::instance().timeout.inc();
+      responses[i] = make_error_response(
+          items[i].req.version, items[i].req.id,
+          cs::Error(cs::ErrorCode::Timeout, "request deadline exceeded"));
+      continue;
+    }
+    slot.push_back(i);
+    to_solve.push_back(items[i].req.solve);
+  }
+
+  if (to_solve.size() == 1) {
+    // Singleton batches keep the exact per-request `cached` report (a
+    // double-checked or coalesced hit inside the engine counts).
+    const std::size_t i = slot[0];
+    bool hit = false;
+    auto result = engine_->solve(to_solve[0], &hit);
+    responses[i] =
+        result.ok() ? make_solve_response(items[i].req, *result.value(), hit)
+                    : make_error_response(items[i].req.version,
+                                          items[i].req.id, result.error());
+  } else if (!to_solve.empty()) {
+    auto results = engine_->solve_many(to_solve);
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      const std::size_t i = slot[k];
+      responses[i] =
+          results[k].ok()
+              ? make_solve_response(items[i].req, *results[k].value(), false)
+              : make_error_response(items[i].req.version, items[i].req.id,
+                                    results[k].error());
+    }
+  }
+
+  const std::size_t n = items.size();
+  shard.loop->post([this, weak, n, responses = std::move(responses)]() mutable {
+    inflight_.fetch_sub(static_cast<std::int64_t>(n),
+                        std::memory_order_relaxed);
+    if (obs::enabled()) {
+      NetMetrics::instance().inflight.set(
+          static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+    }
+    auto session = weak.lock();
+    if (!session || session->conn->closed()) return;
+    session->outstanding -= n;
+    for (std::string& r : responses) session->conn->send(std::move(r));
+    if (session->eof && session->outstanding == 0)
+      session->conn->close_after_flush();
+  });
+}
+
+void Server::shard_tick(Shard& shard) {
+  const auto now = std::chrono::steady_clock::now();
+
+  if (!shard.draining && opt_.idle_timeout.count() > 0) {
+    // Idle reaping.  idle_for() counts from the last *complete* frame, so a
+    // slow-loris trickle never refreshes the clock; connections with work in
+    // flight or responses still queued are never idle.
+    std::vector<Session*> idle;
+    for (const auto& entry : shard.sessions) {
+      const Session& s = *entry.second;
+      if (s.conn->closed()) continue;
+      if (s.outstanding == 0 && !s.conn->writes_pending() &&
+          s.conn->idle_for() > opt_.idle_timeout) {
+        idle.push_back(entry.first);
       }
     }
-    return make_error_response(id, "unreachable");
-  } catch (const std::exception& err) {
-    return make_error_response(id, err.what());
+    for (Session* s : idle) {
+      reaps_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) NetMetrics::instance().reaped.inc();
+      s->conn->close();
+    }
   }
-}
 
-void Server::serve_connection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (true) {
-    const std::size_t newline = buffer.find('\n');
-    if (newline != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      requests_.fetch_add(1, std::memory_order_relaxed);
-      std::string response = handle_line(line);
-      response += '\n';
-      if (!write_all(fd, response)) return;
-      continue;
+  if (shard.draining) {
+    // Drain sweep: close connections once their in-flight work has been
+    // answered and flushed; past drain_timeout, close unconditionally.
+    const bool expired = now - shard.drain_start > opt_.drain_timeout;
+    std::vector<Session*> done;
+    for (const auto& entry : shard.sessions) {
+      const Session& s = *entry.second;
+      if (s.conn->closed()) continue;
+      if (expired || (s.outstanding == 0 && !s.conn->writes_pending()))
+        done.push_back(entry.first);
     }
-    if (buffer.size() > opt_.max_line) {
-      write_all(fd, make_error_response(std::nullopt, "request line too long") +
-                        "\n");
-      return;
-    }
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // EOF or error: client done (or stop() drained us)
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    for (Session* s : done) s->conn->close();
+    if (shard.sessions.empty()) shard.loop->stop();
   }
 }
 
 void Server::stop() {
-  // The SIGINT thread and the destructor may call stop() concurrently; the
-  // mutex picks one drainer and parks the others until the drain is done
-  // (so a caller returning from stop() can rely on the workers being gone).
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  std::lock_guard<std::mutex> lock(stop_mutex_);
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
-  // 1. Stop accepting: shutdown(2) wakes the blocked accept; the fd is only
-  //    closed after the acceptor has joined (no fd-reuse race).
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    close_quietly(listen_fd_);
-    listen_fd_ = -1;
+
+  // Ordered drain, all via the loops themselves: close the listener, stop
+  // reading, then let the drain sweep close each connection once its
+  // in-flight responses are out (bounded by drain_timeout).
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    shard->loop->post([this, shard] {
+      if (shard->index == 0 && listen_fd_ >= 0) {
+        shard->loop->remove(listen_fd_);
+        net::close_quietly(listen_fd_);
+        listen_fd_ = -1;
+      }
+      shard->draining = true;
+      shard->drain_start = std::chrono::steady_clock::now();
+      for (const auto& entry : shard->sessions)
+        entry.second->conn->stop_reading();
+      shard_tick(*shard);  // close what is already drained / stop if empty
+    });
   }
-  // 2. Drain: discard never-served pending connections, and shut down
-  //    reading on active ones — each worker finishes the request it already
-  //    read, sees EOF, and exits.
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (const int fd : pending_) close_quietly(fd);
-    pending_.clear();
-    for (const int fd : active_) ::shutdown(fd, SHUT_RD);
-  }
-  conn_cv_.notify_all();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
-  // 3. Flush: every worker has finished writing, so the tallies are final;
-  //    publish them before declaring the server stopped.
+  for (auto& shard : shards_)
+    if (shard->thread.joinable()) shard->thread.join();
+
+  // Workers only after the loops: any still-running batch posts its
+  // completion into a stopped loop's queue, which is simply discarded.
+  if (workers_) workers_->shutdown();
+  shards_.clear();
+
   flush_metrics();
   running_.store(false, std::memory_order_release);
-}
-
-void Server::flush_metrics() const {
-  if (!obs::enabled()) return;
-  auto& reg = obs::Registry::global();
-  reg.gauge("server.connections").set(
-      static_cast<double>(connections_.load(std::memory_order_relaxed)));
-  reg.gauge("server.requests").set(
-      static_cast<double>(requests_.load(std::memory_order_relaxed)));
-  reg.gauge("server.drained").set(1.0);
 }
 
 void Server::wait() const {
@@ -230,6 +497,19 @@ void Server::wait() const {
          !stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+}
+
+void Server::flush_metrics() const {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  reg.gauge("server.connections")
+      .set(static_cast<double>(connections_.load(std::memory_order_relaxed)));
+  reg.gauge("server.requests")
+      .set(static_cast<double>(requests_.load(std::memory_order_relaxed)));
+  reg.gauge("server.drained").set(1.0);
+  auto& m = NetMetrics::instance();
+  m.open.set(0.0);
+  m.inflight.set(0.0);
 }
 
 }  // namespace cs::engine

@@ -1,44 +1,75 @@
-// Blocking TCP front-end for the serving engine.
+// Async TCP front-end for the serving engine: N epoll event-loop shards
+// (cs::net) feeding a dedicated solver worker pool.
 //
-// One acceptor thread hands each accepted connection to a fixed pool of
-// connection workers; every worker runs its connection's request loop to
-// completion (read line -> Engine::solve -> write response line).  Solves
-// run inline on the connection worker, so the engine's single-flight layer
-// naturally coalesces identical requests arriving on different connections.
+// Architecture (one arrow = one thread handoff):
 //
-// The server owns a *dedicated* connection pool — deliberately not the
-// process-shared cs::par::ThreadPool — because connection handlers block on
-// socket reads and must never starve solver-side parallel_for work.
+//   accept (shard 0) --round-robin--> shard loops --batch--> solver workers
+//        ^                                 |  ^                    |
+//        |                                 v  +----- post ---------+
+//      clients <------- write queues ---- Conn
 //
-// Shutdown (`stop()`, wired to SIGINT by csserve) is graceful and strictly
-// ordered: (1) the listener closes first (no new connections), then (2) open
-// connections are shut down for reading — each worker finishes writing the
-// response for any request already received, observes EOF, and exits its
-// loop — and the workers are joined, then (3) final tallies are flushed to
-// the metrics registry.  stop() is idempotent AND safe under concurrent
-// callers (the SIGINT thread and the destructor may race): a mutex
-// serializes stoppers, and late callers return after the drain completes.
+// Each accepted connection is owned by exactly one shard; everything that
+// touches its state runs on that shard's loop thread, so connections need
+// no locks.  A readable wakeup drains ALL complete frames into one batch:
+// cache hits and ping/stats are answered inline on the loop (the hot path
+// never leaves the shard), and the cold remainder is dispatched as a single
+// worker job that runs Engine::solve_many — so the single-flight/LRU layer
+// sees whole batches — and posts the rendered responses back to the shard.
+//
+// Robustness:
+//  - Backpressure: a global in-flight cap (ServerOptions::max_inflight)
+//    sheds excess cold work with a structured `overloaded` (retryable)
+//    error instead of queueing without bound, and per-connection write
+//    queues are bounded — a slow reader stops being read from until its
+//    queue drains (cs::net::Conn hysteresis).
+//  - Timeouts: connections idle past idle_timeout are reaped on the shard
+//    tick; partial frames do not count as activity, which is the slow-loris
+//    defense.  Cold requests older than request_deadline when a worker picks
+//    them up are answered with a `timeout` (retryable) error, not solved.
+//  - Shutdown (`stop()`, wired to SIGINT by csserve) drains gracefully and
+//    in order: the listener closes first, reads stop, in-flight batches
+//    finish and their responses flush, then loops and workers are joined
+//    and final tallies land in the metrics registry.  A drain_timeout
+//    bounds the wait.  stop() is idempotent and safe under concurrent
+//    callers (stoppers serialize on a mutex).
+//
+// Observability (when cs::obs::enabled()): counters `net.accepted`,
+// `net.requests`, `net.shed`, `net.reaped`, `net.timeout`; gauges
+// `net.connections.open`, `net.inflight`; histogram `net.batch_size`.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/protocol.hpp"
+#include "net/conn.hpp"
+#include "net/event_loop.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace cs::engine {
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
-  std::uint16_t port = 0;      ///< 0 = ephemeral (query with port())
-  std::size_t threads = 4;     ///< connection worker threads
-  std::size_t max_line = 1 << 16;  ///< per-request line-length limit (bytes)
+  std::uint16_t port = 0;  ///< 0 = ephemeral (query with port())
+  std::size_t loops = 2;   ///< event-loop shards
+  std::size_t threads = 4; ///< solver worker threads
+  std::size_t max_line = 1 << 16;  ///< per-request frame-length limit (bytes)
+  std::size_t max_inflight = 1024; ///< global cold-request cap; 0 = unlimited
+  std::size_t max_write_buffer = 1 << 20;  ///< per-connection write queue cap
+  std::chrono::milliseconds idle_timeout{60000};   ///< 0 = never reap
+  std::chrono::milliseconds request_deadline{0};   ///< 0 = none
+  std::chrono::milliseconds drain_timeout{5000};   ///< stop() upper bound
+  std::chrono::milliseconds tick{20};              ///< shard housekeeping
+  /// Test hook: artificial delay at the head of every worker batch, so
+  /// tests can deterministically hold the in-flight slot / trip deadlines.
+  std::chrono::milliseconds solve_delay_for_test{0};
   EngineOptions engine;
 };
 
@@ -50,7 +81,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen, and spawn the acceptor + worker threads.  Throws
+  /// Bind, listen, and spawn the shard + worker threads.  Throws
   /// std::runtime_error on socket failures.  After start(), port() reports
   /// the bound port (resolving an ephemeral request).
   void start();
@@ -76,18 +107,39 @@ class Server {
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t requests_shed() const noexcept {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t connections_reaped() const noexcept {
+    return reaps_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
-  /// Handle one request line; returns the response to write back.
-  [[nodiscard]] std::string handle_line(const std::string& line);
+  struct Shard;
+  struct Session;
+  /// One solve request waiting for a worker.
+  struct PendingRequest {
+    WireRequest req;
+    std::chrono::steady_clock::time_point enqueued;
+  };
 
-  /// Publish final tallies to the cs::obs registry (stage 3 of stop()).
+  void accept_ready();
+  void adopt(Shard& shard, int fd);
+  void process_frames(Shard& shard, Session& session,
+                      std::vector<std::string>&& frames);
+  void dispatch(Shard& shard, Session& session,
+                std::vector<PendingRequest>&& pending);
+  void run_batch(Shard& shard, const std::weak_ptr<Session>& weak,
+                 std::vector<PendingRequest>&& items);
+  void shard_tick(Shard& shard);
+  void close_session(Shard& shard, Session& session);
+
+  /// Publish final tallies to the cs::obs registry (last stage of stop()).
   void flush_metrics() const;
 
   ServerOptions opt_;
   std::unique_ptr<Engine> engine_;
+  std::unique_ptr<cs::par::ThreadPool> workers_;
 
   /// Serializes concurrent stop() callers; taken for the whole drain.
   std::mutex stop_mutex_;
@@ -97,18 +149,15 @@ class Server {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
-
-  // Pending connections handed from the acceptor to the workers, plus the
-  // set of fds currently being served (so stop() can shut them down).
-  std::mutex conn_mutex_;
-  std::condition_variable conn_cv_;
-  std::vector<int> pending_;
-  std::unordered_set<int> active_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t accept_rr_ = 0;  ///< shard 0 loop thread only
 
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint64_t> reaps_{0};
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<std::int64_t> open_conns_{0};
 };
 
 }  // namespace cs::engine

@@ -1,0 +1,197 @@
+#include "net/conn.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "net/socket.hpp"
+
+namespace cs::net {
+
+Conn::Conn(EventLoop& loop, int fd, ConnLimits limits, Handlers handlers)
+    : loop_(loop),
+      fd_(fd),
+      limits_(limits),
+      handlers_(std::move(handlers)),
+      last_frame_(std::chrono::steady_clock::now()) {
+  set_nonblocking(fd_);
+  set_nodelay(fd_);
+  interest_ = EPOLLIN;
+  loop_.add(fd_, interest_, [this](std::uint32_t events) { on_event(events); });
+}
+
+Conn::~Conn() {
+  if (state_ != State::Closed) {
+    loop_.remove(fd_);
+    close_quietly(fd_);
+    state_ = State::Closed;
+  }
+}
+
+bool Conn::reading_enabled() const noexcept {
+  return state_ == State::Open && !paused_ && !reads_stopped_;
+}
+
+void Conn::update_interest() {
+  if (state_ == State::Closed) return;
+  // Backpressure hysteresis: pause reads over the limit, resume below half.
+  if (!paused_ && write_queue_bytes() > limits_.max_write_queue)
+    paused_ = true;
+  else if (paused_ && write_queue_bytes() < limits_.max_write_queue / 2)
+    paused_ = false;
+  const std::uint32_t want = (reading_enabled() ? EPOLLIN : 0u) |
+                             (writes_pending() ? EPOLLOUT : 0u);
+  if (want != interest_) {
+    interest_ = want;
+    loop_.modify(fd_, want);
+  }
+}
+
+void Conn::on_event(std::uint32_t events) {
+  if (state_ == State::Closed) return;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close();
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush();
+    if (state_ == State::Closed) return;
+  }
+  if ((events & EPOLLIN) != 0 && reading_enabled()) handle_readable();
+  if (state_ != State::Closed) update_interest();
+}
+
+void Conn::handle_readable() {
+  bool eof = false;
+  std::vector<char> chunk(limits_.read_chunk);
+  // Drain what is there now (bounded rounds keep one connection from
+  // monopolizing the loop); level-triggered epoll re-arms any remainder.
+  for (int round = 0; round < 4; ++round) {
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n > 0) {
+      in_.append(chunk.data(), static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < chunk.size()) break;
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close();
+    return;
+  }
+
+  // Extract every complete frame; deliver them as one batch.
+  std::vector<std::string> frames;
+  std::size_t consumed = 0;
+  while (true) {
+    const std::size_t nl = in_.find('\n', scan_from_);
+    if (nl == std::string::npos) break;
+    std::string frame = in_.substr(consumed, nl - consumed);
+    consumed = nl + 1;
+    scan_from_ = consumed;
+    if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+    if (frame.size() > limits_.max_frame) {
+      overflowed_ = true;
+      reads_stopped_ = true;
+      break;
+    }
+    if (!frame.empty()) frames.push_back(std::move(frame));
+  }
+  in_.erase(0, consumed);
+  scan_from_ = in_.size();
+  // A partial frame that already exceeds the limit will never complete.
+  if (in_.size() > limits_.max_frame) {
+    overflowed_ = true;
+    reads_stopped_ = true;
+  }
+
+  if (!frames.empty()) {
+    last_frame_ = std::chrono::steady_clock::now();
+    if (handlers_.on_frames) handlers_.on_frames(std::move(frames));
+    if (state_ == State::Closed) return;
+  }
+  if (overflowed_) {
+    in_.clear();
+    scan_from_ = 0;
+    if (handlers_.on_overflow) {
+      handlers_.on_overflow();
+    } else {
+      close_after_flush();
+    }
+    return;
+  }
+  if (eof) {
+    reads_stopped_ = true;
+    if (handlers_.on_eof) {
+      handlers_.on_eof();
+    } else {
+      close_after_flush();
+    }
+  }
+}
+
+void Conn::send(std::string frame) {
+  if (state_ == State::Closed) return;
+  out_ += frame;
+  out_ += '\n';
+  flush();
+  if (state_ != State::Closed) update_interest();
+}
+
+void Conn::flush() {
+  while (out_off_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_off_,
+                             out_.size() - out_off_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close();
+      return;
+    }
+    out_off_ += static_cast<std::size_t>(n);
+  }
+  if (out_off_ == out_.size()) {
+    out_.clear();
+    out_off_ = 0;
+    if (state_ == State::Draining) close();
+  } else if (out_off_ > (1u << 18)) {
+    out_.erase(0, out_off_);
+    out_off_ = 0;
+  }
+}
+
+void Conn::stop_reading() {
+  if (state_ != State::Open) return;
+  reads_stopped_ = true;
+  update_interest();
+}
+
+void Conn::close_after_flush() {
+  if (state_ == State::Closed) return;
+  if (!writes_pending()) {
+    close();
+    return;
+  }
+  state_ = State::Draining;
+  update_interest();
+}
+
+void Conn::close() {
+  if (state_ == State::Closed) return;
+  state_ = State::Closed;
+  loop_.remove(fd_);
+  close_quietly(fd_);
+  fd_ = -1;
+  // The handler commonly destroys this Conn (the server erases its
+  // session), so it must be the very last thing touched.
+  const std::function<void()> on_closed = std::move(handlers_.on_closed);
+  if (on_closed) on_closed();
+}
+
+}  // namespace cs::net

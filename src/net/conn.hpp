@@ -1,0 +1,120 @@
+// Conn — per-connection state machine for newline-framed protocols on a
+// non-blocking socket, driven by an EventLoop.
+//
+// Reading: on each readable wakeup the socket is drained and every complete
+// frame found is delivered in ONE on_frames() call — that batch is the unit
+// the server hands to Engine::solve_many, so a burst of pipelined requests
+// costs one wakeup, one dispatch, one response flush.
+//
+// Writing: send() appends to an in-memory write queue and opportunistically
+// flushes; when the kernel buffer fills, EPOLLOUT finishes the job.  The
+// queue is bounded (ConnLimits::max_write_queue): while it is over the
+// limit the connection stops reading (backpressure — a slow reader cannot
+// balloon server memory), resuming below half.
+//
+// Robustness: a frame longer than max_frame fires on_overflow (the server
+// answers with a structured error, then close_after_flush()).  Idle tracking
+// counts from the last *complete* frame, so trickling bytes (slow-loris)
+// never refreshes the clock; the owner reaps via idle_for() on its tick.
+//
+// Threading: every method (and every callback) runs on the loop thread.
+// Cross-thread completions reach a Conn by posting to its loop.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+
+namespace cs::net {
+
+struct ConnLimits {
+  std::size_t max_frame = 1 << 16;        ///< bytes per request frame
+  std::size_t max_write_queue = 1 << 20;  ///< pause reads above this
+  std::size_t read_chunk = 16 * 1024;     ///< recv() buffer size
+};
+
+class Conn {
+ public:
+  struct Handlers {
+    /// All complete frames of one wakeup ('\r' and the '\n' stripped,
+    /// empty frames dropped).  Never called with an empty vector.
+    std::function<void(std::vector<std::string>&&)> on_frames;
+    /// A frame exceeded max_frame.  Reading stops; the handler may send()
+    /// a final error and should close_after_flush().
+    std::function<void()> on_overflow;
+    /// Peer half-closed (EOF) after any delivered frames.  When unset the
+    /// conn closes once queued writes flush; a server with responses still
+    /// in flight sets this to defer the close until they are delivered.
+    std::function<void()> on_eof;
+    /// The connection is gone (peer EOF, error, or close()).  Fired exactly
+    /// once; the Conn must not be used afterwards.
+    std::function<void()> on_closed;
+  };
+
+  /// Takes ownership of `fd` (made non-blocking) and registers with `loop`.
+  Conn(EventLoop& loop, int fd, ConnLimits limits, Handlers handlers);
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Queue one response frame (a '\n' is appended) and flush what the
+  /// kernel will take now.  No-op after close.
+  void send(std::string frame);
+
+  /// Immediate teardown: deregister, close the fd, fire on_closed.
+  void close();
+
+  /// Stop reading; close as soon as the write queue drains (possibly now).
+  void close_after_flush();
+
+  /// Stop reading new frames (drain mode); queued writes still flush.
+  void stop_reading();
+
+  [[nodiscard]] bool closed() const noexcept { return state_ == State::Closed; }
+  [[nodiscard]] bool writes_pending() const noexcept {
+    return out_.size() > out_off_;
+  }
+  /// Time since the last complete frame (or since open).
+  [[nodiscard]] std::chrono::steady_clock::duration idle_for() const noexcept {
+    return std::chrono::steady_clock::now() - last_frame_;
+  }
+  [[nodiscard]] std::size_t write_queue_bytes() const noexcept {
+    return out_.size() - out_off_;
+  }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  enum class State { Open, Draining, Closed };
+
+  void on_event(std::uint32_t events);
+  void handle_readable();
+  void flush();
+  void update_interest();
+  [[nodiscard]] bool reading_enabled() const noexcept;
+
+  EventLoop& loop_;
+  int fd_;
+  ConnLimits limits_;
+  Handlers handlers_;
+  State state_ = State::Open;
+  bool paused_ = false;         ///< reads paused by write-queue backpressure
+  bool overflowed_ = false;     ///< frame limit tripped
+  bool reads_stopped_ = false;  ///< stop_reading()/overflow/EOF latch
+  std::uint32_t interest_ = 0;
+
+  std::string in_;
+  std::size_t scan_from_ = 0;  ///< resume newline scan here (slow-loris O(n))
+
+  std::string out_;
+  std::size_t out_off_ = 0;
+
+  std::chrono::steady_clock::time_point last_frame_;
+};
+
+}  // namespace cs::net

@@ -1,0 +1,139 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/socket.hpp"
+
+namespace cs::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0)
+    throw std::runtime_error(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    close_quietly(epoll_fd_);
+    throw std::runtime_error(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  close_quietly(wake_fd_);
+  close_quietly(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+    throw std::runtime_error(std::string("epoll_ctl(ADD): ") +
+                             std::strerror(errno));
+  callbacks_[fd] = std::make_shared<FdCallback>(std::move(cb));
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::remove(int fd) {
+  if (callbacks_.erase(fd) > 0)
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::set_tick(std::chrono::milliseconds period,
+                         std::function<void()> on_tick) {
+  tick_period_ = period;
+  on_tick_ = std::move(on_tick);
+}
+
+void EventLoop::wake() noexcept {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop, so a failed write is fine.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::run() {
+  using Clock = std::chrono::steady_clock;
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+  auto next_tick = Clock::now() + (tick_period_.count() > 0
+                                       ? tick_period_
+                                       : std::chrono::milliseconds(3600000));
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int timeout_ms = -1;
+    if (tick_period_.count() > 0) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_tick - Clock::now());
+      timeout_ms = static_cast<int>(std::max<long long>(0, until.count()));
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0 && errno != EINTR)
+      throw std::runtime_error(std::string("epoll_wait: ") +
+                               std::strerror(errno));
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof drained);
+        continue;
+      }
+      // Re-lookup per event: an earlier callback this round may have
+      // removed this fd; the shared_ptr keeps the callback alive even if
+      // it removes itself mid-call.
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      const std::shared_ptr<FdCallback> cb = it->second;
+      (*cb)(events[i].events);
+    }
+    drain_posted();
+    if (tick_period_.count() > 0 && Clock::now() >= next_tick) {
+      next_tick = Clock::now() + tick_period_;
+      if (on_tick_) on_tick_();
+    }
+  }
+  // Final drain so work posted concurrently with stop() is not lost (the
+  // server relies on this to flush last responses during shutdown).
+  drain_posted();
+  loop_thread_.store(std::thread::id{}, std::memory_order_release);
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+}  // namespace cs::net

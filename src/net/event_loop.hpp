@@ -1,0 +1,101 @@
+// EventLoop — a dependency-free, level-triggered epoll reactor.
+//
+// One loop = one thread calling run(): it multiplexes fd readiness callbacks,
+// cross-thread posted tasks (post() wakes the loop via an eventfd), and a
+// coarse periodic tick (idle reaping, drain sweeps).  The server runs N of
+// these as shards, each owning a disjoint set of connections, so per-
+// connection state needs no locks at all — everything that touches a
+// connection happens on its shard's loop thread.
+//
+// Threading contract:
+//  - add/modify/remove and every callback run ONLY on the loop thread
+//    (checked in debug via in_loop_thread()).
+//  - post() and stop() are safe from any thread.
+//
+// Level-triggered was chosen over edge-triggered deliberately: LT needs no
+// drain-until-EAGAIN discipline in every handler, and the batching layer
+// above (Conn) already drains whole frames per wakeup, which is where the
+// syscall savings actually are.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace cs::net {
+
+class EventLoop {
+ public:
+  /// Readiness callback; `events` is the epoll bitmask (EPOLLIN/OUT/HUP/ERR).
+  using FdCallback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` for `events`; the callback may add/remove other fds and
+  /// may remove `fd` itself.  Loop thread only (or before run()).
+  void add(int fd, std::uint32_t events, FdCallback cb);
+  /// Change the interest mask of a registered fd.  Loop thread only.
+  void modify(int fd, std::uint32_t events);
+  /// Deregister; the fd is NOT closed (the owner closes it).  Safe to call
+  /// for fds that were never added.  Loop thread only.
+  void remove(int fd);
+
+  /// Enqueue a task to run on the loop thread and wake the loop.  Safe from
+  /// any thread, including the loop thread itself.  Tasks posted after
+  /// stop() are still executed by the final drain in run().
+  void post(std::function<void()> task);
+
+  /// Periodic housekeeping callback, fired about every `period` from run();
+  /// set before run() (not thread-safe against a running loop).
+  void set_tick(std::chrono::milliseconds period,
+                std::function<void()> on_tick);
+
+  /// Run until stop(): dispatch readiness callbacks, posted tasks, ticks.
+  void run();
+  /// Ask run() to return after the current iteration.  Any thread.
+  void stop();
+
+  [[nodiscard]] bool stopped() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+  /// True when called from the thread currently inside run().
+  [[nodiscard]] bool in_loop_thread() const noexcept {
+    return loop_thread_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+  [[nodiscard]] std::size_t fd_count() const noexcept {
+    return callbacks_.size();
+  }
+
+ private:
+  void wake() noexcept;
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd poked by post()/stop()
+
+  // Callbacks are heap-boxed so a callback that removes another fd (or
+  // itself) never invalidates the reference the dispatch loop is holding.
+  std::unordered_map<int, std::shared_ptr<FdCallback>> callbacks_;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+
+  std::chrono::milliseconds tick_period_{0};  ///< 0 = no tick
+  std::function<void()> on_tick_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+};
+
+}  // namespace cs::net

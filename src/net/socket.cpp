@@ -1,0 +1,93 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cs::net {
+
+void close_quietly(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+namespace {
+
+cs::Unexpected<cs::Error> net_error(const std::string& what) {
+  return cs::fail(cs::ErrorCode::Network, what + ": " + std::strerror(errno));
+}
+
+bool fill_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in* addr) {
+  *addr = sockaddr_in{};
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+cs::Expected<int> listen_tcp(const std::string& host, std::uint16_t port,
+                             int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return net_error("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  if (!fill_addr(host, port, &addr)) {
+    close_quietly(fd);
+    return cs::fail(cs::ErrorCode::Network, "bad host '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0 || !set_nonblocking(fd)) {
+    auto err = net_error("bind/listen " + host + ":" + std::to_string(port));
+    close_quietly(fd);
+    return err;
+  }
+  return fd;
+}
+
+cs::Expected<int> connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return net_error("socket");
+  sockaddr_in addr{};
+  if (!fill_addr(host, port, &addr)) {
+    close_quietly(fd);
+    return cs::fail(cs::ErrorCode::Network, "bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    auto err = net_error("connect " + host + ":" + std::to_string(port));
+    close_quietly(fd);
+    return err;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+std::uint16_t local_port(int fd) noexcept {
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    return 0;
+  return ntohs(bound.sin_port);
+}
+
+}  // namespace cs::net

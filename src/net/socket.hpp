@@ -1,0 +1,37 @@
+// Thin POSIX TCP socket helpers shared by the async server, the listener,
+// and the client: creation, non-blocking mode, and option twiddling.  All
+// fallible helpers report through cs::Expected rather than errno spelunking
+// at every call site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/expected.hpp"
+
+namespace cs::net {
+
+/// Close ignoring errors; safe on -1.
+void close_quietly(int fd) noexcept;
+
+/// O_NONBLOCK on; returns false only on fcntl failure.
+bool set_nonblocking(int fd) noexcept;
+
+/// TCP_NODELAY on (best effort).
+void set_nodelay(int fd) noexcept;
+
+/// Create, bind, and listen on host:port (port 0 = ephemeral).  The returned
+/// fd is non-blocking.  Error code is Network with a bind/listen message.
+[[nodiscard]] cs::Expected<int> listen_tcp(const std::string& host,
+                                           std::uint16_t port,
+                                           int backlog = 512);
+
+/// Blocking connect to host:port; the returned fd stays blocking (the client
+/// uses poll(2) for deadlines).  Error code is Network.
+[[nodiscard]] cs::Expected<int> connect_tcp(const std::string& host,
+                                            std::uint16_t port);
+
+/// The locally bound port of a socket (resolves ephemeral binds); 0 on error.
+[[nodiscard]] std::uint16_t local_port(int fd) noexcept;
+
+}  // namespace cs::net

@@ -176,9 +176,9 @@ SolveRequest uniform_request(double c = 4.0,
 TEST(Engine, CacheHitReturnsSharedResultWithoutSolving) {
   Engine engine;
   bool hit = true;
-  const ResultPtr first = engine.solve(uniform_request(), &hit);
+  const ResultPtr first = engine.solve(uniform_request(), &hit).value();
   EXPECT_FALSE(hit);
-  const ResultPtr second = engine.solve(uniform_request(), &hit);
+  const ResultPtr second = engine.solve(uniform_request(), &hit).value();
   EXPECT_TRUE(hit);
   // Same immutable object, not a re-computation.
   EXPECT_EQ(first.get(), second.get());
@@ -198,9 +198,9 @@ TEST(Engine, EquivalentSpecsShareOneCacheEntry) {
   by_a.life = make_life_function("geomlife:half=100")->spec();
   by_a.c = 2.0;
 
-  const ResultPtr r1 = engine.solve(by_half);
+  const ResultPtr r1 = engine.solve(by_half).value();
   bool hit = false;
-  const ResultPtr r2 = engine.solve(by_a, &hit);
+  const ResultPtr r2 = engine.solve(by_a, &hit).value();
   EXPECT_TRUE(hit);
   EXPECT_EQ(r1.get(), r2.get());
   EXPECT_EQ(engine.stats().solves, 1u);
@@ -208,7 +208,7 @@ TEST(Engine, EquivalentSpecsShareOneCacheEntry) {
 
 TEST(Engine, GuidelineResultMatchesDirectCall) {
   Engine engine;
-  const ResultPtr r = engine.solve(uniform_request());
+  const ResultPtr r = engine.solve(uniform_request()).value();
 
   const auto p = make_life_function("uniform:L=480");
   const auto direct = GuidelineScheduler(*p, 4.0, GuidelineOptions{}).run();
@@ -222,7 +222,8 @@ TEST(Engine, GuidelineResultMatchesDirectCall) {
 
 TEST(Engine, GreedyResultMatchesDirectCall) {
   Engine engine;
-  const ResultPtr r = engine.solve(uniform_request(4.0, SolverKind::Greedy));
+  const ResultPtr r =
+      engine.solve(uniform_request(4.0, SolverKind::Greedy)).value();
 
   const auto p = make_life_function("uniform:L=480");
   const auto direct = greedy_schedule(*p, 4.0, GreedyOptions{});
@@ -232,7 +233,8 @@ TEST(Engine, GreedyResultMatchesDirectCall) {
 
 TEST(Engine, DpResultMatchesDirectCall) {
   Engine engine;
-  const ResultPtr r = engine.solve(uniform_request(8.0, SolverKind::Dp));
+  const ResultPtr r =
+      engine.solve(uniform_request(8.0, SolverKind::Dp)).value();
 
   const auto p = make_life_function("uniform:L=480");
   const auto direct = dp_reference(*p, 8.0, DpOptions{});
@@ -244,7 +246,7 @@ TEST(Engine, QuantizedResultMatchesDirectPipeline) {
   SolveRequest req = uniform_request();
   req.quantize = 2.0;
   Engine engine;
-  const ResultPtr r = engine.solve(req);
+  const ResultPtr r = engine.solve(req).value();
 
   const auto p = make_life_function("uniform:L=480");
   const auto g = GuidelineScheduler(*p, 4.0, GuidelineOptions{}).run();
@@ -255,7 +257,8 @@ TEST(Engine, QuantizedResultMatchesDirectPipeline) {
 
 TEST(Engine, BoundsSolverProducesBracketOnly) {
   Engine engine;
-  const ResultPtr r = engine.solve(uniform_request(4.0, SolverKind::Bounds));
+  const ResultPtr r =
+      engine.solve(uniform_request(4.0, SolverKind::Bounds)).value();
   EXPECT_TRUE(r->schedule.empty());
   EXPECT_TRUE(r->has_bracket);
   EXPECT_GT(r->bracket_lo, 0.0);
@@ -267,15 +270,20 @@ TEST(Engine, BoundsSolverProducesBracketOnly) {
   EXPECT_EQ(r->bracket_hi, direct.upper);
 }
 
-TEST(Engine, MalformedRequestThrowsAndCachesNothing) {
+TEST(Engine, MalformedRequestReportsBadSpecAndCachesNothing) {
   Engine engine;
   SolveRequest bad;
   bad.life = "uniform:L=480";
   bad.c = -1.0;
-  EXPECT_THROW((void)engine.solve(bad), std::invalid_argument);
+  const auto bad_c = engine.solve(bad);
+  ASSERT_FALSE(bad_c.ok());
+  EXPECT_EQ(bad_c.error().code, cs::ErrorCode::BadSpec);
+  EXPECT_FALSE(bad_c.error().retryable);
   bad.c = 4.0;
   bad.life = "gaussian:mu=1";
-  EXPECT_THROW((void)engine.solve(bad), std::invalid_argument);
+  const auto bad_life = engine.solve(bad);
+  ASSERT_FALSE(bad_life.ok());
+  EXPECT_EQ(bad_life.error().code, cs::ErrorCode::BadSpec);
   EXPECT_EQ(engine.cache_size(), 0u);
   EXPECT_EQ(engine.stats().solves, 0u);
 }
@@ -332,8 +340,8 @@ TEST(Engine, SingleFlightHammerSolvesEachKeyOnce) {
           SolveRequest req;
           req.life = spec;
           req.c = 4.0;
-          const ResultPtr res = engine.solve(req);
-          if (res == nullptr || res->schedule.empty()) failures.fetch_add(1);
+          const auto res = engine.solve(req);
+          if (!res.ok() || res.value()->schedule.empty()) failures.fetch_add(1);
         }
       }
     });
@@ -362,11 +370,11 @@ TEST(Engine, SolveManyCoalescesDuplicatesAndPreservesOrder) {
   const auto results = engine.solve_many(reqs);
   ASSERT_EQ(results.size(), reqs.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
-    ASSERT_NE(results[i], nullptr);
-    EXPECT_EQ(results[i]->canonical_life,
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value()->canonical_life,
               make_life_function(reqs[i].life)->spec());
     // All requests for the same key resolve to the one shared result.
-    EXPECT_EQ(results[i].get(), results[i % 2].get());
+    EXPECT_EQ(results[i].value().get(), results[i % 2].value().get());
   }
   EXPECT_EQ(engine.stats().solves, 2u);
 }
@@ -375,34 +383,57 @@ TEST(Engine, SolveAsyncDeliversSameSharedResult) {
   Engine engine;
   auto f1 = engine.solve_async(uniform_request());
   auto f2 = engine.solve_async(uniform_request());
-  const ResultPtr r1 = f1.get();
-  const ResultPtr r2 = f2.get();
+  const ResultPtr r1 = f1.get().value();
+  const ResultPtr r2 = f2.get().value();
   EXPECT_EQ(r1.get(), r2.get());
   EXPECT_EQ(engine.stats().solves, 1u);
 }
 
 TEST(Engine, ConcurrentFailuresPropagateToEveryWaiter) {
   // A spec that parses but cannot be canonicalized into a solvable request
-  // throws on every call, concurrent or not, and poisons nothing.
+  // fails as BadSpec on every call, concurrent or not, and poisons nothing.
   Engine engine;
-  std::atomic<int> thrown{0};
+  std::atomic<int> failed{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&] {
       SolveRequest bad;
       bad.life = "uniform:L=nope";
       bad.c = 4.0;
-      try {
-        (void)engine.solve(bad);
-      } catch (const std::invalid_argument&) {
-        thrown.fetch_add(1);
-      }
+      const auto res = engine.solve(bad);
+      if (!res.ok() && res.error().code == cs::ErrorCode::BadSpec)
+        failed.fetch_add(1);
     });
   }
   for (auto& th : threads) th.join();
-  EXPECT_EQ(thrown.load(), 8);
+  EXPECT_EQ(failed.load(), 8);
   // The engine still works afterwards.
-  EXPECT_NE(engine.solve(uniform_request()), nullptr);
+  EXPECT_TRUE(engine.solve(uniform_request()).ok());
+}
+
+TEST(Engine, SolveManyFailsOnlyTheBadSlot) {
+  Engine engine;
+  std::vector<SolveRequest> reqs(3, uniform_request());
+  reqs[1].life = "uniform:L=nope";
+  const auto results = engine.solve_many(reqs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].error().code, cs::ErrorCode::BadSpec);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(Engine, CachedProbeHitsOnlyAfterSolveAndTalliesHit) {
+  Engine engine;
+  const std::string key = canonical_key(uniform_request());
+  EXPECT_FALSE(engine.cached(key).has_value());
+  EXPECT_EQ(engine.stats().hits, 0u);
+
+  const ResultPtr solved = engine.solve(uniform_request()).value();
+  const auto probed = engine.cached(key);
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(probed->get(), solved.get());
+  EXPECT_EQ(engine.stats().hits, 1u);
 }
 
 }  // namespace

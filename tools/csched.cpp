@@ -128,8 +128,15 @@ int run_batch(const Args& args, const std::string& metrics_out) {
 
   cs::engine::Engine engine;
   const auto results = engine.solve_many(requests);
+  int failures = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = *results[i];
+    if (!results[i].ok()) {
+      std::cerr << "csched: " << args.specs[i] << ": "
+                << results[i].error().describe() << '\n';
+      ++failures;
+      continue;
+    }
+    const auto& r = *results[i].value();
     std::cout << args.specs[i] << " -> " << r.canonical_life << '\n'
               << "  periods  : " << r.schedule.size() << ' '
               << r.schedule.to_string(max_shown) << '\n'
@@ -149,7 +156,7 @@ int run_batch(const Args& args, const std::string& metrics_out) {
       cs::obs::Registry::global().write_json(os);
     }, "metrics registry (JSON)");
   }
-  return 0;
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace

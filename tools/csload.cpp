@@ -7,20 +7,28 @@
 //          --life uniform:L=1000 --life geomlife:half=100
 //
 // Options:
-//   --host H        server address (default 127.0.0.1)
-//   --port P        server port (required)
-//   --requests N    total requests across all connections (default 10000)
-//   --threads T     concurrent connections (default 4)
-//   --life SPEC     life-function spec; repeatable — requests round-robin
-//                   over the mix (default uniform:L=1000)
-//   --c X           overhead used for every request (default 4)
-//   --solver NAME   guideline | greedy | dp | bounds (default guideline)
-//   --warm          pre-issue one request per unique spec before timing, so
-//                   the measured run exercises the cache-hit path only
+//   --host H          server address (default 127.0.0.1)
+//   --port P          server port (required)
+//   --requests N      total requests across all connections (default 10000)
+//   --threads T       concurrent connections (default 4)
+//   --life SPEC       life-function spec; repeatable — requests round-robin
+//                     over the mix (default uniform:L=1000)
+//   --c X             overhead used for every request (default 4)
+//   --solver NAME     guideline | greedy | dp | bounds (default guideline)
+//   --warm            pre-issue one request per unique spec before timing, so
+//                     the measured run exercises the cache-hit path only
+//   --v2              send protocol v2 frames (structured error taxonomy)
+//   --deadline-ms N   per-request client deadline (default 5000, 0 = none)
+//   --retries N       client retries for retryable failures (default 0)
+//   --seed S          jitter seed base; connection w uses S + w (default 1)
 //
 // Latency is recorded in a cs::obs histogram (log-bucketed nanoseconds), so
 // the reported p50/p90/p99 match the server-side engine.request_ns export.
+// Failures are tallied per error code (bad_spec/timeout/overloaded/network/
+// internal) so an overload shed is distinguishable from a crash.
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -28,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/error.hpp"
 #include "engine/client.hpp"
 #include "engine/protocol.hpp"
 #include "obs/metrics.hpp"
@@ -59,7 +68,7 @@ Args parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0)
       throw std::invalid_argument("unexpected argument '" + key + "'");
     key = key.substr(2);
-    if (key == "help" || key == "warm") {
+    if (key == "help" || key == "warm" || key == "v2") {
       args.values[key] = "1";
       continue;
     }
@@ -77,13 +86,14 @@ Args parse(int argc, char** argv) {
 int usage() {
   std::cout
       << "usage: csload --port P [--host H] [--requests N] [--threads T]\n"
-         "              [--life SPEC]... [--c X] [--solver NAME] [--warm]\n";
+         "              [--life SPEC]... [--c X] [--solver NAME] [--warm]\n"
+         "              [--v2] [--deadline-ms N] [--retries N] [--seed S]\n";
   return 2;
 }
 
 std::string request_line(const std::string& life, const std::string& c,
-                         const std::string& solver) {
-  std::string line = "{\"life\":\"";
+                         const std::string& solver, bool v2) {
+  std::string line = v2 ? "{\"v\":2,\"life\":\"" : "{\"life\":\"";
   line += cs::engine::json::escape(life);
   line += "\",\"c\":";
   line += c;
@@ -91,6 +101,30 @@ std::string request_line(const std::string& life, const std::string& c,
   line += solver;
   line += "\",\"max_periods\":0}";
   return line;
+}
+
+constexpr std::size_t kNumCodes = 5;
+
+/// Classify one completed request into a per-error-code bucket; returns true
+/// for a successful (ok) response.
+bool tally(const cs::Expected<std::string>& response,
+           std::array<std::atomic<std::uint64_t>, kNumCodes>& by_code) {
+  cs::ErrorCode code = cs::ErrorCode::Internal;
+  if (!response.ok()) {
+    code = response.error().code;
+  } else {
+    if (response.value().find("\"ok\":true") != std::string::npos) return true;
+    try {
+      const auto parsed = cs::engine::parse_response_line(response.value());
+      if (parsed.ok) return true;
+      if (parsed.error) code = parsed.error->code;
+    } catch (const std::exception&) {
+      code = cs::ErrorCode::Internal;
+    }
+  }
+  by_code[static_cast<std::size_t>(code)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  return false;
 }
 
 }  // namespace
@@ -109,26 +143,40 @@ int main(int argc, char** argv) {
                                      args.number("threads", 4.0)));
     const std::string c = args.get("c", "4");
     const std::string solver = args.get("solver", "guideline");
+    const bool v2 = args.has("v2");
     std::vector<std::string> lives = args.lives;
     if (lives.empty()) lives.emplace_back("uniform:L=1000");
+
+    cs::engine::ClientOptions copt;
+    copt.deadline = std::chrono::milliseconds(
+        static_cast<long>(args.number("deadline-ms", 5000.0)));
+    copt.max_retries = static_cast<std::size_t>(args.number("retries", 0.0));
+    const auto seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
 
     // Pre-render the request lines for the mix (the generator should spend
     // its cycles on the wire, not on string assembly).
     std::vector<std::string> mix;
     mix.reserve(lives.size());
     for (const auto& life : lives)
-      mix.push_back(request_line(life, c, solver));
+      mix.push_back(request_line(life, c, solver, v2));
 
     if (args.has("warm")) {
-      cs::engine::Client warmer(host, port);
+      cs::engine::ClientOptions wopt = copt;
+      wopt.jitter_seed = seed;
+      cs::engine::Client warmer(host, port, wopt);
       for (const auto& line : mix) {
-        const std::string response = warmer.request(line);
-        if (response.find("\"ok\":true") == std::string::npos)
-          throw std::runtime_error("warmup request failed: " + response);
+        const auto response = warmer.request(line);
+        if (!response.ok())
+          throw std::runtime_error("warmup request failed: " +
+                                   response.error().describe());
+        if (response.value().find("\"ok\":true") == std::string::npos)
+          throw std::runtime_error("warmup request failed: " +
+                                   response.value());
       }
     }
 
     cs::obs::Histogram latency(cs::obs::timer_layout());
+    std::array<std::atomic<std::uint64_t>, kNumCodes> by_code{};
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::size_t> next{0};
 
@@ -136,16 +184,18 @@ int main(int argc, char** argv) {
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (std::size_t w = 0; w < threads; ++w) {
-      workers.emplace_back([&] {
-        cs::engine::Client client(host, port);
+      workers.emplace_back([&, w] {
+        cs::engine::ClientOptions opt = copt;
+        opt.jitter_seed = seed + w;
+        cs::engine::Client client(host, port, opt);
         while (true) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= total) return;
           const std::string& line = mix[i % mix.size()];
           const std::uint64_t t0 = cs::obs::now_ns();
-          const std::string response = client.request(line);
+          const auto response = client.request(line);
           latency.observe(static_cast<double>(cs::obs::now_ns() - t0));
-          if (response.find("\"ok\":true") == std::string::npos)
+          if (!tally(response, by_code))
             errors.fetch_add(1, std::memory_order_relaxed);
         }
       });
@@ -159,7 +209,7 @@ int main(int argc, char** argv) {
               << errors.load() << " errors)\n"
               << "connections   : " << threads << '\n'
               << "mix           : " << lives.size() << " unique spec(s), "
-              << solver << ", c=" << c << '\n'
+              << solver << ", c=" << c << (v2 ? ", v2" : ", v1") << '\n'
               << "elapsed       : " << elapsed_s << " s\n"
               << "throughput    : " << done / elapsed_s << " req/s\n"
               << "latency p50   : " << latency.quantile(0.50) * 1e-3
@@ -169,6 +219,16 @@ int main(int argc, char** argv) {
               << "latency p99   : " << latency.quantile(0.99) * 1e-3
               << " us\n"
               << "latency max   : " << latency.max() * 1e-3 << " us\n";
+    if (errors.load() > 0) {
+      std::cout << "errors        :";
+      for (std::size_t i = 0; i < kNumCodes; ++i) {
+        const std::uint64_t n = by_code[i].load();
+        if (n > 0)
+          std::cout << ' ' << cs::to_string(static_cast<cs::ErrorCode>(i))
+                    << '=' << n;
+      }
+      std::cout << '\n';
+    }
     return errors.load() == 0 ? 0 : 1;
   } catch (const std::exception& err) {
     std::cerr << "csload: " << err.what() << '\n';

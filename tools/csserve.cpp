@@ -1,25 +1,38 @@
 // csserve — TCP schedule-serving daemon.
 //
 // Serves cached optimal cycle-stealing schedules over a newline-delimited
-// JSON protocol (see src/engine/protocol.hpp for the grammar):
+// JSON protocol (see src/engine/protocol.hpp for the v1/v2 grammar) from an
+// async epoll core: N event-loop shards own the connections, a solver worker
+// pool runs the cold batches (src/engine/server.hpp has the architecture).
 //
 //   csserve --port 7070
-//   csserve --port 7070 --threads 8 --cache 65536 --metrics-out metrics.json
+//   csserve --port 7070 --loops 4 --threads 8 --cache 65536 \
+//           --max-inflight 2048 --metrics-out metrics.json
 //
 //   $ printf '{"id":1,"life":"uniform:L=1000","c":4}\n' | nc localhost 7070
 //   {"id":1,"ok":true,"cached":false,"solver":"guideline",...}
 //
 // Options:
-//   --host H          bind address (default 127.0.0.1)
-//   --port P          listen port (default 7070; 0 = ephemeral, printed)
-//   --threads N       connection worker threads (default 4)
-//   --cache N         schedule cache capacity (default 4096 entries)
-//   --shards N        cache shard count (default 16)
-//   --metrics-out F   enable observability; write the metrics registry as
-//                     JSON to F ("-" = stdout) on shutdown
+//   --host H            bind address (default 127.0.0.1)
+//   --port P            listen port (default 7070; 0 = ephemeral, printed)
+//   --loops N           event-loop shards (default 2)
+//   --threads N         solver worker threads (default 4)
+//   --cache N           schedule cache capacity (default 4096 entries)
+//   --shards N          cache shard count (default 16)
+//   --max-inflight N    global cold-request cap; excess requests are shed
+//                       with a retryable `overloaded` error (default 1024,
+//                       0 = unlimited)
+//   --idle-timeout-ms N reap connections idle this long; partial frames do
+//                       not count as activity (default 60000, 0 = never)
+//   --deadline-ms N     answer `timeout` instead of solving requests that
+//                       waited longer than this for a worker (default 0 = off)
+//   --write-buf-kb N    per-connection write-queue bound; a slow reader over
+//                       it stops being read from (default 1024)
+//   --metrics-out F     enable observability; write the metrics registry as
+//                       JSON to F ("-" = stdout) on shutdown
 //
-// SIGINT/SIGTERM drain gracefully: in-flight requests are answered, open
-// connections closed, then metrics are flushed.
+// SIGINT/SIGTERM drain gracefully: in-flight requests are answered and
+// flushed, open connections closed, then metrics are written.
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -72,8 +85,10 @@ Args parse(int argc, char** argv) {
 }
 
 int usage() {
-  std::cout << "usage: csserve [--host H] [--port P] [--threads N]\n"
-               "               [--cache N] [--shards N] [--metrics-out F]\n";
+  std::cout << "usage: csserve [--host H] [--port P] [--loops N] [--threads N]\n"
+               "               [--cache N] [--shards N] [--max-inflight N]\n"
+               "               [--idle-timeout-ms N] [--deadline-ms N]\n"
+               "               [--write-buf-kb N] [--metrics-out F]\n";
   return 2;
 }
 
@@ -90,7 +105,16 @@ int main(int argc, char** argv) {
     cs::engine::ServerOptions opt;
     opt.host = args.get("host", "127.0.0.1");
     opt.port = static_cast<std::uint16_t>(args.number("port", 7070.0));
+    opt.loops = static_cast<std::size_t>(args.number("loops", 2.0));
     opt.threads = static_cast<std::size_t>(args.number("threads", 4.0));
+    opt.max_inflight =
+        static_cast<std::size_t>(args.number("max-inflight", 1024.0));
+    opt.idle_timeout = std::chrono::milliseconds(
+        static_cast<long>(args.number("idle-timeout-ms", 60000.0)));
+    opt.request_deadline = std::chrono::milliseconds(
+        static_cast<long>(args.number("deadline-ms", 0.0)));
+    opt.max_write_buffer =
+        static_cast<std::size_t>(args.number("write-buf-kb", 1024.0)) * 1024;
     opt.engine.cache_capacity =
         static_cast<std::size_t>(args.number("cache", 4096.0));
     opt.engine.cache_shards =
@@ -99,9 +123,10 @@ int main(int argc, char** argv) {
     cs::engine::Server server(opt);
     server.start();
     std::cerr << "csserve: listening on " << opt.host << ":" << server.port()
-              << " (" << opt.threads << " workers, cache "
-              << opt.engine.cache_capacity << " x " << opt.engine.cache_shards
-              << " shards)\n";
+              << " (" << opt.loops << " loops, " << opt.threads
+              << " workers, cache " << opt.engine.cache_capacity << " x "
+              << opt.engine.cache_shards << " shards, max-inflight "
+              << opt.max_inflight << ")\n";
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
@@ -111,7 +136,8 @@ int main(int argc, char** argv) {
 
     std::cerr << "csserve: draining (" << server.requests_served()
               << " requests served over " << server.connections_accepted()
-              << " connections)\n";
+              << " connections, " << server.requests_shed() << " shed, "
+              << server.connections_reaped() << " reaped)\n";
     server.stop();
 
     if (!metrics_out.empty()) {
