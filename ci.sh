@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate.
 #
-#   ./ci.sh            # full gate: build, ctest, smoke, cslint, format,
-#                      #   clang-tidy wall, ASan/UBSan pass, TSan pass,
-#                      #   csserve soak (sanitized load burst + SIGINT drain)
+#   ./ci.sh            # full gate: build, ctest, smoke, cslint (incremental,
+#                      #   SARIF artifact at build/cslint.sarif), format,
+#                      #   clang-tidy wall, ASan/UBSan pass (+ cslint --strict
+#                      #   full rescan), TSan pass, csserve soak
 #   ./ci.sh --fast     # build, ctest, smoke, cslint, format only
 #
 # Stages that need a tool the host lacks (clang-tidy, clang-format) are
@@ -90,7 +91,23 @@ stage_smoke() {
 }
 
 stage_cslint() {
-  ./build/tools/cslint src/
+  # Incremental run: the header-standalone cache persists in build/, the
+  # SARIF artifact is what CI uploads for code-scanning annotation.  The
+  # per-rule counts line is folded into the stage summary table.
+  local out rc
+  out="$(mktemp)"
+  ./build/tools/cslint \
+    --cache build/cslint-cache.txt \
+    --sarif build/cslint.sarif \
+    --baseline tools/cslint/baseline.txt \
+    src/ | tee "$out"
+  rc=${PIPESTATUS[0]}
+  local kv
+  for kv in $(grep -oE 'rule-counts: .*' "$out" | head -1 | cut -d' ' -f2-); do
+    record "  cslint ${kv%%=*}" "${kv#*=}"
+  done
+  rm -f "$out"
+  return "$rc"
 }
 
 stage_format() {
@@ -112,6 +129,11 @@ stage_asan() {
     echo "-- $t"
     ./build-asan/tests/"$t" || return 1
   done
+  # Full-rescan cross-check: --strict ignores the incremental cache, so a
+  # stale or corrupted cache can never hide a header regression from CI.
+  echo "-- cslint --strict (full rescan, no cache)"
+  ./build-asan/tools/cslint --strict \
+    --baseline tools/cslint/baseline.txt src/ || return 1
 }
 
 stage_tsan() {
@@ -166,7 +188,7 @@ stage_soak() {
 run_stage "build (default)" stage_build
 run_stage "ctest (full suite)" stage_ctest
 run_stage "csserve smoke" stage_smoke
-run_stage "cslint (src/)" stage_cslint
+run_stage "cslint (incremental + SARIF)" stage_cslint
 
 if command -v clang-format >/dev/null 2>&1; then
   run_stage "format check" stage_format

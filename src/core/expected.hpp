@@ -54,8 +54,11 @@ template <typename E>
 }
 }  // namespace detail
 
+// Class-level [[nodiscard]]: dropping a returned Expected discards the only
+// error channel this codebase has.  The cslint must-use rule enforces the
+// same contract on code paths the compiler never instantiates.
 template <typename T, typename E = Error>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   using value_type = T;
   using error_type = E;

@@ -138,7 +138,8 @@ void Server::start() {
     shards_.push_back(std::move(shard));
   }
   // The listener lives on shard 0; registered before run() so no loop-thread
-  // restriction applies yet.
+  // restriction applies yet (mutator_allowed() permits pre-run registration).
+  // cslint: allow(thread-affinity)
   shards_[0]->loop->add(listen_fd_, EPOLLIN,
                         [this](std::uint32_t) { accept_ready(); });
 
@@ -184,20 +185,26 @@ void Server::adopt(Shard& shard, int fd) {
   limits.max_frame = opt_.max_line;
   limits.max_write_queue = opt_.max_write_buffer;
 
+  // Conn invokes every handler on the loop thread, so each lambda is
+  // loop-affine by contract.
   net::Conn::Handlers handlers;
+  // cs: affinity(loop)
   handlers.on_frames = [this, &shard, raw](std::vector<std::string>&& frames) {
     process_frames(shard, *raw, std::move(frames));
   };
+  // cs: affinity(loop)
   handlers.on_overflow = [this, raw] {
     raw->conn->send(make_error_response(
         raw->last_version, std::nullopt,
         cs::Error(cs::ErrorCode::BadSpec, "request line too long")));
     raw->conn->close_after_flush();
   };
+  // cs: affinity(loop)
   handlers.on_eof = [raw] {
     raw->eof = true;
     if (raw->outstanding == 0) raw->conn->close_after_flush();
   };
+  // cs: affinity(loop)
   handlers.on_closed = [this, &shard, raw] {
     open_conns_.fetch_sub(1, std::memory_order_relaxed);
     if (obs::enabled()) {

@@ -123,16 +123,23 @@ class Server {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  // The loop-side half of the server: these run on a shard's loop thread
+  // (accept_ready on shard 0's); run_batch runs on a worker and posts its
+  // responses back to the shard loop.
+  // cs: affinity(loop)
   void accept_ready();
+  // cs: affinity(loop)
   void adopt(Shard& shard, int fd);
+  // cs: affinity(loop)
   void process_frames(Shard& shard, Session& session,
                       std::vector<std::string>&& frames);
+  // cs: affinity(loop)
   void dispatch(Shard& shard, Session& session,
                 std::vector<PendingRequest>&& pending);
   void run_batch(Shard& shard, const std::weak_ptr<Session>& weak,
                  std::vector<PendingRequest>&& items);
+  // cs: affinity(loop)
   void shard_tick(Shard& shard);
-  void close_session(Shard& shard, Session& session);
 
   /// Publish final tallies to the cs::obs registry (last stage of stop()).
   void flush_metrics() const;

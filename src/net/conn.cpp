@@ -17,6 +17,7 @@ Conn::Conn(EventLoop& loop, int fd, ConnLimits limits, Handlers handlers)
       limits_(limits),
       handlers_(std::move(handlers)),
       last_frame_(std::chrono::steady_clock::now()) {
+  loop_.assert_on_loop_thread();
   set_nonblocking(fd_);
   set_nodelay(fd_);
   interest_ = EPOLLIN;
@@ -137,6 +138,7 @@ void Conn::handle_readable() {
 }
 
 void Conn::send(std::string frame) {
+  loop_.assert_on_loop_thread();
   if (state_ == State::Closed) return;
   out_ += frame;
   out_ += '\n';
@@ -167,12 +169,14 @@ void Conn::flush() {
 }
 
 void Conn::stop_reading() {
+  loop_.assert_on_loop_thread();
   if (state_ != State::Open) return;
   reads_stopped_ = true;
   update_interest();
 }
 
 void Conn::close_after_flush() {
+  loop_.assert_on_loop_thread();
   if (state_ == State::Closed) return;
   if (!writes_pending()) {
     close();
@@ -183,6 +187,7 @@ void Conn::close_after_flush() {
 }
 
 void Conn::close() {
+  loop_.assert_on_loop_thread();
   if (state_ == State::Closed) return;
   state_ = State::Closed;
   loop_.remove(fd_);

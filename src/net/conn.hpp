@@ -57,7 +57,9 @@ class Conn {
   };
 
   /// Takes ownership of `fd` (made non-blocking) and registers with `loop`.
+  // cs: affinity(loop)
   Conn(EventLoop& loop, int fd, ConnLimits limits, Handlers handlers);
+  // cs: affinity(loop)
   ~Conn();
 
   Conn(const Conn&) = delete;
@@ -65,15 +67,19 @@ class Conn {
 
   /// Queue one response frame (a '\n' is appended) and flush what the
   /// kernel will take now.  No-op after close.
+  // cs: affinity(loop)
   void send(std::string frame);
 
   /// Immediate teardown: deregister, close the fd, fire on_closed.
+  // cs: affinity(loop)
   void close();
 
   /// Stop reading; close as soon as the write queue drains (possibly now).
+  // cs: affinity(loop)
   void close_after_flush();
 
   /// Stop reading new frames (drain mode); queued writes still flush.
+  // cs: affinity(loop)
   void stop_reading();
 
   [[nodiscard]] bool closed() const noexcept { return state_ == State::Closed; }
@@ -92,9 +98,13 @@ class Conn {
  private:
   enum class State { Open, Draining, Closed };
 
+  // cs: affinity(loop)
   void on_event(std::uint32_t events);
+  // cs: affinity(loop)
   void handle_readable();
+  // cs: affinity(loop)
   void flush();
+  // cs: affinity(loop)
   void update_interest();
   [[nodiscard]] bool reading_enabled() const noexcept;
 

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -34,7 +36,19 @@ EventLoop::~EventLoop() {
   close_quietly(epoll_fd_);
 }
 
+void EventLoop::assert_on_loop_thread() const noexcept {
+#ifndef NDEBUG
+  if (!mutator_allowed()) {
+    std::fprintf(stderr,
+                 "EventLoop: loop-affine mutator entered off the loop thread "
+                 "while the loop is running (see cslint thread-affinity)\n");
+    std::abort();
+  }
+#endif
+}
+
 void EventLoop::add(int fd, std::uint32_t events, FdCallback cb) {
+  assert_on_loop_thread();
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
@@ -45,6 +59,7 @@ void EventLoop::add(int fd, std::uint32_t events, FdCallback cb) {
 }
 
 void EventLoop::modify(int fd, std::uint32_t events) {
+  assert_on_loop_thread();
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
@@ -52,6 +67,7 @@ void EventLoop::modify(int fd, std::uint32_t events) {
 }
 
 void EventLoop::remove(int fd) {
+  assert_on_loop_thread();
   if (callbacks_.erase(fd) > 0)
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
 }

@@ -43,11 +43,14 @@ class EventLoop {
 
   /// Register `fd` for `events`; the callback may add/remove other fds and
   /// may remove `fd` itself.  Loop thread only (or before run()).
+  // cs: affinity(loop)
   void add(int fd, std::uint32_t events, FdCallback cb);
   /// Change the interest mask of a registered fd.  Loop thread only.
+  // cs: affinity(loop)
   void modify(int fd, std::uint32_t events);
   /// Deregister; the fd is NOT closed (the owner closes it).  Safe to call
   /// for fds that were never added.  Loop thread only.
+  // cs: affinity(loop)
   void remove(int fd);
 
   /// Enqueue a task to run on the loop thread and wake the loop.  Safe from
@@ -73,6 +76,18 @@ class EventLoop {
     return loop_thread_.load(std::memory_order_acquire) ==
            std::this_thread::get_id();
   }
+  /// Predicate behind assert_on_loop_thread(): mutation is allowed from the
+  /// loop thread, and from any thread while the loop is not running (pre-run
+  /// registration, post-run teardown).  Always compiled, so tests can check
+  /// the contract in release builds too.
+  [[nodiscard]] bool mutator_allowed() const noexcept {
+    const std::thread::id owner = loop_thread_.load(std::memory_order_acquire);
+    return owner == std::thread::id{} || owner == std::this_thread::get_id();
+  }
+  /// Debug-build backstop for the static thread-affinity lint rule: aborts
+  /// when a loop-affine mutator is entered off the loop thread while the
+  /// loop runs.  Compiled out under NDEBUG (the lint rule still applies).
+  void assert_on_loop_thread() const noexcept;
   [[nodiscard]] std::size_t fd_count() const noexcept {
     return callbacks_.size();
   }

@@ -1,0 +1,577 @@
+// Tests for cslint v2's flow-aware layer: tokenizer, structural parser,
+// the four rule families (thread-affinity, must-use, lock-order,
+// blocking-in-loop), suppression/baseline handling, SARIF output, and the
+// incremental include-closure cache.  Every rule family has at least one
+// fixture that FAILS without its implementation (positive case) and one
+// that must stay silent (negative case).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache.hpp"
+#include "cslint.hpp"
+#include "flow.hpp"
+#include "sarif.hpp"
+#include "token.hpp"
+
+namespace fs = std::filesystem;
+using cs::lint::Baseline;
+using cs::lint::FlowAnalyzer;
+using cs::lint::FlowOptions;
+using cs::lint::HeaderCache;
+using cs::lint::IncludeHasher;
+using cs::lint::Tok;
+using cs::lint::Violation;
+
+namespace {
+
+std::vector<Violation> flow(std::string_view src,
+                            const FlowOptions& opt = {}) {
+  return cs::lint::lint_flow("fix.cpp", src, opt);
+}
+
+std::size_t count_rule(const std::vector<Violation>& vs,
+                       std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(vs.begin(), vs.end(),
+                    [&](const Violation& v) { return v.rule == rule; }));
+}
+
+const Violation& first(const std::vector<Violation>& vs,
+                       std::string_view rule) {
+  const auto it =
+      std::find_if(vs.begin(), vs.end(),
+                   [&](const Violation& v) { return v.rule == rule; });
+  EXPECT_NE(it, vs.end()) << "no violation for rule " << rule;
+  return *it;
+}
+
+/// Temp directory per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("cslint_flow_test_" + std::to_string(::getpid()));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path file(const std::string& name, const std::string& content) const {
+    const fs::path p = path / name;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+    return p;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- tokenizer
+
+TEST(CslintToken, BasicKindsAndLines) {
+  const auto toks = cs::lint::tokenize("int x = 42;\n// note\nfoo->bar();\n");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[3].text, "42");
+  EXPECT_EQ(toks[3].kind, Tok::Number);
+  // The comment is a token with its text preserved, on line 2.
+  const auto comment = std::find_if(
+      toks.begin(), toks.end(),
+      [](const cs::lint::Token& t) { return t.kind == Tok::Comment; });
+  ASSERT_NE(comment, toks.end());
+  EXPECT_NE(comment->text.find("note"), std::string::npos);
+  EXPECT_EQ(comment->line, 2u);
+  // '->' is one punct token.
+  const auto arrow = std::find_if(
+      toks.begin(), toks.end(),
+      [](const cs::lint::Token& t) { return t.text == "->"; });
+  ASSERT_NE(arrow, toks.end());
+  EXPECT_EQ(arrow->line, 3u);
+}
+
+TEST(CslintToken, StringContentsDroppedRawStringsIncluded) {
+  const auto toks =
+      cs::lint::tokenize("auto s = \"lock(m)\"; auto r = R\"x(lock(m))x\";");
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Str) {
+      EXPECT_EQ(t.text, "\"\"");
+    }
+    EXPECT_NE(t.text, "lock");  // nothing leaked out of the literals
+  }
+}
+
+TEST(CslintToken, PreprocFoldsContinuations) {
+  const auto toks =
+      cs::lint::tokenize("#define M(a) \\\n  (a + 1)\nint y;\n");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, Tok::Preproc);
+  EXPECT_NE(toks[0].text.find("define"), std::string::npos);
+  // The `int` after the directive is on line 3.
+  const auto ident = std::find_if(
+      toks.begin(), toks.end(),
+      [](const cs::lint::Token& t) { return t.text == "int"; });
+  ASSERT_NE(ident, toks.end());
+  EXPECT_EQ(ident->line, 3u);
+}
+
+// ------------------------------------------------------------------- parser
+
+TEST(CslintParse, RecoversFunctionsMethodsAndMembers) {
+  const auto model = cs::lint::parse_file_model("m.cpp", R"(
+namespace app {
+class Widget {
+ public:
+  void poke();
+  int size_ = 0;
+};
+void Widget::poke() { helper(); }
+void helper() {}
+}  // namespace app
+)");
+  // Declaration + definition of poke, plus helper.
+  std::size_t poke = 0, helper = 0;
+  for (const auto& ctx : model.contexts) {
+    if (ctx.simple == "poke") ++poke;
+    if (ctx.simple == "helper") ++helper;
+  }
+  EXPECT_EQ(poke, 2u);
+  EXPECT_GE(helper, 1u);
+  ASSERT_EQ(model.members.count("Widget"), 1u);
+  EXPECT_EQ(model.members.at("Widget").count("size_"), 1u);
+  // The qualified definition knows its class.
+  for (const auto& ctx : model.contexts) {
+    if (ctx.simple == "poke" && ctx.defined) {
+      EXPECT_EQ(ctx.class_name, "Widget");
+      ASSERT_EQ(ctx.calls.size(), 1u);
+      EXPECT_EQ(ctx.calls[0].callee, "helper");
+    }
+  }
+}
+
+TEST(CslintParse, AffinityAnnotationBindsToDeclaration) {
+  const auto model = cs::lint::parse_file_model("m.hpp", R"(
+class Loop {
+ public:
+  // cs: affinity(loop)
+  void add(int fd);
+  void post(int t);
+};
+)");
+  bool saw_add = false, saw_post = false;
+  for (const auto& ctx : model.contexts) {
+    if (ctx.simple == "add") {
+      saw_add = true;
+      EXPECT_TRUE(ctx.loop_affine);
+    }
+    if (ctx.simple == "post") {
+      saw_post = true;
+      EXPECT_FALSE(ctx.loop_affine);
+    }
+  }
+  EXPECT_TRUE(saw_add);
+  EXPECT_TRUE(saw_post);
+}
+
+// ---------------------------------------------------------- thread-affinity
+
+namespace {
+
+/// Miniature of the real seed: an annotated EventLoop/Conn pair.  The
+/// positive fixture calls conn->send() from a non-affine function — exactly
+/// the "moved off-loop" mistake the acceptance criteria require cslint to
+/// catch statically (EventLoop::assert_on_loop_thread catches it at
+/// runtime).
+constexpr const char* kLoopHeader = R"(
+namespace cs::net {
+class EventLoop {
+ public:
+  // cs: affinity(loop)
+  void add(int fd);
+  // cs: affinity(loop)
+  void remove(int fd);
+  void post(int task);
+};
+class Conn {
+ public:
+  // cs: affinity(loop)
+  void send(int frame);
+  // cs: affinity(loop)
+  void close();
+};
+}  // namespace cs::net
+)";
+
+}  // namespace
+
+TEST(CslintAffinity, OffLoopConnSendIsCaught) {
+  FlowAnalyzer fa;
+  fa.add_source("net.hpp", kLoopHeader);
+  fa.add_source("srv.cpp", R"(
+namespace cs::engine {
+struct Srv {
+  cs::net::Conn* conn;
+  void off_loop_reply();
+};
+void Srv::off_loop_reply() {
+  conn->send(1);
+}
+}  // namespace cs::engine
+)");
+  const auto vs = fa.run();
+  ASSERT_EQ(count_rule(vs, "thread-affinity"), 1u);
+  const Violation& v = first(vs, "thread-affinity");
+  EXPECT_EQ(v.file, "srv.cpp");
+  EXPECT_NE(v.message.find("Conn::send"), std::string::npos);
+}
+
+TEST(CslintAffinity, PostLambdaAndAffineCallersAreClean) {
+  FlowAnalyzer fa;
+  fa.add_source("net.hpp", kLoopHeader);
+  fa.add_source("srv.cpp", R"(
+namespace cs::engine {
+struct Srv {
+  cs::net::Conn* conn;
+  cs::net::EventLoop* loop;
+  // cs: affinity(loop)
+  void on_loop_reply();
+  void any_thread_reply();
+};
+void Srv::on_loop_reply() {
+  conn->send(1);            // affine caller: fine
+}
+void Srv::any_thread_reply() {
+  loop->post([this] { conn->send(2); });  // post lambda: fine
+}
+}  // namespace cs::engine
+)");
+  EXPECT_EQ(count_rule(fa.run(), "thread-affinity"), 0u);
+}
+
+TEST(CslintAffinity, CppDefinitionInheritsHeaderAnnotation) {
+  // The .cpp body of an annotated method may call other affine methods.
+  FlowAnalyzer fa;
+  fa.add_source("net.hpp", kLoopHeader);
+  fa.add_source("conn.cpp", R"(
+namespace cs::net {
+void Conn::close() {
+  send(0);  // affine-to-affine via the header annotation on close()
+}
+}  // namespace cs::net
+)");
+  EXPECT_EQ(count_rule(fa.run(), "thread-affinity"), 0u);
+}
+
+// ----------------------------------------------------------------- must-use
+
+TEST(CslintMustUse, DiscardedExpectedIsCaught) {
+  const auto vs = flow(R"(
+namespace cs {
+template <typename T> class Expected {};
+struct Engine {
+  Expected<int> solve(int spec);
+};
+void driver(Engine& engine) {
+  engine.solve(7);
+}
+}  // namespace cs
+)");
+  ASSERT_EQ(count_rule(vs, "must-use"), 1u);
+  EXPECT_NE(first(vs, "must-use").message.find("solve"), std::string::npos);
+}
+
+TEST(CslintMustUse, ConsumedResultsAreClean) {
+  const auto vs = flow(R"(
+namespace cs {
+template <typename T> class Expected {};
+struct Engine {
+  Expected<int> solve(int spec);
+  int cheap(int spec);
+};
+int driver(Engine& engine) {
+  auto r = engine.solve(7);     // bound: fine
+  engine.cheap(1);              // not must-use: fine
+  if (!engine.solve(8).ok()) return 1;  // consumed in expression: fine
+  return 0;
+}
+}  // namespace cs
+)");
+  EXPECT_EQ(count_rule(vs, "must-use"), 0u);
+}
+
+// --------------------------------------------------------------- lock-order
+
+TEST(CslintLockOrder, AbbaCycleIsCaught) {
+  const auto vs = flow(R"(
+#include <mutex>
+namespace app {
+std::mutex a_mu;
+std::mutex b_mu;
+void fa() {
+  std::lock_guard<std::mutex> l1(a_mu);
+  std::lock_guard<std::mutex> l2(b_mu);
+}
+void fb() {
+  std::lock_guard<std::mutex> l1(b_mu);
+  std::lock_guard<std::mutex> l2(a_mu);
+}
+}  // namespace app
+)");
+  ASSERT_EQ(count_rule(vs, "lock-order"), 1u);
+  const Violation& v = first(vs, "lock-order");
+  EXPECT_NE(v.message.find("a_mu"), std::string::npos);
+  EXPECT_NE(v.message.find("b_mu"), std::string::npos);
+}
+
+TEST(CslintLockOrder, ConsistentOrderIsClean) {
+  const auto vs = flow(R"(
+#include <mutex>
+namespace app {
+std::mutex a_mu;
+std::mutex b_mu;
+void fa() {
+  std::lock_guard<std::mutex> l1(a_mu);
+  std::lock_guard<std::mutex> l2(b_mu);
+}
+void fb() {
+  std::lock_guard<std::mutex> l1(a_mu);
+  std::lock_guard<std::mutex> l2(b_mu);
+}
+}  // namespace app
+)");
+  EXPECT_EQ(count_rule(vs, "lock-order"), 0u);
+}
+
+TEST(CslintLockOrder, CycleThroughCalleeIsCaught) {
+  // fa holds a_mu and calls g (which takes b_mu); fb nests them lexically
+  // in the opposite order.  The cycle only exists through the call graph.
+  const auto vs = flow(R"(
+#include <mutex>
+namespace app {
+std::mutex a_mu;
+std::mutex b_mu;
+void g() { std::lock_guard<std::mutex> l(b_mu); }
+void fa() {
+  std::lock_guard<std::mutex> l(a_mu);
+  g();
+}
+void fb() {
+  std::lock_guard<std::mutex> l1(b_mu);
+  std::lock_guard<std::mutex> l2(a_mu);
+}
+}  // namespace app
+)");
+  EXPECT_EQ(count_rule(vs, "lock-order"), 1u);
+}
+
+TEST(CslintLockOrder, SelfDeadlockIsCaught) {
+  const auto vs = flow(R"(
+#include <mutex>
+namespace app {
+std::mutex mu;
+void twice() {
+  std::lock_guard<std::mutex> l1(mu);
+  std::lock_guard<std::mutex> l2(mu);
+}
+}  // namespace app
+)");
+  ASSERT_EQ(count_rule(vs, "lock-order"), 1u);
+  EXPECT_NE(first(vs, "lock-order").message.find("already held"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------- blocking-in-loop
+
+TEST(CslintBlocking, SleepAndSolveInAffineCodeAreCaught) {
+  const auto vs = flow(R"(
+namespace app {
+struct Shard {
+  // cs: affinity(loop)
+  void tick();
+};
+void Shard::tick() {
+  std::this_thread::sleep_for(1);
+}
+}  // namespace app
+)");
+  EXPECT_EQ(count_rule(vs, "blocking-in-loop"), 1u);
+}
+
+TEST(CslintBlocking, WorkerCodeMayBlock) {
+  const auto vs = flow(R"(
+namespace app {
+struct Worker {
+  void run_batch();
+};
+void Worker::run_batch() {
+  std::this_thread::sleep_for(1);  // not loop-affine: fine
+}
+}  // namespace app
+)");
+  EXPECT_EQ(count_rule(vs, "blocking-in-loop"), 0u);
+}
+
+// -------------------------------------------------------------- suppression
+
+TEST(CslintFlowSuppression, AllowOnLineAndLineAbove) {
+  const auto vs = flow(R"(
+namespace cs {
+template <typename T> class Expected {};
+struct Engine { Expected<int> solve(int spec); };
+void driver(Engine& engine) {
+  engine.solve(1);  // cslint: allow(must-use)
+  // cslint: allow(must-use) fire-and-forget warmup
+  engine.solve(2);
+  engine.solve(3);  // NOT suppressed
+}
+}  // namespace cs
+)");
+  ASSERT_EQ(count_rule(vs, "must-use"), 1u);
+  EXPECT_EQ(first(vs, "must-use").line, 9u);
+}
+
+// ----------------------------------------------------------------- baseline
+
+TEST(CslintBaseline, RoundTripAndFiltering) {
+  TempDir tmp;
+  Violation v{"src/engine/server.cpp", 42, "must-use", "msg",
+              "engine.solve(1);"};
+  Violation other{"src/engine/server.cpp", 99, "must-use", "msg",
+                  "engine.solve(2);"};
+  Baseline b;
+  EXPECT_FALSE(b.contains(v));
+  b.add(v);
+  EXPECT_TRUE(b.contains(v));
+  EXPECT_FALSE(b.contains(other));
+
+  const fs::path file = tmp.path / "baseline.txt";
+  b.save(file);
+  Baseline loaded;
+  loaded.load(file);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded.contains(v));
+  // The key survives a line-number drift (line is not part of the key) and
+  // an absolute-path respelling of the same file.
+  Violation moved = v;
+  moved.line = 57;
+  moved.file = "/abs/prefix/src/engine/server.cpp";
+  EXPECT_TRUE(loaded.contains(moved));
+}
+
+TEST(CslintBaseline, RepoBaselineFileIsEmpty) {
+  // The checked-in baseline must stay empty: src/ is clean under every rule.
+  const fs::path repo_baseline =
+      fs::path(__FILE__).parent_path().parent_path() / "tools" / "cslint" /
+      "baseline.txt";
+  ASSERT_TRUE(fs::exists(repo_baseline));
+  Baseline b;
+  b.load(repo_baseline);
+  EXPECT_EQ(b.size(), 0u);
+}
+
+// -------------------------------------------------------------------- SARIF
+
+TEST(CslintSarif, SchemaSmoke) {
+  std::vector<Violation> vs = {
+      {"src/a.cpp", 12, "thread-affinity", "bad \"call\"\nhere", "x"},
+      {"src/b.hpp", 0, "pragma-once", "missing", ""},
+  };
+  const std::string sarif = cs::lint::to_sarif(vs);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"cslint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"thread-affinity\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  // line 0 (whole-file) is clamped to 1 for the schema.
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  // Quotes and newlines inside messages are escaped.
+  EXPECT_NE(sarif.find("bad \\\"call\\\"\\nhere"), std::string::npos);
+  // Both rules are declared in the driver's rules array.
+  EXPECT_NE(sarif.find("{\"id\": \"pragma-once\"}"), std::string::npos);
+  // Empty input is still a valid log with an empty results array.
+  const std::string empty = cs::lint::to_sarif({});
+  EXPECT_NE(empty.find("\"results\": ["), std::string::npos);
+}
+
+// -------------------------------------------------------- incremental cache
+
+TEST(CslintCache, ClosureHashTracksDependencies) {
+  IncludeHasher h;
+  h.add_file("/r/src/core/base.hpp", "struct Base {};", {});
+  h.add_file("/r/src/engine/top.hpp", "#include \"core/base.hpp\"",
+             {"core/base.hpp"});
+  const auto top1 = h.closure_hash("/r/src/engine/top.hpp");
+  const auto base1 = h.closure_hash("/r/src/core/base.hpp");
+  EXPECT_NE(top1, 0u);
+
+  // Editing the DEPENDENCY changes the dependent's closure hash.
+  h.add_file("/r/src/core/base.hpp", "struct Base { int v; };", {});
+  EXPECT_NE(h.closure_hash("/r/src/engine/top.hpp"), top1);
+  EXPECT_NE(h.closure_hash("/r/src/core/base.hpp"), base1);
+
+  // Unrelated files are unaffected.
+  h.add_file("/r/src/other/leaf.hpp", "struct Leaf {};", {});
+  const auto leaf = h.closure_hash("/r/src/other/leaf.hpp");
+  h.add_file("/r/src/core/base.hpp", "struct Base { long v; };", {});
+  EXPECT_EQ(h.closure_hash("/r/src/other/leaf.hpp"), leaf);
+}
+
+TEST(CslintCache, IncludeCyclesTerminate) {
+  IncludeHasher h;
+  h.add_file("/r/src/a.hpp", "#include \"b.hpp\"", {"b.hpp"});
+  h.add_file("/r/src/b.hpp", "#include \"a.hpp\"", {"a.hpp"});
+  EXPECT_NE(h.closure_hash("/r/src/a.hpp"), 0u);  // terminates
+}
+
+TEST(CslintCache, HeaderCachePersistsAndInvalidates) {
+  TempDir tmp;
+  const fs::path file = tmp.path / "cache.txt";
+  HeaderCache cache;
+  cache.put("src/net/conn.hpp", 0xabcdef, true, "");
+  cache.put("src/net/bad.hpp", 0x123, false, "missing include of x");
+  cache.save(file);
+
+  HeaderCache loaded;
+  loaded.load(file);
+  bool ok = false;
+  std::string msg;
+  // Hit with the same hash (path respelled absolute still matches).
+  EXPECT_TRUE(loaded.lookup("/abs/src/net/conn.hpp", 0xabcdef, &ok, &msg));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(loaded.lookup("src/net/bad.hpp", 0x123, &ok, &msg));
+  EXPECT_FALSE(ok);
+  EXPECT_NE(msg.find("missing include"), std::string::npos);
+  // A changed hash is a miss — the header must be recompiled.
+  EXPECT_FALSE(loaded.lookup("src/net/conn.hpp", 0xabcde0, &ok, &msg));
+}
+
+// ----------------------------------------------------------- directory walk
+
+TEST(CslintWalk, NewSubdirsCoveredBuildTreesPruned) {
+  TempDir tmp;
+  tmp.file("src/net/a.hpp", "#pragma once\n");
+  tmp.file("src/future_subsys/b.hpp", "#pragma once\n");  // no hardcoded list
+  tmp.file("src/future_subsys/b.cpp", "int x;\n");
+  tmp.file("build/copy.hpp", "#pragma once\n");       // pruned
+  tmp.file("build-asan/copy.cpp", "int y;\n");        // pruned
+  tmp.file("src/.hidden/c.hpp", "#pragma once\n");    // pruned
+  const auto sources = cs::lint::collect_sources(tmp.path);
+  std::vector<std::string> rel;
+  for (const auto& p : sources)
+    rel.push_back(p.lexically_relative(tmp.path).generic_string());
+  EXPECT_EQ(rel.size(), 3u);
+  EXPECT_NE(std::find(rel.begin(), rel.end(), "src/net/a.hpp"), rel.end());
+  EXPECT_NE(std::find(rel.begin(), rel.end(), "src/future_subsys/b.hpp"),
+            rel.end());
+  EXPECT_NE(std::find(rel.begin(), rel.end(), "src/future_subsys/b.cpp"),
+            rel.end());
+}

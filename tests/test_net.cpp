@@ -140,6 +140,48 @@ TEST(EventLoop, DispatchesReadinessAndSurvivesSelfRemoval) {
   EXPECT_EQ(fired.load(), 1);
 }
 
+// The runtime half of the cslint thread-affinity rule: mutator_allowed()
+// is the predicate assert_on_loop_thread() aborts on in debug builds.
+
+TEST(EventLoop, MutatorAllowedBeforeRunWhileRegistering) {
+  // Pre-run registration (the LoopRunner contract) is legal from any thread:
+  // no loop thread exists yet.
+  EventLoop loop;
+  EXPECT_TRUE(loop.mutator_allowed());
+}
+
+TEST(EventLoop, MutatorAllowedTracksTheLoopThread) {
+  LoopRunner runner;
+  runner.start();
+  std::atomic<int> checks{0};
+  std::atomic<bool> on_loop{false};
+  runner.loop.post([&] {
+    on_loop.store(runner.loop.mutator_allowed());
+    checks.fetch_add(1);
+  });
+  EXPECT_TRUE(eventually([&] { return checks.load() == 1; }));
+  EXPECT_TRUE(on_loop.load());             // the loop thread may mutate
+  EXPECT_FALSE(runner.loop.mutator_allowed());  // this thread may not
+  runner.loop.stop();
+  runner.thread.join();
+  // After run() returns the owner resets; teardown mutations are legal again.
+  EXPECT_TRUE(runner.loop.mutator_allowed());
+}
+
+#ifndef NDEBUG
+TEST(EventLoopDeathTest, OffLoopMutatorAbortsInDebugBuilds) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  LoopRunner runner;
+  runner.start();
+  std::atomic<bool> running{false};
+  runner.loop.post([&] { running.store(true); });
+  ASSERT_TRUE(eventually([&] { return running.load(); }));
+  Pair pair;
+  EXPECT_DEATH(runner.loop.add(pair.fd[0], EPOLLIN, [](std::uint32_t) {}),
+               "loop-affine mutator entered off the loop thread");
+}
+#endif
+
 // ------------------------------------------------------------------- Conn
 
 struct ConnHarness {

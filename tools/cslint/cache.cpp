@@ -1,0 +1,201 @@
+#include "cache.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cs::lint {
+
+namespace {
+
+std::string generic(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+/// Repo-stable spelling for baseline keys: prefer the part from "src/" on,
+/// so absolute and relative invocations produce the same key.
+std::string norm_path(std::string_view path) {
+  const std::string p = generic(path);
+  const std::size_t at = p.rfind("/src/");
+  if (at != std::string::npos) return p.substr(at + 1);
+  if (p.rfind("src/", 0) == 0) return p;
+  return p;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  static const char* digits = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = digits[v & 0xF];
+    v >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ------------------------------------------------------------ IncludeHasher
+
+void IncludeHasher::add_file(const std::string& path, std::string_view content,
+                             const std::vector<std::string>& includes) {
+  Entry e;
+  e.content_hash = fnv1a64(content);
+  e.includes = includes;
+  entries_[generic(path)] = std::move(e);
+  memo_.clear();
+}
+
+const IncludeHasher::Entry* IncludeHasher::find(
+    const std::string& suffix) const {
+  const auto exact = entries_.find(suffix);
+  if (exact != entries_.end()) return &exact->second;
+  const std::string needle = "/" + suffix;
+  for (const auto& [path, entry] : entries_) {
+    if (path.size() > needle.size() &&
+        path.compare(path.size() - needle.size(), needle.size(), needle) == 0)
+      return &entry;
+  }
+  return nullptr;
+}
+
+std::uint64_t IncludeHasher::closure_of(
+    const std::string& path, std::unordered_set<std::string>& visiting) const {
+  const auto memo = memo_.find(path);
+  if (memo != memo_.end()) return memo->second;
+  const Entry* e = find(path);
+  if (e == nullptr) return fnv1a64(path);  // unresolved spelling: text only
+  if (!visiting.insert(path).second) return 0;  // include cycle: break
+
+  std::uint64_t h = e->content_hash;
+  for (const std::string& inc : e->includes) {
+    // Mix the dependency hash order-independently enough, but keep the
+    // spelling in the mix so renames invalidate too.
+    h = fnv1a64(inc, h);
+    h ^= closure_of(generic(inc), visiting) * 0x9e3779b97f4a7c15ULL;
+  }
+  visiting.erase(path);
+  memo_[path] = h;
+  return h;
+}
+
+std::uint64_t IncludeHasher::closure_hash(const std::string& path) const {
+  if (entries_.count(generic(path)) == 0 && find(generic(path)) == nullptr)
+    return 0;
+  std::unordered_set<std::string> visiting;
+  return closure_of(generic(path), visiting);
+}
+
+// -------------------------------------------------------------- HeaderCache
+
+void HeaderCache::load(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string tag, hash_hex, status, path;
+    if (!(ss >> tag >> hash_hex >> status >> path)) continue;
+    if (tag != "H") continue;
+    Entry e;
+    e.hash = std::strtoull(hash_hex.c_str(), nullptr, 16);
+    e.ok = status == "ok";
+    std::getline(ss, e.message);
+    e.message = trim(e.message);
+    entries_[path] = std::move(e);
+  }
+}
+
+void HeaderCache::save(const std::filesystem::path& file) const {
+  std::error_code ec;
+  std::filesystem::create_directories(file.parent_path(), ec);
+  std::ofstream out(file, std::ios::trunc);
+  if (!out) return;
+  out << "# cslint header-standalone cache — one line per checked header.\n"
+         "# H <include-closure-hash> <ok|fail> <path> <message>\n";
+  // Sorted for diff-stable artifacts.
+  std::vector<std::string> paths;
+  paths.reserve(entries_.size());
+  for (const auto& [path, e] : entries_) {
+    (void)e;
+    paths.push_back(path);
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    const Entry& e = entries_.at(path);
+    out << "H " << hex64(e.hash) << ' ' << (e.ok ? "ok" : "fail") << ' '
+        << path << ' ' << e.message << '\n';
+  }
+}
+
+bool HeaderCache::lookup(const std::string& path, std::uint64_t hash, bool* ok,
+                         std::string* message) const {
+  const auto it = entries_.find(norm_path(path));
+  if (it == entries_.end() || it->second.hash != hash) return false;
+  *ok = it->second.ok;
+  *message = it->second.message;
+  return true;
+}
+
+void HeaderCache::put(const std::string& path, std::uint64_t hash, bool ok,
+                      const std::string& message) {
+  entries_[norm_path(path)] = Entry{hash, ok, message};
+}
+
+// ----------------------------------------------------------------- Baseline
+
+std::string Baseline::key(const Violation& v) {
+  return v.rule + "|" + norm_path(v.file) + "|" + hex64(fnv1a64(trim(v.excerpt)));
+}
+
+void Baseline::load(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    keys_.insert(t);
+  }
+}
+
+void Baseline::save(const std::filesystem::path& file) const {
+  std::ofstream out(file, std::ios::trunc);
+  if (!out) return;
+  out << "# cslint baseline — accepted pre-existing violations, one key per\n"
+         "# line: <rule>|<path>|<excerpt-hash>.  Keep this EMPTY: new code\n"
+         "# must be clean; regenerate with --write-baseline only when\n"
+         "# adopting a legacy tree.\n";
+  std::vector<std::string> sorted(keys_.begin(), keys_.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::string& k : sorted) out << k << '\n';
+}
+
+bool Baseline::contains(const Violation& v) const {
+  return keys_.count(key(v)) > 0;
+}
+
+void Baseline::add(const Violation& v) { keys_.insert(key(v)); }
+
+}  // namespace cs::lint

@@ -1,0 +1,106 @@
+// Incremental-mode support: content hashing, the header-standalone result
+// cache, and the checked-in violation baseline.
+//
+// The expensive part of a cslint run is compiling each header as its own
+// translation unit (~seconds per header); text and flow rules on the whole
+// tree take milliseconds.  So the cache stores ONLY header-standalone
+// results, keyed on a hash of the header's *transitive include closure*
+// (quoted #include spellings resolved against the analyzed file set):
+// touching core/expected.hpp re-checks every header that reaches it, while
+// an unrelated edit re-checks nothing.  System includes (<...>) are assumed
+// stable within a toolchain and are not hashed.
+//
+// The baseline maps pre-existing violations to keys of
+// (rule, path, excerpt-hash) so new code is gated strictly while legacy
+// findings can be burned down over time.  This repo keeps the baseline
+// EMPTY — the file exists so the mechanism is exercised and the policy is
+// explicit.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cslint.hpp"
+
+namespace cs::lint {
+
+/// FNV-1a 64-bit. Stable across platforms/runs — cache keys live on disk.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Computes combined content hashes over the quoted-include closure of each
+/// analyzed file.  Spellings are resolved by path suffix against the file
+/// set ("engine/server.hpp" matches ".../src/engine/server.hpp"), matching
+/// the repo's -I src convention; unresolved spellings contribute only their
+/// own text.
+class IncludeHasher {
+ public:
+  /// Register one file's content + its quoted include spellings.
+  void add_file(const std::string& path, std::string_view content,
+                const std::vector<std::string>& includes);
+
+  /// Hash of `path`'s content combined with the hashes of everything it
+  /// transitively includes (cycle-safe).  Unknown paths hash to 0.
+  [[nodiscard]] std::uint64_t closure_hash(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::uint64_t content_hash = 0;
+    std::vector<std::string> includes;
+  };
+  const Entry* find(const std::string& suffix) const;
+  std::uint64_t closure_of(const std::string& path,
+                           std::unordered_set<std::string>& visiting) const;
+
+  std::unordered_map<std::string, Entry> entries_;  ///< by registered path
+  mutable std::unordered_map<std::string, std::uint64_t> memo_;
+};
+
+/// Persistent header-standalone results, one line per header:
+///   `H <closure-hash-hex> <ok|fail> <path> <message>`
+class HeaderCache {
+ public:
+  void load(const std::filesystem::path& file);
+  void save(const std::filesystem::path& file) const;
+
+  /// True (and `*ok`/`*message` filled) when `path` was checked before with
+  /// the same closure hash.
+  [[nodiscard]] bool lookup(const std::string& path, std::uint64_t hash,
+                            bool* ok, std::string* message) const;
+  void put(const std::string& path, std::uint64_t hash, bool ok,
+           const std::string& message);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    bool ok = true;
+    std::string message;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+/// Checked-in accepted-violation list; keys are stable across line drift
+/// (the line number is deliberately not part of the key).
+class Baseline {
+ public:
+  void load(const std::filesystem::path& file);
+  void save(const std::filesystem::path& file) const;
+
+  [[nodiscard]] static std::string key(const Violation& v);
+  [[nodiscard]] bool contains(const Violation& v) const;
+  void add(const Violation& v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+
+ private:
+  std::unordered_set<std::string> keys_;
+};
+
+}  // namespace cs::lint

@@ -358,16 +358,23 @@ std::vector<std::filesystem::path> collect_sources(
   for (fs::recursive_directory_iterator it(root, ec), end; it != end;
        it.increment(ec)) {
     if (ec) break;
+    if (it->is_directory(ec)) {
+      // Prune build trees and hidden directories; everything else (including
+      // newly added src/ subdirectories) is walked with no hardcoded list.
+      const std::string name = it->path().filename().generic_string();
+      if (name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.'))
+        it.disable_recursion_pending();
+      continue;
+    }
     if (it->is_regular_file(ec) && want(it->path())) out.push_back(it->path());
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<Violation> check_headers_standalone(
-    const std::vector<std::filesystem::path>& headers,
-    const HeaderCheckOptions& opt) {
-  std::vector<Violation> out;
+HeaderCheckResult check_one_header(const std::filesystem::path& header,
+                                   const HeaderCheckOptions& opt) {
+  HeaderCheckResult result;
   std::error_code ec;
   const fs::path tmpdir =
       fs::temp_directory_path(ec) / ("cslint-" + std::to_string(::getpid()));
@@ -375,49 +382,58 @@ std::vector<Violation> check_headers_standalone(
   const fs::path tu = tmpdir / "standalone_tu.cpp";
   const fs::path log = tmpdir / "standalone_tu.log";
 
-  for (const fs::path& header : headers) {
-    if (header.extension() != ".hpp") continue;
-    // Include dir + repo-style include spelling: ".../src/engine/x.hpp"
-    // becomes -I".../src" + #include "engine/x.hpp".  Absolutize first so
-    // relative invocations ("cslint src/") still find the src root.
-    const std::string display = header.generic_string();
-    const std::string gen = fs::absolute(header, ec).generic_string();
-    const std::size_t src_at = gen.rfind("/src/");
-    std::string include_dir;
-    std::string spelling;
-    if (src_at != std::string::npos) {
-      include_dir = gen.substr(0, src_at + 4);
-      spelling = gen.substr(src_at + 5);
-    } else {
-      include_dir = header.parent_path().generic_string();
-      spelling = header.filename().generic_string();
-    }
+  // Include dir + repo-style include spelling: ".../src/engine/x.hpp"
+  // becomes -I".../src" + #include "engine/x.hpp".  Absolutize first so
+  // relative invocations ("cslint src/") still find the src root.
+  const std::string gen = fs::absolute(header, ec).generic_string();
+  const std::size_t src_at = gen.rfind("/src/");
+  std::string include_dir;
+  std::string spelling;
+  if (src_at != std::string::npos) {
+    include_dir = gen.substr(0, src_at + 4);
+    spelling = gen.substr(src_at + 5);
+  } else {
+    include_dir = header.parent_path().generic_string();
+    spelling = header.filename().generic_string();
+  }
 
-    {
-      std::ofstream tu_out(tu, std::ios::trunc);
-      tu_out << "#include \"" << spelling << "\"\n";
-    }
-    std::string cmd = opt.compiler + " " + opt.std_flag + " -fsyntax-only";
-    cmd += " -I\"" + include_dir + "\"";
-    for (const std::string& dir : opt.include_dirs) cmd += " -I\"" + dir + "\"";
-    cmd += " \"" + tu.generic_string() + "\" > \"" + log.generic_string() +
-           "\" 2>&1";
-    if (std::system(cmd.c_str()) != 0) {
-      std::string detail;
-      std::ifstream log_in(log);
-      std::string line;
-      for (int n = 0; n < 3 && std::getline(log_in, line); ++n) {
-        if (!detail.empty()) detail += " | ";
-        detail += trim(line);
-      }
-      out.push_back(Violation{
-          display, 0, "header-standalone",
-          "header does not compile as a standalone TU (missing includes?): " +
-              detail,
-          ""});
+  {
+    std::ofstream tu_out(tu, std::ios::trunc);
+    tu_out << "#include \"" << spelling << "\"\n";
+  }
+  std::string cmd = opt.compiler + " " + opt.std_flag + " -fsyntax-only";
+  cmd += " -I\"" + include_dir + "\"";
+  for (const std::string& dir : opt.include_dirs) cmd += " -I\"" + dir + "\"";
+  cmd += " \"" + tu.generic_string() + "\" > \"" + log.generic_string() +
+         "\" 2>&1";
+  if (std::system(cmd.c_str()) != 0) {
+    result.ok = false;
+    std::ifstream log_in(log);
+    std::string line;
+    for (int n = 0; n < 3 && std::getline(log_in, line); ++n) {
+      if (!result.message.empty()) result.message += " | ";
+      result.message += trim(line);
     }
   }
   fs::remove_all(tmpdir, ec);
+  return result;
+}
+
+std::vector<Violation> check_headers_standalone(
+    const std::vector<std::filesystem::path>& headers,
+    const HeaderCheckOptions& opt) {
+  std::vector<Violation> out;
+  for (const fs::path& header : headers) {
+    if (header.extension() != ".hpp") continue;
+    const HeaderCheckResult r = check_one_header(header, opt);
+    if (!r.ok) {
+      out.push_back(Violation{
+          header.generic_string(), 0, "header-standalone",
+          "header does not compile as a standalone TU (missing includes?): " +
+              r.message,
+          ""});
+    }
+  }
   return out;
 }
 

@@ -62,7 +62,10 @@ struct Violation {
     const std::filesystem::path& path);
 
 /// Recursively collect .hpp/.cpp files under `root` (or `root` itself when it
-/// is a regular file), sorted for deterministic output.
+/// is a regular file), sorted for deterministic output.  Build trees
+/// (directories named build*) and hidden directories are pruned, so new
+/// top-level subdirectories under src/ are covered automatically without a
+/// hardcoded list.
 [[nodiscard]] std::vector<std::filesystem::path> collect_sources(
     const std::filesystem::path& root);
 
@@ -72,11 +75,22 @@ struct HeaderCheckOptions {
   std::vector<std::string> include_dirs;  ///< extra -I directories
 };
 
-/// Compile each header as a standalone TU (`#include "<header>"` only) with
+/// Result of compiling one header as a standalone TU.
+struct HeaderCheckResult {
+  bool ok = true;
+  std::string message;  ///< first compiler diagnostics when !ok
+};
+
+/// Compile `header` as a standalone TU (`#include "<header>"` only) with
 /// `-fsyntax-only`; a failure means the header is not self-contained.  The
 /// include path is the header's enclosing `src/` directory when one exists
 /// (matching the repo's `#include "core/x.hpp"` convention) plus
 /// `opt.include_dirs`.
+[[nodiscard]] HeaderCheckResult check_one_header(
+    const std::filesystem::path& header, const HeaderCheckOptions& opt);
+
+/// check_one_header over a file list (non-headers are skipped); failures
+/// become "header-standalone" violations.
 [[nodiscard]] std::vector<Violation> check_headers_standalone(
     const std::vector<std::filesystem::path>& headers,
     const HeaderCheckOptions& opt);

@@ -1,0 +1,124 @@
+// cslint flow-aware analysis — a lightweight structural parser over the
+// token stream (token.hpp) and the four rule families that run on it:
+//
+//   thread-affinity   functions/methods annotated `// cs: affinity(loop)`
+//                     may only be called from other loop-affine code or from
+//                     inside lambdas handed to post()/add()/set_tick() (which
+//                     run on the loop thread by construction).  A lambda can
+//                     also be declared loop-affine with the same annotation
+//                     on its intro line or the line above.
+//   must-use          a discarded call to a function returning
+//                     cs::Expected<...> or cs::Error is an error (pairs with
+//                     [[nodiscard]] on the types: the linter also covers
+//                     fixtures and code paths the compiler never sees).
+//   lock-order        the mutex acquisition graph (lexical nesting + calls
+//                     made while a guard is held, resolved through the call
+//                     graph) must be acyclic; a cycle is a latent ABBA
+//                     deadlock that TSan only catches with interleaving luck.
+//   blocking-in-loop  loop-affine code must not call blocking primitives:
+//                     direct solver entry points, connect/poll-style
+//                     syscalls, sleeps, joins, or future/condvar waits.
+//
+// The parser is structural, not a C++ front-end: it tracks namespaces,
+// classes, function bodies, lambdas, call sites, lock acquisitions, and
+// local/member variable types — enough to resolve `raw->conn->send(...)`
+// to cs::net::Conn::send without a real type checker.  Known limits (all
+// documented in DESIGN.md §11): calls through std::function values and
+// overload sets that disagree on a property are not resolved (false
+// negatives, never false positives).
+//
+// Suppression: `// cslint: allow(<rule>)` on the offending line or the line
+// above, exactly like the text rules.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cslint.hpp"
+
+namespace cs::lint {
+
+/// One call site inside a function or lambda body.
+struct FlowCall {
+  std::string callee;     ///< simple name ("send", "solve")
+  std::string receiver;   ///< receiver chain, outermost-first ("raw","conn")
+  std::string qualifier;  ///< explicit "A::B" qualification; "::" = global
+  std::size_t line = 0;
+  bool discards_result = false;  ///< whole statement is just this call
+  std::vector<std::string> held_mutexes;  ///< guards active at the call
+};
+
+/// A lexical lock-nesting edge: `to` acquired while `from` is held.
+struct FlowLockEdge {
+  std::string from;
+  std::string to;
+  std::size_t line = 0;
+};
+
+/// One function, method, or lambda body (or a pure declaration).
+struct FlowContext {
+  std::string name;        ///< qualified (ns::Class::fn); lambdas get
+                           ///< parent-name + "::<lambda@line>"
+  std::string simple;      ///< unqualified name ("" for lambdas)
+  std::string class_name;  ///< innermost enclosing class ("" = free)
+  std::string file;
+  std::size_t line = 0;
+  bool is_lambda = false;
+  bool loop_affine = false;      ///< `cs: affinity(loop)` (or inferred)
+  bool returns_must_use = false; ///< return type mentions Expected / Error
+  bool defined = false;          ///< has a body (false = declaration only)
+  std::vector<FlowCall> calls;
+  std::vector<std::string> direct_mutexes;  ///< mutexes acquired lexically
+  std::vector<FlowLockEdge> lock_edges;     ///< lexical nesting edges
+  /// Variable name -> type-name candidates (params, locals, for-decls).
+  std::unordered_map<std::string, std::vector<std::string>> var_types;
+};
+
+/// Everything the parser recovers from one source file.
+struct FileModel {
+  std::string path;                     ///< display path (as passed in)
+  std::vector<std::string> raw_lines;   ///< for allow() checks + excerpts
+  std::vector<FlowContext> contexts;
+  /// Class name -> member variable -> type-name candidates.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<std::string>>>
+      members;
+  std::vector<std::string> includes;  ///< quoted #include spellings
+};
+
+/// Parse one in-memory source into its structural model.
+[[nodiscard]] FileModel parse_file_model(std::string display_path,
+                                         std::string_view content);
+
+struct FlowOptions {
+  bool thread_affinity = true;
+  bool must_use = true;
+  bool lock_order = true;
+  bool blocking_in_loop = true;
+};
+
+/// Whole-program driver: add every source, then run() resolves calls across
+/// files (affinity seeds in headers apply to call sites in .cpp files, the
+/// lock graph unions per-TU edges) and evaluates the four rule families.
+class FlowAnalyzer {
+ public:
+  void add_source(std::string display_path, std::string_view content);
+  [[nodiscard]] std::vector<Violation> run(const FlowOptions& opt = {}) const;
+
+  [[nodiscard]] const std::vector<FileModel>& files() const noexcept {
+    return files_;
+  }
+
+ private:
+  std::vector<FileModel> files_;
+};
+
+/// Single-file convenience for tests: parse + analyze one source alone.
+[[nodiscard]] std::vector<Violation> lint_flow(std::string_view display_path,
+                                               std::string_view content,
+                                               const FlowOptions& opt = {});
+
+}  // namespace cs::lint

@@ -1,30 +1,61 @@
 // cslint CLI — lint one or more files/directories against the repo's
-// invariant rules (see cslint.hpp for the rule list).
+// invariant rules: the text rules (cslint.hpp), the flow-aware rule
+// families (flow.hpp), and the header-standalone compile check.
 //
-//   cslint src/                          # text rules + header standalone
-//   cslint --no-headers src/engine/      # text rules only
-//   cslint --compiler g++ -I src src/    # explicit compiler / include dirs
+//   cslint src/                               # everything, full rescan
+//   cslint --cache build/cslint-cache.txt src/  # incremental header checks
+//   cslint --sarif build/cslint.sarif src/    # + SARIF 2.1.0 artifact
+//   cslint --baseline tools/cslint/baseline.txt src/
+//   cslint --strict --baseline ... src/       # ignore cache, full rescan
+//   cslint --no-headers --no-flow src/engine/ # text rules only
 //
 // Exit status: 0 = clean, 1 = violations found, 2 = usage error.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cache.hpp"
 #include "cslint.hpp"
+#include "flow.hpp"
+#include "sarif.hpp"
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: cslint [--no-headers] [--compiler PATH] [--std FLAG]\n"
-               "              [-I DIR]... PATH...\n";
+  std::cerr
+      << "usage: cslint [--no-headers] [--no-flow] [--strict]\n"
+         "              [--compiler PATH] [--std FLAG] [-I DIR]...\n"
+         "              [--cache FILE] [--sarif FILE] [--baseline FILE]\n"
+         "              [--write-baseline] PATH...\n";
   return 2;
+}
+
+std::string read_file(const std::filesystem::path& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return std::move(ss).str();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool check_headers = true;
+  bool run_flow = true;
+  bool strict = false;
+  bool write_baseline = false;
+  std::string cache_file;
+  std::string sarif_file;
+  std::string baseline_file;
   cs::lint::HeaderCheckOptions hdr;
   if (const char* cxx = std::getenv("CXX"); cxx != nullptr && *cxx != '\0')
     hdr.compiler = cxx;
@@ -34,12 +65,24 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--no-headers") {
       check_headers = false;
+    } else if (arg == "--no-flow") {
+      run_flow = false;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
     } else if (arg == "--compiler" && i + 1 < argc) {
       hdr.compiler = argv[++i];
     } else if (arg == "--std" && i + 1 < argc) {
       hdr.std_flag = "-std=" + std::string(argv[++i]);
     } else if (arg == "-I" && i + 1 < argc) {
       hdr.include_dirs.emplace_back(argv[++i]);
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_file = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_file = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_file = argv[++i];
     } else if (arg == "--help" || arg == "-h" || arg.rfind('-', 0) == 0) {
       return usage();
     } else {
@@ -47,9 +90,12 @@ int main(int argc, char** argv) {
     }
   }
   if (roots.empty()) return usage();
+  if (write_baseline && baseline_file.empty()) {
+    std::cerr << "cslint: --write-baseline requires --baseline FILE\n";
+    return 2;
+  }
 
-  std::vector<cs::lint::Violation> violations;
-  std::size_t files = 0;
+  // ---- collect + read every source once -----------------------------------
   std::vector<std::filesystem::path> all_sources;
   for (const std::string& root : roots) {
     const auto sources = cs::lint::collect_sources(root);
@@ -57,16 +103,115 @@ int main(int argc, char** argv) {
       std::cerr << "cslint: no .hpp/.cpp sources under '" << root << "'\n";
       return 2;
     }
-    for (const auto& path : sources) {
-      ++files;
-      auto v = cs::lint::lint_file(path);
-      violations.insert(violations.end(), v.begin(), v.end());
-    }
     all_sources.insert(all_sources.end(), sources.begin(), sources.end());
   }
-  if (check_headers) {
-    auto v = cs::lint::check_headers_standalone(all_sources, hdr);
+
+  std::vector<cs::lint::Violation> violations;
+  cs::lint::FlowAnalyzer analyzer;
+  std::vector<std::pair<std::filesystem::path, std::string>> contents;
+  contents.reserve(all_sources.size());
+  for (const auto& path : all_sources) {
+    bool ok = false;
+    std::string content = read_file(path, &ok);
+    if (!ok) {
+      violations.push_back(cs::lint::Violation{
+          path.generic_string(), 0, "io", "cannot open file for reading", ""});
+      continue;
+    }
+    // Text rules.
+    auto v = cs::lint::lint_source(path.generic_string(), content);
     violations.insert(violations.end(), v.begin(), v.end());
+    // Structural model (flow rules + include-closure hashing).
+    analyzer.add_source(path.generic_string(), content);
+    contents.emplace_back(path, std::move(content));
+  }
+
+  // ---- flow rules ---------------------------------------------------------
+  if (run_flow) {
+    auto v = analyzer.run();
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+
+  // ---- header-standalone, cached on the include-closure hash --------------
+  std::size_t headers_checked = 0;
+  std::size_t headers_cached = 0;
+  if (check_headers) {
+    cs::lint::IncludeHasher hasher;
+    for (const auto& [path, content] : contents) {
+      const cs::lint::FileModel* fm = nullptr;
+      for (const cs::lint::FileModel& m : analyzer.files())
+        if (m.path == path.generic_string()) {
+          fm = &m;
+          break;
+        }
+      hasher.add_file(path.generic_string(), content,
+                      fm != nullptr ? fm->includes
+                                    : std::vector<std::string>{});
+    }
+
+    cs::lint::HeaderCache cache;
+    if (!cache_file.empty() && !strict) cache.load(cache_file);
+    for (const auto& [path, content] : contents) {
+      if (path.extension() != ".hpp") continue;
+      const std::uint64_t hash =
+          cs::lint::fnv1a64(hdr.compiler + hdr.std_flag,
+                            hasher.closure_hash(path.generic_string()));
+      bool ok = true;
+      std::string message;
+      if (cache.lookup(path.generic_string(), hash, &ok, &message)) {
+        ++headers_cached;
+      } else {
+        ++headers_checked;
+        const cs::lint::HeaderCheckResult r =
+            cs::lint::check_one_header(path, hdr);
+        ok = r.ok;
+        message = r.message;
+        cache.put(path.generic_string(), hash, ok, message);
+      }
+      if (!ok) {
+        violations.push_back(cs::lint::Violation{
+            path.generic_string(), 0, "header-standalone",
+            "header does not compile as a standalone TU (missing "
+            "includes?): " +
+                message,
+            ""});
+      }
+    }
+    if (!cache_file.empty()) cache.save(cache_file);
+  }
+
+  // ---- baseline -----------------------------------------------------------
+  std::size_t baselined = 0;
+  if (!baseline_file.empty()) {
+    cs::lint::Baseline baseline;
+    if (write_baseline) {
+      for (const auto& v : violations) baseline.add(v);
+      baseline.save(baseline_file);
+      std::cout << "cslint: wrote " << baseline.size() << " baseline key(s) to "
+                << baseline_file << '\n';
+      return 0;
+    }
+    baseline.load(baseline_file);
+    std::vector<cs::lint::Violation> kept;
+    kept.reserve(violations.size());
+    for (auto& v : violations) {
+      if (baseline.contains(v)) {
+        ++baselined;
+      } else {
+        kept.push_back(std::move(v));
+      }
+    }
+    violations = std::move(kept);
+  }
+
+  // ---- output -------------------------------------------------------------
+  if (!sarif_file.empty()) {
+    std::ofstream out(sarif_file, std::ios::trunc);
+    if (out) {
+      out << cs::lint::to_sarif(violations);
+    } else {
+      std::cerr << "cslint: cannot write SARIF to '" << sarif_file << "'\n";
+    }
   }
 
   for (const auto& v : violations) {
@@ -74,8 +219,26 @@ int main(int argc, char** argv) {
               << v.message << '\n';
     if (!v.excerpt.empty()) std::cout << "    " << v.excerpt << '\n';
   }
+
+  // Per-rule counts: the four flow families always (so CI tables have stable
+  // rows), plus any other rule that fired.
+  std::map<std::string, std::size_t> counts = {{"thread-affinity", 0},
+                                               {"must-use", 0},
+                                               {"lock-order", 0},
+                                               {"blocking-in-loop", 0}};
+  for (const auto& v : violations) ++counts[v.rule];
+  std::cout << "cslint: rule-counts:";
+  for (const auto& [rule, n] : counts) std::cout << ' ' << rule << '=' << n;
+  std::cout << '\n';
+
   std::cout << "cslint: " << violations.size() << " violation(s) across "
-            << files << " file(s)"
-            << (check_headers ? " (header standalone check on)" : "") << '\n';
+            << contents.size() << " file(s)";
+  if (baselined > 0) std::cout << " (" << baselined << " baselined)";
+  if (check_headers) {
+    std::cout << " (headers: " << headers_checked << " compiled, "
+              << headers_cached << " cached"
+              << (strict ? ", strict rescan" : "") << ")";
+  }
+  std::cout << '\n';
   return violations.empty() ? 0 : 1;
 }

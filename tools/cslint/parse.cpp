@@ -1,0 +1,904 @@
+// Structural parser: token stream -> FileModel (see flow.hpp).  One forward
+// pass with an explicit scope stack; no backtracking beyond bounded look-
+// behind at '(' and '{'.  It is deliberately NOT a C++ grammar — it only
+// recovers the structure the rules need (functions, lambdas, call sites,
+// lock acquisitions, variable types) and degrades to "unresolved" on
+// anything exotic, which the rules treat as silence, never as a finding.
+#include <algorithm>
+#include <unordered_set>
+
+#include "flow.hpp"
+#include "token.hpp"
+
+namespace cs::lint {
+
+namespace {
+
+const std::unordered_set<std::string> kStmtKeywords = {
+    "if",     "for",      "while",  "switch",   "catch",  "do",
+    "else",   "return",   "throw",  "delete",   "new",    "case",
+    "goto",   "break",    "continue", "using",  "typedef", "namespace",
+    "sizeof", "alignof",  "decltype", "noexcept", "static_assert",
+    "co_return", "co_await", "co_yield",
+};
+
+const std::unordered_set<std::string> kNotCallees = {
+    "if",     "for",    "while",    "switch",  "catch",    "return",
+    "sizeof", "alignof", "decltype", "noexcept", "assert", "static_assert",
+    "alignas", "throw",
+};
+
+const std::unordered_set<std::string> kTypeNoise = {
+    "const",  "constexpr", "static", "inline", "mutable", "volatile",
+    "auto",   "unsigned",  "signed", "struct", "class",   "typename",
+    "std",    "explicit",  "virtual", "friend", "extern",  "register",
+    "thread_local", "nodiscard", "maybe_unused", "noexcept", "override",
+    "final",
+};
+
+const std::unordered_set<std::string> kGuardTypes = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+
+bool has_affinity_loop(std::string_view comment) {
+  const std::size_t tag = comment.find("cs:");
+  if (tag == std::string_view::npos) return false;
+  const std::size_t aff = comment.find("affinity(", tag);
+  if (aff == std::string_view::npos) return false;
+  return comment.compare(aff + 9, 4, "loop") == 0;
+}
+
+struct Scope {
+  enum class Kind { Namespace, Class, Enum, Function, Lambda, Block };
+  Kind kind = Kind::Block;
+  std::string name;        ///< namespace path / class name segment
+  int context = -1;        ///< contexts index (Function/Lambda)
+  std::size_t paren_base = 0;  ///< paren depth at entry = "statement level"
+};
+
+struct Guard {
+  std::string mutex_id;
+  std::size_t scope_depth = 0;  ///< scopes.size() when acquired
+};
+
+/// One open '(' being tracked; call frames carry the callee info captured
+/// by look-behind when the paren opened.
+struct ParenFrame {
+  bool is_call = false;
+  int call_ctx = -1;    ///< contexts index the call was recorded in
+  int call_idx = -1;    ///< index into that context's calls
+  std::size_t open_tok = 0;
+};
+
+struct PendingLambda {
+  bool active = false;
+  bool affine = false;
+  std::size_t line = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string display_path, std::string_view content)
+      : content_(content) {
+    model_.path = std::move(display_path);
+  }
+
+  FileModel run() {
+    split_raw_lines();
+    toks_ = tokenize(content_);
+    collect_comment_annotations();
+    collect_includes();
+    parse();
+    return std::move(model_);
+  }
+
+ private:
+  // ---------------------------------------------------------------- setup
+  void split_raw_lines() {
+    std::size_t pos = 0;
+    while (pos <= content_.size()) {
+      const std::size_t nl = content_.find('\n', pos);
+      if (nl == std::string_view::npos) {
+        model_.raw_lines.emplace_back(content_.substr(pos));
+        break;
+      }
+      model_.raw_lines.emplace_back(content_.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+  }
+
+  void collect_comment_annotations() {
+    for (const Token& t : toks_) {
+      if (t.kind != Tok::Comment) continue;
+      if (has_affinity_loop(t.text)) {
+        // A block comment can span lines; the annotation binds to every
+        // line it covers (conservatively: start line only plus newlines).
+        std::size_t line = t.line;
+        affinity_lines_.insert(line);
+        for (char ch : t.text)
+          if (ch == '\n') affinity_lines_.insert(++line);
+      }
+    }
+  }
+
+  void collect_includes() {
+    for (const Token& t : toks_) {
+      if (t.kind != Tok::Preproc) continue;
+      if (t.text.find("include") == std::string::npos) continue;
+      const std::size_t open = t.text.find('"');
+      if (open == std::string::npos) continue;
+      const std::size_t close = t.text.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      model_.includes.push_back(t.text.substr(open + 1, close - open - 1));
+    }
+  }
+
+  bool line_is_affine(std::size_t line) const {
+    return affinity_lines_.count(line) > 0 ||
+           (line > 1 && affinity_lines_.count(line - 1) > 0);
+  }
+
+  // ------------------------------------------------------------- helpers
+  const std::string& text(std::size_t i) const { return toks_[i].text; }
+  bool is_ident(std::size_t i) const { return toks_[i].kind == Tok::Ident; }
+  bool is_punct(std::size_t i, const char* p) const {
+    return toks_[i].kind == Tok::Punct && toks_[i].text == p;
+  }
+
+  FlowContext* current_ctx() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->context >= 0)
+        return &model_.contexts[static_cast<std::size_t>(it->context)];
+    }
+    return nullptr;
+  }
+  int current_ctx_index() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+      if (it->context >= 0) return it->context;
+    return -1;
+  }
+
+  std::string current_class() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+      if (it->kind == Scope::Kind::Class) return it->name;
+    return "";
+  }
+
+  std::string qualified_prefix() const {
+    std::string out;
+    for (const Scope& s : scopes_) {
+      if ((s.kind == Scope::Kind::Namespace || s.kind == Scope::Kind::Class) &&
+          !s.name.empty()) {
+        if (!out.empty()) out += "::";
+        out += s.name;
+      }
+    }
+    return out;
+  }
+
+  // ------------------------------------------------- statement machinery
+  //
+  // stmt_ holds indices of non-comment tokens since the last boundary
+  // (';', '{', '}') at the current scope's statement level.
+
+  /// Prev non-comment token index before `i`, or npos.
+  std::size_t prev_tok(std::size_t i) const {
+    while (i > 0) {
+      --i;
+      if (toks_[i].kind != Tok::Comment && toks_[i].kind != Tok::Preproc)
+        return i;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+  std::size_t next_tok(std::size_t i) const {
+    for (std::size_t j = i + 1; j < toks_.size(); ++j)
+      if (toks_[j].kind != Tok::Comment && toks_[j].kind != Tok::Preproc)
+        return j;
+    return static_cast<std::size_t>(-1);
+  }
+
+  bool stmt_has(const char* punct_or_ident) const {
+    for (std::size_t idx : stmt_)
+      if (text(idx) == punct_or_ident) return true;
+    return false;
+  }
+
+  // ----------------------------------------------------- call extraction
+  /// At `open` (a '(' token), look behind for a call expression and record
+  /// it.  Returns the frame to push.
+  ParenFrame make_paren_frame(std::size_t open) {
+    ParenFrame frame;
+    frame.open_tok = open;
+    const std::size_t callee_i = prev_tok(open);
+    if (callee_i == static_cast<std::size_t>(-1) || !is_ident(callee_i) ||
+        kNotCallees.count(text(callee_i)) > 0)
+      return frame;
+
+    FlowCall call;
+    call.callee = text(callee_i);
+    call.line = toks_[callee_i].line;
+
+    // Walk back through the receiver chain / qualifier.
+    std::size_t j = callee_i;
+    std::vector<std::string> chain;
+    bool chain_broken = false;
+    while (true) {
+      const std::size_t sep = prev_tok(j);
+      if (sep == static_cast<std::size_t>(-1)) break;
+      if (is_punct(sep, ".") || is_punct(sep, "->")) {
+        std::size_t r = prev_tok(sep);
+        // Skip one balanced [...] subscript.
+        if (r != static_cast<std::size_t>(-1) && is_punct(r, "]")) {
+          int depth = 1;
+          while (r != static_cast<std::size_t>(-1) && depth > 0) {
+            r = prev_tok(r);
+            if (r == static_cast<std::size_t>(-1)) break;
+            if (is_punct(r, "]")) ++depth;
+            if (is_punct(r, "[")) --depth;
+          }
+          if (r != static_cast<std::size_t>(-1)) r = prev_tok(r);
+        }
+        if (r != static_cast<std::size_t>(-1) && is_ident(r)) {
+          chain.insert(chain.begin(), text(r));
+          j = r;
+          continue;
+        }
+        chain_broken = true;  // e.g. `f().g(...)` — receiver is a temporary
+        break;
+      }
+      if (is_punct(sep, "::")) {
+        // Qualified call: collect `a::b::` backwards.
+        std::string qual;
+        std::size_t q = sep;
+        while (true) {
+          const std::size_t id = prev_tok(q);
+          if (id == static_cast<std::size_t>(-1) || !is_ident(id)) {
+            if (qual.empty()) qual = "::";  // leading-:: global call
+            break;
+          }
+          qual = text(id) + (qual.empty() ? "" : "::" + qual);
+          const std::size_t sep2 = prev_tok(id);
+          if (sep2 == static_cast<std::size_t>(-1) || !is_punct(sep2, "::"))
+            break;
+          q = sep2;
+        }
+        call.qualifier = qual;
+        break;
+      }
+      break;
+    }
+    if (!chain.empty() && !chain_broken) {
+      if (chain.front() == "this") chain.erase(chain.begin());
+      call.receiver = {};
+      for (std::size_t k = 0; k < chain.size(); ++k)
+        call.receiver += (k ? "." : "") + chain[k];
+    } else if (chain_broken) {
+      call.receiver = "?";
+    }
+
+    const int ctx = current_ctx_index();
+    if (ctx < 0) return frame;  // calls at class/namespace scope: ignore
+
+    FlowContext& c = model_.contexts[static_cast<std::size_t>(ctx)];
+    for (const Guard& g : guards_) call.held_mutexes.push_back(g.mutex_id);
+    c.calls.push_back(std::move(call));
+    frame.is_call = true;
+    frame.call_ctx = ctx;
+    frame.call_idx = static_cast<int>(c.calls.size()) - 1;
+    return frame;
+  }
+
+  // -------------------------------------------------------- declarations
+  /// Extract `types... name` from a token-index range; returns false when
+  /// the range does not look like a declaration.
+  bool extract_decl(const std::vector<std::size_t>& range, std::string* name,
+                    std::vector<std::string>* types) const {
+    std::string last_ident;
+    std::vector<std::string> idents;
+    for (std::size_t idx : range) {
+      if (!is_ident(idx)) continue;
+      if (!last_ident.empty()) idents.push_back(last_ident);
+      last_ident = text(idx);
+    }
+    if (last_ident.empty() || idents.empty()) return false;
+    types->clear();
+    for (const std::string& t : idents)
+      if (kTypeNoise.count(t) == 0) types->push_back(t);
+    if (types->empty()) return false;
+    *name = last_ident;
+    return true;
+  }
+
+  /// Try to register a local/member variable declaration from stmt_.
+  void try_var_decl() {
+    if (stmt_.empty()) return;
+    if (!is_ident(stmt_[0]) || kStmtKeywords.count(text(stmt_[0])) > 0) return;
+    // Left-hand side: up to the first '=', '(' or '{'.
+    std::vector<std::size_t> left;
+    for (std::size_t idx : stmt_) {
+      if (is_punct(idx, "=") || is_punct(idx, "(") || is_punct(idx, "{"))
+        break;
+      left.push_back(idx);
+    }
+    if (left.size() < 2) return;
+    std::string name;
+    std::vector<std::string> types;
+    if (!extract_decl(left, &name, &types)) return;
+    if (FlowContext* ctx = current_ctx()) {
+      if (ctx->var_types.count(name) == 0) ctx->var_types[name] = types;
+    } else if (!current_class().empty()) {
+      auto& members = model_.members[current_class()];
+      if (members.count(name) == 0) members[name] = types;
+    }
+  }
+
+  /// Register declarations from an if/for/while header's parens, e.g.
+  /// `for (Session* s : idle)`.
+  void try_header_decl() {
+    std::size_t open = static_cast<std::size_t>(-1);
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      if (is_punct(stmt_[k], "(")) {
+        open = k;
+        break;
+      }
+    }
+    if (open == static_cast<std::size_t>(-1)) return;
+    std::vector<std::size_t> left;
+    for (std::size_t k = open + 1; k < stmt_.size(); ++k) {
+      const std::size_t idx = stmt_[k];
+      if (is_punct(idx, ":") || is_punct(idx, "=") || is_punct(idx, ";") ||
+          is_punct(idx, ")"))
+        break;
+      left.push_back(idx);
+    }
+    std::string name;
+    std::vector<std::string> types;
+    if (!extract_decl(left, &name, &types)) return;
+    if (FlowContext* ctx = current_ctx())
+      if (ctx->var_types.count(name) == 0) ctx->var_types[name] = types;
+  }
+
+  // ----------------------------------------------------- lock detection
+  /// Resolve the first identifier of a member-ish expression to a class
+  /// name, for mutex identity ("shard.mutex" in ShardedLruCache::get ->
+  /// "Shard::mutex").
+  std::string resolve_expr_class(const std::vector<std::string>& idents) {
+    if (idents.empty()) return "";
+    const FlowContext* ctx = current_ctx_const();
+    std::vector<std::string> types;
+    if (ctx != nullptr) {
+      const auto it = ctx->var_types.find(idents.front());
+      if (it != ctx->var_types.end()) types = it->second;
+    }
+    if (types.empty() && ctx != nullptr && !ctx->class_name.empty()) {
+      const auto cit = model_.members.find(ctx->class_name);
+      if (cit != model_.members.end()) {
+        const auto vit = cit->second.find(idents.front());
+        if (vit != cit->second.end()) types = vit->second;
+      }
+    }
+    // The last type token is the most specific candidate (e.g. "Shard" in
+    // `std::vector<std::unique_ptr<Shard>>`).
+    for (auto it = types.rbegin(); it != types.rend(); ++it)
+      if (kTypeNoise.count(*it) == 0) return *it;
+    return "";
+  }
+
+  const FlowContext* current_ctx_const() const {
+    const int i = current_ctx_index();
+    return i < 0 ? nullptr
+                 : &model_.contexts[static_cast<std::size_t>(i)];
+  }
+
+  std::string mutex_id_for(const std::vector<std::size_t>& arg) {
+    std::vector<std::string> idents;
+    for (std::size_t idx : arg) {
+      if (!is_ident(idx)) continue;
+      const std::string& t = text(idx);
+      if (t == "this" || t == "std") continue;
+      idents.push_back(t);
+    }
+    if (idents.empty()) return "";
+    const std::string leaf = idents.back();
+    const FlowContext* ctx = current_ctx_const();
+
+    if (idents.size() >= 2) {
+      // Member-ish expression (`shard.mutex`): owner is the resolved class
+      // of the prefix, else the enclosing class.
+      std::string owner = resolve_expr_class(idents);
+      if (owner.empty() && ctx != nullptr) owner = ctx->class_name;
+      if (owner.empty()) owner = ctx != nullptr ? ctx->name : model_.path;
+      return owner + "::" + leaf;
+    }
+    // Single identifier: a function-local mutex is scoped by the function, a
+    // member (or class-static) by the enclosing class, and a namespace-scope
+    // mutex stays bare so every function sharing it agrees on its identity.
+    if (ctx != nullptr && ctx->var_types.count(leaf) > 0)
+      return ctx->name + "::" + leaf;
+    if (ctx != nullptr && !ctx->class_name.empty())
+      return ctx->class_name + "::" + leaf;
+    return leaf;
+  }
+
+  /// Detect `std::lock_guard<std::mutex> name(args);`-style acquisitions in
+  /// stmt_ and register guards + lexical nesting edges.
+  void try_lock_acquisition(std::size_t line) {
+    FlowContext* ctx = current_ctx();
+    if (ctx == nullptr) return;
+    std::size_t g = static_cast<std::size_t>(-1);
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      if (is_ident(stmt_[k]) && kGuardTypes.count(text(stmt_[k])) > 0) {
+        g = k;
+        break;
+      }
+    }
+    if (g == static_cast<std::size_t>(-1)) return;
+    // Skip template args, find declarator name then '(' args ')'.
+    std::size_t k = g + 1;
+    int angle = 0;
+    while (k < stmt_.size()) {
+      if (is_punct(stmt_[k], "<")) ++angle;
+      else if (is_punct(stmt_[k], ">")) --angle;
+      else if (angle == 0 && is_ident(stmt_[k])) break;
+      ++k;
+    }
+    if (k >= stmt_.size()) return;          // no declarator
+    const std::size_t open = k + 1;
+    if (open >= stmt_.size() ||
+        !(is_punct(stmt_[open], "(") || is_punct(stmt_[open], "{")))
+      return;  // `unique_lock lk;` (deferred) — no acquisition here
+    // Split args on top-level commas.
+    std::vector<std::vector<std::size_t>> args(1);
+    int depth = 0;
+    for (std::size_t a = open + 1; a < stmt_.size(); ++a) {
+      const std::size_t idx = stmt_[a];
+      if (is_punct(idx, "(") || is_punct(idx, "{") || is_punct(idx, "["))
+        ++depth;
+      else if (is_punct(idx, ")") || is_punct(idx, "}") || is_punct(idx, "]")) {
+        if (depth == 0) break;
+        --depth;
+      } else if (depth == 0 && is_punct(idx, ",")) {
+        args.emplace_back();
+        continue;
+      }
+      args.back().push_back(idx);
+    }
+    for (const auto& arg : args) {
+      // std::adopt_lock / std::defer_lock tags are not mutexes.
+      if (arg.size() == 1 && is_ident(arg[0]) &&
+          (text(arg[0]).find("_lock") != std::string::npos))
+        continue;
+      const std::string id = mutex_id_for(arg);
+      if (id.empty()) continue;
+      for (const Guard& held : guards_)
+        ctx->lock_edges.push_back(FlowLockEdge{held.mutex_id, id, line});
+      ctx->direct_mutexes.push_back(id);
+      guards_.push_back(Guard{id, scopes_.size()});
+    }
+  }
+
+  // ----------------------------------------------- function classification
+  struct FuncHeader {
+    bool ok = false;
+    std::string simple;
+    std::vector<std::string> qualifiers;
+    bool must_use = false;
+    std::size_t name_tok = 0;
+    std::size_t paren_tok = 0;  ///< stmt_ index of the parameter-list '('
+  };
+
+  FuncHeader classify_function() const {
+    FuncHeader h;
+    if (stmt_.empty()) return h;
+    std::size_t start = 0;
+    if (is_ident(stmt_[0]) && text(stmt_[0]) == "template") {
+      // Skip the balanced template parameter list.
+      int angle = 0;
+      std::size_t k = 1;
+      for (; k < stmt_.size(); ++k) {
+        if (is_punct(stmt_[k], "<")) ++angle;
+        else if (is_punct(stmt_[k], ">")) {
+          if (--angle == 0) {
+            ++k;
+            break;
+          }
+        }
+      }
+      start = k;
+    }
+    if (start >= stmt_.size()) return h;
+    if (is_ident(stmt_[start]) && kStmtKeywords.count(text(stmt_[start])) > 0)
+      return h;
+    // First '(' outside template angles; reject a top-level '=' before it.
+    int angle = 0;
+    std::size_t p = static_cast<std::size_t>(-1);
+    for (std::size_t k = start; k < stmt_.size(); ++k) {
+      if (is_punct(stmt_[k], "<")) ++angle;
+      else if (is_punct(stmt_[k], ">") && angle > 0) --angle;
+      else if (is_punct(stmt_[k], "=") && angle == 0) return h;
+      else if (is_punct(stmt_[k], "(") && angle == 0) {
+        p = k;
+        break;
+      }
+    }
+    if (p == static_cast<std::size_t>(-1) || p == start) return h;
+    std::size_t name_i = p - 1;
+    if (!is_ident(stmt_[name_i])) return h;
+    std::string simple = text(stmt_[name_i]);
+    if (kNotCallees.count(simple) > 0 || simple == "operator") return h;
+    // Destructor: `~Name(`.
+    std::size_t q = name_i;
+    if (q > start && is_punct(stmt_[q - 1], "~")) {
+      simple = "~" + simple;
+      --q;
+    }
+    // Qualifiers: `A::B::name`.
+    while (q >= start + 2 && is_punct(stmt_[q - 1], "::") &&
+           is_ident(stmt_[q - 2])) {
+      h.qualifiers.insert(h.qualifiers.begin(), text(stmt_[q - 2]));
+      q -= 2;
+    }
+    // Return type tokens: [start, q) — must-use when they mention the
+    // Expected/Error result types.
+    for (std::size_t k = start; k < q; ++k) {
+      if (!is_ident(stmt_[k])) continue;
+      if (text(stmt_[k]) == "Expected" || text(stmt_[k]) == "Error")
+        h.must_use = true;
+    }
+    h.ok = true;
+    h.simple = std::move(simple);
+    h.name_tok = stmt_[name_i];
+    h.paren_tok = p;
+    return h;
+  }
+
+  /// Register a function context from a classified header.  `defined` says
+  /// whether a body follows.
+  int register_function(const FuncHeader& h, bool defined,
+                        std::size_t end_line) {
+    FlowContext ctx;
+    ctx.simple = h.simple;
+    ctx.file = model_.path;
+    ctx.line = toks_[h.name_tok].line;
+    ctx.defined = defined;
+    if (!h.qualifiers.empty())
+      ctx.class_name = h.qualifiers.back();
+    else
+      ctx.class_name = current_class();
+    std::string prefix = qualified_prefix();
+    for (const std::string& q : h.qualifiers) {
+      if (!prefix.empty()) prefix += "::";
+      prefix += q;
+    }
+    ctx.name = prefix.empty() ? h.simple : prefix + "::" + h.simple;
+    ctx.returns_must_use = h.must_use;
+    // Affinity: annotation on any header line, or the line above the first.
+    const std::size_t first_line = toks_[stmt_.front()].line;
+    for (std::size_t l = first_line > 1 ? first_line - 1 : 1; l <= end_line;
+         ++l) {
+      if (affinity_lines_.count(l) > 0) {
+        ctx.loop_affine = true;
+        break;
+      }
+    }
+    // Parameters: `types name` split on top-level commas.
+    if (defined) {
+      int depth = 0;
+      std::vector<std::size_t> param;
+      auto flush_param = [&] {
+        std::string name;
+        std::vector<std::string> types;
+        // Drop a trailing `= default_value` part.
+        std::vector<std::size_t> left;
+        for (std::size_t idx : param) {
+          if (is_punct(idx, "=")) break;
+          left.push_back(idx);
+        }
+        if (left.size() >= 2 && extract_decl(left, &name, &types))
+          ctx.var_types[name] = types;
+        param.clear();
+      };
+      for (std::size_t k = h.paren_tok + 1; k < stmt_.size(); ++k) {
+        const std::size_t idx = stmt_[k];
+        if (is_punct(idx, "(") || is_punct(idx, "<")) ++depth;
+        else if (is_punct(idx, ">")) { if (depth > 0) --depth; }
+        else if (is_punct(idx, ")")) {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (depth == 0 && is_punct(idx, ",")) {
+          flush_param();
+          continue;
+        }
+        param.push_back(idx);
+      }
+      flush_param();
+    }
+    model_.contexts.push_back(std::move(ctx));
+    return static_cast<int>(model_.contexts.size()) - 1;
+  }
+
+  // -------------------------------------------------------------- driver
+  void parse() {
+    scopes_.push_back(Scope{Scope::Kind::Namespace, "", -1, 0});
+    for (i_ = 0; i_ < toks_.size(); ++i_) {
+      const Token& t = toks_[i_];
+      if (t.kind == Tok::Comment || t.kind == Tok::Preproc) continue;
+
+      if (t.kind == Tok::Punct) {
+        const std::string& p = t.text;
+        if (p == "(") {
+          parens_.push_back(make_paren_frame(i_));
+          stmt_.push_back(i_);
+          continue;
+        }
+        if (p == ")") {
+          if (!parens_.empty()) {
+            const ParenFrame frame = parens_.back();
+            parens_.pop_back();
+            if (frame.is_call)
+              last_call_ = LastCall{frame.call_ctx, frame.call_idx,
+                                    frame.open_tok, i_};
+          }
+          stmt_.push_back(i_);
+          continue;
+        }
+        if (p == "[") {
+          // Lambda-intro detection (vs subscript / attribute).
+          const std::size_t prev = prev_tok(i_);
+          const std::size_t next = next_tok(i_);
+          const bool subscript =
+              prev != static_cast<std::size_t>(-1) &&
+              (is_ident(prev) || toks_[prev].kind == Tok::Number ||
+               is_punct(prev, ")") || is_punct(prev, "]") ||
+               toks_[prev].kind == Tok::Str);
+          const bool attribute =
+              (next != static_cast<std::size_t>(-1) && is_punct(next, "[")) ||
+              (prev != static_cast<std::size_t>(-1) && is_punct(prev, "["));
+          if (!subscript && !attribute) {
+            pending_lambda_.active = true;
+            pending_lambda_.line = t.line;
+            pending_lambda_.affine = line_is_affine(t.line);
+            // A lambda handed straight to post()/add()/set_tick() runs on
+            // the loop thread by construction.
+            for (auto it = parens_.rbegin(); it != parens_.rend(); ++it) {
+              if (!it->is_call) continue;
+              const FlowCall& call =
+                  model_.contexts[static_cast<std::size_t>(it->call_ctx)]
+                      .calls[static_cast<std::size_t>(it->call_idx)];
+              if (call.callee == "post" || call.callee == "add" ||
+                  call.callee == "set_tick")
+                pending_lambda_.affine = true;
+              break;
+            }
+          }
+          stmt_.push_back(i_);
+          continue;
+        }
+        if (p == "{") {
+          open_brace(t.line);
+          continue;
+        }
+        if (p == "}") {
+          close_brace();
+          continue;
+        }
+        if (p == ";" && parens_.size() == scopes_.back().paren_base) {
+          flush_statement(t.line);
+          continue;
+        }
+        if (p == ":" && scopes_.back().kind == Scope::Kind::Class &&
+            stmt_.size() == 1 && is_ident(stmt_[0]) &&
+            (text(stmt_[0]) == "public" || text(stmt_[0]) == "private" ||
+             text(stmt_[0]) == "protected")) {
+          stmt_.clear();
+          continue;
+        }
+        stmt_.push_back(i_);
+        continue;
+      }
+
+      stmt_.push_back(i_);
+    }
+  }
+
+  void flush_statement(std::size_t line) {
+    const Scope::Kind k = scopes_.back().kind;
+    if (k == Scope::Kind::Function || k == Scope::Kind::Lambda ||
+        k == Scope::Kind::Block) {
+      try_lock_acquisition(line);
+      try_var_decl();
+      mark_discarded_call();
+    } else if (k == Scope::Kind::Class || k == Scope::Kind::Namespace) {
+      if (stmt_has("(")) {
+        const FuncHeader h = classify_function();
+        if (h.ok) register_function(h, /*defined=*/false, line);
+      } else if (k == Scope::Kind::Class) {
+        try_var_decl();
+      }
+    }
+    stmt_.clear();
+    pending_lambda_.active = false;
+    last_call_ = LastCall{};
+  }
+
+  void mark_discarded_call() {
+    if (last_call_.ctx < 0 || stmt_.empty()) return;
+    if (!is_ident(stmt_[0]) || kStmtKeywords.count(text(stmt_[0])) > 0) return;
+    if (stmt_has("=")) return;
+    // The statement must be exactly one call expression: its '(' is the
+    // first paren in the statement and its ')' is the final token.
+    std::size_t first_paren = static_cast<std::size_t>(-1);
+    for (std::size_t idx : stmt_) {
+      if (is_punct(idx, "(")) {
+        first_paren = idx;
+        break;
+      }
+    }
+    if (first_paren != last_call_.open || stmt_.back() != last_call_.close)
+      return;
+    model_.contexts[static_cast<std::size_t>(last_call_.ctx)]
+        .calls[static_cast<std::size_t>(last_call_.idx)]
+        .discards_result = true;
+  }
+
+  void open_brace(std::size_t line) {
+    Scope scope;
+    scope.paren_base = parens_.size();
+
+    if (pending_lambda_.active) {
+      FlowContext ctx;
+      const int parent_i = current_ctx_index();
+      const FlowContext* parent =
+          parent_i < 0 ? nullptr
+                       : &model_.contexts[static_cast<std::size_t>(parent_i)];
+      ctx.is_lambda = true;
+      ctx.file = model_.path;
+      ctx.line = pending_lambda_.line;
+      ctx.defined = true;
+      ctx.loop_affine = pending_lambda_.affine;
+      ctx.class_name = parent != nullptr ? parent->class_name : current_class();
+      ctx.name = (parent != nullptr ? parent->name : model_.path) +
+                 "::<lambda@" + std::to_string(pending_lambda_.line) + ">";
+      if (parent != nullptr) ctx.var_types = parent->var_types;  // captures
+      // Parameters of the lambda (tokens since the intro) ride in stmt_;
+      // harvest `types name` pairs loosely from the trailing paren group.
+      model_.contexts.push_back(std::move(ctx));
+      scope.kind = Scope::Kind::Lambda;
+      scope.context = static_cast<int>(model_.contexts.size()) - 1;
+      pending_lambda_.active = false;
+      scopes_.push_back(scope);
+      stmt_.clear();
+      return;
+    }
+
+    const Scope::Kind at = scopes_.back().kind;
+    const bool decl_scope =
+        at == Scope::Kind::Namespace || at == Scope::Kind::Class;
+    if (decl_scope && parens_.size() == scopes_.back().paren_base) {
+      if (!stmt_.empty() && is_ident(stmt_[0]) &&
+          text(stmt_[0]) == "namespace") {
+        scope.kind = Scope::Kind::Namespace;
+        for (std::size_t k = 1; k < stmt_.size(); ++k) {
+          if (is_ident(stmt_[k])) {
+            if (!scope.name.empty()) scope.name += "::";
+            scope.name += text(stmt_[k]);
+          } else if (!is_punct(stmt_[k], "::")) {
+            break;
+          }
+        }
+        scopes_.push_back(scope);
+        stmt_.clear();
+        return;
+      }
+      // enum / enum class: skip the enumerator list wholesale.
+      if (stmt_has("enum")) {
+        scope.kind = Scope::Kind::Enum;
+        scopes_.push_back(scope);
+        stmt_.clear();
+        return;
+      }
+      // class/struct definition (possibly after template<...>).
+      bool is_class = false;
+      std::size_t cls_kw = 0;
+      for (std::size_t k = 0; k < stmt_.size(); ++k) {
+        if (is_ident(stmt_[k]) &&
+            (text(stmt_[k]) == "class" || text(stmt_[k]) == "struct")) {
+          // `struct X* p = ...` never reaches '{'; a '(' before the keyword
+          // means a parameter, not a definition.
+          bool paren_before = false;
+          for (std::size_t m = 0; m < k; ++m)
+            if (is_punct(stmt_[m], "(")) paren_before = true;
+          if (!paren_before) {
+            is_class = true;
+            cls_kw = k;
+          }
+          break;
+        }
+      }
+      if (is_class) {
+        scope.kind = Scope::Kind::Class;
+        for (std::size_t k = cls_kw + 1; k < stmt_.size(); ++k) {
+          if (is_ident(stmt_[k])) {
+            const std::string& txt = text(stmt_[k]);
+            if (txt == "final" || txt == "alignas") break;
+            if (!scope.name.empty()) scope.name += "::";
+            scope.name += txt;
+          } else if (!is_punct(stmt_[k], "::")) {
+            break;
+          }
+        }
+        scopes_.push_back(scope);
+        stmt_.clear();
+        return;
+      }
+      // Function definition?
+      const FuncHeader h = classify_function();
+      if (h.ok && !stmt_has("=")) {
+        scope.kind = Scope::Kind::Function;
+        scope.context = register_function(h, /*defined=*/true, line);
+        scopes_.push_back(scope);
+        stmt_.clear();
+        return;
+      }
+      // Member brace-init (`std::atomic<bool> stop_{false};`): register the
+      // declaration, then skip the initializer as a plain block.
+      if (at == Scope::Kind::Class) try_var_decl();
+      scope.kind = Scope::Kind::Block;
+      scopes_.push_back(scope);
+      stmt_.clear();
+      return;
+    }
+
+    // Inside a function/lambda body (or inside parens): control-flow block,
+    // brace-init, or nested local class — extract what the statement header
+    // declares, then descend.
+    if (!stmt_.empty() && is_ident(stmt_[0])) {
+      const std::string& head = text(stmt_[0]);
+      if (head == "for" || head == "if" || head == "while") try_header_decl();
+    }
+    scope.kind = Scope::Kind::Block;
+    scopes_.push_back(scope);
+    stmt_.clear();
+  }
+
+  void close_brace() {
+    if (scopes_.size() > 1) scopes_.pop_back();
+    // Guards acquired in the popped scope (or deeper) are released.
+    while (!guards_.empty() && guards_.back().scope_depth > scopes_.size())
+      guards_.pop_back();
+    stmt_.clear();
+    pending_lambda_.active = false;
+    last_call_ = LastCall{};
+  }
+
+  // -------------------------------------------------------------- fields
+  std::string_view content_;
+  std::vector<Token> toks_;
+  FileModel model_;
+  std::size_t i_ = 0;
+
+  std::vector<Scope> scopes_;
+  std::vector<ParenFrame> parens_;
+  std::vector<Guard> guards_;
+  std::vector<std::size_t> stmt_;
+  PendingLambda pending_lambda_;
+  std::unordered_set<std::size_t> affinity_lines_;
+
+  struct LastCall {
+    int ctx = -1;
+    int idx = -1;
+    std::size_t open = 0;
+    std::size_t close = 0;
+  };
+  LastCall last_call_;
+};
+
+}  // namespace
+
+FileModel parse_file_model(std::string display_path,
+                           std::string_view content) {
+  Parser parser(std::move(display_path), content);
+  return parser.run();
+}
+
+}  // namespace cs::lint

@@ -1,0 +1,504 @@
+// Flow rules: thread-affinity, must-use, lock-order, blocking-in-loop.
+// Runs over the FileModels produced by parse.cpp.  Resolution is
+// deliberately conservative: an unresolved call contributes nothing, and
+// name-only fallbacks fire only when every function sharing the name agrees
+// on the queried property — unresolvable code yields false negatives, never
+// false positives.
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "flow.hpp"
+
+namespace cs::lint {
+
+namespace {
+
+/// Callee names treated as blocking inside loop-affine code: solver entry
+/// points, sleeps, waits/joins, and blocking syscalls.  accept/recv/send are
+/// deliberately absent — the loop uses them non-blocking on epoll-readied
+/// fds.
+const std::unordered_set<std::string> kBlockingCallees = {
+    "sleep_for",  "sleep_until", "usleep",     "nanosleep",
+    "connect",    "poll",        "select",     "epoll_wait",
+    "system",     "wait",        "wait_for",   "wait_until",
+    "join",       "solve",       "solve_many", "solve_async",
+    "run_solver", "dp_reference", "greedy_schedule", "quantize_schedule",
+};
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string last_segment(const std::string& qualified) {
+  const std::size_t sep = qualified.rfind("::");
+  return sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+}
+
+std::vector<std::string> split_dots(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t dot = s.find('.', pos);
+    if (dot == std::string::npos) {
+      if (pos < s.size()) out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, dot - pos));
+    pos = dot + 1;
+  }
+  return out;
+}
+
+/// One named function/method, merged across declarations and definitions
+/// (the header decl carries the annotation, the .cpp body the calls).
+struct FuncInfo {
+  std::string class_name;  ///< "" for free functions
+  std::string simple;
+  bool affine = false;
+  bool must_use = false;
+  std::vector<const FlowContext*> bodies;
+  std::set<std::string> acquires;  ///< transitive mutex acquisitions
+  std::string display() const {
+    return class_name.empty() ? simple
+                              : last_segment(class_name) + "::" + simple;
+  }
+};
+
+struct Resolution {
+  std::vector<FuncInfo*> candidates;
+  bool exact = false;
+};
+
+struct LockSite {
+  std::string file;
+  std::size_t line = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const std::vector<FileModel>& files) : files_(files) {
+    index();
+  }
+
+  std::vector<Violation> run(const FlowOptions& opt) {
+    std::vector<Violation> out;
+    if (opt.lock_order) compute_transitive_acquires();
+    for (const FileModel& fm : files_) {
+      for (const FlowContext& ctx : fm.contexts) {
+        if (!ctx.defined) continue;
+        const bool affine = effective_affine(ctx);
+        for (const FlowCall& call : ctx.calls) {
+          const Resolution res = resolve(ctx, call);
+          if (opt.thread_affinity && !affine)
+            check_affinity(fm, ctx, call, res, out);
+          if (opt.must_use && call.discards_result)
+            check_must_use(fm, ctx, call, res, out);
+          if (opt.blocking_in_loop && affine)
+            check_blocking(fm, ctx, call, out);
+        }
+      }
+    }
+    if (opt.lock_order) check_lock_order(out);
+    return out;
+  }
+
+ private:
+  // ------------------------------------------------------------- indexing
+  void index() {
+    for (const FileModel& fm : files_) {
+      for (const FlowContext& ctx : fm.contexts) {
+        if (ctx.is_lambda) continue;
+        const std::string key = ctx.class_name + "::" + ctx.simple;
+        FuncInfo& f = funcs_[key];
+        f.class_name = ctx.class_name;
+        f.simple = ctx.simple;
+        f.affine = f.affine || ctx.loop_affine;
+        f.must_use = f.must_use || ctx.returns_must_use;
+        if (ctx.defined) f.bodies.push_back(&ctx);
+      }
+      for (const auto& [cls, vars] : fm.members) {
+        auto& dst = members_[last_segment(cls)];
+        for (const auto& [var, types] : vars)
+          if (dst.count(var) == 0) dst[var] = types;
+      }
+    }
+    for (auto& [key, f] : funcs_) {
+      (void)key;
+      if (f.class_name.empty()) {
+        free_by_simple_[f.simple].push_back(&f);
+      } else {
+        by_class_[last_segment(f.class_name)][f.simple].push_back(&f);
+        known_classes_.insert(last_segment(f.class_name));
+      }
+    }
+    for (const auto& [cls, vars] : members_) {
+      (void)vars;
+      known_classes_.insert(cls);
+    }
+  }
+
+  /// A .cpp definition inherits the affinity annotation from its header
+  /// declaration (they merge into one FuncInfo); lambdas carry their own
+  /// flag (annotation or post()-inference).
+  bool effective_affine(const FlowContext& ctx) const {
+    if (ctx.loop_affine) return true;
+    if (ctx.is_lambda) return false;
+    const auto it = funcs_.find(ctx.class_name + "::" + ctx.simple);
+    return it != funcs_.end() && it->second.affine;
+  }
+
+  /// Type-name candidates for a variable, looking at the context's
+  /// params/locals first, then the enclosing class's members.
+  std::vector<std::string> types_of(const FlowContext& ctx,
+                                    const std::string& var) const {
+    const auto it = ctx.var_types.find(var);
+    if (it != ctx.var_types.end()) return it->second;
+    if (!ctx.class_name.empty()) {
+      const auto cit = members_.find(last_segment(ctx.class_name));
+      if (cit != members_.end()) {
+        const auto vit = cit->second.find(var);
+        if (vit != cit->second.end()) return vit->second;
+      }
+    }
+    return {};
+  }
+
+  /// Known classes named by any token in a type spelling (smart-pointer /
+  /// container wrappers resolve through to the element class).
+  std::vector<std::string> classes_from_types(
+      const std::vector<std::string>& types) const {
+    std::vector<std::string> out;
+    for (auto it = types.rbegin(); it != types.rend(); ++it)
+      if (known_classes_.count(*it) > 0) out.push_back(*it);
+    return out;
+  }
+
+  std::vector<FuncInfo*> methods_of(const std::string& cls,
+                                    const std::string& name) const {
+    const auto cit = by_class_.find(cls);
+    if (cit == by_class_.end()) return {};
+    const auto mit = cit->second.find(name);
+    if (mit == cit->second.end()) return {};
+    return mit->second;
+  }
+
+  Resolution resolve(const FlowContext& ctx, const FlowCall& call) const {
+    Resolution res;
+    if (call.qualifier == "::") return res;  // explicit global (syscall)
+
+    if (!call.receiver.empty() && call.receiver != "?") {
+      const std::vector<std::string> chain = split_dots(call.receiver);
+      std::vector<std::string> classes =
+          classes_from_types(types_of(ctx, chain.front()));
+      for (std::size_t k = 1; k < chain.size() && !classes.empty(); ++k) {
+        std::vector<std::string> next;
+        for (const std::string& cls : classes) {
+          const auto cit = members_.find(cls);
+          if (cit == members_.end()) continue;
+          const auto vit = cit->second.find(chain[k]);
+          if (vit == cit->second.end()) continue;
+          for (const std::string& c : classes_from_types(vit->second))
+            next.push_back(c);
+        }
+        classes = std::move(next);
+      }
+      for (const std::string& cls : classes)
+        for (FuncInfo* f : methods_of(cls, call.callee))
+          res.candidates.push_back(f);
+      if (!res.candidates.empty()) {
+        res.exact = true;
+        return res;
+      }
+      // Receiver didn't resolve: fall back to every function sharing the
+      // simple name (rules then require unanimity on the property).
+      return name_fallback(call.callee);
+    }
+
+    if (!call.qualifier.empty()) {
+      const std::string q = last_segment(call.qualifier);
+      res.candidates = methods_of(q, call.callee);
+      if (!res.candidates.empty()) {
+        res.exact = true;
+        return res;
+      }
+      const auto fit = free_by_simple_.find(call.callee);
+      if (fit != free_by_simple_.end()) {
+        res.candidates = fit->second;
+        res.exact = true;
+      }
+      return res;
+    }
+
+    // Unqualified: a method of the enclosing class, else a free function.
+    if (!ctx.class_name.empty()) {
+      res.candidates =
+          methods_of(last_segment(ctx.class_name), call.callee);
+      if (!res.candidates.empty()) {
+        res.exact = true;
+        return res;
+      }
+    }
+    const auto fit = free_by_simple_.find(call.callee);
+    if (fit != free_by_simple_.end()) {
+      res.candidates = fit->second;
+      res.exact = true;
+    }
+    return res;
+  }
+
+  Resolution name_fallback(const std::string& name) const {
+    Resolution res;
+    for (const auto& [cls, byname] : by_class_) {
+      (void)cls;
+      const auto it = byname.find(name);
+      if (it == byname.end()) continue;
+      for (FuncInfo* f : it->second) res.candidates.push_back(f);
+    }
+    const auto fit = free_by_simple_.find(name);
+    if (fit != free_by_simple_.end())
+      for (FuncInfo* f : fit->second) res.candidates.push_back(f);
+    return res;  // exact stays false
+  }
+
+  /// Property check over a resolution: exact resolutions need one positive
+  /// candidate; name-only fallbacks need unanimity.
+  template <typename Pred>
+  static const FuncInfo* hit(const Resolution& res, Pred pred) {
+    if (res.candidates.empty()) return nullptr;
+    if (res.exact) {
+      for (const FuncInfo* f : res.candidates)
+        if (pred(*f)) return f;
+      return nullptr;
+    }
+    for (const FuncInfo* f : res.candidates)
+      if (!pred(*f)) return nullptr;
+    return res.candidates.front();
+  }
+
+  // ---------------------------------------------------------------- rules
+  void emit(const FileModel& fm, std::size_t line, const char* rule,
+            std::string message, std::vector<Violation>& out) const {
+    const std::string& raw =
+        line >= 1 && line <= fm.raw_lines.size() ? fm.raw_lines[line - 1] : "";
+    if (line_allows(raw, rule)) return;
+    if (line >= 2 && line_allows(fm.raw_lines[line - 2], rule)) return;
+    out.push_back(
+        Violation{fm.path, line, rule, std::move(message), trim(raw)});
+  }
+
+  void check_affinity(const FileModel& fm, const FlowContext& ctx,
+                      const FlowCall& call, const Resolution& res,
+                      std::vector<Violation>& out) const {
+    const FuncInfo* target =
+        hit(res, [](const FuncInfo& f) { return f.affine; });
+    if (target == nullptr) return;
+    emit(fm, call.line, "thread-affinity",
+         "call to loop-affine '" + target->display() + "' from '" +
+             ctx.name +
+             "', which is not loop-affine: run it on the loop thread "
+             "(loop.post([...]{ ... })) or annotate the caller "
+             "'// cs: affinity(loop)' if it only ever runs there",
+         out);
+  }
+
+  void check_must_use(const FileModel& fm, const FlowContext& ctx,
+                      const FlowCall& call, const Resolution& res,
+                      std::vector<Violation>& out) const {
+    (void)ctx;
+    const FuncInfo* target =
+        hit(res, [](const FuncInfo& f) { return f.must_use; });
+    if (target == nullptr) return;
+    emit(fm, call.line, "must-use",
+         "discarded cs::Expected/Error result of '" + target->display() +
+             "': branch on ok()/error() (errors are the API here, not "
+             "exceptions)",
+         out);
+  }
+
+  void check_blocking(const FileModel& fm, const FlowContext& ctx,
+                      const FlowCall& call,
+                      std::vector<Violation>& out) const {
+    if (kBlockingCallees.count(call.callee) == 0) return;
+    emit(fm, call.line, "blocking-in-loop",
+         "blocking call '" + call.callee + "' inside loop-affine '" +
+             ctx.name +
+             "': the event loop must never block — hand the work to the "
+             "worker pool and post the completion back",
+         out);
+  }
+
+  // ----------------------------------------------------------- lock-order
+  void compute_transitive_acquires() {
+    for (auto& [key, f] : funcs_) {
+      (void)key;
+      for (const FlowContext* body : f.bodies)
+        for (const std::string& m : body->direct_mutexes) f.acquires.insert(m);
+    }
+    bool changed = true;
+    std::size_t guard = funcs_.size() + 1;
+    while (changed && guard-- > 0) {
+      changed = false;
+      for (auto& [key, f] : funcs_) {
+        (void)key;
+        for (const FlowContext* body : f.bodies) {
+          for (const FlowCall& call : body->calls) {
+            const Resolution res = resolve(*body, call);
+            if (!res.exact) continue;
+            for (const FuncInfo* callee : res.candidates) {
+              for (const std::string& m : callee->acquires) {
+                if (f.acquires.insert(m).second) changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void check_lock_order(std::vector<Violation>& out) const {
+    // from -> to -> first site where the edge was observed.
+    std::map<std::string, std::map<std::string, LockSite>> graph;
+    auto add_edge = [&](const std::string& from, const std::string& to,
+                        const std::string& file, std::size_t line) {
+      auto& dst = graph[from];
+      if (dst.count(to) == 0) dst[to] = LockSite{file, line};
+      graph.try_emplace(to);  // every node present for the DFS
+    };
+
+    for (const FileModel& fm : files_) {
+      for (const FlowContext& ctx : fm.contexts) {
+        for (const FlowLockEdge& e : ctx.lock_edges)
+          add_edge(e.from, e.to, ctx.file, e.line);
+        for (const FlowCall& call : ctx.calls) {
+          if (call.held_mutexes.empty()) continue;
+          const Resolution res = resolve(ctx, call);
+          if (!res.exact) continue;
+          for (const FuncInfo* callee : res.candidates) {
+            for (const std::string& m : callee->acquires) {
+              for (const std::string& held : call.held_mutexes) {
+                // A call-through self-edge is usually re-entry through a
+                // different object instance; only lexical self-edges are
+                // reported (documented false negative).
+                if (held != m) add_edge(held, m, ctx.file, call.line);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Lexical self-edges: same mutex re-acquired while held.
+    for (const auto& [from, tos] : graph) {
+      const auto self = tos.find(from);
+      if (self == tos.end()) continue;
+      const FileModel* fm = file_named(self->second.file);
+      if (fm != nullptr) {
+        emit(*fm, self->second.line, "lock-order",
+             "mutex '" + from +
+                 "' acquired while already held (self-deadlock with "
+                 "std::mutex)",
+             out);
+      }
+    }
+
+    // Cycle detection: DFS, report each distinct cycle once at the edge
+    // that closes it.
+    std::set<std::string> reported;
+    std::map<std::string, int> color;  // 0 white, 1 on-stack, 2 done
+    std::vector<std::string> stack;
+
+    std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+      color[u] = 1;
+      stack.push_back(u);
+      const auto it = graph.find(u);
+      if (it != graph.end()) {
+        for (const auto& [v, site] : it->second) {
+          if (v == u) continue;  // self-edges handled above
+          if (color[v] == 1) {
+            // Extract the cycle v ... u -> v.
+            std::vector<std::string> cycle;
+            bool in = false;
+            for (const std::string& n : stack) {
+              if (n == v) in = true;
+              if (in) cycle.push_back(n);
+            }
+            // Canonical key: rotate so the smallest element leads.
+            std::size_t min_at = 0;
+            for (std::size_t k = 1; k < cycle.size(); ++k)
+              if (cycle[k] < cycle[min_at]) min_at = k;
+            std::string key;
+            std::string pretty;
+            for (std::size_t k = 0; k <= cycle.size(); ++k) {
+              const std::string& n = cycle[(min_at + k) % cycle.size()];
+              if (k < cycle.size()) key += n + "|";
+              pretty += (k ? " -> " : "") + n;
+            }
+            if (reported.insert(key).second) {
+              const FileModel* fm = file_named(site.file);
+              if (fm != nullptr) {
+                emit(*fm, site.line, "lock-order",
+                     "lock-order cycle (ABBA deadlock risk): " + pretty,
+                     out);
+              }
+            }
+          } else if (color[v] == 0) {
+            dfs(v);
+          }
+        }
+      }
+      stack.pop_back();
+      color[u] = 2;
+    };
+    for (const auto& [node, adj] : graph) {
+      (void)adj;
+      if (color[node] == 0) dfs(node);
+    }
+  }
+
+  const FileModel* file_named(const std::string& path) const {
+    for (const FileModel& fm : files_)
+      if (fm.path == path) return &fm;
+    return nullptr;
+  }
+
+  // -------------------------------------------------------------- fields
+  const std::vector<FileModel>& files_;
+  std::map<std::string, FuncInfo> funcs_;
+  // class simple-name -> method simple-name -> overload set
+  std::map<std::string, std::map<std::string, std::vector<FuncInfo*>>>
+      by_class_;
+  std::map<std::string, std::vector<FuncInfo*>> free_by_simple_;
+  // class simple-name -> member -> type tokens
+  std::map<std::string, std::unordered_map<std::string,
+                                           std::vector<std::string>>>
+      members_;
+  std::set<std::string> known_classes_;
+};
+
+}  // namespace
+
+void FlowAnalyzer::add_source(std::string display_path,
+                              std::string_view content) {
+  files_.push_back(parse_file_model(std::move(display_path), content));
+}
+
+std::vector<Violation> FlowAnalyzer::run(const FlowOptions& opt) const {
+  Engine engine(files_);
+  return engine.run(opt);
+}
+
+std::vector<Violation> lint_flow(std::string_view display_path,
+                                 std::string_view content,
+                                 const FlowOptions& opt) {
+  FlowAnalyzer analyzer;
+  analyzer.add_source(std::string(display_path), content);
+  return analyzer.run(opt);
+}
+
+}  // namespace cs::lint

@@ -1,0 +1,92 @@
+#include "sarif.hpp"
+
+#include <set>
+
+namespace cs::lint {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Violation>& violations) {
+  std::set<std::string> rule_ids;
+  for (const Violation& v : violations) rule_ids.insert(v.rule);
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"cslint\",\n"
+      "          \"informationUri\": \"tools/cslint\",\n"
+      "          \"rules\": [";
+  bool first = true;
+  for (const std::string& id : rule_ids) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "            {\"id\": \"" + json_escape(id) + "\"}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  first = true;
+  for (const Violation& v : violations) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(v.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + json_escape(v.message) +
+           "\"},\n";
+    out += "          \"locations\": [\n";
+    out += "            {\n";
+    out += "              \"physicalLocation\": {\n";
+    out += "                \"artifactLocation\": {\"uri\": \"" +
+           json_escape(v.file) + "\"},\n";
+    out += "                \"region\": {\"startLine\": " +
+           std::to_string(v.line == 0 ? 1 : v.line) + "}\n";
+    out += "              }\n";
+    out += "            }\n";
+    out += "          ]\n";
+    out += "        }";
+  }
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace cs::lint

@@ -1,0 +1,18 @@
+// Minimal SARIF 2.1.0 emitter for cslint results, for CI annotation
+// (GitHub code scanning and compatible viewers).  Only the subset those
+// consumers read: tool.driver with a rules array, and one result per
+// violation with ruleId, level, message, and a physical location.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cslint.hpp"
+
+namespace cs::lint {
+
+/// Serialize violations as a single-run SARIF 2.1.0 log.  Paths are emitted
+/// as given (repo-relative invocations produce repo-relative artifact URIs).
+[[nodiscard]] std::string to_sarif(const std::vector<Violation>& violations);
+
+}  // namespace cs::lint

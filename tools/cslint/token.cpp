@@ -1,0 +1,196 @@
+#include "token.hpp"
+
+#include <cctype>
+
+namespace cs::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character operators the parser cares about, longest first.  `<` and
+/// `>` stay single so template-argument scanning can balance them; `<<`/`>>`
+/// are kept fused so stream operators never look like template brackets.
+constexpr const char* kOps[] = {
+    "<=>", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=", "|=", "&=",
+    "^=",
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor logical line (only when '#' starts the line's content).
+    if (c == '#') {
+      bool at_line_start = true;
+      for (std::size_t k = i; k > 0; --k) {
+        const char prev = src[k - 1];
+        if (prev == '\n') break;
+        if (std::isspace(static_cast<unsigned char>(prev)) == 0) {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        Token t{Tok::Preproc, "", line};
+        while (i < n) {
+          if (src[i] == '\\' && peek(1) == '\n') {
+            t.text += ' ';
+            i += 2;
+            ++line;
+            continue;
+          }
+          if (src[i] == '\n') break;
+          t.text += src[i++];
+        }
+        out.push_back(std::move(t));
+        continue;
+      }
+    }
+
+    // Comments (kept, with text).
+    if (c == '/' && peek(1) == '/') {
+      Token t{Tok::Comment, "", line};
+      while (i < n && src[i] != '\n') t.text += src[i++];
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      Token t{Tok::Comment, "/*", line};
+      i += 2;
+      while (i < n) {
+        if (src[i] == '*' && peek(1) == '/') {
+          t.text += "*/";
+          i += 2;
+          break;
+        }
+        if (src[i] == '\n') ++line;
+        t.text += src[i++];
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      // An identifier character immediately before means this 'R' is the
+      // tail of a longer name, not a raw-string prefix.
+      const bool prefixed = i > 0 && ident_char(src[i - 1]);
+      if (!prefixed) {
+        std::size_t j = i + 2;
+        std::string delim;
+        while (j < n && src[j] != '(' && src[j] != '\n' && delim.size() < 16)
+          delim += src[j++];
+        if (j < n && src[j] == '(') {
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t end = src.find(closer, j + 1);
+          const std::size_t stop = end == std::string_view::npos
+                                       ? n
+                                       : end + closer.size();
+          for (std::size_t k = i; k < stop; ++k)
+            if (src[k] == '\n') ++line;
+          out.push_back(Token{Tok::Str, "\"\"", line});
+          i = stop;
+          continue;
+        }
+      }
+    }
+
+    // String / char literals, contents dropped.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start_line = line;
+      ++i;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;
+        if (src[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      out.push_back(Token{quote == '"' ? Tok::Str : Tok::Chr,
+                          quote == '"' ? "\"\"" : "''", start_line});
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      Token t{Tok::Ident, "", line};
+      while (i < n && ident_char(src[i])) t.text += src[i++];
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Numbers (loose: covers hex, floats, exponents, digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      Token t{Tok::Number, "", line};
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          t.text += d;
+          ++i;
+          // Exponent sign: 1e-9, 0x1p+3.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+              (peek(0) == '+' || peek(0) == '-') && t.text.size() > 1) {
+            t.text += src[i++];
+          }
+          continue;
+        }
+        break;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Operators, longest match first.
+    bool matched = false;
+    for (const char* op : kOps) {
+      const std::size_t len = std::string_view(op).size();
+      if (src.compare(i, len, op) == 0) {
+        out.push_back(Token{Tok::Punct, op, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    out.push_back(Token{Tok::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace cs::lint

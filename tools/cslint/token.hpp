@@ -1,0 +1,46 @@
+// cslint tokenizer — dependency-free lexer feeding the flow-aware analysis
+// layer (flow.hpp).  Unlike strip_comments_and_strings (which only blanks
+// text for the line-oriented rules), the tokenizer produces a real token
+// stream with line numbers, so the structural parser can recover functions,
+// classes, call sites, and lock acquisitions.
+//
+// Design points:
+//  - Comments are TOKENS (text preserved): the annotation grammar
+//    (`cs: affinity(loop)`, `cslint: allow(rule)`) lives in comments, so the
+//    parser needs to see them, attached to the right line.
+//  - String/char literal *contents* are dropped (the token text is `""` /
+//    `''`): no rule ever fires on quoted text, and this keeps raw-string
+//    handling in one place.
+//  - Preprocessor directives are one token per logical line (backslash
+//    continuations folded), so `#include "x.hpp"` is easy to harvest for the
+//    incremental cache's include-closure hashing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs::lint {
+
+enum class Tok {
+  Ident,    ///< identifier or keyword
+  Number,   ///< numeric literal (incl. hex/float/digit separators)
+  Str,      ///< string literal, contents dropped (text == "\"\"")
+  Chr,      ///< char literal, contents dropped (text == "''")
+  Punct,    ///< operator/punctuation, longest-match (e.g. "::", "->")
+  Comment,  ///< // or /* */ comment, full text preserved
+  Preproc,  ///< whole preprocessor logical line, text preserved
+};
+
+struct Token {
+  Tok kind = Tok::Punct;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based line of the token's first character
+};
+
+/// Lex `src` into tokens.  Never fails: unknown bytes become single-char
+/// Punct tokens, unterminated literals end at EOF.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace cs::lint
