@@ -4,7 +4,10 @@
 #   ./ci.sh            # full gate: build, ctest, smoke, cslint (incremental,
 #                      #   SARIF artifact at build/cslint.sarif), format,
 #                      #   clang-tidy wall, ASan/UBSan pass (+ cslint --strict
-#                      #   full rescan), TSan pass, csserve soak
+#                      #   full rescan), TSan pass, csserve soak (verifies the
+#                      #   --metrics-out/--trace-out SIGINT flush), bench
+#                      #   snapshot (perf_micro + csload --json + live stats
+#                      #   -> BENCH_<n>.json, build/stats-snapshot.json)
 #   ./ci.sh --fast     # build, ctest, smoke, cslint, format only
 #
 # Stages that need a tool the host lacks (clang-tidy, clang-format) are
@@ -149,12 +152,17 @@ stage_tsan() {
 
 # soak_one <builddir> — a csload burst against that build's csserve, then a
 # SIGINT drain; fails on request errors, a non-zero server exit, or a hang
-# (timeout bounds the wall-clock).
+# (timeout bounds the wall-clock).  The server runs with --metrics-out and
+# --trace-out so the drain path that flushes both is exercised under the
+# sanitizers; an empty artifact after the drain is a failure.
 soak_one() {
-  local bindir="$1" serve_log port="" rc
+  local bindir="$1" serve_log port="" rc metrics trace
   serve_log="$(mktemp)"
+  metrics="$(mktemp)"
+  trace="$(mktemp)"
   "$bindir"/tools/csserve --port 0 --loops 2 --threads 4 \
-    --max-inflight 256 2>"$serve_log" &
+    --max-inflight 256 --metrics-out "$metrics" \
+    --trace-out "$trace" --trace-sample 100 2>"$serve_log" &
   local serve_pid=$!
   for _ in $(seq 1 100); do
     port="$(grep -oE 'listening on [0-9.]+:[0-9]+' "$serve_log" \
@@ -174,6 +182,13 @@ soak_one() {
   if [[ "$rc" != "0" ]]; then
     echo "csserve ($bindir) exited $rc after SIGINT drain"; return 1
   fi
+  if [[ ! -s "$metrics" ]]; then
+    echo "csserve ($bindir) wrote no metrics on SIGINT drain"; return 1
+  fi
+  if [[ ! -s "$trace" ]]; then
+    echo "csserve ($bindir) wrote no spans on SIGINT drain"; return 1
+  fi
+  rm -f "$metrics" "$trace"
 }
 
 stage_soak() {
@@ -182,6 +197,65 @@ stage_soak() {
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
   echo "-- soak: asan build" && soak_one build-asan || return 1
   echo "-- soak: tsan build" && soak_one build-tsan || return 1
+}
+
+# Benchmark snapshot: the solver-layer microbenchmarks plus a short serving
+# run with csload's open-loop recorder, composed with the server's own v2
+# stats snapshot into BENCH_<n>.json at the repo root (next free n, so old
+# snapshots are never overwritten — diff them across PRs).
+stage_bench() {
+  local perf_json csload_json stats_json serve_log port="" n
+  perf_json="$(mktemp)"
+  csload_json="$(mktemp)"
+  stats_json="build/stats-snapshot.json"
+  serve_log="$(mktemp)"
+
+  echo "-- perf_micro"
+  ./build/bench/perf_micro --benchmark_min_time=0.05 \
+    --benchmark_format=json >"$perf_json" || return 1
+
+  echo "-- csload (open-loop, --json)"
+  ./build/tools/csserve --port 0 --loops 2 --threads 4 2>"$serve_log" &
+  local serve_pid=$!
+  for _ in $(seq 1 100); do
+    port="$(grep -oE 'listening on [0-9.]+:[0-9]+' "$serve_log" \
+            | grep -oE '[0-9]+$' || true)"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "csserve failed to start"; cat "$serve_log"; return 1
+  fi
+  timeout 120 ./build/tools/csload --port "$port" --requests 20000 \
+    --threads 8 --life uniform:L=1000 --c 4 --warm --v2 \
+    --json "$csload_json" || { kill -9 "$serve_pid"; return 1; }
+
+  # Live stats-plane snapshot over the wire (no client dependency: the v2
+  # stats verb is one JSON line over TCP, which bash can speak natively).
+  if ! { exec 3<>"/dev/tcp/127.0.0.1/$port" &&
+         printf '{"v":2,"cmd":"stats"}\n' >&3 &&
+         head -1 <&3 >"$stats_json"; }; then
+    echo "stats snapshot fetch failed"; kill -9 "$serve_pid"; return 1
+  fi
+  exec 3<&- 3>&-
+  kill -INT "$serve_pid"
+  wait "$serve_pid" || { echo "csserve exited non-zero"; return 1; }
+  [[ -s "$stats_json" ]] || { echo "empty stats snapshot"; return 1; }
+
+  n=1
+  while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+  {
+    printf '{\n"perf_micro": '
+    cat "$perf_json"
+    printf ',\n"csload": '
+    cat "$csload_json"
+    printf ',\n"server_stats": '
+    cat "$stats_json"
+    printf '}\n'
+  } >"BENCH_${n}.json"
+  record "  artifact" "BENCH_${n}.json"
+  record "  artifact" "$stats_json"
+  rm -f "$perf_json" "$csload_json" "$serve_log"
 }
 
 # ------------------------------------------------------------------- plan
@@ -205,6 +279,7 @@ if [[ "$fast" == "0" ]]; then
   run_stage "ASan/UBSan pass" stage_asan
   run_stage "TSan pass" stage_tsan
   run_stage "csserve soak (asan+tsan)" stage_soak
+  run_stage "bench snapshot (BENCH_n)" stage_bench
 fi
 
 summarize

@@ -108,7 +108,8 @@ ResultPtr Engine::run_solver(const CanonicalRequest& creq) {
   return res;
 }
 
-ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit) {
+ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit,
+                             bool* coalesced) {
   const bool observed = obs::enabled();
   const std::uint64_t start_ns = observed ? obs::now_ns() : 0;
   const auto finish = [this, observed, start_ns, cache_hit](ResultPtr r,
@@ -135,6 +136,7 @@ ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit) {
     const auto it = inflight_.find(creq.key);
     if (it != inflight_.end()) {
       flight = it->second;
+      if (coalesced != nullptr) *coalesced = true;
       coalesced_.fetch_add(1, std::memory_order_relaxed);
       if (observed) EngineMetrics::instance().coalesced.inc();
     } else {
@@ -170,9 +172,9 @@ ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit) {
 }
 
 cs::Expected<ResultPtr> Engine::solve(const SolveRequest& req,
-                                      bool* cache_hit) {
+                                      bool* cache_hit, bool* coalesced) {
   try {
-    return solve_impl(req, cache_hit);
+    return solve_impl(req, cache_hit, coalesced);
   } catch (const std::invalid_argument& err) {
     return cs::fail(cs::ErrorCode::BadSpec, err.what());
   } catch (const std::exception& err) {

@@ -82,8 +82,11 @@ class Engine {
   /// receives the same error its leader produced.  `cache_hit`, when
   /// non-null, reports whether this request was served straight from the
   /// cache (coalesced waits count as misses).
+  /// `coalesced`, when non-null, is set true iff this call adopted another
+  /// caller's in-flight solve instead of leading its own (span tagging).
   [[nodiscard]] cs::Expected<ResultPtr> solve(const SolveRequest& req,
-                                              bool* cache_hit = nullptr);
+                                              bool* cache_hit = nullptr,
+                                              bool* coalesced = nullptr);
 
   /// Dispatch onto the pool; the future resolves to the same value solve()
   /// would return.
@@ -114,7 +117,8 @@ class Engine {
   /// Exception-based core of solve(); the public surface converts throws
   /// into cs::Error (single-flight keeps propagating leader exceptions to
   /// every coalesced waiter internally).
-  [[nodiscard]] ResultPtr solve_impl(const SolveRequest& req, bool* cache_hit);
+  [[nodiscard]] ResultPtr solve_impl(const SolveRequest& req, bool* cache_hit,
+                                     bool* coalesced = nullptr);
   /// Run the actual solver for a canonicalized request (the leader's job).
   [[nodiscard]] ResultPtr run_solver(const CanonicalRequest& creq);
 

@@ -256,7 +256,7 @@ void append_field(std::string& out, const char* key, std::string_view v) {
 }
 
 std::string response_head(int version, std::optional<std::int64_t> id,
-                          bool ok) {
+                          bool ok, std::string_view trace = {}) {
   std::string out = "{";
   if (version >= kProtocolV2) out += "\"v\":2,";
   if (id) {
@@ -264,8 +264,30 @@ std::string response_head(int version, std::optional<std::int64_t> id,
     out += std::to_string(*id);
     out += ',';
   }
+  if (version >= kProtocolV2 && !trace.empty()) {
+    out += "\"trace\":\"";
+    out += json::escape(trace);
+    out += "\",";
+  }
   out += ok ? "\"ok\":true" : "\"ok\":false";
   return out;
+}
+
+void append_stage_object(std::string& out,
+                         const ServerStatsSnapshot::Stage& st) {
+  out += ",\"stage_";
+  out += st.name;
+  out += "\":{\"count\":";
+  out += std::to_string(st.count);
+  out += ',';
+  append_field(out, "p50_us", st.p50_us);
+  out += ',';
+  append_field(out, "p95_us", st.p95_us);
+  out += ',';
+  append_field(out, "p99_us", st.p99_us);
+  out += ',';
+  append_field(out, "max_us", st.max_us);
+  out += '}';
 }
 
 }  // namespace
@@ -285,6 +307,12 @@ WireRequest parse_request_line(std::string_view line) {
   if (const Value* id = find(obj, "id", Value::Type::Number, "number"))
     req.id = static_cast<std::int64_t>(id->number);
 
+  if (const Value* trace = find(obj, "trace", Value::Type::String, "string")) {
+    if (trace->string.size() > 64)
+      throw std::invalid_argument("trace label longer than 64 characters");
+    if (!trace->string.empty()) req.trace = trace->string;
+  }
+
   if (const Value* cmd = find(obj, "cmd", Value::Type::String, "string")) {
     if (cmd->string == "ping") {
       req.cmd = WireCommand::Ping;
@@ -294,9 +322,13 @@ WireRequest parse_request_line(std::string_view line) {
       req.cmd = WireCommand::Stats;
       return req;
     }
+    if (cmd->string == "healthz") {
+      req.cmd = WireCommand::Health;
+      return req;
+    }
     if (cmd->string != "solve")
       throw std::invalid_argument("unknown cmd '" + cmd->string +
-                                  "' (want solve|ping|stats)");
+                                  "' (want solve|ping|stats|healthz)");
   }
 
   const Value* life = find(obj, "life", Value::Type::String, "string");
@@ -323,8 +355,8 @@ WireRequest parse_request_line(std::string_view line) {
 }
 
 std::string make_response_head(int version, std::optional<std::int64_t> id,
-                               bool ok) {
-  return response_head(version, id, ok);
+                               bool ok, std::string_view trace) {
+  return response_head(version, id, ok, trace);
 }
 
 std::string make_solve_response_tail(const ScheduleResult& result, bool cached,
@@ -371,13 +403,14 @@ std::string make_solve_response_tail(const ScheduleResult& result, bool cached,
 
 std::string make_solve_response(const WireRequest& req,
                                 const ScheduleResult& result, bool cached) {
-  return response_head(req.version, req.id, true) +
+  return response_head(req.version, req.id, true, req.trace_label()) +
          make_solve_response_tail(result, cached, req.max_periods);
 }
 
 std::string make_error_response(int version, std::optional<std::int64_t> id,
-                                const cs::Error& error) {
-  std::string out = response_head(version, id, false);
+                                const cs::Error& error,
+                                std::string_view trace) {
+  std::string out = response_head(version, id, false, trace);
   if (version >= kProtocolV2) {
     out += ",\"error\":{";
     append_field(out, "code", error.code_name());
@@ -392,8 +425,9 @@ std::string make_error_response(int version, std::optional<std::int64_t> id,
   return out;
 }
 
-std::string make_pong_response(int version, std::optional<std::int64_t> id) {
-  std::string out = response_head(version, id, true);
+std::string make_pong_response(int version, std::optional<std::int64_t> id,
+                               std::string_view trace) {
+  std::string out = response_head(version, id, true, trace);
   out += ",\"pong\":true}";
   return out;
 }
@@ -408,6 +442,70 @@ std::string make_stats_response(int version, std::optional<std::int64_t> id,
   out += ",\"solves\":" + std::to_string(stats.solves);
   out += ",\"coalesced\":" + std::to_string(stats.coalesced);
   out += ",\"cache_size\":" + std::to_string(cache_size);
+  out += '}';
+  return out;
+}
+
+std::string make_stats_response_v2(std::optional<std::int64_t> id,
+                                   std::string_view trace,
+                                   const ServerStatsSnapshot& snap) {
+  std::string out = response_head(kProtocolV2, id, true, trace);
+  out += ",\"uptime_ms\":" + std::to_string(snap.uptime_ms);
+  out += ",\"accepted\":" + std::to_string(snap.accepted);
+  out += ",\"requests\":" + std::to_string(snap.requests);
+  out += ",\"shed\":" + std::to_string(snap.shed);
+  out += ",\"reaped\":" + std::to_string(snap.reaped);
+  out += ",\"timeouts\":" + std::to_string(snap.timeouts);
+  out += ",\"open_conns\":" + std::to_string(snap.open_conns);
+  out += ",\"inflight\":" + std::to_string(snap.inflight);
+  out += ",\"engine\":{\"hits\":" + std::to_string(snap.engine.hits);
+  out += ",\"misses\":" + std::to_string(snap.engine.misses);
+  out += ",\"evictions\":" + std::to_string(snap.engine.evictions);
+  out += ",\"solves\":" + std::to_string(snap.engine.solves);
+  out += ",\"coalesced\":" + std::to_string(snap.engine.coalesced);
+  out += ",\"cache_size\":" + std::to_string(snap.cache_size);
+  out += '}';
+  out += ",\"spans\":{\"recorded\":" + std::to_string(snap.spans_recorded);
+  out += ",\"dropped\":" + std::to_string(snap.spans_dropped);
+  out += ",\"sample_every\":" + std::to_string(snap.span_sample_every);
+  out += '}';
+  for (const auto& st : snap.stages) append_stage_object(out, st);
+  for (std::size_t i = 0; i < snap.shards.size(); ++i) {
+    const auto& sh = snap.shards[i];
+    out += ",\"shard" + std::to_string(i);
+    out += "\":{\"conns\":" + std::to_string(sh.conns);
+    out += ",\"inflight\":" + std::to_string(sh.inflight);
+    out += ",\"write_queue_bytes\":" + std::to_string(sh.write_queue_bytes);
+    out += ",\"memo_hits\":" + std::to_string(sh.memo_hits);
+    out += ",\"memo_lookups\":" + std::to_string(sh.memo_lookups);
+    out += ",\"memo_entries\":" + std::to_string(sh.memo_entries);
+    out += ",\"shed\":" + std::to_string(sh.shed);
+    out += ",\"timeouts\":" + std::to_string(sh.timeouts);
+    out += '}';
+  }
+  if (!snap.metrics.empty()) {
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [key, value] : snap.metrics) {
+      if (!first) out += ',';
+      first = false;
+      append_field(out, key.c_str(), value);
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+std::string make_healthz_response(int version, std::optional<std::int64_t> id,
+                                  std::string_view trace,
+                                  const ServerStatsSnapshot& snap) {
+  std::string out = response_head(version, id, true, trace);
+  out += ",\"healthy\":true";
+  out += ",\"uptime_ms\":" + std::to_string(snap.uptime_ms);
+  out += ",\"inflight\":" + std::to_string(snap.inflight);
+  out += ",\"open_conns\":" + std::to_string(snap.open_conns);
+  out += ",\"shed\":" + std::to_string(snap.shed);
   out += '}';
   return out;
 }

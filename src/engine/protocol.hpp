@@ -9,8 +9,17 @@
 //   {"v":2,"id":7,"life":"uniform:L=1000","c":4}              -> solve (v2)
 //   {"v":2,"id":8,"life":"geomlife:half=100","c":2,"solver":"greedy",
 //    "quantize":0.5,"max_periods":4}                          -> solve
+//   {"v":2,"id":9,"life":"uniform:L=1000","c":4,"trace":"beef"} -> traced
 //   {"cmd":"ping"}                                            -> liveness
-//   {"v":2,"cmd":"stats"}                                     -> engine stats
+//   {"v":2,"cmd":"stats"}                                     -> stats plane
+//   {"v":2,"cmd":"healthz"}                                   -> liveness+load
+//
+// The v2 `trace` field is an opaque client-chosen label (<= 64 chars).  It is
+// echoed verbatim as `"trace":"..."` in every v2 response to the request, and
+// — when span sampling is on — keys the server-side spans recorded for the
+// request (cs::obs::trace_id_from_label), so a load generator can correlate
+// client-observed latency with the server's per-stage breakdown.  v1
+// responses never carry the field.
 //
 // Response grammar (v2 responses carry "v":2 as the first field):
 //   solve ok:   {"v":2,"id":7,"ok":true,"cached":false,
@@ -24,8 +33,18 @@
 //                "bad_spec|timeout|overloaded|internal","message":"...",
 //                "retryable":false}}
 //   ping:       {"ok":true,"pong":true}            (+"v":2 in v2)
-//   stats:      {"ok":true,"hits":...,"misses":...,"evictions":...,
+//   stats v1:   {"ok":true,"hits":...,"misses":...,"evictions":...,
 //                "solves":...,"coalesced":...,"cache_size":...}
+//   stats v2:   {"v":2,"ok":true,"uptime_ms":...,...counters...,
+//                "engine":{...},"spans":{...},
+//                "stage_parse"/"stage_queue_wait"/"stage_solve"/
+//                "stage_flush":{"count","p50_us","p95_us","p99_us","max_us"},
+//                "shard<i>":{"conns","inflight","write_queue_bytes",
+//                "memo_hits","memo_lookups","memo_entries","shed",
+//                "timeouts"},"metrics":{...}}    (all one level deep — the
+//                snapshot stays inside this parser's subset)
+//   healthz:    {"ok":true,"healthy":true,"uptime_ms":...,"inflight":...,
+//                "open_conns":...,"shed":...}     (+"v":2 in v2)
 //
 // The error taxonomy is cs::ErrorCode (core/error.hpp); `retryable` tells a
 // client whether resending the identical request can succeed (timeouts and
@@ -83,7 +102,7 @@ inline constexpr int kProtocolV1 = 1;
 inline constexpr int kProtocolV2 = 2;
 
 /// What kind of line arrived.
-enum class WireCommand { Solve, Ping, Stats };
+enum class WireCommand { Solve, Ping, Stats, Health };
 
 /// A parsed request line.
 struct WireRequest {
@@ -92,20 +111,72 @@ struct WireRequest {
   std::optional<std::int64_t> id;  ///< echoed in the response when present
   SolveRequest solve;              ///< valid when cmd == Solve
   std::size_t max_periods = 16;    ///< periods echoed back in the response
+  std::optional<std::string> trace;  ///< v2 trace label, echoed + span key
+
+  /// The trace label to echo ("" when absent or v1 — never echoed then).
+  [[nodiscard]] std::string_view trace_label() const noexcept {
+    return version >= kProtocolV2 && trace ? std::string_view(*trace)
+                                           : std::string_view();
+  }
 };
 
 /// Parse one request line.  Throws std::invalid_argument with a message
 /// suitable for an error response.
 [[nodiscard]] WireRequest parse_request_line(std::string_view line);
 
+/// Point-in-time stats-plane snapshot the v2 `stats` and `healthz` verbs
+/// serialize.  Built by Server::stats_snapshot() from relaxed atomics plus
+/// the engine tallies, so producing one never blocks a loop thread.
+struct ServerStatsSnapshot {
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t reaped = 0;
+  std::uint64_t timeouts = 0;
+  std::int64_t open_conns = 0;
+  std::int64_t inflight = 0;
+  EngineStats engine;
+  std::size_t cache_size = 0;
+  /// Per-loop-shard gauges (index = shard).
+  struct Shard {
+    std::int64_t conns = 0;
+    std::int64_t inflight = 0;
+    std::uint64_t write_queue_bytes = 0;
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_lookups = 0;
+    std::uint64_t memo_entries = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t timeouts = 0;
+  };
+  std::vector<Shard> shards;
+  /// Per-stage latency summaries (parse, queue_wait, solve, flush); empty
+  /// while observability is disabled.
+  struct Stage {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, max_us = 0.0;
+  };
+  std::vector<Stage> stages;
+  /// Flattened registry snapshot (counters and gauges only; histograms are
+  /// covered by `stages`).  Empty while observability is disabled.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Span collector health.
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+  std::uint32_t span_sample_every = 0;
+};
+
 /// Serialize responses (no trailing newline; the server appends '\n').
 [[nodiscard]] std::string make_solve_response(const WireRequest& req,
                                               const ScheduleResult& result,
                                               bool cached);
-/// The `{"v":2,"id":7,"ok":true` prefix every response starts with.
+/// The `{"v":2,"id":7,"trace":"...","ok":true` prefix every response starts
+/// with.  `trace` (already-escaped-free client label) is echoed only on v2.
 [[nodiscard]] std::string make_response_head(int version,
                                              std::optional<std::int64_t> id,
-                                             bool ok);
+                                             bool ok,
+                                             std::string_view trace = {});
 /// Everything of a solve response after the head (leading comma included).
 /// A pure function of (result, cached, max_periods) — the server memoizes
 /// it per canonical key so cache hits skip the double formatting entirely.
@@ -116,13 +187,24 @@ struct WireRequest {
 /// {"code","message","retryable"} object.
 [[nodiscard]] std::string make_error_response(int version,
                                               std::optional<std::int64_t> id,
-                                              const cs::Error& error);
+                                              const cs::Error& error,
+                                              std::string_view trace = {});
 [[nodiscard]] std::string make_pong_response(int version,
-                                             std::optional<std::int64_t> id);
+                                             std::optional<std::int64_t> id,
+                                             std::string_view trace = {});
+/// The legacy (v1) stats shape — engine tallies only, kept verbatim.
 [[nodiscard]] std::string make_stats_response(int version,
                                               std::optional<std::int64_t> id,
                                               const EngineStats& stats,
                                               std::size_t cache_size);
+/// The v2 stats plane: everything in the snapshot, one nesting level deep
+/// (inside the wire parser's subset, so v2 clients can parse it back).
+[[nodiscard]] std::string make_stats_response_v2(
+    std::optional<std::int64_t> id, std::string_view trace,
+    const ServerStatsSnapshot& snap);
+[[nodiscard]] std::string make_healthz_response(
+    int version, std::optional<std::int64_t> id, std::string_view trace,
+    const ServerStatsSnapshot& snap);
 
 /// A parsed response line, as seen by a client.
 struct WireResponse {

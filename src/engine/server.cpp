@@ -13,6 +13,8 @@
 #include "engine/protocol.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
+#include "obs/span.hpp"
 
 namespace cs::engine {
 
@@ -27,16 +29,27 @@ struct NetMetrics {
   obs::Gauge& open;
   obs::Gauge& inflight;
   obs::Histogram& batch_size;
+  // Per-stage pipeline latency (nanoseconds, log buckets): what the v2
+  // stats verb summarizes as p50/p95/p99 per stage.
+  obs::Histogram& stage_parse;
+  obs::Histogram& stage_queue_wait;
+  obs::Histogram& stage_solve;
+  obs::Histogram& stage_flush;
   static NetMetrics& instance() {
     auto& reg = obs::Registry::global();
-    static NetMetrics m{reg.counter("net.accepted"),
-                        reg.counter("net.requests"),
-                        reg.counter("net.shed"),
-                        reg.counter("net.reaped"),
-                        reg.counter("net.timeout"),
-                        reg.gauge("net.connections.open"),
-                        reg.gauge("net.inflight"),
-                        reg.histogram("net.batch_size")};
+    static NetMetrics m{
+        reg.counter("net.accepted"),
+        reg.counter("net.requests"),
+        reg.counter("net.shed"),
+        reg.counter("net.reaped"),
+        reg.counter("net.timeout"),
+        reg.gauge("net.connections.open"),
+        reg.gauge("net.inflight"),
+        reg.histogram("net.batch_size"),
+        reg.histogram("net.stage.parse", {}, obs::timer_layout()),
+        reg.histogram("net.stage.queue_wait", {}, obs::timer_layout()),
+        reg.histogram("net.stage.solve", {}, obs::timer_layout()),
+        reg.histogram("net.stage.flush", {}, obs::timer_layout())};
     return m;
   }
 };
@@ -56,11 +69,26 @@ struct Server::Shard {
     std::string tail;
   };
 
+  /// Per-shard gauges for the stats plane.  Writers are the loop thread (and
+  /// the worker completion for inflight); readers are whichever thread built
+  /// the snapshot, hence relaxed atomics rather than plain fields.
+  struct Stats {
+    std::atomic<std::int64_t> conns{0};
+    std::atomic<std::int64_t> inflight{0};
+    std::atomic<std::uint64_t> write_queue_bytes{0};  ///< refreshed on tick
+    std::atomic<std::uint64_t> memo_hits{0};
+    std::atomic<std::uint64_t> memo_lookups{0};
+    std::atomic<std::uint64_t> memo_entries{0};       ///< refreshed on tick
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> timeouts{0};
+  };
+
   std::size_t index = 0;
   std::unique_ptr<net::EventLoop> loop;
   std::thread thread;
   std::unordered_map<Session*, std::shared_ptr<Session>> sessions;
   std::unordered_map<std::string, HotEntry> hot;
+  Stats stats;
   bool draining = false;
   std::chrono::steady_clock::time_point drain_start{};
 };
@@ -143,6 +171,7 @@ void Server::start() {
   shards_[0]->loop->add(listen_fd_, EPOLLIN,
                         [this](std::uint32_t) { accept_ready(); });
 
+  started_ = std::chrono::steady_clock::now();
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
@@ -207,6 +236,7 @@ void Server::adopt(Shard& shard, int fd) {
   // cs: affinity(loop)
   handlers.on_closed = [this, &shard, raw] {
     open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    shard.stats.conns.fetch_sub(1, std::memory_order_relaxed);
     if (obs::enabled()) {
       NetMetrics::instance().open.set(
           static_cast<double>(open_conns_.load(std::memory_order_relaxed)));
@@ -223,6 +253,7 @@ void Server::adopt(Shard& shard, int fd) {
       std::make_unique<net::Conn>(*shard.loop, fd, limits, std::move(handlers));
   shard.sessions.emplace(raw, std::move(session));
   open_conns_.fetch_add(1, std::memory_order_relaxed);
+  shard.stats.conns.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
     NetMetrics::instance().open.set(
         static_cast<double>(open_conns_.load(std::memory_order_relaxed)));
@@ -238,10 +269,18 @@ void Server::process_frames(Shard& shard, Session& session,
     m.batch_size.observe(static_cast<double>(frames.size()));
   }
 
+  // Tracing/timing guards, hoisted: with sampling off and metrics off the
+  // whole pipeline below performs zero clock reads and zero span work.
+  auto& spans = obs::SpanCollector::global();
+  const bool tracing = spans.enabled();
+  const bool observed = obs::enabled();
+  const bool timed = tracing || observed;
+
   const auto enqueued = std::chrono::steady_clock::now();
   std::vector<PendingRequest> pending;
   for (std::string& frame : frames) {
     if (session.conn->closed()) return;  // write error mid-batch tore it down
+    const std::uint64_t t_parse0 = timed ? obs::now_ns() : 0;
     WireRequest req;
     try {
       req = parse_request_line(frame);
@@ -269,14 +308,55 @@ void Server::process_frames(Shard& shard, Session& session,
       continue;
     }
     session.last_version = req.version;
+    const std::uint64_t t_parse1 = timed ? obs::now_ns() : 0;
+    if (observed && req.cmd == WireCommand::Solve) {
+      NetMetrics::instance().stage_parse.observe(
+          static_cast<double>(t_parse1 - t_parse0));
+    }
+
+    // Admission: a client-supplied trace label is always traced (the load
+    // generator decides which requests to correlate); otherwise every nth.
+    TraceContext trace;
+    if (tracing && req.cmd == WireCommand::Solve) {
+      const std::string_view label = req.trace_label();
+      if (!label.empty() || spans.admit()) {
+        trace.trace_id = label.empty() ? spans.next_id()
+                                       : obs::trace_id_from_label(label);
+        trace.root_span = spans.next_id();
+        trace.start_ns = t_parse0;
+        obs::Span s;
+        s.trace_id = trace.trace_id;
+        s.span_id = spans.next_id();
+        s.parent_id = trace.root_span;
+        s.name = "parse";
+        s.start_ns = t_parse0;
+        s.end_ns = t_parse1;
+        s.track = static_cast<std::int32_t>(shard.index);
+        spans.record(std::move(s));
+      }
+    }
 
     if (req.cmd == WireCommand::Ping) {
-      session.conn->send(make_pong_response(req.version, req.id));
+      session.conn->send(
+          make_pong_response(req.version, req.id, req.trace_label()));
       continue;
     }
     if (req.cmd == WireCommand::Stats) {
-      session.conn->send(make_stats_response(
-          req.version, req.id, engine_->stats(), engine_->cache_size()));
+      // v1 keeps the legacy engine-tallies shape verbatim; v2 gets the full
+      // stats plane.  Both are answered inline on the loop (snapshot never
+      // blocks), so `stats` stays usable under full solver load.
+      if (req.version >= kProtocolV2) {
+        session.conn->send(make_stats_response_v2(req.id, req.trace_label(),
+                                                  stats_snapshot()));
+      } else {
+        session.conn->send(make_stats_response(
+            req.version, req.id, engine_->stats(), engine_->cache_size()));
+      }
+      continue;
+    }
+    if (req.cmd == WireCommand::Health) {
+      session.conn->send(make_healthz_response(
+          req.version, req.id, req.trace_label(), stats_snapshot()));
       continue;
     }
 
@@ -287,6 +367,7 @@ void Server::process_frames(Shard& shard, Session& session,
     // re-parse, no double formatting.
     try {
       const std::string fp = solve_fingerprint(req);
+      shard.stats.memo_lookups.fetch_add(1, std::memory_order_relaxed);
       auto memo = shard.hot.find(fp);
       if (memo == shard.hot.end()) {
         const CanonicalRequest creq = canonicalize(req.solve);
@@ -294,20 +375,68 @@ void Server::process_frames(Shard& shard, Session& session,
         memo = shard.hot.emplace(fp, Shard::HotEntry{creq.key, {}}).first;
       }
       if (auto hit = engine_->cached(memo->second.key)) {
-        if (memo->second.tail.empty()) {
+        // memo_hit = served entirely from the shard memo (tail already
+        // rendered); cache_hit = engine cache hit that still formatted once.
+        const bool memoized = !memo->second.tail.empty();
+        if (memoized) {
+          shard.stats.memo_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
           memo->second.tail =
               make_solve_response_tail(**hit, true, req.max_periods);
         }
-        session.conn->send(make_response_head(req.version, req.id, true) +
-                           memo->second.tail);
+        const std::uint64_t t_solve1 = timed ? obs::now_ns() : 0;
+        session.conn->send(
+            make_response_head(req.version, req.id, true, req.trace_label()) +
+            memo->second.tail);
+        const std::uint64_t t_flush1 = timed ? obs::now_ns() : 0;
+        if (observed) {
+          auto& m = NetMetrics::instance();
+          m.stage_solve.observe(static_cast<double>(t_solve1 - t_parse1));
+          m.stage_flush.observe(static_cast<double>(t_flush1 - t_solve1));
+        }
+        if (trace.sampled()) {
+          const char* tag = memoized ? "memo_hit" : "cache_hit";
+          const auto track = static_cast<std::int32_t>(shard.index);
+          obs::Span s;
+          s.trace_id = trace.trace_id;
+          s.span_id = spans.next_id();
+          s.parent_id = trace.root_span;
+          s.name = "solve";
+          s.tag = tag;
+          s.start_ns = t_parse1;
+          s.end_ns = t_solve1;
+          s.track = track;
+          spans.record(std::move(s));
+          s = obs::Span{};
+          s.trace_id = trace.trace_id;
+          s.span_id = spans.next_id();
+          s.parent_id = trace.root_span;
+          s.name = "flush";
+          s.start_ns = t_solve1;
+          s.end_ns = t_flush1;
+          s.track = track;
+          spans.record(std::move(s));
+          s = obs::Span{};
+          s.trace_id = trace.trace_id;
+          s.span_id = trace.root_span;
+          s.name = "request";
+          s.tag = tag;
+          s.start_ns = trace.start_ns;
+          s.end_ns = t_flush1;
+          s.track = track;
+          spans.record(std::move(s));
+        }
         continue;
       }
     } catch (const std::exception& err) {
       session.conn->send(make_error_response(
-          req.version, req.id, cs::Error(cs::ErrorCode::BadSpec, err.what())));
+          req.version, req.id, cs::Error(cs::ErrorCode::BadSpec, err.what()),
+          req.trace_label()));
       continue;
     }
-    pending.push_back(PendingRequest{std::move(req), enqueued});
+    PendingRequest p{std::move(req), enqueued, trace, 0};
+    if (timed) p.enqueued_ns = obs::now_ns();
+    pending.push_back(std::move(p));
   }
 
   if (!pending.empty() && !session.conn->closed())
@@ -327,11 +456,25 @@ void Server::dispatch(Shard& shard, Session& session,
         now_inflight > static_cast<std::int64_t>(opt_.max_inflight)) {
       inflight_.fetch_sub(1, std::memory_order_relaxed);
       sheds_.fetch_add(1, std::memory_order_relaxed);
+      shard.stats.shed.fetch_add(1, std::memory_order_relaxed);
       if (obs::enabled()) NetMetrics::instance().shed.inc();
+      if (p.trace.sampled()) {
+        // A shed request's trace is just its root span: no stages ran.
+        obs::Span s;
+        s.trace_id = p.trace.trace_id;
+        s.span_id = p.trace.root_span;
+        s.name = "request";
+        s.tag = "shed";
+        s.start_ns = p.trace.start_ns;
+        s.end_ns = obs::now_ns();
+        s.track = static_cast<std::int32_t>(shard.index);
+        obs::SpanCollector::global().record(std::move(s));
+      }
       session.conn->send(make_error_response(
           p.req.version, p.req.id,
           cs::Error(cs::ErrorCode::Overloaded,
-                    "server overloaded: in-flight request cap reached")));
+                    "server overloaded: in-flight request cap reached"),
+          p.req.trace_label()));
       continue;
     }
     kept.push_back(std::move(p));
@@ -343,6 +486,8 @@ void Server::dispatch(Shard& shard, Session& session,
   }
 
   const std::size_t n = kept.size();
+  shard.stats.inflight.fetch_add(static_cast<std::int64_t>(n),
+                                 std::memory_order_relaxed);
   session.outstanding += n;
   std::weak_ptr<Session> weak = shard.sessions.at(&session);
   try {
@@ -355,6 +500,8 @@ void Server::dispatch(Shard& shard, Session& session,
     // claim and drop the connection rather than strand its requests.
     inflight_.fetch_sub(static_cast<std::int64_t>(n),
                         std::memory_order_relaxed);
+    shard.stats.inflight.fetch_sub(static_cast<std::int64_t>(n),
+                                   std::memory_order_relaxed);
     session.outstanding -= n;
     session.conn->close();
   }
@@ -367,59 +514,161 @@ void Server::run_batch(Shard& shard, const std::weak_ptr<Session>& weak,
   if (opt_.solve_delay_for_test.count() > 0)
     std::this_thread::sleep_for(opt_.solve_delay_for_test);
 
+  auto& spans = obs::SpanCollector::global();
+  const bool observed = obs::enabled();
+  bool any_traced = false;
+  for (const PendingRequest& p : items) any_traced |= p.trace.sampled();
+  const bool timed = any_traced || observed;
+  const auto track = static_cast<std::int32_t>(shard.index);
+
+  // Root-span tag per item, resolved as the batch progresses; the flush and
+  // root spans are recorded by the completion back on the loop thread.
+  std::vector<const char*> tags(items.size(), "cold");
+
   const auto now = std::chrono::steady_clock::now();
+  const std::uint64_t t_pick = timed ? obs::now_ns() : 0;
   std::vector<std::string> responses(items.size());
   std::vector<SolveRequest> to_solve;
   std::vector<std::size_t> slot;
   to_solve.reserve(items.size());
   slot.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
+    if (observed && items[i].enqueued_ns != 0) {
+      NetMetrics::instance().stage_queue_wait.observe(
+          static_cast<double>(t_pick - items[i].enqueued_ns));
+    }
+    if (items[i].trace.sampled()) {
+      obs::Span s;
+      s.trace_id = items[i].trace.trace_id;
+      s.span_id = spans.next_id();
+      s.parent_id = items[i].trace.root_span;
+      s.name = "queue_wait";
+      s.start_ns = items[i].enqueued_ns;
+      s.end_ns = t_pick;
+      s.track = track;
+      spans.record(std::move(s));
+    }
     if (opt_.request_deadline.count() > 0 &&
         now - items[i].enqueued > opt_.request_deadline) {
-      if (obs::enabled()) NetMetrics::instance().timeout.inc();
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      shard.stats.timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (observed) NetMetrics::instance().timeout.inc();
+      tags[i] = "timeout";
       responses[i] = make_error_response(
           items[i].req.version, items[i].req.id,
-          cs::Error(cs::ErrorCode::Timeout, "request deadline exceeded"));
+          cs::Error(cs::ErrorCode::Timeout, "request deadline exceeded"),
+          items[i].req.trace_label());
       continue;
     }
     slot.push_back(i);
     to_solve.push_back(items[i].req.solve);
   }
 
+  const std::uint64_t t_solve0 = timed ? obs::now_ns() : 0;
   if (to_solve.size() == 1) {
     // Singleton batches keep the exact per-request `cached` report (a
     // double-checked or coalesced hit inside the engine counts).
     const std::size_t i = slot[0];
     bool hit = false;
-    auto result = engine_->solve(to_solve[0], &hit);
+    bool coalesced = false;
+    auto result = engine_->solve(to_solve[0], &hit, &coalesced);
+    tags[i] = !result.ok() ? "error"
+              : coalesced  ? "coalesced"
+              : hit        ? "cache_hit"
+                           : "cold";
     responses[i] =
         result.ok() ? make_solve_response(items[i].req, *result.value(), hit)
                     : make_error_response(items[i].req.version,
-                                          items[i].req.id, result.error());
+                                          items[i].req.id, result.error(),
+                                          items[i].req.trace_label());
   } else if (!to_solve.empty()) {
     auto results = engine_->solve_many(to_solve);
     for (std::size_t k = 0; k < results.size(); ++k) {
       const std::size_t i = slot[k];
+      if (!results[k].ok()) tags[i] = "error";
       responses[i] =
           results[k].ok()
               ? make_solve_response(items[i].req, *results[k].value(), false)
               : make_error_response(items[i].req.version, items[i].req.id,
-                                    results[k].error());
+                                    results[k].error(),
+                                    items[i].req.trace_label());
+    }
+  }
+  const std::uint64_t t_solve1 = timed ? obs::now_ns() : 0;
+  for (const std::size_t i : slot) {
+    if (observed) {
+      NetMetrics::instance().stage_solve.observe(
+          static_cast<double>(t_solve1 - t_solve0));
+    }
+    if (items[i].trace.sampled()) {
+      obs::Span s;
+      s.trace_id = items[i].trace.trace_id;
+      s.span_id = spans.next_id();
+      s.parent_id = items[i].trace.root_span;
+      s.name = "solve";
+      s.tag = tags[i];
+      s.start_ns = t_solve0;
+      s.end_ns = t_solve1;
+      s.track = track;
+      spans.record(std::move(s));
     }
   }
 
+  // The flush + root spans need the per-item trace context on the loop
+  // thread; lift just that (not the whole WireRequest) into the completion.
+  std::vector<std::pair<TraceContext, const char*>> outcomes(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    outcomes[i] = {items[i].trace, tags[i]};
+
   const std::size_t n = items.size();
-  shard.loop->post([this, weak, n, responses = std::move(responses)]() mutable {
+  Shard* shard_ptr = &shard;
+  shard.loop->post([this, weak, n, shard_ptr, track,
+                    responses = std::move(responses),
+                    outcomes = std::move(outcomes)]() mutable {
     inflight_.fetch_sub(static_cast<std::int64_t>(n),
                         std::memory_order_relaxed);
-    if (obs::enabled()) {
+    shard_ptr->stats.inflight.fetch_sub(static_cast<std::int64_t>(n),
+                                        std::memory_order_relaxed);
+    const bool flush_observed = obs::enabled();
+    if (flush_observed) {
       NetMetrics::instance().inflight.set(
           static_cast<double>(inflight_.load(std::memory_order_relaxed)));
     }
     auto session = weak.lock();
     if (!session || session->conn->closed()) return;
     session->outstanding -= n;
-    for (std::string& r : responses) session->conn->send(std::move(r));
+    auto& collector = obs::SpanCollector::global();
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      const auto& [trace, tag] = outcomes[i];
+      const bool flush_timed = trace.sampled() || flush_observed;
+      const std::uint64_t t_flush0 = flush_timed ? obs::now_ns() : 0;
+      session->conn->send(std::move(responses[i]));
+      const std::uint64_t t_flush1 = flush_timed ? obs::now_ns() : 0;
+      if (flush_observed) {
+        NetMetrics::instance().stage_flush.observe(
+            static_cast<double>(t_flush1 - t_flush0));
+      }
+      if (trace.sampled()) {
+        obs::Span s;
+        s.trace_id = trace.trace_id;
+        s.span_id = collector.next_id();
+        s.parent_id = trace.root_span;
+        s.name = "flush";
+        s.start_ns = t_flush0;
+        s.end_ns = t_flush1;
+        s.track = track;
+        collector.record(std::move(s));
+        s = obs::Span{};
+        s.trace_id = trace.trace_id;
+        s.span_id = trace.root_span;
+        s.name = "request";
+        s.tag = tag;
+        s.start_ns = trace.start_ns;
+        s.end_ns = t_flush1;
+        s.track = track;
+        collector.record(std::move(s));
+      }
+    }
     if (session->eof && session->outstanding == 0)
       session->conn->close_after_flush();
   });
@@ -427,6 +676,16 @@ void Server::run_batch(Shard& shard, const std::weak_ptr<Session>& weak,
 
 void Server::shard_tick(Shard& shard) {
   const auto now = std::chrono::steady_clock::now();
+
+  // Refresh the tick-sampled per-shard gauges (cheap sums over loop-owned
+  // state; exact counters are maintained inline).
+  std::uint64_t queued_bytes = 0;
+  for (const auto& entry : shard.sessions) {
+    if (!entry.second->conn->closed())
+      queued_bytes += entry.second->conn->write_queue_bytes();
+  }
+  shard.stats.write_queue_bytes.store(queued_bytes, std::memory_order_relaxed);
+  shard.stats.memo_entries.store(shard.hot.size(), std::memory_order_relaxed);
 
   if (!shard.draining && opt_.idle_timeout.count() > 0) {
     // Idle reaping.  idle_for() counts from the last *complete* frame, so a
@@ -504,6 +763,71 @@ void Server::wait() const {
          !stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+}
+
+ServerStatsSnapshot Server::stats_snapshot() const {
+  ServerStatsSnapshot snap;
+  if (started_ != std::chrono::steady_clock::time_point{}) {
+    snap.uptime_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
+  }
+  snap.accepted = connections_.load(std::memory_order_relaxed);
+  snap.requests = requests_.load(std::memory_order_relaxed);
+  snap.shed = sheds_.load(std::memory_order_relaxed);
+  snap.reaped = reaps_.load(std::memory_order_relaxed);
+  snap.timeouts = timeouts_.load(std::memory_order_relaxed);
+  snap.open_conns = open_conns_.load(std::memory_order_relaxed);
+  snap.inflight = inflight_.load(std::memory_order_relaxed);
+  snap.engine = engine_->stats();
+  snap.cache_size = engine_->cache_size();
+
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const Shard::Stats& st = shard->stats;
+    ServerStatsSnapshot::Shard sh;
+    sh.conns = st.conns.load(std::memory_order_relaxed);
+    sh.inflight = st.inflight.load(std::memory_order_relaxed);
+    sh.write_queue_bytes = st.write_queue_bytes.load(std::memory_order_relaxed);
+    sh.memo_hits = st.memo_hits.load(std::memory_order_relaxed);
+    sh.memo_lookups = st.memo_lookups.load(std::memory_order_relaxed);
+    sh.memo_entries = st.memo_entries.load(std::memory_order_relaxed);
+    sh.shed = st.shed.load(std::memory_order_relaxed);
+    sh.timeouts = st.timeouts.load(std::memory_order_relaxed);
+    snap.shards.push_back(sh);
+  }
+
+  auto& spans = obs::SpanCollector::global();
+  snap.spans_recorded = spans.recorded();
+  snap.spans_dropped = spans.dropped();
+  snap.span_sample_every = spans.sample_every();
+
+  if (obs::enabled()) {
+    auto& m = NetMetrics::instance();
+    const auto stage = [](const char* name, const obs::Histogram& h) {
+      ServerStatsSnapshot::Stage st;
+      st.name = name;
+      st.count = h.count();
+      if (st.count > 0) {
+        st.p50_us = h.quantile(0.50) * 1e-3;
+        st.p95_us = h.quantile(0.95) * 1e-3;
+        st.p99_us = h.quantile(0.99) * 1e-3;
+        st.max_us = h.max() * 1e-3;
+      }
+      return st;
+    };
+    snap.stages.push_back(stage("parse", m.stage_parse));
+    snap.stages.push_back(stage("queue_wait", m.stage_queue_wait));
+    snap.stages.push_back(stage("solve", m.stage_solve));
+    snap.stages.push_back(stage("flush", m.stage_flush));
+
+    for (const auto& sample : obs::Registry::global().snapshot()) {
+      if (sample.kind == obs::MetricSample::Kind::Histogram) continue;
+      snap.metrics.emplace_back(sample.name, sample.value);
+    }
+  }
+  return snap;
 }
 
 void Server::flush_metrics() const {

@@ -35,7 +35,22 @@
 //
 // Observability (when cs::obs::enabled()): counters `net.accepted`,
 // `net.requests`, `net.shed`, `net.reaped`, `net.timeout`; gauges
-// `net.connections.open`, `net.inflight`; histogram `net.batch_size`.
+// `net.connections.open`, `net.inflight`; histograms `net.batch_size` and the
+// per-stage pipeline timers `net.stage.parse` / `net.stage.queue_wait` /
+// `net.stage.solve` / `net.stage.flush` (nanosecond log buckets).
+//
+// Tracing (when cs::obs::SpanCollector::global() samples): each admitted
+// solve request records one span per pipeline stage plus a root "request"
+// span, keyed by the client's protocol-v2 `trace` label when present (always
+// admitted) or a generated id otherwise.  The loop-side hot path records
+// solve spans tagged memo_hit/cache_hit; cold requests record
+// parse/queue_wait/solve/flush with solve tagged cold/coalesced/timeout.
+// With sampling off the per-request cost is one relaxed load and a branch.
+//
+// The live stats plane (`stats_snapshot()`, serving the v2 `stats` and
+// `healthz` verbs and csserve's --stats-interval dump) is built from relaxed
+// atomics, per-shard gauge structs, and histogram quantiles — no loop-thread
+// blocking beyond the registry's name-lookup mutex.
 #pragma once
 
 #include <atomic>
@@ -114,13 +129,32 @@ class Server {
     return reaps_.load(std::memory_order_relaxed);
   }
 
+  /// Point-in-time stats-plane snapshot (see ServerStatsSnapshot).  Safe from
+  /// any thread while the server runs — the loop threads answer the v2
+  /// `stats` verb with it inline, and csserve's --stats-interval dumper calls
+  /// it from the main thread — but must not race stop() (which tears the
+  /// shards down).  Deliberately NOT loop-affine: it only reads atomics and
+  /// registry quantiles, never blocks.
+  [[nodiscard]] ServerStatsSnapshot stats_snapshot() const;
+
  private:
   struct Shard;
   struct Session;
+  /// Per-request trace context, threaded from parse to response flush.  A
+  /// zero trace_id means the request was not sampled (the common case) and
+  /// every instrumentation site downstream is a single branch.
+  struct TraceContext {
+    std::uint64_t trace_id = 0;
+    std::uint64_t root_span = 0;  ///< parent of every stage span
+    std::uint64_t start_ns = 0;   ///< request start (frame handoff to parse)
+    [[nodiscard]] bool sampled() const noexcept { return trace_id != 0; }
+  };
   /// One solve request waiting for a worker.
   struct PendingRequest {
     WireRequest req;
     std::chrono::steady_clock::time_point enqueued;
+    TraceContext trace;
+    std::uint64_t enqueued_ns = 0;  ///< queue_wait span start (0 = untraced)
   };
 
   // The loop-side half of the server: these run on a shard's loop thread
@@ -159,10 +193,13 @@ class Server {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t accept_rr_ = 0;  ///< shard 0 loop thread only
 
+  std::chrono::steady_clock::time_point started_{};
+
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> sheds_{0};
   std::atomic<std::uint64_t> reaps_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::int64_t> inflight_{0};
   std::atomic<std::int64_t> open_conns_{0};
 };

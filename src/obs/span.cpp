@@ -1,0 +1,274 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+
+namespace cs::obs {
+
+namespace {
+
+/// splitmix64 — the finalizer alone is a fine id mixer (nonzero input domain
+/// is guaranteed by the +1 in next_id).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Locate `"key":` in a flat one-level JSON object and return the value
+/// substring (unquoted for strings), or nullopt.
+std::optional<std::string_view> find_value(std::string_view line,
+                                           std::string_view key) {
+  std::string pat = "\"";
+  pat += key;
+  pat += "\":";
+  const auto pos = line.find(pat);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t i = pos + pat.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size()) return std::nullopt;
+  if (line[i] == '"') {
+    const auto end = line.find('"', i + 1);
+    if (end == std::string_view::npos) return std::nullopt;
+    return line.substr(i + 1, end - i - 1);
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(i, end - i);
+}
+
+/// Nanosecond timestamps exceed a double's exact-integer range, so span
+/// times parse as u64, not through stod.
+std::optional<std::uint64_t> find_u64(std::string_view line,
+                                      std::string_view key) {
+  const auto v = find_value(line, key);
+  if (!v) return std::nullopt;
+  std::uint64_t out = 0;
+  const auto res = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (res.ec != std::errc{} || res.ptr != v->data() + v->size())
+    return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::string span_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_span_id_hex(std::string_view s) noexcept {
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  std::uint64_t out = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out, 16);
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size())
+    return std::nullopt;
+  return out;
+}
+
+std::uint64_t trace_id_from_label(std::string_view label) noexcept {
+  if (const auto hex = parse_span_id_hex(label); hex && *hex != 0) return *hex;
+  // FNV-1a; mixed so short labels still spread across the id space.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  const std::uint64_t id = mix64(h);
+  return id != 0 ? id : 1;
+}
+
+std::optional<Span> parse_span_jsonl(std::string_view line) {
+  const auto first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos || line[first] != '{')
+    return std::nullopt;
+
+  Span s;
+  const auto trace = find_value(line, "trace");
+  const auto span = find_value(line, "span");
+  const auto name = find_value(line, "name");
+  const auto start = find_u64(line, "start");
+  const auto end = find_u64(line, "end");
+  if (!trace || !span || !name || !start || !end) return std::nullopt;
+  const auto trace_id = parse_span_id_hex(*trace);
+  const auto span_id = parse_span_id_hex(*span);
+  if (!trace_id || !span_id) return std::nullopt;
+  s.trace_id = *trace_id;
+  s.span_id = *span_id;
+  if (const auto parent = find_value(line, "parent"))
+    s.parent_id = parse_span_id_hex(*parent).value_or(0);
+  s.name = std::string(*name);
+  if (const auto tag = find_value(line, "tag")) s.tag = std::string(*tag);
+  s.start_ns = *start;
+  s.end_ns = *end;
+  s.track = static_cast<std::int32_t>(
+      static_cast<std::int64_t>(find_u64(line, "track").value_or(0)) - 1);
+  s.seq = find_u64(line, "seq").value_or(0);
+  return s;
+}
+
+SpanCollector::SpanCollector(std::size_t shard_capacity, std::size_t shards)
+    : shard_capacity_(std::max<std::size_t>(1, shard_capacity)) {
+  shards = std::max<std::size_t>(1, shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->ring.resize(shard_capacity_);
+    shards_.push_back(std::move(s));
+  }
+}
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector collector;
+  return collector;
+}
+
+bool SpanCollector::admit() noexcept {
+  const std::uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  if (every == 1) return true;
+  return admit_clock_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+std::uint64_t SpanCollector::next_id() noexcept {
+  return mix64(next_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+void SpanCollector::record(Span s) noexcept {
+  s.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Shard by sequence number, like EventTracer: spreads lock contention and
+  // fills all shards uniformly so per-shard drop-oldest approximates global.
+  const std::size_t si = static_cast<std::size_t>(s.seq) % shards_.size();
+  Shard& shard = *shards_[si];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.size == shard_capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++shard.size;
+  }
+  shard.ring[shard.head] = std::move(s);
+  shard.head = (shard.head + 1) % shard_capacity_;
+}
+
+std::vector<Span> SpanCollector::drain() {
+  std::vector<Span> out;
+  for (auto& sp : shards_) {
+    Shard& shard = *sp;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::size_t start = shard.size == shard_capacity_ ? shard.head : 0;
+    for (std::size_t k = 0; k < shard.size; ++k)
+      out.push_back(std::move(shard.ring[(start + k) % shard_capacity_]));
+    shard.size = 0;
+    shard.head = 0;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void SpanCollector::write_jsonl(const std::vector<Span>& spans,
+                                std::ostream& os) {
+  std::string line;
+  for (const Span& s : spans) {
+    line.clear();
+    line += "{\"seq\":";
+    line += std::to_string(s.seq);
+    line += ",\"trace\":\"";
+    line += span_id_hex(s.trace_id);
+    line += "\",\"span\":\"";
+    line += span_id_hex(s.span_id);
+    line += '"';
+    if (s.parent_id != 0) {
+      line += ",\"parent\":\"";
+      line += span_id_hex(s.parent_id);
+      line += '"';
+    }
+    line += ",\"name\":\"";
+    line += s.name;
+    line += '"';
+    if (!s.tag.empty()) {
+      line += ",\"tag\":\"";
+      line += s.tag;
+      line += '"';
+    }
+    line += ",\"start\":";
+    line += std::to_string(s.start_ns);
+    line += ",\"end\":";
+    line += std::to_string(s.end_ns);
+    if (s.track >= 0) {
+      // Stored off-by-one so an absent field round-trips to "no track".
+      line += ",\"track\":";
+      line += std::to_string(s.track + 1);
+    }
+    line += "}\n";
+    os << line;
+  }
+}
+
+void SpanCollector::write_chrome_trace(const std::vector<Span>& spans,
+                                       std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& body) {
+    if (!first) os << ",\n";
+    first = false;
+    os << body;
+  };
+  // One timeline track per pipeline stage, in first-seen order.
+  std::vector<std::string> stages;
+  const auto stage_tid = [&](const std::string& name) {
+    const auto it = std::find(stages.begin(), stages.end(), name);
+    if (it != stages.end())
+      return static_cast<std::size_t>(it - stages.begin());
+    stages.push_back(name);
+    return stages.size() - 1;
+  };
+  std::uint64_t t0 = ~0ULL;
+  for (const Span& s : spans) t0 = std::min(t0, s.start_ns);
+  // First pass: metadata rows naming the tracks (must precede the slices for
+  // stable ordering in the viewer).
+  for (const Span& s : spans) {
+    if (std::find(stages.begin(), stages.end(), s.name) != stages.end())
+      continue;
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+         std::to_string(stages.size()) + ",\"args\":{\"name\":\"" + s.name +
+         "\"}}");
+    stages.push_back(s.name);
+  }
+  std::string line;
+  for (const Span& s : spans) {
+    line.clear();
+    line += "{\"name\":\"";
+    line += s.name;
+    line += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+    line += std::to_string(stage_tid(s.name));
+    line += ",\"ts\":";
+    // Microseconds relative to the earliest span: small enough for the
+    // viewer's double math to stay exact.
+    line += std::to_string(static_cast<double>(s.start_ns - t0) * 1e-3);
+    line += ",\"dur\":";
+    line += std::to_string(static_cast<double>(s.end_ns - s.start_ns) * 1e-3);
+    line += ",\"args\":{\"trace\":\"";
+    line += span_id_hex(s.trace_id);
+    line += '"';
+    if (!s.tag.empty()) {
+      line += ",\"tag\":\"";
+      line += s.tag;
+      line += '"';
+    }
+    if (s.track >= 0) {
+      line += ",\"shard\":";
+      line += std::to_string(s.track);
+    }
+    line += "}}";
+    emit(line);
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace cs::obs

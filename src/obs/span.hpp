@@ -1,0 +1,139 @@
+// Per-request distributed tracing for the serving pipeline.
+//
+// A Span is one timed stage of one request — parse, queue-wait, solve,
+// flush — tied together by a 64-bit trace id (one per request, either
+// client-supplied through the protocol-v2 `trace` field or generated) and a
+// parent span id (stage spans hang off a per-request root span).  Spans are
+// buffered in a SpanCollector: the same lock-sharded drop-oldest ring design
+// as EventTracer, so tracing can never grow unboundedly or stall a shard.
+//
+// Sampling is the hot-path guard.  `set_sample_every(n)` admits every nth
+// request (1 = all, 0 = tracing off); with sampling off the per-request cost
+// at an instrumented site is one relaxed atomic load and a branch — no clock
+// reads, no id generation, no allocations.  A client-supplied trace id is
+// always admitted while sampling is on, so a load generator can force
+// end-to-end traces for exactly the requests it wants to correlate.
+//
+// Two export sinks mirror the event tracer: JSONL (`parse_span_jsonl`
+// round-trips each line; `tools/cstrace` aggregates them into per-stage
+// latency breakdowns) and Chrome trace_event JSON with one timeline track
+// per pipeline stage.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs::obs {
+
+/// One timed pipeline stage of one traced request.
+struct Span {
+  std::uint64_t trace_id = 0;  ///< groups the spans of one request
+  std::uint64_t span_id = 0;   ///< unique per span
+  std::uint64_t parent_id = 0; ///< 0 = root span of its trace
+  std::string name;            ///< stage: "request", "parse", "queue_wait",
+                               ///< "solve", "flush"
+  std::string tag;             ///< branch annotation: "memo_hit", "cache_hit",
+                               ///< "coalesced", "cold", "timeout", ...
+  std::uint64_t start_ns = 0;  ///< monotonic (cs::obs::now_ns) start
+  std::uint64_t end_ns = 0;    ///< monotonic end (>= start_ns)
+  std::int32_t track = -1;     ///< loop shard that owned the request
+  std::uint64_t seq = 0;       ///< global record order (assigned on record)
+};
+
+/// Fixed-width lower-case hex (16 digits) used for ids on the wire.
+[[nodiscard]] std::string span_id_hex(std::uint64_t id);
+/// Inverse of span_id_hex; accepts 1..16 hex digits, nullopt otherwise.
+[[nodiscard]] std::optional<std::uint64_t> parse_span_id_hex(
+    std::string_view s) noexcept;
+/// Map an arbitrary client-supplied trace label onto a trace id: hex labels
+/// parse exactly (so the client can recover its own ids from a span dump);
+/// anything else is FNV-1a hashed.  Never returns 0.
+[[nodiscard]] std::uint64_t trace_id_from_label(std::string_view label) noexcept;
+
+/// Parse one JSONL line produced by SpanCollector::write_jsonl.  Tolerant of
+/// key order; nullopt for blank/malformed/non-span lines.
+[[nodiscard]] std::optional<Span> parse_span_jsonl(std::string_view line);
+
+/// Lock-sharded bounded span buffer with an every-nth sampling gate.
+class SpanCollector {
+ public:
+  /// `shard_capacity` spans per shard; total capacity = shards * capacity.
+  explicit SpanCollector(std::size_t shard_capacity = 1 << 14,
+                         std::size_t shards = 8);
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// Process-wide collector used by the serving pipeline instrumentation.
+  static SpanCollector& global();
+
+  /// Sampling knob: admit every `n`th request (1 = every request, 0 = off).
+  void set_sample_every(std::uint32_t n) noexcept {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t sample_every() const noexcept {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  /// The one-load hot-path guard: false means no tracing work at all.
+  [[nodiscard]] bool enabled() const noexcept {
+    return sample_every_.load(std::memory_order_relaxed) != 0;
+  }
+  /// Admission decision for one request without a client trace id: true for
+  /// every sample_every()th call.  Always false while disabled.
+  [[nodiscard]] bool admit() noexcept;
+
+  /// Fresh nonzero id for traces and spans (splitmix64 of a counter, so ids
+  /// are unique per process and well-mixed across shard hash maps).
+  [[nodiscard]] std::uint64_t next_id() noexcept;
+
+  /// Buffer a span (thread-safe; `s.seq` is overwritten).  When the target
+  /// shard is full its oldest span is overwritten and dropped() incremented.
+  void record(Span s) noexcept;
+
+  /// Move all buffered spans out, in sequence order.  Counters are kept.
+  [[nodiscard]] std::vector<Span> drain();
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return shard_capacity_ * shards_.size();
+  }
+
+  /// Serialize spans as JSONL (one object per line; parse_span_jsonl
+  /// round-trips every field).
+  static void write_jsonl(const std::vector<Span>& spans, std::ostream& os);
+  /// Chrome trace_event JSON: every span becomes a duration slice on the
+  /// track of its pipeline stage (one tid per distinct span name), with
+  /// trace/tag in args.  Timestamps are rebased to the earliest span.
+  static void write_chrome_trace(const std::vector<Span>& spans,
+                                 std::ostream& os);
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Span> ring;
+    std::size_t head = 0;  ///< next write slot
+    std::size_t size = 0;  ///< live spans (<= capacity)
+  };
+
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint32_t> sample_every_{0};
+  std::atomic<std::uint64_t> admit_clock_{0};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace cs::obs

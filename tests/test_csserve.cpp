@@ -17,9 +17,13 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <map>
+
 #include "engine/client.hpp"
 #include "engine/protocol.hpp"
 #include "net/socket.hpp"
+#include "obs/span.hpp"
 
 namespace cs::engine {
 namespace {
@@ -103,6 +107,27 @@ TEST(WireRequestParse, MissingFieldsThrow) {
   EXPECT_THROW((void)parse_request_line(R"({"life":"uniform:L=480"})"),
                std::invalid_argument);
   EXPECT_THROW((void)parse_request_line(R"({"cmd":"reboot"})"),
+               std::invalid_argument);
+}
+
+TEST(WireRequestParse, TraceLabelAndHealthz) {
+  const auto traced = parse_request_line(
+      R"({"v":2,"life":"uniform:L=480","c":4,"trace":"run-17"})");
+  ASSERT_TRUE(traced.trace.has_value());
+  EXPECT_EQ(*traced.trace, "run-17");
+  EXPECT_EQ(traced.trace_label(), "run-17");
+
+  // The label is carried but never echoed on v1 frames.
+  const auto v1 = parse_request_line(
+      R"({"life":"uniform:L=480","c":4,"trace":"run-17"})");
+  EXPECT_EQ(v1.trace_label(), "");
+
+  const auto hz = parse_request_line(R"({"v":2,"cmd":"healthz"})");
+  EXPECT_EQ(hz.cmd, WireCommand::Health);
+
+  const std::string long_label(65, 'x');
+  EXPECT_THROW((void)parse_request_line(
+                   R"({"v":2,"cmd":"ping","trace":")" + long_label + "\"}"),
                std::invalid_argument);
 }
 
@@ -342,6 +367,178 @@ TEST(Csserve, StatsCommandReflectsEngineActivity) {
   EXPECT_NE(stats.find("\"solves\":1"), std::string::npos);
   EXPECT_NE(stats.find("\"cache_size\":1"), std::string::npos);
   server.stop();
+}
+
+/// Pin the global span collector's sampling knob for one test and leave the
+/// buffer empty on both sides (tests share the process-global collector).
+class SpanSamplingGuard {
+ public:
+  explicit SpanSamplingGuard(std::uint32_t every)
+      : saved_(obs::SpanCollector::global().sample_every()) {
+    (void)obs::SpanCollector::global().drain();
+    obs::SpanCollector::global().set_sample_every(every);
+  }
+  ~SpanSamplingGuard() {
+    (void)obs::SpanCollector::global().drain();
+    obs::SpanCollector::global().set_sample_every(saved_);
+  }
+
+ private:
+  std::uint32_t saved_;
+};
+
+TEST(Csserve, HealthzAnswersBothVersions) {
+  Server server(loopback_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  const std::string v1 = request_ok(client, R"({"cmd":"healthz"})");
+  EXPECT_EQ(v1.find("\"v\":"), std::string::npos);
+  EXPECT_NE(v1.find("\"healthy\":true"), std::string::npos);
+  EXPECT_NE(v1.find("\"uptime_ms\":"), std::string::npos);
+
+  const std::string v2 =
+      request_ok(client, R"({"v":2,"id":3,"cmd":"healthz","trace":"hz"})");
+  EXPECT_NE(v2.find("\"v\":2"), std::string::npos);
+  EXPECT_NE(v2.find("\"trace\":\"hz\""), std::string::npos);
+  const auto obj = json::parse_object(v2);  // stays in the wire subset
+  EXPECT_TRUE(obj.at("healthy").boolean);
+  EXPECT_DOUBLE_EQ(obj.at("inflight").number, 0.0);
+  EXPECT_DOUBLE_EQ(obj.at("shed").number, 0.0);
+  server.stop();
+}
+
+TEST(Csserve, StatsV2SnapshotShape) {
+  ServerOptions opt = loopback_options();
+  opt.loops = 2;
+  Server server(opt);
+  server.start();
+  Client client("127.0.0.1", server.port());
+  (void)client.request(R"({"life":"uniform:L=480","c":4})");
+  (void)client.request(R"({"life":"uniform:L=480","c":4})");
+
+  const std::string stats = request_ok(client, R"({"v":2,"id":1,"cmd":"stats"})");
+  // The v1 legacy shape is untouched; v2 carries the full plane and stays
+  // inside the wire parser's JSON subset (one nesting level, scalar values).
+  const auto obj = json::parse_object(stats);
+  EXPECT_GE(obj.at("uptime_ms").number, 0.0);
+  EXPECT_GE(obj.at("accepted").number, 1.0);
+  EXPECT_GE(obj.at("requests").number, 3.0);
+  ASSERT_EQ(obj.at("engine").type, json::Value::Type::Object);
+  EXPECT_DOUBLE_EQ(obj.at("engine").get("hits")->number, 1.0);
+  EXPECT_DOUBLE_EQ(obj.at("engine").get("misses")->number, 1.0);
+  EXPECT_DOUBLE_EQ(obj.at("engine").get("cache_size")->number, 1.0);
+  ASSERT_EQ(obj.at("spans").type, json::Value::Type::Object);
+  EXPECT_NE(obj.at("spans").get("sample_every"), nullptr);
+  // One gauge object per loop shard, and the per-shard memo saw the repeat.
+  ASSERT_EQ(obj.at("shard0").type, json::Value::Type::Object);
+  ASSERT_EQ(obj.at("shard1").type, json::Value::Type::Object);
+  double lookups = 0.0;
+  for (const char* key : {"shard0", "shard1"})
+    lookups += obj.at(key).get("memo_lookups")->number;
+  EXPECT_GE(lookups, 2.0);
+  server.stop();
+}
+
+TEST(Csserve, StatsV2ReflectsLoadGauges) {
+  ServerOptions opt = loopback_options();
+  opt.loops = 1;
+  opt.solve_delay_for_test = std::chrono::milliseconds(150);
+  Server server(opt);
+  server.start();
+  Client holder("127.0.0.1", server.port());
+  RawConn slow("127.0.0.1", server.port());
+  ASSERT_TRUE(slow.connected());
+  // Park one cold request in the workers, then snapshot while it holds its
+  // in-flight slot.
+  slow.send_all("{\"v\":2,\"id\":1,\"life\":\"uniform:L=481\",\"c\":4}\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::string stats =
+      request_ok(holder, R"({"v":2,"id":2,"cmd":"stats"})");
+  const auto obj = json::parse_object(stats);
+  EXPECT_DOUBLE_EQ(obj.at("inflight").number, 1.0);
+  EXPECT_DOUBLE_EQ(obj.at("open_conns").number, 2.0);
+  EXPECT_DOUBLE_EQ(obj.at("shard0").get("inflight")->number, 1.0);
+  EXPECT_DOUBLE_EQ(obj.at("shard0").get("conns")->number, 2.0);
+  EXPECT_FALSE(slow.read_line().empty());  // let the solve finish cleanly
+  server.stop();
+}
+
+TEST(Csserve, TracePropagationRecordsEveryStage) {
+  SpanSamplingGuard guard(1);
+  Server server(loopback_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  // Cold request with a client label; the response echoes it verbatim.
+  const std::string cold = request_ok(
+      client, R"({"v":2,"id":1,"life":"uniform:L=482","c":4,"trace":"cafe"})");
+  EXPECT_NE(cold.find("\"trace\":\"cafe\""), std::string::npos);
+  // Warm repeat: loop-side hit, still traced (label forces admission).
+  const std::string warm = request_ok(
+      client, R"({"v":2,"id":2,"life":"uniform:L=482","c":4,"trace":"cafe"})");
+  EXPECT_NE(warm.find("\"trace\":\"cafe\""), std::string::npos);
+  EXPECT_NE(warm.find("\"cached\":true"), std::string::npos);
+  server.stop();  // joins the loops: every span is recorded by now
+
+  const auto spans = obs::SpanCollector::global().drain();
+  const std::uint64_t id = obs::trace_id_from_label("cafe");
+  EXPECT_EQ(id, 0xcafeu);  // hex labels parse exactly
+  std::map<std::string, std::vector<obs::Span>> by_name;
+  for (const auto& s : spans)
+    if (s.trace_id == id) by_name[s.name].push_back(s);
+
+  // Both requests produced a full trace: the cold one crossed the worker
+  // pool (queue_wait), the warm one was answered on the loop.
+  ASSERT_EQ(by_name["request"].size(), 2u);
+  ASSERT_EQ(by_name["parse"].size(), 2u);
+  ASSERT_EQ(by_name["queue_wait"].size(), 1u);
+  ASSERT_EQ(by_name["solve"].size(), 2u);
+  ASSERT_EQ(by_name["flush"].size(), 2u);
+
+  // The cold request's stages are monotone and non-overlapping under its
+  // root span, and every stage hangs off the root.
+  const obs::Span& root = by_name["request"][0];
+  EXPECT_EQ(root.tag, "cold");
+  EXPECT_EQ(root.parent_id, 0u);
+  const obs::Span& parse = by_name["parse"][0];
+  const obs::Span& qwait = by_name["queue_wait"][0];
+  const obs::Span& solve = by_name["solve"][0];
+  const obs::Span& flush = by_name["flush"][0];
+  for (const obs::Span* s : {&parse, &qwait, &solve, &flush}) {
+    EXPECT_EQ(s->parent_id, root.span_id);
+    EXPECT_LE(s->start_ns, s->end_ns);
+    EXPECT_GE(s->start_ns, root.start_ns);
+    EXPECT_LE(s->end_ns, root.end_ns);
+  }
+  EXPECT_EQ(solve.tag, "cold");
+  EXPECT_LE(parse.end_ns, qwait.start_ns);
+  EXPECT_LE(qwait.end_ns, solve.start_ns);
+  EXPECT_LE(solve.end_ns, flush.start_ns);
+  EXPECT_EQ(root.start_ns, parse.start_ns);
+  EXPECT_EQ(root.end_ns, flush.end_ns);
+
+  // The warm hit's solve span carries a hit tag.
+  const obs::Span& warm_solve = by_name["solve"][1];
+  EXPECT_TRUE(warm_solve.tag == "memo_hit" || warm_solve.tag == "cache_hit")
+      << warm_solve.tag;
+}
+
+TEST(Csserve, SamplingOffEchoesTraceButRecordsNothing) {
+  SpanSamplingGuard guard(0);
+  auto& collector = obs::SpanCollector::global();
+  const std::uint64_t recorded_before = collector.recorded();
+
+  Server server(loopback_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const std::string reply = request_ok(
+      client, R"({"v":2,"id":1,"life":"uniform:L=483","c":4,"trace":"off"})");
+  // The protocol echo is unconditional; the span machinery never ran.
+  EXPECT_NE(reply.find("\"trace\":\"off\""), std::string::npos);
+  server.stop();
+  EXPECT_EQ(collector.recorded(), recorded_before);
+  EXPECT_TRUE(collector.drain().empty());
 }
 
 TEST(Csserve, MaxPeriodsTruncatesEchoOnly) {

@@ -10,6 +10,7 @@
 #include "lifefn/families.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scope_timer.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/farm.hpp"
 #include "sim/policy.hpp"
@@ -402,6 +403,164 @@ TEST(FarmMetrics, GlobalCountersTrackFarmTotals) {
   EXPECT_EQ(completed.value() - completed0, want_completed);
   EXPECT_EQ(interrupted.value() - interrupted0, want_interrupted);
   EXPECT_EQ(tasks.value() - tasks0, r.tasks_done);
+}
+
+Span make_span(std::uint64_t trace, std::uint64_t id, const char* name,
+               std::uint64_t start, std::uint64_t end) {
+  Span s;
+  s.trace_id = trace;
+  s.span_id = id;
+  s.name = name;
+  s.start_ns = start;
+  s.end_ns = end;
+  return s;
+}
+
+TEST(SpanIds, HexRoundTripAndRejects) {
+  for (const std::uint64_t id :
+       {std::uint64_t{1}, std::uint64_t{0xdeadbeefULL}, ~std::uint64_t{0}}) {
+    const std::string hex = span_id_hex(id);
+    EXPECT_EQ(hex.size(), 16u);
+    const auto back = parse_span_id_hex(hex);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, id);
+  }
+  EXPECT_FALSE(parse_span_id_hex("").has_value());
+  EXPECT_FALSE(parse_span_id_hex("xyz").has_value());
+  EXPECT_FALSE(parse_span_id_hex("00112233445566778").has_value());  // 17
+}
+
+TEST(SpanIds, TraceIdFromLabelIsStableAndNonzero) {
+  // Hex labels parse exactly, so a client can find its own ids in the dump.
+  EXPECT_EQ(trace_id_from_label("00000000000000ff"), 0xffu);
+  EXPECT_EQ(trace_id_from_label("beef"), 0xbeefu);
+  // Arbitrary labels hash (deterministically) and never collide with zero.
+  const std::uint64_t a = trace_id_from_label("load-gen-run-1");
+  EXPECT_EQ(a, trace_id_from_label("load-gen-run-1"));
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, trace_id_from_label("load-gen-run-2"));
+  EXPECT_NE(trace_id_from_label(""), 0u);
+}
+
+TEST(SpanRing, RecordDrainOrderAndOverflow) {
+  SpanCollector collector(/*shard_capacity=*/8, /*shards=*/4);  // capacity 32
+  collector.set_sample_every(1);
+  constexpr std::uint64_t kSpans = 100;
+  for (std::uint64_t i = 0; i < kSpans; ++i)
+    collector.record(make_span(1, i + 1, "solve", i, i + 1));
+  EXPECT_EQ(collector.recorded(), kSpans);
+  EXPECT_EQ(collector.dropped(), kSpans - collector.capacity());
+  const auto spans = collector.drain();
+  ASSERT_EQ(spans.size(), collector.capacity());
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_LT(spans[i - 1].seq, spans[i].seq);
+  // Drain empties the rings but keeps the tallies.
+  EXPECT_TRUE(collector.drain().empty());
+  EXPECT_EQ(collector.recorded(), kSpans);
+}
+
+TEST(SpanSampling, EveryNthAndDisabled) {
+  SpanCollector collector(16, 2);
+  // Disabled: no admissions, and the guard reports off.
+  EXPECT_FALSE(collector.enabled());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(collector.admit());
+  // Every request.
+  collector.set_sample_every(1);
+  EXPECT_TRUE(collector.enabled());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(collector.admit());
+  // Every 4th: exactly 25 of 100 admitted.
+  collector.set_sample_every(4);
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) admitted += collector.admit() ? 1 : 0;
+  EXPECT_EQ(admitted, 25);
+}
+
+TEST(SpanJsonl, RoundTripPreservesEveryField) {
+  SpanCollector collector(16, 1);
+  Span s = make_span(0xabcdef0123456789ULL, 42, "queue_wait",
+                     1234567890123456789ULL, 1234567890999999999ULL);
+  s.parent_id = 7;
+  s.tag = "cold";
+  s.track = 3;
+  collector.record(std::move(s));
+  collector.record(make_span(5, 6, "request", 10, 20));  // no parent/tag/track
+
+  std::ostringstream os;
+  SpanCollector::write_jsonl(collector.drain(), os);
+  std::istringstream is(os.str());
+  std::string line;
+
+  ASSERT_TRUE(std::getline(is, line));
+  const auto r1 = parse_span_jsonl(line);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->trace_id, 0xabcdef0123456789ULL);
+  EXPECT_EQ(r1->span_id, 42u);
+  EXPECT_EQ(r1->parent_id, 7u);
+  EXPECT_EQ(r1->name, "queue_wait");
+  EXPECT_EQ(r1->tag, "cold");
+  // Nanosecond timestamps exceed a double's exact-integer range; the parser
+  // must keep every digit.
+  EXPECT_EQ(r1->start_ns, 1234567890123456789ULL);
+  EXPECT_EQ(r1->end_ns, 1234567890999999999ULL);
+  EXPECT_EQ(r1->track, 3);
+  EXPECT_EQ(r1->seq, 0u);
+
+  ASSERT_TRUE(std::getline(is, line));
+  const auto r2 = parse_span_jsonl(line);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->parent_id, 0u);
+  EXPECT_EQ(r2->tag, "");
+  EXPECT_EQ(r2->track, -1);
+  EXPECT_EQ(r2->seq, 1u);
+
+  EXPECT_FALSE(parse_span_jsonl("").has_value());
+  EXPECT_FALSE(parse_span_jsonl("not json").has_value());
+  EXPECT_FALSE(parse_span_jsonl("{\"name\":\"solve\"}").has_value());
+}
+
+TEST(SpanChromeExport, OneTrackPerStage) {
+  std::vector<Span> spans;
+  spans.push_back(make_span(1, 2, "parse", 1000, 2000));
+  spans.push_back(make_span(1, 3, "solve", 2000, 5000));
+  spans.push_back(make_span(2, 4, "parse", 3000, 4000));
+  std::ostringstream os;
+  SpanCollector::write_chrome_trace(spans, os);
+  const std::string out = os.str();
+  // One thread_name metadata row per distinct stage, not per span.
+  std::size_t meta = 0;
+  for (std::size_t pos = out.find("thread_name"); pos != std::string::npos;
+       pos = out.find("thread_name", pos + 1))
+    ++meta;
+  EXPECT_EQ(meta, 2u);
+  EXPECT_NE(out.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"solve\""), std::string::npos);
+  // Timestamps are rebased to the earliest span (1000ns -> ts 0).
+  EXPECT_NE(out.find("\"ts\":0.000000"), std::string::npos);
+}
+
+TEST(SpanCollectorConcurrency, DistinctIdsAndNoLossBelowCapacity) {
+  SpanCollector collector(1 << 12, 8);
+  collector.set_sample_every(1);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        collector.record(make_span(static_cast<std::uint64_t>(t) + 1,
+                                   collector.next_id(), "solve",
+                                   static_cast<std::uint64_t>(i),
+                                   static_cast<std::uint64_t>(i) + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(collector.dropped(), 0u);
+  const auto spans = collector.drain();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  std::set<std::uint64_t> ids;
+  for (const auto& s : spans) ids.insert(s.span_id);
+  EXPECT_EQ(ids.size(), spans.size());
 }
 
 }  // namespace

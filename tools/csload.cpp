@@ -18,18 +18,35 @@
 //   --warm            pre-issue one request per unique spec before timing, so
 //                     the measured run exercises the cache-hit path only
 //   --v2              send protocol v2 frames (structured error taxonomy)
+//   --rate R          open-loop mode: target R req/s total, on a fixed
+//                     arrival schedule (see below); default closed-loop
+//   --trace           tag every request with a unique v2 trace label (hex of
+//                     its index), verify the server echoes it, and report
+//                     mismatches; implies --v2.  Pair with csserve
+//                     --trace-out to correlate client latency with
+//                     server-side stage spans.
+//   --json F          also write the summary as one JSON object to F
+//                     ("-" = stdout)
 //   --deadline-ms N   per-request client deadline (default 5000, 0 = none)
 //   --retries N       client retries for retryable failures (default 0)
 //   --seed S          jitter seed base; connection w uses S + w (default 1)
 //
+// Coordinated omission: the default closed-loop mode measures service time
+// only — when the server stalls, the stalled worker stops sending, so the
+// stall is under-represented.  --rate fixes the arrival schedule up front
+// (request i is *due* at start + i/R) and measures each latency from the
+// request's intended send time, never from the actual (possibly late) send,
+// so a stall penalizes every request that was due during it.
+//
 // Latency is recorded in a cs::obs histogram (log-bucketed nanoseconds), so
-// the reported p50/p90/p99 match the server-side engine.request_ns export.
+// the reported percentiles match the server-side engine.request_ns export.
 // Failures are tallied per error code (bad_spec/timeout/overloaded/network/
 // internal) so an overload shed is distinguishable from a crash.
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -41,6 +58,7 @@
 #include "engine/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scope_timer.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -68,7 +86,7 @@ Args parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0)
       throw std::invalid_argument("unexpected argument '" + key + "'");
     key = key.substr(2);
-    if (key == "help" || key == "warm" || key == "v2") {
+    if (key == "help" || key == "warm" || key == "v2" || key == "trace") {
       args.values[key] = "1";
       continue;
     }
@@ -87,7 +105,8 @@ int usage() {
   std::cout
       << "usage: csload --port P [--host H] [--requests N] [--threads T]\n"
          "              [--life SPEC]... [--c X] [--solver NAME] [--warm]\n"
-         "              [--v2] [--deadline-ms N] [--retries N] [--seed S]\n";
+         "              [--v2] [--rate R] [--trace] [--json F]\n"
+         "              [--deadline-ms N] [--retries N] [--seed S]\n";
   return 2;
 }
 
@@ -143,7 +162,12 @@ int main(int argc, char** argv) {
                                      args.number("threads", 4.0)));
     const std::string c = args.get("c", "4");
     const std::string solver = args.get("solver", "guideline");
-    const bool v2 = args.has("v2");
+    const bool trace = args.has("trace");
+    const bool v2 = args.has("v2") || trace;  // trace rides the v2 field
+    const double rate = args.number("rate", 0.0);
+    const std::uint64_t gap_ns =
+        rate > 0 ? static_cast<std::uint64_t>(1e9 / rate) : 0;
+    const std::string json_out = args.get("json");
     std::vector<std::string> lives = args.lives;
     if (lives.empty()) lives.emplace_back("uniform:L=1000");
 
@@ -178,6 +202,7 @@ int main(int argc, char** argv) {
     cs::obs::Histogram latency(cs::obs::timer_layout());
     std::array<std::atomic<std::uint64_t>, kNumCodes> by_code{};
     std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> trace_mismatches{0};
     std::atomic<std::size_t> next{0};
 
     const auto t_start = cs::obs::now_ns();
@@ -188,15 +213,44 @@ int main(int argc, char** argv) {
         cs::engine::ClientOptions opt = copt;
         opt.jitter_seed = seed + w;
         cs::engine::Client client(host, port, opt);
+        std::string traced_line;
+        std::string label;
         while (true) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= total) return;
           const std::string& line = mix[i % mix.size()];
-          const std::uint64_t t0 = cs::obs::now_ns();
-          const auto response = client.request(line);
+          const std::string* to_send = &line;
+          if (trace) {
+            label = cs::obs::span_id_hex(static_cast<std::uint64_t>(i) + 1);
+            traced_line.assign(line, 0, line.size() - 1);
+            traced_line += ",\"trace\":\"";
+            traced_line += label;
+            traced_line += "\"}";
+            to_send = &traced_line;
+          }
+          // Open loop: request i is due at a fixed point on the schedule and
+          // its latency is measured from that point, whether or not the
+          // sender was free to transmit it on time (no coordinated
+          // omission).  Closed loop: measured from the actual send.
+          std::uint64_t t0 = cs::obs::now_ns();
+          if (gap_ns > 0) {
+            const std::uint64_t due =
+                t_start + static_cast<std::uint64_t>(i) * gap_ns;
+            if (t0 < due) {
+              std::this_thread::sleep_for(
+                  std::chrono::nanoseconds(due - t0));
+            }
+            t0 = due;
+          }
+          const auto response = client.request(*to_send);
           latency.observe(static_cast<double>(cs::obs::now_ns() - t0));
-          if (!tally(response, by_code))
+          if (!tally(response, by_code)) {
             errors.fetch_add(1, std::memory_order_relaxed);
+          } else if (trace && response.value().find("\"trace\":\"" + label +
+                                                    "\"") ==
+                                  std::string::npos) {
+            trace_mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       });
     }
@@ -205,20 +259,35 @@ int main(int argc, char** argv) {
         static_cast<double>(cs::obs::now_ns() - t_start) * 1e-9;
 
     const double done = static_cast<double>(latency.count());
+    const double throughput = done / elapsed_s;
+    const double p50 = latency.quantile(0.50) * 1e-3;
+    const double p90 = latency.quantile(0.90) * 1e-3;
+    const double p95 = latency.quantile(0.95) * 1e-3;
+    const double p99 = latency.quantile(0.99) * 1e-3;
+    const double p999 = latency.quantile(0.999) * 1e-3;
+    const double max_us = latency.max() * 1e-3;
+
     std::cout << "requests      : " << latency.count() << "  ("
               << errors.load() << " errors)\n"
               << "connections   : " << threads << '\n'
               << "mix           : " << lives.size() << " unique spec(s), "
-              << solver << ", c=" << c << (v2 ? ", v2" : ", v1") << '\n'
-              << "elapsed       : " << elapsed_s << " s\n"
-              << "throughput    : " << done / elapsed_s << " req/s\n"
-              << "latency p50   : " << latency.quantile(0.50) * 1e-3
-              << " us\n"
-              << "latency p90   : " << latency.quantile(0.90) * 1e-3
-              << " us\n"
-              << "latency p99   : " << latency.quantile(0.99) * 1e-3
-              << " us\n"
-              << "latency max   : " << latency.max() * 1e-3 << " us\n";
+              << solver << ", c=" << c << (v2 ? ", v2" : ", v1") << '\n';
+    if (rate > 0) {
+      std::cout << "arrival       : open loop, " << rate
+                << " req/s schedule (latency from intended send)\n";
+    }
+    std::cout << "elapsed       : " << elapsed_s << " s\n"
+              << "throughput    : " << throughput << " req/s\n"
+              << "latency p50   : " << p50 << " us\n"
+              << "latency p90   : " << p90 << " us\n"
+              << "latency p95   : " << p95 << " us\n"
+              << "latency p99   : " << p99 << " us\n"
+              << "latency p999  : " << p999 << " us\n"
+              << "latency max   : " << max_us << " us\n";
+    if (trace) {
+      std::cout << "trace echoes  : " << trace_mismatches.load()
+                << " mismatch(es)\n";
+    }
     if (errors.load() > 0) {
       std::cout << "errors        :";
       for (std::size_t i = 0; i < kNumCodes; ++i) {
@@ -229,7 +298,34 @@ int main(int argc, char** argv) {
       }
       std::cout << '\n';
     }
-    return errors.load() == 0 ? 0 : 1;
+
+    if (!json_out.empty()) {
+      std::string j = "{\"requests\":" + std::to_string(latency.count());
+      j += ",\"errors\":" + std::to_string(errors.load());
+      j += ",\"connections\":" + std::to_string(threads);
+      j += ",\"open_loop\":" + std::string(rate > 0 ? "true" : "false");
+      if (rate > 0) j += ",\"rate\":" + std::to_string(rate);
+      j += ",\"elapsed_s\":" + std::to_string(elapsed_s);
+      j += ",\"throughput\":" + std::to_string(throughput);
+      j += ",\"latency_us\":{\"p50\":" + std::to_string(p50);
+      j += ",\"p90\":" + std::to_string(p90);
+      j += ",\"p95\":" + std::to_string(p95);
+      j += ",\"p99\":" + std::to_string(p99);
+      j += ",\"p999\":" + std::to_string(p999);
+      j += ",\"max\":" + std::to_string(max_us);
+      j += '}';
+      if (trace)
+        j += ",\"trace_mismatches\":" + std::to_string(trace_mismatches.load());
+      j += "}\n";
+      if (json_out == "-") {
+        std::cout << j;
+      } else {
+        std::ofstream os(json_out);
+        if (!os) throw std::runtime_error("cannot open " + json_out);
+        os << j;
+      }
+    }
+    return errors.load() == 0 && trace_mismatches.load() == 0 ? 0 : 1;
   } catch (const std::exception& err) {
     std::cerr << "csload: " << err.what() << '\n';
     return 1;

@@ -30,9 +30,15 @@
 //                       it stops being read from (default 1024)
 //   --metrics-out F     enable observability; write the metrics registry as
 //                       JSON to F ("-" = stdout) on shutdown
+//   --trace-out F       enable request tracing; write sampled spans as JSONL
+//                       to F ("-" = stdout) on shutdown (feed to cstrace)
+//   --trace-sample N    trace every Nth request (default 1 with --trace-out;
+//                       client-supplied trace labels are always sampled)
+//   --stats-interval S  dump a one-line stats snapshot to stderr every S
+//                       seconds (0 = off)
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests are answered and
-// flushed, open connections closed, then metrics are written.
+// flushed, open connections closed, then metrics and spans are written.
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -43,6 +49,7 @@
 
 #include "engine/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -88,8 +95,25 @@ int usage() {
   std::cout << "usage: csserve [--host H] [--port P] [--loops N] [--threads N]\n"
                "               [--cache N] [--shards N] [--max-inflight N]\n"
                "               [--idle-timeout-ms N] [--deadline-ms N]\n"
-               "               [--write-buf-kb N] [--metrics-out F]\n";
+               "               [--write-buf-kb N] [--metrics-out F]\n"
+               "               [--trace-out F] [--trace-sample N]\n"
+               "               [--stats-interval S]\n";
   return 2;
+}
+
+/// Write all buffered spans as JSONL ("-" = stdout).
+void write_spans(const std::string& path) {
+  auto& collector = cs::obs::SpanCollector::global();
+  const auto spans = collector.drain();
+  if (path == "-") {
+    cs::obs::SpanCollector::write_jsonl(spans, std::cout);
+  } else {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open " + path);
+    cs::obs::SpanCollector::write_jsonl(spans, os);
+    std::cerr << "csserve: wrote " << spans.size() << " spans to " << path
+              << " (" << collector.dropped() << " dropped)\n";
+  }
 }
 
 }  // namespace
@@ -101,6 +125,17 @@ int main(int argc, char** argv) {
 
     const std::string metrics_out = args.get("metrics-out");
     if (!metrics_out.empty()) cs::obs::set_enabled(true);
+
+    const std::string trace_out = args.get("trace-out");
+    const auto trace_sample = static_cast<std::uint32_t>(
+        args.number("trace-sample", trace_out.empty() ? 0.0 : 1.0));
+    if (!trace_out.empty())
+      cs::obs::SpanCollector::global().set_sample_every(
+          trace_sample == 0 ? 1 : trace_sample);
+
+    const auto stats_interval =
+        std::chrono::seconds(static_cast<long>(args.number("stats-interval",
+                                                           0.0)));
 
     cs::engine::ServerOptions opt;
     opt.host = args.get("host", "127.0.0.1");
@@ -130,8 +165,18 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    // Park, optionally dumping a stats-plane line (the same JSON object the
+    // v2 `stats` verb returns) on the chosen cadence.
+    auto next_dump = std::chrono::steady_clock::now() + stats_interval;
     while (!g_interrupted.load()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (stats_interval.count() > 0 &&
+          std::chrono::steady_clock::now() >= next_dump) {
+        std::cerr << cs::engine::make_stats_response_v2(
+                         std::nullopt, {}, server.stats_snapshot())
+                  << '\n';
+        next_dump += stats_interval;
+      }
     }
 
     std::cerr << "csserve: draining (" << server.requests_served()
@@ -150,6 +195,7 @@ int main(int argc, char** argv) {
         std::cerr << "csserve: wrote metrics to " << metrics_out << '\n';
       }
     }
+    if (!trace_out.empty()) write_spans(trace_out);
     return 0;
   } catch (const std::exception& err) {
     std::cerr << "csserve: " << err.what() << '\n';

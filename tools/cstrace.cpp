@@ -1,23 +1,37 @@
-// cstrace — summarize a cyclesteal JSONL event trace.
+// cstrace — summarize a cyclesteal JSONL trace (events or request spans).
 //
 //   cstrace farm.trace.jsonl
 //   now_farm 5000 4 --trace-out farm.trace.jsonl && cstrace farm.trace.jsonl
 //   cstrace farm.trace.jsonl --chrome farm.chrome.json   # chrome://tracing
 //
-// Reads the event log produced by `--trace-out` (csched, now_farm, or any
-// cs::obs::EventTracer::write_jsonl sink) and prints a per-workstation
-// report: episodes, completed/interrupted periods, banked / lost work,
-// overhead, and utilization (banked work per unit of trace wall-clock).
-// The aggregation mirrors cs::sim::WorkstationStats exactly, so the report
-// matches the simulator's own counters for a farm trace.
+//   csserve --port 7070 --trace-out spans.jsonl &
+//   csload --port 7070 --trace --requests 1000; kill -INT %1
+//   cstrace spans.jsonl                        # per-stage latency breakdown
+//   cstrace spans.jsonl --chrome spans.chrome.json
+//
+// Two input formats, auto-detected per file:
+//
+//  - Simulator event logs (csched, now_farm, any cs::obs::EventTracer
+//    JSONL sink): per-workstation report — episodes, completed/interrupted
+//    periods, banked / lost work, overhead, utilization.  The aggregation
+//    mirrors cs::sim::WorkstationStats exactly.
+//
+//  - Serving-pipeline span logs (csserve --trace-out, cs::obs::SpanCollector
+//    JSONL): per-stage latency table (count, p50/p95/p99/max, exact
+//    percentiles computed from every span, not bucket estimates), the
+//    slowest traces end-to-end with their per-stage breakdown, and a Chrome
+//    trace_event export with one timeline track per stage.
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "numerics/tabulate.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -35,8 +49,138 @@ struct StationSummary {
 };
 
 int usage() {
-  std::cout << "usage: cstrace TRACE.jsonl [--chrome OUT.json] [--csv]\n";
+  std::cout << "usage: cstrace TRACE.jsonl [--chrome OUT.json] [--csv]\n"
+               "               [--slowest N]\n";
   return 2;
+}
+
+/// Exact quantile of a sorted sample (nearest-rank with interpolation).
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Span-mode report: per-stage latency table + slowest traces.
+int summarize_spans(const std::string& in_path, std::vector<cs::obs::Span>&& spans,
+                    std::size_t lines, std::size_t bad,
+                    const std::string& chrome_out, bool csv,
+                    std::size_t slowest_n) {
+  using cs::num::Table;
+
+  if (!chrome_out.empty()) {
+    std::ofstream os(chrome_out);
+    if (!os) {
+      std::cerr << "cstrace: cannot open " << chrome_out << '\n';
+      return 1;
+    }
+    cs::obs::SpanCollector::write_chrome_trace(spans, os);
+    std::cerr << "cstrace: wrote Chrome trace_event JSON to " << chrome_out
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+
+  // Per-stage duration samples (µs), in pipeline order where known.
+  const std::vector<std::string> known_order = {"request", "parse",
+                                                "queue_wait", "solve", "flush"};
+  std::map<std::string, std::vector<double>> by_stage;
+  std::map<std::string, std::map<std::string, std::size_t>> tags_by_stage;
+  struct TraceAgg {
+    double total_us = 0.0;  ///< root "request" span duration
+    std::string tag;        ///< root span's branch tag
+    std::map<std::string, double> stage_us;
+  };
+  std::unordered_map<std::uint64_t, TraceAgg> traces;
+  for (const cs::obs::Span& s : spans) {
+    const double us = static_cast<double>(s.end_ns - s.start_ns) * 1e-3;
+    by_stage[s.name].push_back(us);
+    if (!s.tag.empty()) ++tags_by_stage[s.name][s.tag];
+    TraceAgg& agg = traces[s.trace_id];
+    agg.stage_us[s.name] += us;
+    if (s.name == "request") {
+      agg.total_us = us;
+      agg.tag = s.tag;
+    }
+  }
+  for (auto& [name, v] : by_stage) {
+    (void)name;
+    std::sort(v.begin(), v.end());
+  }
+
+  // Stage rows in pipeline order first, then anything unexpected.
+  std::vector<std::string> order;
+  for (const auto& name : known_order)
+    if (by_stage.count(name) > 0) order.push_back(name);
+  for (const auto& [name, v] : by_stage) {
+    (void)v;
+    if (std::find(order.begin(), order.end(), name) == order.end())
+      order.push_back(name);
+  }
+
+  if (csv) {
+    std::cout << "stage,count,p50_us,p95_us,p99_us,max_us\n";
+    for (const auto& name : order) {
+      const auto& v = by_stage[name];
+      std::cout << name << ',' << v.size() << ','
+                << exact_quantile(v, 0.50) << ',' << exact_quantile(v, 0.95)
+                << ',' << exact_quantile(v, 0.99) << ',' << v.back() << '\n';
+    }
+    return 0;
+  }
+
+  Table table({"stage", "spans", "p50 us", "p95 us", "p99 us", "max us",
+               "tags"});
+  for (const auto& name : order) {
+    const auto& v = by_stage[name];
+    std::string tags;
+    for (const auto& [tag, n] : tags_by_stage[name]) {
+      if (!tags.empty()) tags += ' ';
+      tags += tag + ":" + std::to_string(n);
+    }
+    table.add_row({name, std::to_string(v.size()),
+                   Table::fixed(exact_quantile(v, 0.50), 1),
+                   Table::fixed(exact_quantile(v, 0.95), 1),
+                   Table::fixed(exact_quantile(v, 0.99), 1),
+                   Table::fixed(v.back(), 1), tags});
+  }
+
+  std::cout << "trace: " << in_path << "  (" << lines << " spans";
+  if (bad > 0) std::cout << ", " << bad << " unparsable";
+  std::cout << ", " << traces.size() << " traces)\n\n"
+            << table.render("per-stage latency (exact percentiles over all "
+                            "sampled spans)")
+            << '\n';
+
+  // Slowest traces end-to-end, with their per-stage split.
+  std::vector<const std::pair<const std::uint64_t, TraceAgg>*> ranked;
+  ranked.reserve(traces.size());
+  for (const auto& entry : traces)
+    if (entry.second.total_us > 0.0) ranked.push_back(&entry);
+  std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+    return a->second.total_us > b->second.total_us;
+  });
+  if (!ranked.empty() && slowest_n > 0) {
+    Table slow({"trace", "total us", "parse", "queue_wait", "solve", "flush",
+                "tag"});
+    const std::size_t n = std::min(slowest_n, ranked.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [id, agg] = *ranked[i];
+      const auto stage = [&agg](const char* name) {
+        const auto it = agg.stage_us.find(name);
+        return it == agg.stage_us.end() ? std::string("-")
+                                        : Table::fixed(it->second, 1);
+      };
+      slow.add_row({cs::obs::span_id_hex(id), Table::fixed(agg.total_us, 1),
+                    stage("parse"), stage("queue_wait"), stage("solve"),
+                    stage("flush"), agg.tag});
+    }
+    std::cout << '\n'
+              << slow.render("slowest traces (end-to-end, per-stage us)")
+              << '\n';
+  }
+  return 0;
 }
 
 }  // namespace
@@ -46,10 +190,13 @@ int main(int argc, char** argv) {
   std::string in_path;
   std::string chrome_out;
   bool csv = false;
+  std::size_t slowest_n = 5;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--chrome" && i + 1 < argc) {
       chrome_out = argv[++i];
+    } else if (arg == "--slowest" && i + 1 < argc) {
+      slowest_n = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
@@ -71,9 +218,26 @@ int main(int argc, char** argv) {
   std::map<std::int32_t, std::string> labels;
   double makespan = 0.0;
   std::size_t lines = 0, bad = 0;
+  // Format autodetect: span logs carry a "span" id field on every line, and
+  // the first parsable line decides the mode for the whole file.
+  bool span_mode = false;
+  std::vector<cs::obs::Span> spans;
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
+    if (lines == 0 && line.find("\"span\":") != std::string::npos &&
+        cs::obs::parse_span_jsonl(line)) {
+      span_mode = true;
+    }
+    if (span_mode) {
+      ++lines;
+      if (auto s = cs::obs::parse_span_jsonl(line)) {
+        spans.push_back(std::move(*s));
+      } else {
+        ++bad;
+      }
+      continue;
+    }
     ++lines;
     const auto rec = cs::obs::parse_jsonl(line);
     if (!rec) {
@@ -110,6 +274,14 @@ int main(int argc, char** argv) {
   if (lines == 0) {
     std::cerr << "cstrace: " << in_path << " is empty\n";
     return 1;
+  }
+  if (span_mode) {
+    if (spans.empty()) {
+      std::cerr << "cstrace: " << in_path << " has no parsable spans\n";
+      return 1;
+    }
+    return summarize_spans(in_path, std::move(spans), lines, bad, chrome_out,
+                           csv, slowest_n);
   }
 
   // Monte-Carlo episode traces carry EpisodeEnd but no EpisodeStart.
