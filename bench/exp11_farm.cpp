@@ -53,11 +53,12 @@ int main() {
 
   for (const auto& sc : scenarios) {
     Table table({"policy", "makespan", "vs guideline", "interrupts",
-                 "lost work", "overhead", "throughput"});
+                 "lost work", "overhead", "throughput", "efficiency"});
     double guide_makespan = 0.0;
     for (const char* name : policies) {
       // Average over a few seeds to damp DES noise.
       double makespan = 0.0, lost = 0.0, overhead = 0.0, thr = 0.0;
+      double efficiency = 0.0;
       std::size_t interrupts = 0;
       const int seeds = 3;
       for (int s = 0; s < seeds; ++s) {
@@ -67,6 +68,7 @@ int main() {
         lost += r.lost / seeds;
         overhead += r.overhead / seeds;
         thr += r.throughput() / seeds;
+        efficiency += r.efficiency() / seeds;
         for (const auto& ws : r.stations)
           interrupts += ws.interrupted_periods / seeds;
       }
@@ -74,7 +76,8 @@ int main() {
       table.add_row({name, Table::fixed(makespan, 1),
                      Table::percent(makespan / guide_makespan, 1),
                      std::to_string(interrupts), Table::fixed(lost, 1),
-                     Table::fixed(overhead, 1), Table::fixed(thr, 3)});
+                     Table::fixed(overhead, 1), Table::fixed(thr, 3),
+                     Table::percent(efficiency, 1)});
     }
     std::cout << table.render(std::string("scenario: ") + sc.label +
                               " — 8 stations, 20k tasks, 3 seeds")

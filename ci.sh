@@ -5,8 +5,11 @@
 #                      #   SARIF artifact at build/cslint.sarif), format,
 #                      #   clang-tidy wall, ASan/UBSan pass (+ cslint --strict
 #                      #   full rescan), TSan pass, csserve soak (verifies the
-#                      #   --metrics-out/--trace-out SIGINT flush), bench
-#                      #   snapshot (perf_micro + csload --json + live stats
+#                      #   --metrics-out/--trace-out SIGINT flush), steal
+#                      #   runtime gate (test_steal under ASan, the
+#                      #   StealHammer cases under TSan, exp15 smoke), bench
+#                      #   snapshot (perf_micro + csload --json + exp15
+#                      #   steal_runtime + live stats
 #                      #   -> BENCH_<n>.json, build/stats-snapshot.json)
 #   ./ci.sh --fast     # build, ctest, smoke, cslint, format only
 #
@@ -199,20 +202,41 @@ stage_soak() {
   echo "-- soak: tsan build" && soak_one build-tsan || return 1
 }
 
+# Steal-runtime gate: the full test_steal suite under ASan (memory bugs in
+# the deque's ring-growth path are the scary failure mode), the concurrency
+# hammer cases under TSan (that filter is the set sized for the sanitizer's
+# ~10x slowdown — the statistical fidelity test adds nothing under TSan),
+# and an exp15 smoke run of both farm runtimes end to end.
+stage_steal() {
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  echo "-- asan: test_steal"
+  ./build-asan/tests/test_steal || return 1
+  echo "-- tsan: test_steal (hammer cases)"
+  ./build-tsan/tests/test_steal --gtest_filter='StealHammer.*' || return 1
+  echo "-- exp15 smoke"
+  timeout 300 ./build/bench/exp15_steal_runtime --smoke || return 1
+}
+
 # Benchmark snapshot: the solver-layer microbenchmarks plus a short serving
 # run with csload's open-loop recorder, composed with the server's own v2
 # stats snapshot into BENCH_<n>.json at the repo root (next free n, so old
 # snapshots are never overwritten — diff them across PRs).
 stage_bench() {
-  local perf_json csload_json stats_json serve_log port="" n
+  local perf_json csload_json steal_json stats_json serve_log port="" n
   perf_json="$(mktemp)"
   csload_json="$(mktemp)"
+  steal_json="$(mktemp)"
   stats_json="build/stats-snapshot.json"
   serve_log="$(mktemp)"
 
   echo "-- perf_micro"
   ./build/bench/perf_micro --benchmark_min_time=0.05 \
     --benchmark_format=json >"$perf_json" || return 1
+
+  echo "-- exp15 steal runtime (--json)"
+  timeout 300 ./build/bench/exp15_steal_runtime --json "$steal_json" \
+    || return 1
 
   echo "-- csload (open-loop, --json)"
   ./build/tools/csserve --port 0 --loops 2 --threads 4 2>"$serve_log" &
@@ -249,13 +273,15 @@ stage_bench() {
     cat "$perf_json"
     printf ',\n"csload": '
     cat "$csload_json"
+    printf ',\n"steal_runtime": '
+    cat "$steal_json"
     printf ',\n"server_stats": '
     cat "$stats_json"
     printf '}\n'
   } >"BENCH_${n}.json"
   record "  artifact" "BENCH_${n}.json"
   record "  artifact" "$stats_json"
-  rm -f "$perf_json" "$csload_json" "$serve_log"
+  rm -f "$perf_json" "$csload_json" "$steal_json" "$serve_log"
 }
 
 # ------------------------------------------------------------------- plan
@@ -279,6 +305,7 @@ if [[ "$fast" == "0" ]]; then
   run_stage "ASan/UBSan pass" stage_asan
   run_stage "TSan pass" stage_tsan
   run_stage "csserve soak (asan+tsan)" stage_soak
+  run_stage "steal runtime (asan+tsan)" stage_steal
   run_stage "bench snapshot (BENCH_n)" stage_bench
 fi
 

@@ -62,6 +62,16 @@
 #include "sim/network.hpp"
 #include "sim/checkpoint.hpp"
 
+// Work-stealing farm runtime (Chase-Lev deques, steal protocol, ring
+// termination, reclaim-aware workers)
+#include "steal/deque.hpp"
+#include "steal/virtual_clock.hpp"
+#include "steal/victim_order.hpp"
+#include "steal/termination.hpp"
+#include "steal/owner_activity.hpp"
+#include "steal/farm_policy.hpp"
+#include "steal/steal_runtime.hpp"
+
 // Trace pipeline (Section 1's "trace data" remark)
 #include "trace/owner_trace.hpp"
 #include "trace/generators.hpp"

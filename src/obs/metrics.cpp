@@ -17,8 +17,11 @@ std::atomic<bool> g_enabled{[] {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }()};
 
+// Relaxed CAS loops are audited here: metric cells are plain accumulators
+// read by snapshot(), never used to publish other memory.
 void atomic_add_double(std::atomic<double>& a, double v) noexcept {
   double cur = a.load(std::memory_order_relaxed);
+  // cslint: allow(atomic-order) audited: standalone accumulator cell
   while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
 }
@@ -26,6 +29,7 @@ void atomic_add_double(std::atomic<double>& a, double v) noexcept {
 void atomic_min_double(std::atomic<double>& a, double v) noexcept {
   double cur = a.load(std::memory_order_relaxed);
   while (v < cur &&
+         // cslint: allow(atomic-order) audited: standalone accumulator cell
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
 }
@@ -33,6 +37,7 @@ void atomic_min_double(std::atomic<double>& a, double v) noexcept {
 void atomic_max_double(std::atomic<double>& a, double v) noexcept {
   double cur = a.load(std::memory_order_relaxed);
   while (v > cur &&
+         // cslint: allow(atomic-order) audited: standalone accumulator cell
          !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
 }

@@ -53,8 +53,10 @@ class Gauge {
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
   void add(double v) noexcept {
     double cur = value_.load(std::memory_order_relaxed);
-    while (!value_.compare_exchange_weak(cur, cur + v,
-                                         std::memory_order_relaxed)) {
+    while (!value_.compare_exchange_weak(
+        cur, cur + v,
+        // cslint: allow(atomic-order) audited: standalone accumulator cell
+        std::memory_order_relaxed)) {
     }
   }
   [[nodiscard]] double value() const noexcept {

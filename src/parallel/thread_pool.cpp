@@ -26,6 +26,16 @@ struct PoolMetrics {
   }
 };
 
+// Identity of a pool worker thread, written once at thread start.  A
+// plain thread_local (not per-pool state) so lookup is a load, and so
+// nested pools each see their own workers correctly: the variable names
+// the owning pool, and worker_index() checks it before trusting the index.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity t_worker_identity;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -34,7 +44,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
@@ -87,7 +97,18 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+int ThreadPool::worker_index() const noexcept {
+  const WorkerIdentity& id = t_worker_identity;
+  return id.pool == this ? static_cast<int>(id.index) : -1;
+}
+
+int ThreadPool::current_worker_index() noexcept {
+  const WorkerIdentity& id = t_worker_identity;
+  return id.pool != nullptr ? static_cast<int>(id.index) : -1;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_identity = WorkerIdentity{this, index};
   for (;;) {
     QueuedTask item;
     std::size_t depth;

@@ -47,6 +47,17 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Index of the calling thread within *this* pool: [0, size()) when
+  /// called from one of this pool's worker threads, -1 otherwise (main
+  /// thread, another pool's worker, ...).  Lets pool-resident code — the
+  /// cs::steal runtime, per-worker obs gauges — identify itself without
+  /// plumbing an index through every call chain.
+  [[nodiscard]] int worker_index() const noexcept;
+
+  /// Index of the calling thread within whichever pool owns it, or -1 if
+  /// no pool does.  Equivalent to pool->worker_index() without the pool.
+  [[nodiscard]] static int current_worker_index() noexcept;
+
   /// Enqueue a callable; returns a future for its result (or exception).
   /// Move-only callables are accepted.  Throws std::runtime_error if the
   /// pool has been shut down.
@@ -91,7 +102,7 @@ class ThreadPool {
   };
 
   void enqueue(std::packaged_task<void()> task);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::queue<QueuedTask> tasks_;

@@ -3,6 +3,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "core/expected_work.hpp"
 #include "numerics/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scope_timer.hpp"
@@ -104,6 +105,8 @@ FarmResult run_farm(std::vector<WorkstationConfig>& stations,
     st.schedule = policy.make_schedule(*stations[i].life, stations[i].c);
     st.rng = num::RandomStream(opt.seed, i + 1);
     st.stats.label = stations[i].label;
+    st.stats.expected_per_episode =
+        expected_work(st.schedule, *stations[i].life, stations[i].c);
     // Stagger first availability a little so stations do not tick in
     // lockstep: an initial busy gap.
     const double first_gap =
@@ -278,6 +281,8 @@ FarmResult run_farm(std::vector<WorkstationConfig>& stations,
     result.work_done += st.stats.work_done;
     result.overhead += st.stats.overhead;
     result.lost += st.stats.lost;
+    result.analytic_expected += static_cast<double>(st.stats.episodes) *
+                                st.stats.expected_per_episode;
     result.stations.push_back(std::move(st.stats));
   }
   return result;

@@ -57,6 +57,9 @@ struct WorkstationStats {
   double work_done = 0.0;  ///< banked task time
   double overhead = 0.0;   ///< setup time paid on completed periods
   double lost = 0.0;       ///< task time destroyed by reclaims
+  /// Analytic E(S;p) of this station's schedule — what one episode is
+  /// expected to bank under its life function (eq. 2.1).
+  double expected_per_episode = 0.0;
 };
 
 /// Aggregate outcome.
@@ -68,9 +71,18 @@ struct FarmResult {
   double overhead = 0.0;
   double lost = 0.0;
   std::vector<WorkstationStats> stations;
+  /// Σ over stations of episodes × E(S;p): what eq. 2.1 predicts the farm
+  /// should have banked over the episodes it actually consumed.
+  double analytic_expected = 0.0;
   /// Banked work per unit of wall-clock time.
   [[nodiscard]] double throughput() const {
     return makespan > 0.0 ? work_done / makespan : 0.0;
+  }
+  /// Realized / analytic banked work — 1.0 means the farm banked exactly
+  /// what eq. 2.1 predicts for the episodes it consumed; the shortfall is
+  /// task quantization plus the partially-used final episode.
+  [[nodiscard]] double efficiency() const {
+    return analytic_expected > 0.0 ? work_done / analytic_expected : 0.0;
   }
 };
 

@@ -1,0 +1,162 @@
+#pragma once
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA 2005), with the
+// per-operation orderings from Le/Pop/Cohen/Nardelli (PPoPP 2013) mapped
+// onto seq_cst/acquire/release instead of standalone fences: ThreadSanitizer
+// does not model std::atomic_thread_fence, and the tsan preset is a hard CI
+// gate, so every synchronizing edge here lives on an atomic operation.
+//
+// Ownership contract: exactly one owner thread may call push_bottom /
+// pop_bottom; any number of thief threads may call steal_top concurrently.
+// size_estimate() is safe from anywhere but only advisory.
+//
+// Memory-model argument (DESIGN.md section 13 carries the long form):
+//   - top_ is monotonically increasing and only ever advanced by a
+//     successful CAS, so each slot index is claimed at most once (no ABA).
+//   - push_bottom publishes the slot with a release store on bottom_; a
+//     thief acquires it via its seq_cst load of bottom_.
+//   - pop_bottom's bottom_ store and top_ load are both seq_cst so the
+//     owner's decrement is globally ordered against thief top_/bottom_
+//     loads; the single-element race is resolved by CAS on top_.
+//   - ring growth release-stores the new ring pointer; thieves
+//     acquire-load it.  Retired rings are kept alive until destruction so
+//     a thief holding a stale pointer always reads valid (if stale)
+//     memory; staleness is detected by the CAS on top_.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace cs::steal {
+
+// Outcome of a steal attempt, as seen by the thief.
+enum class StealStatus : std::uint8_t {
+  kStolen,  // value holds the stolen task
+  kEmpty,   // deque observed empty; decline
+  kLost,    // lost the CAS race to the owner or another thief; retry ok
+};
+
+template <typename T>
+struct StealOutcome {
+  StealStatus status = StealStatus::kEmpty;
+  T value{};
+};
+
+// T must be trivially copyable (slots are std::atomic<T>).
+template <typename T>
+class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WsDeque slots are std::atomic<T>");
+
+ public:
+  explicit WsDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    ring_.store(new Ring(cap), std::memory_order_relaxed);
+  }
+
+  ~WsDeque() { delete ring_.load(std::memory_order_relaxed); }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  // Owner only.  Publishes the new element with a release store so any
+  // thief that observes the larger bottom_ also observes the slot write.
+  void push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(r->capacity)) r = grow(r, t, b);
+    r->put(b, value);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner only.  Takes the most recently pushed element, racing thieves
+  // for the last one via CAS on top_.
+  std::optional<T> pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      T value = r->get(b);
+      if (t == b) {
+        // Single element left: whoever advances top_ owns it.  The failure
+        // ordering is relaxed because the loser takes nothing and restores
+        // bottom_ without reading shared data published by the winner.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst,
+            // cslint: allow(atomic-order) audited: loser publishes nothing
+            std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        if (!won) return std::nullopt;
+      }
+      return value;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  // Thief side.  Reads the candidate slot *before* the CAS: once top_
+  // advances the owner may wrap around and overwrite the slot, so the
+  // pre-CAS read is the only value that is guaranteed intact if we win.
+  StealOutcome<T> steal_top() {
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return {StealStatus::kEmpty, T{}};
+    Ring* r = ring_.load(std::memory_order_acquire);
+    T value = r->get(t);
+    std::int64_t expected = t;
+    const bool won = top_.compare_exchange_strong(
+        expected, t + 1, std::memory_order_seq_cst,
+        // cslint: allow(atomic-order) audited: loser discards the read
+        std::memory_order_relaxed);
+    if (!won) return {StealStatus::kLost, T{}};
+    return {StealStatus::kStolen, value};
+  }
+
+  // Advisory size; may be stale the instant it returns.
+  std::size_t size_estimate() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+  };
+
+  // Owner only.  The new ring is published with a release store; the old
+  // ring is parked in retired_ (owner-only vector) so thieves holding the
+  // stale pointer keep reading valid memory until the deque dies.
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    retired_.emplace_back(old);
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> retired_;
+};
+
+}  // namespace cs::steal

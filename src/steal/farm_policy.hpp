@@ -1,0 +1,111 @@
+#pragma once
+// FarmPolicy: one interface over the two multi-worker cycle-stealing
+// runtimes (work stealing vs. work sharing) so they can be graded
+// head-to-head on identical owner activity, task bags, and schedules, and
+// compared against sim::Farm and the analytic E(S;p) of the DP reference.
+//
+// Execution model: workers are real threads; work, steal latency, and
+// owner reclaims are accounted on per-worker *virtual* clocks (see
+// virtual_clock.hpp).  Each episode the owner is away for a reclaim drawn
+// from the life function; the worker runs the episode schedule period by
+// period, filling each period's payload (t_k minus overhead c) from its
+// deque / the central queue / its victims, and banks the fill only if the
+// period ends strictly before the reclaim (draconian kill otherwise, with
+// the batch and the worker's whole deque redistributed).
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "lifefn/life_function.hpp"
+#include "trace/owner_trace.hpp"
+
+namespace cs::steal {
+
+struct RuntimeOptions {
+  std::size_t workers = 8;
+  std::size_t tier_size = 4;     // victim-ordering locality tier width
+  double c = 1.0;                // per-period overhead (paper's c)
+  double mean_busy_gap = 60.0;   // Exp mean of owner-present stretches
+  double steal_latency = 0.0;    // virtual cost of one steal request
+  std::size_t steal_batch = 8;   // max tasks per successful transfer
+  std::size_t max_episodes = 0;  // per worker; 0 = drain the whole bag
+  std::uint64_t seed = 0x5EEDCA71ULL;
+  std::string schedule_policy = "guideline";  // sim::make_policy name
+  // Abort brake: consecutive fruitless episodes (nothing banked anywhere
+  // on a worker) before the run gives up and reports aborted=true.
+  std::uint64_t stall_episode_limit = 100000;
+};
+
+struct RunInput {
+  const LifeFunction* life = nullptr;  // required
+  std::vector<double> tasks;           // task durations (the bag)
+  // Optional replay traces, cycled per worker (worker w gets
+  // traces[w % traces.size()]).  Empty = sample from `life`.
+  std::vector<cs::trace::OwnerTrace> traces;
+  // Optional explicit schedule; null = solve via opt.schedule_policy.
+  const Schedule* schedule = nullptr;
+  RuntimeOptions opt;
+};
+
+struct WorkerStats {
+  std::uint64_t episodes = 0;        // owner-absence windows consumed
+  std::uint64_t fed_episodes = 0;    // episodes that shipped >= 1 period
+  std::uint64_t completed_periods = 0;
+  std::uint64_t interrupted_periods = 0;  // draconian kills
+  std::uint64_t tasks_banked = 0;
+  std::uint64_t tasks_redistributed = 0;  // returned on kill
+  std::uint64_t steals_attempted = 0;
+  std::uint64_t steals_succeeded = 0;
+  std::uint64_t steals_declined = 0;  // victim empty / lost the race
+  std::uint64_t tasks_migrated_in = 0;
+  double work_banked = 0.0;
+  double work_lost = 0.0;      // fill in flight when the owner returned
+  double overhead_paid = 0.0;  // c per completed period
+  double idle_vtime = 0.0;     // starved virtual time inside episodes
+  double vtime = 0.0;          // worker's final virtual clock
+  double last_bank_vtime = 0.0;
+};
+
+struct RunResult {
+  std::string runtime;   // "steal" | "share"
+  bool drained = false;  // every task banked
+  bool aborted = false;  // stall brake fired (pathological input)
+  double completion_vtime = 0.0;  // max over workers of last bank
+  std::uint64_t tasks_banked = 0;
+  double work_banked = 0.0;
+  double work_lost = 0.0;
+  double overhead_paid = 0.0;
+  double analytic_expected = 0.0;  // E(S;p) of the schedule actually run
+  std::uint64_t ring_rounds = 0;   // termination-token rounds (steal only)
+  Schedule schedule;
+  std::vector<WorkerStats> workers;
+
+  // Mean banked work per fed episode — the realized counterpart of the
+  // analytic E(S;p); acceptance requires |realized/analytic - 1| <= tol.
+  [[nodiscard]] double realized_per_episode() const;
+  [[nodiscard]] std::uint64_t fed_episodes() const;
+  [[nodiscard]] double steal_success_rate() const;  // succeeded/attempted
+  [[nodiscard]] double throughput() const;  // banked work / completion time
+};
+
+class FarmPolicy {
+ public:
+  virtual ~FarmPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual RunResult run(const RunInput& in) const = 0;
+};
+
+// Chase-Lev deques + steal protocol + ring termination.
+[[nodiscard]] std::unique_ptr<FarmPolicy> make_steal_runtime();
+
+// Central shared queue (one mutex), the Van Houdt "sharing" baseline.
+[[nodiscard]] std::unique_ptr<FarmPolicy> make_work_sharing();
+
+// "steal" | "share".  Throws std::invalid_argument on anything else.
+[[nodiscard]] std::unique_ptr<FarmPolicy> make_farm_policy(
+    const std::string& name);
+
+}  // namespace cs::steal

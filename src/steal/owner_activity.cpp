@@ -1,0 +1,83 @@
+#include "steal/owner_activity.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "numerics/rng.hpp"
+#include "sim/reclaim.hpp"
+
+namespace cs::steal {
+
+namespace {
+
+class LifeActivity final : public OwnerActivity {
+ public:
+  LifeActivity(const LifeFunction& life, double mean_busy_gap,
+               std::uint64_t seed, std::uint64_t worker)
+      : rng_(seed, worker),
+        sampler_(life, rng_),
+        mean_busy_gap_(mean_busy_gap) {}
+
+  Episode next() override {
+    Episode ep;
+    ep.busy_gap =
+        mean_busy_gap_ > 0.0 ? rng_.exponential(1.0 / mean_busy_gap_) : 0.0;
+    ep.reclaim = sampler_.sample();
+    return ep;
+  }
+
+ private:
+  num::RandomStream rng_;
+  sim::ReclaimSampler sampler_;
+  double mean_busy_gap_;
+};
+
+class TraceActivity final : public OwnerActivity {
+ public:
+  explicit TraceActivity(cs::trace::OwnerTrace trace)
+      : trace_(std::move(trace)) {}
+
+  Episode next() override {
+    Episode ep;
+    const auto& iv = trace_.intervals();
+    if (iv.empty()) {
+      ep.reclaim = 1.0;  // degenerate trace: keep the worker live
+      return ep;
+    }
+    // Accumulate busy time until the next idle gap, then consume it.  A
+    // trace with no positive idle gap degenerates to reclaim=1 so callers
+    // never spin forever.
+    for (std::size_t steps = 0; steps <= iv.size(); ++steps) {
+      if (i_ >= iv.size()) i_ = 0;  // cycle the recording
+      const auto& interval = iv[i_++];
+      if (interval.idle) {
+        ep.reclaim = interval.duration();
+        if (ep.reclaim <= 0.0) continue;
+        return ep;
+      }
+      ep.busy_gap += interval.duration();
+    }
+    ep.reclaim = 1.0;
+    return ep;
+  }
+
+ private:
+  cs::trace::OwnerTrace trace_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<OwnerActivity> make_life_activity(const LifeFunction& life,
+                                                  double mean_busy_gap,
+                                                  std::uint64_t seed,
+                                                  std::uint64_t worker) {
+  return std::make_unique<LifeActivity>(life, mean_busy_gap, seed, worker);
+}
+
+std::unique_ptr<OwnerActivity> make_trace_activity(
+    cs::trace::OwnerTrace trace) {
+  return std::make_unique<TraceActivity>(std::move(trace));
+}
+
+}  // namespace cs::steal

@@ -1,0 +1,44 @@
+#pragma once
+// Owner-activity sources for reclaim-aware workers.  Each worker consumes
+// a stream of episodes: the owner is present for `busy_gap` virtual
+// seconds, then absent for `reclaim` seconds during which the worker may
+// compute.  When the reclaim deadline passes, the in-progress period is
+// killed draconian-style.
+//
+// Two sources: a synthetic one that samples reclaims from a LifeFunction
+// (via sim::ReclaimSampler, so the worker's episode lengths follow exactly
+// the survival curve the schedules were solved for), and a replay source
+// that walks a recorded trace::OwnerTrace, cycling when it runs out.
+#include <cstdint>
+#include <memory>
+
+#include "lifefn/life_function.hpp"
+#include "trace/owner_trace.hpp"
+
+namespace cs::steal {
+
+class OwnerActivity {
+ public:
+  struct Episode {
+    double busy_gap = 0.0;  // owner present: worker stalls this long first
+    double reclaim = 0.0;   // owner absent: compute window before the kill
+  };
+
+  virtual ~OwnerActivity() = default;
+  virtual Episode next() = 0;
+};
+
+// Synthetic episodes: busy gaps ~ Exp(1/mean_busy_gap), reclaims sampled
+// from the life function with RandomStream(seed, worker) so every worker
+// gets an independent, reproducible stream.
+[[nodiscard]] std::unique_ptr<OwnerActivity> make_life_activity(
+    const LifeFunction& life, double mean_busy_gap, std::uint64_t seed,
+    std::uint64_t worker);
+
+// Replay of a recorded owner trace (busy/idle intervals in order), cycling
+// from the start when exhausted.  Leading idle intervals become episodes
+// with a zero busy gap.
+[[nodiscard]] std::unique_ptr<OwnerActivity> make_trace_activity(
+    cs::trace::OwnerTrace trace);
+
+}  // namespace cs::steal

@@ -1,0 +1,502 @@
+// StealRuntime / WorkSharing: the two FarmPolicy backends share one
+// episode driver (worker_body) and differ only in how a period's payload
+// is filled and where killed work is returned.
+//
+// Concurrency layout:
+//   - real threads from a dedicated par::ThreadPool, one per worker, each
+//     claiming its identity via ThreadPool::worker_index();
+//   - per-worker WsDeque<TaskId> (steal) or one mutex-guarded central
+//     queue (share); a mutex-guarded spill vector receives reclaim kills
+//     in the steal backend;
+//   - all *time* is virtual (VirtualClock): busy gaps, reclaims, period
+//     lengths, and steal latency advance per-worker clocks, so runs are
+//     reproducible under any OS schedule and the realized work can be
+//     compared against the analytic E(S;p) at matched episode counts.
+#include "steal/steal_runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/expected_work.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/policy.hpp"
+#include "steal/deque.hpp"
+#include "steal/owner_activity.hpp"
+#include "steal/termination.hpp"
+#include "steal/victim_order.hpp"
+#include "steal/virtual_clock.hpp"
+
+namespace cs::steal {
+namespace {
+
+using TaskId = std::uint64_t;
+
+// State shared by all workers of one run.
+struct Run {
+  const RunInput* in = nullptr;
+  Schedule schedule;
+  std::atomic<std::uint64_t> remaining{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> aborted{false};
+  std::atomic<std::size_t> claimed{0};  // start barrier
+};
+
+// Outcome of one period-fill attempt when the batch came back empty.
+enum class Starve {
+  kEmptyHanded,  // nothing anywhere: safe to go passive / poll the ring
+  kBlocked,      // work exists but does not fit this period's payload
+};
+
+// ---------------------------------------------------------------- steal
+class StealBackend {
+ public:
+  static constexpr bool kStopOnDrain = false;  // the ring detects drain
+
+  StealBackend(const Run& run, const RuntimeOptions& opt)
+      : opt_(opt), dur_(&run.in->tasks), ring_(opt.workers) {
+    deques_.reserve(opt.workers);
+    victims_.reserve(opt.workers);
+    for (std::size_t w = 0; w < opt.workers; ++w) {
+      deques_.push_back(std::make_unique<WsDeque<TaskId>>());
+      victims_.push_back(
+          victim_order(w, opt.workers, opt.tier_size, opt.seed));
+    }
+  }
+
+  // Pre-start, single-threaded: round-robin the bag across the deques.
+  void distribute() {
+    for (TaskId id = 0; id < dur_->size(); ++id)
+      deques_[static_cast<std::size_t>(id) % opt_.workers]->push_bottom(id);
+  }
+
+  // Fill up to `payload` of task time into `batch`: own deque first, then
+  // the spill pool, then a steal sweep over the tiered victim list.  Every
+  // steal request costs opt_.steal_latency virtual time whether or not the
+  // victim transfers anything (the Gast/Khatiri latency model).
+  Starve fill(std::size_t w, double payload, double reclaim_abs,
+              VirtualClock& clk, WorkerStats& st, std::vector<TaskId>* batch,
+              double* fill) {
+    ring_.set_active(w);  // before probing: closes the in-flight window
+    bool saw_unfit = false;
+    while (*fill < payload) {
+      if (std::optional<TaskId> t = deques_[w]->pop_bottom()) {
+        const double d = (*dur_)[static_cast<std::size_t>(*t)];
+        if (*fill + d <= payload) {
+          batch->push_back(*t);
+          *fill += d;
+          continue;
+        }
+        // Too big for what is left of this period: put it back (it will
+        // fit a fresh t_0 next episode) and ship what we have.
+        deques_[w]->push_bottom(*t);
+        saw_unfit = true;
+        break;
+      }
+      if (grab_spill(w)) {
+        ring_.taint(w);  // Safra: receiving work blackens the receiver
+        continue;
+      }
+      if (clk.now() >= reclaim_abs) break;
+      bool got = false;
+      for (std::size_t v : victims_[w]) {
+        st.steals_attempted += 1;
+        clk.advance(opt_.steal_latency);
+        const std::size_t moved = steal_from(v, w);
+        if (moved > 0) {
+          st.steals_succeeded += 1;
+          st.tasks_migrated_in += moved;
+          ring_.taint(v);
+          ring_.taint(w);
+          got = true;
+          break;
+        }
+        st.steals_declined += 1;
+        if (clk.now() >= reclaim_abs) break;  // negotiation ate the window
+      }
+      if (!got) break;
+    }
+    return (!batch->empty() || saw_unfit) ? Starve::kBlocked
+                                          : Starve::kEmptyHanded;
+  }
+
+  // Draconian kill: the in-flight batch and the worker's whole deque go
+  // back to the spill pool for other workers to pick up.
+  void on_kill(std::size_t w, WorkerStats& st, std::vector<TaskId>* batch) {
+    ring_.taint(w);  // tasks are about to migrate away from us
+    while (std::optional<TaskId> t = deques_[w]->pop_bottom()) {
+      batch->push_back(*t);
+      st.tasks_redistributed += 1;
+    }
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    spill_.insert(spill_.end(), batch->begin(), batch->end());
+  }
+
+  // Empty-handed worker: go passive and move the termination token.
+  bool idle_poll(std::size_t w) { return ring_.poll(w); }
+
+  [[nodiscard]] std::uint64_t ring_rounds() const { return ring_.rounds(); }
+  [[nodiscard]] bool ring_terminated() const { return ring_.terminated(); }
+
+ private:
+  bool grab_spill(std::size_t w) {
+    std::lock_guard<std::mutex> lock(spill_mutex_);
+    if (spill_.empty()) return false;
+    const std::size_t take = std::min(spill_.size(), opt_.steal_batch);
+    for (std::size_t i = 0; i < take; ++i) {
+      deques_[w]->push_bottom(spill_.back());
+      spill_.pop_back();
+    }
+    return true;
+  }
+
+  // Transfer-batch: up to steal_batch tasks from the victim's top.  A lost
+  // CAS race ends the batch (contention: fall through to the next victim).
+  std::size_t steal_from(std::size_t victim, std::size_t self) {
+    std::size_t moved = 0;
+    while (moved < opt_.steal_batch) {
+      const StealOutcome<TaskId> out = deques_[victim]->steal_top();
+      if (out.status != StealStatus::kStolen) break;
+      deques_[self]->push_bottom(out.value);
+      ++moved;
+    }
+    return moved;
+  }
+
+  const RuntimeOptions& opt_;
+  const std::vector<double>* dur_;
+  TerminationRing ring_;
+  std::vector<std::unique_ptr<WsDeque<TaskId>>> deques_;
+  std::vector<std::vector<std::size_t>> victims_;
+  std::mutex spill_mutex_;
+  std::vector<TaskId> spill_;
+};
+
+// ---------------------------------------------------------------- share
+class ShareBackend {
+ public:
+  static constexpr bool kStopOnDrain = true;  // central queue knows drain
+
+  ShareBackend(const Run& run, const RuntimeOptions& opt)
+      : opt_(opt), dur_(&run.in->tasks), run_(&run) {}
+
+  void distribute() {
+    for (TaskId id = 0; id < dur_->size(); ++id) queue_.push_back(id);
+  }
+
+  // Every draw is a round trip to the central queue: one steal_latency per
+  // request, at most steal_batch tasks per transfer, bounded lookahead so
+  // a too-big task at the head cannot wedge the whole farm.
+  Starve fill(std::size_t /*w*/, double payload, double reclaim_abs,
+              VirtualClock& clk, WorkerStats& st, std::vector<TaskId>* batch,
+              double* fill) {
+    bool saw_unfit = false;
+    while (*fill < payload) {
+      if (clk.now() >= reclaim_abs) break;
+      st.steals_attempted += 1;
+      clk.advance(opt_.steal_latency);
+      const std::size_t moved = draw(payload, batch, fill, &saw_unfit);
+      if (moved == 0) {
+        st.steals_declined += 1;
+        break;
+      }
+      st.steals_succeeded += 1;
+      st.tasks_migrated_in += moved;
+    }
+    return (!batch->empty() || saw_unfit) ? Starve::kBlocked
+                                          : Starve::kEmptyHanded;
+  }
+
+  void on_kill(std::size_t /*w*/, WorkerStats& /*st*/,
+               std::vector<TaskId>* batch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Front, in order: killed work goes back to the head of the line.
+    queue_.insert(queue_.begin(), batch->begin(), batch->end());
+  }
+
+  bool idle_poll(std::size_t /*w*/) {
+    return run_->remaining.load(std::memory_order_acquire) == 0;
+  }
+
+  [[nodiscard]] std::uint64_t ring_rounds() const { return 0; }
+  [[nodiscard]] bool ring_terminated() const { return false; }
+
+ private:
+  static constexpr std::size_t kLookahead = 16;
+
+  std::size_t draw(double payload, std::vector<TaskId>* batch, double* fill,
+                   bool* saw_unfit) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t moved = 0;
+    std::size_t i = 0;
+    std::size_t examined = 0;
+    while (i < queue_.size() && examined < kLookahead &&
+           moved < opt_.steal_batch && *fill < payload) {
+      const double d = (*dur_)[static_cast<std::size_t>(queue_[i])];
+      if (*fill + d <= payload) {
+        batch->push_back(queue_[i]);
+        *fill += d;
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++moved;
+      } else {
+        ++i;
+      }
+      ++examined;
+    }
+    if (moved == 0 && !queue_.empty()) *saw_unfit = true;
+    return moved;
+  }
+
+  const RuntimeOptions& opt_;
+  const std::vector<double>* dur_;
+  const Run* run_;
+  std::mutex mutex_;
+  std::deque<TaskId> queue_;
+};
+
+// ------------------------------------------------------------ the driver
+std::unique_ptr<OwnerActivity> make_activity(const RunInput& in,
+                                             std::size_t w) {
+  if (!in.traces.empty())
+    return make_trace_activity(in.traces[w % in.traces.size()]);
+  return make_life_activity(*in.life, in.opt.mean_busy_gap, in.opt.seed,
+                            static_cast<std::uint64_t>(w));
+}
+
+// One worker's whole life: alternate owner-present gaps with reclaim
+// windows; inside each window run the schedule period by period.  A
+// period ships iff its fill is non-empty, and banks iff it ends strictly
+// before the reclaim (work_given_reclaim's "reclaim > T_k" convention).
+template <typename Backend>
+void worker_body(Run& run, Backend& be, std::size_t w, WorkerStats& st) {
+  const RuntimeOptions& opt = run.in->opt;
+  VirtualClock clk;
+  const std::unique_ptr<OwnerActivity> activity = make_activity(*run.in, w);
+  std::vector<TaskId> batch;
+  std::uint64_t fruitless = 0;
+  for (;;) {
+    if (run.stop.load(std::memory_order_acquire)) break;
+    if (opt.max_episodes != 0 && st.episodes >= opt.max_episodes) break;
+    const OwnerActivity::Episode ep = activity->next();
+    clk.advance(ep.busy_gap);
+    const double reclaim_abs = clk.now() + ep.reclaim;
+    st.episodes += 1;
+    bool fed = false;
+    bool banked = false;
+    bool empty_handed = false;
+    for (std::size_t k = 0; k < run.schedule.size(); ++k) {
+      if (run.stop.load(std::memory_order_acquire)) break;
+      if (clk.now() >= reclaim_abs) break;
+      const double t_k = run.schedule[k];
+      const double payload = positive_sub(t_k, opt.c);
+      if (payload <= 0.0) continue;
+      batch.clear();
+      double fill = 0.0;
+      const Starve starve =
+          be.fill(w, payload, reclaim_abs, clk, st, &batch, &fill);
+      if (batch.empty()) {
+        empty_handed = (starve == Starve::kEmptyHanded);
+        break;
+      }
+      fed = true;
+      if (clk.now() + t_k < reclaim_abs) {
+        clk.advance(t_k);
+        st.completed_periods += 1;
+        st.tasks_banked += batch.size();
+        st.work_banked += fill;
+        st.overhead_paid += opt.c;
+        st.last_bank_vtime = clk.now();
+        banked = true;
+        const std::uint64_t left =
+            run.remaining.fetch_sub(batch.size(),
+                                    std::memory_order_acq_rel) -
+            batch.size();
+        if (left == 0 && (opt.max_episodes != 0 || Backend::kStopOnDrain))
+          run.stop.store(true, std::memory_order_release);
+      } else {
+        // Owner returned mid-period: draconian kill, nothing banked.
+        st.interrupted_periods += 1;
+        st.work_lost += fill;
+        st.tasks_redistributed += batch.size();
+        be.on_kill(w, st, &batch);
+        clk.advance_to(reclaim_abs);
+        break;
+      }
+    }
+    if (fed) st.fed_episodes += 1;
+    st.idle_vtime += clk.advance_to(reclaim_abs);
+    if (banked) {
+      fruitless = 0;
+    } else if (++fruitless >= opt.stall_episode_limit) {
+      // Pathological input (e.g. a task larger than any payload): brake
+      // instead of spinning forever.
+      run.aborted.store(true, std::memory_order_release);
+      run.stop.store(true, std::memory_order_release);
+      break;
+    }
+    if (empty_handed) {
+      if (be.idle_poll(w)) {
+        run.stop.store(true, std::memory_order_release);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+  st.vtime = clk.now();
+}
+
+void publish_obs(const RunResult& r) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  const std::string lbl = "runtime=" + r.runtime;
+  std::uint64_t attempted = 0, succeeded = 0, declined = 0;
+  std::uint64_t migrated = 0, redistributed = 0;
+  for (const WorkerStats& st : r.workers) {
+    attempted += st.steals_attempted;
+    succeeded += st.steals_succeeded;
+    declined += st.steals_declined;
+    migrated += st.tasks_migrated_in;
+    redistributed += st.tasks_redistributed;
+  }
+  reg.counter("steal.steals_attempted", lbl).inc(attempted);
+  reg.counter("steal.steals_succeeded", lbl).inc(succeeded);
+  reg.counter("steal.steals_declined", lbl).inc(declined);
+  reg.counter("steal.tasks_migrated", lbl).inc(migrated);
+  reg.counter("steal.tasks_redistributed", lbl).inc(redistributed);
+  reg.counter("steal.tasks_banked", lbl).inc(r.tasks_banked);
+  std::uint64_t kills = 0;
+  for (const WorkerStats& st : r.workers) kills += st.interrupted_periods;
+  reg.counter("steal.reclaim_kills", lbl).inc(kills);
+  reg.gauge("steal.work_banked", lbl).add(r.work_banked);
+  reg.gauge("steal.work_lost", lbl).add(r.work_lost);
+  for (std::size_t w = 0; w < r.workers.size(); ++w) {
+    const std::string wl = lbl + ",worker=" + std::to_string(w);
+    reg.gauge("steal.worker.idle_vtime", wl).set(r.workers[w].idle_vtime);
+    reg.gauge("steal.worker.vtime", wl).set(r.workers[w].vtime);
+  }
+}
+
+template <typename Backend>
+RunResult run_impl(const RunInput& in, const std::string& name) {
+  if (in.life == nullptr)
+    throw std::invalid_argument("steal::run: RunInput.life is required");
+  if (in.opt.workers == 0)
+    throw std::invalid_argument("steal::run: need at least one worker");
+
+  Run run;
+  run.in = &in;
+  run.schedule = in.schedule != nullptr
+                     ? *in.schedule
+                     : sim::make_policy(in.opt.schedule_policy)
+                           ->make_schedule(*in.life, in.opt.c);
+  run.remaining.store(in.tasks.size());
+
+  Backend be(run, in.opt);
+  be.distribute();
+
+  std::vector<WorkerStats> stats(in.opt.workers);
+  {
+    par::ThreadPool pool(in.opt.workers);
+    std::vector<std::future<void>> futures;
+    futures.reserve(in.opt.workers);
+    for (std::size_t i = 0; i < in.opt.workers; ++i) {
+      futures.push_back(pool.submit([&run, &be, &stats, &pool] {
+        // Identity comes from the pool itself (the worker_index hook):
+        // the barrier below parks each pool thread until every body has
+        // been claimed, so bodies map 1:1 onto distinct indices.
+        const int me = pool.worker_index();
+        run.claimed.fetch_add(1, std::memory_order_acq_rel);
+        while (run.claimed.load(std::memory_order_acquire) <
+               run.in->opt.workers)
+          std::this_thread::yield();
+        if (me < 0) return;  // not a pool thread; cannot happen
+        try {
+          worker_body(run, be, static_cast<std::size_t>(me),
+                      stats[static_cast<std::size_t>(me)]);
+        } catch (...) {
+          run.aborted.store(true, std::memory_order_release);
+          run.stop.store(true, std::memory_order_release);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  RunResult r;
+  r.runtime = name;
+  r.schedule = run.schedule;
+  r.analytic_expected = expected_work(run.schedule, *in.life, in.opt.c);
+  r.aborted = run.aborted.load();
+  r.drained = run.remaining.load() == 0;
+  r.ring_rounds = be.ring_rounds();
+  r.workers = std::move(stats);
+  for (const WorkerStats& st : r.workers) {
+    r.tasks_banked += st.tasks_banked;
+    r.work_banked += st.work_banked;
+    r.work_lost += st.work_lost;
+    r.overhead_paid += st.overhead_paid;
+    r.completion_vtime = std::max(r.completion_vtime, st.last_bank_vtime);
+  }
+  publish_obs(r);
+  return r;
+}
+
+}  // namespace
+
+RunResult StealRuntime::run(const RunInput& in) const {
+  return run_impl<StealBackend>(in, name());
+}
+
+RunResult WorkSharing::run(const RunInput& in) const {
+  return run_impl<ShareBackend>(in, name());
+}
+
+double RunResult::realized_per_episode() const {
+  const std::uint64_t fed = fed_episodes();
+  return fed == 0 ? 0.0 : work_banked / static_cast<double>(fed);
+}
+
+std::uint64_t RunResult::fed_episodes() const {
+  std::uint64_t fed = 0;
+  for (const WorkerStats& st : workers) fed += st.fed_episodes;
+  return fed;
+}
+
+double RunResult::steal_success_rate() const {
+  std::uint64_t attempted = 0;
+  std::uint64_t succeeded = 0;
+  for (const WorkerStats& st : workers) {
+    attempted += st.steals_attempted;
+    succeeded += st.steals_succeeded;
+  }
+  return attempted == 0
+             ? 0.0
+             : static_cast<double>(succeeded) / static_cast<double>(attempted);
+}
+
+double RunResult::throughput() const {
+  return completion_vtime > 0.0 ? work_banked / completion_vtime : 0.0;
+}
+
+std::unique_ptr<FarmPolicy> make_steal_runtime() {
+  return std::make_unique<StealRuntime>();
+}
+
+std::unique_ptr<FarmPolicy> make_work_sharing() {
+  return std::make_unique<WorkSharing>();
+}
+
+std::unique_ptr<FarmPolicy> make_farm_policy(const std::string& name) {
+  if (name == "steal") return make_steal_runtime();
+  if (name == "share") return make_work_sharing();
+  throw std::invalid_argument("make_farm_policy: unknown runtime '" + name +
+                              "' (want steal|share)");
+}
+
+}  // namespace cs::steal

@@ -1,0 +1,25 @@
+#pragma once
+// The two FarmPolicy implementations.  StealRuntime: per-worker Chase-Lev
+// deques, tiered victim ordering, steal-request/transfer/decline protocol
+// with virtual steal latency, Safra-style ring termination.  WorkSharing:
+// one central mutex-guarded queue every worker draws from — the "sharing"
+// baseline of Van Houdt's stealing-vs-sharing comparison.
+#include <string>
+
+#include "steal/farm_policy.hpp"
+
+namespace cs::steal {
+
+class StealRuntime final : public FarmPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "steal"; }
+  [[nodiscard]] RunResult run(const RunInput& in) const override;
+};
+
+class WorkSharing final : public FarmPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "share"; }
+  [[nodiscard]] RunResult run(const RunInput& in) const override;
+};
+
+}  // namespace cs::steal

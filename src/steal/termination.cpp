@@ -1,0 +1,49 @@
+#include "steal/termination.hpp"
+
+namespace cs::steal {
+
+TerminationRing::TerminationRing(std::size_t workers)
+    : n_(workers == 0 ? 1 : workers) {
+  states_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    states_.push_back(std::make_unique<State>());
+}
+
+void TerminationRing::set_active(std::size_t w) {
+  states_[w]->active.store(true);
+}
+
+void TerminationRing::taint(std::size_t w) { states_[w]->black.store(true); }
+
+bool TerminationRing::poll(std::size_t w) {
+  if (terminated_.load()) return true;
+  State& st = *states_[w];
+  st.active.store(false);
+  if (token_at_.load() != w) return false;
+
+  if (w == 0) {
+    if (rounds_.load() > 0 && !token_black_.load() && !st.black.load()) {
+      terminated_.store(true);
+      return true;
+    }
+    // Launch a fresh white round: whiten self and token, pass to worker 1.
+    st.black.store(false);
+    token_black_.store(false);
+    token_at_.store(1 % n_);
+    if (n_ == 1) rounds_.fetch_add(1);
+    return false;
+  }
+
+  // Forward: a black worker blackens the token, then whitens itself.
+  if (st.black.exchange(false)) token_black_.store(true);
+  const std::size_t next = (w + 1 == n_) ? 0 : w + 1;
+  if (next == 0) rounds_.fetch_add(1);
+  token_at_.store(next);
+  return false;
+}
+
+bool TerminationRing::terminated() const { return terminated_.load(); }
+
+std::size_t TerminationRing::rounds() const { return rounds_.load(); }
+
+}  // namespace cs::steal

@@ -1,0 +1,65 @@
+#pragma once
+// Dijkstra-Feijen-van Gasteren ring termination detection, adapted to a
+// pull-model (thief-initiated) work-stealing runtime.
+//
+// Classic algorithm: workers 0..n-1 form a ring.  Worker 0 launches a
+// white token; a passive worker forwards the token, blackening it if the
+// worker itself is black (it sent work since the last round), then turns
+// itself white.  When worker 0 receives a white token while itself white
+// and passive, every worker has been continuously passive for a full
+// round and no work was in flight: the system has terminated.
+//
+// Pull-model adaptation (thieves take work rather than being sent it):
+//   - a thief marks itself ACTIVE *before* probing any victim, closing
+//     the window where it holds stolen work but still looks passive;
+//   - every task movement blackens both ends (Safra's rule: receiving
+//     makes you black): a successful steal taints the victim *and* the
+//     thief, a reclaim kill that spills tasks taints the spiller, and a
+//     spill grab taints the grabber — so a white round can never complete
+//     across an edge over which tasks migrated since the last round.
+// Extra blackening is always safe: it only delays detection, and once the
+// system is truly drained no acquisitions happen, so the next full round
+// runs white and detection fires within two rounds.
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace cs::steal {
+
+class TerminationRing {
+ public:
+  explicit TerminationRing(std::size_t workers);
+
+  // Worker `w` is about to look for (or has just obtained) work.
+  void set_active(std::size_t w);
+
+  // Worker `w` may hold migrated-away state: blacken it so the current
+  // token round cannot conclude termination past it.
+  void taint(std::size_t w);
+
+  // Worker `w` found nothing and holds nothing: mark passive and advance
+  // the token if it is parked here.  Returns true once termination has
+  // been detected (by any worker); callers treat true as "stop".
+  bool poll(std::size_t w);
+
+  [[nodiscard]] bool terminated() const;
+
+  // Completed token rounds (diagnostic; >= 1 full white round on success).
+  [[nodiscard]] std::size_t rounds() const;
+
+ private:
+  struct State {
+    alignas(64) std::atomic<bool> active{true};
+    std::atomic<bool> black{true};
+  };
+
+  std::size_t n_;
+  std::vector<std::unique_ptr<State>> states_;
+  alignas(64) std::atomic<std::size_t> token_at_{0};
+  std::atomic<bool> token_black_{true};
+  std::atomic<std::size_t> rounds_{0};
+  std::atomic<bool> terminated_{false};
+};
+
+}  // namespace cs::steal

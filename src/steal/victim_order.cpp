@@ -1,0 +1,55 @@
+#include "steal/victim_order.hpp"
+
+#include <algorithm>
+
+#include "numerics/rng.hpp"
+
+namespace cs::steal {
+
+std::size_t tier_of(std::size_t w, std::size_t tier_size) {
+  return tier_size == 0 ? 0 : w / tier_size;
+}
+
+std::size_t tier_distance(std::size_t a, std::size_t b,
+                          std::size_t tier_size) {
+  const std::size_t ta = tier_of(a, tier_size);
+  const std::size_t tb = tier_of(b, tier_size);
+  return ta > tb ? ta - tb : tb - ta;
+}
+
+std::vector<std::size_t> victim_order(std::size_t self, std::size_t workers,
+                                      std::size_t tier_size,
+                                      std::uint64_t seed) {
+  std::vector<std::size_t> order;
+  if (workers <= 1) return order;
+  order.reserve(workers - 1);
+  for (std::size_t w = 0; w < workers; ++w)
+    if (w != self) order.push_back(w);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tier_distance(self, a, tier_size) <
+                            tier_distance(self, b, tier_size);
+                   });
+  // Fisher-Yates within each equal-distance band, seeded per thief so two
+  // thieves in the same tier probe their shared victims in different orders.
+  num::RandomStream rng(seed, static_cast<std::uint64_t>(self));
+  std::size_t band_start = 0;
+  while (band_start < order.size()) {
+    std::size_t band_end = band_start + 1;
+    const std::size_t d = tier_distance(self, order[band_start], tier_size);
+    while (band_end < order.size() &&
+           tier_distance(self, order[band_end], tier_size) == d)
+      ++band_end;
+    for (std::size_t i = band_end - 1; i > band_start; --i) {
+      const std::size_t j =
+          band_start + static_cast<std::size_t>(
+                           rng.below(static_cast<std::uint64_t>(
+                               i - band_start + 1)));
+      std::swap(order[i], order[j]);
+    }
+    band_start = band_end;
+  }
+  return order;
+}
+
+}  // namespace cs::steal

@@ -1,0 +1,29 @@
+#pragma once
+// Locality-aware victim ordering in the style of distance-tiered victim
+// arrays: workers are grouped into tiers of `tier_size` consecutive ids
+// (think: same socket, same rack, remote rack), and a thief's victim list
+// enumerates same-tier peers first, then tier-distance 1, and so on.
+// Within a tier the order is shuffled per-thief from a seeded stream so
+// thieves in one tier don't all converge on the same victim.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cs::steal {
+
+// Tier index of worker `w` when workers are grouped `tier_size` apart.
+[[nodiscard]] std::size_t tier_of(std::size_t w, std::size_t tier_size);
+
+// Absolute tier distance between two workers.
+[[nodiscard]] std::size_t tier_distance(std::size_t a, std::size_t b,
+                                        std::size_t tier_size);
+
+// Victim list for `self` among `workers` workers: every other worker,
+// ordered by ascending tier distance, shuffled within each distance band
+// by RandomStream(seed, self).
+[[nodiscard]] std::vector<std::size_t> victim_order(std::size_t self,
+                                                    std::size_t workers,
+                                                    std::size_t tier_size,
+                                                    std::uint64_t seed);
+
+}  // namespace cs::steal

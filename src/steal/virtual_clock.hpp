@@ -1,0 +1,30 @@
+#pragma once
+// Per-worker virtual clock.  Workers are real threads, but work, steal
+// latency, and owner reclaims are all accounted in virtual time so runs
+// are reproducible regardless of OS scheduling and so the Gast/Khatiri
+// steal-latency regimes can be dialed in exactly (a steal negotiation
+// costs `steal_latency` virtual seconds, not wall time).
+namespace cs::steal {
+
+class VirtualClock {
+ public:
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  void advance(double dt) noexcept {
+    if (dt > 0.0) now_ += dt;
+  }
+
+  // Jump forward to an absolute time; returns the amount skipped (0 when
+  // already past it).  Callers decide whether the skip counts as idleness.
+  double advance_to(double t) noexcept {
+    if (t <= now_) return 0.0;
+    const double skipped = t - now_;
+    now_ = t;
+    return skipped;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace cs::steal

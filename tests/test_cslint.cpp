@@ -224,6 +224,56 @@ TEST(PositiveSub, IgnoresSanctionedAndOutOfScopeForms) {
 }
 
 // ---------------------------------------------------------------------------
+// atomic-order
+// ---------------------------------------------------------------------------
+
+TEST(AtomicOrder, FlagsRelaxedInsideCompareExchange) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/steal/x.cpp",
+                  "ok = top_.compare_exchange_strong(t, t + 1, "
+                  "std::memory_order_relaxed);\n"),
+      "atomic-order"));
+}
+
+TEST(AtomicOrder, FlagsRelaxedInMultiLineCallStatement) {
+  // The CAS statement spans lines; the relaxed order sits two lines below
+  // the call but before the terminating ';'.
+  EXPECT_TRUE(has_rule(
+      lint_source("src/steal/x.cpp",
+                  "while (!value.compare_exchange_weak(\n"
+                  "    cur,\n"
+                  "    cur + v, std::memory_order_relaxed)) {\n"
+                  "}\n"),
+      "atomic-order"));
+}
+
+TEST(AtomicOrder, AllowAnnotationSuppresses) {
+  EXPECT_FALSE(has_rule(
+      lint_source("src/steal/x.cpp",
+                  "while (!value.compare_exchange_weak(\n"
+                  "    cur, cur + v,\n"
+                  "    // cslint: allow(atomic-order) audited\n"
+                  "    std::memory_order_relaxed)) {\n"
+                  "}\n"),
+      "atomic-order"));
+}
+
+TEST(AtomicOrder, IgnoresRelaxedOutsideCompareExchange) {
+  // Plain relaxed loads/stores/fetch_adds are idiomatic and stay quiet.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/steal/x.cpp",
+                  "n.fetch_add(1, std::memory_order_relaxed);\n"
+                  "auto v = top_.load(std::memory_order_relaxed);\n"),
+      "atomic-order"));
+  // A relaxed op in the statement *after* a completed CAS is out of scope.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/steal/x.cpp",
+                  "ok = top_.compare_exchange_strong(t, t + 1);\n"
+                  "n.fetch_add(1, std::memory_order_relaxed);\n"),
+      "atomic-order"));
+}
+
+// ---------------------------------------------------------------------------
 // pragma-once
 // ---------------------------------------------------------------------------
 

@@ -1,11 +1,14 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -82,6 +85,45 @@ TEST(ThreadPool, SubmitReturnsValue) {
   ThreadPool pool(2);
   auto f = pool.submit([] { return std::string("done"); });
   EXPECT_EQ(f.get(), "done");
+}
+
+TEST(ThreadPool, WorkerIndexIdentifiesPoolThreads) {
+  ThreadPool pool(4);
+  // Every pool thread reports a distinct index in [0, size); a barrier keeps
+  // all four tasks resident so no thread can answer for two of them.
+  std::atomic<int> arrived{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.submit([&] {
+      arrived.fetch_add(1);
+      while (arrived.load() < 4) std::this_thread::yield();
+      return pool.worker_index();
+    }));
+  }
+  std::vector<int> seen;
+  for (auto& f : futures) seen.push_back(f.get());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, WorkerIndexIsMinusOneOffPool) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.worker_index(), -1);  // caller thread is not a pool thread
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);
+}
+
+TEST(ThreadPool, WorkerIndexIsPerPool) {
+  // A thread of pool B is a foreign thread from pool A's point of view, but
+  // current_worker_index() still reports its index within its own pool.
+  ThreadPool a(2), b(2);
+  auto f = b.submit([&] {
+    return std::pair<int, int>(a.worker_index(),
+                               ThreadPool::current_worker_index());
+  });
+  const auto [on_a, own] = f.get();
+  EXPECT_EQ(on_a, -1);
+  EXPECT_GE(own, 0);
+  EXPECT_LT(own, 2);
 }
 
 TEST(ParallelFor, CoversAllIndices) {

@@ -1,0 +1,489 @@
+// cs::steal test suite.
+//
+// Two kinds of cases live here:
+//  - StealHammer.*: multi-threaded stress whose job is to give TSan real
+//    interleavings over the Chase-Lev deque, the termination ring, and the
+//    full runtime under concurrent reclaim kills (ci.sh's steal stage runs
+//    exactly this filter under -fsanitize=thread).  Assertions are loose
+//    interleaving-independent invariants: no task lost, none duplicated.
+//  - StealRuntime.* / WsDeque.* / etc.: functional semantics, including
+//    the acceptance check that realized work per episode on the DP
+//    reference schedule matches the analytic E(S;p) within 5%.
+//
+// Iteration counts are sized for a small CI box; CS_STRESS_SCALE multiplies
+// them for longer soaks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/expected_work.hpp"
+#include "lifefn/families.hpp"
+#include "numerics/rng.hpp"
+#include "sim/policy.hpp"
+#include "sim/task_bag.hpp"
+#include "steal/deque.hpp"
+#include "steal/farm_policy.hpp"
+#include "steal/owner_activity.hpp"
+#include "steal/steal_runtime.hpp"
+#include "steal/termination.hpp"
+#include "steal/victim_order.hpp"
+#include "steal/virtual_clock.hpp"
+
+namespace {
+
+using cs::steal::RunInput;
+using cs::steal::RunResult;
+using cs::steal::StealOutcome;
+using cs::steal::StealStatus;
+using cs::steal::TerminationRing;
+using cs::steal::WsDeque;
+
+std::size_t stress_scale() {
+  if (const char* env = std::getenv("CS_STRESS_SCALE")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
+std::vector<double> uniform_tasks(std::size_t count, double mean,
+                                  std::uint64_t seed) {
+  cs::num::RandomStream rng(seed);
+  cs::sim::TaskProfile profile;
+  profile.kind = cs::sim::TaskProfile::Kind::Uniform;
+  profile.mean = mean;
+  profile.spread = 0.5;
+  return cs::sim::generate_task_durations(count, profile, rng);
+}
+
+// ------------------------------------------------------------------ deque
+
+TEST(WsDeque, OwnerLifoThiefFifo) {
+  WsDeque<std::uint64_t> dq;
+  for (std::uint64_t i = 0; i < 4; ++i) dq.push_bottom(i);
+  EXPECT_EQ(dq.size_estimate(), 4u);
+
+  // Thief takes from the top: oldest first.
+  const StealOutcome<std::uint64_t> s = dq.steal_top();
+  ASSERT_EQ(s.status, StealStatus::kStolen);
+  EXPECT_EQ(s.value, 0u);
+
+  // Owner pops from the bottom: newest first.
+  const auto p = dq.pop_bottom();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, 3u);
+
+  EXPECT_EQ(*dq.pop_bottom(), 2u);
+  EXPECT_EQ(*dq.pop_bottom(), 1u);
+  EXPECT_FALSE(dq.pop_bottom().has_value());
+  EXPECT_EQ(dq.steal_top().status, StealStatus::kEmpty);
+}
+
+TEST(WsDeque, GrowthPreservesEveryElement) {
+  WsDeque<std::uint64_t> dq(8);  // grows several times below
+  const std::uint64_t n = 5000;
+  for (std::uint64_t i = 0; i < n; ++i) dq.push_bottom(i);
+  std::vector<bool> seen(n, false);
+  // Drain half from the top, half from the bottom.
+  for (std::uint64_t i = 0; i < n / 2; ++i) {
+    const auto out = dq.steal_top();
+    ASSERT_EQ(out.status, StealStatus::kStolen);
+    seen[out.value] = true;
+  }
+  while (auto t = dq.pop_bottom()) seen[*t] = true;
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+// The ISSUE's hammer: N thieves vs 1 owner on one deque, > 1e6 combined
+// operations, every task claimed exactly once.
+TEST(StealHammer, OwnerVsThievesNoLostNoDup) {
+  const std::uint64_t total = 250000 * stress_scale();
+  WsDeque<std::uint64_t> dq;
+  std::vector<std::atomic<std::uint8_t>> claims(total);
+  std::atomic<std::uint64_t> nclaimed{0};
+  std::atomic<std::uint64_t> dup_claims{0};
+  auto claim = [&](std::uint64_t id) {
+    if (claims[id].fetch_add(1) != 0) dup_claims.fetch_add(1);
+    nclaimed.fetch_add(1);
+  };
+
+  std::thread owner([&] {
+    for (std::uint64_t id = 0; id < total; ++id) {
+      dq.push_bottom(id);
+      // Pop every fourth push: exercises the owner-vs-thief CAS race on
+      // the last element far more often than pure producer behavior would.
+      if ((id & 3u) == 0) {
+        if (auto t = dq.pop_bottom()) claim(*t);
+      }
+    }
+    while (nclaimed.load() < total) {
+      if (auto t = dq.pop_bottom())
+        claim(*t);
+      else
+        std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> thieves;
+  for (int i = 0; i < 3; ++i) {
+    thieves.emplace_back([&] {
+      while (nclaimed.load() < total) {
+        const auto out = dq.steal_top();
+        if (out.status == StealStatus::kStolen)
+          claim(out.value);
+        else
+          std::this_thread::yield();
+      }
+    });
+  }
+  owner.join();
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(nclaimed.load(), total);
+  EXPECT_EQ(dup_claims.load(), 0u);
+  EXPECT_FALSE(dq.pop_bottom().has_value());
+  for (std::uint64_t id = 0; id < total; ++id)
+    ASSERT_EQ(claims[id].load(), 1u) << "task " << id;
+}
+
+// ----------------------------------------------------------- victim order
+
+TEST(VictimOrder, SameTierFirstThenEscalate) {
+  const std::size_t workers = 8, tier = 4;
+  const auto order = cs::steal::victim_order(1, workers, tier, 42);
+  ASSERT_EQ(order.size(), workers - 1);
+  // No self, no duplicates.
+  EXPECT_EQ(std::set<std::size_t>(order.begin(), order.end()).size(),
+            workers - 1);
+  EXPECT_TRUE(std::find(order.begin(), order.end(), 1u) == order.end());
+  // Distances never decrease along the list.
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(cs::steal::tier_distance(1, order[i - 1], tier),
+              cs::steal::tier_distance(1, order[i], tier));
+  // The first three victims are the same-tier peers {0, 2, 3}.
+  EXPECT_EQ(std::set<std::size_t>(order.begin(), order.begin() + 3),
+            (std::set<std::size_t>{0, 2, 3}));
+}
+
+TEST(VictimOrder, ShuffleIsPerThiefDeterministic) {
+  const auto a = cs::steal::victim_order(2, 16, 4, 7);
+  const auto b = cs::steal::victim_order(2, 16, 4, 7);
+  EXPECT_EQ(a, b);  // same seed, same thief: reproducible
+  // Different thieves in the same tier probe in different orders (with 12
+  // same-distance victims the chance of an accidental match is ~1/12!).
+  const auto c = cs::steal::victim_order(3, 16, 4, 7);
+  EXPECT_NE(std::vector<std::size_t>(a.begin(), a.begin() + 2),
+            std::vector<std::size_t>(c.begin(), c.begin() + 2));
+}
+
+// ------------------------------------------------------- termination ring
+
+TEST(TerminationRing, DetectsQuiescenceSingleThreaded) {
+  TerminationRing ring(3);
+  bool done = false;
+  // Every worker is passive; the token needs one blackened lap (initial
+  // state is conservative) plus one white lap.
+  for (int lap = 0; lap < 20 && !done; ++lap)
+    for (std::size_t w = 0; w < 3; ++w)
+      if (ring.poll(w)) done = true;
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ring.terminated());
+  EXPECT_GE(ring.rounds(), 1u);
+}
+
+TEST(TerminationRing, TaintDefersDetection) {
+  TerminationRing ring(2);
+  // Worker 1 keeps getting tainted: termination must not fire.
+  for (int lap = 0; lap < 10; ++lap) {
+    ring.taint(1);
+    EXPECT_FALSE(ring.poll(0));
+    EXPECT_FALSE(ring.poll(1));
+  }
+  // Taints stop: now it converges.
+  bool done = false;
+  for (int lap = 0; lap < 10 && !done; ++lap)
+    done = ring.poll(0) || ring.poll(1);
+  EXPECT_TRUE(done);
+}
+
+// Late wakeup: a worker that is still active (holding work) must block
+// detection until it finally goes passive — even if every other worker
+// spends that whole time polling.
+TEST(StealHammer, TerminationRingLateWakeup) {
+  const std::size_t n = 4;
+  TerminationRing ring(n);
+  std::atomic<bool> late_passive{false};
+  std::atomic<bool> premature{false};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> pollers;
+  for (std::size_t w = 0; w < n - 1; ++w) {
+    pollers.emplace_back([&, w] {
+      while (!done.load()) {
+        if (ring.poll(w)) {
+          if (!late_passive.load()) premature.store(true);
+          done.store(true);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::thread late([&] {
+    // Simulate holding work: stay active and keep tainting for a while.
+    for (int i = 0; i < 200; ++i) {
+      ring.set_active(n - 1);
+      ring.taint(n - 1);
+      std::this_thread::yield();
+    }
+    late_passive.store(true);
+    while (!done.load()) {
+      if (ring.poll(n - 1)) done.store(true);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : pollers) t.join();
+  late.join();
+  EXPECT_TRUE(ring.terminated());
+  EXPECT_FALSE(premature.load());
+}
+
+// ---------------------------------------------------------- owner activity
+
+TEST(OwnerActivity, TraceReplayCycles) {
+  cs::trace::OwnerTrace trace;
+  trace.append(5.0, false);
+  trace.append(10.0, true);
+  trace.append(3.0, false);
+  trace.append(7.0, true);
+  const auto act = cs::steal::make_trace_activity(trace);
+  auto e1 = act->next();
+  EXPECT_DOUBLE_EQ(e1.busy_gap, 5.0);
+  EXPECT_DOUBLE_EQ(e1.reclaim, 10.0);
+  auto e2 = act->next();
+  EXPECT_DOUBLE_EQ(e2.busy_gap, 3.0);
+  EXPECT_DOUBLE_EQ(e2.reclaim, 7.0);
+  auto e3 = act->next();  // cycles back to the start
+  EXPECT_DOUBLE_EQ(e3.busy_gap, 5.0);
+  EXPECT_DOUBLE_EQ(e3.reclaim, 10.0);
+}
+
+TEST(OwnerActivity, AllBusyTraceDoesNotSpin) {
+  cs::trace::OwnerTrace trace;
+  trace.append(5.0, false);
+  const auto act = cs::steal::make_trace_activity(trace);
+  const auto ep = act->next();  // must return, with a fallback reclaim
+  EXPECT_GT(ep.reclaim, 0.0);
+}
+
+TEST(VirtualClock, AdvanceToReportsSkip) {
+  cs::steal::VirtualClock clk;
+  clk.advance(3.0);
+  EXPECT_DOUBLE_EQ(clk.advance_to(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(clk.advance_to(4.0), 0.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(clk.now(), 5.0);
+}
+
+// ---------------------------------------------------------------- runtime
+
+RunInput small_drain_input(const cs::LifeFunction& life,
+                           std::vector<double> tasks) {
+  RunInput in;
+  in.life = &life;
+  in.tasks = std::move(tasks);
+  in.opt.workers = 4;
+  in.opt.tier_size = 2;
+  in.opt.c = 1.0;
+  in.opt.mean_busy_gap = 10.0;
+  in.opt.steal_batch = 4;
+  in.opt.seed = 31337;
+  return in;
+}
+
+TEST(StealRuntime, DrainsBagAndConservesWork) {
+  cs::UniformRisk life(60.0);
+  const auto tasks = uniform_tasks(2000, 0.5, 11);
+  const double total_work =
+      std::accumulate(tasks.begin(), tasks.end(), 0.0);
+  RunInput in = small_drain_input(life, tasks);
+  in.opt.steal_latency = 0.5;
+
+  const RunResult r = cs::steal::make_steal_runtime()->run(in);
+  EXPECT_EQ(r.runtime, "steal");
+  EXPECT_TRUE(r.drained);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.tasks_banked, 2000u);
+  EXPECT_NEAR(r.work_banked, total_work, 1e-6);
+  EXPECT_GE(r.ring_rounds, 1u);  // the ring, not the counter, ended the run
+  EXPECT_GT(r.completion_vtime, 0.0);
+  EXPECT_GT(r.analytic_expected, 0.0);
+  ASSERT_EQ(r.workers.size(), 4u);
+  std::uint64_t episodes = 0;
+  for (const auto& w : r.workers) episodes += w.episodes;
+  EXPECT_GT(episodes, 0u);
+}
+
+// Steal-during-reclaim: short reclaims force draconian kills while other
+// workers are stealing; every task must still be banked exactly once.
+TEST(StealHammer, ReclaimKillsRedistributeWithoutLoss) {
+  cs::UniformRisk life(20.0);  // short lifespans: frequent kills
+  const std::size_t count = 1500 * stress_scale();
+  const auto tasks = uniform_tasks(count, 0.5, 12);
+  const double total_work =
+      std::accumulate(tasks.begin(), tasks.end(), 0.0);
+  RunInput in = small_drain_input(life, tasks);
+  in.opt.mean_busy_gap = 5.0;
+
+  const RunResult r = cs::steal::make_steal_runtime()->run(in);
+  EXPECT_TRUE(r.drained);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.tasks_banked, count);
+  EXPECT_NEAR(r.work_banked, total_work, 1e-6);
+  std::uint64_t kills = 0, redistributed = 0;
+  for (const auto& w : r.workers) {
+    kills += w.interrupted_periods;
+    redistributed += w.tasks_redistributed;
+  }
+  EXPECT_GT(kills, 0u);
+  EXPECT_GT(redistributed, 0u);
+}
+
+TEST(WorkSharing, DrainsBagAndConservesWork) {
+  cs::UniformRisk life(60.0);
+  const auto tasks = uniform_tasks(2000, 0.5, 13);
+  const double total_work =
+      std::accumulate(tasks.begin(), tasks.end(), 0.0);
+  RunInput in = small_drain_input(life, tasks);
+  in.opt.steal_latency = 0.5;
+
+  const RunResult r = cs::steal::make_work_sharing()->run(in);
+  EXPECT_EQ(r.runtime, "share");
+  EXPECT_TRUE(r.drained);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.tasks_banked, 2000u);
+  EXPECT_NEAR(r.work_banked, total_work, 1e-6);
+  EXPECT_EQ(r.ring_rounds, 0u);  // sharing needs no distributed detection
+}
+
+TEST(StealRuntime, EmptyBagTerminatesImmediately) {
+  cs::UniformRisk life(60.0);
+  for (const char* name : {"steal", "share"}) {
+    const RunResult r =
+        cs::steal::make_farm_policy(name)->run(small_drain_input(life, {}));
+    EXPECT_TRUE(r.drained) << name;
+    EXPECT_FALSE(r.aborted) << name;
+    EXPECT_EQ(r.tasks_banked, 0u) << name;
+  }
+}
+
+TEST(StealRuntime, StallBrakeAbortsOnUnplaceableTask) {
+  cs::UniformRisk life(60.0);
+  // One task longer than every period payload: no schedule can place it.
+  RunInput in = small_drain_input(life, {50.0});
+  const cs::Schedule tiny({5.0, 4.0});
+  in.schedule = &tiny;
+  in.opt.workers = 2;
+  in.opt.stall_episode_limit = 500;
+
+  const RunResult r = cs::steal::make_steal_runtime()->run(in);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_FALSE(r.drained);
+  EXPECT_EQ(r.tasks_banked, 0u);
+}
+
+TEST(StealRuntime, ReplayTracesDriveEpisodes) {
+  cs::UniformRisk life(60.0);
+  cs::trace::OwnerTrace trace;
+  trace.append(2.0, false);
+  trace.append(12.0, true);
+  RunInput in = small_drain_input(life, uniform_tasks(400, 0.4, 14));
+  in.traces.push_back(trace);
+
+  const RunResult r = cs::steal::make_steal_runtime()->run(in);
+  EXPECT_TRUE(r.drained);
+  // Every episode replays the same 12-time-unit gap; vtime advances in
+  // (2 + 12) steps, so each worker's clock is a multiple of 14.
+  for (const auto& w : r.workers) {
+    if (w.episodes == 0) continue;
+    const double cycles = w.vtime / 14.0;
+    EXPECT_NEAR(cycles, std::round(cycles), 1e-9);
+  }
+}
+
+TEST(StealRuntime, FactoryNamesAndErrors) {
+  EXPECT_EQ(cs::steal::make_farm_policy("steal")->name(), "steal");
+  EXPECT_EQ(cs::steal::make_farm_policy("share")->name(), "share");
+  EXPECT_THROW((void)cs::steal::make_farm_policy("gossip"),
+               std::invalid_argument);
+  cs::UniformRisk life(60.0);
+  RunInput in;  // no life
+  EXPECT_THROW((void)cs::steal::make_steal_runtime()->run(in),
+               std::invalid_argument);
+  in.life = &life;
+  in.opt.workers = 0;
+  EXPECT_THROW((void)cs::steal::make_steal_runtime()->run(in),
+               std::invalid_argument);
+}
+
+// Acceptance: >= 8 workers on uniform-risk owner episodes, DP-reference
+// schedule — mean banked work per episode within 5% of analytic E(S;p).
+TEST(StealRuntime, RealizedWorkMatchesDpAnalyticWithin5Percent) {
+  cs::UniformRisk life(240.0);
+  const double c = 2.0;
+  const auto dp = cs::sim::make_policy("dp");
+  const cs::Schedule sched = dp->make_schedule(life, c);
+  const double analytic = cs::expected_work(sched, life, c);
+  ASSERT_GT(analytic, 0.0);
+
+  RunInput in;
+  in.life = &life;
+  in.schedule = &sched;
+  in.opt.workers = 8;
+  in.opt.tier_size = 4;
+  in.opt.c = c;
+  in.opt.mean_busy_gap = 40.0;
+  in.opt.steal_latency = 0.0;
+  in.opt.max_episodes = 120;
+  in.opt.seed = 20260808;
+  const double mean_task = 0.2;
+  const double budget = 8.0 * 120.0 * analytic * 1.4;
+  in.tasks = uniform_tasks(static_cast<std::size_t>(budget / mean_task),
+                           mean_task, 15);
+
+  const RunResult r = cs::steal::make_steal_runtime()->run(in);
+  EXPECT_FALSE(r.aborted);
+  std::uint64_t episodes = 0;
+  for (const auto& w : r.workers) episodes += w.episodes;
+  EXPECT_EQ(episodes, 8u * 120u);
+  // Ample bag: no worker should ever have starved an episode.
+  EXPECT_EQ(r.fed_episodes(), episodes);
+  EXPECT_NEAR(r.analytic_expected, analytic, 1e-9);
+  EXPECT_NEAR(r.realized_per_episode() / analytic, 1.0, 0.05);
+}
+
+// Steal latency must show up in the virtual completion time: the same
+// drain with a pricier steal protocol cannot finish sooner.
+TEST(StealRuntime, LatencyChargesShowInCompletionTime) {
+  cs::UniformRisk life(60.0);
+  const auto tasks = uniform_tasks(1200, 0.5, 16);
+  double prev = -1.0;
+  for (const double latency : {0.0, 2.0}) {
+    RunInput in = small_drain_input(life, tasks);
+    in.opt.steal_latency = latency;
+    const RunResult r = cs::steal::make_steal_runtime()->run(in);
+    EXPECT_TRUE(r.drained);
+    std::uint64_t attempted = 0;
+    for (const auto& w : r.workers) attempted += w.steals_attempted;
+    EXPECT_GT(attempted, 0u);
+    if (prev >= 0.0) {
+      EXPECT_GE(r.completion_vtime, prev * 0.8);
+    }
+    prev = r.completion_vtime;
+  }
+}
+
+}  // namespace

@@ -305,9 +305,28 @@ std::vector<Violation> lint_source(std::string_view display_path,
     }
   }
 
+  // atomic-order is stateful across lines: a compare_exchange call spans
+  // lines when the order arguments wrap, so track "inside a CAS statement"
+  // from the call token until the statement closes (;, {, or }).
+  bool cas_active = false;
+
   for (std::size_t i = 0; i < code_lines.size(); ++i) {
     const std::size_t lineno = i + 1;
     std::vector<std::string> hits;
+
+    if (code_lines[i].find("compare_exchange") != std::string::npos)
+      cas_active = true;
+    if (cas_active &&
+        code_lines[i].find("memory_order_relaxed") != std::string::npos) {
+      report(lineno, "atomic-order",
+             "memory_order_relaxed inside a compare_exchange statement: CAS "
+             "loops carry the synchronizing edges of lock-free code (see "
+             "steal/deque.hpp's ordering argument) — use seq_cst/acq_rel, "
+             "or annotate 'cslint: allow(atomic-order)' after auditing");
+    }
+    if (cas_active &&
+        code_lines[i].find_first_of(";{}") != std::string::npos)
+      cas_active = false;
 
     rule_raw_lock(code_lines[i], lineno, hits);
     for (const std::string& m : hits) report(lineno, "raw-lock", m);

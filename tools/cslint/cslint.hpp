@@ -11,6 +11,13 @@
 //                     (use cs::num::RandomStream)
 //   positive-sub      no bare `<expr> - c` period arithmetic in
 //                     src/core + src/sim outside positive_sub()
+//   atomic-order      no std::memory_order_relaxed inside a
+//                     compare_exchange statement: CAS loops carry the
+//                     synchronizing edges of the lock-free structures
+//                     (steal/deque.hpp), so a relaxed success order is
+//                     almost always a bug — audited exceptions (e.g. a
+//                     relaxed *failure* order where the loser publishes
+//                     nothing) annotate `cslint: allow(atomic-order)`
 //   pragma-once       every header starts with #pragma once
 //   header-standalone every header compiles as its own translation unit
 //                     (catches missing includes; needs a compiler, see
