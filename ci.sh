@@ -2,7 +2,9 @@
 # Tier-1 verification gate.
 #
 #   ./ci.sh            # full gate: build, ctest, smoke, cslint (incremental,
-#                      #   SARIF artifact at build/cslint.sarif), format,
+#                      #   SARIF artifact at build/cslint.sarif, over
+#                      #   src/+tools/+bench/), mc (csmc litmus gate:
+#                      #   exhaustive small + bounded large), format,
 #                      #   clang-tidy wall, ASan/UBSan pass (+ cslint --strict
 #                      #   full rescan), TSan pass, csserve soak (verifies the
 #                      #   --metrics-out/--trace-out SIGINT flush), steal
@@ -11,7 +13,7 @@
 #                      #   snapshot (perf_micro + csload --json + exp15
 #                      #   steal_runtime + live stats
 #                      #   -> BENCH_<n>.json, build/stats-snapshot.json)
-#   ./ci.sh --fast     # build, ctest, smoke, cslint, format only
+#   ./ci.sh --fast     # build, ctest, smoke, cslint, mc, format only
 #
 # Stages that need a tool the host lacks (clang-tidy, clang-format) are
 # SKIPPED with a warning rather than failed — the sanitizers and cslint are
@@ -97,16 +99,20 @@ stage_smoke() {
 }
 
 stage_cslint() {
-  # Incremental run: the header-standalone cache persists in build/, the
-  # SARIF artifact is what CI uploads for code-scanning annotation.  The
-  # per-rule counts line is folded into the stage summary table.
+  # Incremental run over the whole tree (src/ + tools/ + bench/): the
+  # header-standalone cache persists in build/ and is shared with the
+  # --strict rescan in the asan stage, the SARIF artifact is what CI uploads
+  # for code-scanning annotation.  tools/ headers include "mc/..." by the
+  # repo convention, hence the extra -I src.  The per-rule counts line is
+  # folded into the stage summary table.
   local out rc
   out="$(mktemp)"
   ./build/tools/cslint \
+    -I src \
     --cache build/cslint-cache.txt \
     --sarif build/cslint.sarif \
     --baseline tools/cslint/baseline.txt \
-    src/ | tee "$out"
+    src/ tools/ bench/ | tee "$out"
   rc=${PIPESTATUS[0]}
   local kv
   for kv in $(grep -oE 'rule-counts: .*' "$out" | head -1 | cut -d' ' -f2-); do
@@ -114,6 +120,30 @@ stage_cslint() {
   done
   rm -f "$out"
   return "$rc"
+}
+
+# Model-checker gate: every small litmus program explored EXHAUSTIVELY
+# (schedules x reads-from choices), then the large owner-vs-thieves farm
+# under its bounded-preemption defaults.  Per-litmus wall caps + an outer
+# timeout keep a state-space regression a fast failure, not a CI hang.  The
+# per-litmus PASS/FAIL lines are csmc's own; the stage rows record the two
+# sub-runs in the summary table.
+stage_mc() {
+  echo "-- csmc: small litmuses, exhaustive"
+  if timeout 300 ./build/tools/csmc --all --wall-ms 60000; then
+    record "  mc small (exhaustive)" PASS
+  else
+    record "  mc small (exhaustive)" FAIL
+    return 1
+  fi
+  echo "-- csmc: large litmus, bounded preemption"
+  if timeout 300 ./build/tools/csmc deque-owner-vs-thieves-large \
+      --wall-ms 120000; then
+    record "  mc large (bounded)" PASS
+  else
+    record "  mc large (bounded)" FAIL
+    return 1
+  fi
 }
 
 stage_format() {
@@ -135,11 +165,16 @@ stage_asan() {
     echo "-- $t"
     ./build-asan/tests/"$t" || return 1
   done
-  # Full-rescan cross-check: --strict ignores the incremental cache, so a
-  # stale or corrupted cache can never hide a header regression from CI.
-  echo "-- cslint --strict (full rescan, no cache)"
+  # Full-rescan cross-check: --strict ignores the incremental cache on read
+  # (a stale or corrupted cache can never hide a header regression from CI)
+  # but still WRITES it, so the fresh results persist into later incremental
+  # stages and local runs.  --strict also turns stale suppressions (dead
+  # allow() annotations, baseline entries that no longer fire) into errors.
+  echo "-- cslint --strict (full rescan, refreshes cache)"
   ./build-asan/tools/cslint --strict \
-    --baseline tools/cslint/baseline.txt src/ || return 1
+    -I src \
+    --cache build/cslint-cache.txt \
+    --baseline tools/cslint/baseline.txt src/ tools/ bench/ || return 1
 }
 
 stage_tsan() {
@@ -289,6 +324,7 @@ run_stage "build (default)" stage_build
 run_stage "ctest (full suite)" stage_ctest
 run_stage "csserve smoke" stage_smoke
 run_stage "cslint (incremental + SARIF)" stage_cslint
+run_stage "mc (model checker)" stage_mc
 
 if command -v clang-format >/dev/null 2>&1; then
   run_stage "format check" stage_format

@@ -127,9 +127,8 @@ ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit,
   const CanonicalRequest creq = canonicalize(req);
   if (auto hit = cache_.get(creq.key)) return finish(std::move(*hit), true);
 
-  // Single-flight: register as leader or adopt the in-flight future.
-  std::promise<ResultPtr> promise;
-  std::shared_future<ResultPtr> flight;
+  // Single-flight: register as leader or adopt the in-flight Flight.
+  std::shared_ptr<Flight> flight;
   bool leader = false;
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -144,29 +143,39 @@ ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit,
       // vacant slot means either "nobody solved this yet" or "it is already
       // cached" — re-check the cache before claiming leadership.
       if (auto hit = cache_.get(creq.key)) return finish(std::move(*hit), true);
-      flight = promise.get_future().share();
+      flight = std::make_shared<Flight>();
       inflight_.emplace(creq.key, flight);
       leader = true;
     }
   }
 
-  if (!leader) return finish(flight.get(), false);
+  if (!leader) {
+    const Flight::Payload& p = flight->wait();
+    if (p.error) std::rethrow_exception(p.error);
+    return finish(p.value, false);
+  }
 
   try {
     ResultPtr result = run_solver(creq);
     cache_.put(creq.key, result);
+    // Publish-before-vacate: the payload is release-published through the
+    // FlightCell before the in-flight slot is erased, so every requester
+    // either adopts a published flight or finds the result in the cache —
+    // never a vacated slot with the result lost in limbo.
+    flight->payload.value = std::move(result);
+    flight->publish_now();
     {
       std::lock_guard<std::mutex> lock(inflight_mutex_);
       inflight_.erase(creq.key);
     }
-    promise.set_value(result);
-    return finish(std::move(result), false);
+    return finish(flight->payload.value, false);
   } catch (...) {
+    flight->payload.error = std::current_exception();
+    flight->publish_now();
     {
       std::lock_guard<std::mutex> lock(inflight_mutex_);
       inflight_.erase(creq.key);
     }
-    promise.set_exception(std::current_exception());
     throw;
   }
 }

@@ -7,15 +7,18 @@
 //   2. Cache lookup.  A hit returns the shared immutable result without
 //      touching any solver.
 //   3. Miss: single-flight.  The first thread to register the key (the
-//      *leader*) runs the solver inline and publishes the result; every
-//      concurrent requester for the same key (a *follower*) waits on the
-//      leader's shared_future instead of re-solving.  A burst of N identical
-//      requests therefore costs exactly one DP/recurrence run.
+//      *leader*) runs the solver inline and publishes the result through a
+//      FlightCell (flight_cell.hpp) — a release-published payload pointer
+//      that followers acquire-poll — while a condition variable only
+//      handles the blocking.  A burst of N identical requests therefore
+//      costs exactly one DP/recurrence run.
 //
-// Publication order matters: the leader inserts into the cache *before*
-// erasing its in-flight slot, and a follower that misses both re-checks the
-// cache while holding the in-flight lock — so there is no window in which a
-// second solve for the same key can start.
+// Publication order matters: the leader inserts into the cache and
+// publishes the FlightCell *before* erasing its in-flight slot, and a
+// follower that misses both re-checks the cache while holding the in-flight
+// lock — so there is no window in which a second solve for the same key can
+// start.  The FlightCell publication edge is machine-checked by csmc
+// (tools/csmc, litmus flight-publish / flight-weak).
 //
 // Observability (when cs::obs::enabled()): counters `engine.cache.hit`,
 // `engine.cache.miss`, `engine.cache.eviction`, `engine.solve.count`,
@@ -25,7 +28,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -39,6 +44,7 @@
 #include "core/expected.hpp"
 #include "core/greedy.hpp"
 #include "core/guideline.hpp"
+#include "engine/flight_cell.hpp"
 #include "engine/lru_cache.hpp"
 #include "engine/request.hpp"
 #include "parallel/thread_pool.hpp"
@@ -122,11 +128,43 @@ class Engine {
   /// Run the actual solver for a canonicalized request (the leader's job).
   [[nodiscard]] ResultPtr run_solver(const CanonicalRequest& creq);
 
+  /// One in-flight solve.  The leader fills `payload` and release-publishes
+  /// it through `cell`; followers acquire-poll the cell (the lock-free
+  /// data-transfer edge, model-checked by csmc) and use the mutex/cv pair
+  /// purely to block until the publish lands.
+  struct Flight {
+    struct Payload {
+      ResultPtr value;
+      std::exception_ptr error;
+    };
+    Payload payload;
+    FlightCell<Payload> cell;
+    std::mutex m;
+    std::condition_variable cv;
+
+    /// Leader only, once: payload must be fully written before this call.
+    void publish_now() {
+      {
+        std::lock_guard<std::mutex> lk(m);
+        cell.publish(&payload);
+      }
+      cv.notify_all();
+    }
+
+    /// Follower: blocks until published, then returns the immutable payload.
+    [[nodiscard]] const Payload& wait() {
+      if (const Payload* p = cell.poll()) return *p;
+      std::unique_lock<std::mutex> lk(m);
+      cv.wait(lk, [this] { return cell.poll() != nullptr; });
+      return *cell.poll();
+    }
+  };
+
   EngineOptions opt_;
   ShardedLruCache<ResultPtr> cache_;
 
   std::mutex inflight_mutex_;
-  std::unordered_map<std::string, std::shared_future<ResultPtr>> inflight_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
 
   // Engine-level request accounting: every solve() resolves as exactly one
   // hit or one miss (the cache's own tallies also count the single-flight

@@ -1,0 +1,54 @@
+#pragma once
+// FlightCell: the single-flight publication slot, factored out of Engine so
+// the exact production code runs under the csmc model checker (src/mc).
+//
+// A cell is a one-shot, single-writer publication of an immutable payload:
+// the leader fully constructs the payload object, then `publish()`es its
+// address with a release store; any follower that `poll()`s the pointer with
+// an acquire load observes the payload's plain fields without a data race.
+//
+// Machine-checked invariants (tools/csmc litmus flight-publish /
+// flight-weak):
+//   1. publish() happens-before any poll() that returns non-null: followers
+//      never observe a half-written payload (downgrading the release/acquire
+//      pair to relaxed is caught by the checker as a data race on the
+//      payload).
+//   2. Leader publishes *before* vacating the in-flight map slot, so a
+//      requester that finds the slot vacant either sees the cached result or
+//      starts a fresh flight — never a published-but-lost result.
+//
+// Blocking (condition_variable) stays in the Engine: the cell is only the
+// lock-free data-transfer edge, which is exactly the part TSan's
+// fence-blind model and mutex-based reasoning cannot check.
+#include <atomic>
+
+#include "steal/atomics_traits.hpp"
+
+namespace cs::engine {
+
+template <typename PayloadT, typename Traits = cs::steal::StdAtomicsTraits>
+class FlightCell {
+  template <typename U>
+  using Atomic = typename Traits::template atomic<U>;
+
+ public:
+  FlightCell() = default;
+  FlightCell(const FlightCell&) = delete;
+  FlightCell& operator=(const FlightCell&) = delete;
+
+  /// Leader only, at most once: the payload must be fully written before
+  /// this call and never mutated after it.
+  void publish(const PayloadT* payload) {
+    slot_.store(payload, std::memory_order_release);
+  }
+
+  /// Any thread.  Non-null means the payload is complete and immutable.
+  [[nodiscard]] const PayloadT* poll() const {
+    return slot_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Atomic<const PayloadT*> slot_{nullptr};
+};
+
+}  // namespace cs::engine

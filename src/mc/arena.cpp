@@ -1,0 +1,105 @@
+#include "mc/arena.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace cs::mc {
+
+namespace {
+
+// 64 MiB of address space per checker thread; pages are only touched as the
+// bump pointer advances, so the cost is what a litmus actually allocates.
+constexpr std::size_t kArenaBytes = 64ull << 20;
+
+}  // namespace
+
+LitmusArena& LitmusArena::instance() noexcept {
+  thread_local LitmusArena arena;
+  if (arena.base_ == nullptr) {
+    // malloc, not operator new: the overrides below must not recurse.
+    arena.base_ = static_cast<char*>(std::malloc(kArenaBytes));
+    arena.capacity_ = arena.base_ != nullptr ? kArenaBytes : 0;
+  }
+  return arena;
+}
+
+void* LitmusArena::alloc(std::size_t bytes, std::size_t align) noexcept {
+  if (depth_ <= 0 || base_ == nullptr) return nullptr;
+  if (align < alignof(std::max_align_t)) align = alignof(std::max_align_t);
+  const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+  if (aligned > capacity_ || bytes > capacity_ - aligned) {
+    overflowed_ = true;
+    return nullptr;
+  }
+  offset_ = aligned + bytes;
+  return base_ + aligned;
+}
+
+}  // namespace cs::mc
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete.  These overrides live in the same object file
+// as the arena, so they bind only into binaries that reference the checker
+// (csmc, test_mc); everything else keeps the default allocator.  With no
+// active LitmusScope they are the standard malloc/free semantics.
+
+namespace {
+
+void* checked_alloc(std::size_t n, std::size_t align) {
+  if (void* p = cs::mc::LitmusArena::instance().alloc(n, align)) return p;
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (n + align - 1) & ~(align - 1))
+                : std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void checked_free(void* p) noexcept {
+  if (p == nullptr || cs::mc::LitmusArena::instance().owns(p)) return;
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return checked_alloc(n, 0); }
+void* operator new[](std::size_t n) { return checked_alloc(n, 0); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return checked_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return checked_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc(n, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc(n, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { checked_free(p); }
+void operator delete[](void* p) noexcept { checked_free(p); }
+void operator delete(void* p, std::size_t) noexcept { checked_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { checked_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { checked_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { checked_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  checked_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  checked_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  checked_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  checked_free(p);
+}

@@ -1,0 +1,61 @@
+#pragma once
+// Deterministic litmus allocator.
+//
+// State fingerprints hash live fiber stacks and pointer values, so heap
+// addresses allocated by litmus code (e.g. WsDeque rings) must be a pure
+// function of the executed op prefix — malloc's addresses are not: they
+// depend on what earlier replays freed.  While a LitmusScope is active on
+// the current thread, global operator new (overridden in arena.cpp, pulled
+// in only by binaries that reference the checker) serves allocations from a
+// per-thread bump arena that the checker resets before each execution:
+// identical prefixes replay to identical addresses.
+//
+// delete of an arena pointer is a no-op (the whole arena dies at reset),
+// which also makes aborted executions trivially safe: AbortExecution can
+// unwind litmus code at any operation without double-free hazards no matter
+// where ownership was mid-transfer.  Arena exhaustion falls back to malloc
+// (correct, but address stability degrades; the checker reports it).
+#include <cstddef>
+
+namespace cs::mc {
+
+class LitmusArena {
+ public:
+  /// The calling thread's arena (one checker per OS thread).
+  static LitmusArena& instance() noexcept;
+
+  /// Start of a fresh execution: every prior litmus object is dead.
+  void reset() noexcept { offset_ = 0; }
+
+  [[nodiscard]] bool active() const noexcept { return depth_ > 0; }
+  [[nodiscard]] bool owns(const void* p) const noexcept {
+    const char* c = static_cast<const char*>(p);
+    return base_ != nullptr && c >= base_ && c < base_ + capacity_;
+  }
+  /// True once any allocation since construction missed the arena while a
+  /// scope was active (address determinism is no longer guaranteed).
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+
+  /// nullptr when inactive or exhausted (caller falls back to malloc).
+  [[nodiscard]] void* alloc(std::size_t bytes, std::size_t align) noexcept;
+
+ private:
+  friend class LitmusScope;
+  char* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t offset_ = 0;
+  int depth_ = 0;
+  bool overflowed_ = false;
+};
+
+/// RAII: marks the current thread as running litmus code.  Nestable (the
+/// unwind path re-enters through destructors).
+class LitmusScope {
+ public:
+  LitmusScope() noexcept { ++LitmusArena::instance().depth_; }
+  ~LitmusScope() { --LitmusArena::instance().depth_; }
+  LitmusScope(const LitmusScope&) = delete;
+  LitmusScope& operator=(const LitmusScope&) = delete;
+};
+
+}  // namespace cs::mc

@@ -1,0 +1,157 @@
+#pragma once
+// Drop-in std::atomic replacement that routes every operation through the
+// csmc model checker (mc/execution.hpp).  Production lock-free code is
+// templated on an AtomicsTraits policy (src/steal/atomics_traits.hpp); the
+// checker instantiates it with McAtomicsTraits so the *same* source runs
+// under the simulated memory model.
+//
+// Only usable inside a Checker::run() build callback / litmus thread; there
+// is deliberately no fallback to real atomics.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "mc/execution.hpp"
+
+namespace cs::mc {
+
+namespace detail {
+
+template <typename T>
+[[nodiscard]] Value encode(T v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "mc::atomic supports trivially copyable types up to 8 bytes");
+  Value x = 0;
+  std::memcpy(&x, &v, sizeof(T));
+  return x;
+}
+
+template <typename T>
+[[nodiscard]] T decode(Value x) noexcept {
+  T v{};
+  std::memcpy(&v, &x, sizeof(T));
+  return v;
+}
+
+}  // namespace detail
+
+/// Model-checked atomic.  Mirrors the std::atomic member API used by the
+/// production code (load/store/CAS/fetch_add/fetch_sub).
+template <typename T>
+class atomic {
+ public:
+  atomic() : atomic(T{}) {}
+  atomic(T v)  // NOLINT(google-explicit-constructor): mirrors std::atomic
+      : id_(Execution::current()->register_location(false,
+                                                    detail::encode(v))) {}
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  [[nodiscard]] T load(
+      std::memory_order o = std::memory_order_seq_cst) const {
+    return detail::decode<T>(Execution::current()->op_load(id_, o));
+  }
+
+  void store(T v, std::memory_order o = std::memory_order_seq_cst) {
+    Execution::current()->op_store(id_, detail::encode(v), o);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order succ,
+                               std::memory_order fail) {
+    auto [ok, observed] = Execution::current()->op_cas(
+        id_, detail::encode(expected), detail::encode(desired), succ, fail);
+    if (!ok) expected = detail::decode<T>(observed);
+    return ok;
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order o = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, o,
+                                   std::memory_order_seq_cst);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order succ,
+                             std::memory_order fail) {
+    // The model never fails spuriously; weak == strong here.
+    return compare_exchange_strong(expected, desired, succ, fail);
+  }
+
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T delta, std::memory_order o = std::memory_order_seq_cst) {
+    return detail::decode<T>(Execution::current()->op_rmw_add(
+        id_, detail::encode(delta), o));
+  }
+
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T delta, std::memory_order o = std::memory_order_seq_cst) {
+    return fetch_add(static_cast<T>(T(0) - delta), o);
+  }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Model-checked non-atomic location: loads/stores participate in
+/// happens-before race detection, and any unordered access is reported as a
+/// data race violation.  Use for the payload data a lock-free protocol is
+/// supposed to protect.
+template <typename T>
+class plain {
+ public:
+  plain() : plain(T{}) {}
+  plain(T v)  // NOLINT(google-explicit-constructor)
+      : id_(Execution::current()->register_location(true,
+                                                    detail::encode(v))) {}
+  plain(const plain&) = delete;
+  plain& operator=(const plain&) = delete;
+
+  [[nodiscard]] T read() const {
+    return detail::decode<T>(Execution::current()->op_plain_load(id_));
+  }
+
+  void write(T v) {
+    Execution::current()->op_plain_store(id_, detail::encode(v));
+  }
+
+ private:
+  std::uint32_t id_;
+};
+
+inline void fence(std::memory_order o) { Execution::current()->op_fence(o); }
+
+/// Voluntary scheduling point with no memory effect.
+inline void yield() { Execution::current()->op_yield(); }
+
+/// Records a model-visible value on the current thread (e.g. a popped task
+/// id); inspect from the finally hook via notes_of().  Unlike pushing onto a
+/// heap vector, notes are part of the checker's state fingerprint.
+inline void note(Value v) { Execution::current()->note(v); }
+
+/// Model assertion: a false condition is a violation (with the failing
+/// schedule reported); unwinds the current thread.
+inline void check(bool cond, std::string_view msg) {
+  Execution::current()->check(cond, msg);
+}
+
+/// Notes recorded by the named litmus thread (valid inside finally).
+inline const std::vector<Value>& notes_of(std::string_view thread_name) {
+  return Execution::current()->notes_of(thread_name);
+}
+
+/// AtomicsTraits policy binding production lock-free code to the model
+/// checker (counterpart of cs::steal::StdAtomicsTraits).
+struct McAtomicsTraits {
+  template <typename U>
+  using atomic = cs::mc::atomic<U>;
+
+  static void fence(std::memory_order o) { cs::mc::fence(o); }
+};
+
+}  // namespace cs::mc

@@ -1,0 +1,263 @@
+#include "mc/checker.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mc/arena.hpp"
+#include "mc/hash.hpp"
+
+namespace cs::mc {
+
+namespace {
+
+struct Frame {
+  std::vector<ScheduleChoice> choices;     // grouped by tid
+  std::vector<Execution::OpSig> pend;      // pending sig per tid at entry
+  std::size_t cur = 0;
+  std::uint64_t state_hash = 0;
+  std::uint32_t sleep = 0;        // current sleep set (entry + exhausted sibs)
+  std::uint32_t sleep_entry = 0;  // sleep set when the node was first reached
+  std::int32_t budget = 0;        // kBoundedPreempt: preemptions left
+  std::uint32_t last_tid = 0;     // thread that ran into this node (0 = none)
+  bool last_runnable = false;
+};
+
+void enumerate(Execution& ex, Frame& f, Mode mode) {
+  const std::size_t n = ex.thread_count();
+  f.pend.assign(n, Execution::OpSig{});
+  f.last_runnable = f.last_tid != 0 && ex.runnable(f.last_tid);
+  for (std::uint32_t tid = 1; tid < n; ++tid) {
+    if (!ex.runnable(tid)) continue;
+    f.pend[tid] = ex.pending_sig(tid);
+    if (mode != Mode::kExhaustive && ((f.sleep >> tid) & 1u) != 0) continue;
+    if (mode == Mode::kBoundedPreempt) {
+      const int cost = (f.last_runnable && tid != f.last_tid) ? 1 : 0;
+      if (cost > f.budget) continue;
+    }
+    const auto [lo, hi] = ex.rf_candidates(tid);
+    if (lo < 0) {
+      f.choices.push_back(ScheduleChoice{tid, -1});
+    } else {
+      for (std::int32_t i = lo; i < hi; ++i) {
+        f.choices.push_back(ScheduleChoice{tid, i});
+      }
+    }
+  }
+}
+
+[[nodiscard]] std::uint32_t child_sleep(const Frame& f, ScheduleChoice c) {
+  std::uint32_t s = f.sleep & ~(1u << c.tid);
+  if (s == 0) return 0;
+  const Execution::OpSig& sig = f.pend[c.tid];
+  for (std::uint32_t tid = 1; tid < f.pend.size(); ++tid) {
+    if (((s >> tid) & 1u) == 0) continue;
+    const Execution::OpSig& o = f.pend[tid];
+    const bool conflict =
+        sig.global || o.global ||
+        (sig.is_mem && o.is_mem && sig.loc == o.loc &&
+         (sig.writes || o.writes));
+    if (conflict) s &= ~(1u << tid);  // woken
+  }
+  return s;
+}
+
+void capture_violation(Execution& ex, const std::vector<Frame>& frames,
+                       std::size_t depth, CheckResult& res) {
+  ++res.violations;
+  if (res.verdict == Verdict::kViolation) return;  // keep the first one
+  res.verdict = Verdict::kViolation;
+  res.violation = ex.violation();
+  res.trace.clear();
+  res.trace.reserve(ex.steps().size());
+  for (const StepRecord& s : ex.steps()) {
+    res.trace.push_back(ex.format_step(s));
+  }
+  res.schedule.clear();
+  res.schedule.reserve(depth);
+  for (std::size_t d = 0; d < depth && d < frames.size(); ++d) {
+    res.schedule.push_back(frames[d].choices[frames[d].cur]);
+  }
+}
+
+[[nodiscard]] std::uint64_t elapsed_ms(
+    std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+CheckResult Checker::run(const std::function<void(Program&)>& build) {
+  CheckResult res;
+#if CS_MC_TSAN
+  (void)build;
+  res.verdict = Verdict::kSkipped;
+  res.note = "csmc does not run under ThreadSanitizer (ucontext fibers)";
+  return res;
+#else
+  const auto t0 = std::chrono::steady_clock::now();
+  FiberPool pool(opts_.stack_bytes);
+  VisitedSet visited;
+  std::vector<Frame> frames;
+  frames.reserve(256);
+  std::uint64_t root_hash = 0;
+  bool cache_unstable = false;
+  std::string bound_note;
+
+  for (;;) {
+    ++res.replays;
+    Execution ex(&opts_, &pool, &build);
+    ex.start();
+    std::size_t depth = 0;
+    // Scheduling params the next frontier node inherits from its parent.
+    std::uint32_t nsleep = 0;
+    std::int32_t nbudget = opts_.preemption_bound;
+    std::uint32_t nlast = 0;
+
+    for (;;) {
+      if (ex.violated()) {
+        capture_violation(ex, frames, depth, res);
+        break;
+      }
+      if (ex.all_done()) {
+        ex.run_finally();
+        ++res.executions;
+        if (ex.violated()) capture_violation(ex, frames, depth, res);
+        break;
+      }
+      if (depth >= opts_.max_steps_per_exec) {
+        bound_note = "max_steps_per_exec";
+        break;
+      }
+      if (depth == frames.size()) {
+        // Frontier: a node not expanded before on this path.
+        Frame f;
+        f.sleep = f.sleep_entry = nsleep;
+        f.budget = nbudget;
+        f.last_tid = nlast;
+        f.state_hash = ex.state_hash();
+        if (depth == 0) {
+          if (res.replays == 1) {
+            root_hash = f.state_hash;
+          } else if (f.state_hash != root_hash) {
+            // Heap addresses drifted across replays; caching degrades to
+            // re-exploration but stays sound.  Surfaced in res.note.
+            cache_unstable = true;
+          }
+        }
+        if (opts_.mode == Mode::kExhaustive) {
+          if (!visited.insert(f.state_hash)) break;  // revisited: prune
+          if (visited.size() > opts_.max_states) {
+            bound_note = "max_states";
+            break;
+          }
+        } else {
+          bool cycle = false;
+          for (const Frame& g : frames) {
+            if (g.state_hash == f.state_hash && g.sleep_entry == f.sleep &&
+                g.budget == f.budget) {
+              cycle = true;
+              break;
+            }
+          }
+          if (cycle) break;  // no-progress loop on this path
+        }
+        enumerate(ex, f, opts_.mode);
+        if (f.choices.empty()) break;  // everyone asleep / over budget
+        frames.push_back(std::move(f));
+      }
+      Frame& f = frames[depth];
+      const ScheduleChoice c = f.choices[f.cur];
+      nsleep = child_sleep(f, c);
+      nbudget =
+          f.budget - ((f.last_runnable && c.tid != f.last_tid) ? 1 : 0);
+      nlast = c.tid;
+      ex.execute(c.tid, c.rf);
+      ++depth;
+      ++res.steps;
+      if (depth > res.max_depth) res.max_depth = depth;
+    }
+    ex.finish();
+
+    if (!bound_note.empty()) break;
+    if (res.verdict == Verdict::kViolation && opts_.stop_at_first_violation) {
+      break;
+    }
+    // Backtrack to the deepest frame with an untried choice.
+    bool more = false;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::uint32_t done_tid = f.choices[f.cur].tid;
+      if (++f.cur < f.choices.size()) {
+        if (opts_.mode != Mode::kExhaustive &&
+            f.choices[f.cur].tid != done_tid) {
+          f.sleep |= (1u << done_tid);  // exhausted thread goes to sleep
+        }
+        more = true;
+        break;
+      }
+      frames.pop_back();
+    }
+    if (!more) break;  // exploration complete
+    if (opts_.max_executions != 0 && res.replays >= opts_.max_executions) {
+      bound_note = "max_executions";
+      break;
+    }
+    if (opts_.wall_ms != 0 && elapsed_ms(t0) >= opts_.wall_ms) {
+      bound_note = "wall_ms";
+      break;
+    }
+  }
+
+  res.states = visited.size();
+  if (!bound_note.empty()) {
+    if (res.verdict == Verdict::kOk) res.verdict = Verdict::kBoundExceeded;
+    res.note = bound_note;
+  }
+  if (cache_unstable) {
+    if (!res.note.empty()) res.note += "; ";
+    res.note += "state cache unstable across replays";
+  }
+  if (LitmusArena::instance().overflowed()) {
+    if (!res.note.empty()) res.note += "; ";
+    res.note += "litmus arena overflow (address determinism degraded)";
+  }
+  return res;
+#endif
+}
+
+CheckResult Checker::replay(const std::function<void(Program&)>& build,
+                            const std::vector<ScheduleChoice>& schedule) {
+  CheckResult res;
+#if CS_MC_TSAN
+  (void)build;
+  (void)schedule;
+  res.verdict = Verdict::kSkipped;
+  res.note = "csmc does not run under ThreadSanitizer (ucontext fibers)";
+  return res;
+#else
+  FiberPool pool(opts_.stack_bytes);
+  std::vector<Frame> no_frames;
+  Execution ex(&opts_, &pool, &build);
+  ex.start();
+  for (const ScheduleChoice& c : schedule) {
+    if (ex.violated() || ex.all_done()) break;
+    if (!ex.runnable(c.tid)) break;  // schedule does not fit this program
+    ex.execute(c.tid, c.rf);
+    ++res.steps;
+  }
+  if (!ex.violated() && ex.all_done()) {
+    ex.run_finally();
+    ++res.executions;
+  }
+  if (ex.violated()) capture_violation(ex, no_frames, 0, res);
+  ex.finish();
+  return res;
+#endif
+}
+
+}  // namespace cs::mc

@@ -1,0 +1,57 @@
+#pragma once
+// csmc schedule-exhausting checker: DFS over (thread choice x reads-from
+// choice) decisions of an Execution, with mode-dependent pruning:
+//
+//  - kExhaustive: visited-state caching over a 64-bit state fingerprint.
+//    Each reachable state is expanded once; spin loops terminate because a
+//    no-progress iteration recreates an already-cached state.
+//  - kSleepSets: stateless DFS with sleep sets (the DPOR-style component):
+//    after exhausting a thread's choices at a node, that thread sleeps in
+//    the node's later subtrees until a conflicting operation wakes it.
+//    Cycles are cut on the current path only.
+//  - kBoundedPreempt: sleep sets plus an involuntary-context-switch budget.
+//
+// Replays are deterministic: a schedule is a list of (tid, rf) decisions,
+// and `replay()` re-runs one schedule to reproduce a reported violation.
+#include <functional>
+
+#include "mc/execution.hpp"
+#include "mc/options.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define CS_MC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CS_MC_TSAN 1
+#endif
+#endif
+#ifndef CS_MC_TSAN
+#define CS_MC_TSAN 0
+#endif
+
+namespace cs::mc {
+
+class Checker {
+ public:
+  explicit Checker(CheckerOptions opts = CheckerOptions{})
+      : opts_(std::move(opts)) {}
+
+  /// Explores schedules of the program registered by `build` (which runs
+  /// once per replay, in the setup phase).  Not thread-safe; one checker
+  /// per OS thread.
+  CheckResult run(const std::function<void(Program&)>& build);
+
+  /// Re-runs a single schedule (e.g. CheckResult::schedule) and returns its
+  /// verdict + trace.
+  CheckResult replay(const std::function<void(Program&)>& build,
+                     const std::vector<ScheduleChoice>& schedule);
+
+  [[nodiscard]] const CheckerOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  CheckerOptions opts_;
+};
+
+}  // namespace cs::mc

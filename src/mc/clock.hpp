@@ -1,0 +1,57 @@
+#pragma once
+// Vector clocks for the csmc memory model (DESIGN.md section 14).
+//
+// Every model thread carries a happens-before clock; every store carries the
+// "message" clock a reader joins when it synchronizes with that store
+// (release/acquire, release sequences through RMWs, and fence-tagged relaxed
+// stores).  Clock components are per-thread logical op counters, so
+// `covers(tid, t)` answers "has everything thread `tid` did up to its op `t`
+// happened-before this point".
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cs::mc {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t threads) : c_(threads, 0) {}
+
+  void ensure(std::size_t threads) {
+    if (c_.size() < threads) c_.resize(threads, 0);
+  }
+
+  [[nodiscard]] std::uint32_t get(std::size_t tid) const noexcept {
+    return tid < c_.size() ? c_[tid] : 0;
+  }
+
+  void set(std::size_t tid, std::uint32_t t) {
+    ensure(tid + 1);
+    c_[tid] = t;
+  }
+
+  /// Component-wise maximum (the happens-before join).
+  void join(const VectorClock& other) {
+    ensure(other.c_.size());
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+  }
+
+  /// True when this clock has seen thread `tid` up to (and including) op `t`.
+  [[nodiscard]] bool covers(std::size_t tid, std::uint32_t t) const noexcept {
+    return get(tid) >= t;
+  }
+
+  void clear() { c_.clear(); }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& raw() const noexcept {
+    return c_;
+  }
+
+ private:
+  std::vector<std::uint32_t> c_;
+};
+
+}  // namespace cs::mc

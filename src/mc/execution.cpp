@@ -1,0 +1,773 @@
+#include "mc/execution.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "mc/arena.hpp"
+
+namespace cs::mc {
+
+namespace {
+
+thread_local Execution* g_exec = nullptr;
+
+// Bytes zeroed at the top of each fiber stack per execution, so live-stack
+// bytes (including padding and dead slots inside frames) are a deterministic
+// function of the execution prefix and state fingerprints are replay-stable.
+constexpr std::size_t kZeroedStackBytes = 16 * 1024;
+// Live-depth ceiling enforced at every yield; must leave headroom inside the
+// zeroed region.
+constexpr std::size_t kMaxLiveStackBytes = kZeroedStackBytes - 2048;
+
+[[nodiscard]] bool is_acquire(std::memory_order o) noexcept {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst || o == std::memory_order_consume;
+}
+
+[[nodiscard]] bool is_release(std::memory_order o) noexcept {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+[[nodiscard]] const char* order_str(std::memory_order o) noexcept {
+  switch (o) {
+    case std::memory_order_relaxed:
+      return "rlx";
+    case std::memory_order_consume:
+      return "csm";
+    case std::memory_order_acquire:
+      return "acq";
+    case std::memory_order_release:
+      return "rel";
+    case std::memory_order_acq_rel:
+      return "a/r";
+    case std::memory_order_seq_cst:
+      return "sc";
+  }
+  return "?";
+}
+
+void add_clock(HashAcc& h, const VectorClock& c) {
+  const auto& r = c.raw();
+  std::size_t n = r.size();
+  while (n > 0 && r[n - 1] == 0) --n;  // canonical: trailing zeros dropped
+  h.add(n);
+  if (n > 0) h.add_bytes(r.data(), n * sizeof(r[0]));
+}
+
+void add_u32s(HashAcc& h, const std::vector<std::uint32_t>& v) {
+  std::size_t n = v.size();
+  while (n > 0 && v[n - 1] == 0) --n;
+  h.add(n);
+  if (n > 0) h.add_bytes(v.data(), n * sizeof(v[0]));
+}
+
+#if CS_MC_ASAN
+__attribute__((no_sanitize_address))
+#endif
+void clear_raw_range(char* lo, char* hi) noexcept {
+  // Word-wise zeroing without libc (interceptable) calls; used on fiber
+  // stacks which may carry ASan poison from earlier executions.
+  while (lo + 8 <= hi) {
+    std::uint64_t z = 0;
+    __builtin_memcpy(lo, &z, 8);
+    lo += 8;
+  }
+  for (; lo < hi; ++lo) *lo = 0;
+}
+
+std::string fmt_val(Value v) {
+  char buf[32];
+  if (v <= 0xffffffffULL) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Execution* Execution::current() noexcept { return g_exec; }
+
+Execution::Execution(const CheckerOptions* opts, FiberPool* pool,
+                     const std::function<void(Program&)>* build)
+    : opts_(opts), pool_(pool), build_(build) {
+  // Every litmus object from the previous execution is dead; restart the
+  // deterministic allocator so identical prefixes replay to identical
+  // addresses (see arena.hpp).  Checker-side containers below allocate with
+  // no LitmusScope active, i.e. from malloc, and their fixed reservations
+  // keep the checker-side allocation pattern identical across replays.
+  LitmusArena::instance().reset();
+  threads_.reserve(16);
+  locs_.reserve(64);
+  steps_.reserve(opts_->max_steps_per_exec + 64);
+  intern_.reserve(128);
+  prev_current_ = g_exec;
+  g_exec = this;
+}
+
+Execution::~Execution() {
+  if (phase_ != Phase::kIdle) finish();
+  g_exec = prev_current_;
+}
+
+std::uint32_t Execution::intern(Value v) {
+  for (const auto& [raw, id] : intern_) {
+    if (raw == v) return id;
+  }
+  const auto id = static_cast<std::uint32_t>(intern_.size() + 1);
+  intern_.emplace_back(v, id);
+  return id;
+}
+
+std::uint32_t& Execution::floor_ref(ThreadModel& th, std::uint32_t loc) {
+  if (th.floor.size() < locs_.size()) th.floor.resize(locs_.size(), 0);
+  return th.floor[loc];
+}
+
+std::uint32_t Execution::floor_of(const ThreadModel& th,
+                                  std::uint32_t loc) const {
+  return loc < th.floor.size() ? th.floor[loc] : 0;
+}
+
+void Execution::fail(std::string msg) {
+  if (violation_.empty()) violation_ = std::move(msg);
+}
+
+std::uint32_t Execution::register_location(bool is_plain, Value initial) {
+  const auto id = static_cast<std::uint32_t>(locs_.size());
+  ThreadModel& th = threads_[current_tid_];
+  ++th.time;
+  th.clock.set(current_tid_, th.time);
+  LocationState L;
+  L.is_plain = is_plain;
+  Store s;
+  s.value = initial;
+  s.vid = intern(initial);
+  s.tid = current_tid_;
+  s.time = th.time;
+  // The initial store carries an empty message: initialization is not a
+  // release store, and readers reach it happens-after creation through
+  // whatever published the object (e.g. the ring pointer acquire).
+  L.stores.reserve(8);
+  L.stores.push_back(std::move(s));
+  locs_.push_back(std::move(L));
+  floor_ref(th, id) = 0;
+  return id;
+}
+
+std::int32_t Execution::forced_rf(const PendingOp& op) const {
+  if (op.kind == OpKind::kLoad || op.kind == OpKind::kCas ||
+      op.kind == OpKind::kRmwAdd) {
+    return static_cast<std::int32_t>(locs_[op.loc].stores.size()) - 1;
+  }
+  return -1;
+}
+
+void Execution::apply(std::uint32_t tid, std::int32_t rf) {
+  ThreadModel& th = threads_[tid];
+  const PendingOp op = th.pending;
+  th.pending = PendingOp{};
+  ++th.time;
+  th.clock.set(tid, th.time);
+
+  StepRecord rec;
+  rec.tid = tid;
+  rec.kind = op.kind;
+  rec.loc = op.loc;
+  rec.order = op.order;
+
+  switch (op.kind) {
+    case OpKind::kNone:
+      fail("mc internal error: apply() with no pending op");
+      return;
+
+    case OpKind::kLoad: {
+      LocationState& L = locs_[op.loc];
+      const auto n = static_cast<std::int32_t>(L.stores.size());
+      std::int32_t idx = (rf >= 0) ? rf : n - 1;
+      if (idx < 0 || idx >= n ||
+          idx < static_cast<std::int32_t>(floor_of(th, op.loc))) {
+        fail("mc internal error: reads-from index out of range");
+        return;
+      }
+      const Store& s = L.stores[static_cast<std::size_t>(idx)];
+      floor_ref(th, op.loc) = static_cast<std::uint32_t>(idx);
+      th.acq_pending.join(s.msg);
+      if (is_acquire(op.order)) th.clock.join(s.msg);
+      th.result = s.value;
+      rec.value = s.value;
+      rec.rf = idx;
+      break;
+    }
+
+    case OpKind::kStore: {
+      LocationState& L = locs_[op.loc];
+      Store s;
+      s.value = op.arg0;
+      s.vid = op.vid0;
+      s.tid = tid;
+      s.time = th.time;
+      s.msg = is_release(op.order) ? th.clock : th.frel;
+      L.stores.push_back(std::move(s));
+      floor_ref(th, op.loc) =
+          static_cast<std::uint32_t>(L.stores.size()) - 1;
+      rec.value = op.arg0;
+      break;
+    }
+
+    case OpKind::kCas: {
+      // RMWs (and, conservatively, failed strong CAS) read the latest store
+      // in modification order.
+      LocationState& L = locs_[op.loc];
+      const auto cur_idx = static_cast<std::uint32_t>(L.stores.size()) - 1;
+      const Store cur = L.stores[cur_idx];
+      if (cur.value == op.arg0) {
+        th.acq_pending.join(cur.msg);
+        if (is_acquire(op.order)) th.clock.join(cur.msg);
+        Store s;
+        s.value = op.arg1;
+        s.vid = op.vid1;
+        s.tid = tid;
+        s.time = th.time;
+        s.msg = is_release(op.order) ? th.clock : th.frel;
+        s.msg.join(cur.msg);  // release sequence continues through RMWs
+        L.stores.push_back(std::move(s));
+        floor_ref(th, op.loc) =
+            static_cast<std::uint32_t>(L.stores.size()) - 1;
+        th.result = 1;
+        th.result2 = cur.value;
+        rec.cas_success = true;
+        rec.value = cur.value;
+        rec.value2 = op.arg1;
+      } else {
+        th.acq_pending.join(cur.msg);
+        if (is_acquire(op.order2)) th.clock.join(cur.msg);
+        floor_ref(th, op.loc) = cur_idx;
+        th.result = 0;
+        th.result2 = cur.value;
+        rec.order = op.order2;
+        rec.value = cur.value;
+        rec.value2 = op.arg1;
+      }
+      rec.rf = static_cast<std::int32_t>(cur_idx);
+      break;
+    }
+
+    case OpKind::kRmwAdd: {
+      LocationState& L = locs_[op.loc];
+      const auto cur_idx = static_cast<std::uint32_t>(L.stores.size()) - 1;
+      const Store cur = L.stores[cur_idx];
+      th.acq_pending.join(cur.msg);
+      if (is_acquire(op.order)) th.clock.join(cur.msg);
+      Store s;
+      s.value = cur.value + op.arg0;
+      s.vid = intern(s.value);
+      s.tid = tid;
+      s.time = th.time;
+      s.msg = is_release(op.order) ? th.clock : th.frel;
+      s.msg.join(cur.msg);
+      L.stores.push_back(std::move(s));
+      floor_ref(th, op.loc) = static_cast<std::uint32_t>(L.stores.size()) - 1;
+      th.result = cur.value;
+      rec.value = cur.value;
+      rec.value2 = op.arg0;
+      rec.rf = static_cast<std::int32_t>(cur_idx);
+      break;
+    }
+
+    case OpKind::kFence: {
+      if (is_acquire(op.order)) th.clock.join(th.acq_pending);
+      if (is_release(op.order)) th.frel = th.clock;
+      if (op.order == std::memory_order_seq_cst) {
+        th.clock.join(sc_clock_);
+        sc_clock_.join(th.clock);
+        th.frel = th.clock;
+      }
+      break;
+    }
+
+    case OpKind::kYield:
+      break;
+
+    case OpKind::kPlainLoad: {
+      LocationState& L = locs_[op.loc];
+      const Store& s = L.stores.back();
+      if (s.tid != tid && !th.clock.covers(s.tid, s.time)) {
+        fail("data race: " + th.name + " reads " + loc_name(op.loc) +
+             " concurrently with a write by " + thread_name(s.tid));
+        return;
+      }
+      if (L.read_times.size() < threads_.size()) {
+        L.read_times.resize(threads_.size(), 0);
+      }
+      L.read_times[tid] = th.time;
+      th.result = s.value;
+      rec.value = s.value;
+      rec.rf = 0;
+      break;
+    }
+
+    case OpKind::kPlainStore: {
+      LocationState& L = locs_[op.loc];
+      const Store& prev = L.stores.back();
+      if (prev.tid != tid && !th.clock.covers(prev.tid, prev.time)) {
+        fail("data race: " + th.name + " writes " + loc_name(op.loc) +
+             " concurrently with a write by " + thread_name(prev.tid));
+        return;
+      }
+      for (std::uint32_t t2 = 0; t2 < L.read_times.size(); ++t2) {
+        const std::uint32_t rt = L.read_times[t2];
+        if (rt != 0 && t2 != tid && !th.clock.covers(t2, rt)) {
+          fail("data race: " + th.name + " writes " + loc_name(op.loc) +
+               " concurrently with a read by " + thread_name(t2));
+          return;
+        }
+      }
+      Store s;
+      s.value = op.arg0;
+      s.vid = op.vid0;
+      s.tid = tid;
+      s.time = th.time;
+      L.stores.back() = std::move(s);
+      L.read_times.assign(L.read_times.size(), 0);
+      rec.value = op.arg0;
+      break;
+    }
+  }
+  steps_.push_back(rec);
+}
+
+Value Execution::run_immediate(PendingOp op) {
+  ThreadModel& th = threads_[current_tid_];
+  th.pending = op;
+  const std::int32_t rf = forced_rf(op);
+  apply(current_tid_, rf);
+  if (violated()) throw AbortExecution{};
+  return th.result;
+}
+
+Value Execution::pending_result_via_yield(std::uint32_t tid) {
+  Fiber& f = pool_->at(tid - 1);
+  {
+    char probe = 0;
+    const auto used = static_cast<std::size_t>(f.stack_top() - &probe);
+    if (used > kMaxLiveStackBytes) {
+      fail("mc internal error: fiber live stack exceeds hashed region (" +
+           std::to_string(used) + " bytes)");
+      throw AbortExecution{};
+    }
+  }
+  f.yield();
+  if (phase_ == Phase::kUnwind) throw AbortExecution{};
+  return threads_[tid].result;
+}
+
+void Execution::start() {
+  phase_ = Phase::kSetup;
+  current_tid_ = 0;
+  threads_.resize(1);
+  threads_[0].name = "setup";
+  try {
+    LitmusScope in_litmus;
+    (*build_)(program_);
+  } catch (const AbortExecution&) {
+    // Violation during setup; reported below.
+  }
+  const std::size_t n = program_.bodies_.size();
+  threads_.resize(n + 1);
+  for (std::size_t tid = 1; tid <= n; ++tid) {
+    ThreadModel& th = threads_[tid];
+    th.name = program_.names_[tid - 1];
+    th.clock = threads_[0].clock;      // spawn happens-before thread start
+    th.acq_pending = threads_[0].acq_pending;
+    th.floor = threads_[0].floor;      // inherit coherence floors
+  }
+  if (violated()) return;
+  phase_ = Phase::kRun;
+  for (std::size_t tid = 1; tid <= n; ++tid) {
+    Fiber& f = pool_->at(tid - 1);
+    char* top = const_cast<char*>(f.stack_top());
+    const std::size_t z = std::min(kZeroedStackBytes, f.stack_bytes());
+    clear_raw_range(top - z, top);
+    f.reset([this, tid] {
+      try {
+        program_.bodies_[tid - 1]();
+      } catch (const AbortExecution&) {
+      }
+      threads_[tid].done = true;
+    });
+    current_tid_ = static_cast<std::uint32_t>(tid);
+    {
+      LitmusScope in_litmus;
+      f.resume();
+    }
+    threads_[tid].stack_dirty = true;
+    if (f.finished()) threads_[tid].done = true;
+    if (violated()) return;
+  }
+}
+
+bool Execution::all_done() const noexcept {
+  for (std::size_t tid = 1; tid < threads_.size(); ++tid) {
+    if (!threads_[tid].done) return false;
+  }
+  return true;
+}
+
+void Execution::run_finally() {
+  phase_ = Phase::kFinally;
+  current_tid_ = 0;
+  ThreadModel& t0 = threads_[0];
+  t0.name = "finally";  // check() messages name the phase correctly
+  for (std::size_t tid = 1; tid < threads_.size(); ++tid) {
+    t0.clock.join(threads_[tid].clock);
+    t0.acq_pending.join(threads_[tid].acq_pending);
+  }
+  if (program_.finally_) {
+    try {
+      LitmusScope in_litmus;
+      program_.finally_();
+    } catch (const AbortExecution&) {
+    }
+  }
+}
+
+void Execution::finish() {
+  phase_ = Phase::kUnwind;
+  LitmusScope in_litmus;
+  for (std::size_t tid = 1; tid < threads_.size(); ++tid) {
+    Fiber& f = pool_->at(tid - 1);
+    if (!f.finished()) f.resume();
+  }
+  // Destroys the litmus closures (and through them the shared objects, e.g.
+  // the deque).  Their destructors may still issue atomic ops; in the
+  // unwind phase those read/write the modification-order tail directly.
+  program_ = Program{};
+  phase_ = Phase::kIdle;
+}
+
+std::pair<std::int32_t, std::int32_t> Execution::rf_candidates(
+    std::uint32_t tid) const {
+  const ThreadModel& th = threads_[tid];
+  const PendingOp& op = th.pending;
+  if (op.kind != OpKind::kLoad) return {-1, -1};
+  const LocationState& L = locs_[op.loc];
+  if (L.is_plain || op.order == std::memory_order_seq_cst) return {-1, -1};
+  const auto n = static_cast<std::int32_t>(L.stores.size());
+  auto lo = static_cast<std::int32_t>(floor_of(th, op.loc));
+  for (std::int32_t j = n - 1; j > lo; --j) {
+    const Store& s = L.stores[static_cast<std::size_t>(j)];
+    if (s.tid == tid || th.clock.covers(s.tid, s.time)) {
+      lo = j;  // newest store this thread is ordered after; older ones are
+      break;   // coherence-hidden
+    }
+  }
+  if (lo >= n - 1) return {-1, -1};
+  return {lo, n};
+}
+
+Execution::OpSig Execution::pending_sig(std::uint32_t tid) const {
+  const PendingOp& op = threads_[tid].pending;
+  OpSig sig;
+  switch (op.kind) {
+    case OpKind::kLoad:
+    case OpKind::kPlainLoad:
+      sig.is_mem = true;
+      sig.loc = op.loc;
+      break;
+    case OpKind::kStore:
+    case OpKind::kCas:  // conservatively a write even if it would fail
+    case OpKind::kRmwAdd:
+    case OpKind::kPlainStore:
+      sig.is_mem = true;
+      sig.writes = true;
+      sig.loc = op.loc;
+      break;
+    case OpKind::kFence:
+      sig.global = true;
+      break;
+    case OpKind::kYield:
+    case OpKind::kNone:
+      break;
+  }
+  return sig;
+}
+
+void Execution::execute(std::uint32_t tid, std::int32_t rf) {
+  apply(tid, rf);
+  if (violated()) return;
+  current_tid_ = tid;
+  Fiber& f = pool_->at(tid - 1);
+  {
+    LitmusScope in_litmus;
+    f.resume();
+  }
+  threads_[tid].stack_dirty = true;
+  if (f.finished()) threads_[tid].done = true;
+}
+
+std::uint64_t Execution::state_hash() {
+  HashAcc h;
+  h.add(locs_.size());
+  for (const LocationState& L : locs_) {
+    h.add(L.is_plain ? 0x51u : 0x52u);
+    h.add(L.stores.size());
+    for (const Store& s : L.stores) {
+      h.add(s.vid);
+      h.add(s.tid);
+      h.add(s.time);
+      add_clock(h, s.msg);
+    }
+    if (L.is_plain) add_u32s(h, L.read_times);
+  }
+  add_clock(h, sc_clock_);
+  h.add(threads_.size());
+  for (std::size_t tid = 0; tid < threads_.size(); ++tid) {
+    ThreadModel& th = threads_[tid];
+    h.add(th.done ? 0xD1u : 0xD2u);
+    h.add(th.time);
+    add_clock(h, th.clock);
+    add_clock(h, th.acq_pending);
+    add_clock(h, th.frel);
+    add_u32s(h, th.floor);
+    add_u32s(h, th.note_vids);
+    h.add(static_cast<std::uint64_t>(th.pending.kind));
+    h.add(th.pending.loc);
+    h.add(static_cast<std::uint64_t>(th.pending.order));
+    h.add(static_cast<std::uint64_t>(th.pending.order2));
+    h.add(th.pending.vid0);
+    h.add(th.pending.vid1);
+    if (tid >= 1 && !th.done) {
+      if (th.stack_dirty) {
+        const Fiber& f = pool_->at(tid - 1);
+        const std::uint64_t stack =
+            hash_raw_range(f.pause_sp(), f.stack_top());
+        const auto* ctx =
+            reinterpret_cast<const char*>(&f.saved_context());
+        const std::uint64_t regs =
+            hash_raw_range(ctx, ctx + sizeof(ucontext_t));
+        th.stack_hash = mix64(stack ^ mix64(regs));
+        th.stack_dirty = false;
+      }
+      h.add(th.stack_hash);
+    }
+  }
+  return h.value();
+}
+
+// ---- fiber-side entry points -----------------------------------------
+
+Value Execution::op_load(std::uint32_t loc, std::memory_order o) {
+  if (phase_ == Phase::kUnwind) return locs_[loc].stores.back().value;
+  PendingOp op;
+  op.kind = OpKind::kLoad;
+  op.loc = loc;
+  op.order = o;
+  if (phase_ != Phase::kRun) return run_immediate(op);
+  threads_[current_tid_].pending = op;
+  return pending_result_via_yield(current_tid_);
+}
+
+void Execution::op_store(std::uint32_t loc, Value v, std::memory_order o) {
+  if (phase_ == Phase::kUnwind) {
+    locs_[loc].stores.back().value = v;
+    return;
+  }
+  PendingOp op;
+  op.kind = OpKind::kStore;
+  op.loc = loc;
+  op.order = o;
+  op.arg0 = v;
+  op.vid0 = intern(v);
+  if (phase_ != Phase::kRun) {
+    run_immediate(op);
+    return;
+  }
+  threads_[current_tid_].pending = op;
+  pending_result_via_yield(current_tid_);
+}
+
+std::pair<bool, Value> Execution::op_cas(std::uint32_t loc, Value expected,
+                                         Value desired,
+                                         std::memory_order succ,
+                                         std::memory_order fail_order) {
+  if (phase_ == Phase::kUnwind) {
+    Store& s = locs_[loc].stores.back();
+    if (s.value == expected) {
+      s.value = desired;
+      return {true, expected};
+    }
+    return {false, s.value};
+  }
+  PendingOp op;
+  op.kind = OpKind::kCas;
+  op.loc = loc;
+  op.order = succ;
+  op.order2 = fail_order;
+  op.arg0 = expected;
+  op.arg1 = desired;
+  op.vid0 = intern(expected);
+  op.vid1 = intern(desired);
+  std::uint32_t tid = current_tid_;
+  if (phase_ != Phase::kRun) {
+    run_immediate(op);
+  } else {
+    threads_[tid].pending = op;
+    pending_result_via_yield(tid);
+  }
+  return {threads_[tid].result != 0, threads_[tid].result2};
+}
+
+Value Execution::op_rmw_add(std::uint32_t loc, Value delta,
+                            std::memory_order o) {
+  if (phase_ == Phase::kUnwind) {
+    Store& s = locs_[loc].stores.back();
+    const Value old = s.value;
+    s.value = old + delta;
+    return old;
+  }
+  PendingOp op;
+  op.kind = OpKind::kRmwAdd;
+  op.loc = loc;
+  op.order = o;
+  op.arg0 = delta;
+  op.vid0 = intern(delta);
+  if (phase_ != Phase::kRun) return run_immediate(op);
+  threads_[current_tid_].pending = op;
+  return pending_result_via_yield(current_tid_);
+}
+
+void Execution::op_fence(std::memory_order o) {
+  if (phase_ == Phase::kUnwind) return;
+  PendingOp op;
+  op.kind = OpKind::kFence;
+  op.order = o;
+  if (phase_ != Phase::kRun) {
+    run_immediate(op);
+    return;
+  }
+  threads_[current_tid_].pending = op;
+  pending_result_via_yield(current_tid_);
+}
+
+void Execution::op_yield() {
+  if (phase_ != Phase::kRun) return;
+  PendingOp op;
+  op.kind = OpKind::kYield;
+  threads_[current_tid_].pending = op;
+  pending_result_via_yield(current_tid_);
+}
+
+Value Execution::op_plain_load(std::uint32_t loc) {
+  if (phase_ == Phase::kUnwind) return locs_[loc].stores.back().value;
+  PendingOp op;
+  op.kind = OpKind::kPlainLoad;
+  op.loc = loc;
+  if (phase_ != Phase::kRun) return run_immediate(op);
+  threads_[current_tid_].pending = op;
+  return pending_result_via_yield(current_tid_);
+}
+
+void Execution::op_plain_store(std::uint32_t loc, Value v) {
+  if (phase_ == Phase::kUnwind) {
+    locs_[loc].stores.back().value = v;
+    return;
+  }
+  PendingOp op;
+  op.kind = OpKind::kPlainStore;
+  op.loc = loc;
+  op.arg0 = v;
+  op.vid0 = intern(v);
+  if (phase_ != Phase::kRun) {
+    run_immediate(op);
+    return;
+  }
+  threads_[current_tid_].pending = op;
+  pending_result_via_yield(current_tid_);
+}
+
+void Execution::note(Value v) {
+  if (phase_ == Phase::kUnwind) return;
+  ThreadModel& th = threads_[current_tid_];
+  th.notes.push_back(v);
+  th.note_vids.push_back(intern(v));
+}
+
+void Execution::check(bool cond, std::string_view msg) {
+  if (phase_ == Phase::kUnwind || cond) return;
+  fail("check failed in " + threads_[current_tid_].name + ": " +
+       std::string(msg));
+  throw AbortExecution{};
+}
+
+const std::vector<Value>& Execution::notes_of(
+    std::string_view thread_name_arg) const {
+  for (const ThreadModel& th : threads_) {
+    if (th.name == thread_name_arg) return th.notes;
+  }
+  static const std::vector<Value> kEmpty;
+  return kEmpty;
+}
+
+std::string Execution::thread_name(std::uint32_t tid) const {
+  if (tid < threads_.size() && !threads_[tid].name.empty()) {
+    return threads_[tid].name;
+  }
+  return "t" + std::to_string(tid);
+}
+
+std::string Execution::loc_name(std::uint32_t loc) const {
+  if (loc < opts_->loc_labels.size() && !opts_->loc_labels[loc].empty()) {
+    return opts_->loc_labels[loc];
+  }
+  return "loc" + std::to_string(loc);
+}
+
+std::string Execution::format_step(const StepRecord& s) const {
+  std::string out = thread_name(s.tid);
+  out += ": ";
+  switch (s.kind) {
+    case OpKind::kLoad:
+      out += "load " + loc_name(s.loc) + " [" + order_str(s.order) + "] -> " +
+             fmt_val(s.value) + " (rf=" + std::to_string(s.rf) + ")";
+      break;
+    case OpKind::kStore:
+      out += "store " + loc_name(s.loc) + " [" + order_str(s.order) +
+             "] := " + fmt_val(s.value);
+      break;
+    case OpKind::kCas:
+      if (s.cas_success) {
+        out += "cas " + loc_name(s.loc) + " [" + order_str(s.order) + "] " +
+               fmt_val(s.value) + " -> " + fmt_val(s.value2) + " OK";
+      } else {
+        out += "cas " + loc_name(s.loc) + " [" + order_str(s.order) +
+               "] observed " + fmt_val(s.value) + " FAIL";
+      }
+      break;
+    case OpKind::kRmwAdd:
+      out += "fetch_add " + loc_name(s.loc) + " [" + order_str(s.order) +
+             "] " + fmt_val(s.value) + " += " + fmt_val(s.value2);
+      break;
+    case OpKind::kFence:
+      out += "fence [" + std::string(order_str(s.order)) + "]";
+      break;
+    case OpKind::kYield:
+      out += "yield";
+      break;
+    case OpKind::kPlainLoad:
+      out += "read " + loc_name(s.loc) + " -> " + fmt_val(s.value);
+      break;
+    case OpKind::kPlainStore:
+      out += "write " + loc_name(s.loc) + " := " + fmt_val(s.value);
+      break;
+    case OpKind::kNone:
+      out += "?";
+      break;
+  }
+  return out;
+}
+
+}  // namespace cs::mc

@@ -1,0 +1,252 @@
+#pragma once
+// One execution (= one scheduled replay) of a litmus program under the
+// simulated C++11 memory model.  See DESIGN.md section 14 for the model:
+//
+//  - Every atomic location keeps its full modification order (list of
+//    Store{value, tid, time, msg}).
+//  - Every model thread keeps a happens-before vector clock C, an op counter,
+//    a per-location coherence floor (smallest store index it may still read),
+//    plus two fence clocks: `acq_pending` (release messages collected by
+//    relaxed reads, published into C by a later acquire fence) and `frel`
+//    (snapshot of C at the last release fence, attached as the message of
+//    later relaxed stores).
+//  - An acquire-ish load joins the store's message clock into C
+//    (synchronizes-with); a release-ish store publishes C as its message;
+//    RMWs join the read store's message into their own (release sequences).
+//  - seq_cst accesses use interleaving semantics: a seq_cst load reads the
+//    latest store in modification order, and a (successful) RMW always reads
+//    latest.  This under-approximates the full C++ seq_cst order (it can
+//    miss some weak behaviors) but never invents impossible ones, so a
+//    reported violation is always real.
+//  - Relaxed/acquire loads branch over the visible-store set: the contiguous
+//    suffix of the modification order from max(coherence floor, newest store
+//    that happens-before the reader).
+//  - Plain (non-atomic) locations keep a single store and report a data race
+//    when a load/store is not ordered after the last store (or a store not
+//    ordered after every reader) by happens-before.
+//
+// Threads run on cooperative fibers; each atomic op parks the fiber and
+// surfaces as a scheduling decision (thread choice x reads-from choice) for
+// the checker.  Executions are replayed deterministically from a decision
+// prefix, so the checker can DFS over schedules.
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mc/clock.hpp"
+#include "mc/fiber.hpp"
+#include "mc/hash.hpp"
+#include "mc/options.hpp"
+
+namespace cs::mc {
+
+using Value = std::uint64_t;
+
+/// Thrown through a fiber to unwind it (violation or teardown); litmus code
+/// must let it propagate (destructors still run, which is the point).
+struct AbortExecution {};
+
+enum class OpKind : std::uint8_t {
+  kNone,
+  kLoad,
+  kStore,
+  kCas,
+  kRmwAdd,
+  kFence,
+  kYield,
+  kPlainLoad,
+  kPlainStore,
+};
+
+struct Store {
+  Value value = 0;
+  std::uint32_t vid = 0;   // replay-stable interned value id (for hashing)
+  std::uint32_t tid = 0;   // storing thread
+  std::uint32_t time = 0;  // storing thread's op counter at the store
+  VectorClock msg;         // joined by synchronizing readers
+};
+
+struct LocationState {
+  bool is_plain = false;
+  std::vector<Store> stores;               // modification order; plain: size 1
+  std::vector<std::uint32_t> read_times;   // plain only: last read per tid
+};
+
+struct PendingOp {
+  OpKind kind = OpKind::kNone;
+  std::uint32_t loc = 0;
+  std::memory_order order = std::memory_order_seq_cst;
+  std::memory_order order2 = std::memory_order_seq_cst;  // CAS failure order
+  Value arg0 = 0;  // store value / CAS expected / add delta
+  Value arg1 = 0;  // CAS desired
+  // Interned ids of arg0/arg1, assigned when the op is issued (in-replay,
+  // so ids are replay-stable even when the raw values are heap pointers).
+  std::uint32_t vid0 = 0;
+  std::uint32_t vid1 = 0;
+};
+
+struct ThreadModel {
+  std::string name;
+  VectorClock clock;
+  VectorClock acq_pending;
+  VectorClock frel;
+  std::uint32_t time = 0;
+  std::vector<std::uint32_t> floor;  // per-location min readable store index
+  std::vector<Value> notes;
+  std::vector<std::uint32_t> note_vids;
+  PendingOp pending;
+  bool done = false;
+  Value result = 0;   // op result handed back to the fiber
+  Value result2 = 0;  // CAS: observed value
+  std::uint64_t stack_hash = 0;
+  bool stack_dirty = true;
+};
+
+struct StepRecord {
+  std::uint32_t tid = 0;
+  OpKind kind = OpKind::kNone;
+  std::uint32_t loc = 0;
+  std::memory_order order = std::memory_order_seq_cst;
+  Value value = 0;   // value read / stored / fetched
+  Value value2 = 0;  // CAS desired (success) or observed (failure)
+  std::int32_t rf = -1;
+  bool cas_success = false;
+};
+
+/// Litmus program under construction: registered inside the user's `build`
+/// callback, which runs once per execution in the setup phase.
+class Program {
+ public:
+  /// Registers a model thread; returns its tid (1-based; tid 0 is the
+  /// setup/finally pseudo-thread).
+  std::size_t thread(std::string name, std::function<void()> body) {
+    names_.push_back(std::move(name));
+    bodies_.push_back(std::move(body));
+    return bodies_.size();
+  }
+
+  /// Runs after all threads finished, with full visibility (clock joined
+  /// across threads); assert final invariants here via mc::check.
+  void finally(std::function<void()> fn) { finally_ = std::move(fn); }
+
+ private:
+  friend class Execution;
+  std::vector<std::string> names_;
+  std::vector<std::function<void()>> bodies_;
+  std::function<void()> finally_;
+};
+
+class Execution {
+ public:
+  Execution(const CheckerOptions* opts, FiberPool* pool,
+            const std::function<void(Program&)>* build);
+  ~Execution();
+  Execution(const Execution&) = delete;
+  Execution& operator=(const Execution&) = delete;
+
+  /// Runs setup, spawns fibers, advances each thread to its first op.
+  void start();
+
+  [[nodiscard]] bool violated() const noexcept { return !violation_.empty(); }
+  [[nodiscard]] const std::string& violation() const noexcept {
+    return violation_;
+  }
+  [[nodiscard]] bool all_done() const noexcept;
+  void run_finally();
+  /// Unwinds live fibers and destroys the program (litmus closures).
+  void finish();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size();  // includes pseudo-thread 0
+  }
+  [[nodiscard]] const ThreadModel& thread(std::size_t tid) const {
+    return threads_[tid];
+  }
+  [[nodiscard]] bool runnable(std::size_t tid) const {
+    return tid >= 1 && tid < threads_.size() && !threads_[tid].done;
+  }
+
+  /// Reads-from candidate range [lo, n) for thread `tid`'s pending load, or
+  /// {-1, -1} when the op has no reads-from freedom (stores, RMWs, fences,
+  /// seq_cst loads, plain ops).
+  [[nodiscard]] std::pair<std::int32_t, std::int32_t> rf_candidates(
+      std::uint32_t tid) const;
+
+  /// Pending-op conflict signature, for sleep-set wakeups.
+  struct OpSig {
+    bool is_mem = false;  // touches a location
+    bool writes = false;
+    bool global = false;  // fence: conflicts with everything
+    std::uint32_t loc = 0;
+  };
+  [[nodiscard]] OpSig pending_sig(std::uint32_t tid) const;
+
+  /// Applies thread `tid`'s pending op (reading from store index `rf` when
+  /// >= 0) and resumes its fiber to the next op or completion.
+  void execute(std::uint32_t tid, std::int32_t rf);
+
+  /// Fingerprint of (memory model state, per-thread control state).
+  [[nodiscard]] std::uint64_t state_hash();
+
+  [[nodiscard]] const std::vector<StepRecord>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::string format_step(const StepRecord& s) const;
+  [[nodiscard]] std::string thread_name(std::uint32_t tid) const;
+  [[nodiscard]] std::string loc_name(std::uint32_t loc) const;
+
+  // ---- called from mc::atomic / mc free functions via current() ----
+  static Execution* current() noexcept;
+  std::uint32_t register_location(bool is_plain, Value initial);
+  Value op_load(std::uint32_t loc, std::memory_order o);
+  void op_store(std::uint32_t loc, Value v, std::memory_order o);
+  /// Returns {success, observed value}.
+  std::pair<bool, Value> op_cas(std::uint32_t loc, Value expected,
+                                Value desired, std::memory_order succ,
+                                std::memory_order fail);
+  Value op_rmw_add(std::uint32_t loc, Value delta, std::memory_order o);
+  void op_fence(std::memory_order o);
+  void op_yield();
+  Value op_plain_load(std::uint32_t loc);
+  void op_plain_store(std::uint32_t loc, Value v);
+  void note(Value v);
+  void check(bool cond, std::string_view msg);
+  [[nodiscard]] const std::vector<Value>& notes_of(
+      std::string_view thread_name) const;
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kSetup, kRun, kFinally, kUnwind };
+
+  void apply(std::uint32_t tid, std::int32_t rf);
+  Value run_immediate(PendingOp op);
+  Value pending_result_via_yield(std::uint32_t tid);
+  [[nodiscard]] std::int32_t forced_rf(const PendingOp& op) const;
+  std::uint32_t intern(Value v);
+  std::uint32_t& floor_ref(ThreadModel& th, std::uint32_t loc);
+  [[nodiscard]] std::uint32_t floor_of(const ThreadModel& th,
+                                       std::uint32_t loc) const;
+  void fail(std::string msg);
+
+  const CheckerOptions* opts_;
+  FiberPool* pool_;
+  const std::function<void(Program&)>* build_;
+  Program program_;
+  Phase phase_ = Phase::kIdle;
+  std::uint32_t current_tid_ = 0;
+  std::vector<ThreadModel> threads_;
+  std::vector<LocationState> locs_;
+  VectorClock sc_clock_;
+  std::vector<StepRecord> steps_;
+  std::string violation_;
+  // Replay-stable value interning: raw values (which may be heap pointers
+  // that drift across replays) map to ids assigned in first-store order, so
+  // state hashes stay comparable across replays.
+  std::vector<std::pair<Value, std::uint32_t>> intern_;
+  Execution* prev_current_ = nullptr;
+};
+
+}  // namespace cs::mc

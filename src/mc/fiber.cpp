@@ -1,0 +1,118 @@
+#include "mc/fiber.hpp"
+
+#include "mc/hash.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#if CS_MC_ASAN
+// Sanitizer fiber API (provided by libasan; declared here so we do not
+// depend on sanitizer headers being installed).
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
+namespace cs::mc {
+
+namespace {
+// The fiber currently being resumed/entered on this OS thread.  The checker
+// is strictly single-threaded, but thread_local keeps two checkers on
+// different OS threads from interfering.
+thread_local Fiber* g_current_fiber = nullptr;
+
+#if CS_MC_ASAN
+thread_local const void* g_sched_stack_bottom = nullptr;
+thread_local std::size_t g_sched_stack_size = 0;
+#endif
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {
+  stack_ = static_cast<char*>(::operator new(stack_bytes_));
+}
+
+Fiber::~Fiber() { ::operator delete(stack_); }
+
+void Fiber::reset(std::function<void()> entry) {
+  entry_ = std::move(entry);
+  finished_ = false;
+  pause_sp_ = stack_top();
+  if (getcontext(&ctx_) != 0) {
+    throw std::runtime_error("mc::Fiber: getcontext failed");
+  }
+  ctx_.uc_stack.ss_sp = stack_;
+  ctx_.uc_stack.ss_size = stack_bytes_;
+  ctx_.uc_link = &link_;
+  makecontext(&ctx_, &Fiber::trampoline, 0);
+}
+
+void Fiber::trampoline() {
+  Fiber* f = g_current_fiber;
+#if CS_MC_ASAN
+  __sanitizer_finish_switch_fiber(nullptr, &g_sched_stack_bottom,
+                                  &g_sched_stack_size);
+#endif
+  f->entry_();
+  f->finished_ = true;
+  // Hand control back explicitly (annotated) instead of via uc_link.
+  f->yield();
+}
+
+void Fiber::resume() {
+  g_current_fiber = this;
+#if CS_MC_ASAN
+  void* sched_fake = nullptr;
+  __sanitizer_start_switch_fiber(&sched_fake, stack_, stack_bytes_);
+#endif
+  swapcontext(&link_, &ctx_);
+#if CS_MC_ASAN
+  __sanitizer_finish_switch_fiber(sched_fake, nullptr, nullptr);
+#endif
+}
+
+void Fiber::yield() {
+  char marker = 0;
+  pause_sp_ = &marker;
+#if CS_MC_ASAN
+  // A finished fiber never resumes: passing nullptr releases its fake stack.
+  __sanitizer_start_switch_fiber(finished_ ? nullptr : &fake_stack_,
+                                 g_sched_stack_bottom, g_sched_stack_size);
+#endif
+  swapcontext(&ctx_, &link_);
+#if CS_MC_ASAN
+  __sanitizer_finish_switch_fiber(fake_stack_, &g_sched_stack_bottom,
+                                  &g_sched_stack_size);
+#endif
+}
+
+#if CS_MC_ASAN
+__attribute__((no_sanitize_address))
+#endif
+std::uint64_t
+hash_raw_range(const char* lo, const char* hi) noexcept {
+  // Word-wise mix over a raw memory range.  Deliberately free of libc calls
+  // (which sanitizers intercept); __builtin_memcpy of a known 8-byte size
+  // lowers to a plain load that the no_sanitize attribute leaves
+  // uninstrumented, so walking a paused fiber's live stack — redzones,
+  // padding and all — does not trip ASan.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  while (lo + 8 <= hi) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, lo, 8);
+    h = mix64(h ^ w);
+    lo += 8;
+  }
+  for (; lo < hi; ++lo) {
+    h ^= static_cast<unsigned char>(*lo);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace cs::mc

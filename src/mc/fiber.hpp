@@ -1,0 +1,118 @@
+#pragma once
+// Cooperative fibers for csmc model threads.
+//
+// Each model thread runs on a ucontext fiber so the checker can pause it at
+// every atomic operation and resume it later under a different schedule.  A
+// FiberPool owns the stacks and reuses them across the (potentially millions
+// of) replayed executions in one checker run; a Fiber is rebound to a fresh
+// entry closure per execution with `reset()`.
+//
+// Under AddressSanitizer, fiber switches are announced via the sanitizer
+// fiber API so ASan tracks the correct stack bounds (fake-stack state is
+// saved/restored around every swap).  ThreadSanitizer cannot follow ucontext
+// switches at all, so the checker refuses to run under TSan (see CS_MC_TSAN
+// in checker.hpp); mc binaries are excluded from the TSan CI stage.
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define CS_MC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CS_MC_ASAN 1
+#endif
+#endif
+#ifndef CS_MC_ASAN
+#define CS_MC_ASAN 0
+#endif
+
+namespace cs::mc {
+
+/// One reusable fiber: a stack plus the ucontext pair for switching in/out.
+class Fiber {
+ public:
+  explicit Fiber(std::size_t stack_bytes);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Re-arms the fiber to run `entry` from the top of its stack on the next
+  /// `resume()`.  The previous execution must have finished or been unwound.
+  void reset(std::function<void()> entry);
+
+  /// Switches from the scheduler into the fiber; returns when the fiber
+  /// yields or finishes.
+  void resume();
+
+  /// Switches from inside the fiber back to the scheduler.  Must be called
+  /// on this fiber's stack.
+  void yield();
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Stack bounds, for live-stack hashing: the live region of a paused
+  /// fiber is [pause_sp, stack_top()).
+  [[nodiscard]] const char* stack_base() const noexcept { return stack_; }
+  [[nodiscard]] const char* stack_top() const noexcept {
+    return stack_ + stack_bytes_;
+  }
+  [[nodiscard]] std::size_t stack_bytes() const noexcept {
+    return stack_bytes_;
+  }
+
+  /// Saved machine context of the paused fiber (callee-saved registers live
+  /// here, not on the stack — they must be part of the control-state hash).
+  [[nodiscard]] const ucontext_t& saved_context() const noexcept {
+    return ctx_;
+  }
+
+  /// Stack pointer recorded at the most recent yield.
+  [[nodiscard]] const char* pause_sp() const noexcept { return pause_sp_; }
+  void set_pause_sp(const char* sp) noexcept { pause_sp_ = sp; }
+
+ private:
+  static void trampoline();
+
+  char* stack_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+  ucontext_t ctx_{};   // fiber's context while paused
+  ucontext_t link_{};  // scheduler's context while fiber runs
+  std::function<void()> entry_;
+  const char* pause_sp_ = nullptr;
+  bool finished_ = true;
+#if CS_MC_ASAN
+  void* fake_stack_ = nullptr;
+#endif
+};
+
+/// Hashes a raw byte range (mix64 over 8-byte words, FNV tail).  Compiled
+/// without ASan instrumentation so it can walk a paused fiber's live stack —
+/// redzones, padding and all — which is exactly what the checker's
+/// control-state fingerprint needs.
+[[nodiscard]] std::uint64_t hash_raw_range(const char* lo,
+                                           const char* hi) noexcept;
+
+/// Owns the fiber stacks for one checker; sized lazily to the largest
+/// thread count seen.
+class FiberPool {
+ public:
+  explicit FiberPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
+
+  Fiber& at(std::size_t i) {
+    while (fibers_.size() <= i) {
+      fibers_.push_back(std::make_unique<Fiber>(stack_bytes_));
+    }
+    return *fibers_[i];
+  }
+
+ private:
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+};
+
+}  // namespace cs::mc

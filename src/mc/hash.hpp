@@ -1,0 +1,102 @@
+#pragma once
+// Hashing utilities for csmc state caching.
+//
+// The checker identifies revisited program states by a 64-bit fingerprint of
+// (memory-model state, per-thread control state).  Collisions make pruning
+// unsound in the worst case, so we use a strong 64-bit mixer (splitmix64
+// finalizer) and treat the fingerprint space as effectively collision-free at
+// the state counts we allow (<= ~2^24 states per run against a 2^64 space).
+//
+// VisitedSet is a dependency-free open-addressing set of u64 fingerprints:
+// one word per slot, linear probing, grow at 70% load.  At the default cap of
+// 8M states it stays around 100 MB where std::unordered_set would need 4-5x.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cs::mc {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Incremental hash accumulator.  Order-sensitive.
+class HashAcc {
+ public:
+  void add(std::uint64_t v) noexcept { h_ = mix64(h_ ^ mix64(v)); }
+
+  void add_bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    while (n >= 8) {
+      std::uint64_t w;
+      std::memcpy(&w, p, 8);
+      add(w);
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, p, n);
+      add(w ^ (static_cast<std::uint64_t>(n) << 56));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0x2545f4914f6cdd1dULL;
+};
+
+/// Open-addressing set of non-zero u64 fingerprints (0 is reserved as the
+/// empty-slot sentinel; a fingerprint that happens to be 0 is remapped).
+class VisitedSet {
+ public:
+  VisitedSet() { slots_.resize(kInitialSlots, 0); }
+
+  /// Inserts `h`; returns true when it was not present before.
+  bool insert(std::uint64_t h) {
+    if (h == 0) h = 0x8000000000000001ULL;
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(h)) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == h) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = h;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void clear() {
+    slots_.assign(kInitialSlots, 0);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 1 << 16;
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    std::size_t mask = slots_.size() - 1;
+    for (std::uint64_t h : old) {
+      if (h == 0) continue;
+      std::size_t i = static_cast<std::size_t>(mix64(h)) & mask;
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = h;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cs::mc

@@ -1,0 +1,101 @@
+#pragma once
+// Checker configuration and result types for csmc.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cs::mc {
+
+enum class Mode : std::uint8_t {
+  /// DFS with visited-state caching: every reachable state is explored
+  /// exactly once.  Complete for litmus-sized programs; memory-bounded by
+  /// `max_states`.
+  kExhaustive,
+  /// Stateless DFS with sleep-set (DPOR-style) pruning: no visited cache,
+  /// so memory stays O(depth); prunes schedules that only commute
+  /// independent operations.  Cycles (spin loops) are cut on the current
+  /// path only.
+  kSleepSets,
+  /// Sleep sets plus a preemption budget: schedules with more than
+  /// `preemption_bound` involuntary context switches are skipped.  Not
+  /// complete, but most real bugs need very few preemptions; this is the
+  /// fallback for programs too large to exhaust.
+  kBoundedPreempt,
+};
+
+enum class Verdict : std::uint8_t {
+  kOk,             // explored everything requested, no violation
+  kViolation,      // a check failed / a data race was found
+  kBoundExceeded,  // a cap (states, executions, steps, wall clock) tripped
+  kSkipped,        // checker cannot run in this build (e.g. under TSan)
+};
+
+struct CheckerOptions {
+  Mode mode = Mode::kExhaustive;
+  /// kBoundedPreempt: max involuntary context switches per schedule.
+  int preemption_bound = 2;
+  /// 0 = unlimited.  Counts replayed executions (including pruned ones).
+  std::uint64_t max_executions = 0;
+  /// Visited-state cap for kExhaustive (memory backstop; ~8 bytes/state).
+  std::uint64_t max_states = 8'000'000;
+  /// Per-execution step cap (runaway/livelock backstop).
+  std::uint64_t max_steps_per_exec = 20'000;
+  /// Wall-clock cap in milliseconds; 0 = unlimited.
+  std::uint64_t wall_ms = 0;
+  bool stop_at_first_violation = true;
+  /// Fiber stack size for model threads.
+  std::size_t stack_bytes = 128 * 1024;
+  /// Optional display names for locations, by registration order (the
+  /// litmus knows its objects' member layout; the checker does not).
+  std::vector<std::string> loc_labels;
+};
+
+struct ScheduleChoice {
+  std::uint32_t tid = 0;
+  std::int32_t rf = -1;  // store index read from; -1 = forced/default
+};
+
+struct CheckResult {
+  Verdict verdict = Verdict::kOk;
+  std::uint64_t executions = 0;  // schedules run to a terminal state
+  std::uint64_t replays = 0;     // executions launched (incl. pruned)
+  std::uint64_t states = 0;      // distinct states (kExhaustive)
+  std::uint64_t steps = 0;       // scheduled operations executed
+  std::uint64_t violations = 0;  // violations seen (first one is reported)
+  std::size_t max_depth = 0;
+  std::string violation;              // first violation message
+  std::vector<std::string> trace;     // formatted ops of that execution
+  std::vector<ScheduleChoice> schedule;  // reproducing decision sequence
+  std::string note;  // which bound tripped, cache-instability info, ...
+
+  [[nodiscard]] bool ok() const { return verdict == Verdict::kOk; }
+};
+
+[[nodiscard]] inline const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kViolation:
+      return "violation";
+    case Verdict::kBoundExceeded:
+      return "bound-exceeded";
+    case Verdict::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kExhaustive:
+      return "exhaustive";
+    case Mode::kSleepSets:
+      return "sleep-sets";
+    case Mode::kBoundedPreempt:
+      return "bounded-preempt";
+  }
+  return "?";
+}
+
+}  // namespace cs::mc

@@ -1,0 +1,26 @@
+#pragma once
+// AtomicsTraits policy: the seam that lets the *production* lock-free code
+// (WsDeque, the engine's FlightCell) run under both real hardware atomics
+// and the csmc model checker's simulated memory model.
+//
+// A traits type provides:
+//   template <typename U> using atomic = ...;   // std::atomic-like
+//   static void fence(std::memory_order);
+//
+// Production code defaults to StdAtomicsTraits (zero overhead: the template
+// instantiates to exactly the std::atomic code that shipped before the
+// seam existed).  The checker instantiates the same templates with
+// cs::mc::McAtomicsTraits (src/mc/atomic.hpp), which routes every operation
+// through the simulated C++11 memory model so csmc can exhaust schedules.
+#include <atomic>
+
+namespace cs::steal {
+
+struct StdAtomicsTraits {
+  template <typename U>
+  using atomic = std::atomic<U>;
+
+  static void fence(std::memory_order o) { std::atomic_thread_fence(o); }
+};
+
+}  // namespace cs::steal

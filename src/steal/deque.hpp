@@ -9,18 +9,29 @@
 // pop_bottom; any number of thief threads may call steal_top concurrently.
 // size_estimate() is safe from anywhere but only advisory.
 //
-// Memory-model argument (DESIGN.md section 13 carries the long form):
-//   - top_ is monotonically increasing and only ever advanced by a
-//     successful CAS, so each slot index is claimed at most once (no ABA).
-//   - push_bottom publishes the slot with a release store on bottom_; a
-//     thief acquires it via its seq_cst load of bottom_.
-//   - pop_bottom's bottom_ store and top_ load are both seq_cst so the
-//     owner's decrement is globally ordered against thief top_/bottom_
-//     loads; the single-element race is resolved by CAS on top_.
-//   - ring growth release-stores the new ring pointer; thieves
-//     acquire-load it.  Retired rings are kept alive until destruction so
-//     a thief holding a stale pointer always reads valid (if stale)
-//     memory; staleness is detected by the CAS on top_.
+// Machine-checked invariants.  The orderings below are no longer only a
+// hand-written argument: the class is templated on an AtomicsTraits policy
+// (atomics_traits.hpp) and this exact code runs under the csmc model
+// checker (src/mc, tools/csmc), which exhausts schedules of the litmus
+// programs in tools/csmc/litmus.cpp and checks, across every explored
+// schedule and reads-from choice:
+//   1. No lost and no duplicated tasks: each pushed value is returned by
+//      exactly one pop_bottom/steal_top across 1 owner + 2 thieves
+//      (litmus deque-owner-vs-thieves, deque-steal-cas, deque-grow).
+//   2. top_ only ever advances via a successful CAS: each slot index is
+//      claimed at most once (checked implicitly by 1; no ABA).
+//   3. push_bottom's release store on bottom_ publishes the slot write to
+//      any thief whose seq_cst bottom_ load observes the larger bottom_.
+//   4. pop_bottom's seq_cst bottom_ store / top_ load pair keeps the
+//      owner's decrement ordered against thief loads; the single-element
+//      race is resolved by the CAS on top_.  Downgrading these to
+//      release/relaxed is *caught* by the checker as a duplicated task
+//      (negative litmus deque-weak-owner, via DowngradedAtomicsTraits).
+//   5. Ring growth release-stores the new ring pointer, thieves
+//      acquire-load it; retired rings stay alive until destruction so a
+//      stale pointer reads valid (if stale) memory, and staleness is
+//      resolved by the CAS on top_ (litmus deque-grow).
+// DESIGN.md sections 13 (orderings) and 14 (checker) carry the long form.
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -28,6 +39,8 @@
 #include <optional>
 #include <type_traits>
 #include <vector>
+
+#include "steal/atomics_traits.hpp"
 
 namespace cs::steal {
 
@@ -44,11 +57,17 @@ struct StealOutcome {
   T value{};
 };
 
-// T must be trivially copyable (slots are std::atomic<T>).
-template <typename T>
+// T must be trivially copyable (slots are Traits::atomic<T>).  Traits
+// selects the atomics implementation: StdAtomicsTraits (default; real
+// hardware atomics, zero overhead) or cs::mc::McAtomicsTraits (model
+// checker).
+template <typename T, typename Traits = StdAtomicsTraits>
 class WsDeque {
   static_assert(std::is_trivially_copyable_v<T>,
-                "WsDeque slots are std::atomic<T>");
+                "WsDeque slots are atomic<T>");
+
+  template <typename U>
+  using Atomic = typename Traits::template atomic<U>;
 
  public:
   explicit WsDeque(std::size_t initial_capacity = 64) {
@@ -127,10 +146,10 @@ class WsDeque {
  private:
   struct Ring {
     explicit Ring(std::size_t cap)
-        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+        : capacity(cap), mask(cap - 1), slots(new Atomic<T>[cap]) {}
     const std::size_t capacity;
     const std::size_t mask;
-    std::unique_ptr<std::atomic<T>[]> slots;
+    std::unique_ptr<Atomic<T>[]> slots;
 
     T get(std::int64_t i) const {
       return slots[static_cast<std::size_t>(i) & mask].load(
@@ -144,18 +163,22 @@ class WsDeque {
 
   // Owner only.  The new ring is published with a release store; the old
   // ring is parked in retired_ (owner-only vector) so thieves holding the
-  // stale pointer keep reading valid memory until the deque dies.
+  // stale pointer keep reading valid memory until the deque dies.  The new
+  // ring is owned by a unique_ptr until the publish lands and old is only
+  // retired after it, so ownership stays single even if an operation in
+  // between unwinds (the model checker aborts executions mid-operation;
+  // see tools/csmc litmus deque-grow).
   Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
-    Ring* bigger = new Ring(old->capacity * 2);
+    auto bigger = std::make_unique<Ring>(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    ring_.store(bigger.get(), std::memory_order_release);
     retired_.emplace_back(old);
-    ring_.store(bigger, std::memory_order_release);
-    return bigger;
+    return bigger.release();
   }
 
-  alignas(64) std::atomic<std::int64_t> top_{0};
-  alignas(64) std::atomic<std::int64_t> bottom_{0};
-  alignas(64) std::atomic<Ring*> ring_{nullptr};
+  alignas(64) Atomic<std::int64_t> top_{0};
+  alignas(64) Atomic<std::int64_t> bottom_{0};
+  alignas(64) Atomic<Ring*> ring_{nullptr};
   std::vector<std::unique_ptr<Ring>> retired_;
 };
 

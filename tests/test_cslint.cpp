@@ -11,8 +11,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "cache.hpp"
+#include "flow.hpp"
+#include "sarif.hpp"
 
 namespace fs = std::filesystem;
 using cs::lint::lint_source;
@@ -359,4 +364,163 @@ TEST(LintSource, ReportsLinesAndExcerpts) {
   EXPECT_EQ(vs[2].line, 5u);
   EXPECT_EQ(vs[2].rule, "raw-lock");
   EXPECT_EQ(vs[0].excerpt, "m.lock();");
+}
+
+// ---------------------------------------------------------------------------
+// stale-suppression: allow() annotations that suppress nothing, and baseline
+// entries that no longer fire
+// ---------------------------------------------------------------------------
+
+TEST(StaleSuppression, SeededDeadAllowIsFlagged) {
+  const std::string src =
+      "#include <mutex>\n"                                        // 1
+      "void f(std::mutex& m) {\n"                                 // 2
+      "  std::lock_guard<std::mutex> lock(m);\n"                  // 3
+      "  // cslint: allow(raw-lock) the bare lock() here is gone\n"  // 4
+      "  int x = 0;\n"                                            // 5
+      "  (void)x;\n"                                              // 6
+      "}\n";
+  cs::lint::SuppressionTracker supp;
+  supp.scan("src/demo/x.cpp", src);
+  const auto vs = lint_source("src/demo/x.cpp", src, &supp);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_of(vs));
+  const auto stale = supp.stale();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "stale-suppression");
+  EXPECT_EQ(stale[0].file, "src/demo/x.cpp");
+  EXPECT_EQ(stale[0].line, 4u);
+  EXPECT_NE(stale[0].message.find("raw-lock"), std::string::npos);
+}
+
+TEST(StaleSuppression, LiveAllowIsNotFlagged) {
+  // Both annotation positions (same line, line above) count as used.
+  const std::string src =
+      "void f() {\n"
+      "  mutex_.lock();  // cslint: allow(raw-lock) audited\n"
+      "  // cslint: allow(raw-lock) audited\n"
+      "  mutex_.unlock();\n"
+      "}\n";
+  cs::lint::SuppressionTracker supp;
+  supp.scan("src/demo/x.cpp", src);
+  const auto vs = lint_source("src/demo/x.cpp", src, &supp);
+  EXPECT_TRUE(vs.empty());
+  EXPECT_TRUE(supp.stale().empty())
+      << ::testing::PrintToString(rules_of(supp.stale()));
+}
+
+TEST(StaleSuppression, PartiallyDeadListFlagsOnlyTheDeadRule) {
+  const std::string src =
+      "void f() {\n"
+      "  mutex_.lock();  // cslint: allow(raw-lock, std-rand)\n"
+      "}\n";
+  cs::lint::SuppressionTracker supp;
+  supp.scan("src/demo/x.cpp", src);
+  const auto vs = lint_source("src/demo/x.cpp", src, &supp);
+  EXPECT_TRUE(vs.empty());
+  const auto stale = supp.stale();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].message.find("std-rand"), std::string::npos);
+}
+
+TEST(StaleSuppression, MentionsInStringsAndProseAreNotSites) {
+  // A rule message quoting the syntax, and prose that mentions it
+  // mid-comment, must not register as (stale) annotation sites.
+  const std::string src =
+      "const char* kMsg = \"annotate 'cslint: allow(raw-lock)' after "
+      "auditing\";\n"
+      "// The escape hatch is `cslint: allow(raw-lock)` on the line above.\n";
+  cs::lint::SuppressionTracker supp;
+  supp.scan("src/demo/x.cpp", src);
+  EXPECT_TRUE(supp.stale().empty())
+      << ::testing::PrintToString(rules_of(supp.stale()));
+}
+
+TEST(StaleSuppression, FlowAllowIsMarkedUsed) {
+  const std::string src = R"(
+namespace cs {
+template <typename T> class Expected {};
+struct Engine { Expected<int> solve(int spec); };
+void driver(Engine& engine) {
+  engine.solve(1);  // cslint: allow(must-use) fire-and-forget warmup
+}
+}  // namespace cs
+)";
+  cs::lint::SuppressionTracker supp;
+  supp.scan("fix.cpp", src);
+  cs::lint::FlowAnalyzer fa;
+  fa.add_source("fix.cpp", src);
+  const auto vs = fa.run({}, &supp);
+  EXPECT_TRUE(vs.empty()) << ::testing::PrintToString(rules_of(vs));
+  EXPECT_TRUE(supp.stale().empty());
+}
+
+TEST(StaleSuppression, BaselineEntriesThatNoLongerFireAreStale) {
+  const Violation live{"src/engine/server.cpp", 42, "must-use", "msg",
+                       "engine.solve(1);"};
+  const Violation dead{"src/engine/server.cpp", 99, "raw-lock", "msg",
+                       "legacy.lock();"};
+  cs::lint::Baseline b;
+  b.add(live);
+  b.add(dead);
+  EXPECT_TRUE(b.contains(live));  // the live entry matches this run
+  const auto stale = b.stale_keys();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], cs::lint::Baseline::key(dead));
+}
+
+// ---------------------------------------------------------------------------
+// golden SARIF corpus: the checked-in fixtures under tools/cslint/testdata/
+// must render to exactly the checked-in expected.sarif, byte for byte — any
+// drift in rules, messages, ordering, or the SARIF serializer shows up as a
+// diff against a reviewable artifact
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+}  // namespace
+
+TEST(SarifGolden, CorpusMatchesByteForByte) {
+  const fs::path dir = CSLINT_TESTDATA_DIR;
+  // (on-disk fixture, pinned display path) — the display path both keys the
+  // SARIF artifact locations and selects path-scoped rules (scoped.cpp runs
+  // under a src/core/ spelling on purpose).
+  const struct {
+    const char* file;
+    const char* display;
+  } kFixtures[] = {
+      {"text_basic.cpp", "testdata/text_basic.cpp"},
+      {"scoped.cpp", "testdata/src/core/scoped.cpp"},
+      {"missing_guard.hpp", "testdata/missing_guard.hpp"},
+      {"flow_rules.cpp", "testdata/flow_rules.cpp"},
+  };
+  std::vector<Violation> all;
+  for (const auto& f : kFixtures) {
+    const std::string content = slurp(dir / f.file);
+    ASSERT_FALSE(content.empty()) << f.file;
+    const auto text = lint_source(f.display, content);
+    all.insert(all.end(), text.begin(), text.end());
+    const auto flow = cs::lint::lint_flow(f.display, content);
+    all.insert(all.end(), flow.begin(), flow.end());
+  }
+  EXPECT_GE(all.size(), 8u);  // every rule family is represented
+  const std::string got = cs::lint::to_sarif(all);
+  const std::string want = slurp(dir / "expected.sarif");
+  if (got != want) {
+    // Leave the render somewhere diffable before failing.
+    const fs::path dump =
+        fs::temp_directory_path() /
+        ("cslint-sarif-got-" + std::to_string(::getpid()) + ".sarif");
+    std::ofstream(dump, std::ios::binary) << got;
+    FAIL() << "SARIF drift against " << (dir / "expected.sarif")
+           << "\nactual render left at " << dump
+           << "\nreview the diff and update expected.sarif if intended";
+  }
 }

@@ -1,0 +1,207 @@
+// Unit tests for the csmc model checker (src/mc): memory-model semantics on
+// hand-rolled litmuses, the production deque/FlightCell litmus verdicts,
+// negative-litmus violation reporting with schedule replay, and mode
+// agreement.  Skipped under ThreadSanitizer (the ucontext fiber scheduler
+// cannot run under it; the tsan preset still builds this file).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "litmus.hpp"
+#include "mc/atomic.hpp"
+#include "mc/checker.hpp"
+#include "mc/options.hpp"
+
+namespace mc = cs::mc;
+using cs::mc::CheckResult;
+using cs::mc::Checker;
+using cs::mc::CheckerOptions;
+using cs::mc::Mode;
+using cs::mc::Verdict;
+
+namespace {
+
+#if CS_MC_TSAN
+#define SKIP_UNDER_TSAN() GTEST_SKIP() << "csmc does not run under TSan"
+#else
+#define SKIP_UNDER_TSAN() (void)0
+#endif
+
+CheckResult check_litmus(const char* name,
+                         Mode mode = Mode::kExhaustive) {
+  const cs::mctool::Litmus* l = cs::mctool::find_litmus(name);
+  EXPECT_NE(l, nullptr) << name;
+  CheckerOptions opts = l->options;
+  opts.mode = mode;
+  return Checker(opts).run(l->build);
+}
+
+TEST(McModel, MessagePassingReleaseAcquireIsRaceFree) {
+  SKIP_UNDER_TSAN();
+  const CheckResult res = check_litmus("mp-release-acquire");
+  EXPECT_EQ(res.verdict, Verdict::kOk) << res.violation;
+  EXPECT_GE(res.executions, 2u);  // both flag outcomes explored
+}
+
+TEST(McModel, MessagePassingRelaxedIsARace) {
+  SKIP_UNDER_TSAN();
+  const CheckResult res = check_litmus("mp-relaxed");
+  EXPECT_EQ(res.verdict, Verdict::kViolation);
+  EXPECT_NE(res.violation.find("data race"), std::string::npos)
+      << res.violation;
+  EXPECT_FALSE(res.trace.empty());
+}
+
+TEST(McModel, StoreBufferingSeqCstForbidsBothZero) {
+  SKIP_UNDER_TSAN();
+  EXPECT_EQ(check_litmus("sb-seq-cst").verdict, Verdict::kOk);
+}
+
+TEST(McModel, StoreBufferingReleaseAcquireAllowsBothZero) {
+  SKIP_UNDER_TSAN();
+  EXPECT_EQ(check_litmus("sb-release-acquire").verdict, Verdict::kViolation);
+}
+
+TEST(McModel, RelaxedCountersAreExactAndCoherent) {
+  SKIP_UNDER_TSAN();
+  const CheckResult res = check_litmus("counters-relaxed");
+  EXPECT_EQ(res.verdict, Verdict::kOk) << res.violation;
+}
+
+// A relaxed load may legally read a stale value: the checker must actually
+// explore that reads-from choice (this is what plain interleaving testing
+// cannot do).
+TEST(McModel, RelaxedLoadObservesStaleValue) {
+  SKIP_UNDER_TSAN();
+  Checker checker;
+  const CheckResult res = checker.run([](mc::Program& p) {
+    auto x = std::make_shared<mc::atomic<std::uint64_t>>(0);
+    p.thread("writer", [=] { x->store(1, std::memory_order_relaxed); });
+    p.thread("reader", [=] { mc::note(x->load(std::memory_order_relaxed)); });
+    p.finally([] {
+      // Reader scheduled after the write can still read 0 on some branch.
+      mc::check(mc::notes_of("reader").at(0) == 1, "saw the new value");
+    });
+  });
+  EXPECT_EQ(res.verdict, Verdict::kViolation);  // the stale branch exists
+}
+
+TEST(McModel, SeqCstLoadNeverReadsStale) {
+  SKIP_UNDER_TSAN();
+  Checker checker;
+  const CheckResult res = checker.run([](mc::Program& p) {
+    auto x = std::make_shared<mc::atomic<std::uint64_t>>(0);
+    auto done = std::make_shared<mc::atomic<std::uint64_t>>(0);
+    p.thread("writer", [=] {
+      x->store(1, std::memory_order_seq_cst);
+      done->store(1, std::memory_order_seq_cst);
+    });
+    p.thread("reader", [=] {
+      if (done->load(std::memory_order_seq_cst) == 1)
+        mc::check(x->load(std::memory_order_seq_cst) == 1,
+                  "seq_cst read went stale");
+    });
+  });
+  EXPECT_EQ(res.verdict, Verdict::kOk) << res.violation;
+}
+
+TEST(McModel, ReleaseFencePublishesPriorStores) {
+  SKIP_UNDER_TSAN();
+  Checker checker;
+  const CheckResult res = checker.run([](mc::Program& p) {
+    auto data = std::make_shared<mc::plain<std::uint64_t>>(0);
+    auto flag = std::make_shared<mc::atomic<std::uint64_t>>(0);
+    p.thread("producer", [=] {
+      data->write(7);
+      mc::fence(std::memory_order_release);
+      flag->store(1, std::memory_order_relaxed);
+    });
+    p.thread("consumer", [=] {
+      if (flag->load(std::memory_order_relaxed) == 1) {
+        mc::fence(std::memory_order_acquire);
+        mc::check(data->read() == 7, "fence pair failed to synchronize");
+      }
+    });
+  });
+  EXPECT_EQ(res.verdict, Verdict::kOk) << res.violation;
+}
+
+TEST(McDeque, StealCasLitmusHoldsOnEverySchedule) {
+  SKIP_UNDER_TSAN();
+  const CheckResult res = check_litmus("deque-steal-cas");
+  EXPECT_EQ(res.verdict, Verdict::kOk) << res.violation;
+  EXPECT_GT(res.states, 100u);  // really explored, not vacuous
+}
+
+TEST(McDeque, OwnerVsThievesExhaustive) {
+  SKIP_UNDER_TSAN();
+  const CheckResult res = check_litmus("deque-owner-vs-thieves");
+  EXPECT_EQ(res.verdict, Verdict::kOk) << res.violation;
+  EXPECT_TRUE(res.note.empty()) << res.note;  // no bound tripped: exhaustive
+  EXPECT_GT(res.executions, 100u);
+}
+
+TEST(McDeque, GrowLitmusHolds) {
+  SKIP_UNDER_TSAN();
+  const CheckResult res = check_litmus("deque-grow");
+  EXPECT_EQ(res.verdict, Verdict::kOk) << res.violation;
+}
+
+TEST(McDeque, WeakenedOrderingIsCaughtAndReplays) {
+  SKIP_UNDER_TSAN();
+  const cs::mctool::Litmus* l = cs::mctool::find_litmus("deque-weak-owner");
+  ASSERT_NE(l, nullptr);
+  Checker checker(l->options);
+  const CheckResult res = checker.run(l->build);
+  ASSERT_EQ(res.verdict, Verdict::kViolation);
+  EXPECT_NE(res.violation.find("conservation"), std::string::npos)
+      << res.violation;
+  ASSERT_FALSE(res.schedule.empty());
+  ASSERT_FALSE(res.trace.empty());
+  // The reported schedule must deterministically reproduce the violation.
+  const CheckResult again = checker.replay(l->build, res.schedule);
+  EXPECT_EQ(again.verdict, Verdict::kViolation);
+  EXPECT_EQ(again.violation, res.violation);
+}
+
+TEST(McFlight, PublishBeforeVacateHolds) {
+  SKIP_UNDER_TSAN();
+  const CheckResult res = check_litmus("flight-publish");
+  EXPECT_EQ(res.verdict, Verdict::kOk) << res.violation;
+}
+
+TEST(McFlight, RelaxedCellIsCaught) {
+  SKIP_UNDER_TSAN();
+  EXPECT_EQ(check_litmus("flight-weak").verdict, Verdict::kViolation);
+}
+
+// The three exploration modes must agree on verdicts (sleep sets and the
+// preemption bound may prune, but never miss these shallow violations).
+TEST(McModes, AgreeOnVerdicts) {
+  SKIP_UNDER_TSAN();
+  for (const char* name : {"mp-release-acquire", "mp-relaxed",
+                           "deque-steal-cas", "deque-weak-owner"}) {
+    const Verdict expected = cs::mctool::find_litmus(name)->expect;
+    for (const Mode mode :
+         {Mode::kExhaustive, Mode::kSleepSets, Mode::kBoundedPreempt}) {
+      const CheckResult res = check_litmus(name, mode);
+      EXPECT_EQ(res.verdict, expected)
+          << name << " under " << to_string(mode) << ": " << res.note;
+    }
+  }
+}
+
+TEST(McBounds, MaxExecutionsTrips) {
+  SKIP_UNDER_TSAN();
+  const cs::mctool::Litmus* l = cs::mctool::find_litmus("deque-steal-cas");
+  ASSERT_NE(l, nullptr);
+  CheckerOptions opts = l->options;
+  opts.max_executions = 3;
+  const CheckResult res = Checker(opts).run(l->build);
+  EXPECT_EQ(res.verdict, Verdict::kBoundExceeded);
+  EXPECT_EQ(res.note, "max_executions");
+}
+
+}  // namespace

@@ -192,10 +192,21 @@ void Baseline::save(const std::filesystem::path& file) const {
   for (const std::string& k : sorted) out << k << '\n';
 }
 
-bool Baseline::contains(const Violation& v) const {
-  return keys_.count(key(v)) > 0;
+bool Baseline::contains(const Violation& v) {
+  const std::string k = key(v);
+  if (keys_.count(k) == 0) return false;
+  matched_.insert(k);
+  return true;
 }
 
 void Baseline::add(const Violation& v) { keys_.insert(key(v)); }
+
+std::vector<std::string> Baseline::stale_keys() const {
+  std::vector<std::string> out;
+  for (const std::string& k : keys_)
+    if (matched_.count(k) == 0) out.push_back(k);
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 }  // namespace cs::lint

@@ -87,20 +87,27 @@ class HeaderCache {
 };
 
 /// Checked-in accepted-violation list; keys are stable across line drift
-/// (the line number is deliberately not part of the key).
+/// (the line number is deliberately not part of the key).  contains()
+/// remembers which keys matched, so after a full run stale_keys() names the
+/// entries whose violation no longer fires — a baseline must only ever
+/// shrink, and dead entries are themselves a finding under --strict.
 class Baseline {
  public:
   void load(const std::filesystem::path& file);
   void save(const std::filesystem::path& file) const;
 
   [[nodiscard]] static std::string key(const Violation& v);
-  [[nodiscard]] bool contains(const Violation& v) const;
+  [[nodiscard]] bool contains(const Violation& v);
   void add(const Violation& v);
+
+  /// Entries never matched by contains() since load(), sorted.
+  [[nodiscard]] std::vector<std::string> stale_keys() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
 
  private:
   std::unordered_set<std::string> keys_;
+  std::unordered_set<std::string> matched_;
 };
 
 }  // namespace cs::lint

@@ -46,6 +46,110 @@ std::string trim(std::string_view s) {
   return std::string(s.substr(b, e - b));
 }
 
+/// Inverse of strip_comments_and_strings for annotation scanning: keep only
+/// *comment* text (newlines preserved), blanking code, string literals, and
+/// char literals — so an allow() spelling quoted inside a rule message never
+/// registers as an annotation site.
+std::string extract_comments(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { Code, Line, Block, Str, Chr, Raw } state = State::Code;
+  std::string raw_delim;
+  auto blank = [&](char ch) { out += ch == '\n' ? '\n' : ' '; };
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char ch = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (ch == '/' && next == '/') {
+          state = State::Line;
+          out += "  ";
+          ++i;
+        } else if (ch == '/' && next == '*') {
+          state = State::Block;
+          out += "  ";
+          ++i;
+        } else if (ch == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < src.size() && src[j] != '(' && src[j] != '\n')
+            raw_delim += src[j++];
+          if (j < src.size() && src[j] == '(') {
+            out.append(raw_delim.size() + 3, ' ');
+            i = j;
+            state = State::Raw;
+          } else {
+            out += ' ';
+          }
+        } else if (ch == '"') {
+          state = State::Str;
+          out += ' ';
+        } else if (ch == '\'') {
+          state = State::Chr;
+          out += ' ';
+        } else {
+          blank(ch);
+        }
+        break;
+      case State::Line:
+        if (ch == '\n') {
+          state = State::Code;
+          out += ch;
+        } else {
+          out += ch;
+        }
+        break;
+      case State::Block:
+        if (ch == '*' && next == '/') {
+          state = State::Code;
+          out += "  ";
+          ++i;
+        } else {
+          out += ch;
+        }
+        break;
+      case State::Str:
+        if (ch == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (ch == '"') {
+          state = State::Code;
+          out += ' ';
+        } else {
+          blank(ch);
+        }
+        break;
+      case State::Chr:
+        if (ch == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if (ch == '\'') {
+          state = State::Code;
+          out += ' ';
+        } else {
+          blank(ch);
+        }
+        break;
+      case State::Raw:
+        if (ch == ')' &&
+            src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < src.size() &&
+            src[i + 1 + raw_delim.size()] == '"') {
+          out.append(raw_delim.size() + 2, ' ');
+          i += raw_delim.size() + 1;
+          state = State::Code;
+        } else {
+          blank(ch);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> split_lines(std::string_view text) {
   std::vector<std::string> lines;
   std::size_t pos = 0;
@@ -266,8 +370,66 @@ bool line_allows(std::string_view raw_line, std::string_view rule) {
   return false;
 }
 
+void SuppressionTracker::scan(std::string_view display_path,
+                              std::string_view content) {
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<std::string> comment_lines =
+      split_lines(extract_comments(content));
+  for (std::size_t i = 0; i < comment_lines.size(); ++i) {
+    // Same grammar as line_allows, but over comment text only, and the
+    // comment must *begin* with the tag: prose that mentions the annotation
+    // syntax mid-sentence (rule messages, this tool's own docs) is not an
+    // annotation site.
+    const std::string line = trim(comment_lines[i]);
+    if (line.rfind("cslint:", 0) != 0) continue;
+    const std::size_t tag = 0;
+    const std::size_t open = line.find("allow(", tag);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    std::stringstream ss(line.substr(open + 6, close - open - 6));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const std::string rule = trim(item);
+      if (rule.empty()) continue;
+      sites_.push_back(Site{std::string(display_path), i + 1, rule,
+                            i < raw_lines.size() ? trim(raw_lines[i]) : "",
+                            false});
+    }
+  }
+}
+
+void SuppressionTracker::mark_used(std::string_view file,
+                                   std::size_t annotation_line,
+                                   std::string_view rule) {
+  for (Site& s : sites_) {
+    if (s.line == annotation_line && s.rule == rule && s.file == file)
+      s.used = true;
+  }
+}
+
+std::vector<Violation> SuppressionTracker::stale() const {
+  std::vector<Violation> out;
+  for (const Site& s : sites_) {
+    if (s.used) continue;
+    out.push_back(Violation{
+        s.file, s.line, "stale-suppression",
+        "allow(" + s.rule +
+            ") suppresses nothing on this line or the one below: the code "
+            "it excused is gone — delete the annotation",
+        s.excerpt});
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.message < b.message;
+  });
+  return out;
+}
+
 std::vector<Violation> lint_source(std::string_view display_path,
-                                   std::string_view content) {
+                                   std::string_view content,
+                                   SuppressionTracker* supp) {
   std::vector<Violation> out;
   const std::string stripped = strip_comments_and_strings(content);
   const std::vector<std::string> raw_lines = split_lines(content);
@@ -284,8 +446,14 @@ std::vector<Violation> lint_source(std::string_view display_path,
         lineno >= 1 && lineno <= raw_lines.size() ? raw_lines[lineno - 1] : "";
     // The annotation may sit on the offending line or the one above it
     // (common when the code line is already at the column limit).
-    if (line_allows(raw, rule)) return;
-    if (lineno >= 2 && line_allows(raw_lines[lineno - 2], rule)) return;
+    if (line_allows(raw, rule)) {
+      if (supp != nullptr) supp->mark_used(display_path, lineno, rule);
+      return;
+    }
+    if (lineno >= 2 && line_allows(raw_lines[lineno - 2], rule)) {
+      if (supp != nullptr) supp->mark_used(display_path, lineno - 1, rule);
+      return;
+    }
     out.push_back(Violation{std::string(display_path), lineno, rule, message,
                             trim(raw)});
   };
@@ -351,7 +519,8 @@ std::vector<Violation> lint_source(std::string_view display_path,
   return out;
 }
 
-std::vector<Violation> lint_file(const std::filesystem::path& path) {
+std::vector<Violation> lint_file(const std::filesystem::path& path,
+                                 SuppressionTracker* supp) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return {Violation{path.generic_string(), 0, "io",
@@ -359,7 +528,9 @@ std::vector<Violation> lint_file(const std::filesystem::path& path) {
   }
   std::ostringstream ss;
   ss << in.rdbuf();
-  return lint_source(path.generic_string(), ss.str());
+  const std::string content = std::move(ss).str();
+  if (supp != nullptr) supp->scan(path.generic_string(), content);
+  return lint_source(path.generic_string(), content, supp);
 }
 
 std::vector<std::filesystem::path> collect_sources(
@@ -378,10 +549,12 @@ std::vector<std::filesystem::path> collect_sources(
        it.increment(ec)) {
     if (ec) break;
     if (it->is_directory(ec)) {
-      // Prune build trees and hidden directories; everything else (including
-      // newly added src/ subdirectories) is walked with no hardcoded list.
+      // Prune build trees, hidden directories, and fixture corpora (testdata
+      // snippets violate rules on purpose); everything else (including newly
+      // added src/ subdirectories) is walked with no hardcoded list.
       const std::string name = it->path().filename().generic_string();
-      if (name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.'))
+      if (name.rfind("build", 0) == 0 || name == "testdata" ||
+          (!name.empty() && name[0] == '.'))
         it.disable_recursion_pending();
       continue;
     }

@@ -22,6 +22,9 @@
 //   header-standalone every header compiles as its own translation unit
 //                     (catches missing includes; needs a compiler, see
 //                     HeaderCheckOptions)
+//   stale-suppression an `allow(...)` annotation that suppresses nothing,
+//                     or a baseline entry that no longer fires (escapes must
+//                     not outlive the code they excuse; --strict only)
 //
 // A violation is suppressed by an annotation naming the rule on the
 // offending line or the line directly above it, e.g.
@@ -57,22 +60,60 @@ struct Violation {
 [[nodiscard]] bool line_allows(std::string_view raw_line,
                                std::string_view rule);
 
+/// Tracks every allow() annotation seen during a run and which of them
+/// actually suppressed a finding; the difference is the set of stale
+/// suppressions.  scan() recognizes annotations only inside comments that
+/// *begin* with the `cslint:` tag — a rule message quoting the syntax in a
+/// string literal, or prose mentioning it mid-comment, is not an annotation
+/// site — and records one site per rule named in the allow list, so
+/// `allow(a, b)` where only `a` still fires reports `b` as stale.  Rule
+/// passes mark sites used as they suppress; stale() must run after every
+/// enabled pass.
+class SuppressionTracker {
+ public:
+  /// Register every annotation in one source; call once per file, before
+  /// linting it.
+  void scan(std::string_view display_path, std::string_view content);
+
+  /// Record that the annotation on `annotation_line` of `file` suppressed a
+  /// finding for `rule`.  Idempotent; sites scan() never saw are ignored.
+  void mark_used(std::string_view file, std::size_t annotation_line,
+                 std::string_view rule);
+
+  /// Annotations that suppressed nothing, as stale-suppression violations
+  /// in (file, line) order.
+  [[nodiscard]] std::vector<Violation> stale() const;
+
+ private:
+  struct Site {
+    std::string file;
+    std::size_t line = 0;  ///< line the annotation itself sits on
+    std::string rule;
+    std::string excerpt;
+    bool used = false;
+  };
+  std::vector<Site> sites_;
+};
+
 /// Run every text rule over one in-memory source.  `display_path` selects
 /// path-scoped rules (float-eq, positive-sub) by substring match on its
 /// '/'-normalized form, so both repo-relative and absolute paths work.
-[[nodiscard]] std::vector<Violation> lint_source(std::string_view display_path,
-                                                 std::string_view content);
+/// When `supp` is given, suppressions that fire are marked used on it.
+[[nodiscard]] std::vector<Violation> lint_source(
+    std::string_view display_path, std::string_view content,
+    SuppressionTracker* supp = nullptr);
 
 /// lint_source over a file on disk (returns a read-error violation if the
 /// file cannot be opened).
 [[nodiscard]] std::vector<Violation> lint_file(
-    const std::filesystem::path& path);
+    const std::filesystem::path& path, SuppressionTracker* supp = nullptr);
 
 /// Recursively collect .hpp/.cpp files under `root` (or `root` itself when it
 /// is a regular file), sorted for deterministic output.  Build trees
-/// (directories named build*) and hidden directories are pruned, so new
-/// top-level subdirectories under src/ are covered automatically without a
-/// hardcoded list.
+/// (directories named build*), hidden directories, and fixture corpora
+/// (directories named testdata — deliberately violating snippets for the
+/// golden SARIF test) are pruned, so new top-level subdirectories under
+/// src/ are covered automatically without a hardcoded list.
 [[nodiscard]] std::vector<std::filesystem::path> collect_sources(
     const std::filesystem::path& root);
 

@@ -103,10 +103,13 @@ struct FlowOptions {
 /// Whole-program driver: add every source, then run() resolves calls across
 /// files (affinity seeds in headers apply to call sites in .cpp files, the
 /// lock graph unions per-TU edges) and evaluates the four rule families.
+/// When `supp` is given, allow() annotations that suppress a flow finding
+/// are marked used (stale-suppression support).
 class FlowAnalyzer {
  public:
   void add_source(std::string display_path, std::string_view content);
-  [[nodiscard]] std::vector<Violation> run(const FlowOptions& opt = {}) const;
+  [[nodiscard]] std::vector<Violation> run(
+      const FlowOptions& opt = {}, SuppressionTracker* supp = nullptr) const;
 
   [[nodiscard]] const std::vector<FileModel>& files() const noexcept {
     return files_;

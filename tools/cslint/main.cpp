@@ -6,8 +6,14 @@
 //   cslint --cache build/cslint-cache.txt src/  # incremental header checks
 //   cslint --sarif build/cslint.sarif src/    # + SARIF 2.1.0 artifact
 //   cslint --baseline tools/cslint/baseline.txt src/
-//   cslint --strict --baseline ... src/       # ignore cache, full rescan
+//   cslint --strict --baseline ... src/       # ignore cache, full rescan,
+//                                             #   + stale-suppression errors
 //   cslint --no-headers --no-flow src/engine/ # text rules only
+//
+// --strict additionally reports stale suppressions: allow() annotations and
+// baseline entries whose violation no longer fires.  Staleness needs every
+// rule pass to have run (an allow(thread-affinity) looks dead when the flow
+// pass is off), so --no-flow disables it.
 //
 // Exit status: 0 = clean, 1 = violations found, 2 = usage error.
 #include <cstdlib>
@@ -108,6 +114,7 @@ int main(int argc, char** argv) {
 
   std::vector<cs::lint::Violation> violations;
   cs::lint::FlowAnalyzer analyzer;
+  cs::lint::SuppressionTracker supp;
   std::vector<std::pair<std::filesystem::path, std::string>> contents;
   contents.reserve(all_sources.size());
   for (const auto& path : all_sources) {
@@ -118,8 +125,9 @@ int main(int argc, char** argv) {
           path.generic_string(), 0, "io", "cannot open file for reading", ""});
       continue;
     }
+    supp.scan(path.generic_string(), content);
     // Text rules.
-    auto v = cs::lint::lint_source(path.generic_string(), content);
+    auto v = cs::lint::lint_source(path.generic_string(), content, &supp);
     violations.insert(violations.end(), v.begin(), v.end());
     // Structural model (flow rules + include-closure hashing).
     analyzer.add_source(path.generic_string(), content);
@@ -128,7 +136,7 @@ int main(int argc, char** argv) {
 
   // ---- flow rules ---------------------------------------------------------
   if (run_flow) {
-    auto v = analyzer.run();
+    auto v = analyzer.run({}, &supp);
     violations.insert(violations.end(), v.begin(), v.end());
   }
 
@@ -182,8 +190,8 @@ int main(int argc, char** argv) {
 
   // ---- baseline -----------------------------------------------------------
   std::size_t baselined = 0;
+  cs::lint::Baseline baseline;
   if (!baseline_file.empty()) {
-    cs::lint::Baseline baseline;
     if (write_baseline) {
       for (const auto& v : violations) baseline.add(v);
       baseline.save(baseline_file);
@@ -202,6 +210,20 @@ int main(int argc, char** argv) {
       }
     }
     violations = std::move(kept);
+  }
+
+  // ---- stale suppressions (--strict only; needs the full pass set) --------
+  if (strict && run_flow) {
+    auto stale = supp.stale();
+    violations.insert(violations.end(), stale.begin(), stale.end());
+    for (const std::string& key : baseline.stale_keys()) {
+      violations.push_back(cs::lint::Violation{
+          baseline_file, 0, "stale-suppression",
+          "baseline entry '" + key +
+              "' no longer fires: the violation it accepted is gone — "
+              "remove the line",
+          ""});
+    }
   }
 
   // ---- output -------------------------------------------------------------

@@ -82,7 +82,9 @@ struct LockSite {
 
 class Engine {
  public:
-  explicit Engine(const std::vector<FileModel>& files) : files_(files) {
+  explicit Engine(const std::vector<FileModel>& files,
+                  SuppressionTracker* supp = nullptr)
+      : files_(files), supp_(supp) {
     index();
   }
 
@@ -286,8 +288,14 @@ class Engine {
             std::string message, std::vector<Violation>& out) const {
     const std::string& raw =
         line >= 1 && line <= fm.raw_lines.size() ? fm.raw_lines[line - 1] : "";
-    if (line_allows(raw, rule)) return;
-    if (line >= 2 && line_allows(fm.raw_lines[line - 2], rule)) return;
+    if (line_allows(raw, rule)) {
+      if (supp_ != nullptr) supp_->mark_used(fm.path, line, rule);
+      return;
+    }
+    if (line >= 2 && line_allows(fm.raw_lines[line - 2], rule)) {
+      if (supp_ != nullptr) supp_->mark_used(fm.path, line - 1, rule);
+      return;
+    }
     out.push_back(
         Violation{fm.path, line, rule, std::move(message), trim(raw)});
   }
@@ -469,6 +477,7 @@ class Engine {
 
   // -------------------------------------------------------------- fields
   const std::vector<FileModel>& files_;
+  SuppressionTracker* supp_ = nullptr;
   std::map<std::string, FuncInfo> funcs_;
   // class simple-name -> method simple-name -> overload set
   std::map<std::string, std::map<std::string, std::vector<FuncInfo*>>>
@@ -488,8 +497,9 @@ void FlowAnalyzer::add_source(std::string display_path,
   files_.push_back(parse_file_model(std::move(display_path), content));
 }
 
-std::vector<Violation> FlowAnalyzer::run(const FlowOptions& opt) const {
-  Engine engine(files_);
+std::vector<Violation> FlowAnalyzer::run(const FlowOptions& opt,
+                                         SuppressionTracker* supp) const {
+  Engine engine(files_, supp);
   return engine.run(opt);
 }
 

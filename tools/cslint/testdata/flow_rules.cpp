@@ -1,0 +1,45 @@
+// Flow-rule fixture: one finding per flow family, in one self-contained TU
+// (the golden test runs the single-file lint_flow driver over it).
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+template <typename T>
+class Expected {};
+
+std::mutex a_mu;
+std::mutex b_mu;
+
+struct Loop {
+  // cs: affinity(loop)
+  void tick();
+};
+
+struct Engine {
+  Expected<int> solve(int spec);
+};
+
+void Loop::tick() {
+  std::this_thread::sleep_for(1);  // blocking inside loop-affine code
+}
+
+void fixture_off_loop(Loop& loop) {
+  loop.tick();  // loop-affine callee from unannotated code
+}
+
+void fixture_discard(Engine& engine) {
+  engine.solve(7);  // discarded Expected
+}
+
+void fixture_ab() {
+  std::lock_guard<std::mutex> l1(a_mu);
+  std::lock_guard<std::mutex> l2(b_mu);
+}
+
+void fixture_ba() {
+  std::lock_guard<std::mutex> l1(b_mu);
+  std::lock_guard<std::mutex> l2(a_mu);  // ABBA against fixture_ab
+}
+
+}  // namespace fixture

@@ -1,0 +1,3 @@
+// Header fixture without #pragma once: the pragma-once rule reports the
+// whole-file finding at line 1.
+int fixture_missing_guard();

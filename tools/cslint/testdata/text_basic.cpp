@@ -1,0 +1,19 @@
+// cslint golden-corpus fixture — NOT real code.  collect_sources() prunes
+// testdata/ directories, so normal lint runs never see these snippets; only
+// tests/test_cslint.cpp reads them, lints them under pinned display paths,
+// and byte-compares the SARIF render against expected.sarif.
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+void fixture_raw_lock(std::mutex& m) {
+  m.lock();
+  m.unlock();  // cslint: allow(raw-lock) live annotation: kept out of corpus
+}
+
+int fixture_std_rand() { return std::rand(); }
+
+bool fixture_atomic_order(std::atomic<int>& top, int t) {
+  return top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed);
+}

@@ -1,0 +1,366 @@
+#include "litmus.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/flight_cell.hpp"
+#include "mc/atomic.hpp"
+#include "steal/deque.hpp"
+#include "weak_traits.hpp"
+
+namespace cs::mctool {
+namespace {
+
+namespace mc = cs::mc;
+
+using McDeque = cs::steal::WsDeque<mc::Value, mc::McAtomicsTraits>;
+using WeakDeque = cs::steal::WsDeque<mc::Value, DowngradedAtomicsTraits>;
+
+// ---------------------------------------------------------------------------
+// Shared pieces
+
+/// Task conservation: every value pushed into the deque must come back out
+/// exactly once, across the noted pops/steals of `threads` plus a final
+/// single-threaded drain.  Lost tasks and duplicated tasks both fail.
+template <typename DequeT>
+void check_conservation(DequeT& d, std::vector<mc::Value> expected,
+                        std::initializer_list<const char*> threads) {
+  std::vector<mc::Value> got;
+  for (const char* t : threads) {
+    for (mc::Value v : mc::notes_of(t)) got.push_back(v);
+  }
+  while (auto v = d.pop_bottom()) got.push_back(*v);
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  if (got != expected) {
+    std::ostringstream os;
+    os << "task conservation violated: expected {";
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      os << (i != 0u ? "," : "") << expected[i];
+    os << "} but pops+steals+drain yielded {";
+    for (std::size_t i = 0; i < got.size(); ++i)
+      os << (i != 0u ? "," : "") << got[i];
+    os << "}";
+    mc::check(false, os.str());
+  }
+}
+
+/// Location labels matching WsDeque's registration order under McAtomicsTraits:
+/// members top_, bottom_, ring_, then the initial ring's slots; a mid-run
+/// grow() appends the bigger ring's slots (gslot*).
+std::vector<std::string> deque_labels(std::size_t slots,
+                                      std::size_t grown_slots = 0) {
+  std::vector<std::string> labels{"top", "bottom", "ring"};
+  for (std::size_t i = 0; i < slots; ++i)
+    labels.push_back("slot" + std::to_string(i));
+  for (std::size_t i = 0; i < grown_slots; ++i)
+    labels.push_back("gslot" + std::to_string(i));
+  return labels;
+}
+
+// ---------------------------------------------------------------------------
+// Classic memory-model litmuses (checker self-tests)
+
+/// Message passing: producer writes plain data, then raises a flag; the
+/// consumer reads the data only after seeing the flag.  Sound with a
+/// release/acquire pair; a data race with relaxed orderings.
+void build_mp(mc::Program& p, std::memory_order store_order,
+              std::memory_order load_order) {
+  auto flag = std::make_shared<mc::atomic<mc::Value>>(0);
+  auto data = std::make_shared<mc::plain<mc::Value>>(0);
+  p.thread("producer", [=] {
+    data->write(42);
+    flag->store(1, store_order);
+  });
+  p.thread("consumer", [=] {
+    if (flag->load(load_order) == 1)
+      mc::check(data->read() == 42, "consumer observed stale payload");
+  });
+}
+
+/// Store buffering: both threads store then load the other's location.
+/// Both loads reading 0 is impossible with seq_cst everywhere, but reachable
+/// (and flagged, on purpose) with release/acquire.
+void build_sb(mc::Program& p, std::memory_order store_order,
+              std::memory_order load_order) {
+  auto x = std::make_shared<mc::atomic<mc::Value>>(0);
+  auto y = std::make_shared<mc::atomic<mc::Value>>(0);
+  p.thread("t1", [=] {
+    x->store(1, store_order);
+    mc::note(y->load(load_order));
+  });
+  p.thread("t2", [=] {
+    y->store(1, store_order);
+    mc::note(x->load(load_order));
+  });
+  p.finally([] {
+    mc::check(!(mc::notes_of("t1").at(0) == 0 && mc::notes_of("t2").at(0) == 0),
+              "store buffering: both loads read 0");
+  });
+}
+
+/// Stats-plane pattern (src/serve/server.hpp): monotone counters bumped with
+/// relaxed fetch_add.  Exactness at join and per-location coherence (a reader
+/// never sees a counter go backwards) must hold; no cross-counter ordering is
+/// claimed.
+void build_counters(mc::Program& p) {
+  auto requests = std::make_shared<mc::atomic<mc::Value>>(0);
+  auto sheds = std::make_shared<mc::atomic<mc::Value>>(0);
+  const auto worker = [=] {
+    requests->fetch_add(1, std::memory_order_relaxed);
+    sheds->fetch_add(1, std::memory_order_relaxed);
+    requests->fetch_add(1, std::memory_order_relaxed);
+  };
+  p.thread("w1", worker);
+  p.thread("w2", worker);
+  p.thread("reader", [=] {
+    const mc::Value r1 = requests->load(std::memory_order_relaxed);
+    const mc::Value r2 = requests->load(std::memory_order_relaxed);
+    mc::check(r2 >= r1, "relaxed counter observed going backwards");
+  });
+  p.finally([=] {
+    mc::check(requests->load() == 4, "relaxed increments lost on requests");
+    mc::check(sheds->load() == 2, "relaxed increments lost on sheds");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Chase-Lev deque litmuses (production WsDeque under McAtomicsTraits)
+
+/// Steal-CAS orderings: two thieves race the owner's pop for two tasks
+/// pushed before the race starts.  Exactly covers the kStolen/kLost/kEmpty
+/// outcome triangle of steal_top's CAS.
+template <typename DequeT>
+void build_deque_steal_cas(mc::Program& p) {
+  auto d = std::make_shared<DequeT>(4);
+  d->push_bottom(1);
+  d->push_bottom(2);
+  p.thread("owner", [=] {
+    if (auto v = d->pop_bottom()) mc::note(*v);
+  });
+  p.thread("thief1", [=] {
+    const auto out = d->steal_top();
+    if (out.status == cs::steal::StealStatus::kStolen) mc::note(out.value);
+  });
+  p.thread("thief2", [=] {
+    const auto out = d->steal_top();
+    if (out.status == cs::steal::StealStatus::kStolen) mc::note(out.value);
+  });
+  p.finally(
+      [=] { check_conservation(*d, {1, 2}, {"owner", "thief1", "thief2"}); });
+}
+
+/// The acceptance litmus: 1 owner interleaving pushes and pops with 2
+/// concurrent thieves, every thread issuing >= 3 deque operations.  Checked
+/// across every explored schedule: no task is lost, none is duplicated.
+void build_deque_farm(mc::Program& p, int pushes, int pops,
+                      int steals_per_thief) {
+  auto d = std::make_shared<McDeque>(4);
+  p.thread("owner", [=] {
+    for (int i = 1; i <= pushes; ++i)
+      d->push_bottom(static_cast<mc::Value>(i));
+    for (int i = 0; i < pops; ++i)
+      if (auto v = d->pop_bottom()) mc::note(*v);
+  });
+  const auto thief = [=] {
+    for (int i = 0; i < steals_per_thief; ++i) {
+      const auto out = d->steal_top();
+      if (out.status == cs::steal::StealStatus::kStolen) mc::note(out.value);
+    }
+  };
+  p.thread("thief1", thief);
+  p.thread("thief2", thief);
+  p.finally([=, n = pushes] {
+    std::vector<mc::Value> expected;
+    for (int i = 1; i <= n; ++i) expected.push_back(static_cast<mc::Value>(i));
+    check_conservation(*d, std::move(expected),
+                       {"owner", "thief1", "thief2"});
+  });
+}
+
+/// Ring growth: a capacity-2 deque is full when the owner pushes a third
+/// task, forcing grow() while a thief may hold the stale ring pointer.
+void build_deque_grow(mc::Program& p) {
+  auto d = std::make_shared<McDeque>(2);
+  d->push_bottom(1);
+  d->push_bottom(2);
+  p.thread("owner", [=] {
+    d->push_bottom(3);  // ring is full: this grows 2 -> 4 mid-run
+    if (auto v = d->pop_bottom()) mc::note(*v);
+  });
+  p.thread("thief", [=] {
+    for (int i = 0; i < 2; ++i) {
+      const auto out = d->steal_top();
+      if (out.status == cs::steal::StealStatus::kStolen) mc::note(out.value);
+    }
+  });
+  p.finally([=] { check_conservation(*d, {1, 2, 3}, {"owner", "thief"}); });
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight FlightCell litmuses (production FlightCell)
+
+/// Publish edge + publish-before-vacate: the leader fills the payload,
+/// release-publishes the cell, then vacates the slot (modelled as a release
+/// store the latecomer acquires, matching the mutex-protected map erase).
+/// Followers that see the pointer must see the payload; a latecomer that
+/// sees the slot vacated must find the cell published.
+template <typename Traits>
+void build_flight(mc::Program& p, bool with_latecomer) {
+  using Cell = cs::engine::FlightCell<mc::plain<mc::Value>, Traits>;
+  auto payload = std::make_shared<mc::plain<mc::Value>>(0);
+  auto cell = std::make_shared<Cell>();
+  auto vacated = std::make_shared<mc::atomic<mc::Value>>(0);
+  p.thread("leader", [=] {
+    payload->write(42);
+    cell->publish(payload.get());
+    vacated->store(1, std::memory_order_release);
+  });
+  p.thread("follower", [=] {
+    if (const auto* got = cell->poll())
+      mc::check(got->read() == 42, "follower observed unpublished payload");
+  });
+  if (with_latecomer) {
+    p.thread("latecomer", [=] {
+      if (vacated->load(std::memory_order_acquire) == 1)
+        mc::check(cell->poll() != nullptr,
+                  "in-flight slot vacated before the result was published");
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Litmus make(std::string name, std::string summary, cs::mc::Verdict expect,
+            std::function<void(mc::Program&)> build,
+            std::vector<std::string> labels = {}, bool large = false) {
+  Litmus l;
+  l.name = std::move(name);
+  l.summary = std::move(summary);
+  l.expect = expect;
+  l.build = std::move(build);
+  l.options.loc_labels = std::move(labels);
+  l.large = large;
+  return l;
+}
+
+std::vector<Litmus> make_all() {
+  using mc::Verdict;
+  std::vector<Litmus> all;
+
+  all.push_back(make(
+      "mp-release-acquire",
+      "message passing, release store / acquire load: race-free",
+      Verdict::kOk,
+      [](mc::Program& p) {
+        build_mp(p, std::memory_order_release, std::memory_order_acquire);
+      },
+      {"flag", "data"}));
+
+  all.push_back(make(
+      "mp-relaxed",
+      "message passing with relaxed flag: data race on the payload",
+      Verdict::kViolation,
+      [](mc::Program& p) {
+        build_mp(p, std::memory_order_relaxed, std::memory_order_relaxed);
+      },
+      {"flag", "data"}));
+
+  all.push_back(make(
+      "sb-seq-cst",
+      "store buffering, seq_cst: both-loads-zero is impossible",
+      Verdict::kOk,
+      [](mc::Program& p) {
+        build_sb(p, std::memory_order_seq_cst, std::memory_order_seq_cst);
+      },
+      {"x", "y"}));
+
+  all.push_back(make(
+      "sb-release-acquire",
+      "store buffering, release/acquire: both-loads-zero is reachable",
+      Verdict::kViolation,
+      [](mc::Program& p) {
+        build_sb(p, std::memory_order_release, std::memory_order_acquire);
+      },
+      {"x", "y"}));
+
+  all.push_back(make(
+      "counters-relaxed",
+      "stats-plane relaxed counters: exact totals, coherent reads",
+      Verdict::kOk, build_counters, {"requests", "sheds"}));
+
+  all.push_back(make(
+      "deque-steal-cas",
+      "WsDeque: owner pop vs two thieves racing the steal CAS over 2 tasks",
+      Verdict::kOk, build_deque_steal_cas<McDeque>, deque_labels(4)));
+
+  all.push_back(make(
+      "deque-owner-vs-thieves",
+      "WsDeque: owner pushes 3 + pops 3 vs 2 concurrent thieves; no task "
+      "lost or duplicated on any schedule",
+      Verdict::kOk,
+      [](mc::Program& p) { build_deque_farm(p, 3, 3, 1); }, deque_labels(4)));
+
+  all.push_back(make(
+      "deque-owner-vs-thieves-large",
+      "WsDeque: the acceptance farm with 2 steal attempts per thief "
+      "(bounded-preempt territory)",
+      Verdict::kOk,
+      [](mc::Program& p) { build_deque_farm(p, 3, 3, 2); }, deque_labels(4),
+      /*large=*/true));
+
+  all.push_back(make(
+      "deque-grow",
+      "WsDeque: ring grow mid-run while a thief holds the stale ring",
+      Verdict::kOk, build_deque_grow, deque_labels(2, 4)));
+
+  all.push_back(make(
+      "deque-weak-owner",
+      "WsDeque under DowngradedAtomicsTraits (acquire/seq_cst loads and "
+      "release/seq_cst stores relaxed): duplicated task is caught",
+      Verdict::kViolation, build_deque_steal_cas<WeakDeque>, deque_labels(4)));
+
+  all.push_back(make(
+      "flight-publish",
+      "FlightCell: publish happens-before poll, and publish-before-vacate",
+      Verdict::kOk,
+      [](mc::Program& p) {
+        build_flight<mc::McAtomicsTraits>(p, /*with_latecomer=*/true);
+      },
+      {"payload", "cell", "vacated"}));
+
+  all.push_back(make(
+      "flight-weak",
+      "FlightCell with relaxed publish/poll: payload data race is caught",
+      Verdict::kViolation,
+      [](mc::Program& p) {
+        build_flight<DowngradedAtomicsTraits>(p, /*with_latecomer=*/false);
+      },
+      {"payload", "cell", "vacated"}));
+
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Litmus>& all_litmuses() {
+  static const std::vector<Litmus> kAll = make_all();
+  return kAll;
+}
+
+const Litmus* find_litmus(std::string_view name) {
+  for (const Litmus& l : all_litmuses())
+    if (l.name == name) return &l;
+  return nullptr;
+}
+
+}  // namespace cs::mctool

@@ -1,0 +1,42 @@
+#pragma once
+// csmc litmus registry: small multi-threaded programs with a known expected
+// verdict, run under the cs::mc checker.  Positive litmuses pin down the
+// guarantees the production lock-free code relies on (task conservation in
+// the Chase-Lev deque, publish-before-vacate in the single-flight cell,
+// exact relaxed counters); negative litmuses run the *same production code*
+// under deliberately weakened AtomicsTraits (weak_traits.hpp) and must be
+// reported as violations — they prove the checker is sensitive to the
+// orderings the code declares.
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mc/checker.hpp"
+#include "mc/execution.hpp"
+#include "mc/options.hpp"
+
+namespace cs::mctool {
+
+struct Litmus {
+  std::string name;
+  std::string summary;
+  /// Verdict the checker must produce for this litmus to count as passing.
+  cs::mc::Verdict expect = cs::mc::Verdict::kOk;
+  /// Per-litmus default options (mode, bounds, location labels); the CLI
+  /// can override mode and bounds.
+  cs::mc::CheckerOptions options;
+  std::function<void(cs::mc::Program&)> build;
+  /// Large litmuses are excluded from `--all` exhaustive sweeps unless
+  /// explicitly named (bounded-preempt handles them in CI).
+  bool large = false;
+};
+
+/// All registered litmuses, in a stable order.
+[[nodiscard]] const std::vector<Litmus>& all_litmuses();
+
+/// Lookup by exact name; nullptr when unknown.
+[[nodiscard]] const Litmus* find_litmus(std::string_view name);
+
+}  // namespace cs::mctool

@@ -1,0 +1,242 @@
+// csmc: exhaustive memory-model checker for the repo's lock-free core.
+//
+// Runs the litmus programs in litmus.cpp under the cs::mc simulated C++11
+// memory model, exploring schedules and reads-from choices, and compares
+// each verdict against the litmus's expectation.  Negative litmuses (the
+// production deque/FlightCell under deliberately weakened orderings) are
+// expected to produce a violation with a reproducing schedule; csmc replays
+// that schedule to confirm it reproduces before calling the litmus passed.
+//
+// Usage:
+//   csmc --list
+//   csmc [--all] [--include-large] [names...]
+//        [--mode=exhaustive|sleep|bounded] [--preempt=N]
+//        [--max-states=N] [--max-execs=N] [--max-steps=N] [--wall-ms=N]
+//        [--trace] [--quiet]
+//
+// Exit status: 0 iff every selected litmus matched its expected verdict
+// (skipped litmuses, e.g. under TSan, are reported but do not fail).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "litmus.hpp"
+#include "mc/checker.hpp"
+#include "mc/options.hpp"
+
+namespace {
+
+using cs::mc::CheckResult;
+using cs::mc::Checker;
+using cs::mc::CheckerOptions;
+using cs::mc::Mode;
+using cs::mc::Verdict;
+using cs::mctool::Litmus;
+
+struct CliOptions {
+  bool list = false;
+  bool all = false;
+  bool include_large = false;
+  bool trace = false;
+  bool quiet = false;
+  std::optional<Mode> mode;
+  std::optional<int> preempt;
+  std::optional<std::uint64_t> max_states;
+  std::optional<std::uint64_t> max_execs;
+  std::optional<std::uint64_t> max_steps;
+  std::optional<std::uint64_t> wall_ms;
+  std::vector<std::string> names;
+};
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Accepts --key=value and --key value.
+bool take_value(std::string_view arg, std::string_view key, int argc,
+                char** argv, int* i, std::string_view* out) {
+  if (arg.substr(0, key.size()) != key) return false;
+  std::string_view rest = arg.substr(key.size());
+  if (!rest.empty() && rest.front() == '=') {
+    *out = rest.substr(1);
+    return true;
+  }
+  if (rest.empty() && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--all] [--include-large] [names...]\n"
+               "          [--mode=exhaustive|sleep|bounded] [--preempt=N]\n"
+               "          [--max-states=N] [--max-execs=N] [--max-steps=N]\n"
+               "          [--wall-ms=N] [--trace] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_cli(int argc, char** argv, CliOptions* cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view val;
+    if (arg == "--list") {
+      cli->list = true;
+    } else if (arg == "--all") {
+      cli->all = true;
+    } else if (arg == "--include-large") {
+      cli->include_large = true;
+    } else if (arg == "--trace") {
+      cli->trace = true;
+    } else if (arg == "--quiet") {
+      cli->quiet = true;
+    } else if (take_value(arg, "--mode", argc, argv, &i, &val)) {
+      if (val == "exhaustive") {
+        cli->mode = Mode::kExhaustive;
+      } else if (val == "sleep") {
+        cli->mode = Mode::kSleepSets;
+      } else if (val == "bounded") {
+        cli->mode = Mode::kBoundedPreempt;
+      } else {
+        std::fprintf(stderr, "csmc: unknown mode '%.*s'\n",
+                     static_cast<int>(val.size()), val.data());
+        return false;
+      }
+    } else if (take_value(arg, "--preempt", argc, argv, &i, &val)) {
+      std::uint64_t v = 0;
+      if (!parse_u64(val, &v)) return false;
+      cli->preempt = static_cast<int>(v);
+    } else if (take_value(arg, "--max-states", argc, argv, &i, &val)) {
+      std::uint64_t v = 0;
+      if (!parse_u64(val, &v)) return false;
+      cli->max_states = v;
+    } else if (take_value(arg, "--max-execs", argc, argv, &i, &val)) {
+      std::uint64_t v = 0;
+      if (!parse_u64(val, &v)) return false;
+      cli->max_execs = v;
+    } else if (take_value(arg, "--max-steps", argc, argv, &i, &val)) {
+      std::uint64_t v = 0;
+      if (!parse_u64(val, &v)) return false;
+      cli->max_steps = v;
+    } else if (take_value(arg, "--wall-ms", argc, argv, &i, &val)) {
+      std::uint64_t v = 0;
+      if (!parse_u64(val, &v)) return false;
+      cli->wall_ms = v;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "csmc: unknown option '%.*s'\n",
+                   static_cast<int>(arg.size()), arg.data());
+      return false;
+    } else {
+      cli->names.emplace_back(arg);
+    }
+  }
+  return true;
+}
+
+CheckerOptions effective_options(const Litmus& l, const CliOptions& cli) {
+  CheckerOptions o = l.options;
+  if (cli.mode) o.mode = *cli.mode;
+  if (cli.preempt) o.preemption_bound = *cli.preempt;
+  if (cli.max_states) o.max_states = *cli.max_states;
+  if (cli.max_execs) o.max_executions = *cli.max_execs;
+  if (cli.max_steps) o.max_steps_per_exec = *cli.max_steps;
+  if (cli.wall_ms) o.wall_ms = *cli.wall_ms;
+  return o;
+}
+
+/// One litmus end-to-end: run, compare against the expectation, and for
+/// violations confirm the reported schedule replays to the same verdict.
+bool run_one(const Litmus& l, const CliOptions& cli) {
+  Checker checker(effective_options(l, cli));
+  const CheckResult res = checker.run(l.build);
+
+  if (res.verdict == Verdict::kSkipped) {
+    std::printf("  %-28s SKIP       (%s)\n", l.name.c_str(),
+                res.note.empty() ? "unsupported build" : res.note.c_str());
+    return true;
+  }
+
+  bool pass = res.verdict == l.expect;
+  bool reproduced = false;
+  if (res.verdict == Verdict::kViolation && !res.schedule.empty()) {
+    const CheckResult again = checker.replay(l.build, res.schedule);
+    reproduced = again.verdict == Verdict::kViolation;
+    if (!reproduced) pass = false;
+  }
+
+  std::printf("  %-28s %-10s (expected %s)  execs=%llu states=%llu "
+              "steps=%llu depth=%zu  %s\n",
+              l.name.c_str(), to_string(res.verdict), to_string(l.expect),
+              static_cast<unsigned long long>(res.executions),
+              static_cast<unsigned long long>(res.states),
+              static_cast<unsigned long long>(res.steps), res.max_depth,
+              pass ? "PASS" : "FAIL");
+  if (!res.note.empty() && !cli.quiet)
+    std::printf("    note: %s\n", res.note.c_str());
+  if (res.verdict == Verdict::kViolation && !cli.quiet) {
+    std::printf("    violation: %s\n", res.violation.c_str());
+    std::printf("    schedule replay: %s\n",
+                reproduced ? "reproduced" : "DID NOT REPRODUCE");
+    if (cli.trace || !pass) {
+      for (const std::string& line : res.trace)
+        std::printf("      %s\n", line.c_str());
+    }
+  }
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_cli(argc, argv, &cli)) return usage(argv[0]);
+
+  const auto& all = cs::mctool::all_litmuses();
+
+  if (cli.list) {
+    for (const Litmus& l : all) {
+      std::printf("%-28s expect=%-9s %s%s\n", l.name.c_str(),
+                  to_string(l.expect), l.summary.c_str(),
+                  l.large ? "  [large]" : "");
+    }
+    return 0;
+  }
+
+  std::vector<const Litmus*> selected;
+  if (cli.names.empty() || cli.all) {
+    for (const Litmus& l : all)
+      if (!l.large || cli.include_large) selected.push_back(&l);
+  }
+  for (const std::string& name : cli.names) {
+    const Litmus* l = cs::mctool::find_litmus(name);
+    if (l == nullptr) {
+      std::fprintf(stderr, "csmc: unknown litmus '%s' (try --list)\n",
+                   name.c_str());
+      return 2;
+    }
+    selected.push_back(l);
+  }
+
+  std::printf("csmc: running %zu litmus program(s)\n", selected.size());
+  std::size_t passed = 0;
+  for (const Litmus* l : selected)
+    if (run_one(*l, cli)) ++passed;
+
+  std::printf("csmc: %zu/%zu litmuses matched their expected verdict\n",
+              passed, selected.size());
+  return passed == selected.size() ? 0 : 1;
+}

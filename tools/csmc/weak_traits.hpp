@@ -1,0 +1,76 @@
+#pragma once
+// Deliberately weakened AtomicsTraits for csmc's negative litmus harnesses.
+//
+// DowngradedAtomicsTraits wraps cs::mc::atomic and downgrades every load
+// (acquire/seq_cst included — in the deque that is push_bottom's acquire
+// top_ load and the seq_cst top_/bottom_ loads in pop_bottom/steal_top) and
+// every store (release/seq_cst included) to relaxed, and turns fences into
+// no-ops.  CAS orderings are left intact so the weakening isolates the
+// load/store edges.  Running the *production* WsDeque / FlightCell under
+// these traits must make the checker report a violation (duplicated task /
+// data race) with a reproducing schedule — proving the checker actually
+// depends on the orderings the real code declares, rather than passing
+// vacuously.
+#include <atomic>
+#include <type_traits>
+
+#include "mc/atomic.hpp"
+
+namespace cs::mctool {
+
+template <typename T>
+class WeakAtomic {
+ public:
+  WeakAtomic() : inner_() {}
+  WeakAtomic(T v) : inner_(v) {}  // NOLINT(google-explicit-constructor)
+  WeakAtomic(const WeakAtomic&) = delete;
+  WeakAtomic& operator=(const WeakAtomic&) = delete;
+
+  [[nodiscard]] T load(std::memory_order = std::memory_order_seq_cst) const {
+    return inner_.load(std::memory_order_relaxed);
+  }
+
+  void store(T v, std::memory_order = std::memory_order_seq_cst) {
+    inner_.store(v, std::memory_order_relaxed);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order succ,
+                               std::memory_order fail) {
+    return inner_.compare_exchange_strong(expected, desired, succ, fail);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order o = std::memory_order_seq_cst) {
+    return inner_.compare_exchange_strong(expected, desired, o);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order succ,
+                             std::memory_order fail) {
+    return inner_.compare_exchange_weak(expected, desired, succ, fail);
+  }
+
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T delta, std::memory_order = std::memory_order_seq_cst) {
+    return inner_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T delta, std::memory_order = std::memory_order_seq_cst) {
+    return inner_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  cs::mc::atomic<T> inner_;
+};
+
+struct DowngradedAtomicsTraits {
+  template <typename U>
+  using atomic = WeakAtomic<U>;
+
+  static void fence(std::memory_order) {}  // downgraded to nothing
+};
+
+}  // namespace cs::mctool
