@@ -196,6 +196,29 @@ void BM_EngineColdSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineColdSolve);
 
+void BM_EngineColdSolveAtlas(benchmark::State& state) {
+  // The same alternating-key, capacity-1 setup as BM_EngineColdSolve, but
+  // with the solution atlas enabled: after the first pair builds its lattice
+  // cells, every "cold" request is answered by interpolated t0 + one exact
+  // re-expansion instead of a bracket-wide search.  The ratio of the two
+  // benchmarks is the atlas speedup on atlas-eligible request mixes.
+  cs::engine::EngineOptions opt;
+  opt.cache_capacity = 1;
+  opt.cache_shards = 1;
+  opt.atlas.enabled = true;
+  cs::engine::Engine engine(opt);
+  const auto a = engine_request("uniform:L=480");
+  const auto b = engine_request("uniform:L=960");
+  (void)engine.solve(a);  // build the lattice cells outside the timed loop
+  (void)engine.solve(b);
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.solve(flip ? a : b).value()->expected);
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_EngineColdSolveAtlas);
+
 void BM_EngineSingleFlightBurst(benchmark::State& state) {
   // A burst of identical requests for a never-seen key: one leader solves,
   // the rest coalesce.  Reported per-burst, so compare against one
@@ -266,6 +289,16 @@ class TeeReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The build type of *this* binary (the repo's library code), not of the
+  // installed google-benchmark library its own context line reports.
+#ifdef NDEBUG
+  constexpr bool kOptimizedBuild = true;
+#else
+  constexpr bool kOptimizedBuild = false;
+#endif
+  benchmark::AddCustomContext("cyclesteal_build_type",
+                              kOptimizedBuild ? "optimized" : "debug");
+
   // Extract our --json flag before google-benchmark sees (and rejects) it.
   std::string json_path;
   std::vector<char*> args;
@@ -280,6 +313,15 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
     return 1;
+
+  if (!json_path.empty() && !kOptimizedBuild) {
+    // Numbers from an unoptimized library build poison the BENCH_<n>.json
+    // perf trajectory; record them only from Release/RelWithDebInfo builds.
+    std::cerr << "perf_micro: refusing --json: this binary was built without "
+                 "NDEBUG (debug build); configure the repo with "
+                 "-DCMAKE_BUILD_TYPE=Release or RelWithDebInfo first\n";
+    return 1;
+  }
 
   if (json_path.empty()) {
     benchmark::RunSpecifiedBenchmarks();

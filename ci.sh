@@ -12,7 +12,9 @@
 #                      #   StealHammer cases under TSan, exp15 smoke), bench
 #                      #   snapshot (perf_micro + csload --json + exp15
 #                      #   steal_runtime + live stats
-#                      #   -> BENCH_<n>.json, build/stats-snapshot.json)
+#                      #   -> BENCH_<n>.json, build/stats-snapshot.json;
+#                      #   refuses debug builds, fail-soft per-benchmark
+#                      #   diff vs the previous BENCH via tools/bench_diff.py)
 #   ./ci.sh --fast     # build, ctest, smoke, cslint, mc, format only
 #
 # Stages that need a tool the host lacks (clang-tidy, clang-format) are
@@ -265,6 +267,23 @@ stage_bench() {
   stats_json="build/stats-snapshot.json"
   serve_log="$(mktemp)"
 
+  # Refuse to record numbers from an unoptimized build: a debug BENCH_<n>
+  # poisons every later regression diff.  perf_micro independently refuses
+  # --json when compiled without NDEBUG; this guard catches the build-dir
+  # level mistake (e.g. a CMAKE_BUILD_TYPE=Debug preset edit) first, with a
+  # clearer message.
+  local build_type
+  build_type="$(grep -E '^CMAKE_BUILD_TYPE:' build/CMakeCache.txt \
+                | cut -d= -f2)"
+  case "$build_type" in
+    Release|RelWithDebInfo) ;;
+    *)
+      echo "bench stage refuses CMAKE_BUILD_TYPE='$build_type':"
+      echo "benchmark snapshots must come from Release or RelWithDebInfo"
+      return 1
+      ;;
+  esac
+
   echo "-- perf_micro"
   ./build/bench/perf_micro --benchmark_min_time=0.05 \
     --benchmark_format=json >"$perf_json" || return 1
@@ -317,6 +336,14 @@ stage_bench() {
   record "  artifact" "BENCH_${n}.json"
   record "  artifact" "$stats_json"
   rm -f "$perf_json" "$csload_json" "$steal_json" "$serve_log"
+
+  # Fail-soft regression diff against the previous snapshot: bench hosts are
+  # noisy, so a wall-clock delta is a loud table row, never a red build.
+  if [[ "$n" -gt 1 ]] && command -v python3 >/dev/null 2>&1; then
+    echo "-- bench diff vs BENCH_$((n - 1)).json"
+    python3 tools/bench_diff.py "BENCH_$((n - 1)).json" "BENCH_${n}.json" \
+      || echo "WARNING: bench diff unavailable (non-fatal)"
+  fi
 }
 
 # ------------------------------------------------------------------- plan

@@ -22,6 +22,10 @@ GuidelineScheduler::GuidelineScheduler(const LifeFunction& p, double c,
                                        GuidelineOptions opt)
     : p_(p), c_(c), opt_(opt), bracket_(guideline_t0_bracket(p, c)) {}
 
+GuidelineScheduler::GuidelineScheduler(const LifeFunction& p, double c,
+                                       GuidelineOptions opt, T0Bracket bracket)
+    : p_(p), c_(c), opt_(opt), bracket_(bracket) {}
+
 GuidelineResult GuidelineScheduler::run_from_t0(double t0) const {
   if (!(t0 > c_))
     throw std::invalid_argument("GuidelineScheduler: t0 must exceed c");

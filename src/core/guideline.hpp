@@ -50,6 +50,13 @@ class GuidelineScheduler {
   GuidelineScheduler(const LifeFunction& p, double c,
                      GuidelineOptions opt = {});
 
+  /// Same, but adopt a caller-supplied t0 bracket instead of computing the
+  /// Theorem 3.2/3.3 bounds (which dominate the cost of short solves).  For
+  /// callers — like the solution atlas — that carry a valid bracket over
+  /// from nearby already-solved instances.
+  GuidelineScheduler(const LifeFunction& p, double c, GuidelineOptions opt,
+                     T0Bracket bracket);
+
   /// Run the full pipeline.
   [[nodiscard]] GuidelineResult run() const;
 

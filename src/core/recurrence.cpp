@@ -40,6 +40,19 @@ std::optional<double> RecurrenceEngine::next_period(double prev_end,
     return std::nullopt;
   }
   if (prev_end >= horizon_) return std::nullopt;
+  // Closed-form fast path: families with an exact inverse solve p(T_k) =
+  // target in O(1) instead of a bracketed Brent search (~20 survival calls).
+  // The result is validated against the same (prev_end, horizon] window the
+  // root search would use; any inconsistency falls through to the search.
+  if (p_.has_exact_inverse()) {
+    const double t_abs = p_.inverse_survival(target);
+    if (std::isfinite(t_abs) && t_abs > prev_end && t_abs <= horizon_) {
+      return t_abs - prev_end;
+    }
+    // target unreachable inside the window (matches the f(horizon_) > 0 /
+    // no-sign-change outcomes below) — nothing more to find.
+    return std::nullopt;
+  }
   // Invert p on (prev_end, horizon].
   auto f = [this, target](double t) { return p_.survival(t) - target; };
   if (f(horizon_) > 0.0) return std::nullopt;  // target below reachable range

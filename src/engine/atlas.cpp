@@ -1,0 +1,114 @@
+#include "engine/atlas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace cs::engine {
+
+SolutionAtlas::SolutionAtlas(AtlasOptions opt, GuidelineOptions solver)
+    : opt_(opt), solver_(solver) {}
+
+GuidelineResult SolutionAtlas::serve_from_cell(const LifeFunction& p, double c,
+                                               const Cell& cell) const {
+  // Interpolate linearly in log c: both the t0 choice and the bracket vary
+  // smoothly on the geometric lattice.  The interpolated bracket replaces
+  // the Theorem 3.2/3.3 bound computation (the dominant cost of a short
+  // solve) and only serves to clamp t0 and fill the diagnostics fields —
+  // the schedule itself is an exact system-(3.6) expansion.
+  const double w = std::clamp((std::log(c) - std::log(cell.c_lo)) /
+                                  (std::log(cell.c_hi) - std::log(cell.c_lo)),
+                              0.0, 1.0);
+  T0Bracket br;
+  br.lower = cell.bracket_lo.lower +
+             w * (cell.bracket_hi.lower - cell.bracket_lo.lower);
+  br.upper = std::max(cell.bracket_lo.upper +
+                          w * (cell.bracket_hi.upper - cell.bracket_lo.upper),
+                      br.lower);
+  br.shape = cell.bracket_lo.shape;
+  const GuidelineScheduler sched(p, c, solver_, br);
+  const double lo = std::max(br.lower, c * (1.0 + 1e-9));
+  const double hi = std::max(br.upper, lo);
+  const double t0 =
+      std::clamp(cell.t0_lo + w * (cell.t0_hi - cell.t0_lo), lo, hi);
+  return sched.run_from_t0(t0);
+}
+
+SolutionAtlas::Cell SolutionAtlas::build_cell(const LifeFunction& p,
+                                              long k) const {
+  Cell cell;
+  const double lk = static_cast<double>(k);
+  cell.c_lo = std::pow(opt_.c_ratio, lk);
+  cell.c_hi = std::pow(opt_.c_ratio, lk + 1.0);
+  try {
+    const GuidelineResult lo = GuidelineScheduler(p, cell.c_lo, solver_).run();
+    const GuidelineResult hi = GuidelineScheduler(p, cell.c_hi, solver_).run();
+    cell.t0_lo = lo.chosen_t0;
+    cell.t0_hi = hi.chosen_t0;
+    cell.bracket_lo = lo.bracket;
+    cell.bracket_hi = hi.bracket;
+
+    // Midpoint probe: the measured gap between the direct optimum and the
+    // exact serving path, at the point of the cell where interpolation is
+    // furthest from both anchors.
+    const double c_mid = std::sqrt(cell.c_lo * cell.c_hi);
+    const GuidelineResult direct =
+        GuidelineScheduler(p, c_mid, solver_).run();
+    const GuidelineResult approx = serve_from_cell(p, c_mid, cell);
+    const double denom = std::max(std::abs(direct.expected), 1e-300);
+    const double rel = std::abs(direct.expected - approx.expected) / denom;
+    cell.err_bound = opt_.safety * rel + opt_.err_floor;
+    cell.usable = std::isfinite(cell.err_bound) && cell.t0_lo > 0.0 &&
+                  cell.t0_hi > 0.0;
+  } catch (...) {
+    cell.usable = false;  // this c range does not solve; cold path handles it
+  }
+  return cell;
+}
+
+std::optional<AtlasAnswer> SolutionAtlas::lookup(
+    const std::string& canonical_life, const LifeFunction& p, double c) {
+  if (!opt_.enabled) return std::nullopt;
+  if (!(c > 0.0) || !std::isfinite(c)) return std::nullopt;
+  if (!(opt_.c_ratio > 1.0)) return std::nullopt;
+
+  const long k =
+      static_cast<long>(std::floor(std::log(c) / std::log(opt_.c_ratio)));
+
+  Cell cell;
+  bool have = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& family = families_[canonical_life];
+    const auto it = family.find(k);
+    if (it != family.end()) {
+      cell = it->second;
+      have = true;
+    } else if (family.size() >= opt_.max_cells_per_family) {
+      return std::nullopt;
+    }
+  }
+  if (!have) {
+    // Build outside the lock: three guideline solves must not serialize
+    // every other family's lookups.  A concurrent duplicate build loses the
+    // emplace race and is discarded.
+    Cell built = build_cell(p, k);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& family = families_[canonical_life];
+    const auto [it, inserted] = family.emplace(k, built);
+    if (inserted) cells_built_.fetch_add(1, std::memory_order_relaxed);
+    cell = it->second;
+  }
+
+  if (!cell.usable || cell.err_bound > opt_.max_rel_err) return std::nullopt;
+
+  try {
+    AtlasAnswer ans{serve_from_cell(p, c, cell), cell.err_bound};
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return ans;
+  } catch (...) {
+    return std::nullopt;  // cold path reports the failure with full context
+  }
+}
+
+}  // namespace cs::engine

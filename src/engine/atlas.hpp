@@ -1,0 +1,137 @@
+// SolutionAtlas: an offline-solved parameter lattice serving nearby cold
+// requests by error-bounded interpolation — the cache tier below the LRU.
+//
+// The LRU only helps when the *exact* canonical request repeats.  Real
+// request mixes cluster instead: the same life function queried across a
+// range of overheads c (a workstation pool whose checkpoint cost drifts, a
+// sweep exploring the tradeoff).  Every such request is a cache miss and a
+// full guideline solve — bracket t0, expand system (3.6) at ~10^2 candidate
+// t0 values, refine.  Yet the optimal t0 varies smoothly with c, and —
+// because t0* *maximizes* E(S(t0); p) — an O(h) interpolation error in t0
+// costs only O(h^2) in expected work.  That asymmetry is the whole trick.
+//
+// Lattice.  Per canonical life spec, overheads are covered by a geometric
+// lattice c_k = ratio^k (ratio defaults to 2^(1/4), so four cells per
+// octave).  A cell [c_k, c_{k+1}] is built lazily from three direct solves:
+//   * the two corner solves, recording their chosen t0, and
+//   * a probe at the geometric midpoint, comparing the *direct* optimum
+//     against the interpolated answer.
+// The probe's relative error — scaled by a safety factor — becomes the
+// cell's advertised error bound.  The bound is measured, not assumed; cells
+// whose probe error exceeds max_rel_err refuse to serve (the engine falls
+// back to a cold solve), so enabling the atlas can never degrade answer
+// quality beyond the advertised tolerance.
+//
+// Serving.  A query inside a built cell interpolates t0 linearly in log c
+// between the corner picks, clamps it into the query's own Theorem 3.2/3.3
+// bracket, and re-expands system (3.6) exactly from that t0.  The answer is
+// therefore a *genuine feasible schedule* with its exact expected value —
+// only the t0 *choice* is interpolated — at roughly 1/grid of the cold cost
+// (one recurrence expansion instead of a bracket-wide search).
+//
+// Concurrency: a mutex guards the cell map only; the three solves of a cell
+// build run outside it.  Two threads racing on an unbuilt cell may both
+// build it — the first insert wins, the duplicate work is bounded and rare.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/guideline.hpp"
+#include "lifefn/life_function.hpp"
+
+namespace cs::engine {
+
+/// Tuning knobs for the atlas tier.  Disabled by default: the engine's
+/// answers stay bit-identical to direct solver calls unless a deployment
+/// opts in (csserve --atlas).
+struct AtlasOptions {
+  bool enabled = false;
+  /// Lattice spacing: cell corners at ratio^k.  2^(1/4) = four cells per
+  /// octave of c; smaller ratios mean more cells but tighter interpolation.
+  double c_ratio = 1.189207115002721;
+  /// Advertised bound = safety * measured midpoint-probe error + err_floor.
+  double safety = 8.0;
+  double err_floor = 1e-9;
+  /// Cells whose advertised bound exceeds this refuse to serve.
+  double max_rel_err = 1e-3;
+  /// Per-spec cell cap; lookups beyond it fall back to cold solves rather
+  /// than growing memory without bound under a hostile c distribution.
+  std::size_t max_cells_per_family = 64;
+};
+
+/// An atlas-served schedule plus the advertised relative error bound on its
+/// expected work versus a direct guideline solve.
+struct AtlasAnswer {
+  GuidelineResult result;
+  double err_bound = 0.0;
+};
+
+class SolutionAtlas {
+ public:
+  /// `solver` must match the options the engine uses for cold guideline
+  /// solves, so corner solves are exactly the answers a cold path would
+  /// produce.
+  SolutionAtlas(AtlasOptions opt, GuidelineOptions solver);
+
+  SolutionAtlas(const SolutionAtlas&) = delete;
+  SolutionAtlas& operator=(const SolutionAtlas&) = delete;
+
+  /// Serve `(p, c)` from the lattice cell covering c, building the cell on
+  /// first touch (three direct solves).  `canonical_life` keys the lattice
+  /// and must identify `p` (the engine passes the canonicalized spec).
+  /// Returns nullopt when the atlas is disabled, the cell refused to build,
+  /// its measured bound exceeds max_rel_err, or the family is at its cell
+  /// cap — callers fall back to a cold solve.
+  [[nodiscard]] std::optional<AtlasAnswer> lookup(
+      const std::string& canonical_life, const LifeFunction& p, double c);
+
+  /// Cells built so far (monotone; includes unusable cells).
+  [[nodiscard]] std::uint64_t cells_built() const noexcept {
+    return cells_built_.load(std::memory_order_relaxed);
+  }
+  /// Lookups answered from the lattice (monotone).
+  [[nodiscard]] std::uint64_t served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const AtlasOptions& options() const noexcept { return opt_; }
+
+ private:
+  /// One lattice cell: corner overheads, corner t0 picks and brackets, and
+  /// the measured error bound.  Serving interpolates both the t0 choice and
+  /// the bracket, so a query costs one recurrence expansion — no Theorem
+  /// 3.2/3.3 bound computation.  `usable` is false when a corner solve
+  /// threw or the probe produced a non-finite bound.
+  struct Cell {
+    double c_lo = 0.0;
+    double c_hi = 0.0;
+    double t0_lo = 0.0;
+    double t0_hi = 0.0;
+    T0Bracket bracket_lo;
+    T0Bracket bracket_hi;
+    double err_bound = 0.0;
+    bool usable = false;
+  };
+
+  [[nodiscard]] Cell build_cell(const LifeFunction& p, long k) const;
+  /// The serving path proper: interpolate (t0, bracket) at `c` inside
+  /// `cell` and re-expand exactly.  Used verbatim by the midpoint probe, so
+  /// the measured error covers everything serving does.
+  [[nodiscard]] GuidelineResult serve_from_cell(const LifeFunction& p,
+                                                double c,
+                                                const Cell& cell) const;
+
+  AtlasOptions opt_;
+  GuidelineOptions solver_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::map<long, Cell>> families_;
+  std::atomic<std::uint64_t> cells_built_{0};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace cs::engine

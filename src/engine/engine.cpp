@@ -38,11 +38,22 @@ struct EngineMetrics {
 
 }  // namespace
 
+const char* to_string(SolveTier t) noexcept {
+  switch (t) {
+    case SolveTier::Lru: return "lru";
+    case SolveTier::Atlas: return "atlas";
+    case SolveTier::Cold: return "cold";
+  }
+  return "?";
+}
+
 Engine::Engine(EngineOptions opt)
     : opt_(opt), cache_(opt.cache_capacity, opt.cache_shards) {
   cache_.set_eviction_hook([] {
     if (obs::enabled()) EngineMetrics::instance().eviction.inc();
   });
+  if (opt_.atlas.enabled)
+    atlas_ = std::make_unique<SolutionAtlas>(opt_.atlas, opt_.guideline);
 }
 
 cs::par::ThreadPool& Engine::pool() const noexcept {
@@ -61,7 +72,15 @@ ResultPtr Engine::run_solver(const CanonicalRequest& creq) {
   const double c = creq.request.c;
   switch (creq.request.solver) {
     case SolverKind::Guideline: {
-      const auto g = GuidelineScheduler(p, c, opt_.guideline).run();
+      // Atlas tier: unquantized guideline requests may be answered from the
+      // solution lattice (interpolated t0, exact re-expansion) at a fraction
+      // of the bracket-search cost.  A refusal — cell unusable, bound too
+      // loose, family at cap — falls through to the full solver.
+      std::optional<AtlasAnswer> a;
+      if (atlas_ && !creq.request.quantize)
+        a = atlas_->lookup(creq.canonical_life, p, c);
+      const GuidelineResult g =
+          a ? std::move(a->result) : GuidelineScheduler(p, c, opt_.guideline).run();
       res->schedule = g.schedule;
       res->expected = g.expected;
       res->has_bracket = true;
@@ -69,6 +88,11 @@ ResultPtr Engine::run_solver(const CanonicalRequest& creq) {
       res->bracket_hi = g.bracket.upper;
       res->chosen_t0 = g.chosen_t0;
       res->stop = to_string(g.stop);
+      if (a) {
+        res->from_atlas = true;
+        res->atlas_err = a->err_bound;
+        atlas_served_.fetch_add(1, std::memory_order_relaxed);
+      }
       break;
     }
     case SolverKind::Greedy: {
@@ -108,13 +132,18 @@ ResultPtr Engine::run_solver(const CanonicalRequest& creq) {
   return res;
 }
 
-ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit,
-                             bool* coalesced) {
+ResultPtr Engine::solve_impl(const SolveRequest& req, SolveInfo* info) {
+  if (info != nullptr) *info = SolveInfo{};
   const bool observed = obs::enabled();
   const std::uint64_t start_ns = observed ? obs::now_ns() : 0;
-  const auto finish = [this, observed, start_ns, cache_hit](ResultPtr r,
-                                                            bool hit) {
-    if (cache_hit != nullptr) *cache_hit = hit;
+  const auto finish = [this, observed, start_ns, info](ResultPtr r, bool hit) {
+    if (info != nullptr) {
+      info->cache_hit = hit;
+      info->tier = hit                        ? SolveTier::Lru
+                   : (r && r->from_atlas)     ? SolveTier::Atlas
+                                              : SolveTier::Cold;
+      info->atlas_err = (r && r->from_atlas) ? r->atlas_err : 0.0;
+    }
     (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
     if (observed) {
       auto& m = EngineMetrics::instance();
@@ -135,7 +164,7 @@ ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit,
     const auto it = inflight_.find(creq.key);
     if (it != inflight_.end()) {
       flight = it->second;
-      if (coalesced != nullptr) *coalesced = true;
+      if (info != nullptr) info->coalesced = true;
       coalesced_.fetch_add(1, std::memory_order_relaxed);
       if (observed) EngineMetrics::instance().coalesced.inc();
     } else {
@@ -181,9 +210,9 @@ ResultPtr Engine::solve_impl(const SolveRequest& req, bool* cache_hit,
 }
 
 cs::Expected<ResultPtr> Engine::solve(const SolveRequest& req,
-                                      bool* cache_hit, bool* coalesced) {
+                                      SolveInfo* info) {
   try {
-    return solve_impl(req, cache_hit, coalesced);
+    return solve_impl(req, info);
   } catch (const std::invalid_argument& err) {
     return cs::fail(cs::ErrorCode::BadSpec, err.what());
   } catch (const std::exception& err) {
@@ -223,6 +252,7 @@ EngineStats Engine::stats() const noexcept {
   s.evictions = cache_.evictions();
   s.solves = solves_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.atlas = atlas_served_.load(std::memory_order_relaxed);
   return s;
 }
 

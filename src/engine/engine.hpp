@@ -44,6 +44,7 @@
 #include "core/expected.hpp"
 #include "core/greedy.hpp"
 #include "core/guideline.hpp"
+#include "engine/atlas.hpp"
 #include "engine/flight_cell.hpp"
 #include "engine/lru_cache.hpp"
 #include "engine/request.hpp"
@@ -62,6 +63,10 @@ struct EngineOptions {
   GuidelineOptions guideline;
   GreedyOptions greedy;
   DpOptions dp;
+  /// Solution-atlas tier (engine/atlas.hpp).  Off by default: enabling it
+  /// trades the bit-identical guarantee for error-bounded interpolated
+  /// answers on guideline solves (bound per answer in SolveInfo/results).
+  AtlasOptions atlas;
 };
 
 /// Monotone tallies of engine activity (cheap snapshot of relaxed atomics).
@@ -71,6 +76,28 @@ struct EngineStats {
   std::uint64_t evictions = 0;  ///< cache entries displaced by capacity
   std::uint64_t solves = 0;     ///< actual solver runs (== unique cold keys)
   std::uint64_t coalesced = 0;  ///< misses that waited on another in-flight solve
+  std::uint64_t atlas = 0;      ///< solver runs answered by the atlas tier
+};
+
+/// Where a solve() answer came from, coarsest tier first.  The server adds
+/// its own `memo` tier above these (a shard-local rendered-response cache).
+enum class SolveTier {
+  Lru,    ///< exact canonical key found in the result cache
+  Atlas,  ///< interpolated from the solution atlas (error-bounded)
+  Cold,   ///< full solver run
+};
+
+[[nodiscard]] const char* to_string(SolveTier t) noexcept;
+
+/// Per-request provenance report from solve(): which tier answered, whether
+/// the request coalesced onto another caller's in-flight solve, and — for
+/// atlas answers — the advertised relative error bound.  Replaces the old
+/// pair of bool out-parameters; pass nullptr (the default) to skip it.
+struct SolveInfo {
+  bool cache_hit = false;  ///< tier == Lru (kept for familiar call sites)
+  bool coalesced = false;  ///< adopted an in-flight solve instead of leading
+  SolveTier tier = SolveTier::Cold;
+  double atlas_err = 0.0;  ///< advertised bound when tier == Atlas, else 0
 };
 
 class Engine {
@@ -85,14 +112,12 @@ class Engine {
   /// in-flight solve (follower).  Failures come back as a classified
   /// cs::Error instead of an exception: malformed requests are BadSpec,
   /// unexpected solver failures are Internal, and a coalesced waiter
-  /// receives the same error its leader produced.  `cache_hit`, when
-  /// non-null, reports whether this request was served straight from the
-  /// cache (coalesced waits count as misses).
-  /// `coalesced`, when non-null, is set true iff this call adopted another
-  /// caller's in-flight solve instead of leading its own (span tagging).
+  /// receives the same error its leader produced.  `info`, when non-null,
+  /// reports the answer's provenance: the serving tier (LRU / atlas / cold),
+  /// whether the call coalesced onto an in-flight solve, and the atlas
+  /// error bound when applicable.
   [[nodiscard]] cs::Expected<ResultPtr> solve(const SolveRequest& req,
-                                              bool* cache_hit = nullptr,
-                                              bool* coalesced = nullptr);
+                                              SolveInfo* info = nullptr);
 
   /// Dispatch onto the pool; the future resolves to the same value solve()
   /// would return.
@@ -123,8 +148,7 @@ class Engine {
   /// Exception-based core of solve(); the public surface converts throws
   /// into cs::Error (single-flight keeps propagating leader exceptions to
   /// every coalesced waiter internally).
-  [[nodiscard]] ResultPtr solve_impl(const SolveRequest& req, bool* cache_hit,
-                                     bool* coalesced = nullptr);
+  [[nodiscard]] ResultPtr solve_impl(const SolveRequest& req, SolveInfo* info);
   /// Run the actual solver for a canonicalized request (the leader's job).
   [[nodiscard]] ResultPtr run_solver(const CanonicalRequest& creq);
 
@@ -162,6 +186,9 @@ class Engine {
 
   EngineOptions opt_;
   ShardedLruCache<ResultPtr> cache_;
+  /// Present iff opt_.atlas.enabled; consulted by run_solver for
+  /// unquantized guideline requests before running the full solver.
+  std::unique_ptr<SolutionAtlas> atlas_;
 
   std::mutex inflight_mutex_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
@@ -173,6 +200,7 @@ class Engine {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> solves_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> atlas_served_{0};
 };
 
 }  // namespace cs::engine

@@ -359,6 +359,33 @@ std::string make_response_head(int version, std::optional<std::int64_t> id,
   return response_head(version, id, ok, trace);
 }
 
+const char* to_string(ServeTier t) noexcept {
+  switch (t) {
+    case ServeTier::Memo: return "memo";
+    case ServeTier::Lru: return "lru";
+    case ServeTier::Atlas: return "atlas";
+    case ServeTier::Cold: return "cold";
+  }
+  return "?";
+}
+
+std::string make_tier_extras(int version, ServeTier tier, double atlas_err) {
+  if (version < kProtocolV2) return {};
+  std::string out = ",\"tier\":\"";
+  out += to_string(tier);
+  out += '"';
+  if (atlas_err > 0.0) {
+    // Fixed 3-significant-digit format, NOT spec_number: the bound is a
+    // tolerance, not a cache-key component, and the shortest-round-trip
+    // search costs microseconds — this string is built on every memo hit
+    // of an atlas-served result.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ",\"atlas_err\":%.3g", atlas_err);
+    out += buf;
+  }
+  return out;
+}
+
 std::string make_solve_response_tail(const ScheduleResult& result, bool cached,
                                      std::size_t max_periods) {
   std::string out = cached ? ",\"cached\":true," : ",\"cached\":false,";
@@ -402,9 +429,15 @@ std::string make_solve_response_tail(const ScheduleResult& result, bool cached,
 }
 
 std::string make_solve_response(const WireRequest& req,
-                                const ScheduleResult& result, bool cached) {
-  return response_head(req.version, req.id, true, req.trace_label()) +
-         make_solve_response_tail(result, cached, req.max_periods);
+                                const ScheduleResult& result, bool cached,
+                                std::optional<ServeTier> tier) {
+  std::string out = response_head(req.version, req.id, true, req.trace_label());
+  if (tier) {
+    out += make_tier_extras(req.version, *tier,
+                            result.from_atlas ? result.atlas_err : 0.0);
+  }
+  out += make_solve_response_tail(result, cached, req.max_periods);
+  return out;
 }
 
 std::string make_error_response(int version, std::optional<std::int64_t> id,
@@ -463,7 +496,18 @@ std::string make_stats_response_v2(std::optional<std::int64_t> id,
   out += ",\"evictions\":" + std::to_string(snap.engine.evictions);
   out += ",\"solves\":" + std::to_string(snap.engine.solves);
   out += ",\"coalesced\":" + std::to_string(snap.engine.coalesced);
+  out += ",\"atlas\":" + std::to_string(snap.engine.atlas);
   out += ",\"cache_size\":" + std::to_string(snap.cache_size);
+  out += '}';
+  // Cache-hierarchy rollup: how many answered solves each tier absorbed.
+  // memo = shard response memos, lru = engine cache hits, atlas = lattice
+  // serves, cold = full solver runs (solves minus atlas serves).
+  std::uint64_t memo_hits = 0;
+  for (const auto& sh : snap.shards) memo_hits += sh.memo_hits;
+  out += ",\"tiers\":{\"memo\":" + std::to_string(memo_hits);
+  out += ",\"lru\":" + std::to_string(snap.engine.hits);
+  out += ",\"atlas\":" + std::to_string(snap.engine.atlas);
+  out += ",\"cold\":" + std::to_string(snap.engine.solves - snap.engine.atlas);
   out += '}';
   out += ",\"spans\":{\"recorded\":" + std::to_string(snap.spans_recorded);
   out += ",\"dropped\":" + std::to_string(snap.spans_dropped);

@@ -22,11 +22,16 @@
 // responses never carry the field.
 //
 // Response grammar (v2 responses carry "v":2 as the first field):
-//   solve ok:   {"v":2,"id":7,"ok":true,"cached":false,
+//   solve ok:   {"v":2,"id":7,"ok":true,"tier":"cold","cached":false,
 //                "solver":"guideline","life":"uniform:L=1000","c":4,
 //                "expected":...,"num_periods":12,
 //                "periods":[...first max_periods...],"span":...,
 //                "t0":...,"bracket_lo":...,"bracket_hi":...,"stop":"..."}
+//               `tier` ("memo"|"lru"|"atlas"|"cold") is v2-only result
+//               provenance; atlas-served answers also carry `"atlas_err"`
+//               (the advertised relative error bound).  v1 solve responses
+//               never carry either field — their shape is byte-identical to
+//               pre-atlas builds.
 //   bounds ok:  same, without t0/periods (num_periods = 0)
 //   error v1:   {"id":7,"ok":false,"error":"..."}
 //   error v2:   {"v":2,"id":7,"ok":false,"error":{"code":
@@ -36,7 +41,9 @@
 //   stats v1:   {"ok":true,"hits":...,"misses":...,"evictions":...,
 //                "solves":...,"coalesced":...,"cache_size":...}
 //   stats v2:   {"v":2,"ok":true,"uptime_ms":...,...counters...,
-//                "engine":{...},"spans":{...},
+//                "engine":{...,"atlas":...},
+//                "tiers":{"memo":...,"lru":...,"atlas":...,"cold":...},
+//                "spans":{...},
 //                "stage_parse"/"stage_queue_wait"/"stage_solve"/
 //                "stage_flush":{"count","p50_us","p95_us","p99_us","max_us"},
 //                "shard<i>":{"conns","inflight","write_queue_bytes",
@@ -124,6 +131,20 @@ struct WireRequest {
 /// suitable for an error response.
 [[nodiscard]] WireRequest parse_request_line(std::string_view line);
 
+/// Result-provenance tier of one answered solve request: the engine's
+/// SolveTier (lru / atlas / cold) extended with the server's own `memo`
+/// tier (shard-local rendered-response cache, above the engine LRU).
+enum class ServeTier { Memo, Lru, Atlas, Cold };
+
+[[nodiscard]] const char* to_string(ServeTier t) noexcept;
+
+/// The v2-only per-request provenance fields, rendered as `,"tier":"..."`
+/// plus — for atlas-served answers — `,"atlas_err":...`.  Returns "" for v1
+/// so the v1 response bytes stay verbatim; the server splices the result
+/// between the response head and the (memoized, version-agnostic) tail.
+[[nodiscard]] std::string make_tier_extras(int version, ServeTier tier,
+                                           double atlas_err = 0.0);
+
 /// Point-in-time stats-plane snapshot the v2 `stats` and `healthz` verbs
 /// serialize.  Built by Server::stats_snapshot() from relaxed atomics plus
 /// the engine tallies, so producing one never blocks a loop thread.
@@ -168,9 +189,10 @@ struct ServerStatsSnapshot {
 };
 
 /// Serialize responses (no trailing newline; the server appends '\n').
-[[nodiscard]] std::string make_solve_response(const WireRequest& req,
-                                              const ScheduleResult& result,
-                                              bool cached);
+/// `tier`, when present, adds the v2-only provenance extras (no-op on v1).
+[[nodiscard]] std::string make_solve_response(
+    const WireRequest& req, const ScheduleResult& result, bool cached,
+    std::optional<ServeTier> tier = std::nullopt);
 /// The `{"v":2,"id":7,"trace":"...","ok":true` prefix every response starts
 /// with.  `trace` (already-escaped-free client label) is echoed only on v2.
 [[nodiscard]] std::string make_response_head(int version,

@@ -60,6 +60,14 @@ struct ScheduleResult {
   std::string stop;          ///< recurrence StopReason (Guideline only)
 
   double solve_ns = 0.0;  ///< wall time of the underlying solver run
+
+  /// Atlas provenance: true when this result was served from the solution
+  /// atlas (interpolated t0, exact re-expansion) rather than a full solve.
+  /// `atlas_err` is the advertised relative error bound on `expected`
+  /// versus a direct solve; it travels with the result so an LRU hit of an
+  /// atlas-built answer still reports its approximation bound.
+  bool from_atlas = false;
+  double atlas_err = 0.0;
 };
 
 using ResultPtr = std::shared_ptr<const ScheduleResult>;

@@ -385,8 +385,14 @@ void Server::process_frames(Shard& shard, Session& session,
               make_solve_response_tail(**hit, true, req.max_periods);
         }
         const std::uint64_t t_solve1 = timed ? obs::now_ns() : 0;
+        // v2 provenance extras go between the head and the memoized tail:
+        // the tail is shared across protocol versions, so per-version fields
+        // must never leak into it (v1 bytes stay verbatim).
         session.conn->send(
             make_response_head(req.version, req.id, true, req.trace_label()) +
+            make_tier_extras(req.version,
+                             memoized ? ServeTier::Memo : ServeTier::Lru,
+                             (*hit)->from_atlas ? (*hit)->atlas_err : 0.0) +
             memo->second.tail);
         const std::uint64_t t_flush1 = timed ? obs::now_ns() : 0;
         if (observed) {
@@ -569,15 +575,19 @@ void Server::run_batch(Shard& shard, const std::weak_ptr<Session>& weak,
     // Singleton batches keep the exact per-request `cached` report (a
     // double-checked or coalesced hit inside the engine counts).
     const std::size_t i = slot[0];
-    bool hit = false;
-    bool coalesced = false;
-    auto result = engine_->solve(to_solve[0], &hit, &coalesced);
-    tags[i] = !result.ok() ? "error"
-              : coalesced  ? "coalesced"
-              : hit        ? "cache_hit"
-                           : "cold";
+    SolveInfo info;
+    auto result = engine_->solve(to_solve[0], &info);
+    tags[i] = !result.ok()                        ? "error"
+              : info.coalesced                    ? "coalesced"
+              : info.tier == SolveTier::Lru       ? "cache_hit"
+              : info.tier == SolveTier::Atlas     ? "atlas"
+                                                  : "cold";
+    const ServeTier tier = info.tier == SolveTier::Lru     ? ServeTier::Lru
+                           : info.tier == SolveTier::Atlas ? ServeTier::Atlas
+                                                           : ServeTier::Cold;
     responses[i] =
-        result.ok() ? make_solve_response(items[i].req, *result.value(), hit)
+        result.ok() ? make_solve_response(items[i].req, *result.value(),
+                                          info.cache_hit, tier)
                     : make_error_response(items[i].req.version,
                                           items[i].req.id, result.error(),
                                           items[i].req.trace_label());
@@ -586,12 +596,19 @@ void Server::run_batch(Shard& shard, const std::weak_ptr<Session>& weak,
     for (std::size_t k = 0; k < results.size(); ++k) {
       const std::size_t i = slot[k];
       if (!results[k].ok()) tags[i] = "error";
-      responses[i] =
-          results[k].ok()
-              ? make_solve_response(items[i].req, *results[k].value(), false)
-              : make_error_response(items[i].req.version, items[i].req.id,
-                                    results[k].error(),
-                                    items[i].req.trace_label());
+      // Batch solves have no per-request SolveInfo; report atlas provenance
+      // from the result itself and conservatively label the rest cold.
+      if (results[k].ok()) {
+        const ServeTier tier = results[k].value()->from_atlas ? ServeTier::Atlas
+                                                              : ServeTier::Cold;
+        if (tier == ServeTier::Atlas) tags[i] = "atlas";
+        responses[i] = make_solve_response(items[i].req, *results[k].value(),
+                                           false, tier);
+      } else {
+        responses[i] = make_error_response(items[i].req.version,
+                                           items[i].req.id, results[k].error(),
+                                           items[i].req.trace_label());
+      }
     }
   }
   const std::uint64_t t_solve1 = timed ? obs::now_ns() : 0;

@@ -93,6 +93,22 @@ double UniformRisk::inverse_survival(double u) const {
   return (1.0 - u) * L_;
 }
 
+void UniformRisk::eval_many_impl(const double* xs, double* out,
+                                 std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t <= 0.0) ? 1.0 : (t >= L_) ? 0.0 : 1.0 - t / L_;
+  }
+}
+
+void UniformRisk::deriv_many_impl(const double* xs, double* out,
+                                  std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t < 0.0 || t > L_) ? 0.0 : -1.0 / L_;
+  }
+}
+
 // ------------------------------------------------------------- PolynomialRisk
 
 PolynomialRisk::PolynomialRisk(int degree, double lifespan)
@@ -128,6 +144,24 @@ double PolynomialRisk::inverse_survival(double u) const {
   if (!(u > 0.0 && u <= 1.0))
     throw std::invalid_argument("inverse_survival: u out of (0,1]");
   return L_ * std::pow(1.0 - u, 1.0 / static_cast<double>(d_));
+}
+
+void PolynomialRisk::eval_many_impl(const double* xs, double* out,
+                                    std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t <= 0.0) ? 1.0 : (t >= L_) ? 0.0 : 1.0 - std::pow(t / L_, d_);
+  }
+}
+
+void PolynomialRisk::deriv_many_impl(const double* xs, double* out,
+                                     std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t < 0.0 || t > L_)
+                 ? 0.0
+                 : -static_cast<double>(d_) * std::pow(t / L_, d_ - 1) / L_;
+  }
 }
 
 // ---------------------------------------------------------- GeometricLifespan
@@ -170,6 +204,22 @@ double GeometricLifespan::inverse_survival(double u) const {
   return -std::log(u) / ln_a_;
 }
 
+void GeometricLifespan::eval_many_impl(const double* xs, double* out,
+                                       std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t <= 0.0) ? 1.0 : std::exp(-t * ln_a_);
+  }
+}
+
+void GeometricLifespan::deriv_many_impl(const double* xs, double* out,
+                                        std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t < 0.0) ? 0.0 : -ln_a_ * std::exp(-t * ln_a_);
+  }
+}
+
 // -------------------------------------------------------------- GeometricRisk
 
 GeometricRisk::GeometricRisk(double lifespan)
@@ -207,6 +257,32 @@ double GeometricRisk::inverse_survival(double u) const {
   // Solve (2^L - 2^t)/(2^L - 1) = u  =>  2^{t-L} = 1 - u (1 - 2^{-L}).
   const double z = 1.0 - u * (1.0 - inv_pow2L_);
   return std::max(0.0, L_ + std::log2(z));
+}
+
+void GeometricRisk::eval_many_impl(const double* xs, double* out,
+                                   std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    if (t <= 0.0) {
+      out[i] = 1.0;
+    } else if (t >= L_) {
+      out[i] = 0.0;
+    } else {
+      const double v = (1.0 - std::exp2(t - L_)) / (1.0 - inv_pow2L_);
+      out[i] = std::clamp(v, 0.0, 1.0);
+    }
+  }
+}
+
+void GeometricRisk::deriv_many_impl(const double* xs, double* out,
+                                    std::size_t n) const {
+  constexpr double kLn2 = 0.6931471805599453;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t < 0.0 || t > L_)
+                 ? 0.0
+                 : -kLn2 * std::exp2(t - L_) / (1.0 - inv_pow2L_);
+  }
 }
 
 // -------------------------------------------------------------------- Weibull
@@ -258,6 +334,29 @@ double Weibull::inverse_survival(double u) const {
   return scale_ * std::pow(-std::log(u), 1.0 / k_);
 }
 
+void Weibull::eval_many_impl(const double* xs, double* out,
+                             std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t <= 0.0) ? 1.0 : std::exp(-std::pow(t / scale_, k_));
+  }
+}
+
+void Weibull::deriv_many_impl(const double* xs, double* out,
+                              std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    if (t < 0.0) {
+      out[i] = 0.0;
+    } else if (t == 0.0) {
+      out[i] = (k_ > 1.0) ? 0.0 : (k_ == 1.0) ? -1.0 / scale_ : -1e300;
+    } else {
+      const double z = std::pow(t / scale_, k_);
+      out[i] = -k_ / t * z * std::exp(-z);
+    }
+  }
+}
+
 // ------------------------------------------------------------------ LogNormal
 
 LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
@@ -276,6 +375,31 @@ double LogNormal::derivative(double t) const {
   constexpr double kInvSqrt2Pi = 0.3989422804014327;
   const double z = (std::log(t) - mu_) / sigma_;
   return -kInvSqrt2Pi / (t * sigma_) * std::exp(-0.5 * z * z);
+}
+
+void LogNormal::eval_many_impl(const double* xs, double* out,
+                               std::size_t n) const {
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t <= 0.0)
+                 ? 1.0
+                 : 0.5 * std::erfc((std::log(t) - mu_) * kInvSqrt2 / sigma_);
+  }
+}
+
+void LogNormal::deriv_many_impl(const double* xs, double* out,
+                                std::size_t n) const {
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    if (t <= 0.0) {
+      out[i] = 0.0;
+    } else {
+      const double z = (std::log(t) - mu_) / sigma_;
+      out[i] = -kInvSqrt2Pi / (t * sigma_) * std::exp(-0.5 * z * z);
+    }
+  }
 }
 
 std::string LogNormal::name() const {
@@ -320,6 +444,22 @@ double ParetoTail::inverse_survival(double u) const {
   if (!(u > 0.0 && u <= 1.0))
     throw std::invalid_argument("inverse_survival: u out of (0,1]");
   return std::pow(u, -1.0 / d_) - 1.0;
+}
+
+void ParetoTail::eval_many_impl(const double* xs, double* out,
+                                std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t <= 0.0) ? 1.0 : std::pow(1.0 + t, -d_);
+  }
+}
+
+void ParetoTail::deriv_many_impl(const double* xs, double* out,
+                                 std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t < 0.0) ? 0.0 : -d_ * std::pow(1.0 + t, -d_ - 1.0);
+  }
 }
 
 // ------------------------------------------------------------ PiecewiseLinear

@@ -24,8 +24,17 @@ class UniformRisk final : public LifeFunction {
   [[nodiscard]] std::string spec() const override;
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
+  [[nodiscard]] bool has_exact_inverse() const noexcept override {
+    return true;
+  }
 
   [[nodiscard]] double L() const noexcept { return L_; }
+
+ protected:
+  void eval_many_impl(const double* xs, double* out,
+                      std::size_t n) const override;
+  void deriv_many_impl(const double* xs, double* out,
+                       std::size_t n) const override;
 
  private:
   double L_;
@@ -48,8 +57,18 @@ class PolynomialRisk final : public LifeFunction {
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
+  [[nodiscard]] bool has_exact_inverse() const noexcept override {
+    return true;
+  }
+
   [[nodiscard]] int degree() const noexcept { return d_; }
   [[nodiscard]] double L() const noexcept { return L_; }
+
+ protected:
+  void eval_many_impl(const double* xs, double* out,
+                      std::size_t n) const override;
+  void deriv_many_impl(const double* xs, double* out,
+                       std::size_t n) const override;
 
  private:
   int d_;
@@ -76,8 +95,18 @@ class GeometricLifespan final : public LifeFunction {
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
+  [[nodiscard]] bool has_exact_inverse() const noexcept override {
+    return true;
+  }
+
   [[nodiscard]] double a() const noexcept { return a_; }
   [[nodiscard]] double ln_a() const noexcept { return ln_a_; }
+
+ protected:
+  void eval_many_impl(const double* xs, double* out,
+                      std::size_t n) const override;
+  void deriv_many_impl(const double* xs, double* out,
+                       std::size_t n) const override;
 
  private:
   double a_;
@@ -100,7 +129,17 @@ class GeometricRisk final : public LifeFunction {
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
+  [[nodiscard]] bool has_exact_inverse() const noexcept override {
+    return true;
+  }
+
   [[nodiscard]] double L() const noexcept { return L_; }
+
+ protected:
+  void eval_many_impl(const double* xs, double* out,
+                      std::size_t n) const override;
+  void deriv_many_impl(const double* xs, double* out,
+                       std::size_t n) const override;
 
  private:
   double L_;
@@ -126,8 +165,18 @@ class Weibull final : public LifeFunction {
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
+  [[nodiscard]] bool has_exact_inverse() const noexcept override {
+    return true;
+  }
+
   [[nodiscard]] double k() const noexcept { return k_; }
   [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ protected:
+  void eval_many_impl(const double* xs, double* out,
+                      std::size_t n) const override;
+  void deriv_many_impl(const double* xs, double* out,
+                       std::size_t n) const override;
 
  private:
   double k_;
@@ -156,6 +205,12 @@ class LogNormal final : public LifeFunction {
   /// Median absence duration e^{mu}.
   [[nodiscard]] double median() const noexcept;
 
+ protected:
+  void eval_many_impl(const double* xs, double* out,
+                      std::size_t n) const override;
+  void deriv_many_impl(const double* xs, double* out,
+                       std::size_t n) const override;
+
  private:
   double mu_;
   double sigma_;
@@ -178,7 +233,17 @@ class ParetoTail final : public LifeFunction {
   [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
   [[nodiscard]] double inverse_survival(double u) const override;
 
+  [[nodiscard]] bool has_exact_inverse() const noexcept override {
+    return true;
+  }
+
   [[nodiscard]] double d() const noexcept { return d_; }
+
+ protected:
+  void eval_many_impl(const double* xs, double* out,
+                      std::size_t n) const override;
+  void deriv_many_impl(const double* xs, double* out,
+                       std::size_t n) const override;
 
  private:
   double d_;

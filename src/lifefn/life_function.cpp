@@ -52,9 +52,37 @@ double LifeFunction::derivative(double t) const {
   return num::derivative(p, t, h);
 }
 
+void LifeFunction::eval_many(std::span<const double> xs,
+                             std::span<double> out) const {
+  if (xs.size() != out.size())
+    throw std::invalid_argument("eval_many: span sizes differ");
+  if (!xs.empty()) eval_many_impl(xs.data(), out.data(), xs.size());
+}
+
+void LifeFunction::deriv_many(std::span<const double> xs,
+                              std::span<double> out) const {
+  if (xs.size() != out.size())
+    throw std::invalid_argument("deriv_many: span sizes differ");
+  if (!xs.empty()) deriv_many_impl(xs.data(), out.data(), xs.size());
+}
+
+void LifeFunction::eval_many_impl(const double* xs, double* out,
+                                  std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = survival(xs[i]);
+}
+
+void LifeFunction::deriv_many_impl(const double* xs, double* out,
+                                   std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = derivative(xs[i]);
+}
+
 double LifeFunction::horizon(double eps) const {
   if (eps <= 0.0) throw std::invalid_argument("horizon: eps must be positive");
   if (const auto L = lifespan()) return *L;
+  // Unbounded with a closed-form inverse: the horizon IS p^{-1}(eps); no
+  // bracketing needed.  (RecurrenceEngine constructs once per expansion, so
+  // this shortcut removes a bracket+Brent search from every cold solve.)
+  if (has_exact_inverse()) return inverse_survival(std::min(eps, 1.0));
   // Unbounded: p decreases to 0, so p(t) - eps has a sign change.
   auto f = [this, eps](double t) { return survival(t) - eps; };
   const auto bracket = num::bracket_right(f, 0.0, 1.0, 1e18);

@@ -12,9 +12,11 @@
 // numerical differentiation so trace-fitted functions participate fully.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 namespace cs {
@@ -60,6 +62,25 @@ class LifeFunction {
   /// Polymorphic copy.
   [[nodiscard]] virtual std::unique_ptr<LifeFunction> clone() const = 0;
 
+  // ---- Batched evaluation (non-virtual fast path) ----
+
+  /// p over a whole batch: out[i] = survival(xs[i]).  One virtual dispatch
+  /// per batch instead of one per point; the closed-form families override
+  /// the protected hook with vectorizable loop bodies whose arithmetic is
+  /// identical to the scalar path, so results are bit-for-bit the same.
+  /// Throws std::invalid_argument when the spans disagree in size.
+  void eval_many(std::span<const double> xs, std::span<double> out) const;
+
+  /// p' over a whole batch: out[i] = derivative(xs[i]).
+  void deriv_many(std::span<const double> xs, std::span<double> out) const;
+
+  /// True when inverse_survival is an exact closed form (not a bracketed
+  /// root search).  The recurrence engine uses this to invert (3.6) targets
+  /// in O(1) instead of ~20 survival calls per period.
+  [[nodiscard]] virtual bool has_exact_inverse() const noexcept {
+    return false;
+  }
+
   // ---- Derived conveniences (non-virtual, defined on the interface) ----
 
   /// Smallest t with p(t) <= eps: L for bounded functions once eps is below
@@ -77,6 +98,35 @@ class LifeFunction {
   /// True if p is (numerically) nonincreasing across `samples` points of its
   /// effective domain; validation helper for user-supplied functions.
   [[nodiscard]] bool is_monotone_nonincreasing(int samples = 512) const;
+
+ protected:
+  /// Batch hooks behind eval_many/deriv_many.  Defaults loop the scalar
+  /// virtuals (correct for every subclass, including callables/empirical);
+  /// closed-form families override with tight loops over their own formula.
+  virtual void eval_many_impl(const double* xs, double* out,
+                              std::size_t n) const;
+  virtual void deriv_many_impl(const double* xs, double* out,
+                               std::size_t n) const;
+};
+
+/// Adapter binding a LifeFunction's survival (or derivative) to the numerics
+/// FunctionRef batch channel: num::FunctionRef(SurvivalRef{p}) routes both
+/// scalar calls and grid batches through p, so grid_then_refine over p costs
+/// one virtual dispatch per grid.
+struct SurvivalRef {
+  const LifeFunction& p;
+  double operator()(double t) const { return p.survival(t); }
+  void eval_many(const double* xs, double* out, std::size_t n) const {
+    p.eval_many({xs, n}, {out, n});
+  }
+};
+
+struct DerivativeRef {
+  const LifeFunction& p;
+  double operator()(double t) const { return p.derivative(t); }
+  void eval_many(const double* xs, double* out, std::size_t n) const {
+    p.deriv_many({xs, n}, {out, n});
+  }
 };
 
 /// Shortest decimal representation of `v` that parses back (via strtod) to

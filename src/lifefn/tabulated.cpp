@@ -1,0 +1,83 @@
+#include "lifefn/tabulated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cs {
+
+TabulatedLifeFunction::TabulatedLifeFunction(const LifeFunction& base,
+                                             std::size_t knots, double eps)
+    : shape_(base.shape()), name_("tab(" + base.name() + ")") {
+  if (knots < 8)
+    throw std::invalid_argument("TabulatedLifeFunction: need >= 8 knots");
+  L_ = base.horizon(eps);
+  if (!(L_ > 0.0) || !std::isfinite(L_))
+    throw std::invalid_argument("TabulatedLifeFunction: bad horizon");
+
+  std::vector<double> xs(knots);
+  std::vector<double> ys(knots);
+  const auto denom = static_cast<double>(knots - 1);
+  for (std::size_t i = 0; i < knots; ++i)
+    xs[i] = L_ * static_cast<double>(i) / denom;
+  base.eval_many(xs, ys);
+  // Force the life-function invariants exactly at the ends: p(0) = 1, and
+  // the table reaches the residual p(horizon) <= eps which we round to 0 so
+  // the tabulated function has a true bounded lifespan.
+  ys.front() = 1.0;
+  ys.back() = 0.0;
+  // PCHIP needs monotone data for a monotone interpolant; the samples of a
+  // valid life function already are, but clamp against rounding noise.
+  for (std::size_t i = 1; i < knots; ++i) ys[i] = std::min(ys[i], ys[i - 1]);
+  interp_ = num::PchipInterp(std::move(xs), std::move(ys));
+
+  // Measured error bound: compare against the base at every knot midpoint,
+  // where a cubic interpolant's error peaks.  This covers the deliberate
+  // end-point snapping too (the residual p(horizon) shows up in the last
+  // midpoint's deviation).
+  std::vector<double> mids(knots - 1);
+  std::vector<double> base_vals(knots - 1);
+  const auto& kx = interp_.xs();
+  for (std::size_t i = 0; i + 1 < knots; ++i)
+    mids[i] = 0.5 * (kx[i] + kx[i + 1]);
+  base.eval_many(mids, base_vals);
+  double worst = 0.0;
+  for (std::size_t i = 0; i + 1 < knots; ++i)
+    worst = std::max(worst, std::abs(interp_(mids[i]) - base_vals[i]));
+  max_error_ = worst;
+}
+
+double TabulatedLifeFunction::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  if (t >= L_) return 0.0;
+  return std::clamp(interp_(t), 0.0, 1.0);
+}
+
+double TabulatedLifeFunction::derivative(double t) const {
+  if (t < 0.0 || t > L_) return 0.0;
+  return std::min(interp_.derivative(t), 0.0);
+}
+
+void TabulatedLifeFunction::eval_many_impl(const double* xs, double* out,
+                                           std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] =
+        (t <= 0.0) ? 1.0 : (t >= L_) ? 0.0 : std::clamp(interp_(t), 0.0, 1.0);
+  }
+}
+
+void TabulatedLifeFunction::deriv_many_impl(const double* xs, double* out,
+                                            std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = xs[i];
+    out[i] = (t < 0.0 || t > L_) ? 0.0 : std::min(interp_.derivative(t), 0.0);
+  }
+}
+
+std::unique_ptr<LifeFunction> TabulatedLifeFunction::clone() const {
+  return std::unique_ptr<LifeFunction>(new TabulatedLifeFunction(*this));
+}
+
+}  // namespace cs

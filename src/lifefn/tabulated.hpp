@@ -1,0 +1,64 @@
+// TabulatedLifeFunction: precomputed table + PCHIP interpolation over any
+// life function, with a measured error bound.
+//
+// Families whose survival needs transcendental math per call (Weibull,
+// LogNormal, geometric variants) dominate cold-solve profiles: a recurrence
+// expansion evaluates p thousands of times.  Tabulating p once on a dense
+// knot grid over [0, horizon] turns every later evaluation into a segment
+// lookup + cubic Hermite evaluation — and because PCHIP is monotonicity
+// preserving, the table is still a valid life function (nonincreasing,
+// p(0) = 1, reaching 0 at the horizon).
+//
+// The approximation error is *measured*, not assumed: after building the
+// table, the constructor samples the base function at every knot midpoint
+// (where the interpolation error of a cubic is largest) and records the
+// maximum absolute deviation.  Callers read it via max_error() and decide
+// whether the table is usable for their tolerance; tests assert the bound
+// holds on fresh off-knot samples.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "lifefn/life_function.hpp"
+#include "numerics/interp.hpp"
+
+namespace cs {
+
+class TabulatedLifeFunction final : public LifeFunction {
+ public:
+  /// Sample `base` on `knots` uniform points over [0, horizon(eps)] and build
+  /// the interpolant.  `base` is only used during construction (sampled, not
+  /// retained), so it may be a temporary.  knots >= 8.
+  explicit TabulatedLifeFunction(const LifeFunction& base,
+                                 std::size_t knots = 257, double eps = 1e-9);
+
+  [[nodiscard]] double survival(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] Shape shape() const override { return shape_; }
+  [[nodiscard]] std::optional<double> lifespan() const override { return L_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<LifeFunction> clone() const override;
+
+  /// Measured max |table(t) - base(t)| over all knot midpoints.
+  [[nodiscard]] double max_error() const noexcept { return max_error_; }
+  /// Effective domain end: the base's horizon at construction eps.
+  [[nodiscard]] double table_horizon() const noexcept { return L_; }
+  [[nodiscard]] std::size_t knots() const noexcept { return interp_.size(); }
+
+ protected:
+  void eval_many_impl(const double* xs, double* out,
+                      std::size_t n) const override;
+  void deriv_many_impl(const double* xs, double* out,
+                       std::size_t n) const override;
+
+ private:
+  num::PchipInterp interp_;
+  double L_ = 0.0;
+  double max_error_ = 0.0;
+  Shape shape_ = Shape::General;
+  std::string name_;
+};
+
+}  // namespace cs

@@ -2,26 +2,23 @@
 
 namespace cs::num {
 
-double derivative(const std::function<double(double)>& f, double x, double h) {
+double derivative(FunctionRef f, double x, double h) {
   // Central differences at step h and h/2, Richardson-combined.
   const double d1 = (f(x + h) - f(x - h)) / (2.0 * h);
   const double d2 = (f(x + 0.5 * h) - f(x - 0.5 * h)) / h;
   return (4.0 * d2 - d1) / 3.0;
 }
 
-double forward_derivative(const std::function<double(double)>& f, double x,
-                          double h) {
+double forward_derivative(FunctionRef f, double x, double h) {
   // Second-order one-sided stencil: (-3f0 + 4f1 - f2) / (2h).
   return (-3.0 * f(x) + 4.0 * f(x + h) - f(x + 2.0 * h)) / (2.0 * h);
 }
 
-double backward_derivative(const std::function<double(double)>& f, double x,
-                           double h) {
+double backward_derivative(FunctionRef f, double x, double h) {
   return (3.0 * f(x) - 4.0 * f(x - h) + f(x - 2.0 * h)) / (2.0 * h);
 }
 
-double second_derivative(const std::function<double(double)>& f, double x,
-                         double h) {
+double second_derivative(FunctionRef f, double x, double h) {
   return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
 }
 

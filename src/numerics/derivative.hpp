@@ -6,25 +6,21 @@
 // derivative estimate.
 #pragma once
 
-#include <functional>
+#include "numerics/function_ref.hpp"
 
 namespace cs::num {
 
 /// Central-difference first derivative with one Richardson extrapolation
 /// level: error O(h^4) on C^5 functions.
-double derivative(const std::function<double(double)>& f, double x,
-                  double h = 1e-5);
+double derivative(FunctionRef f, double x, double h = 1e-5);
 
 /// One-sided (forward) derivative for use at a domain's left edge.
-double forward_derivative(const std::function<double(double)>& f, double x,
-                          double h = 1e-6);
+double forward_derivative(FunctionRef f, double x, double h = 1e-6);
 
 /// One-sided (backward) derivative for use at a domain's right edge.
-double backward_derivative(const std::function<double(double)>& f, double x,
-                           double h = 1e-6);
+double backward_derivative(FunctionRef f, double x, double h = 1e-6);
 
 /// Central second derivative, O(h^2).
-double second_derivative(const std::function<double(double)>& f, double x,
-                         double h = 1e-4);
+double second_derivative(FunctionRef f, double x, double h = 1e-4);
 
 }  // namespace cs::num

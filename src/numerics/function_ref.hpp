@@ -1,0 +1,73 @@
+// FunctionRef: a non-owning, trivially-copyable reference to a callable
+// double(double) — the numerics solvers' replacement for
+// std::function<double(double)>.
+//
+// Every 1-D solver in this directory (roots, minimize, derivative,
+// integrate) is called thousands of times per schedule solve with a lambda
+// closing over a LifeFunction.  std::function type-erases with a potential
+// heap allocation and an indirect call through a vtable-equivalent;
+// FunctionRef erases with two raw pointers (object + trampoline), so
+// constructing one in a call expression is free and invoking it is a single
+// indirect call.  Like llvm::function_ref, it does NOT own the callable:
+// bind only to callables that outlive the solver call (the universal idiom
+// here — a lambda argument lives for the whole full-expression).
+//
+// Batch channel: callables that additionally expose
+//   eval_many(const double* xs, double* out, std::size_t n)
+// are wired into a second trampoline, and FunctionRef::eval_many dispatches
+// whole grids through it in one call (grid_then_refine evaluates its scan
+// grid this way).  Plain callables fall back to a scalar loop, so the batch
+// API is always available.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace cs::num {
+
+class FunctionRef {
+ public:
+  /// Bind to any callable with signature double(double).  Implicit by
+  /// design: solver call sites pass lambdas directly.  Non-owning — the
+  /// callable must outlive every use of this reference.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<double, const F&, double>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FunctionRef(const F& f) noexcept
+      : obj_(&f), call_([](const void* obj, double x) {
+          return static_cast<double>((*static_cast<const F*>(obj))(x));
+        }) {
+    if constexpr (requires(const F& g, const double* xs, double* out,
+                           std::size_t n) { g.eval_many(xs, out, n); }) {
+      batch_ = [](const void* obj, const double* xs, double* out,
+                  std::size_t n) {
+        static_cast<const F*>(obj)->eval_many(xs, out, n);
+      };
+    }
+  }
+
+  [[nodiscard]] double operator()(double x) const { return call_(obj_, x); }
+
+  /// Evaluate `n` abscissae in one call: the callable's own batch
+  /// implementation when it has one, a scalar loop otherwise.  Results are
+  /// element-for-element identical to calling operator() in a loop.
+  void eval_many(const double* xs, double* out, std::size_t n) const {
+    if (batch_ != nullptr) {
+      batch_(obj_, xs, out, n);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] = call_(obj_, xs[i]);
+  }
+
+  /// True when the bound callable supplied its own batch path.
+  [[nodiscard]] bool has_batch() const noexcept { return batch_ != nullptr; }
+
+ private:
+  const void* obj_;
+  double (*call_)(const void*, double);
+  void (*batch_)(const void*, const double*, double*, std::size_t) = nullptr;
+};
+
+}  // namespace cs::num

@@ -7,7 +7,7 @@ namespace cs::num {
 namespace {
 
 struct SimpsonCtx {
-  const std::function<double(double)>* f;
+  FunctionRef f;
   int evaluations = 0;
   int max_depth;
 };
@@ -22,8 +22,8 @@ double adaptive(SimpsonCtx& ctx, double a, double b, double fa, double fm,
   const double m = 0.5 * (a + b);
   const double lm = 0.5 * (a + m);
   const double rm = 0.5 * (m + b);
-  const double flm = (*ctx.f)(lm);
-  const double frm = (*ctx.f)(rm);
+  const double flm = ctx.f(lm);
+  const double frm = ctx.f(rm);
   ctx.evaluations += 2;
   const double left = simpson(fa, flm, fm, a, m);
   const double right = simpson(fm, frm, fb, m, b);
@@ -40,8 +40,8 @@ double adaptive(SimpsonCtx& ctx, double a, double b, double fa, double fm,
 
 }  // namespace
 
-QuadResult integrate(const std::function<double(double)>& f, double a,
-                     double b, double tol, int max_depth) {
+QuadResult integrate(FunctionRef f, double a, double b, double tol,
+                     int max_depth) {
   QuadResult r;
   if (a == b) {
     r.converged = true;
@@ -49,7 +49,7 @@ QuadResult integrate(const std::function<double(double)>& f, double a,
   }
   const double sign = (b >= a) ? 1.0 : -1.0;
   if (sign < 0.0) std::swap(a, b);
-  SimpsonCtx ctx{&f, 0, max_depth};
+  SimpsonCtx ctx{f, 0, max_depth};
   const double m = 0.5 * (a + b);
   const double fa = f(a), fm = f(m), fb = f(b);
   ctx.evaluations = 3;
@@ -62,8 +62,8 @@ QuadResult integrate(const std::function<double(double)>& f, double a,
   return r;
 }
 
-QuadResult integrate_to_infinity(const std::function<double(double)>& f,
-                                 double a, double tol, double tail_tol) {
+QuadResult integrate_to_infinity(FunctionRef f, double a, double tol,
+                                 double tail_tol) {
   QuadResult total;
   double lo = a;
   double width = 1.0;

@@ -5,7 +5,7 @@
 // and for checking the survival-function normalization of trace fits.
 #pragma once
 
-#include <functional>
+#include "numerics/function_ref.hpp"
 
 namespace cs::num {
 
@@ -18,13 +18,12 @@ struct QuadResult {
 };
 
 /// Adaptive Simpson's rule on [a, b] with absolute tolerance `tol`.
-QuadResult integrate(const std::function<double(double)>& f, double a,
-                     double b, double tol = 1e-10, int max_depth = 48);
+QuadResult integrate(FunctionRef f, double a, double b, double tol = 1e-10,
+                     int max_depth = 48);
 
 /// Integral of a nonnegative, decreasing f over [a, ∞): integrates in
 /// doubling windows until a window contributes less than `tail_tol`.
-QuadResult integrate_to_infinity(const std::function<double(double)>& f,
-                                 double a, double tol = 1e-10,
+QuadResult integrate_to_infinity(FunctionRef f, double a, double tol = 1e-10,
                                  double tail_tol = 1e-12);
 
 }  // namespace cs::num

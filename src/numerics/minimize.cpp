@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/metrics.hpp"
 
@@ -48,7 +49,7 @@ struct MinimizeMetrics {
 
 }  // namespace
 
-MinResult golden_section(const std::function<double(double)>& f, double lo,
+MinResult golden_section(FunctionRef f, double lo,
                          double hi, const MinOptions& opt) {
   if (!(lo <= hi)) throw std::invalid_argument("golden_section: lo > hi");
   MinResult r;
@@ -88,7 +89,7 @@ MinResult golden_section(const std::function<double(double)>& f, double lo,
   return r;
 }
 
-MinResult brent_minimize(const std::function<double(double)>& f, double lo,
+MinResult brent_minimize(FunctionRef f, double lo,
                          double hi, const MinOptions& opt) {
   if (!(lo <= hi)) throw std::invalid_argument("brent_minimize: lo > hi");
   const double golden = 1.0 - kInvPhi;
@@ -157,21 +158,29 @@ MinResult brent_minimize(const std::function<double(double)>& f, double lo,
   return r;
 }
 
-MinResult grid_then_refine(const std::function<double(double)>& f, double lo,
+MinResult grid_then_refine(FunctionRef f, double lo,
                            double hi, const MinOptions& opt) {
   if (!(lo <= hi)) throw std::invalid_argument("grid_then_refine: lo > hi");
   const int n = std::max(3, opt.grid_points);
+  // The whole scan grid goes through the batch channel in one call: for
+  // plain callables this is the same scalar loop as before (identical
+  // values), but batch-capable callables evaluate all n points at once.
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  std::vector<double> fs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    xs[static_cast<std::size_t>(i)] =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  f.eval_many(xs.data(), fs.data(), xs.size());
   MinResult best;
   best.value = std::numeric_limits<double>::infinity();
   int best_i = 0;
   for (int i = 0; i < n; ++i) {
-    const double x =
-        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
-    const double fx = f(x);
+    const double fx = fs[static_cast<std::size_t>(i)];
     ++best.iterations;
     if (fx < best.value) {
       best.value = fx;
-      best.x = x;
+      best.x = xs[static_cast<std::size_t>(i)];
       best_i = i;
     }
   }
@@ -204,18 +213,27 @@ MinResult negate_result(MinResult r) {
   r.value = -r.value;
   return r;
 }
+
+/// -f with the batch channel preserved (negating after a batched grid eval),
+/// so the *_max wrappers keep the underlying callable's eval_many path.
+struct Negated {
+  FunctionRef f;
+  double operator()(double x) const { return -f(x); }
+  void eval_many(const double* xs, double* out, std::size_t n) const {
+    f.eval_many(xs, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = -out[i];
+  }
+};
 }  // namespace
 
-MinResult golden_section_max(const std::function<double(double)>& f, double lo,
+MinResult golden_section_max(FunctionRef f, double lo,
                              double hi, const MinOptions& opt) {
-  return negate_result(
-      golden_section([&f](double x) { return -f(x); }, lo, hi, opt));
+  return negate_result(golden_section(Negated{f}, lo, hi, opt));
 }
 
-MinResult grid_then_refine_max(const std::function<double(double)>& f,
+MinResult grid_then_refine_max(FunctionRef f,
                                double lo, double hi, const MinOptions& opt) {
-  return negate_result(
-      grid_then_refine([&f](double x) { return -f(x); }, lo, hi, opt));
+  return negate_result(grid_then_refine(Negated{f}, lo, hi, opt));
 }
 
 }  // namespace cs::num

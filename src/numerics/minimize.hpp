@@ -6,7 +6,7 @@
 // Corollary 3.2 admissibility test.
 #pragma once
 
-#include <functional>
+#include "numerics/function_ref.hpp"
 
 namespace cs::num {
 
@@ -26,26 +26,28 @@ struct MinOptions {
 };
 
 /// Golden-section search for the minimum of a unimodal f on [lo, hi].
-MinResult golden_section(const std::function<double(double)>& f, double lo,
-                         double hi, const MinOptions& opt = {});
+MinResult golden_section(FunctionRef f, double lo, double hi,
+                         const MinOptions& opt = {});
 
 /// Brent's parabolic-interpolation minimizer on [lo, hi].  Superlinear on
 /// smooth unimodal f; falls back to golden-section steps otherwise.
-MinResult brent_minimize(const std::function<double(double)>& f, double lo,
-                         double hi, const MinOptions& opt = {});
+MinResult brent_minimize(FunctionRef f, double lo, double hi,
+                         const MinOptions& opt = {});
 
 /// Robust global-ish minimizer for possibly multimodal f on [lo, hi]: scans a
 /// uniform grid, then refines around the best grid cell with Brent.  The
 /// expected-work objective E(S(t0); p) can have small plateaus where the
 /// period count changes, so the pure unimodal solvers are not safe alone.
-MinResult grid_then_refine(const std::function<double(double)>& f, double lo,
-                           double hi, const MinOptions& opt = {});
+/// The scan grid is evaluated through FunctionRef::eval_many in one batch
+/// call, so callables with a batch path (LifeFunction::eval_many adapters)
+/// amortize their dispatch across the whole grid.
+MinResult grid_then_refine(FunctionRef f, double lo, double hi,
+                           const MinOptions& opt = {});
 
 /// Maximization wrappers (negate f).
-MinResult golden_section_max(const std::function<double(double)>& f, double lo,
-                             double hi, const MinOptions& opt = {});
-MinResult grid_then_refine_max(const std::function<double(double)>& f,
-                               double lo, double hi,
+MinResult golden_section_max(FunctionRef f, double lo, double hi,
+                             const MinOptions& opt = {});
+MinResult grid_then_refine_max(FunctionRef f, double lo, double hi,
                                const MinOptions& opt = {});
 
 }  // namespace cs::num

@@ -17,7 +17,7 @@ bool opposite_signs(double a, double b) {
 
 }  // namespace
 
-RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+RootResult bisect(FunctionRef f, double lo, double hi,
                   const RootOptions& opt) {
   if (!(lo <= hi)) throw std::invalid_argument("bisect: lo > hi");
   double flo = f(lo);
@@ -55,7 +55,7 @@ RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
   return r;
 }
 
-RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+RootResult brent(FunctionRef f, double lo, double hi,
                  const RootOptions& opt) {
   double a = lo;
   double b = hi;
@@ -134,7 +134,7 @@ RootResult brent(const std::function<double(double)>& f, double lo, double hi,
 }
 
 std::optional<std::pair<double, double>> bracket_right(
-    const std::function<double(double)>& f, double lo, double step,
+    FunctionRef f, double lo, double step,
     double hi_limit, int max_doublings) {
   if (step <= 0.0) throw std::invalid_argument("bracket_right: step <= 0");
   double a = lo;
@@ -153,7 +153,7 @@ std::optional<std::pair<double, double>> bracket_right(
   return std::nullopt;
 }
 
-std::optional<double> monotone_root(const std::function<double(double)>& f,
+std::optional<double> monotone_root(FunctionRef f,
                                     double lo, double hi,
                                     const RootOptions& opt) {
   const double flo = f(lo);

@@ -3,12 +3,14 @@
 // The scheduling engine solves many one-dimensional root problems against
 // monotone-decreasing life functions (inverting p, solving the recurrence
 // (3.6) of the paper, locating implicit t0 bounds).  All solvers here take a
-// std::function so any callable — including lambdas closing over a
-// LifeFunction — can be used.
+// cs::num::FunctionRef so any callable — including lambdas closing over a
+// LifeFunction — can be used without a type-erasure allocation per call.
 #pragma once
 
-#include <functional>
 #include <optional>
+#include <utility>
+
+#include "numerics/function_ref.hpp"
 
 namespace cs::num {
 
@@ -30,27 +32,26 @@ struct RootOptions {
 /// Bisection on a bracket [lo, hi] with f(lo) and f(hi) of opposite sign.
 /// Robust but linear; used as the fallback when Brent's interpolation steps
 /// misbehave on nearly-flat life functions.
-RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+RootResult bisect(FunctionRef f, double lo, double hi,
                   const RootOptions& opt = {});
 
 /// Brent's method (inverse quadratic interpolation + secant + bisection) on a
 /// bracket [lo, hi] with sign change.  Superlinear on smooth f, never worse
 /// than bisection.
-RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+RootResult brent(FunctionRef f, double lo, double hi,
                  const RootOptions& opt = {});
 
 /// Expand a bracket to the right of `lo`: starting from width `step`, doubles
 /// until f changes sign or `hi_limit` is reached.  Returns the bracket
 /// [a, b] with f(a)*f(b) <= 0, or nullopt if no sign change was found.
 std::optional<std::pair<double, double>> bracket_right(
-    const std::function<double(double)>& f, double lo, double step,
-    double hi_limit, int max_doublings = 64);
+    FunctionRef f, double lo, double step, double hi_limit,
+    int max_doublings = 64);
 
 /// Convenience: find the root of f on [lo, hi] where f is known to be
 /// monotone; verifies the sign change and runs Brent.  Returns nullopt when
 /// no sign change exists on the interval.
-std::optional<double> monotone_root(const std::function<double(double)>& f,
-                                    double lo, double hi,
+std::optional<double> monotone_root(FunctionRef f, double lo, double hi,
                                     const RootOptions& opt = {});
 
 }  // namespace cs::num

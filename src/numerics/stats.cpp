@@ -96,8 +96,7 @@ double ks_statistic(std::vector<double> sample,
   return d;
 }
 
-double ks_statistic_cdf(std::vector<double> sample,
-                        const std::function<double(double)>& cdf) {
+double ks_statistic_cdf(std::vector<double> sample, FunctionRef cdf) {
   if (sample.empty()) throw std::invalid_argument("ks_statistic_cdf: empty");
   std::sort(sample.begin(), sample.end());
   const double n = static_cast<double>(sample.size());

@@ -2,8 +2,9 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <vector>
+
+#include "numerics/function_ref.hpp"
 
 namespace cs::num {
 
@@ -56,7 +57,6 @@ double ks_statistic(std::vector<double> sample,
                     const std::vector<double>& reference_sorted);
 
 /// One-sample KS statistic against a CDF given as a callable on sample points.
-double ks_statistic_cdf(std::vector<double> sample,
-                        const std::function<double(double)>& cdf);
+double ks_statistic_cdf(std::vector<double> sample, FunctionRef cdf);
 
 }  // namespace cs::num

@@ -1,0 +1,200 @@
+// SolutionAtlas: the interpolating cache tier must honor its advertised
+// error bound on *off-lattice* overheads — the whole contract is that a
+// served answer's expected work is within err_bound of a direct guideline
+// solve, for every spec family, at overheads the atlas never solved exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/guideline.hpp"
+#include "engine/atlas.hpp"
+#include "engine/engine.hpp"
+#include "lifefn/factory.hpp"
+#include "numerics/rng.hpp"
+
+namespace {
+
+using cs::GuidelineOptions;
+using cs::GuidelineResult;
+using cs::GuidelineScheduler;
+using cs::LifeFunction;
+using cs::make_life_function;
+using cs::engine::AtlasOptions;
+using cs::engine::SolutionAtlas;
+
+AtlasOptions enabled_options() {
+  AtlasOptions opt;
+  opt.enabled = true;
+  return opt;
+}
+
+/// One representative spec per factory family, with an overhead range that
+/// keeps c comfortably inside the function's effective lifespan.
+struct FamilyCase {
+  const char* spec;
+  double c_lo;
+  double c_hi;
+};
+
+const std::vector<FamilyCase>& family_cases() {
+  static const std::vector<FamilyCase> kCases = {
+      {"uniform:L=1000", 2.0, 8.0},
+      {"polyrisk:d=3,L=1000", 2.0, 8.0},
+      {"geomlife:half=100", 2.0, 8.0},
+      {"geomrisk:L=40", 1.5, 4.0},
+      {"weibull:k=1.5,scale=500", 2.0, 8.0},
+      {"pareto:d=2", 2.0, 8.0},
+      {"lognormal:mu=3,sigma=1", 1.5, 4.0},
+      {"pwl:0:1;50:0.4;100:0", 1.5, 4.0},
+      {"empirical:0:1;10:0.7;40:0", 1.5, 4.0},
+  };
+  return kCases;
+}
+
+}  // namespace
+
+TEST(SolutionAtlas, DisabledAtlasNeverServes) {
+  AtlasOptions opt;  // enabled = false
+  SolutionAtlas atlas(opt, GuidelineOptions{});
+  const auto p = make_life_function("uniform:L=1000");
+  EXPECT_FALSE(atlas.lookup(p->spec(), *p, 4.0).has_value());
+  EXPECT_EQ(atlas.cells_built(), 0u);
+  EXPECT_EQ(atlas.served(), 0u);
+}
+
+TEST(SolutionAtlas, RejectsNonPositiveOrNonFiniteOverheads) {
+  SolutionAtlas atlas(enabled_options(), GuidelineOptions{});
+  const auto p = make_life_function("uniform:L=1000");
+  EXPECT_FALSE(atlas.lookup(p->spec(), *p, 0.0).has_value());
+  EXPECT_FALSE(atlas.lookup(p->spec(), *p, -3.0).has_value());
+  EXPECT_FALSE(
+      atlas.lookup(p->spec(), *p,
+                   std::numeric_limits<double>::infinity()).has_value());
+}
+
+TEST(SolutionAtlas, ReusesCellsAcrossNearbyOverheads) {
+  SolutionAtlas atlas(enabled_options(), GuidelineOptions{});
+  const auto p = make_life_function("uniform:L=1000");
+  // Both overheads land in the same lattice cell (ratio 2^(1/4) ≈ 1.19).
+  ASSERT_TRUE(atlas.lookup(p->spec(), *p, 4.05).has_value());
+  ASSERT_TRUE(atlas.lookup(p->spec(), *p, 4.20).has_value());
+  EXPECT_EQ(atlas.cells_built(), 1u);
+  EXPECT_EQ(atlas.served(), 2u);
+}
+
+TEST(SolutionAtlas, HonorsCellCapPerFamily) {
+  AtlasOptions opt = enabled_options();
+  opt.max_cells_per_family = 1;
+  SolutionAtlas atlas(opt, GuidelineOptions{});
+  const auto p = make_life_function("uniform:L=1000");
+  ASSERT_TRUE(atlas.lookup(p->spec(), *p, 4.0).has_value());
+  // A far-away overhead needs a second cell; the cap sends it cold instead.
+  EXPECT_FALSE(atlas.lookup(p->spec(), *p, 16.0).has_value());
+  EXPECT_EQ(atlas.cells_built(), 1u);
+}
+
+// The headline contract: across every spec family, at randomized overheads
+// that do not sit on lattice corners, a served answer's expected work is
+// within the cell's advertised bound of a direct guideline solve.
+TEST(SolutionAtlas, AdvertisedBoundHoldsOffLatticeAcrossAllFamilies) {
+  constexpr int kSamplesPerFamily = 8;
+  cs::num::RandomStream rng(20260809);
+  std::size_t served_total = 0;
+  for (const FamilyCase& fc : family_cases()) {
+    SCOPED_TRACE(fc.spec);
+    const auto p = make_life_function(fc.spec);
+    SolutionAtlas atlas(enabled_options(), GuidelineOptions{});
+    for (int s = 0; s < kSamplesPerFamily; ++s) {
+      const double c = rng.uniform(fc.c_lo, fc.c_hi);
+      const auto ans = atlas.lookup(p->spec(), *p, c);
+      if (!ans.has_value()) continue;  // cell refused: cold fallback, fine
+      ++served_total;
+      SCOPED_TRACE("c=" + std::to_string(c));
+      EXPECT_GT(ans->err_bound, 0.0);
+      EXPECT_LE(ans->err_bound, atlas.options().max_rel_err);
+      const GuidelineResult direct =
+          GuidelineScheduler(*p, c, GuidelineOptions{}).run();
+      const double rel = std::abs(direct.expected - ans->result.expected) /
+                         std::max(std::abs(direct.expected), 1e-300);
+      EXPECT_LE(rel, ans->err_bound);
+      // The served schedule is a genuine expansion: exact E, valid t0.
+      EXPECT_GT(ans->result.chosen_t0, c);
+      EXPECT_FALSE(ans->result.schedule.periods().empty());
+    }
+  }
+  // The sweep must actually exercise the serving path, not refuse its way
+  // to a vacuous pass.
+  EXPECT_GE(served_total, family_cases().size() * kSamplesPerFamily / 2);
+}
+
+// Engine integration: provenance reporting through SolveInfo, and the
+// served result staying within the bound it carries.
+TEST(SolutionAtlas, EngineReportsAtlasTierAndBound) {
+  cs::engine::EngineOptions opt;
+  opt.cache_capacity = 1;  // keep the LRU out of the way
+  opt.cache_shards = 1;
+  opt.atlas.enabled = true;
+  cs::engine::Engine engine(opt);
+
+  cs::engine::SolveRequest req;
+  req.life = "uniform:L=1000";
+  req.c = 4.3;
+
+  cs::engine::SolveInfo info;
+  const auto result = engine.solve(req, &info);
+  ASSERT_TRUE(result.ok()) << result.error().describe();
+  EXPECT_FALSE(info.cache_hit);
+  EXPECT_EQ(info.tier, cs::engine::SolveTier::Atlas);
+  EXPECT_GT(info.atlas_err, 0.0);
+  EXPECT_TRUE(result.value()->from_atlas);
+
+  const auto p = make_life_function(req.life);
+  const GuidelineResult direct =
+      GuidelineScheduler(*p, req.c, GuidelineOptions{}).run();
+  const double rel =
+      std::abs(direct.expected - result.value()->expected) /
+      std::max(std::abs(direct.expected), 1e-300);
+  EXPECT_LE(rel, info.atlas_err);
+  EXPECT_EQ(engine.stats().atlas, 1u);
+}
+
+TEST(SolutionAtlas, EngineWithAtlasDisabledStaysCold) {
+  cs::engine::EngineOptions opt;
+  opt.cache_capacity = 1;
+  opt.cache_shards = 1;
+  cs::engine::Engine engine(opt);
+
+  cs::engine::SolveRequest req;
+  req.life = "uniform:L=1000";
+  req.c = 4.3;
+  cs::engine::SolveInfo info;
+  const auto result = engine.solve(req, &info);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(info.tier, cs::engine::SolveTier::Cold);
+  EXPECT_FALSE(result.value()->from_atlas);
+  EXPECT_EQ(engine.stats().atlas, 0u);
+}
+
+TEST(SolutionAtlas, QuantizedRequestsBypassTheAtlas) {
+  cs::engine::EngineOptions opt;
+  opt.cache_capacity = 1;
+  opt.cache_shards = 1;
+  opt.atlas.enabled = true;
+  cs::engine::Engine engine(opt);
+
+  cs::engine::SolveRequest req;
+  req.life = "uniform:L=1000";
+  req.c = 4.3;
+  req.quantize = 2.0;
+  cs::engine::SolveInfo info;
+  const auto result = engine.solve(req, &info);
+  ASSERT_TRUE(result.ok());
+  // Quantized schedules are exact-grid artifacts; interpolation would break
+  // their grid alignment, so they always solve cold.
+  EXPECT_EQ(info.tier, cs::engine::SolveTier::Cold);
+  EXPECT_FALSE(result.value()->from_atlas);
+}

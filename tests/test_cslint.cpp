@@ -229,6 +229,52 @@ TEST(PositiveSub, IgnoresSanctionedAndOutOfScopeForms) {
 }
 
 // ---------------------------------------------------------------------------
+// std-function
+// ---------------------------------------------------------------------------
+
+TEST(StdFunction, FlagsStdFunctionInNumericCore) {
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "double solve(const std::function<double(double)>& f);\n"),
+      "std-function"));
+  EXPECT_TRUE(has_rule(
+      lint_source("src/numerics/x.hpp",
+                  "std::function<double(double)> fn_;\n"),
+      "std-function"));
+  // Whitespace around :: still matches.
+  EXPECT_TRUE(has_rule(
+      lint_source("src/core/x.cpp", "std :: function<void()> cb;\n"),
+      "std-function"));
+}
+
+TEST(StdFunction, IgnoresOutOfScopeCommentsAndLookalikes) {
+  // Out of scope: the owning erasure is fine in the service layers.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/engine/x.hpp", "std::function<void()> hook_;\n"),
+      "std-function"));
+  EXPECT_FALSE(has_rule(
+      lint_source("src/net/x.hpp", "std::function<void()> on_eof;\n"),
+      "std-function"));
+  // Comments and strings are stripped before rules run.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/numerics/x.hpp",
+                  "// drop-in replacement for std::function<double(double)>\n"),
+      "std-function"));
+  // Other identifiers containing "function" are untouched.
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp", "my::function<double> f;\n"),
+      "std-function"));
+}
+
+TEST(StdFunction, AllowAnnotationSuppresses) {
+  EXPECT_FALSE(has_rule(
+      lint_source("src/core/x.cpp",
+                  "// cslint: allow(std-function) intentional owning hook\n"
+                  "std::function<void()> hook_;\n"),
+      "std-function"));
+}
+
+// ---------------------------------------------------------------------------
 // atomic-order
 // ---------------------------------------------------------------------------
 

@@ -175,11 +175,13 @@ SolveRequest uniform_request(double c = 4.0,
 
 TEST(Engine, CacheHitReturnsSharedResultWithoutSolving) {
   Engine engine;
-  bool hit = true;
-  const ResultPtr first = engine.solve(uniform_request(), &hit).value();
-  EXPECT_FALSE(hit);
-  const ResultPtr second = engine.solve(uniform_request(), &hit).value();
-  EXPECT_TRUE(hit);
+  SolveInfo info;
+  const ResultPtr first = engine.solve(uniform_request(), &info).value();
+  EXPECT_FALSE(info.cache_hit);
+  EXPECT_EQ(info.tier, SolveTier::Cold);
+  const ResultPtr second = engine.solve(uniform_request(), &info).value();
+  EXPECT_TRUE(info.cache_hit);
+  EXPECT_EQ(info.tier, SolveTier::Lru);
   // Same immutable object, not a re-computation.
   EXPECT_EQ(first.get(), second.get());
   const auto s = engine.stats();
@@ -199,9 +201,9 @@ TEST(Engine, EquivalentSpecsShareOneCacheEntry) {
   by_a.c = 2.0;
 
   const ResultPtr r1 = engine.solve(by_half).value();
-  bool hit = false;
-  const ResultPtr r2 = engine.solve(by_a, &hit).value();
-  EXPECT_TRUE(hit);
+  SolveInfo info;
+  const ResultPtr r2 = engine.solve(by_a, &info).value();
+  EXPECT_TRUE(info.cache_hit);
   EXPECT_EQ(r1.get(), r2.get());
   EXPECT_EQ(engine.stats().solves, 1u);
 }
@@ -308,9 +310,9 @@ TEST(Engine, ClearCacheForcesResolve) {
   Engine engine;
   (void)engine.solve(uniform_request());
   engine.clear_cache();
-  bool hit = true;
-  (void)engine.solve(uniform_request(), &hit);
-  EXPECT_FALSE(hit);
+  SolveInfo info;
+  (void)engine.solve(uniform_request(), &info);
+  EXPECT_FALSE(info.cache_hit);
   EXPECT_EQ(engine.stats().solves, 2u);
 }
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<n>.json snapshots benchmark by benchmark.
+
+Usage: bench_diff.py OLD.json NEW.json
+
+Prints a per-benchmark delta table for the perf_micro section (real time,
+ns/op) plus the csload throughput and latency percentiles.  Intended as a
+fail-soft CI aid: the exit code is always 0 once both files parse — a
+regression shows up as a loud row in the table, not a red build, because
+bench hosts are noisy and a hard gate on wall-clock numbers would flake.
+Exit 2 only for usage/parse errors (the caller treats that as "no diff
+available", not as failure).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+        return None
+
+
+def perf_map(snapshot):
+    """name -> real_time ns for every perf_micro benchmark in the snapshot."""
+    out = {}
+    for b in snapshot.get("perf_micro", {}).get("benchmarks", []):
+        name = b.get("name")
+        t = b.get("real_time")
+        if name is not None and isinstance(t, (int, float)):
+            out[name] = float(t)
+    return out
+
+
+def fmt_delta(old, new):
+    if old <= 0:
+        return "n/a"
+    pct = (new - old) / old * 100.0
+    return f"{pct:+.1f}%"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    old = load(argv[1])
+    new = load(argv[2])
+    if old is None or new is None:
+        return 2
+
+    old_perf = perf_map(old)
+    new_perf = perf_map(new)
+    names = sorted(set(old_perf) | set(new_perf))
+    width = max((len(n) for n in names), default=9)
+
+    print(f"bench diff: {argv[1]} -> {argv[2]}")
+    print(f"{'benchmark':<{width}}  {'old ns':>12}  {'new ns':>12}  delta")
+    for name in names:
+        o = old_perf.get(name)
+        n = new_perf.get(name)
+        if o is None:
+            print(f"{name:<{width}}  {'-':>12}  {n:>12.0f}  new")
+        elif n is None:
+            print(f"{name:<{width}}  {o:>12.0f}  {'-':>12}  removed")
+        else:
+            print(f"{name:<{width}}  {o:>12.0f}  {n:>12.0f}  "
+                  f"{fmt_delta(o, n)}")
+
+    old_load = old.get("csload", {})
+    new_load = new.get("csload", {})
+    rows = [("throughput req/s", old_load.get("throughput"),
+             new_load.get("throughput"))]
+    for q in ("p50", "p99"):
+        rows.append((f"csload {q} us",
+                     old_load.get("latency_us", {}).get(q),
+                     new_load.get("latency_us", {}).get(q)))
+    for label, o, n in rows:
+        if isinstance(o, (int, float)) and isinstance(n, (int, float)):
+            print(f"{label:<{width}}  {o:>12.1f}  {n:>12.1f}  "
+                  f"{fmt_delta(o, n)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -185,6 +185,10 @@ const std::regex kFloatEqRe(
 const std::regex kStdRandRe(
     R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|\brand\s*\(\s*\)|\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
 
+// std::function in the numeric core: the owning, allocating erasure defeats
+// the batched-evaluation channel FunctionRef carries.
+const std::regex kStdFunctionRe(R"(\bstd\s*::\s*function\b)");
+
 // `<ident|)|]> - c` where c is the whole word "c" (the communication
 // overhead in period arithmetic).  The captured left token lets the rule
 // drop keyword-led unary minus ("return -c * ...").
@@ -223,6 +227,18 @@ void rule_std_rand(std::string_view stripped,
         "banned randomness/time source (std::rand / srand / time(nullptr)): "
         "use cs::num::RandomStream (numerics/rng.hpp) so runs stay "
         "deterministic and stream-splittable");
+  }
+}
+
+void rule_std_function(std::string_view stripped,
+                       std::vector<std::string>& hits) {
+  const std::string line(stripped);
+  if (std::regex_search(line, kStdFunctionRe)) {
+    hits.push_back(
+        "std::function in the numeric core: take cs::num::FunctionRef "
+        "(numerics/function_ref.hpp) instead — non-owning, no allocation, "
+        "and it forwards the callee's eval_many batch channel, which "
+        "std::function erases");
   }
 }
 
@@ -439,6 +455,8 @@ std::vector<Violation> lint_source(std::string_view display_path,
       path_in(display_path, {"src/core/", "src/numerics/"});
   const bool positive_sub_scope =
       path_in(display_path, {"src/core/", "src/sim/"});
+  const bool std_function_scope =
+      path_in(display_path, {"src/core/", "src/numerics/"});
 
   auto report = [&](std::size_t lineno, const char* rule,
                     const std::string& message) {
@@ -513,6 +531,12 @@ std::vector<Violation> lint_source(std::string_view display_path,
     if (positive_sub_scope) {
       rule_positive_sub(code_lines[i], hits);
       for (const std::string& m : hits) report(lineno, "positive-sub", m);
+      hits.clear();
+    }
+
+    if (std_function_scope) {
+      rule_std_function(code_lines[i], hits);
+      for (const std::string& m : hits) report(lineno, "std-function", m);
       hits.clear();
     }
   }

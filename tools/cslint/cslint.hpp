@@ -11,6 +11,9 @@
 //                     (use cs::num::RandomStream)
 //   positive-sub      no bare `<expr> - c` period arithmetic in
 //                     src/core + src/sim outside positive_sub()
+//   std-function      no std::function in src/core + src/numerics (use
+//                     cs::num::FunctionRef — non-owning, allocation-free,
+//                     and it forwards the eval_many batch channel)
 //   atomic-order      no std::memory_order_relaxed inside a
 //                     compare_exchange statement: CAS loops carry the
 //                     synchronizing edges of the lock-free structures

@@ -1,6 +1,9 @@
 // Scoped-rule fixture: the golden test lints this file under the display
 // path "testdata/src/core/scoped.cpp" so the path-scoped rules (float-eq in
-// src/core + src/numerics, positive-sub in src/core + src/sim) apply.
+// src/core + src/numerics, positive-sub in src/core + src/sim, std-function
+// in src/core + src/numerics) apply.
 bool fixture_float_eq(double u) { return u == 1.0; }
 
 double fixture_period_arith(double t, double c) { return t - c; }
+
+void fixture_owning_erasure(std::function<double(double)> f);

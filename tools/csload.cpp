@@ -40,6 +40,9 @@
 //
 // Latency is recorded in a cs::obs histogram (log-bucketed nanoseconds), so
 // the reported percentiles match the server-side engine.request_ns export.
+// With --v2 the summary also rolls up the server's per-response "tier"
+// provenance field (memo/lru/atlas/cold), so a run shows at a glance how
+// much of the measured latency came from each cache tier.
 // Failures are tallied per error code (bad_spec/timeout/overloaded/network/
 // internal) so an overload shed is distinguishable from a crash.
 #include <algorithm>
@@ -50,6 +53,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -123,6 +127,28 @@ std::string request_line(const std::string& life, const std::string& c,
 }
 
 constexpr std::size_t kNumCodes = 5;
+
+// Serve-tier buckets mirroring the v2 response "tier" field (protocol.hpp):
+// memo | lru | atlas | cold.  v1 responses carry no tier and land nowhere.
+constexpr std::array<const char*, 4> kTierNames = {"memo", "lru", "atlas",
+                                                   "cold"};
+
+/// Tally the v2 "tier" field of a successful response, if present.
+void tally_tier(const std::string& response,
+                std::array<std::atomic<std::uint64_t>, 4>& by_tier) {
+  const std::size_t at = response.find("\"tier\":\"");
+  if (at == std::string::npos) return;
+  const std::size_t begin = at + 8;
+  const std::size_t end = response.find('"', begin);
+  if (end == std::string::npos) return;
+  const std::string_view tier(response.data() + begin, end - begin);
+  for (std::size_t i = 0; i < kTierNames.size(); ++i) {
+    if (tier == kTierNames[i]) {
+      by_tier[i].fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
 
 /// Classify one completed request into a per-error-code bucket; returns true
 /// for a successful (ok) response.
@@ -201,6 +227,7 @@ int main(int argc, char** argv) {
 
     cs::obs::Histogram latency(cs::obs::timer_layout());
     std::array<std::atomic<std::uint64_t>, kNumCodes> by_code{};
+    std::array<std::atomic<std::uint64_t>, 4> by_tier{};
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> trace_mismatches{0};
     std::atomic<std::size_t> next{0};
@@ -246,10 +273,12 @@ int main(int argc, char** argv) {
           latency.observe(static_cast<double>(cs::obs::now_ns() - t0));
           if (!tally(response, by_code)) {
             errors.fetch_add(1, std::memory_order_relaxed);
-          } else if (trace && response.value().find("\"trace\":\"" + label +
-                                                    "\"") ==
-                                  std::string::npos) {
-            trace_mismatches.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            tally_tier(response.value(), by_tier);
+            if (trace && response.value().find("\"trace\":\"" + label +
+                                               "\"") == std::string::npos) {
+              trace_mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
           }
         }
       });
@@ -288,6 +317,14 @@ int main(int argc, char** argv) {
       std::cout << "trace echoes  : " << trace_mismatches.load()
                 << " mismatch(es)\n";
     }
+    std::uint64_t tier_total = 0;
+    for (const auto& n : by_tier) tier_total += n.load();
+    if (tier_total > 0) {
+      std::cout << "serve tiers   :";
+      for (std::size_t i = 0; i < kTierNames.size(); ++i)
+        std::cout << ' ' << kTierNames[i] << '=' << by_tier[i].load();
+      std::cout << '\n';
+    }
     if (errors.load() > 0) {
       std::cout << "errors        :";
       for (std::size_t i = 0; i < kNumCodes; ++i) {
@@ -314,6 +351,16 @@ int main(int argc, char** argv) {
       j += ",\"p999\":" + std::to_string(p999);
       j += ",\"max\":" + std::to_string(max_us);
       j += '}';
+      if (tier_total > 0) {
+        j += ",\"tiers\":{";
+        for (std::size_t i = 0; i < kTierNames.size(); ++i) {
+          if (i > 0) j += ',';
+          j += '"';
+          j += kTierNames[i];
+          j += "\":" + std::to_string(by_tier[i].load());
+        }
+        j += '}';
+      }
       if (trace)
         j += ",\"trace_mismatches\":" + std::to_string(trace_mismatches.load());
       j += "}\n";

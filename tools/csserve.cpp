@@ -36,6 +36,12 @@
 //                       client-supplied trace labels are always sampled)
 //   --stats-interval S  dump a one-line stats snapshot to stderr every S
 //                       seconds (0 = off)
+//   --atlas             enable the solution-atlas cache tier: guideline
+//                       requests near already-solved overheads are answered
+//                       by error-bounded interpolation (v2 responses report
+//                       "tier":"atlas" plus the "atlas_err" bound)
+//   --atlas-err E       max relative error the atlas may advertise before a
+//                       request falls back to a cold solve (default 1e-3)
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests are answered and
 // flushed, open connections closed, then metrics and spans are written.
@@ -80,7 +86,7 @@ Args parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0)
       throw std::invalid_argument("unexpected argument '" + key + "'");
     key = key.substr(2);
-    if (key == "help") {
+    if (key == "help" || key == "atlas") {  // valueless flags
       args.values[key] = "1";
       continue;
     }
@@ -97,7 +103,7 @@ int usage() {
                "               [--idle-timeout-ms N] [--deadline-ms N]\n"
                "               [--write-buf-kb N] [--metrics-out F]\n"
                "               [--trace-out F] [--trace-sample N]\n"
-               "               [--stats-interval S]\n";
+               "               [--stats-interval S] [--atlas] [--atlas-err E]\n";
   return 2;
 }
 
@@ -154,6 +160,9 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.number("cache", 4096.0));
     opt.engine.cache_shards =
         static_cast<std::size_t>(args.number("shards", 16.0));
+    opt.engine.atlas.enabled = args.has("atlas");
+    opt.engine.atlas.max_rel_err =
+        args.number("atlas-err", opt.engine.atlas.max_rel_err);
 
     cs::engine::Server server(opt);
     server.start();

@@ -18,9 +18,11 @@
 //
 //  - Serving-pipeline span logs (csserve --trace-out, cs::obs::SpanCollector
 //    JSONL): per-stage latency table (count, p50/p95/p99/max, exact
-//    percentiles computed from every span, not bucket estimates), the
-//    slowest traces end-to-end with their per-stage breakdown, and a Chrome
-//    trace_event export with one timeline track per stage.
+//    percentiles computed from every span, not bucket estimates), a
+//    serve-tier rollup (memo/lru/atlas/cold, from the root request spans'
+//    branch tags), the slowest traces end-to-end with their per-stage
+//    breakdown, and a Chrome trace_event export with one timeline track per
+//    stage.
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -28,6 +30,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "numerics/tabulate.hpp"
@@ -152,6 +155,41 @@ int summarize_spans(const std::string& in_path, std::vector<cs::obs::Span>&& spa
             << table.render("per-stage latency (exact percentiles over all "
                             "sampled spans)")
             << '\n';
+
+  // Serve-tier rollup from the root request spans' branch tags, mirroring
+  // the engine's cache hierarchy (memo → lru → atlas → cold).  Tags outside
+  // the hierarchy (error/timeout/shed/coalesced) are listed as themselves.
+  const auto req_tags = tags_by_stage.find("request");
+  if (req_tags != tags_by_stage.end() && !req_tags->second.empty()) {
+    static const std::vector<std::pair<std::string, std::string>> kTierTags = {
+        {"memo_hit", "memo"},
+        {"cache_hit", "lru"},
+        {"atlas", "atlas"},
+        {"cold", "cold"}};
+    std::size_t total_reqs = 0;
+    for (const auto& [tag, n] : req_tags->second) {
+      (void)tag;
+      total_reqs += n;
+    }
+    Table tiers({"serve tier", "requests", "share"});
+    auto add_tier = [&](const std::string& label, std::size_t n) {
+      tiers.add_row({label, std::to_string(n),
+                     Table::percent(static_cast<double>(n) /
+                                        static_cast<double>(total_reqs),
+                                    1)});
+    };
+    std::map<std::string, std::size_t> rest = req_tags->second;
+    for (const auto& [tag, tier] : kTierTags) {
+      const auto it = rest.find(tag);
+      if (it == rest.end()) continue;
+      add_tier(tier, it->second);
+      rest.erase(it);
+    }
+    for (const auto& [tag, n] : rest) add_tier(tag, n);
+    std::cout << '\n'
+              << tiers.render("serve-tier rollup (root request span tags)")
+              << '\n';
+  }
 
   // Slowest traces end-to-end, with their per-stage split.
   std::vector<const std::pair<const std::uint64_t, TraceAgg>*> ranked;
