@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate.
 #
-#   ./ci.sh            # full gate: build, ctest, smoke, cslint (incremental,
-#                      #   SARIF artifact at build/cslint.sarif, over
+#   ./ci.sh            # full gate: build, ctest, smoke, cslint (--strict
+#                      #   interprocedural run with the persisted summary
+#                      #   cache, SARIF artifact at build/cslint.sarif, over
 #                      #   src/+tools/+bench/), mc (csmc litmus gate:
 #                      #   exhaustive small + bounded large), format,
-#                      #   clang-tidy wall, ASan/UBSan pass (+ cslint --strict
-#                      #   full rescan), TSan pass, csserve soak (verifies the
+#                      #   clang-tidy wall, ASan/UBSan pass, TSan pass,
+#                      #   csserve soak (verifies the
 #                      #   --metrics-out/--trace-out SIGINT flush), steal
 #                      #   runtime gate (test_steal under ASan, the
 #                      #   StealHammer cases under TSan, exp15 smoke), bench
@@ -14,7 +15,8 @@
 #                      #   steal_runtime + live stats
 #                      #   -> BENCH_<n>.json, build/stats-snapshot.json;
 #                      #   refuses debug builds, fail-soft per-benchmark
-#                      #   diff vs the previous BENCH via tools/bench_diff.py)
+#                      #   diff vs the previous BENCH via tools/bench_diff.py,
+#                      #   per-benchmark rows folded into the summary table)
 #   ./ci.sh --fast     # build, ctest, smoke, cslint, mc, format only
 #
 # Stages that need a tool the host lacks (clang-tidy, clang-format) are
@@ -101,17 +103,23 @@ stage_smoke() {
 }
 
 stage_cslint() {
-  # Incremental run over the whole tree (src/ + tools/ + bench/): the
-  # header-standalone cache persists in build/ and is shared with the
-  # --strict rescan in the asan stage, the SARIF artifact is what CI uploads
-  # for code-scanning annotation.  tools/ headers include "mc/..." by the
-  # repo convention, hence the extra -I src.  The per-rule counts line is
-  # folded into the stage summary table.
+  # Interprocedural --strict run over the whole tree (src/ + tools/ +
+  # bench/): stale suppressions are errors, the call graph + flow rules run
+  # transitively, and the SARIF artifact is what CI uploads for
+  # code-scanning annotation.  Two caches keep the rescan fast: the
+  # per-function summary cache (content-keyed, so it is safe under
+  # --strict — only changed files reparse) and the header-standalone cache
+  # (ignored on read under --strict but refreshed, so later incremental
+  # runs start warm).  tools/ headers include "mc/..." by the repo
+  # convention, hence the extra -I src.  The per-rule counts line is folded
+  # into the stage summary table.
   local out rc
   out="$(mktemp)"
-  ./build/tools/cslint \
+  ./build/tools/cslint --strict \
     -I src \
     --cache build/cslint-cache.txt \
+    --summary-cache build/cslint-summaries.txt \
+    --stats \
     --sarif build/cslint.sarif \
     --baseline tools/cslint/baseline.txt \
     src/ tools/ bench/ | tee "$out"
@@ -120,6 +128,9 @@ stage_cslint() {
   for kv in $(grep -oE 'rule-counts: .*' "$out" | head -1 | cut -d' ' -f2-); do
     record "  cslint ${kv%%=*}" "${kv#*=}"
   done
+  local rate
+  rate="$(grep -oE 'resolution-rate=[0-9.]+%' "$out" | head -1 | cut -d= -f2)"
+  [[ -n "$rate" ]] && record "  cslint resolution" "$rate"
   rm -f "$out"
   return "$rc"
 }
@@ -167,16 +178,6 @@ stage_asan() {
     echo "-- $t"
     ./build-asan/tests/"$t" || return 1
   done
-  # Full-rescan cross-check: --strict ignores the incremental cache on read
-  # (a stale or corrupted cache can never hide a header regression from CI)
-  # but still WRITES it, so the fresh results persist into later incremental
-  # stages and local runs.  --strict also turns stale suppressions (dead
-  # allow() annotations, baseline entries that no longer fire) into errors.
-  echo "-- cslint --strict (full rescan, refreshes cache)"
-  ./build-asan/tools/cslint --strict \
-    -I src \
-    --cache build/cslint-cache.txt \
-    --baseline tools/cslint/baseline.txt src/ tools/ bench/ || return 1
 }
 
 stage_tsan() {
@@ -339,10 +340,21 @@ stage_bench() {
 
   # Fail-soft regression diff against the previous snapshot: bench hosts are
   # noisy, so a wall-clock delta is a loud table row, never a red build.
+  # (bench_diff.py grows a --max-regress gate for release branches and local
+  # bisects; CI deliberately stays fail-soft.)  The machine-readable `row:`
+  # lines are folded into the stage summary table, one row per benchmark.
   if [[ "$n" -gt 1 ]] && command -v python3 >/dev/null 2>&1; then
     echo "-- bench diff vs BENCH_$((n - 1)).json"
+    local diff_out
+    diff_out="$(mktemp)"
     python3 tools/bench_diff.py "BENCH_$((n - 1)).json" "BENCH_${n}.json" \
+      | tee "$diff_out" \
       || echo "WARNING: bench diff unavailable (non-fatal)"
+    local bench old new pct
+    while read -r _ bench old new pct; do
+      record "  bench ${bench}" "${old} -> ${new} (${pct}%)"
+    done < <(grep -E '^row: ' "$diff_out")
+    rm -f "$diff_out"
   fi
 }
 
@@ -350,7 +362,7 @@ stage_bench() {
 run_stage "build (default)" stage_build
 run_stage "ctest (full suite)" stage_ctest
 run_stage "csserve smoke" stage_smoke
-run_stage "cslint (incremental + SARIF)" stage_cslint
+run_stage "cslint (strict + SARIF)" stage_cslint
 run_stage "mc (model checker)" stage_mc
 
 if command -v clang-format >/dev/null 2>&1; then

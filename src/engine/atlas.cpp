@@ -66,6 +66,26 @@ SolutionAtlas::Cell SolutionAtlas::build_cell(const LifeFunction& p,
   return cell;
 }
 
+// cslint: holds(mutex_)
+bool SolutionAtlas::find_cell_locked(const std::string& canonical_life, long k,
+                                     Cell* out, bool* at_cap) {
+  auto& family = families_[canonical_life];
+  *at_cap = family.size() >= opt_.max_cells_per_family;
+  const auto it = family.find(k);
+  if (it == family.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+// cslint: holds(mutex_)
+SolutionAtlas::Cell SolutionAtlas::insert_cell_locked(
+    const std::string& canonical_life, long k, const Cell& built) {
+  auto& family = families_[canonical_life];
+  const auto [it, inserted] = family.emplace(k, built);
+  if (inserted) cells_built_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
 std::optional<AtlasAnswer> SolutionAtlas::lookup(
     const std::string& canonical_life, const LifeFunction& p, double c) {
   if (!opt_.enabled) return std::nullopt;
@@ -77,27 +97,18 @@ std::optional<AtlasAnswer> SolutionAtlas::lookup(
 
   Cell cell;
   bool have = false;
+  bool at_cap = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto& family = families_[canonical_life];
-    const auto it = family.find(k);
-    if (it != family.end()) {
-      cell = it->second;
-      have = true;
-    } else if (family.size() >= opt_.max_cells_per_family) {
-      return std::nullopt;
-    }
+    have = find_cell_locked(canonical_life, k, &cell, &at_cap);
   }
   if (!have) {
+    if (at_cap) return std::nullopt;
     // Build outside the lock: three guideline solves must not serialize
-    // every other family's lookups.  A concurrent duplicate build loses the
-    // emplace race and is discarded.
-    Cell built = build_cell(p, k);
+    // every other family's lookups.
+    const Cell built = build_cell(p, k);
     std::lock_guard<std::mutex> lock(mutex_);
-    auto& family = families_[canonical_life];
-    const auto [it, inserted] = family.emplace(k, built);
-    if (inserted) cells_built_.fetch_add(1, std::memory_order_relaxed);
-    cell = it->second;
+    cell = insert_cell_locked(canonical_life, k, built);
   }
 
   if (!cell.usable || cell.err_bound > opt_.max_rel_err) return std::nullopt;

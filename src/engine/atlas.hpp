@@ -119,6 +119,16 @@ class SolutionAtlas {
   };
 
   [[nodiscard]] Cell build_cell(const LifeFunction& p, long k) const;
+  /// Cache probe.  Also reports whether the family is at its cell cap, so
+  /// the caller can give up before building a cell it could not insert.
+  // cslint: holds(mutex_)
+  bool find_cell_locked(const std::string& canonical_life, long k, Cell* out,
+                        bool* at_cap);
+  /// Publish a built cell; a concurrent duplicate build loses the emplace
+  /// race and the winner's cell is returned.
+  // cslint: holds(mutex_)
+  Cell insert_cell_locked(const std::string& canonical_life, long k,
+                          const Cell& built);
   /// The serving path proper: interpolate (t0, bracket) at `c` inside
   /// `cell` and re-expand exactly.  Used verbatim by the midpoint probe, so
   /// the measured error covers everything serving does.

@@ -92,11 +92,16 @@ void EventLoop::wake() noexcept {
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
 }
 
+// cslint: holds(post_mutex_)
+void EventLoop::take_posted_locked(std::vector<std::function<void()>>& out) {
+  out.swap(posted_);
+}
+
 void EventLoop::drain_posted() {
   std::vector<std::function<void()>> tasks;
   {
     std::lock_guard<std::mutex> lock(post_mutex_);
-    tasks.swap(posted_);
+    take_posted_locked(tasks);
   }
   for (auto& task : tasks) task();
 }

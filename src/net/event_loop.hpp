@@ -94,6 +94,9 @@ class EventLoop {
 
  private:
   void wake() noexcept;
+  /// Swap the posted queue out for execution off-lock.
+  // cslint: holds(post_mutex_)
+  void take_posted_locked(std::vector<std::function<void()>>& out);
   void drain_posted();
 
   int epoll_fd_ = -1;

@@ -135,7 +135,7 @@ class StealBackend {
       st.tasks_redistributed += 1;
     }
     std::lock_guard<std::mutex> lock(spill_mutex_);
-    spill_.insert(spill_.end(), batch->begin(), batch->end());
+    spill_locked(*batch);
   }
 
   // Empty-handed worker: go passive and move the termination token.
@@ -147,6 +147,16 @@ class StealBackend {
  private:
   bool grab_spill(std::size_t w) {
     std::lock_guard<std::mutex> lock(spill_mutex_);
+    return take_spill_locked(w);
+  }
+
+  // cslint: holds(spill_mutex_)
+  void spill_locked(const std::vector<TaskId>& batch) {
+    spill_.insert(spill_.end(), batch.begin(), batch.end());
+  }
+
+  // cslint: holds(spill_mutex_)
+  bool take_spill_locked(std::size_t w) {
     if (spill_.empty()) return false;
     const std::size_t take = std::min(spill_.size(), opt_.steal_batch);
     for (std::size_t i = 0; i < take; ++i) {

@@ -546,6 +546,8 @@ TEST(SarifGolden, CorpusMatchesByteForByte) {
       {"scoped.cpp", "testdata/src/core/scoped.cpp"},
       {"missing_guard.hpp", "testdata/missing_guard.hpp"},
       {"flow_rules.cpp", "testdata/flow_rules.cpp"},
+      {"nonowning_escape.cpp", "testdata/nonowning_escape.cpp"},
+      {"transitive_chain.cpp", "testdata/transitive_chain.cpp"},
   };
   std::vector<Violation> all;
   for (const auto& f : kFixtures) {

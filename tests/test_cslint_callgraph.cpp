@@ -1,0 +1,514 @@
+// Tests for cslint v3's interprocedural layer: the parser's escape-tracking
+// events (call arguments, assignments, returns, captures, holds() contracts,
+// base classes), the cross-TU call graph (qualified/receiver/virtual
+// resolution, affinity inference, transitive blocking reachability), the
+// nonowning-escape rule in all its sink variants, and the per-function
+// summary cache (round trip, mtime fast path, touch-without-change hit).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "cslint.hpp"
+#include "flow.hpp"
+#include "sarif.hpp"
+#include "summary.hpp"
+
+namespace fs = std::filesystem;
+using cs::lint::CallGraph;
+using cs::lint::FileModel;
+using cs::lint::FlowAnalyzer;
+using cs::lint::FlowContext;
+using cs::lint::FlowOptions;
+using cs::lint::FuncNode;
+using cs::lint::SummaryCache;
+using cs::lint::Violation;
+
+namespace {
+
+std::vector<Violation> flow(std::string_view src,
+                            const FlowOptions& opt = {}) {
+  return cs::lint::lint_flow("fix.cpp", src, opt);
+}
+
+std::size_t count_rule(const std::vector<Violation>& vs,
+                       std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(vs.begin(), vs.end(),
+                    [&](const Violation& v) { return v.rule == rule; }));
+}
+
+const Violation& first(const std::vector<Violation>& vs,
+                       std::string_view rule) {
+  const auto it =
+      std::find_if(vs.begin(), vs.end(),
+                   [&](const Violation& v) { return v.rule == rule; });
+  EXPECT_NE(it, vs.end()) << "no violation for rule " << rule;
+  return *it;
+}
+
+const FlowContext* ctx_named(const FileModel& fm, std::string_view name) {
+  for (const auto& c : fm.contexts)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// parser events the interprocedural layer consumes
+// ---------------------------------------------------------------------------
+
+TEST(ParseEvents, CallArgumentsRecordLoneIdentifiers) {
+  const auto fm = cs::lint::parse_file_model("x.cpp", R"(
+void g(int a, int b, int c);
+void f(int u, int v) { g(u, v + 1, std::move(v)); }
+)");
+  const FlowContext* f = ctx_named(fm, "f");
+  ASSERT_NE(f, nullptr);
+  // std::move(v) is itself recorded as a call site; find the call to g.
+  const auto git =
+      std::find_if(f->calls.begin(), f->calls.end(),
+                   [](const auto& c) { return c.callee == "g"; });
+  ASSERT_NE(git, f->calls.end());
+  const auto& args = git->args;
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0], "u");
+  EXPECT_EQ(args[1], "");  // expression: not a lone identifier
+  EXPECT_EQ(args[2], "v");  // through std::move
+}
+
+TEST(ParseEvents, ParamOrderAndAssignsAndReturns) {
+  const auto fm = cs::lint::parse_file_model("x.cpp", R"(
+struct S {
+  int take(int first, int second) {
+    member_ = first;
+    this->other_.field = second;
+    return second;
+  }
+  int member_;
+};
+)");
+  const FlowContext* c = ctx_named(fm, "S::take");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->param_order.size(), 2u);
+  EXPECT_EQ(c->param_order[0], "first");
+  EXPECT_EQ(c->param_order[1], "second");
+  ASSERT_EQ(c->assigns.size(), 2u);
+  EXPECT_EQ(c->assigns[0].lhs, "member_");
+  EXPECT_EQ(c->assigns[0].rhs, "first");
+  EXPECT_EQ(c->assigns[1].lhs, "other_.field");  // leading this-> stripped
+  EXPECT_EQ(c->assigns[1].rhs, "second");
+  ASSERT_EQ(c->rets.size(), 1u);
+  EXPECT_EQ(c->rets[0].ident, "second");
+}
+
+TEST(ParseEvents, LambdaCapturesAndDisposition) {
+  const auto fm = cs::lint::parse_file_model("x.cpp", R"(
+struct Q { template <typename F> void post(F&& f); };
+void f(int x, int y, Q& q) { q.post([x, &y] { (void)x; }); }
+auto g(int z) { return [=] { return z; }; }
+)");
+  const FlowContext* lam1 = ctx_named(fm, "f::<lambda@3>");
+  ASSERT_NE(lam1, nullptr);
+  ASSERT_EQ(lam1->captures.size(), 2u);
+  EXPECT_EQ(lam1->captures[0].name, "x");
+  EXPECT_FALSE(lam1->captures[0].by_ref);
+  EXPECT_EQ(lam1->captures[1].name, "y");
+  EXPECT_TRUE(lam1->captures[1].by_ref);
+  EXPECT_EQ(lam1->escape, ">post");
+
+  const FlowContext* lam2 = ctx_named(fm, "g::<lambda@4>");
+  ASSERT_NE(lam2, nullptr);
+  EXPECT_EQ(lam2->capture_default, '=');
+  EXPECT_EQ(lam2->escape, "return");
+}
+
+TEST(ParseEvents, HoldsContractAndClassBases) {
+  const auto fm = cs::lint::parse_file_model("x.cpp", R"(
+struct Base {};
+struct Other {};
+struct Derived : public Base, private Other {
+  // cslint: holds(mu_, other_mu_)
+  void locked_op();
+};
+)");
+  const auto it = fm.class_bases.find("Derived");
+  ASSERT_NE(it, fm.class_bases.end());
+  ASSERT_EQ(it->second.size(), 2u);
+  EXPECT_EQ(it->second[0], "Base");
+  EXPECT_EQ(it->second[1], "Other");
+
+  const FlowContext* c = ctx_named(fm, "Derived::locked_op");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->holds.size(), 2u);
+  EXPECT_EQ(c->holds[0], "mu_");
+  EXPECT_EQ(c->holds[1], "other_mu_");
+}
+
+// ---------------------------------------------------------------------------
+// call graph: resolution + stats
+// ---------------------------------------------------------------------------
+
+TEST(CallGraphResolution, VirtualCallResolvesToAllOverriders) {
+  // A blocking override behind a base-typed receiver must still be found:
+  // the family walk resolves base.step() to every overrider.
+  const auto vs = flow(R"(
+struct Base {
+  virtual void step();
+};
+struct Impl : public Base {
+  void step() override { solver_.join(); }
+  struct { void join(); } solver_;
+};
+// cs: affinity(loop)
+void tick(Base& b) { b.step(); }
+)");
+  EXPECT_EQ(count_rule(vs, "blocking-in-loop"), 1u)
+      << cs::lint::to_sarif(vs);
+}
+
+TEST(CallGraphResolution, ExplicitQualificationStaysStatic) {
+  // A::step is explicitly qualified: the overrider in B must NOT taint it.
+  const auto vs = flow(R"(
+struct A { void step() {} };
+struct B : public A { void step() { worker_.join(); } struct { void join(); } worker_; };
+// cs: affinity(loop)
+void tick(A& a) { a.A::step(); }
+)");
+  EXPECT_EQ(count_rule(vs, "blocking-in-loop"), 0u);
+}
+
+TEST(CallGraphStats, ResolutionLadderCounts) {
+  std::vector<FileModel> files;
+  files.push_back(cs::lint::parse_file_model("x.cpp", R"(
+struct S { void known(); };
+void f(S& s) {
+  s.known();          // exact
+  std::getline(a, b); // external (std-qualified)
+  mystery(1);         // external (name unknown in repo)
+}
+)"));
+  CallGraph g;
+  g.build(files);
+  const auto& st = g.stats();
+  EXPECT_EQ(st.exact_sites, 1u);
+  EXPECT_EQ(st.external_sites, 2u);
+  EXPECT_EQ(st.unresolved_sites, 0u);
+  EXPECT_EQ(st.resolution_rate(), 1.0);
+}
+
+TEST(CallGraphDot, DumpNamesNodesAndEdges) {
+  std::vector<FileModel> files;
+  files.push_back(cs::lint::parse_file_model("x.cpp", R"(
+struct S { void helper() {} void entry() { helper(); } };
+)"));
+  CallGraph g;
+  g.build(files);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph cslint_callgraph"), std::string::npos);
+  EXPECT_NE(dot.find("S::entry"), std::string::npos);
+  EXPECT_NE(dot.find("S::helper"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// transitive propagation: affinity inference + blocking chains
+// ---------------------------------------------------------------------------
+
+TEST(TransitiveBlocking, ThreeHopChainReportedAtOrigin) {
+  const auto vs = flow(R"(
+struct Solver { int solve(int n); };
+struct Shard {
+  // cs: affinity(loop)
+  void on_ready() { drain(); }
+  void drain() { finish(); }
+  void finish() { last_ = solver_.solve(3); }
+  Solver solver_;
+  int last_ = 0;
+};
+)");
+  ASSERT_EQ(count_rule(vs, "blocking-in-loop"), 1u);
+  const Violation& v = first(vs, "blocking-in-loop");
+  EXPECT_EQ(v.line, 5u);  // reported at the origin's first hop
+  EXPECT_NE(v.message.find("Shard::drain -> Shard::finish -> solve"),
+            std::string::npos)
+      << v.message;
+}
+
+TEST(TransitiveBlocking, OffWithoutTransitiveOption) {
+  FlowOptions opt;
+  opt.transitive = false;
+  const auto vs = flow(R"(
+struct Solver { int solve(int n); };
+struct Shard {
+  // cs: affinity(loop)
+  void on_ready() { drain(); }
+  void drain() { last_ = solver_.solve(3); }
+  Solver solver_;
+  int last_ = 0;
+};
+)",
+                       opt);
+  EXPECT_EQ(count_rule(vs, "blocking-in-loop"), 0u);
+}
+
+TEST(InferredAffinity, CalleeOnlyReachableFromLoopIsChecked) {
+  // helper() is only ever called from declared loop-affine code, so it is
+  // inferred loop-affine: its own call to an affine-only mutator is fine,
+  // but an unannotated third party calling helper() is still NOT flagged
+  // (inference never widens the set of reported sites beyond chains).
+  const auto vs = flow(R"(
+struct Loop {
+  // cs: affinity(loop)
+  void tick() { helper(); }
+  void helper() { mutate(); }
+  // cs: affinity(loop)
+  void mutate();
+};
+)");
+  // helper is inferred affine, so helper -> mutate is a legal affine call.
+  EXPECT_EQ(count_rule(vs, "thread-affinity"), 0u)
+      << cs::lint::to_sarif(vs);
+}
+
+TEST(InferredAffinity, MixedCallersBlockInference) {
+  // helper() is reachable from both loop-affine and plain code: it must NOT
+  // be inferred affine, so its call to the affine mutator is flagged.
+  const auto vs = flow(R"(
+struct Loop {
+  // cs: affinity(loop)
+  void tick() { helper(); }
+  void helper() { mutate(); }
+  // cs: affinity(loop)
+  void mutate();
+};
+void elsewhere(Loop& l) { l.helper(); }
+)");
+  EXPECT_EQ(count_rule(vs, "thread-affinity"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// holds() contracts feed the interprocedural lock graph
+// ---------------------------------------------------------------------------
+
+TEST(HoldsContract, ContractEdgeCompletesAbbaCycle) {
+  const auto vs = flow(R"(
+#include <mutex>
+std::mutex g_a;
+std::mutex g_b;
+// cslint: holds(g_b)
+void with_b_held() { std::lock_guard<std::mutex> lk(g_a); }
+void other() {
+  std::lock_guard<std::mutex> l1(g_a);
+  std::lock_guard<std::mutex> l2(g_b);
+}
+)");
+  EXPECT_EQ(count_rule(vs, "lock-order"), 1u) << cs::lint::to_sarif(vs);
+}
+
+TEST(HoldsContract, ConsistentOrderStaysQuiet) {
+  const auto vs = flow(R"(
+#include <mutex>
+std::mutex g_a;
+std::mutex g_b;
+// cslint: holds(g_a)
+void with_a_held() { std::lock_guard<std::mutex> lk(g_b); }
+void other() {
+  std::lock_guard<std::mutex> l1(g_a);
+  std::lock_guard<std::mutex> l2(g_b);
+}
+)");
+  EXPECT_EQ(count_rule(vs, "lock-order"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// nonowning-escape
+// ---------------------------------------------------------------------------
+
+TEST(NonowningEscape, MemberStoreContainerReturnAndCapture) {
+  const auto vs = flow(R"(
+#include <string_view>
+#include <vector>
+struct FunctionRef {};
+struct Q { template <typename F> void post(F&& f); };
+struct S {
+  void set(FunctionRef f) { fn_ = f; }
+  void add(std::string_view n) { names_.push_back(n); }
+  std::string_view echo(std::string_view s) { return s; }
+  void defer(FunctionRef f, Q& q) { q.post([f] { (void)f; }); }
+  FunctionRef fn_;
+  std::vector<std::string_view> names_;
+};
+)");
+  EXPECT_EQ(count_rule(vs, "nonowning-escape"), 4u)
+      << cs::lint::to_sarif(vs);
+}
+
+TEST(NonowningEscape, StaticLocalIsAnEscapeTarget) {
+  const auto vs = flow(R"(
+struct FunctionRef {};
+void f(FunctionRef cb) {
+  static FunctionRef last;
+  last = cb;
+}
+)");
+  ASSERT_EQ(count_rule(vs, "nonowning-escape"), 1u);
+  EXPECT_NE(first(vs, "nonowning-escape").message.find("static local"),
+            std::string::npos);
+}
+
+TEST(NonowningEscape, SynchronousUseAndOwningTypesStayQuiet) {
+  const auto vs = flow(R"(
+#include <string>
+#include <vector>
+struct FunctionRef {};
+struct S {
+  void apply(FunctionRef f) { use(f); }          // pass-down: fine
+  void keep(std::string owned) { name_ = owned; }  // owning type: fine
+  void local(FunctionRef f) { FunctionRef c = f; use(c); }  // local copy
+  static void use(FunctionRef f);
+  std::string name_;
+};
+)");
+  EXPECT_EQ(count_rule(vs, "nonowning-escape"), 0u)
+      << cs::lint::to_sarif(vs);
+}
+
+TEST(NonowningEscape, TransitivePropagationThroughWrapper) {
+  const auto vs = flow(R"(
+struct FunctionRef {};
+struct Sink {
+  void set(FunctionRef f) { fn_ = f; }
+  FunctionRef fn_;
+};
+void wrapper(FunctionRef g, Sink& s) { s.set(g); }
+)");
+  EXPECT_EQ(count_rule(vs, "nonowning-escape"), 2u);
+  bool found_transitive = false;
+  for (const auto& v : vs)
+    if (v.message.find("passed to 'Sink::set'") != std::string::npos)
+      found_transitive = true;
+  EXPECT_TRUE(found_transitive) << cs::lint::to_sarif(vs);
+}
+
+TEST(NonowningEscape, AllowAnnotationSuppresses) {
+  const auto vs = flow(R"(
+struct FunctionRef {};
+struct S {
+  void pin(FunctionRef f) {
+    fn_ = f;  // cslint: allow(nonowning-escape) referent is static
+  }
+  FunctionRef fn_;
+};
+)");
+  EXPECT_EQ(count_rule(vs, "nonowning-escape"), 0u);
+}
+
+TEST(NonowningEscape, ByRefCaptureDoesNotFire) {
+  const auto vs = flow(R"(
+struct FunctionRef {};
+struct Q { template <typename F> void post(F&& f); };
+void f(FunctionRef cb, Q& q) { q.post([&cb] { (void)cb; }); }
+)");
+  // By-ref capture is a lifetime bug of a different kind (dangling ref to
+  // the parameter itself) but is not a non-owning *copy* escape.
+  EXPECT_EQ(count_rule(vs, "nonowning-escape"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// summary cache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("cslint_callgraph_test_" + std::to_string(::getpid()));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+const char* kSummarySrc = R"(
+struct FunctionRef {};
+struct S {
+  // cslint: holds(mu_)
+  void locked(FunctionRef f) { fn_ = f; }
+  FunctionRef fn_;
+};
+)";
+
+}  // namespace
+
+TEST(SummaryCacheTest, RoundTripPreservesTheModel) {
+  TempDir tmp;
+  const fs::path file = tmp.path / "summaries.txt";
+  {
+    SummaryCache cache;
+    cache.put("s.cpp", 100, 50, kSummarySrc,
+              cs::lint::parse_file_model("s.cpp", kSummarySrc));
+    cache.save(file);
+  }
+  SummaryCache cache;
+  cache.load(file);
+  EXPECT_EQ(cache.size(), 1u);
+  const FileModel* m = cache.lookup("s.cpp", 100, 50, kSummarySrc);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(cache.fast_hits(), 1u);
+
+  // The revived model drives the rules identically to a fresh parse.
+  FlowAnalyzer fa;
+  FileModel copy = *m;
+  copy.raw_lines = cs::lint::split_lines(kSummarySrc);
+  fa.add_model(std::move(copy));
+  const auto vs = fa.run();
+  EXPECT_EQ(count_rule(vs, "nonowning-escape"), 1u)
+      << cs::lint::to_sarif(vs);
+
+  const FlowContext* c = ctx_named(fa.files()[0], "S::locked");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->holds.size(), 1u);
+  EXPECT_EQ(c->holds[0], "mu_");
+}
+
+TEST(SummaryCacheTest, TouchWithoutChangeIsAHashHit) {
+  SummaryCache cache;
+  cache.put("s.cpp", 100, 50, kSummarySrc,
+            cs::lint::parse_file_model("s.cpp", kSummarySrc));
+  // Same content, new mtime: the hash fallback keeps it a hit...
+  EXPECT_NE(cache.lookup("s.cpp", 999, 50, kSummarySrc), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // ...and refreshes the stamp so the next lookup takes the fast path.
+  EXPECT_NE(cache.lookup("s.cpp", 999, 50, kSummarySrc), nullptr);
+  EXPECT_EQ(cache.fast_hits(), 1u);
+}
+
+TEST(SummaryCacheTest, ChangedContentIsAMiss) {
+  SummaryCache cache;
+  cache.put("s.cpp", 100, 50, kSummarySrc,
+            cs::lint::parse_file_model("s.cpp", kSummarySrc));
+  EXPECT_EQ(cache.lookup("s.cpp", 999, 51, "int other;"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SummaryCacheTest, MalformedFileIsIgnored) {
+  TempDir tmp;
+  const fs::path file = tmp.path / "summaries.txt";
+  std::ofstream(file) << "not-the-magic\ngarbage\n";
+  SummaryCache cache;
+  cache.load(file);
+  EXPECT_EQ(cache.size(), 0u);
+}

@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
 """Compare two BENCH_<n>.json snapshots benchmark by benchmark.
 
-Usage: bench_diff.py OLD.json NEW.json
+Usage: bench_diff.py [--max-regress PCT] OLD.json NEW.json
 
 Prints a per-benchmark delta table for the perf_micro section (real time,
-ns/op) plus the csload throughput and latency percentiles.  Intended as a
-fail-soft CI aid: the exit code is always 0 once both files parse — a
-regression shows up as a loud row in the table, not a red build, because
-bench hosts are noisy and a hard gate on wall-clock numbers would flake.
-Exit 2 only for usage/parse errors (the caller treats that as "no diff
-available", not as failure).
+ns/op) plus the csload throughput and latency percentiles.  Each comparable
+benchmark also emits a machine-readable `row:` line
+
+    row: <name> <old> <new> <delta_pct>
+
+that callers (ci.sh) can parse into their own summary tables without
+re-implementing the JSON walk.
+
+By default the exit code is 0 once both files parse — a regression shows up
+as a loud row in the table, not a red build, because bench hosts are noisy
+and a hard gate on wall-clock numbers would flake.  With --max-regress PCT
+the exit code is 1 when any benchmark regressed by more than PCT percent
+(time and latency up, throughput down); CI deliberately does not use it,
+but release branches and local bisects can.  Exit 2 only for usage/parse
+errors (the caller treats that as "no diff available", not as failure).
 """
 
 import json
@@ -36,19 +45,36 @@ def perf_map(snapshot):
     return out
 
 
-def fmt_delta(old, new):
+def delta_pct(old, new):
     if old <= 0:
-        return "n/a"
-    pct = (new - old) / old * 100.0
-    return f"{pct:+.1f}%"
+        return None
+    return (new - old) / old * 100.0
+
+
+def fmt_delta(old, new):
+    pct = delta_pct(old, new)
+    return "n/a" if pct is None else f"{pct:+.1f}%"
 
 
 def main(argv):
-    if len(argv) != 3:
+    max_regress = None
+    args = argv[1:]
+    if args and args[0] == "--max-regress":
+        if len(args) < 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        try:
+            max_regress = float(args[1])
+        except ValueError:
+            print(f"bench_diff: bad --max-regress value: {args[1]}",
+                  file=sys.stderr)
+            return 2
+        args = args[2:]
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    old = load(argv[1])
-    new = load(argv[2])
+    old = load(args[0])
+    new = load(args[1])
     if old is None or new is None:
         return 2
 
@@ -57,7 +83,16 @@ def main(argv):
     names = sorted(set(old_perf) | set(new_perf))
     width = max((len(n) for n in names), default=9)
 
-    print(f"bench diff: {argv[1]} -> {argv[2]}")
+    regressed = []
+
+    def check(name, pct, higher_is_better=False):
+        if max_regress is None or pct is None:
+            return
+        bad = -pct if higher_is_better else pct
+        if bad > max_regress:
+            regressed.append((name, pct))
+
+    print(f"bench diff: {args[0]} -> {args[1]}")
     print(f"{'benchmark':<{width}}  {'old ns':>12}  {'new ns':>12}  delta")
     for name in names:
         o = old_perf.get(name)
@@ -69,19 +104,33 @@ def main(argv):
         else:
             print(f"{name:<{width}}  {o:>12.0f}  {n:>12.0f}  "
                   f"{fmt_delta(o, n)}")
+            pct = delta_pct(o, n)
+            if pct is not None:
+                print(f"row: {name} {o:.0f} {n:.0f} {pct:+.1f}")
+            check(name, pct)
 
     old_load = old.get("csload", {})
     new_load = new.get("csload", {})
-    rows = [("throughput req/s", old_load.get("throughput"),
-             new_load.get("throughput"))]
+    rows = [("throughput_req_s", old_load.get("throughput"),
+             new_load.get("throughput"), True)]
     for q in ("p50", "p99"):
-        rows.append((f"csload {q} us",
+        rows.append((f"csload_{q}_us",
                      old_load.get("latency_us", {}).get(q),
-                     new_load.get("latency_us", {}).get(q)))
-    for label, o, n in rows:
+                     new_load.get("latency_us", {}).get(q), False))
+    for label, o, n, higher_is_better in rows:
         if isinstance(o, (int, float)) and isinstance(n, (int, float)):
             print(f"{label:<{width}}  {o:>12.1f}  {n:>12.1f}  "
                   f"{fmt_delta(o, n)}")
+            pct = delta_pct(o, n)
+            if pct is not None:
+                print(f"row: {label} {o:.1f} {n:.1f} {pct:+.1f}")
+            check(label, pct, higher_is_better)
+
+    if regressed:
+        for name, pct in regressed:
+            print(f"bench_diff: REGRESSION {name}: {pct:+.1f}% "
+                  f"(limit {max_regress:.1f}%)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,781 @@
+// Call-graph construction and per-function summaries (see callgraph.hpp).
+// Every fixed point below is monotone over finite sets, so iteration counts
+// are bounded; explicit guards cap them anyway.
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace cs::lint {
+
+namespace {
+
+/// Callee names treated as blocking inside loop-affine code: solver entry
+/// points, sleeps, waits/joins, and blocking syscalls.  accept/recv/send are
+/// deliberately absent — the loop uses them non-blocking on epoll-readied
+/// fds.
+const std::unordered_set<std::string> kBlockingCallees = {
+    "sleep_for",  "sleep_until", "usleep",     "nanosleep",
+    "connect",    "poll",        "select",     "epoll_wait",
+    "system",     "wait",        "wait_for",   "wait_until",
+    "join",       "solve",       "solve_many", "solve_async",
+    "run_solver", "dp_reference", "greedy_schedule", "quantize_schedule",
+};
+
+/// Type tokens that make a declaration non-owning: two-pointer erasure and
+/// view types whose referent some caller frame owns.  Capitalised Span is
+/// absent on purpose (cs::obs::Span is an owning struct).
+const std::unordered_set<std::string> kNonOwningTypes = {
+    "FunctionRef", "SurvivalRef", "DerivativeRef", "string_view", "span",
+};
+
+/// Container-mutation callees that copy an argument into the receiver.
+const std::unordered_set<std::string> kStoreCallees = {
+    "push_back", "emplace_back", "push_front", "insert", "emplace", "push",
+    "assign",
+};
+
+/// Callees that keep the callable they are handed beyond the call: executor
+/// hand-off points across src/net, src/engine, src/steal.
+const std::unordered_set<std::string> kDeferringCallees = {
+    "post",    "submit",  "async", "set_tick", "add",      "defer",
+    "enqueue", "spawn",   "start", "schedule", "then",     "solve_async",
+    "push_back", "emplace_back",
+};
+
+/// Receiver types that mark a call site as out-of-repo (std containers and
+/// friends) for the --stats accounting.
+const std::unordered_set<std::string> kStdTypes = {
+    "vector", "string", "map", "unordered_map", "set", "unordered_set",
+    "deque", "array", "optional", "unique_ptr", "shared_ptr", "weak_ptr",
+    "atomic", "mutex", "shared_mutex", "condition_variable", "thread",
+    "jthread", "queue", "priority_queue", "span", "string_view", "pair",
+    "tuple", "function", "ifstream", "ofstream", "fstream", "stringstream",
+    "ostringstream", "istringstream", "ostream", "istream", "regex",
+    "bitset", "chrono", "filesystem", "error_code", "future", "promise",
+};
+
+std::string last_segment(const std::string& qualified) {
+  const std::size_t sep = qualified.rfind("::");
+  return sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+}
+
+std::vector<std::string> split_dots(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t dot = s.find('.', pos);
+    if (dot == std::string::npos) {
+      if (pos < s.size()) out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, dot - pos));
+    pos = dot + 1;
+  }
+  return out;
+}
+
+bool chain_root_is(const std::string& chain, const std::string& name) {
+  const std::size_t dot = chain.find('.');
+  return dot == std::string::npos ? chain == name
+                                  : chain.compare(0, dot, name) == 0;
+}
+
+/// Does a lambda body mention `name` (call args/receivers, assignments,
+/// returns)?  Used to decide whether a `[=]` default actually captures it.
+bool lambda_uses(const FlowContext& lam, const std::string& name) {
+  for (const FlowCall& c : lam.calls) {
+    if (c.callee == name && c.receiver.empty() && c.qualifier.empty())
+      return true;  // the capture invoked directly: `f()`
+    if (!c.receiver.empty() && c.receiver != "?" &&
+        chain_root_is(c.receiver, name))
+      return true;
+    for (const std::string& a : c.args)
+      if (a == name) return true;
+  }
+  for (const FlowAssign& a : lam.assigns)
+    if (a.rhs == name || chain_root_is(a.lhs, name)) return true;
+  for (const FlowReturn& r : lam.rets)
+    if (r.ident == name) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string FuncNode::display() const {
+  return class_name.empty() ? simple
+                            : last_segment(class_name) + "::" + simple;
+}
+
+bool CallGraph::is_nonowning_type(const std::vector<std::string>& types) {
+  for (const std::string& t : types)
+    if (kNonOwningTypes.count(t) > 0) return true;
+  return false;
+}
+
+bool CallGraph::is_blocking_callee(const std::string& name) {
+  return kBlockingCallees.count(name) > 0;
+}
+
+// ------------------------------------------------------------------ build
+
+void CallGraph::build(const std::vector<FileModel>& files) {
+  files_ = &files;
+  funcs_.clear();
+  by_class_.clear();
+  free_by_simple_.clear();
+  members_.clear();
+  known_classes_.clear();
+  bases_.clear();
+  derived_.clear();
+  stats_ = CallGraphStats{};
+  index(files);
+  compute_transitive_acquires();
+  infer_affinity();
+  compute_blocking_reach();
+  compute_escape_summaries();
+  compute_stats();
+}
+
+void CallGraph::index(const std::vector<FileModel>& files) {
+  for (const FileModel& fm : files) {
+    for (const FlowContext& ctx : fm.contexts) {
+      if (ctx.is_lambda) continue;
+      FuncNode& f = funcs_[ctx.class_name + "::" + ctx.simple];
+      f.class_name = ctx.class_name;
+      f.simple = ctx.simple;
+      f.declared_affine = f.declared_affine || ctx.loop_affine;
+      f.must_use = f.must_use || ctx.returns_must_use;
+      f.is_template = f.is_template || ctx.is_template;
+      for (const std::string& m : ctx.holds) f.holds.insert(m);
+      if (ctx.defined) {
+        f.bodies.push_back(&ctx);
+        if (f.param_order.empty()) f.param_order = ctx.param_order;
+      }
+    }
+    for (const auto& [cls, vars] : fm.members) {
+      auto& dst = members_[last_segment(cls)];
+      for (const auto& [var, types] : vars)
+        if (dst.count(var) == 0) dst[var] = types;
+    }
+    for (const auto& [cls, bs] : fm.class_bases) {
+      const std::string c = last_segment(cls);
+      for (const std::string& b : bs) {
+        bases_[c].insert(b);
+        derived_[b].insert(c);
+      }
+    }
+  }
+  for (auto& [key, f] : funcs_) {
+    (void)key;
+    f.param_escapes.assign(f.param_order.size(), 0);
+    if (f.class_name.empty()) {
+      free_by_simple_[f.simple].push_back(&f);
+    } else {
+      by_class_[last_segment(f.class_name)][f.simple].push_back(&f);
+      known_classes_.insert(last_segment(f.class_name));
+    }
+  }
+  for (const auto& [cls, vars] : members_) {
+    (void)vars;
+    known_classes_.insert(cls);
+  }
+  stats_.functions = funcs_.size();
+}
+
+// ------------------------------------------------------------- resolution
+
+const FuncNode* CallGraph::node_of(const FlowContext& ctx) const {
+  if (ctx.is_lambda) return nullptr;
+  const auto it = funcs_.find(ctx.class_name + "::" + ctx.simple);
+  return it == funcs_.end() ? nullptr : &it->second;
+}
+
+bool CallGraph::declared_affine(const FlowContext& ctx) const {
+  if (ctx.loop_affine) return true;
+  if (ctx.is_lambda) return false;
+  const FuncNode* n = node_of(ctx);
+  return n != nullptr && n->declared_affine;
+}
+
+bool CallGraph::effective_affine(const FlowContext& ctx) const {
+  if (ctx.loop_affine) return true;
+  if (ctx.is_lambda) return false;
+  const FuncNode* n = node_of(ctx);
+  return n != nullptr && n->affine();
+}
+
+std::vector<std::string> CallGraph::types_of(const FlowContext& ctx,
+                                             const std::string& var) const {
+  const auto it = ctx.var_types.find(var);
+  if (it != ctx.var_types.end()) return it->second;
+  if (!ctx.class_name.empty()) {
+    const auto cit = members_.find(last_segment(ctx.class_name));
+    if (cit != members_.end()) {
+      const auto vit = cit->second.find(var);
+      if (vit != cit->second.end()) return vit->second;
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> CallGraph::classes_from_types(
+    const std::vector<std::string>& types) const {
+  std::vector<std::string> out;
+  for (auto it = types.rbegin(); it != types.rend(); ++it)
+    if (known_classes_.count(*it) > 0) out.push_back(*it);
+  return out;
+}
+
+std::vector<FuncNode*> CallGraph::methods_of(const std::string& cls,
+                                             const std::string& name) const {
+  const auto cit = by_class_.find(cls);
+  if (cit == by_class_.end()) return {};
+  const auto mit = cit->second.find(name);
+  if (mit == cit->second.end()) return {};
+  return mit->second;
+}
+
+std::vector<FuncNode*> CallGraph::methods_of_virtual(
+    const std::string& cls, const std::string& name) const {
+  // Family = the static class, its transitive bases (the method may be
+  // inherited), and every transitive derived class (all overriders — a
+  // base-typed receiver can dynamically dispatch to any of them).
+  std::set<std::string> family{cls};
+  std::vector<std::string> work{cls};
+  while (!work.empty()) {
+    const std::string c = work.back();
+    work.pop_back();
+    const auto bit = bases_.find(c);
+    if (bit == bases_.end()) continue;
+    for (const std::string& b : bit->second)
+      if (family.insert(b).second) work.push_back(b);
+  }
+  work.assign(family.begin(), family.end());
+  while (!work.empty()) {
+    const std::string c = work.back();
+    work.pop_back();
+    const auto dit = derived_.find(c);
+    if (dit == derived_.end()) continue;
+    for (const std::string& d : dit->second)
+      if (family.insert(d).second) work.push_back(d);
+  }
+  std::vector<FuncNode*> out;
+  for (const std::string& c : family)
+    for (FuncNode* f : methods_of(c, name)) out.push_back(f);
+  return out;
+}
+
+Resolution CallGraph::resolve(const FlowContext& ctx,
+                              const FlowCall& call) const {
+  Resolution res;
+  if (call.qualifier == "::") return res;  // explicit global (syscall)
+
+  auto as_const = [](const std::vector<FuncNode*>& v) {
+    return std::vector<const FuncNode*>(v.begin(), v.end());
+  };
+
+  if (!call.receiver.empty() && call.receiver != "?") {
+    const std::vector<std::string> chain = split_dots(call.receiver);
+    std::vector<std::string> classes =
+        classes_from_types(types_of(ctx, chain.front()));
+    for (std::size_t k = 1; k < chain.size() && !classes.empty(); ++k) {
+      std::vector<std::string> next;
+      for (const std::string& cls : classes) {
+        const auto cit = members_.find(cls);
+        if (cit == members_.end()) continue;
+        const auto vit = cit->second.find(chain[k]);
+        if (vit == cit->second.end()) continue;
+        for (const std::string& c : classes_from_types(vit->second))
+          next.push_back(c);
+      }
+      classes = std::move(next);
+    }
+    for (const std::string& cls : classes)
+      for (FuncNode* f : methods_of_virtual(cls, call.callee))
+        if (std::find(res.candidates.begin(), res.candidates.end(), f) ==
+            res.candidates.end())
+          res.candidates.push_back(f);
+    if (!res.candidates.empty()) {
+      res.exact = true;
+      return res;
+    }
+    // Receiver didn't resolve: fall back to every function sharing the
+    // simple name (rules then require unanimity on the property).
+    return name_fallback(call.callee);
+  }
+
+  if (!call.qualifier.empty()) {
+    // Explicit qualification is a static call: no overrider expansion.
+    const std::string q = last_segment(call.qualifier);
+    res.candidates = as_const(methods_of(q, call.callee));
+    if (!res.candidates.empty()) {
+      res.exact = true;
+      return res;
+    }
+    const auto fit = free_by_simple_.find(call.callee);
+    if (fit != free_by_simple_.end()) {
+      res.candidates = as_const(fit->second);
+      res.exact = true;
+    }
+    return res;
+  }
+
+  // Unqualified: a method of the enclosing class (virtual dispatch on
+  // `this` included), else a free function.
+  if (!ctx.class_name.empty()) {
+    res.candidates = as_const(
+        methods_of_virtual(last_segment(ctx.class_name), call.callee));
+    if (!res.candidates.empty()) {
+      res.exact = true;
+      return res;
+    }
+  }
+  const auto fit = free_by_simple_.find(call.callee);
+  if (fit != free_by_simple_.end()) {
+    res.candidates = as_const(fit->second);
+    res.exact = true;
+  }
+  return res;
+}
+
+Resolution CallGraph::name_fallback(const std::string& name) const {
+  Resolution res;
+  for (const auto& [cls, byname] : by_class_) {
+    (void)cls;
+    const auto it = byname.find(name);
+    if (it == byname.end()) continue;
+    for (FuncNode* f : it->second) res.candidates.push_back(f);
+  }
+  const auto fit = free_by_simple_.find(name);
+  if (fit != free_by_simple_.end())
+    for (FuncNode* f : fit->second) res.candidates.push_back(f);
+  return res;  // exact stays false
+}
+
+bool CallGraph::name_known(const std::string& name) const {
+  if (free_by_simple_.count(name) > 0) return true;
+  for (const auto& [cls, byname] : by_class_) {
+    (void)cls;
+    if (byname.count(name) > 0) return true;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- summaries
+
+void CallGraph::compute_transitive_acquires() {
+  for (auto& [key, f] : funcs_) {
+    (void)key;
+    for (const FlowContext* body : f.bodies)
+      for (const std::string& m : body->direct_mutexes) f.acquires.insert(m);
+  }
+  bool changed = true;
+  std::size_t guard = funcs_.size() + 1;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (auto& [key, f] : funcs_) {
+      (void)key;
+      for (const FlowContext* body : f.bodies) {
+        for (const FlowCall& call : body->calls) {
+          const Resolution res = resolve(*body, call);
+          if (!res.exact) continue;
+          for (const FuncNode* callee : res.candidates) {
+            for (const std::string& m : callee->acquires) {
+              if (f.acquires.insert(m).second) changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void CallGraph::infer_affinity() {
+  // Call sites per node.  Exact resolutions attribute the site precisely;
+  // a non-exact call taints every function sharing the simple name (an
+  // unresolved caller must block inference, not enable it).
+  std::map<const FuncNode*, std::vector<const FlowContext*>> sites;
+  for (const FileModel& fm : *files_) {
+    for (const FlowContext& ctx : fm.contexts) {
+      if (!ctx.defined) continue;
+      for (const FlowCall& call : ctx.calls) {
+        const Resolution res = resolve(ctx, call);
+        if (res.exact) {
+          for (const FuncNode* n : res.candidates)
+            sites[n].push_back(&ctx);
+        } else if (name_known(call.callee)) {
+          const Resolution all = name_fallback(call.callee);
+          for (const FuncNode* n : all.candidates) sites[n].push_back(&ctx);
+        }
+      }
+    }
+  }
+  bool changed = true;
+  std::size_t guard = funcs_.size() + 1;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (auto& [key, f] : funcs_) {
+      (void)key;
+      if (f.declared_affine || f.inferred_affine || f.bodies.empty())
+        continue;
+      const auto sit = sites.find(&f);
+      if (sit == sites.end() || sit->second.empty()) continue;
+      bool all_affine = true;
+      for (const FlowContext* caller : sit->second) {
+        if (!effective_affine(*caller)) {
+          all_affine = false;
+          break;
+        }
+      }
+      if (all_affine) {
+        f.inferred_affine = true;
+        changed = true;
+      }
+    }
+  }
+  for (const auto& [key, f] : funcs_) {
+    (void)key;
+    if (f.inferred_affine) ++stats_.inferred_affine;
+  }
+}
+
+void CallGraph::compute_blocking_reach() {
+  // Shortest (then lexicographically smallest) witness chain per node,
+  // capped at 8 hops.  A direct blocking call is depth 1.
+  std::map<const FuncNode*, std::size_t> depth;
+  bool changed = true;
+  std::size_t rounds = 8;
+  while (changed && rounds-- > 0) {
+    changed = false;
+    for (auto& [key, f] : funcs_) {
+      (void)key;
+      std::size_t best_depth =
+          f.blocking_name.empty() ? static_cast<std::size_t>(-1)
+                                  : depth[&f];
+      std::vector<std::string> best_chain = f.blocking_chain;
+      std::string best_name = f.blocking_name;
+      for (const FlowContext* body : f.bodies) {
+        for (const FlowCall& call : body->calls) {
+          if (kBlockingCallees.count(call.callee) > 0) {
+            std::vector<std::string> chain{call.callee};
+            if (1 < best_depth ||
+                (best_depth == 1 && chain < best_chain)) {
+              best_depth = 1;
+              best_chain = std::move(chain);
+              best_name = call.callee;
+            }
+            continue;
+          }
+          const Resolution res = resolve(*body, call);
+          if (!res.exact) continue;
+          for (const FuncNode* callee : res.candidates) {
+            if (callee == &f || callee->blocking_name.empty()) continue;
+            const std::size_t d = depth[callee] + 1;
+            std::vector<std::string> chain{callee->display()};
+            chain.insert(chain.end(), callee->blocking_chain.begin(),
+                         callee->blocking_chain.end());
+            if (d < best_depth || (d == best_depth && chain < best_chain)) {
+              best_depth = d;
+              best_chain = std::move(chain);
+              best_name = callee->blocking_name;
+            }
+          }
+        }
+      }
+      if (best_depth != static_cast<std::size_t>(-1) &&
+          (f.blocking_name != best_name || f.blocking_chain != best_chain)) {
+        f.blocking_name = best_name;
+        f.blocking_chain = best_chain;
+        depth[&f] = best_depth;
+        changed = true;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- escapes
+
+std::string CallGraph::sink_kind(const FlowContext& ctx,
+                                 const std::string& chain) const {
+  const std::size_t dot = chain.find('.');
+  const std::string root =
+      dot == std::string::npos ? chain : chain.substr(0, dot);
+  if (root.empty()) return "";
+  if (std::find(ctx.static_locals.begin(), ctx.static_locals.end(), root) !=
+      ctx.static_locals.end())
+    return "static local '" + chain + "'";
+  if (ctx.var_types.count(root) > 0) return "";  // function-local
+  if (!ctx.class_name.empty()) {
+    const auto cit = members_.find(last_segment(ctx.class_name));
+    if (cit != members_.end() && cit->second.count(root) > 0)
+      return "member '" + chain + "'";
+  }
+  if (root.size() > 1 && root.back() == '_') return "member '" + chain + "'";
+  return "";  // unknown root: stay silent (documented false negative)
+}
+
+std::vector<EscapeSink> CallGraph::direct_escapes(const FlowContext& ctx,
+                                                  const FileModel& fm) const {
+  std::vector<EscapeSink> out;
+  if (!ctx.defined) return out;
+  for (std::size_t k = 0; k < ctx.param_order.size(); ++k) {
+    const std::string& p = ctx.param_order[k];
+    if (p.empty()) continue;
+    const auto tit = ctx.var_types.find(p);
+    if (tit == ctx.var_types.end() || !is_nonowning_type(tit->second))
+      continue;
+
+    // (1) `chain = p;` where the chain's root outlives the call.
+    for (const FlowAssign& a : ctx.assigns) {
+      if (a.rhs != p) continue;
+      const std::string kind = sink_kind(ctx, a.lhs);
+      if (!kind.empty())
+        out.push_back(EscapeSink{p, k, a.line, "stored into " + kind, true});
+    }
+    // (2) container store: `sink_.push_back(p)` and friends.
+    for (const FlowCall& c : ctx.calls) {
+      if (kStoreCallees.count(c.callee) == 0) continue;
+      if (std::find(c.args.begin(), c.args.end(), p) == c.args.end())
+        continue;
+      if (c.receiver.empty() || c.receiver == "?") continue;
+      const std::string kind = sink_kind(ctx, c.receiver);
+      if (!kind.empty())
+        out.push_back(EscapeSink{
+            p, k, c.line, "copied into long-lived container " + kind, true});
+    }
+    // (3) `return p;` — hands the view up a frame (direct finding only:
+    // the caller still owns the referent, so this does not propagate).
+    for (const FlowReturn& r : ctx.rets) {
+      if (r.ident != p) continue;
+      out.push_back(EscapeSink{p, k, r.line,
+                               "returned to the caller (referent lifetime "
+                               "no longer tied to this frame)",
+                               false});
+    }
+    // (4) captured by value in a lambda that escapes.
+    for (const FlowContext& lam : fm.contexts) {
+      if (!lam.is_lambda) continue;
+      if (lam.name.rfind(ctx.name + "::<lambda@", 0) != 0) continue;
+      bool by_value = false;
+      bool by_ref = false;
+      for (const FlowCapture& cap : lam.captures) {
+        if (cap.name != p) continue;
+        (cap.by_ref ? by_ref : by_value) = true;
+      }
+      if (!by_value && !by_ref && lam.capture_default == '=' &&
+          lambda_uses(lam, p))
+        by_value = true;
+      if (!by_value) continue;
+      std::string how;
+      bool propagates = false;
+      if (lam.escape == "return") {
+        how = "a returned lambda";
+      } else if (!lam.escape.empty() && lam.escape[0] == '=') {
+        const std::string kind = sink_kind(ctx, lam.escape.substr(1));
+        if (kind.empty()) continue;
+        how = "a lambda stored into " + kind;
+        propagates = true;
+      } else if (!lam.escape.empty() && lam.escape[0] == '>') {
+        const std::string callee = lam.escape.substr(1);
+        if (kDeferringCallees.count(callee) == 0) continue;
+        how = "a lambda handed to deferred executor '" + callee + "'";
+        propagates = true;
+      } else {
+        continue;
+      }
+      out.push_back(EscapeSink{p, k, lam.line,
+                               "captured by value in " + how, propagates});
+    }
+  }
+  return out;
+}
+
+void CallGraph::compute_escape_summaries() {
+  // Seed with direct store-style escapes, then propagate positionally:
+  // passing a non-owning parameter into a callee parameter that escapes
+  // taints the caller's parameter too.
+  for (const FileModel& fm : *files_) {
+    for (const FlowContext& ctx : fm.contexts) {
+      if (ctx.is_lambda || !ctx.defined) continue;
+      FuncNode* f = const_cast<FuncNode*>(node_of(ctx));
+      if (f == nullptr) continue;
+      if (f->param_escapes.size() < f->param_order.size())
+        f->param_escapes.assign(f->param_order.size(), 0);
+      for (const EscapeSink& s : direct_escapes(ctx, fm)) {
+        if (!s.propagates) continue;
+        // Positions line up with the node's param_order only when this
+        // body is the one that seeded it; match by name to be safe.
+        for (std::size_t k = 0; k < f->param_order.size(); ++k)
+          if (f->param_order[k] == s.param) f->param_escapes[k] = 1;
+      }
+    }
+  }
+  bool changed = true;
+  std::size_t guard = funcs_.size() + 1;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (auto& [key, f] : funcs_) {
+      (void)key;
+      for (const FlowContext* body : f.bodies) {
+        for (const FlowCall& call : body->calls) {
+          bool interesting = false;
+          for (const std::string& a : call.args)
+            if (!a.empty() &&
+                std::find(f.param_order.begin(), f.param_order.end(), a) !=
+                    f.param_order.end())
+              interesting = true;
+          if (!interesting) continue;
+          const Resolution res = resolve(*body, call);
+          if (!res.exact) continue;
+          for (const FuncNode* callee : res.candidates) {
+            for (std::size_t j = 0;
+                 j < call.args.size() && j < callee->param_escapes.size();
+                 ++j) {
+              if (call.args[j].empty() || callee->param_escapes[j] == 0)
+                continue;
+              // The callee parameter must itself be non-owning-typed,
+              // which param_escapes already guarantees (gated at seed).
+              for (std::size_t k = 0; k < f.param_order.size(); ++k) {
+                if (f.param_order[k] != call.args[j]) continue;
+                // Caller's own parameter must be non-owning for the taint
+                // to mean anything.
+                const auto tit = body->var_types.find(call.args[j]);
+                if (tit == body->var_types.end() ||
+                    !is_nonowning_type(tit->second))
+                  continue;
+                if (f.param_escapes[k] == 0) {
+                  f.param_escapes[k] = 1;
+                  changed = true;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [key, f] : funcs_) {
+    (void)key;
+    for (char e : f.param_escapes)
+      if (e != 0) ++stats_.escaping_params;
+  }
+}
+
+// -------------------------------------------------------------- reporting
+
+void CallGraph::compute_stats() {
+  for (const FileModel& fm : *files_) {
+    for (const FlowContext& ctx : fm.contexts) {
+      if (!ctx.defined) continue;
+      ++stats_.defined_contexts;
+      const bool in_template = ctx.is_template;
+      for (const FlowCall& call : ctx.calls) {
+        if (in_template) {
+          ++stats_.template_sites;
+          continue;
+        }
+        ++stats_.call_sites;
+        if (call.qualifier == "::" || call.qualifier == "std" ||
+            call.qualifier.rfind("std::", 0) == 0) {
+          ++stats_.external_sites;
+          continue;
+        }
+        const Resolution res = resolve(ctx, call);
+        if (res.exact) {
+          ++stats_.exact_sites;
+          continue;
+        }
+        if (!name_known(call.callee)) {
+          ++stats_.external_sites;  // no such function in the repo
+          continue;
+        }
+        // A std-typed receiver is an out-of-repo call even when the repo
+        // reuses the method name (`cache_.insert(...)` on a std::map vs a
+        // repo-level insert()).
+        if (!call.receiver.empty() && call.receiver != "?") {
+          const std::vector<std::string> chain = split_dots(call.receiver);
+          const std::vector<std::string> types =
+              types_of(ctx, chain.front());
+          bool std_recv = false;
+          for (const std::string& t : types)
+            if (kStdTypes.count(t) > 0) std_recv = true;
+          if (std_recv && classes_from_types(types).empty()) {
+            ++stats_.external_sites;
+            continue;
+          }
+        }
+        if (!res.candidates.empty())
+          ++stats_.fallback_sites;
+        else
+          ++stats_.unresolved_sites;
+      }
+    }
+  }
+}
+
+std::string CallGraph::to_dot() const {
+  // Exact caller -> callee edges between repo functions; loop-affine nodes
+  // filled, blocking primitives boxed.  Deterministic: sets sort edges.
+  std::set<std::pair<std::string, std::string>> edges;
+  std::set<std::string> blocking_sinks;
+  for (const FileModel& fm : *files_) {
+    for (const FlowContext& ctx : fm.contexts) {
+      if (!ctx.defined) continue;
+      const FuncNode* from = node_of(ctx);
+      std::string from_name;
+      if (from != nullptr) {
+        from_name = from->display();
+      } else if (ctx.is_lambda) {
+        // Attribute lambda edges to the enclosing function.
+        const std::size_t cut = ctx.name.find("::<lambda@");
+        if (cut == std::string::npos) continue;
+        from_name = last_segment(ctx.name.substr(0, cut));
+      } else {
+        continue;
+      }
+      for (const FlowCall& call : ctx.calls) {
+        if (kBlockingCallees.count(call.callee) > 0) {
+          edges.emplace(from_name, call.callee);
+          blocking_sinks.insert(call.callee);
+          continue;
+        }
+        const Resolution res = resolve(ctx, call);
+        if (!res.exact) continue;
+        for (const FuncNode* callee : res.candidates)
+          edges.emplace(from_name, callee->display());
+      }
+    }
+  }
+  std::set<std::string> nodes;
+  for (const auto& [a, b] : edges) {
+    nodes.insert(a);
+    nodes.insert(b);
+  }
+  std::map<std::string, const FuncNode*> by_display;
+  for (const auto& [key, f] : funcs_) {
+    (void)key;
+    by_display.emplace(f.display(), &f);
+  }
+  std::ostringstream os;
+  os << "digraph cslint_callgraph {\n  rankdir=LR;\n"
+     << "  node [shape=ellipse, fontsize=10];\n";
+  for (const std::string& n : nodes) {
+    os << "  \"" << n << "\"";
+    if (blocking_sinks.count(n) > 0) {
+      os << " [shape=box, style=filled, fillcolor=\"#f4cccc\"]";
+    } else {
+      const auto it = by_display.find(n);
+      if (it != by_display.end() && it->second->affine())
+        os << " [style=filled, fillcolor=\"#d9ead3\"]";
+    }
+    os << ";\n";
+  }
+  for (const auto& [a, b] : edges)
+    os << "  \"" << a << "\" -> \"" << b << "\";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cs::lint

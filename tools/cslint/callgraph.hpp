@@ -1,0 +1,173 @@
+// Interprocedural layer: a repo-wide call graph over the FileModels the
+// structural parser produces, with per-function summaries in the RacerD
+// compositional style.  Everything here is conservative in the same way the
+// flow rules are: an unresolved call contributes silence, never a finding.
+//
+//   - Functions merge across declarations, definitions and translation
+//     units into one FuncNode per (class, simple-name); overload sets
+//     collapse into that node conservatively (any overload's property
+//     taints the set).
+//   - Receiver/qualifier resolution mirrors the intra-file rules, plus a
+//     class hierarchy walk: a call through a base-typed receiver resolves
+//     to the named method on the static class, its transitive bases, and
+//     every transitive derived class that defines it (all overriders).
+//     Explicitly qualified calls (`Base::f()`) stay static, like C++.
+//   - Summaries: transitive mutex-acquire sets (lock-order), blocking
+//     reachability with the shortest witness chain (blocking-in-loop),
+//     inferred loop-affinity (thread-affinity), and per-parameter
+//     non-owning escape bits (nonowning-escape).
+//
+// Documented unsoundness (DESIGN.md §16): calls through function pointers /
+// std::function values, macro-generated code, constructor member-init
+// lists, statics at namespace scope, and templates are not modeled.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flow.hpp"
+
+namespace cs::lint {
+
+/// One named function/method, merged across declarations/definitions/TUs.
+struct FuncNode {
+  std::string class_name;  ///< "" for free functions
+  std::string simple;
+  bool declared_affine = false;  ///< `cs: affinity(loop)` on decl or def
+  bool inferred_affine = false;  ///< every known call site is loop-affine
+  bool must_use = false;
+  bool is_template = false;
+  std::vector<const FlowContext*> bodies;  ///< definitions only
+  std::set<std::string> holds;     ///< `cslint: holds(...)` contract union
+  std::set<std::string> acquires;  ///< transitive mutex acquisitions
+  /// Parameter names in order, from the first defined body ("" unnamed).
+  std::vector<std::string> param_order;
+  /// Per parameter: non-owning-typed AND stored beyond the call (into a
+  /// member/static/container or a deferred lambda), directly or through
+  /// callees.  Returned-only parameters do not propagate (the caller still
+  /// owns the referent when the call returns).
+  std::vector<char> param_escapes;
+  // Blocking reachability: shortest witness from this function's first hop
+  // down to a blocking callee ("Shard::finish", "solve").  Empty = none.
+  std::vector<std::string> blocking_chain;
+  std::string blocking_name;  ///< the blocking callee reached ("" = none)
+
+  bool affine() const { return declared_affine || inferred_affine; }
+  std::string display() const;
+  std::string key() const { return class_name + "::" + simple; }
+};
+
+struct Resolution {
+  std::vector<const FuncNode*> candidates;
+  bool exact = false;
+};
+
+/// One reason a non-owning parameter escapes its function.
+struct EscapeSink {
+  std::string param;
+  std::size_t param_index = 0;
+  std::size_t line = 0;
+  std::string detail;      ///< human fragment ("stored into member 'fn_'")
+  bool propagates = false; ///< store-style sink: taints callers positionally
+};
+
+struct CallGraphStats {
+  std::size_t functions = 0;
+  std::size_t defined_contexts = 0;
+  std::size_t call_sites = 0;        ///< in defined non-template contexts
+  std::size_t template_sites = 0;    ///< skipped: template context
+  std::size_t external_sites = 0;    ///< std::/::-qualified, std-typed
+                                     ///< receiver, or no in-repo name
+  std::size_t exact_sites = 0;
+  std::size_t fallback_sites = 0;    ///< name-only fallback, candidates
+  std::size_t unresolved_sites = 0;  ///< in-repo name, no candidates
+  std::size_t inferred_affine = 0;
+  std::size_t escaping_params = 0;
+  /// Resolution rate over in-repo, non-template call sites.
+  double resolution_rate() const {
+    const std::size_t in_repo = exact_sites + fallback_sites +
+                                unresolved_sites;
+    return in_repo == 0
+               ? 1.0
+               : static_cast<double>(exact_sites + fallback_sites) /
+                     static_cast<double>(in_repo);
+  }
+};
+
+/// Whole-repo call graph + summaries.  Holds pointers into the FileModel
+/// vector passed to build(); the caller keeps it alive.
+class CallGraph {
+ public:
+  void build(const std::vector<FileModel>& files);
+
+  /// Node a context belongs to (nullptr for lambdas / unknown).
+  const FuncNode* node_of(const FlowContext& ctx) const;
+  Resolution resolve(const FlowContext& ctx, const FlowCall& call) const;
+
+  /// Loop-affinity with inference: declared, merged across decl/def, or
+  /// inferred from call sites (lambdas use their own flag only).
+  bool effective_affine(const FlowContext& ctx) const;
+  /// Declared-only flavor: annotation on decl/def (or the lambda intro).
+  bool declared_affine(const FlowContext& ctx) const;
+
+  /// Direct (per-body) non-owning parameter escapes of one context, with
+  /// human-readable sink descriptions.  `fm` must be the owning file (the
+  /// lambda children of `ctx` live there).
+  std::vector<EscapeSink> direct_escapes(const FlowContext& ctx,
+                                         const FileModel& fm) const;
+  /// Non-owning type test over a declaration's type tokens.
+  static bool is_nonowning_type(const std::vector<std::string>& types);
+  /// Blocking-callee name test (shared with the direct rule).
+  static bool is_blocking_callee(const std::string& name);
+
+  /// "member 'x_'" / "static local 'reg'" when the access chain's root
+  /// outlives the call; "" when it is function-local or unknown.
+  std::string sink_kind(const FlowContext& ctx, const std::string& chain) const;
+
+  const std::map<std::string, FuncNode>& funcs() const { return funcs_; }
+  const CallGraphStats& stats() const { return stats_; }
+  /// GraphViz dump: exact edges between repo functions, loop-affine nodes
+  /// filled, blocking sinks boxed.
+  std::string to_dot() const;
+
+ private:
+  void index(const std::vector<FileModel>& files);
+  void compute_transitive_acquires();
+  void infer_affinity();
+  void compute_blocking_reach();
+  void compute_escape_summaries();
+  void compute_stats();
+
+  std::vector<std::string> types_of(const FlowContext& ctx,
+                                    const std::string& var) const;
+  std::vector<std::string> classes_from_types(
+      const std::vector<std::string>& types) const;
+  std::vector<FuncNode*> methods_of(const std::string& cls,
+                                    const std::string& name) const;
+  /// methods_of plus the hierarchy walk (bases + all overriders).
+  std::vector<FuncNode*> methods_of_virtual(const std::string& cls,
+                                            const std::string& name) const;
+  Resolution name_fallback(const std::string& name) const;
+  bool name_known(const std::string& name) const;
+
+  const std::vector<FileModel>* files_ = nullptr;
+  std::map<std::string, FuncNode> funcs_;
+  // class simple-name -> method simple-name -> overload set
+  std::map<std::string, std::map<std::string, std::vector<FuncNode*>>>
+      by_class_;
+  std::map<std::string, std::vector<FuncNode*>> free_by_simple_;
+  // class simple-name -> member -> type tokens
+  std::map<std::string,
+           std::unordered_map<std::string, std::vector<std::string>>>
+      members_;
+  std::set<std::string> known_classes_;
+  std::map<std::string, std::set<std::string>> bases_;    // class -> bases
+  std::map<std::string, std::set<std::string>> derived_;  // base -> deriveds
+  CallGraphStats stats_;
+};
+
+}  // namespace cs::lint

@@ -49,6 +49,9 @@ struct FlowCall {
   std::size_t line = 0;
   bool discards_result = false;  ///< whole statement is just this call
   std::vector<std::string> held_mutexes;  ///< guards active at the call
+  /// Per top-level argument: the lone identifier passed (possibly through
+  /// std::move), or "" when the argument is any other expression.
+  std::vector<std::string> args;
 };
 
 /// A lexical lock-nesting edge: `to` acquired while `from` is held.
@@ -56,6 +59,27 @@ struct FlowLockEdge {
   std::string from;
   std::string to;
   std::size_t line = 0;
+};
+
+/// `lhs = rhs;` where rhs is a lone identifier (non-owning escape tracking).
+/// lhs is a dot-joined access chain with a leading `this` stripped.
+struct FlowAssign {
+  std::string lhs;
+  std::string rhs;
+  std::size_t line = 0;
+};
+
+/// `return x;` where x is a lone identifier (possibly through std::move).
+struct FlowReturn {
+  std::string ident;
+  std::size_t line = 0;
+};
+
+/// One entry of a lambda capture list (named captures only; a bare default
+/// is recorded in FlowContext::capture_default instead).
+struct FlowCapture {
+  std::string name;
+  bool by_ref = false;
 };
 
 /// One function, method, or lambda body (or a pure declaration).
@@ -67,6 +91,7 @@ struct FlowContext {
   std::string file;
   std::size_t line = 0;
   bool is_lambda = false;
+  bool is_template = false;      ///< header started with template<...>
   bool loop_affine = false;      ///< `cs: affinity(loop)` (or inferred)
   bool returns_must_use = false; ///< return type mentions Expected / Error
   bool defined = false;          ///< has a body (false = declaration only)
@@ -75,6 +100,22 @@ struct FlowContext {
   std::vector<FlowLockEdge> lock_edges;     ///< lexical nesting edges
   /// Variable name -> type-name candidates (params, locals, for-decls).
   std::unordered_map<std::string, std::vector<std::string>> var_types;
+  /// Parameter names in declaration order ("" for unnamed / unparsed), so
+  /// escape summaries can be matched positionally across call sites.
+  std::vector<std::string> param_order;
+  /// Locals declared `static` (they outlive the call — escape targets).
+  std::vector<std::string> static_locals;
+  /// `// cslint: holds(m, ...)` contract: mutexes the caller holds on entry.
+  std::vector<std::string> holds;
+  std::vector<FlowAssign> assigns;  ///< lone-identifier assignments
+  std::vector<FlowReturn> rets;     ///< lone-identifier returns
+  // Lambda-only fields:
+  char capture_default = 0;           ///< '=', '&', or 0 (none)
+  std::vector<FlowCapture> captures; ///< named captures
+  /// Where the lambda expression itself went, judged at its intro site:
+  /// "" (stays local), "return" (returned), "=chain" (assigned to chain),
+  /// ">callee" (passed as an argument to callee).
+  std::string escape;
 };
 
 /// Everything the parser recovers from one source file.
@@ -86,6 +127,9 @@ struct FileModel {
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<std::string>>>
       members;
+  /// Class name -> base-class simple names (public/private alike), for
+  /// virtual-call resolution to overriders.
+  std::unordered_map<std::string, std::vector<std::string>> class_bases;
   std::vector<std::string> includes;  ///< quoted #include spellings
 };
 
@@ -98,6 +142,10 @@ struct FlowOptions {
   bool must_use = true;
   bool lock_order = true;
   bool blocking_in_loop = true;
+  bool nonowning_escape = true;
+  /// Interprocedural propagation over the call graph: transitive blocking
+  /// chains, affinity inference, holds() contracts, escape summaries.
+  bool transitive = true;
 };
 
 /// Whole-program driver: add every source, then run() resolves calls across
@@ -108,6 +156,8 @@ struct FlowOptions {
 class FlowAnalyzer {
  public:
   void add_source(std::string display_path, std::string_view content);
+  /// Inject an already-parsed model (summary-cache hits skip the parse).
+  void add_model(FileModel model);
   [[nodiscard]] std::vector<Violation> run(
       const FlowOptions& opt = {}, SuppressionTracker* supp = nullptr) const;
 

@@ -16,6 +16,7 @@
 // pass is off), so --no-flow disables it.
 //
 // Exit status: 0 = clean, 1 = violations found, 2 = usage error.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -25,9 +26,11 @@
 #include <vector>
 
 #include "cache.hpp"
+#include "callgraph.hpp"
 #include "cslint.hpp"
 #include "flow.hpp"
 #include "sarif.hpp"
+#include "summary.hpp"
 
 namespace {
 
@@ -35,8 +38,9 @@ int usage() {
   std::cerr
       << "usage: cslint [--no-headers] [--no-flow] [--strict]\n"
          "              [--compiler PATH] [--std FLAG] [-I DIR]...\n"
-         "              [--cache FILE] [--sarif FILE] [--baseline FILE]\n"
-         "              [--write-baseline] PATH...\n";
+         "              [--cache FILE] [--summary-cache FILE]\n"
+         "              [--sarif FILE] [--baseline FILE] [--write-baseline]\n"
+         "              [--stats] [--callgraph-dot FILE] PATH...\n";
   return 2;
 }
 
@@ -59,9 +63,12 @@ int main(int argc, char** argv) {
   bool run_flow = true;
   bool strict = false;
   bool write_baseline = false;
+  bool show_stats = false;
   std::string cache_file;
+  std::string summary_file;
   std::string sarif_file;
   std::string baseline_file;
+  std::string dot_file;
   cs::lint::HeaderCheckOptions hdr;
   if (const char* cxx = std::getenv("CXX"); cxx != nullptr && *cxx != '\0')
     hdr.compiler = cxx;
@@ -85,6 +92,12 @@ int main(int argc, char** argv) {
       hdr.include_dirs.emplace_back(argv[++i]);
     } else if (arg == "--cache" && i + 1 < argc) {
       cache_file = argv[++i];
+    } else if (arg == "--summary-cache" && i + 1 < argc) {
+      summary_file = argv[++i];
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg == "--callgraph-dot" && i + 1 < argc) {
+      dot_file = argv[++i];
     } else if (arg == "--sarif" && i + 1 < argc) {
       sarif_file = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -115,6 +128,10 @@ int main(int argc, char** argv) {
   std::vector<cs::lint::Violation> violations;
   cs::lint::FlowAnalyzer analyzer;
   cs::lint::SuppressionTracker supp;
+  // The summary cache is content-keyed (hash is the authority), so unlike the
+  // header cache it is safe to consult even under --strict.
+  cs::lint::SummaryCache summaries;
+  if (!summary_file.empty()) summaries.load(summary_file);
   std::vector<std::pair<std::filesystem::path, std::string>> contents;
   contents.reserve(all_sources.size());
   for (const auto& path : all_sources) {
@@ -129,15 +146,76 @@ int main(int argc, char** argv) {
     // Text rules.
     auto v = cs::lint::lint_source(path.generic_string(), content, &supp);
     violations.insert(violations.end(), v.begin(), v.end());
-    // Structural model (flow rules + include-closure hashing).
-    analyzer.add_source(path.generic_string(), content);
+    // Structural model (flow rules + include-closure hashing), through the
+    // per-function summary cache when one is configured.
+    if (summary_file.empty()) {
+      analyzer.add_source(path.generic_string(), content);
+    } else {
+      std::error_code ec;
+      long long mtime = 0;
+      long long size = 0;
+      if (const auto t = std::filesystem::last_write_time(path, ec); !ec)
+        mtime = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t.time_since_epoch())
+                    .count();
+      if (const auto s = std::filesystem::file_size(path, ec); !ec)
+        size = static_cast<long long>(s);
+      const std::string key = path.generic_string();
+      if (const cs::lint::FileModel* hit =
+              summaries.lookup(key, mtime, size, content);
+          hit != nullptr) {
+        cs::lint::FileModel model = *hit;
+        model.raw_lines = cs::lint::split_lines(content);
+        analyzer.add_model(std::move(model));
+      } else {
+        cs::lint::FileModel model = cs::lint::parse_file_model(key, content);
+        summaries.put(key, mtime, size, content, model);
+        analyzer.add_model(std::move(model));
+      }
+    }
     contents.emplace_back(path, std::move(content));
   }
+  if (!summary_file.empty()) summaries.save(summary_file);
 
   // ---- flow rules ---------------------------------------------------------
   if (run_flow) {
     auto v = analyzer.run({}, &supp);
     violations.insert(violations.end(), v.begin(), v.end());
+  }
+
+  // ---- call-graph introspection (--stats / --callgraph-dot) ---------------
+  if (show_stats || !dot_file.empty()) {
+    cs::lint::CallGraph graph;
+    graph.build(analyzer.files());
+    if (!dot_file.empty()) {
+      std::ofstream out(dot_file, std::ios::trunc);
+      if (out) {
+        out << graph.to_dot();
+      } else {
+        std::cerr << "cslint: cannot write DOT to '" << dot_file << "'\n";
+      }
+    }
+    if (show_stats) {
+      const cs::lint::CallGraphStats& st = graph.stats();
+      std::cout << "cslint: callgraph: functions=" << st.functions
+                << " defined=" << st.defined_contexts
+                << " call-sites=" << st.call_sites
+                << " template=" << st.template_sites
+                << " external=" << st.external_sites
+                << " exact=" << st.exact_sites
+                << " fallback=" << st.fallback_sites
+                << " unresolved=" << st.unresolved_sites << '\n';
+      std::cout << "cslint: callgraph: resolution-rate="
+                << static_cast<int>(st.resolution_rate() * 1000.0) / 10.0
+                << "% inferred-affine=" << st.inferred_affine
+                << " escaping-params=" << st.escaping_params << '\n';
+      if (!summary_file.empty()) {
+        std::cout << "cslint: summaries: " << summaries.size() << " cached, "
+                  << summaries.fast_hits() << " fast hit(s), "
+                  << summaries.hits() << " hash hit(s), " << summaries.misses()
+                  << " parsed\n";
+      }
+    }
   }
 
   // ---- header-standalone, cached on the include-closure hash --------------
@@ -242,12 +320,13 @@ int main(int argc, char** argv) {
     if (!v.excerpt.empty()) std::cout << "    " << v.excerpt << '\n';
   }
 
-  // Per-rule counts: the four flow families always (so CI tables have stable
+  // Per-rule counts: the five flow families always (so CI tables have stable
   // rows), plus any other rule that fired.
   std::map<std::string, std::size_t> counts = {{"thread-affinity", 0},
                                                {"must-use", 0},
                                                {"lock-order", 0},
-                                               {"blocking-in-loop", 0}};
+                                               {"blocking-in-loop", 0},
+                                               {"nonowning-escape", 0}};
   for (const auto& v : violations) ++counts[v.rule];
   std::cout << "cslint: rule-counts:";
   for (const auto& [rule, n] : counts) std::cout << ' ' << rule << '=' << n;

@@ -47,6 +47,33 @@ bool has_affinity_loop(std::string_view comment) {
   return comment.compare(aff + 9, 4, "loop") == 0;
 }
 
+/// Parse a `// cslint: holds(a, B::b)` contract comment into mutex ids.
+/// Returns an empty list when the comment is not a holds() annotation.
+std::vector<std::string> parse_holds(std::string_view comment) {
+  std::vector<std::string> out;
+  const std::size_t tag = comment.find("cslint:");
+  if (tag == std::string_view::npos) return out;
+  const std::size_t h = comment.find("holds(", tag);
+  if (h == std::string_view::npos) return out;
+  const std::size_t open = h + 6;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return out;
+  std::string_view list = comment.substr(open, close - open);
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string_view::npos) comma = list.size();
+    std::string_view item = list.substr(pos, comma - pos);
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t'))
+      item.remove_prefix(1);
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t'))
+      item.remove_suffix(1);
+    if (!item.empty()) out.emplace_back(item);
+    pos = comma + 1;
+  }
+  return out;
+}
+
 struct Scope {
   enum class Kind { Namespace, Class, Enum, Function, Lambda, Block };
   Kind kind = Kind::Block;
@@ -73,6 +100,9 @@ struct PendingLambda {
   bool active = false;
   bool affine = false;
   std::size_t line = 0;
+  char capture_default = 0;
+  std::vector<FlowCapture> captures;
+  std::string escape;
 };
 
 class Parser {
@@ -116,6 +146,13 @@ class Parser {
         affinity_lines_.insert(line);
         for (char ch : t.text)
           if (ch == '\n') affinity_lines_.insert(++line);
+      }
+      const std::vector<std::string> held = parse_holds(t.text);
+      if (!held.empty()) {
+        std::size_t line = t.line;
+        holds_lines_[line] = held;
+        for (char ch : t.text)
+          if (ch == '\n') holds_lines_[++line] = held;
       }
     }
   }
@@ -287,6 +324,77 @@ class Parser {
     return frame;
   }
 
+  /// At a call's closing ')', split the argument tokens on top-level commas
+  /// and record the lone identifier each argument passes (or "").
+  void record_call_args(const ParenFrame& frame, std::size_t close) {
+    std::vector<std::vector<std::size_t>> args(1);
+    int depth = 0;
+    bool any = false;
+    for (std::size_t j = frame.open_tok + 1; j < close; ++j) {
+      if (toks_[j].kind == Tok::Comment || toks_[j].kind == Tok::Preproc)
+        continue;
+      if (toks_[j].kind == Tok::Punct) {
+        const std::string& s = text(j);
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        else if (s == ")" || s == "]" || s == "}") --depth;
+        else if (s == "," && depth == 0) {
+          args.emplace_back();
+          continue;
+        }
+      }
+      args.back().push_back(j);
+      any = true;
+    }
+    if (!any) return;
+    FlowCall& call = model_.contexts[static_cast<std::size_t>(frame.call_ctx)]
+                         .calls[static_cast<std::size_t>(frame.call_idx)];
+    for (const auto& a : args) call.args.push_back(sole_ident(a));
+  }
+
+  /// The lone identifier a token-index range evaluates to: a single ident,
+  /// or one wrapped in std::move(...).  "" for anything else.
+  std::string sole_ident(const std::vector<std::size_t>& range) const {
+    if (range.size() == 1 && is_ident(range[0]) && text(range[0]) != "this")
+      return text(range[0]);
+    // `std::move(x)` (6 tokens) or `move(x)` (4 tokens).
+    std::size_t m = static_cast<std::size_t>(-1);
+    if (range.size() == 6 && is_ident(range[0]) && text(range[0]) == "std" &&
+        is_punct(range[1], "::") && is_ident(range[2]) &&
+        text(range[2]) == "move" && is_punct(range[3], "(") &&
+        is_ident(range[4]) && is_punct(range[5], ")"))
+      m = range[4];
+    else if (range.size() == 4 && is_ident(range[0]) &&
+             text(range[0]) == "move" && is_punct(range[1], "(") &&
+             is_ident(range[2]) && is_punct(range[3], ")"))
+      m = range[2];
+    return m == static_cast<std::size_t>(-1) ? "" : text(m);
+  }
+
+  /// Collect an `a.b->c_` access chain from a token-index range; "" unless
+  /// the range is exactly idents separated by '.' / '->' (leading `this`
+  /// stripped, members joined with '.').
+  std::string access_chain(const std::vector<std::size_t>& range) const {
+    std::vector<std::string> idents;
+    bool expect_ident = true;
+    for (std::size_t idx : range) {
+      if (expect_ident) {
+        if (!is_ident(idx)) return "";
+        idents.push_back(text(idx));
+        expect_ident = false;
+      } else {
+        if (!is_punct(idx, ".") && !is_punct(idx, "->")) return "";
+        expect_ident = true;
+      }
+    }
+    if (expect_ident || idents.empty()) return "";
+    if (idents.front() == "this") idents.erase(idents.begin());
+    if (idents.empty()) return "";
+    std::string out;
+    for (std::size_t k = 0; k < idents.size(); ++k)
+      out += (k ? "." : "") + idents[k];
+    return out;
+  }
+
   // -------------------------------------------------------- declarations
   /// Extract `types... name` from a token-index range; returns false when
   /// the range does not look like a declaration.
@@ -325,6 +433,11 @@ class Parser {
     if (!extract_decl(left, &name, &types)) return;
     if (FlowContext* ctx = current_ctx()) {
       if (ctx->var_types.count(name) == 0) ctx->var_types[name] = types;
+      for (std::size_t idx : left)
+        if (is_ident(idx) && text(idx) == "static") {
+          ctx->static_locals.push_back(name);
+          break;
+        }
     } else if (!current_class().empty()) {
       auto& members = model_.members[current_class()];
       if (members.count(name) == 0) members[name] = types;
@@ -355,6 +468,47 @@ class Parser {
     if (!extract_decl(left, &name, &types)) return;
     if (FlowContext* ctx = current_ctx())
       if (ctx->var_types.count(name) == 0) ctx->var_types[name] = types;
+  }
+
+  // ------------------------------------------------------- escape events
+  /// Record `chain = ident;` assignments (the non-owning-escape rule needs
+  /// to know when a parameter is stored somewhere with a longer lifetime).
+  void try_assign_event(std::size_t line) {
+    FlowContext* ctx = current_ctx();
+    if (ctx == nullptr || stmt_.empty()) return;
+    if (is_ident(stmt_[0]) && kStmtKeywords.count(text(stmt_[0])) > 0) return;
+    int depth = 0;
+    std::size_t eq = static_cast<std::size_t>(-1);
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      const std::size_t idx = stmt_[k];
+      if (is_punct(idx, "(") || is_punct(idx, "[") || is_punct(idx, "{"))
+        ++depth;
+      else if (is_punct(idx, ")") || is_punct(idx, "]") || is_punct(idx, "}")) {
+        if (depth > 0) --depth;
+      } else if (depth == 0 && is_punct(idx, "=")) {
+        if (eq != static_cast<std::size_t>(-1)) return;  // chained `a = b = c`
+        eq = k;
+      }
+    }
+    if (eq == static_cast<std::size_t>(-1)) return;
+    const std::string lhs = access_chain(
+        std::vector<std::size_t>(stmt_.begin(),
+                                 stmt_.begin() + static_cast<long>(eq)));
+    if (lhs.empty()) return;
+    const std::string rhs = sole_ident(std::vector<std::size_t>(
+        stmt_.begin() + static_cast<long>(eq) + 1, stmt_.end()));
+    if (rhs.empty()) return;
+    ctx->assigns.push_back(FlowAssign{lhs, rhs, line});
+  }
+
+  /// Record `return ident;` (possibly through std::move).
+  void try_return_event(std::size_t line) {
+    FlowContext* ctx = current_ctx();
+    if (ctx == nullptr || stmt_.empty()) return;
+    if (!is_ident(stmt_[0]) || text(stmt_[0]) != "return") return;
+    const std::string id = sole_ident(
+        std::vector<std::size_t>(stmt_.begin() + 1, stmt_.end()));
+    if (!id.empty()) ctx->rets.push_back(FlowReturn{id, line});
   }
 
   // ----------------------------------------------------- lock detection
@@ -479,6 +633,7 @@ class Parser {
   // ----------------------------------------------- function classification
   struct FuncHeader {
     bool ok = false;
+    bool is_template = false;
     std::string simple;
     std::vector<std::string> qualifiers;
     bool must_use = false;
@@ -491,6 +646,7 @@ class Parser {
     if (stmt_.empty()) return h;
     std::size_t start = 0;
     if (is_ident(stmt_[0]) && text(stmt_[0]) == "template") {
+      h.is_template = true;
       // Skip the balanced template parameter list.
       int angle = 0;
       std::size_t k = 1;
@@ -571,13 +727,19 @@ class Parser {
     }
     ctx.name = prefix.empty() ? h.simple : prefix + "::" + h.simple;
     ctx.returns_must_use = h.must_use;
-    // Affinity: annotation on any header line, or the line above the first.
+    ctx.is_template = h.is_template;
+    // Affinity / holds(): annotation on any header line, or the line above
+    // the first.
     const std::size_t first_line = toks_[stmt_.front()].line;
     for (std::size_t l = first_line > 1 ? first_line - 1 : 1; l <= end_line;
          ++l) {
-      if (affinity_lines_.count(l) > 0) {
-        ctx.loop_affine = true;
-        break;
+      if (affinity_lines_.count(l) > 0) ctx.loop_affine = true;
+      const auto hit = holds_lines_.find(l);
+      if (hit != holds_lines_.end()) {
+        for (const std::string& m : hit->second)
+          if (std::find(ctx.holds.begin(), ctx.holds.end(), m) ==
+              ctx.holds.end())
+            ctx.holds.push_back(m);
       }
     }
     // Parameters: `types name` split on top-level commas.
@@ -593,8 +755,13 @@ class Parser {
           if (is_punct(idx, "=")) break;
           left.push_back(idx);
         }
-        if (left.size() >= 2 && extract_decl(left, &name, &types))
+        if (param.empty()) return;
+        if (left.size() >= 2 && extract_decl(left, &name, &types)) {
           ctx.var_types[name] = types;
+          ctx.param_order.push_back(name);
+        } else {
+          ctx.param_order.push_back("");  // unnamed / unparsed: keep position
+        }
         param.clear();
       };
       for (std::size_t k = h.paren_tok + 1; k < stmt_.size(); ++k) {
@@ -617,6 +784,57 @@ class Parser {
     return static_cast<int>(model_.contexts.size()) - 1;
   }
 
+  /// Forward-scan a lambda capture list starting at its '[' and record the
+  /// captures into pending_lambda_.  Init-captures keep the introduced name
+  /// (by-value unless '&'-prefixed); `this` / `*this` are skipped.
+  void parse_capture_list(std::size_t open) {
+    std::vector<std::vector<std::size_t>> items(1);
+    int depth = 0;
+    std::size_t j = open;
+    while (true) {
+      j = next_tok(j);
+      if (j == static_cast<std::size_t>(-1)) return;  // unterminated
+      if (toks_[j].kind == Tok::Punct) {
+        const std::string& s = text(j);
+        if (s == "[" || s == "(" || s == "{") {
+          ++depth;
+        } else if (s == "]") {
+          if (depth == 0) break;
+          --depth;
+        } else if (s == ")" || s == "}") {
+          if (depth > 0) --depth;
+        } else if (s == "," && depth == 0) {
+          items.emplace_back();
+          continue;
+        }
+      }
+      items.back().push_back(j);
+    }
+    for (const auto& item : items) {
+      if (item.empty()) continue;
+      if (item.size() == 1 && is_punct(item[0], "=")) {
+        pending_lambda_.capture_default = '=';
+        continue;
+      }
+      if (item.size() == 1 && is_punct(item[0], "&")) {
+        pending_lambda_.capture_default = '&';
+        continue;
+      }
+      bool by_ref = false;
+      std::size_t k = 0;
+      if (is_punct(item[0], "&")) {
+        by_ref = true;
+        k = 1;
+      } else if (is_punct(item[0], "*")) {
+        k = 1;  // *this
+      }
+      if (k >= item.size() || !is_ident(item[k])) continue;
+      const std::string& nm = text(item[k]);
+      if (nm == "this") continue;
+      pending_lambda_.captures.push_back(FlowCapture{nm, by_ref});
+    }
+  }
+
   // -------------------------------------------------------------- driver
   void parse() {
     scopes_.push_back(Scope{Scope::Kind::Namespace, "", -1, 0});
@@ -635,9 +853,11 @@ class Parser {
           if (!parens_.empty()) {
             const ParenFrame frame = parens_.back();
             parens_.pop_back();
-            if (frame.is_call)
+            if (frame.is_call) {
+              record_call_args(frame, i_);
               last_call_ = LastCall{frame.call_ctx, frame.call_idx,
                                     frame.open_tok, i_};
+            }
           }
           stmt_.push_back(i_);
           continue;
@@ -648,9 +868,9 @@ class Parser {
           const std::size_t next = next_tok(i_);
           const bool subscript =
               prev != static_cast<std::size_t>(-1) &&
-              (is_ident(prev) || toks_[prev].kind == Tok::Number ||
-               is_punct(prev, ")") || is_punct(prev, "]") ||
-               toks_[prev].kind == Tok::Str);
+              ((is_ident(prev) && kStmtKeywords.count(text(prev)) == 0) ||
+               toks_[prev].kind == Tok::Number || is_punct(prev, ")") ||
+               is_punct(prev, "]") || toks_[prev].kind == Tok::Str);
           const bool attribute =
               (next != static_cast<std::size_t>(-1) && is_punct(next, "[")) ||
               (prev != static_cast<std::size_t>(-1) && is_punct(prev, "["));
@@ -658,8 +878,14 @@ class Parser {
             pending_lambda_.active = true;
             pending_lambda_.line = t.line;
             pending_lambda_.affine = line_is_affine(t.line);
-            // A lambda handed straight to post()/add()/set_tick() runs on
-            // the loop thread by construction.
+            pending_lambda_.capture_default = 0;
+            pending_lambda_.captures.clear();
+            pending_lambda_.escape.clear();
+            parse_capture_list(i_);
+            // Disposition: handed to an enclosing call, assigned to an
+            // access chain, or returned.  A lambda handed straight to
+            // post()/add()/set_tick() runs on the loop thread by
+            // construction.
             for (auto it = parens_.rbegin(); it != parens_.rend(); ++it) {
               if (!it->is_call) continue;
               const FlowCall& call =
@@ -668,7 +894,30 @@ class Parser {
               if (call.callee == "post" || call.callee == "add" ||
                   call.callee == "set_tick")
                 pending_lambda_.affine = true;
+              pending_lambda_.escape = ">" + call.callee;
               break;
+            }
+            if (pending_lambda_.escape.empty() && !stmt_.empty()) {
+              if (is_ident(stmt_[0]) && text(stmt_[0]) == "return") {
+                pending_lambda_.escape = "return";
+              } else {
+                int depth = 0;
+                for (std::size_t k = 0; k < stmt_.size(); ++k) {
+                  const std::size_t idx = stmt_[k];
+                  if (is_punct(idx, "(") || is_punct(idx, "[") ||
+                      is_punct(idx, "{"))
+                    ++depth;
+                  else if (is_punct(idx, ")") || is_punct(idx, "]") ||
+                           is_punct(idx, "}")) {
+                    if (depth > 0) --depth;
+                  } else if (depth == 0 && is_punct(idx, "=")) {
+                    const std::string lhs = access_chain(std::vector<std::size_t>(
+                        stmt_.begin(), stmt_.begin() + static_cast<long>(k)));
+                    if (!lhs.empty()) pending_lambda_.escape = "=" + lhs;
+                    break;
+                  }
+                }
+              }
             }
           }
           stmt_.push_back(i_);
@@ -707,6 +956,8 @@ class Parser {
         k == Scope::Kind::Block) {
       try_lock_acquisition(line);
       try_var_decl();
+      try_assign_event(line);
+      try_return_event(line);
       mark_discarded_call();
     } else if (k == Scope::Kind::Class || k == Scope::Kind::Namespace) {
       if (stmt_has("(")) {
@@ -759,6 +1010,9 @@ class Parser {
       ctx.class_name = parent != nullptr ? parent->class_name : current_class();
       ctx.name = (parent != nullptr ? parent->name : model_.path) +
                  "::<lambda@" + std::to_string(pending_lambda_.line) + ">";
+      ctx.capture_default = pending_lambda_.capture_default;
+      ctx.captures = pending_lambda_.captures;
+      ctx.escape = pending_lambda_.escape;
       if (parent != nullptr) ctx.var_types = parent->var_types;  // captures
       // Parameters of the lambda (tokens since the intro) ride in stmt_;
       // harvest `types name` pairs loosely from the trailing paren group.
@@ -827,6 +1081,46 @@ class Parser {
             break;
           }
         }
+        // Base-class clause: `class X : public A, private B<T>`.  Keep the
+        // last top-level identifier of each comma-separated base specifier
+        // (`cs::net::Handler` -> "Handler").
+        int cdepth = 0;
+        std::size_t colon = static_cast<std::size_t>(-1);
+        for (std::size_t k = cls_kw + 1; k < stmt_.size(); ++k) {
+          const std::size_t idx = stmt_[k];
+          if (is_punct(idx, "<") || is_punct(idx, "(") || is_punct(idx, "["))
+            ++cdepth;
+          else if (is_punct(idx, ">") || is_punct(idx, ")") ||
+                   is_punct(idx, "]")) {
+            if (cdepth > 0) --cdepth;
+          } else if (cdepth == 0 && is_punct(idx, ":")) {
+            colon = k;
+            break;
+          }
+        }
+        if (colon != static_cast<std::size_t>(-1) && !scope.name.empty()) {
+          std::vector<std::string> bases;
+          std::string last;
+          cdepth = 0;
+          for (std::size_t k = colon + 1; k < stmt_.size(); ++k) {
+            const std::size_t idx = stmt_[k];
+            if (is_punct(idx, "<")) {
+              ++cdepth;
+            } else if (is_punct(idx, ">")) {
+              if (cdepth > 0) --cdepth;
+            } else if (cdepth == 0 && is_punct(idx, ",")) {
+              if (!last.empty()) bases.push_back(last);
+              last.clear();
+            } else if (cdepth == 0 && is_ident(idx)) {
+              const std::string& txt = text(idx);
+              if (txt != "public" && txt != "private" && txt != "protected" &&
+                  txt != "virtual" && txt != "std")
+                last = txt;
+            }
+          }
+          if (!last.empty()) bases.push_back(last);
+          if (!bases.empty()) model_.class_bases[scope.name] = std::move(bases);
+        }
         scopes_.push_back(scope);
         stmt_.clear();
         return;
@@ -883,6 +1177,7 @@ class Parser {
   std::vector<std::size_t> stmt_;
   PendingLambda pending_lambda_;
   std::unordered_set<std::size_t> affinity_lines_;
+  std::unordered_map<std::size_t, std::vector<std::string>> holds_lines_;
 
   struct LastCall {
     int ctx = -1;

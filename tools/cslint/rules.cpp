@@ -1,32 +1,22 @@
-// Flow rules: thread-affinity, must-use, lock-order, blocking-in-loop.
-// Runs over the FileModels produced by parse.cpp.  Resolution is
-// deliberately conservative: an unresolved call contributes nothing, and
-// name-only fallbacks fire only when every function sharing the name agrees
-// on the queried property — unresolvable code yields false negatives, never
-// false positives.
+// Flow rules: thread-affinity, must-use, lock-order, blocking-in-loop,
+// nonowning-escape.  Runs over the FileModels produced by parse.cpp, with
+// resolution and per-function summaries provided by the CallGraph
+// (callgraph.cpp).  Resolution is deliberately conservative: an unresolved
+// call contributes nothing, and name-only fallbacks fire only when every
+// function sharing the name agrees on the queried property — unresolvable
+// code yields false negatives, never false positives.
 #include <cctype>
 #include <functional>
 #include <map>
 #include <set>
 #include <unordered_set>
 
+#include "callgraph.hpp"
 #include "flow.hpp"
 
 namespace cs::lint {
 
 namespace {
-
-/// Callee names treated as blocking inside loop-affine code: solver entry
-/// points, sleeps, waits/joins, and blocking syscalls.  accept/recv/send are
-/// deliberately absent — the loop uses them non-blocking on epoll-readied
-/// fds.
-const std::unordered_set<std::string> kBlockingCallees = {
-    "sleep_for",  "sleep_until", "usleep",     "nanosleep",
-    "connect",    "poll",        "select",     "epoll_wait",
-    "system",     "wait",        "wait_for",   "wait_until",
-    "join",       "solve",       "solve_many", "solve_async",
-    "run_solver", "dp_reference", "greedy_schedule", "quantize_schedule",
-};
 
 std::string trim(std::string_view s) {
   std::size_t b = 0, e = s.size();
@@ -34,46 +24,6 @@ std::string trim(std::string_view s) {
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
   return std::string(s.substr(b, e - b));
 }
-
-std::string last_segment(const std::string& qualified) {
-  const std::size_t sep = qualified.rfind("::");
-  return sep == std::string::npos ? qualified : qualified.substr(sep + 2);
-}
-
-std::vector<std::string> split_dots(const std::string& s) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (pos <= s.size()) {
-    const std::size_t dot = s.find('.', pos);
-    if (dot == std::string::npos) {
-      if (pos < s.size()) out.push_back(s.substr(pos));
-      break;
-    }
-    out.push_back(s.substr(pos, dot - pos));
-    pos = dot + 1;
-  }
-  return out;
-}
-
-/// One named function/method, merged across declarations and definitions
-/// (the header decl carries the annotation, the .cpp body the calls).
-struct FuncInfo {
-  std::string class_name;  ///< "" for free functions
-  std::string simple;
-  bool affine = false;
-  bool must_use = false;
-  std::vector<const FlowContext*> bodies;
-  std::set<std::string> acquires;  ///< transitive mutex acquisitions
-  std::string display() const {
-    return class_name.empty() ? simple
-                              : last_segment(class_name) + "::" + simple;
-  }
-};
-
-struct Resolution {
-  std::vector<FuncInfo*> candidates;
-  bool exact = false;
-};
 
 struct LockSite {
   std::string file;
@@ -85,204 +35,38 @@ class Engine {
   explicit Engine(const std::vector<FileModel>& files,
                   SuppressionTracker* supp = nullptr)
       : files_(files), supp_(supp) {
-    index();
+    graph_.build(files);
   }
 
   std::vector<Violation> run(const FlowOptions& opt) {
     std::vector<Violation> out;
-    if (opt.lock_order) compute_transitive_acquires();
     for (const FileModel& fm : files_) {
       for (const FlowContext& ctx : fm.contexts) {
         if (!ctx.defined) continue;
-        const bool affine = effective_affine(ctx);
+        const bool affine = opt.transitive ? graph_.effective_affine(ctx)
+                                           : graph_.declared_affine(ctx);
+        const bool declared = graph_.declared_affine(ctx);
         for (const FlowCall& call : ctx.calls) {
-          const Resolution res = resolve(ctx, call);
+          const Resolution res = graph_.resolve(ctx, call);
           if (opt.thread_affinity && !affine)
-            check_affinity(fm, ctx, call, res, out);
+            check_affinity(fm, ctx, call, res, opt, out);
           if (opt.must_use && call.discards_result)
             check_must_use(fm, ctx, call, res, out);
-          if (opt.blocking_in_loop && affine)
+          if (opt.blocking_in_loop && declared) {
             check_blocking(fm, ctx, call, out);
+            if (opt.transitive)
+              check_blocking_transitive(fm, ctx, call, res, out);
+          }
         }
+        if (opt.nonowning_escape && !ctx.is_lambda)
+          check_nonowning_escape(fm, ctx, opt, out);
       }
     }
-    if (opt.lock_order) check_lock_order(out);
+    if (opt.lock_order) check_lock_order(opt, out);
     return out;
   }
 
  private:
-  // ------------------------------------------------------------- indexing
-  void index() {
-    for (const FileModel& fm : files_) {
-      for (const FlowContext& ctx : fm.contexts) {
-        if (ctx.is_lambda) continue;
-        const std::string key = ctx.class_name + "::" + ctx.simple;
-        FuncInfo& f = funcs_[key];
-        f.class_name = ctx.class_name;
-        f.simple = ctx.simple;
-        f.affine = f.affine || ctx.loop_affine;
-        f.must_use = f.must_use || ctx.returns_must_use;
-        if (ctx.defined) f.bodies.push_back(&ctx);
-      }
-      for (const auto& [cls, vars] : fm.members) {
-        auto& dst = members_[last_segment(cls)];
-        for (const auto& [var, types] : vars)
-          if (dst.count(var) == 0) dst[var] = types;
-      }
-    }
-    for (auto& [key, f] : funcs_) {
-      (void)key;
-      if (f.class_name.empty()) {
-        free_by_simple_[f.simple].push_back(&f);
-      } else {
-        by_class_[last_segment(f.class_name)][f.simple].push_back(&f);
-        known_classes_.insert(last_segment(f.class_name));
-      }
-    }
-    for (const auto& [cls, vars] : members_) {
-      (void)vars;
-      known_classes_.insert(cls);
-    }
-  }
-
-  /// A .cpp definition inherits the affinity annotation from its header
-  /// declaration (they merge into one FuncInfo); lambdas carry their own
-  /// flag (annotation or post()-inference).
-  bool effective_affine(const FlowContext& ctx) const {
-    if (ctx.loop_affine) return true;
-    if (ctx.is_lambda) return false;
-    const auto it = funcs_.find(ctx.class_name + "::" + ctx.simple);
-    return it != funcs_.end() && it->second.affine;
-  }
-
-  /// Type-name candidates for a variable, looking at the context's
-  /// params/locals first, then the enclosing class's members.
-  std::vector<std::string> types_of(const FlowContext& ctx,
-                                    const std::string& var) const {
-    const auto it = ctx.var_types.find(var);
-    if (it != ctx.var_types.end()) return it->second;
-    if (!ctx.class_name.empty()) {
-      const auto cit = members_.find(last_segment(ctx.class_name));
-      if (cit != members_.end()) {
-        const auto vit = cit->second.find(var);
-        if (vit != cit->second.end()) return vit->second;
-      }
-    }
-    return {};
-  }
-
-  /// Known classes named by any token in a type spelling (smart-pointer /
-  /// container wrappers resolve through to the element class).
-  std::vector<std::string> classes_from_types(
-      const std::vector<std::string>& types) const {
-    std::vector<std::string> out;
-    for (auto it = types.rbegin(); it != types.rend(); ++it)
-      if (known_classes_.count(*it) > 0) out.push_back(*it);
-    return out;
-  }
-
-  std::vector<FuncInfo*> methods_of(const std::string& cls,
-                                    const std::string& name) const {
-    const auto cit = by_class_.find(cls);
-    if (cit == by_class_.end()) return {};
-    const auto mit = cit->second.find(name);
-    if (mit == cit->second.end()) return {};
-    return mit->second;
-  }
-
-  Resolution resolve(const FlowContext& ctx, const FlowCall& call) const {
-    Resolution res;
-    if (call.qualifier == "::") return res;  // explicit global (syscall)
-
-    if (!call.receiver.empty() && call.receiver != "?") {
-      const std::vector<std::string> chain = split_dots(call.receiver);
-      std::vector<std::string> classes =
-          classes_from_types(types_of(ctx, chain.front()));
-      for (std::size_t k = 1; k < chain.size() && !classes.empty(); ++k) {
-        std::vector<std::string> next;
-        for (const std::string& cls : classes) {
-          const auto cit = members_.find(cls);
-          if (cit == members_.end()) continue;
-          const auto vit = cit->second.find(chain[k]);
-          if (vit == cit->second.end()) continue;
-          for (const std::string& c : classes_from_types(vit->second))
-            next.push_back(c);
-        }
-        classes = std::move(next);
-      }
-      for (const std::string& cls : classes)
-        for (FuncInfo* f : methods_of(cls, call.callee))
-          res.candidates.push_back(f);
-      if (!res.candidates.empty()) {
-        res.exact = true;
-        return res;
-      }
-      // Receiver didn't resolve: fall back to every function sharing the
-      // simple name (rules then require unanimity on the property).
-      return name_fallback(call.callee);
-    }
-
-    if (!call.qualifier.empty()) {
-      const std::string q = last_segment(call.qualifier);
-      res.candidates = methods_of(q, call.callee);
-      if (!res.candidates.empty()) {
-        res.exact = true;
-        return res;
-      }
-      const auto fit = free_by_simple_.find(call.callee);
-      if (fit != free_by_simple_.end()) {
-        res.candidates = fit->second;
-        res.exact = true;
-      }
-      return res;
-    }
-
-    // Unqualified: a method of the enclosing class, else a free function.
-    if (!ctx.class_name.empty()) {
-      res.candidates =
-          methods_of(last_segment(ctx.class_name), call.callee);
-      if (!res.candidates.empty()) {
-        res.exact = true;
-        return res;
-      }
-    }
-    const auto fit = free_by_simple_.find(call.callee);
-    if (fit != free_by_simple_.end()) {
-      res.candidates = fit->second;
-      res.exact = true;
-    }
-    return res;
-  }
-
-  Resolution name_fallback(const std::string& name) const {
-    Resolution res;
-    for (const auto& [cls, byname] : by_class_) {
-      (void)cls;
-      const auto it = byname.find(name);
-      if (it == byname.end()) continue;
-      for (FuncInfo* f : it->second) res.candidates.push_back(f);
-    }
-    const auto fit = free_by_simple_.find(name);
-    if (fit != free_by_simple_.end())
-      for (FuncInfo* f : fit->second) res.candidates.push_back(f);
-    return res;  // exact stays false
-  }
-
-  /// Property check over a resolution: exact resolutions need one positive
-  /// candidate; name-only fallbacks need unanimity.
-  template <typename Pred>
-  static const FuncInfo* hit(const Resolution& res, Pred pred) {
-    if (res.candidates.empty()) return nullptr;
-    if (res.exact) {
-      for (const FuncInfo* f : res.candidates)
-        if (pred(*f)) return f;
-      return nullptr;
-    }
-    for (const FuncInfo* f : res.candidates)
-      if (!pred(*f)) return nullptr;
-    return res.candidates.front();
-  }
-
   // ---------------------------------------------------------------- rules
   void emit(const FileModel& fm, std::size_t line, const char* rule,
             std::string message, std::vector<Violation>& out) const {
@@ -300,11 +84,29 @@ class Engine {
         Violation{fm.path, line, rule, std::move(message), trim(raw)});
   }
 
+  /// Property check over a resolution: exact resolutions need one positive
+  /// candidate; name-only fallbacks need unanimity.
+  template <typename Pred>
+  static const FuncNode* hit(const Resolution& res, Pred pred) {
+    if (res.candidates.empty()) return nullptr;
+    if (res.exact) {
+      for (const FuncNode* f : res.candidates)
+        if (pred(*f)) return f;
+      return nullptr;
+    }
+    for (const FuncNode* f : res.candidates)
+      if (!pred(*f)) return nullptr;
+    return res.candidates.front();
+  }
+
   void check_affinity(const FileModel& fm, const FlowContext& ctx,
                       const FlowCall& call, const Resolution& res,
+                      const FlowOptions& opt,
                       std::vector<Violation>& out) const {
-    const FuncInfo* target =
-        hit(res, [](const FuncInfo& f) { return f.affine; });
+    const FuncNode* target =
+        hit(res, [&](const FuncNode& f) {
+          return opt.transitive ? f.affine() : f.declared_affine;
+        });
     if (target == nullptr) return;
     emit(fm, call.line, "thread-affinity",
          "call to loop-affine '" + target->display() + "' from '" +
@@ -319,8 +121,8 @@ class Engine {
                       const FlowCall& call, const Resolution& res,
                       std::vector<Violation>& out) const {
     (void)ctx;
-    const FuncInfo* target =
-        hit(res, [](const FuncInfo& f) { return f.must_use; });
+    const FuncNode* target =
+        hit(res, [](const FuncNode& f) { return f.must_use; });
     if (target == nullptr) return;
     emit(fm, call.line, "must-use",
          "discarded cs::Expected/Error result of '" + target->display() +
@@ -332,7 +134,7 @@ class Engine {
   void check_blocking(const FileModel& fm, const FlowContext& ctx,
                       const FlowCall& call,
                       std::vector<Violation>& out) const {
-    if (kBlockingCallees.count(call.callee) == 0) return;
+    if (!CallGraph::is_blocking_callee(call.callee)) return;
     emit(fm, call.line, "blocking-in-loop",
          "blocking call '" + call.callee + "' inside loop-affine '" +
              ctx.name +
@@ -341,35 +143,88 @@ class Engine {
          out);
   }
 
-  // ----------------------------------------------------------- lock-order
-  void compute_transitive_acquires() {
-    for (auto& [key, f] : funcs_) {
-      (void)key;
-      for (const FlowContext* body : f.bodies)
-        for (const std::string& m : body->direct_mutexes) f.acquires.insert(m);
+  /// Transitive flavor: a declared-affine context calling into a function
+  /// whose summary reaches a blocking call.  Candidates that are declared
+  /// affine themselves are skipped (their own body checks fire there).
+  void check_blocking_transitive(const FileModel& fm, const FlowContext& ctx,
+                                 const FlowCall& call, const Resolution& res,
+                                 std::vector<Violation>& out) const {
+    if (CallGraph::is_blocking_callee(call.callee)) return;  // direct rule
+    if (!res.exact) return;
+    for (const FuncNode* callee : res.candidates) {
+      if (callee->blocking_name.empty() || callee->declared_affine) continue;
+      std::string chain = callee->display();
+      for (const std::string& hop : callee->blocking_chain)
+        chain += " -> " + hop;
+      emit(fm, call.line, "blocking-in-loop",
+           "loop-affine '" + ctx.name + "' reaches blocking '" +
+               callee->blocking_name + "' through call chain '" + chain +
+               "': the event loop must never block — hand the work to the "
+               "worker pool and post the completion back",
+           out);
+      return;  // one report per call site is enough
     }
-    bool changed = true;
-    std::size_t guard = funcs_.size() + 1;
-    while (changed && guard-- > 0) {
-      changed = false;
-      for (auto& [key, f] : funcs_) {
-        (void)key;
-        for (const FlowContext* body : f.bodies) {
-          for (const FlowCall& call : body->calls) {
-            const Resolution res = resolve(*body, call);
-            if (!res.exact) continue;
-            for (const FuncInfo* callee : res.candidates) {
-              for (const std::string& m : callee->acquires) {
-                if (f.acquires.insert(m).second) changed = true;
-              }
-            }
-          }
+  }
+
+  // ------------------------------------------------------ nonowning-escape
+  void check_nonowning_escape(const FileModel& fm, const FlowContext& ctx,
+                              const FlowOptions& opt,
+                              std::vector<Violation>& out) const {
+    for (const EscapeSink& s : graph_.direct_escapes(ctx, fm)) {
+      emit(fm, s.line, "nonowning-escape",
+           "non-owning parameter '" + s.param + "' of '" + ctx.name +
+               "' " + s.detail +
+               ": the referent is only guaranteed alive for this call — "
+               "copy the owning value instead, or annotate "
+               "'// cslint: allow(nonowning-escape)' if the storage "
+               "provably outlives the referent",
+           out);
+    }
+    if (!opt.transitive) return;
+    // Transitive: a non-owning parameter handed to a callee parameter
+    // whose summary stores it.
+    for (const FlowCall& call : ctx.calls) {
+      bool has_param_arg = false;
+      for (const std::string& a : call.args) {
+        if (a.empty()) continue;
+        if (std::find(ctx.param_order.begin(), ctx.param_order.end(), a) !=
+            ctx.param_order.end())
+          has_param_arg = true;
+      }
+      if (!has_param_arg) continue;
+      const Resolution res = graph_.resolve(ctx, call);
+      if (!res.exact) continue;
+      for (const FuncNode* callee : res.candidates) {
+        for (std::size_t j = 0;
+             j < call.args.size() && j < callee->param_escapes.size(); ++j) {
+          const std::string& a = call.args[j];
+          if (a.empty() || callee->param_escapes[j] == 0) continue;
+          if (std::find(ctx.param_order.begin(), ctx.param_order.end(), a) ==
+              ctx.param_order.end())
+            continue;
+          const auto tit = ctx.var_types.find(a);
+          if (tit == ctx.var_types.end() ||
+              !CallGraph::is_nonowning_type(tit->second))
+            continue;
+          std::string callee_param =
+              j < callee->param_order.size() ? callee->param_order[j] : "";
+          emit(fm, call.line, "nonowning-escape",
+               "non-owning parameter '" + a + "' of '" + ctx.name +
+                   "' passed to '" + callee->display() + "', which stores " +
+                   (callee_param.empty() ? std::string("that parameter")
+                                         : "its parameter '" + callee_param +
+                                               "'") +
+                   " beyond the call: the referent is only guaranteed alive "
+                   "for this call",
+               out);
         }
       }
     }
   }
 
-  void check_lock_order(std::vector<Violation>& out) const {
+  // ----------------------------------------------------------- lock-order
+  void check_lock_order(const FlowOptions& opt,
+                        std::vector<Violation>& out) const {
     // from -> to -> first site where the edge was observed.
     std::map<std::string, std::map<std::string, LockSite>> graph;
     auto add_edge = [&](const std::string& from, const std::string& to,
@@ -381,19 +236,31 @@ class Engine {
 
     for (const FileModel& fm : files_) {
       for (const FlowContext& ctx : fm.contexts) {
+        // `cslint: holds(m)` contract: the caller already holds m when this
+        // function runs, so everything acquired inside orders after m.
+        std::vector<std::string> contract;
+        if (opt.transitive) {
+          if (const FuncNode* n = graph_.node_of(ctx))
+            contract.assign(n->holds.begin(), n->holds.end());
+        }
+        for (const std::string& h : contract)
+          for (const std::string& m : ctx.direct_mutexes)
+            add_edge(h, m, ctx.file, ctx.line);
         for (const FlowLockEdge& e : ctx.lock_edges)
           add_edge(e.from, e.to, ctx.file, e.line);
         for (const FlowCall& call : ctx.calls) {
-          if (call.held_mutexes.empty()) continue;
-          const Resolution res = resolve(ctx, call);
+          std::vector<std::string> held = call.held_mutexes;
+          held.insert(held.end(), contract.begin(), contract.end());
+          if (held.empty()) continue;
+          const Resolution res = graph_.resolve(ctx, call);
           if (!res.exact) continue;
-          for (const FuncInfo* callee : res.candidates) {
+          for (const FuncNode* callee : res.candidates) {
             for (const std::string& m : callee->acquires) {
-              for (const std::string& held : call.held_mutexes) {
+              for (const std::string& h : held) {
                 // A call-through self-edge is usually re-entry through a
                 // different object instance; only lexical self-edges are
                 // reported (documented false negative).
-                if (held != m) add_edge(held, m, ctx.file, call.line);
+                if (h != m) add_edge(h, m, ctx.file, call.line);
               }
             }
           }
@@ -478,16 +345,7 @@ class Engine {
   // -------------------------------------------------------------- fields
   const std::vector<FileModel>& files_;
   SuppressionTracker* supp_ = nullptr;
-  std::map<std::string, FuncInfo> funcs_;
-  // class simple-name -> method simple-name -> overload set
-  std::map<std::string, std::map<std::string, std::vector<FuncInfo*>>>
-      by_class_;
-  std::map<std::string, std::vector<FuncInfo*>> free_by_simple_;
-  // class simple-name -> member -> type tokens
-  std::map<std::string, std::unordered_map<std::string,
-                                           std::vector<std::string>>>
-      members_;
-  std::set<std::string> known_classes_;
+  CallGraph graph_;
 };
 
 }  // namespace
@@ -495,6 +353,10 @@ class Engine {
 void FlowAnalyzer::add_source(std::string display_path,
                               std::string_view content) {
   files_.push_back(parse_file_model(std::move(display_path), content));
+}
+
+void FlowAnalyzer::add_model(FileModel model) {
+  files_.push_back(std::move(model));
 }
 
 std::vector<Violation> FlowAnalyzer::run(const FlowOptions& opt,

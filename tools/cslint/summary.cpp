@@ -1,0 +1,386 @@
+// FileModel (de)serialization for the per-function summary cache.  Text
+// format, one record per file:
+//
+//   cslint-summary-v1
+//   S <content-hash-hex> <mtime> <size> <display path>
+//   I <include spelling>
+//   B <class> <base|base>
+//   M <class> <var>=<t,t> <var>=<t>
+//   C <line> <flags> <name> <simple> <class> <escape> <capture-default>
+//   P <param|param>      (param_order;   "~" = unnamed, "-" = none)
+//   L <name|name>        (static_locals)
+//   H <mutex|mutex>      (holds)
+//   V <var>=<t,t> ...    (var_types)
+//   D <mutex|mutex>      (direct_mutexes)
+//   E <from> <to> <line> (lock edge)
+//   A <line> <lhs> <rhs> (assign event)
+//   R <line> <ident>     (return event)
+//   G <name:r|name:v>    (lambda captures; r = by-ref, v = by-value)
+//   K <line> <flags> <callee> <qual> <recv> <held|held> <arg|arg>
+//
+// Empty strings encode as "-" (or "~" inside lists where "-" means "empty
+// list").  None of the serialized tokens can contain spaces — identifiers,
+// "::"-joined names, "<lambda@N>" markers and dot-chains only — except the
+// display path, which is the final field of its line.  A record that fails
+// to parse is dropped wholesale: the worst case is a reparse.
+#include "summary.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "cache.hpp"
+
+namespace cs::lint {
+
+namespace {
+
+constexpr const char* kMagic = "cslint-summary-v1";
+
+std::string enc(const std::string& s) { return s.empty() ? "-" : s; }
+std::string dec(const std::string& s) { return s == "-" ? "" : s; }
+
+std::string enc_list(const std::vector<std::string>& v) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += '|';
+    out += v[i].empty() ? "~" : v[i];
+  }
+  return out;
+}
+
+std::vector<std::string> dec_list(const std::string& s) {
+  std::vector<std::string> out;
+  if (s == "-") return out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t bar = s.find('|', pos);
+    if (bar == std::string::npos) bar = s.size();
+    std::string item = s.substr(pos, bar - pos);
+    out.push_back(item == "~" ? "" : item);
+    pos = bar + 1;
+  }
+  return out;
+}
+
+std::string enc_types(const std::vector<std::string>& types) {
+  std::string out;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (i) out += ',';
+    out += types[i];
+  }
+  return out;
+}
+
+std::vector<std::string> dec_types(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t c = s.find(',', pos);
+    if (c == std::string::npos) c = s.size();
+    if (c > pos) out.push_back(s.substr(pos, c - pos));
+    pos = c + 1;
+  }
+  return out;
+}
+
+// Context flag bits.
+constexpr unsigned kLambda = 1, kTemplate = 2, kAffine = 4, kMustUse = 8,
+                   kDefined = 16;
+// Call flag bits.
+constexpr unsigned kDiscards = 1;
+
+void write_var_map(
+    std::ostream& os, const char* tag,
+    const std::unordered_map<std::string, std::vector<std::string>>& vars,
+    const std::string& prefix) {
+  if (vars.empty()) return;
+  std::map<std::string, std::vector<std::string>> sorted(vars.begin(),
+                                                         vars.end());
+  os << tag << prefix;
+  for (const auto& [var, types] : sorted)
+    os << ' ' << var << '=' << enc_types(types);
+  os << '\n';
+}
+
+void write_model(std::ostream& os, const FileModel& m) {
+  for (const std::string& inc : m.includes) os << "I " << inc << '\n';
+  {
+    std::map<std::string, std::vector<std::string>> sorted(
+        m.class_bases.begin(), m.class_bases.end());
+    for (const auto& [cls, bases] : sorted)
+      os << "B " << cls << ' ' << enc_list(bases) << '\n';
+  }
+  {
+    std::map<std::string,
+             std::unordered_map<std::string, std::vector<std::string>>>
+        sorted(m.members.begin(), m.members.end());
+    for (const auto& [cls, vars] : sorted)
+      write_var_map(os, "M ", vars, cls);
+  }
+  for (const FlowContext& c : m.contexts) {
+    unsigned flags = 0;
+    if (c.is_lambda) flags |= kLambda;
+    if (c.is_template) flags |= kTemplate;
+    if (c.loop_affine) flags |= kAffine;
+    if (c.returns_must_use) flags |= kMustUse;
+    if (c.defined) flags |= kDefined;
+    os << "C " << c.line << ' ' << flags << ' ' << enc(c.name) << ' '
+       << enc(c.simple) << ' ' << enc(c.class_name) << ' ' << enc(c.escape)
+       << ' ' << (c.capture_default == 0 ? '-' : c.capture_default) << '\n';
+    if (!c.param_order.empty()) os << "P " << enc_list(c.param_order) << '\n';
+    if (!c.static_locals.empty())
+      os << "L " << enc_list(c.static_locals) << '\n';
+    if (!c.holds.empty()) os << "H " << enc_list(c.holds) << '\n';
+    write_var_map(os, "V", c.var_types, "");
+    if (!c.direct_mutexes.empty())
+      os << "D " << enc_list(c.direct_mutexes) << '\n';
+    for (const FlowLockEdge& e : c.lock_edges)
+      os << "E " << e.from << ' ' << e.to << ' ' << e.line << '\n';
+    for (const FlowAssign& a : c.assigns)
+      os << "A " << a.line << ' ' << a.lhs << ' ' << a.rhs << '\n';
+    for (const FlowReturn& r : c.rets)
+      os << "R " << r.line << ' ' << r.ident << '\n';
+    if (!c.captures.empty()) {
+      os << "G ";
+      for (std::size_t i = 0; i < c.captures.size(); ++i) {
+        if (i) os << '|';
+        os << c.captures[i].name << ':' << (c.captures[i].by_ref ? 'r' : 'v');
+      }
+      os << '\n';
+    }
+    for (const FlowCall& call : c.calls) {
+      unsigned cf = 0;
+      if (call.discards_result) cf |= kDiscards;
+      os << "K " << call.line << ' ' << cf << ' ' << enc(call.callee) << ' '
+         << enc(call.qualifier) << ' ' << enc(call.receiver) << ' '
+         << enc_list(call.held_mutexes) << ' ' << enc_list(call.args) << '\n';
+    }
+  }
+}
+
+/// Parse one record's body lines into a FileModel; false on malformed input.
+bool read_model(const std::vector<std::string>& lines, FileModel* m) {
+  FlowContext* ctx = nullptr;
+  for (const std::string& line : lines) {
+    std::istringstream is(line);
+    std::string tag;
+    if (!(is >> tag)) return false;
+    if (tag == "I") {
+      std::string inc;
+      if (!(is >> inc)) return false;
+      m->includes.push_back(inc);
+    } else if (tag == "B") {
+      std::string cls, bases;
+      if (!(is >> cls >> bases)) return false;
+      m->class_bases[cls] = dec_list(bases);
+    } else if (tag == "M") {
+      std::string cls;
+      if (!(is >> cls)) return false;
+      auto& vars = m->members[cls];
+      std::string entry;
+      while (is >> entry) {
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos) return false;
+        vars[entry.substr(0, eq)] = dec_types(entry.substr(eq + 1));
+      }
+    } else if (tag == "C") {
+      FlowContext c;
+      unsigned flags = 0;
+      std::string name, simple, cls, escape, capdef;
+      if (!(is >> c.line >> flags >> name >> simple >> cls >> escape >>
+            capdef))
+        return false;
+      c.name = dec(name);
+      c.simple = dec(simple);
+      c.class_name = dec(cls);
+      c.escape = dec(escape);
+      c.capture_default = capdef == "-" ? 0 : capdef[0];
+      c.is_lambda = (flags & kLambda) != 0;
+      c.is_template = (flags & kTemplate) != 0;
+      c.loop_affine = (flags & kAffine) != 0;
+      c.returns_must_use = (flags & kMustUse) != 0;
+      c.defined = (flags & kDefined) != 0;
+      c.file = m->path;
+      m->contexts.push_back(std::move(c));
+      ctx = &m->contexts.back();
+    } else if (ctx == nullptr) {
+      return false;  // context-scoped tag before any C line
+    } else if (tag == "P") {
+      std::string v;
+      if (!(is >> v)) return false;
+      ctx->param_order = dec_list(v);
+    } else if (tag == "L") {
+      std::string v;
+      if (!(is >> v)) return false;
+      ctx->static_locals = dec_list(v);
+    } else if (tag == "H") {
+      std::string v;
+      if (!(is >> v)) return false;
+      ctx->holds = dec_list(v);
+    } else if (tag == "V") {
+      std::string entry;
+      while (is >> entry) {
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos) return false;
+        ctx->var_types[entry.substr(0, eq)] = dec_types(entry.substr(eq + 1));
+      }
+    } else if (tag == "D") {
+      std::string v;
+      if (!(is >> v)) return false;
+      ctx->direct_mutexes = dec_list(v);
+    } else if (tag == "E") {
+      FlowLockEdge e;
+      if (!(is >> e.from >> e.to >> e.line)) return false;
+      ctx->lock_edges.push_back(std::move(e));
+    } else if (tag == "A") {
+      FlowAssign a;
+      if (!(is >> a.line >> a.lhs >> a.rhs)) return false;
+      ctx->assigns.push_back(std::move(a));
+    } else if (tag == "R") {
+      FlowReturn r;
+      if (!(is >> r.line >> r.ident)) return false;
+      ctx->rets.push_back(std::move(r));
+    } else if (tag == "G") {
+      std::string v;
+      if (!(is >> v)) return false;
+      for (const std::string& item : dec_list(v)) {
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos) return false;
+        ctx->captures.push_back(
+            FlowCapture{item.substr(0, colon), item[colon + 1] == 'r'});
+      }
+    } else if (tag == "K") {
+      FlowCall call;
+      unsigned cf = 0;
+      std::string callee, qual, recv, held, args;
+      if (!(is >> call.line >> cf >> callee >> qual >> recv >> held >> args))
+        return false;
+      call.callee = dec(callee);
+      call.qualifier = dec(qual);
+      call.receiver = dec(recv);
+      call.held_mutexes = dec_list(held);
+      call.args = dec_list(args);
+      call.discards_result = (cf & kDiscards) != 0;
+      ctx->calls.push_back(std::move(call));
+    } else {
+      return false;  // unknown tag: format drift, drop the record
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> split_lines(std::string_view content) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      out.emplace_back(content.substr(pos));
+      break;
+    }
+    out.emplace_back(content.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+void SummaryCache::load(const std::filesystem::path& file) {
+  std::ifstream is(file);
+  if (!is) return;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return;
+
+  std::string pending_path;
+  Entry pending;
+  std::vector<std::string> body;
+  auto flush = [&] {
+    if (pending_path.empty()) return;
+    pending.model.path = pending_path;
+    if (read_model(body, &pending.model))
+      entries_[pending_path] = std::move(pending);
+    pending = Entry{};
+    pending_path.clear();
+    body.clear();
+  };
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'S' && line.size() > 1 && line[1] == ' ') {
+      flush();
+      std::istringstream hs(line.substr(2));
+      std::string hex;
+      if (!(hs >> hex >> pending.mtime >> pending.size)) continue;
+      pending.hash = std::strtoull(hex.c_str(), nullptr, 16);
+      std::string rest;
+      std::getline(hs, rest);
+      while (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      if (rest.empty()) continue;
+      pending_path = rest;
+    } else if (!pending_path.empty()) {
+      body.push_back(line);
+    }
+  }
+  flush();
+}
+
+void SummaryCache::save(const std::filesystem::path& file) const {
+  std::ofstream os(file, std::ios::trunc);
+  if (!os) return;
+  os << kMagic << '\n';
+  std::map<std::string, const Entry*> sorted;
+  for (const auto& [path, e] : entries_) sorted.emplace(path, &e);
+  for (const auto& [path, e] : sorted) {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(e->hash));
+    os << "S " << hex << ' ' << e->mtime << ' ' << e->size << ' ' << path
+       << '\n';
+    write_model(os, e->model);
+  }
+}
+
+const FileModel* SummaryCache::lookup(const std::string& path,
+                                      long long mtime, long long size,
+                                      std::string_view content) {
+  const auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  Entry& e = it->second;
+  if (e.mtime == mtime && e.size == size) {
+    ++fast_hits_;
+    return &e.model;
+  }
+  // mtime fast path failed: the content hash is the authority.  A match
+  // means touch-without-change — keep the record and refresh the stamp.
+  if (fnv1a64(content) == e.hash) {
+    e.mtime = mtime;
+    e.size = size;
+    ++hits_;
+    return &e.model;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void SummaryCache::put(const std::string& path, long long mtime,
+                       long long size, std::string_view content,
+                       const FileModel& model) {
+  Entry e;
+  e.mtime = mtime;
+  e.size = size;
+  e.hash = fnv1a64(content);
+  e.model = model;
+  e.model.raw_lines.clear();
+  e.model.raw_lines.shrink_to_fit();
+  entries_[path] = std::move(e);
+}
+
+}  // namespace cs::lint

@@ -1,0 +1,64 @@
+// Per-function summary cache: persists the structural FileModels the parser
+// recovers (contexts, calls, members, bases — everything the interprocedural
+// layer consumes) so repeat runs skip the parse entirely, --strict included.
+//
+// Keying follows the include-closure cache: the FNV-1a content hash is the
+// authority.  Each record also carries the file's mtime+size as a fast path —
+// when they match, the hash compare is skipped; when they differ but the
+// content hash still matches (touch-without-change), the record stays a hit
+// and its mtime is refreshed in place.
+//
+// raw_lines are deliberately not serialized: the caller has the file content
+// in memory anyway (the text rules need it) and rebuilds them with
+// split_lines().
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "flow.hpp"
+
+namespace cs::lint {
+
+/// Split file content into lines (no trailing '\n' kept), matching the
+/// parser's raw_lines construction.
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view content);
+
+class SummaryCache {
+ public:
+  void load(const std::filesystem::path& file);
+  void save(const std::filesystem::path& file) const;
+
+  /// Cached model for `path`, or nullptr.  mtime+size match is the fast
+  /// path; otherwise the content hash decides (and a hash hit refreshes the
+  /// stored mtime/size so the fast path works next run).  The returned
+  /// model has empty raw_lines — fill them from `content` via split_lines.
+  [[nodiscard]] const FileModel* lookup(const std::string& path,
+                                        long long mtime, long long size,
+                                        std::string_view content);
+
+  void put(const std::string& path, long long mtime, long long size,
+           std::string_view content, const FileModel& model);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t fast_hits() const noexcept { return fast_hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    long long mtime = 0;
+    long long size = 0;
+    std::uint64_t hash = 0;
+    FileModel model;  ///< raw_lines empty
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  std::size_t hits_ = 0;       ///< hash-verified hits (mtime changed)
+  std::size_t fast_hits_ = 0;  ///< mtime+size fast-path hits
+  std::size_t misses_ = 0;
+};
+
+}  // namespace cs::lint

@@ -1,0 +1,52 @@
+// nonowning-escape fixture: every escape sink the rule knows, plus the
+// transitive (caller passes its own non-owning parameter into a storing
+// callee) case and the negatives that must stay quiet.
+#include <string_view>
+#include <vector>
+
+namespace fixture {
+
+class FunctionRef {};
+
+class Queue {
+ public:
+  template <typename F>
+  void post(F&& f);
+};
+
+class Sampler {
+ public:
+  // (1) direct store into a member: the referent dies with the caller.
+  void set(FunctionRef f) { fn_ = f; }
+
+  // (2) copy into a long-lived container member.
+  void add_name(std::string_view name) { names_.push_back(name); }
+
+  // (3) returned to the caller: the view outlives this frame's guarantee.
+  std::string_view echo(std::string_view s) { return s; }
+
+  // (4) captured by value in a lambda handed to a deferred executor.
+  void defer(FunctionRef f, Queue& q) {
+    q.post([f] { use(f); });
+  }
+
+  // Negative: synchronous pass-down never escapes.
+  void apply(FunctionRef f) { use(f); }
+
+  // Negative: an audited intentional store stays quiet.
+  void pin(FunctionRef f) {
+    pinned_ = f;  // cslint: allow(nonowning-escape) referent is static
+  }
+
+ private:
+  static void use(FunctionRef f);
+  FunctionRef fn_;
+  FunctionRef pinned_;
+  std::vector<std::string_view> names_;
+};
+
+// Transitive: g never stores anything itself, but hands its non-owning
+// parameter to Sampler::set, whose summary says the parameter escapes.
+void indirect(FunctionRef g, Sampler& s) { s.set(g); }
+
+}  // namespace fixture

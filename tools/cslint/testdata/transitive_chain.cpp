@@ -1,0 +1,24 @@
+// Transitive blocking-in-loop fixture: the loop-affine origin reaches a
+// blocking solver entry point only through a 3-hop call chain — no single
+// function in the chain is a direct violation, the chain is.
+namespace fixture {
+
+class Solver {
+ public:
+  int solve(int spec);
+};
+
+class Shard {
+ public:
+  // cs: affinity(loop)
+  void on_ready() { drain(); }
+
+ private:
+  void drain() { finish(); }
+  void finish() { last_ = solver_.solve(3); }
+
+  Solver solver_;
+  int last_ = 0;
+};
+
+}  // namespace fixture
